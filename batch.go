@@ -1,0 +1,69 @@
+package parcfl
+
+import (
+	"parcfl/internal/engine"
+)
+
+// Mode selects the batch execution strategy (the four configurations of the
+// paper's evaluation).
+type Mode = engine.Mode
+
+const (
+	// Sequential is the SEQCFL baseline: one worker, no sharing.
+	Sequential = engine.Seq
+	// Naive is inter-query parallelism over a shared work list only
+	// (Section III-A).
+	Naive = engine.Naive
+	// Sharing adds the data-sharing scheme (Section III-B) — the paper's
+	// PARCFL_D.
+	Sharing = engine.D
+	// SharingScheduling adds query scheduling (Section III-C) — the
+	// paper's PARCFL_DQ and the recommended default.
+	SharingScheduling = engine.DQ
+)
+
+// BatchOptions configures RunBatch.
+type BatchOptions struct {
+	// Mode selects the strategy; SharingScheduling is the recommended
+	// default (the zero value is Sequential).
+	Mode Mode
+	// Threads is the worker count; 0 means GOMAXPROCS.
+	Threads int
+	// Budget is the per-query step budget; 0 disables (the paper uses
+	// 75,000).
+	Budget int
+	// TauF/TauU override the selective jmp-insertion thresholds; zero
+	// values pick the paper defaults (100 / 10,000), negative values
+	// disable suppression entirely.
+	TauF, TauU int
+	// ResultCache additionally shares whole memoised traversal results
+	// across queries and workers (the "ad-hoc caching" extension on top
+	// of the paper's jmp sharing). Works with any mode.
+	ResultCache bool
+	// ContextK k-limits call strings (0 = unlimited).
+	ContextK int
+}
+
+// BatchResult is the outcome of one query within a batch.
+type BatchResult = engine.QueryResult
+
+// BatchStats aggregates a batch run (wall time, steps walked and saved, jmp
+// and early-termination counts, schedule shape).
+type BatchStats = engine.Stats
+
+// RunBatch answers every query in the batch using the selected strategy and
+// returns per-query results in processing order plus aggregate statistics.
+// Queries are (variable, empty-context) points-to requests, matching the
+// paper's batch clients.
+func (a *Analyzer) RunBatch(queries []NodeID, o BatchOptions) ([]BatchResult, BatchStats) {
+	return engine.Run(a.lo.Graph, queries, engine.Config{
+		Mode:        o.Mode,
+		Threads:     o.Threads,
+		Budget:      o.Budget,
+		TauF:        o.TauF,
+		TauU:        o.TauU,
+		TypeLevels:  a.lo.TypeLevels,
+		ResultCache: o.ResultCache,
+		ContextK:    o.ContextK,
+	})
+}

@@ -1,0 +1,231 @@
+package parcfl
+
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation, over a scaled synthetic benchmark (see EXPERIMENTS.md
+// for the full-suite regeneration via cmd/experiments; these benches are the
+// `go test -bench` entry points).
+//
+// Custom metrics reported beside ns/op:
+//
+//	queries/op     — batch size
+//	jumps/op       — jmp edges recorded (Table I #Jumps)
+//	saved-steps/op — traversal steps satisfied by shortcuts
+//	ETs/op         — early terminations
+//	speedup-model  — modeled speedup vs the sequential walked steps
+
+import (
+	"sync"
+	"testing"
+
+	"parcfl/internal/cfl"
+	"parcfl/internal/engine"
+	"parcfl/internal/experiments"
+	"parcfl/internal/intraquery"
+	"parcfl/internal/javagen"
+)
+
+const benchScale = 0.005
+
+var (
+	benchOnce sync.Once
+	benchData map[string]*experiments.Bench
+	seqWalked map[string]int64
+)
+
+// benchFor prepares (once) the named preset and its sequential baseline.
+func benchFor(b *testing.B, name string) (*experiments.Bench, int64) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchData = map[string]*experiments.Bench{}
+		seqWalked = map[string]int64{}
+	})
+	if bench, ok := benchData[name]; ok {
+		return bench, seqWalked[name]
+	}
+	pr, err := javagen.PresetByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench, err := experiments.PrepareBench(pr, benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, st := engine.Run(bench.Lowered.Graph, bench.Queries, engine.Config{Mode: engine.Seq, Budget: 75000})
+	benchData[name] = bench
+	seqWalked[name] = st.StepsWalked()
+	return bench, seqWalked[name]
+}
+
+func runBatch(b *testing.B, bench *experiments.Bench, base int64, mode engine.Mode, threads int, tauF, tauU int) {
+	b.Helper()
+	var last engine.Stats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, last = engine.Run(bench.Lowered.Graph, bench.Queries, engine.Config{
+			Mode: mode, Threads: threads, Budget: 75000,
+			TauF: tauF, TauU: tauU,
+			TypeLevels: bench.Lowered.TypeLevels,
+		})
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(last.Queries), "queries/op")
+	b.ReportMetric(float64(last.Share.FinishedAdded+last.Share.UnfinishedAdded), "jumps/op")
+	b.ReportMetric(float64(last.StepsSaved), "saved-steps/op")
+	b.ReportMetric(float64(last.EarlyTerminations), "ETs/op")
+	if base > 0 {
+		b.ReportMetric(last.ModeledSpeedup(base), "speedup-model")
+	}
+}
+
+// BenchmarkTable1Stats regenerates the Table I statistics row for a
+// representative benchmark (sequential run: Tseq and #S).
+func BenchmarkTable1Stats(b *testing.B) {
+	bench, base := benchFor(b, "_202_jess")
+	runBatch(b, bench, base, engine.Seq, 1, 0, 0)
+}
+
+// BenchmarkFig6 regenerates one Fig. 6 column per sub-benchmark: the four
+// strategies the paper compares, on a mid-size benchmark.
+func BenchmarkFig6(b *testing.B) {
+	bench, base := benchFor(b, "_213_javac")
+	b.Run("SeqCFL", func(b *testing.B) { runBatch(b, bench, base, engine.Seq, 1, 0, 0) })
+	b.Run("ParCFL-naive-16", func(b *testing.B) { runBatch(b, bench, base, engine.Naive, 16, 0, 0) })
+	b.Run("ParCFL-D-16", func(b *testing.B) { runBatch(b, bench, base, engine.D, 16, 0, 0) })
+	b.Run("ParCFL-DQ-16", func(b *testing.B) { runBatch(b, bench, base, engine.DQ, 16, 0, 0) })
+}
+
+// BenchmarkFig7 regenerates the Fig. 7 contrast: jmp insertion with the
+// paper's selective thresholds vs inserting everything.
+func BenchmarkFig7(b *testing.B) {
+	bench, base := benchFor(b, "h2")
+	b.Run("selective-tau", func(b *testing.B) { runBatch(b, bench, base, engine.DQ, 16, 0, 0) })
+	b.Run("insert-all", func(b *testing.B) { runBatch(b, bench, base, engine.DQ, 16, -1, -1) })
+}
+
+// BenchmarkFig8 regenerates the Fig. 8 thread-scaling series for PARCFL_DQ.
+func BenchmarkFig8(b *testing.B) {
+	bench, base := benchFor(b, "h2")
+	for _, t := range []int{1, 2, 4, 8, 16} {
+		b.Run(map[int]string{1: "DQ-1", 2: "DQ-2", 4: "DQ-4", 8: "DQ-8", 16: "DQ-16"}[t], func(b *testing.B) {
+			runBatch(b, bench, base, engine.DQ, t, 0, 0)
+		})
+	}
+}
+
+// BenchmarkTable2 regenerates the Table II empirical contrast: the
+// whole-program Andersen baseline vs the demand-driven batch.
+func BenchmarkTable2(b *testing.B) {
+	bench, base := benchFor(b, "_209_db")
+	b.Run("Andersen-whole-program", func(b *testing.B) {
+		a, err := NewAnalyzer(bench.Program)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a.Andersen()
+		}
+	})
+	b.Run("CFL-demand-DQ16", func(b *testing.B) { runBatch(b, bench, base, engine.DQ, 16, 0, 0) })
+}
+
+// BenchmarkAblationTau regenerates the Section IV-A/IV-D2 threshold
+// ablation.
+func BenchmarkAblationTau(b *testing.B) {
+	bench, base := benchFor(b, "_213_javac")
+	b.Run("paper-tauF100-tauU10000", func(b *testing.B) { runBatch(b, bench, base, engine.DQ, 16, 0, 0) })
+	b.Run("no-thresholds", func(b *testing.B) { runBatch(b, bench, base, engine.DQ, 16, -1, -1) })
+	b.Run("aggressive", func(b *testing.B) { runBatch(b, bench, base, engine.DQ, 16, 2000, 200000) })
+}
+
+// BenchmarkSingleQuery measures one demand query (warm graph, cold solver),
+// the latency a client like a debugger would observe.
+func BenchmarkSingleQuery(b *testing.B) {
+	bench, _ := benchFor(b, "_209_db")
+	a, err := NewAnalyzer(bench.Program)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := a.ApplicationQueryVars()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.PointsTo(qs[i%len(qs)], EmptyContext, QueryOptions{Budget: 75000})
+	}
+}
+
+// BenchmarkSingleQueryShared is the same with a warm shared jmp store — the
+// steady state of a long-running analysis session.
+func BenchmarkSingleQueryShared(b *testing.B) {
+	bench, _ := benchFor(b, "_209_db")
+	a, err := NewAnalyzer(bench.Program)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := a.ApplicationQueryVars()
+	sh := NewSharedState()
+	for _, q := range qs { // warm the store
+		a.PointsTo(q, EmptyContext, QueryOptions{Budget: 75000, Shared: sh})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.PointsTo(qs[i%len(qs)], EmptyContext, QueryOptions{Budget: 75000, Shared: sh})
+	}
+}
+
+// BenchmarkIntraQueryAblation reproduces the Section III design argument:
+// intra-query parallel fan-out vs the sequential solver the inter-query
+// modes build on.
+func BenchmarkIntraQueryAblation(b *testing.B) {
+	bench, _ := benchFor(b, "_209_db")
+	queries := bench.Queries
+	if len(queries) > 25 {
+		queries = queries[:25]
+	}
+	b.Run("sequential-solver", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := cfl.New(bench.Lowered.Graph, cfl.Config{Budget: 75000})
+			for _, v := range queries {
+				s.PointsTo(v, EmptyContext)
+			}
+		}
+	})
+	b.Run("intra-query-x4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, v := range queries {
+				intraquery.PointsTo(bench.Lowered.Graph, v, EmptyContext, intraquery.Config{Threads: 4, Budget: 75000})
+			}
+		}
+	})
+}
+
+// BenchmarkRefinement compares the refinement-based configuration against
+// the general-purpose one for a weak client (set size check), the scenario
+// where refinement wins.
+func BenchmarkRefinement(b *testing.B) {
+	bench, _ := benchFor(b, "_209_db")
+	a, err := NewAnalyzer(bench.Program)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := a.ApplicationQueryVars()
+	if len(qs) > 40 {
+		qs = qs[:40]
+	}
+	b.Run("general-purpose", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, v := range qs {
+				a.PointsTo(v, EmptyContext, QueryOptions{Budget: 75000})
+			}
+		}
+	})
+	b.Run("refinement-weak-client", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, v := range qs {
+				a.PointsToRefined(v, EmptyContext, RefineOptions{
+					BudgetPerPass: 75000,
+					Satisfied:     func(r Result) bool { return len(r.Objects()) <= 8 },
+				})
+			}
+		}
+	})
+}

@@ -1,0 +1,41 @@
+// Command experiments regenerates the paper's tables and figures over the
+// synthetic benchmark suite. See EXPERIMENTS.md for the experiment index.
+//
+// Usage:
+//
+//	experiments -exp all
+//	experiments -exp fig6 -scale 0.01 -threads 16
+//	experiments -exp table1 -bench tomcat,_202_jess
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"parcfl/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", fmt.Sprintf("experiment to run: one of %v", experiments.Names()))
+	scale := flag.Float64("scale", 0.01, "fraction of the paper's query census to generate")
+	budget := flag.Int("budget", 75000, "per-query step budget B")
+	threads := flag.Int("threads", 16, "maximum worker count")
+	bench := flag.String("bench", "", "comma-separated benchmark names (default: all 20)")
+	flag.Parse()
+
+	opts := experiments.Options{
+		Scale:   *scale,
+		Budget:  *budget,
+		Threads: *threads,
+		Out:     os.Stdout,
+	}
+	if *bench != "" {
+		opts.Benchmarks = strings.Split(*bench, ",")
+	}
+	if err := experiments.ByName(*exp, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,124 @@
+// Command pagdump renders a program's Pointer Assignment Graph: statistics,
+// a textual edge listing, or Graphviz DOT (for paper-style figures like the
+// Fig. 2 PAG).
+//
+// Usage:
+//
+//	pagdump -src program.mj -dot > pag.dot
+//	pagdump -bench _209_db -stats
+//	pagdump -pag file.pag.json -edges | head
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parcfl/internal/frontend"
+	"parcfl/internal/javagen"
+	"parcfl/internal/mjlang"
+	"parcfl/internal/pag"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark preset name")
+	pagFile := flag.String("pag", "", "serialised PAG file")
+	srcFile := flag.String("src", "", "mini-Java source file")
+	scale := flag.Float64("scale", 0.01, "generation scale for -bench")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT")
+	edges := flag.Bool("edges", false, "emit a textual edge listing")
+	stats := flag.Bool("stats", true, "emit summary statistics")
+	flag.Parse()
+
+	var g *pag.Graph
+	switch {
+	case *bench != "":
+		pr, err := javagen.PresetByName(*bench)
+		if err != nil {
+			fail(err)
+		}
+		prg, err := javagen.Generate(pr.Params(*scale))
+		if err != nil {
+			fail(err)
+		}
+		lo, err := frontend.Lower(prg)
+		if err != nil {
+			fail(err)
+		}
+		g = lo.Graph
+	case *pagFile != "":
+		f, err := os.Open(*pagFile)
+		if err != nil {
+			fail(err)
+		}
+		g, err = pag.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	case *srcFile != "":
+		data, err := os.ReadFile(*srcFile)
+		if err != nil {
+			fail(err)
+		}
+		prg, err := mjlang.Parse(string(data))
+		if err != nil {
+			fail(fmt.Errorf("%s:%w", *srcFile, err))
+		}
+		lo, err := frontend.Lower(prg)
+		if err != nil {
+			fail(err)
+		}
+		g = lo.Graph
+	default:
+		fail(fmt.Errorf("need -bench, -pag or -src"))
+	}
+
+	switch {
+	case *dot:
+		if err := g.WriteDOT(os.Stdout); err != nil {
+			fail(err)
+		}
+	case *edges:
+		for id := 0; id < g.NumNodes(); id++ {
+			dst := pag.NodeID(id)
+			for _, he := range g.In(dst) {
+				fmt.Printf("%-24s <-%-10s- %s\n",
+					g.Node(dst).Name, edgeText(he), g.Node(he.Other).Name)
+			}
+		}
+	case *stats:
+		kinds := map[pag.NodeKind]int{}
+		for id := 0; id < g.NumNodes(); id++ {
+			kinds[g.Node(pag.NodeID(id)).Kind]++
+		}
+		edgeKinds := map[pag.EdgeKind]int{}
+		for id := 0; id < g.NumNodes(); id++ {
+			for _, he := range g.In(pag.NodeID(id)) {
+				edgeKinds[he.Kind]++
+			}
+		}
+		fmt.Printf("nodes: %d (locals %d, globals %d, objects %d)\n",
+			g.NumNodes(), kinds[pag.KindLocal], kinds[pag.KindGlobal], kinds[pag.KindObject])
+		fmt.Printf("edges: %d\n", g.NumEdges())
+		for _, k := range []pag.EdgeKind{pag.EdgeNew, pag.EdgeAssignLocal, pag.EdgeAssignGlobal, pag.EdgeLoad, pag.EdgeStore, pag.EdgeParam, pag.EdgeRet} {
+			fmt.Printf("  %-8s %d\n", k, edgeKinds[k])
+		}
+		fmt.Printf("fields: %d, call sites: %d\n", len(g.Fields()), g.NumCallSites())
+	}
+}
+
+func edgeText(he pag.HalfEdge) string {
+	switch he.Kind {
+	case pag.EdgeLoad, pag.EdgeStore:
+		return fmt.Sprintf("%s(f%d)", he.Kind, he.Label)
+	case pag.EdgeParam, pag.EdgeRet:
+		return fmt.Sprintf("%s%d", he.Kind, he.Label)
+	}
+	return he.Kind.String()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pagdump:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Command parcfl is an interactive query shell over a program: load
+// mini-Java or Go source (or a generated benchmark), then issue demand
+// queries the way an IDE or debugging client would.
+//
+//	$ parcfl -src examples/quickstart-src/vector.mj
+//	> pts main.s1
+//	> flows o@main:2
+//	> alias main.s1 main.s2
+//	> explain main.s1 o@main:2
+//	> stats
+//	> help
+//
+// Variables are named method.local (as printed by `vars`); objects by their
+// allocation-site name (as printed in query results).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parcfl/internal/frontend"
+	"parcfl/internal/gofront"
+	"parcfl/internal/javagen"
+	"parcfl/internal/mjlang"
+	"parcfl/internal/repl"
+)
+
+func main() {
+	srcFile := flag.String("src", "", "mini-Java source file (.mj)")
+	goFile := flag.String("go", "", "Go source file")
+	bench := flag.String("bench", "", "benchmark preset name")
+	scale := flag.Float64("scale", 0.005, "generation scale for -bench")
+	budget := flag.Int("budget", 75000, "per-query step budget")
+	flag.Parse()
+
+	var prg *frontend.Program
+	var err error
+	switch {
+	case *srcFile != "":
+		var data []byte
+		data, err = os.ReadFile(*srcFile)
+		if err == nil {
+			prg, err = mjlang.Parse(string(data))
+		}
+	case *goFile != "":
+		var data []byte
+		data, err = os.ReadFile(*goFile)
+		if err == nil {
+			prg, err = gofront.Parse(string(data))
+		}
+	case *bench != "":
+		var pr javagen.Preset
+		pr, err = javagen.PresetByName(*bench)
+		if err == nil {
+			prg, err = javagen.Generate(pr.Params(*scale))
+		}
+	default:
+		err = fmt.Errorf("need -src, -go or -bench")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parcfl:", err)
+		os.Exit(1)
+	}
+	lo, err := frontend.Lower(prg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parcfl:", err)
+		os.Exit(1)
+	}
+
+	sh := repl.New(lo, *budget, os.Stdout)
+	sh.Banner()
+	sh.Run(os.Stdin)
+}

@@ -1,0 +1,144 @@
+// Command pointsto runs batches of points-to queries over a benchmark —
+// either a generated preset or a serialised PAG — in any of the paper's
+// four execution strategies, and prints per-run statistics plus (optionally)
+// the largest points-to sets found.
+//
+// Usage:
+//
+//	pointsto -bench _202_jess -mode dq -threads 16
+//	pointsto -pag tomcat.pag.json -mode seq -top 5
+//	pointsto -src program.mj -mode dq
+//	pointsto -bench h2 -mode d -budget 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"parcfl/internal/engine"
+	"parcfl/internal/frontend"
+	"parcfl/internal/javagen"
+	"parcfl/internal/mjlang"
+	"parcfl/internal/pag"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark preset name (e.g. _202_jess, tomcat)")
+	pagFile := flag.String("pag", "", "serialised PAG file (from benchgen); queries all locals")
+	srcFile := flag.String("src", "", "mini-Java source file (.mj); queries all application locals")
+	scale := flag.Float64("scale", 0.01, "generation scale for -bench")
+	mode := flag.String("mode", "dq", "execution strategy: seq | naive | d | dq")
+	threads := flag.Int("threads", 16, "worker count")
+	budget := flag.Int("budget", 75000, "per-query step budget (0 = unbounded)")
+	top := flag.Int("top", 0, "print the N queries with the largest points-to sets")
+	flag.Parse()
+
+	var g *pag.Graph
+	var queries []pag.NodeID
+	var levels []int
+	switch {
+	case *bench != "":
+		pr, err := javagen.PresetByName(*bench)
+		if err != nil {
+			fail(err)
+		}
+		prg, err := javagen.Generate(pr.Params(*scale))
+		if err != nil {
+			fail(err)
+		}
+		lo, err := frontend.Lower(prg)
+		if err != nil {
+			fail(err)
+		}
+		g, queries, levels = lo.Graph, lo.AppQueryVars, lo.TypeLevels
+	case *pagFile != "":
+		f, err := os.Open(*pagFile)
+		if err != nil {
+			fail(err)
+		}
+		g, err = pag.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		for _, v := range g.Variables() {
+			if g.Node(v).Kind == pag.KindLocal {
+				queries = append(queries, v)
+			}
+		}
+	case *srcFile != "":
+		data, err := os.ReadFile(*srcFile)
+		if err != nil {
+			fail(err)
+		}
+		prg, err := mjlang.Parse(string(data))
+		if err != nil {
+			fail(fmt.Errorf("%s:%w", *srcFile, err))
+		}
+		lo, err := frontend.Lower(prg)
+		if err != nil {
+			fail(err)
+		}
+		g, queries, levels = lo.Graph, lo.AppQueryVars, lo.TypeLevels
+	default:
+		fail(fmt.Errorf("need -bench, -pag or -src"))
+	}
+
+	var m engine.Mode
+	switch strings.ToLower(*mode) {
+	case "seq":
+		m = engine.Seq
+	case "naive":
+		m = engine.Naive
+	case "d":
+		m = engine.D
+	case "dq":
+		m = engine.DQ
+	default:
+		fail(fmt.Errorf("unknown mode %q (want seq|naive|d|dq)", *mode))
+	}
+
+	res, st := engine.Run(g, queries, engine.Config{
+		Mode: m, Threads: *threads, Budget: *budget, TypeLevels: levels,
+	})
+
+	fmt.Printf("strategy:            %s x%d\n", st.Mode, st.Threads)
+	fmt.Printf("graph:               %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+	fmt.Printf("queries:             %d (completed %d, aborted %d, early-terminated %d)\n",
+		st.Queries, st.Completed, st.Aborted, st.EarlyTerminations)
+	fmt.Printf("wall time:           %v\n", st.Wall)
+	fmt.Printf("steps:               %d total, %d walked, %d saved by jmp shortcuts (R_S=%.2f)\n",
+		st.TotalSteps, st.StepsWalked(), st.StepsSaved, st.RS())
+	if m == engine.D || m == engine.DQ {
+		fmt.Printf("jmp edges:           %d finished, %d unfinished (suppressed: %d/%d)\n",
+			st.Share.FinishedAdded, st.Share.UnfinishedAdded,
+			st.Share.FinishedSuppressed, st.Share.UnfinishedSuppressed)
+	}
+	if m == engine.DQ {
+		fmt.Printf("schedule:            %d groups, avg size %.1f\n", st.NumGroups, st.AvgGroupSize)
+	}
+
+	if *top > 0 {
+		sort.Slice(res, func(i, j int) bool { return len(res[i].Objects) > len(res[j].Objects) })
+		n := *top
+		if n > len(res) {
+			n = len(res)
+		}
+		fmt.Printf("\nlargest points-to sets:\n")
+		for _, r := range res[:n] {
+			status := ""
+			if r.Aborted {
+				status = " [aborted]"
+			}
+			fmt.Printf("  %-40s |pts|=%d steps=%d%s\n", g.Node(r.Var).Name, len(r.Objects), r.Steps, status)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pointsto:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// C pointer analysis: the paper's Section V note that the parallel solution
+// "is expected to generalise to C programs as well" (via the demand-driven C
+// alias analysis of Zheng & Rugina), demonstrated end-to-end.
+//
+// The program is classic C: a helper writes through a pointer parameter,
+// called twice with different targets. The context-sensitive analysis keeps
+// the two targets separate — *p writes at call site 1 do not leak into call
+// site 2's variable.
+//
+//	void setp(void **p, void *v) { *p = v; }
+//	int main() {
+//	    void *a, *b;
+//	    void *o1 = malloc(..), *o2 = malloc(..);
+//	    setp(&a, o1);
+//	    setp(&b, o2);
+//	    void *ra = a;   // -> { o1 } only
+//	    void *rb = b;   // -> { o2 } only
+//	}
+//
+// Run with: go run ./examples/cpointers
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parcfl"
+)
+
+func main() {
+	prog := &parcfl.CProgram{
+		Funcs: []parcfl.CFunc{
+			{ // 0: setp(p, v) { *p = v }
+				Name: "setp",
+				Locals: []parcfl.CLocal{
+					{Name: "p", Struct: -1},
+					{Name: "v", Struct: -1},
+				},
+				Params: []int{0, 1}, Ret: -1,
+				Body: []parcfl.CStmt{
+					{Kind: parcfl.CStore, Base: 0, Src: 1}, // *p = v
+				},
+			},
+			{ // 1: main
+				Name: "main", Application: true, Ret: -1,
+				Locals: []parcfl.CLocal{
+					{Name: "a", Struct: -1},  // 0
+					{Name: "b", Struct: -1},  // 1
+					{Name: "pa", Struct: -1}, // 2
+					{Name: "pb", Struct: -1}, // 3
+					{Name: "o1", Struct: -1}, // 4
+					{Name: "o2", Struct: -1}, // 5
+					{Name: "ra", Struct: -1}, // 6
+					{Name: "rb", Struct: -1}, // 7
+				},
+				Body: []parcfl.CStmt{
+					{Kind: parcfl.CAddr, Dst: 2, Src: 0},                        // pa = &a
+					{Kind: parcfl.CAddr, Dst: 3, Src: 1},                        // pb = &b
+					{Kind: parcfl.CMalloc, Dst: 4},                              // o1 = malloc
+					{Kind: parcfl.CMalloc, Dst: 5},                              // o2 = malloc
+					{Kind: parcfl.CCall, Callee: 0, Args: []int{2, 4}, Dst: -1}, // setp(pa, o1)
+					{Kind: parcfl.CCall, Callee: 0, Args: []int{3, 5}, Dst: -1}, // setp(pb, o2)
+					{Kind: parcfl.CAssign, Dst: 6, Src: 0},                      // ra = a
+					{Kind: parcfl.CAssign, Dst: 7, Src: 1},                      // rb = b
+				},
+			},
+		},
+	}
+
+	a, err := parcfl.NewCAnalyzer(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PAG: %d nodes, %d edges\n\n", a.NumNodes(), a.NumEdges())
+
+	show := func(label string, f, l int) {
+		v := a.CLocalNode(f, l)
+		r := a.PointsTo(v, parcfl.EmptyContext, parcfl.QueryOptions{Budget: 75000})
+		fmt.Printf("pts(%s) = {", label)
+		for i, o := range r.Objects() {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Print(a.NodeName(o))
+		}
+		fmt.Printf("}\n")
+	}
+	show("ra", 1, 6)
+	show("rb", 1, 7)
+
+	// Alias checks a C compiler would make.
+	ra := a.CLocalNode(1, 6)
+	rb := a.CLocalNode(1, 7)
+	pa := a.CLocalNode(1, 2)
+	pb := a.CLocalNode(1, 3)
+	al1, _ := a.Alias(ra, rb, parcfl.EmptyContext, parcfl.QueryOptions{})
+	al2, _ := a.Alias(pa, pb, parcfl.EmptyContext, parcfl.QueryOptions{})
+	fmt.Printf("\nalias(ra, rb) = %v   (distinct mallocs through distinct targets)\n", al1)
+	fmt.Printf("alias(pa, pb) = %v   (&a vs &b never alias)\n", al2)
+}

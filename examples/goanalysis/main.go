@@ -1,0 +1,83 @@
+// Go code analysis: the same CFL-reachability engine pointed at Go source.
+// The program below is the paper's Fig. 2 scenario translated to Go — two
+// vectors sharing one implementation, different payloads — and the analysis
+// proves pop(v1) and pop(v2) never alias.
+//
+// Run with: go run ./examples/goanalysis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parcfl"
+)
+
+const src = `
+package main
+
+type Item struct{ tag int }
+type Vector struct{ elems []*Item }
+
+func push(v *Vector, e *Item) {
+	v.elems = append(v.elems, e)
+}
+func pop(v *Vector) *Item {
+	return v.elems[0]
+}
+func main() {
+	v1 := &Vector{elems: []*Item{}}
+	n1 := &Item{}
+	push(v1, n1)
+	s1 := pop(v1)
+
+	v2 := &Vector{elems: []*Item{}}
+	n2 := &Item{}
+	push(v2, n2)
+	s2 := pop(v2)
+	_ = s1
+	_ = s2
+}
+`
+
+func main() {
+	prog, err := parcfl.ParseGoProgram(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := parcfl.NewAnalyzer(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PAG from Go source: %d nodes, %d edges\n\n", a.NumNodes(), a.NumEdges())
+
+	mainIdx := -1
+	for i := range prog.Methods {
+		if prog.Methods[i].Name == "main" {
+			mainIdx = i
+		}
+	}
+	slot := func(name string) parcfl.NodeID {
+		for i, lv := range prog.Methods[mainIdx].Locals {
+			if lv.Name == name {
+				return a.LocalNode(mainIdx, i)
+			}
+		}
+		log.Fatalf("no local %q", name)
+		return 0
+	}
+
+	for _, name := range []string{"s1", "s2"} {
+		r := a.PointsTo(slot(name), parcfl.EmptyContext, parcfl.QueryOptions{Budget: 75000})
+		fmt.Printf("pts(%s) = {", name)
+		for i, o := range r.Objects() {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Print(a.NodeName(o))
+		}
+		fmt.Println("}")
+	}
+	al, _ := a.Alias(slot("s1"), slot("s2"), parcfl.EmptyContext, parcfl.QueryOptions{})
+	fmt.Printf("\nalias(s1, s2) = %v  (context-sensitivity separates the two vectors)\n", al)
+}

@@ -1,0 +1,3 @@
+module parcfl
+
+go 1.22

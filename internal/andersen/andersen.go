@@ -1,0 +1,207 @@
+// Package andersen implements Andersen's whole-program, inclusion-based
+// pointer analysis over a PAG: field-sensitive, context- and flow-
+// insensitive. The paper uses Andersen's analysis as the canonical
+// whole-program contrast to demand-driven CFL-reachability (Section I and
+// Table II compare against its parallel implementations); this package
+// provides it both as that baseline and as a soundness oracle for tests —
+// the context-insensitive Andersen points-to set of a variable is always a
+// superset of the CFL solver's (objects-projected) answer.
+package andersen
+
+import (
+	"parcfl/internal/pag"
+)
+
+// Result holds the computed whole-program points-to sets.
+type Result struct {
+	g       *pag.Graph
+	objs    []pag.NodeID // dense object numbering
+	pts     []bitset     // per solver node
+	numVars int
+}
+
+// PointsTo returns the allocation sites variable v may point to, in dense
+// object order.
+func (r *Result) PointsTo(v pag.NodeID) []pag.NodeID {
+	if int(v) >= r.numVars {
+		return nil
+	}
+	var out []pag.NodeID
+	r.pts[v].forEach(func(oi int) {
+		out = append(out, r.objs[oi])
+	})
+	return out
+}
+
+// PointsToSet returns v's points-to set as a membership map.
+func (r *Result) PointsToSet(v pag.NodeID) map[pag.NodeID]bool {
+	m := make(map[pag.NodeID]bool)
+	for _, o := range r.PointsTo(v) {
+		m[o] = true
+	}
+	return m
+}
+
+// Alias reports whether two variables' points-to sets intersect.
+func (r *Result) Alias(a, b pag.NodeID) bool {
+	if int(a) >= r.numVars || int(b) >= r.numVars {
+		return false
+	}
+	return r.pts[a].intersects(r.pts[b])
+}
+
+// NumObjects returns the number of allocation sites.
+func (r *Result) NumObjects() int { return len(r.objs) }
+
+type fieldKey struct {
+	obj   int // dense object index
+	field pag.FieldID
+}
+
+type access struct {
+	field pag.FieldID
+	other int // dst for loads, src for stores (solver node)
+}
+
+type analyzer struct {
+	g    *pag.Graph
+	objs []pag.NodeID
+	oidx map[pag.NodeID]int
+
+	succ   [][]int32 // inclusion (copy) edges
+	pts    []bitset
+	loads  [][]access // per node: loads with this base
+	stores [][]access // per node: stores with this base
+
+	fieldNode map[fieldKey]int
+	inW       []bool
+	w         []int
+}
+
+// Analyze runs the analysis to fixpoint over a frozen graph.
+func Analyze(g *pag.Graph) *Result {
+	if !g.Frozen() {
+		panic("andersen: unfrozen graph")
+	}
+	n := g.NumNodes()
+	a := &analyzer{
+		g:         g,
+		oidx:      make(map[pag.NodeID]int),
+		succ:      make([][]int32, n),
+		pts:       make([]bitset, n),
+		loads:     make([][]access, n),
+		stores:    make([][]access, n),
+		fieldNode: make(map[fieldKey]int),
+		inW:       make([]bool, n),
+	}
+	for id := 0; id < n; id++ {
+		if g.Node(pag.NodeID(id)).Kind == pag.KindObject {
+			a.oidx[pag.NodeID(id)] = len(a.objs)
+			a.objs = append(a.objs, pag.NodeID(id))
+		}
+	}
+
+	// Seed constraints from the PAG. All four assignment flavours (local,
+	// global, param, ret) are inclusion edges; loads and stores become
+	// deferred constraints resolved as base points-to sets grow.
+	for id := 0; id < n; id++ {
+		dst := pag.NodeID(id)
+		for _, he := range g.In(dst) {
+			switch he.Kind {
+			case pag.EdgeNew:
+				oi := a.oidx[he.Other]
+				if a.pts[id].set(oi) {
+					a.push(id)
+				}
+			case pag.EdgeAssignLocal, pag.EdgeAssignGlobal, pag.EdgeParam, pag.EdgeRet:
+				a.succ[he.Other] = append(a.succ[he.Other], int32(id))
+			case pag.EdgeLoad:
+				// dst = base.f, base = he.Other.
+				a.loads[he.Other] = append(a.loads[he.Other], access{field: pag.FieldID(he.Label), other: id})
+			case pag.EdgeStore:
+				// dst.f = src: base is dst, value is he.Other.
+				a.stores[id] = append(a.stores[id], access{field: pag.FieldID(he.Label), other: int(he.Other)})
+			}
+		}
+	}
+	// Ensure seeded nodes propagate even to already-added successors.
+	for id := 0; id < n; id++ {
+		if !a.pts[id].empty() {
+			a.push(id)
+		}
+	}
+
+	a.solve()
+
+	return &Result{g: g, objs: a.objs, pts: a.pts, numVars: n}
+}
+
+func (a *analyzer) push(n int) {
+	if n < len(a.inW) && a.inW[n] {
+		return
+	}
+	for n >= len(a.inW) {
+		a.inW = append(a.inW, false)
+	}
+	a.inW[n] = true
+	a.w = append(a.w, n)
+}
+
+// node returns the solver node for (object, field), creating it on first
+// use. Field nodes are appended after the PAG's own nodes.
+func (a *analyzer) node(oi int, f pag.FieldID) int {
+	k := fieldKey{obj: oi, field: f}
+	if id, ok := a.fieldNode[k]; ok {
+		return id
+	}
+	id := len(a.succ)
+	a.fieldNode[k] = id
+	a.succ = append(a.succ, nil)
+	a.pts = append(a.pts, bitset{})
+	a.loads = append(a.loads, nil)
+	a.stores = append(a.stores, nil)
+	a.inW = append(a.inW, false)
+	return id
+}
+
+// addEdge inserts the inclusion edge src -> dst, immediately propagating
+// src's current set.
+func (a *analyzer) addEdge(src, dst int) {
+	for _, s := range a.succ[src] {
+		if int(s) == dst {
+			return
+		}
+	}
+	a.succ[src] = append(a.succ[src], int32(dst))
+	if a.pts[dst].orChanged(a.pts[src]) {
+		a.push(dst)
+	}
+}
+
+func (a *analyzer) solve() {
+	for len(a.w) > 0 {
+		n := a.w[len(a.w)-1]
+		a.w = a.w[:len(a.w)-1]
+		a.inW[n] = false
+
+		// Resolve deferred heap constraints against the current set.
+		if n < len(a.loads) {
+			for _, ld := range a.loads[n] {
+				a.pts[n].forEach(func(oi int) {
+					a.addEdge(a.node(oi, ld.field), ld.other)
+				})
+			}
+			for _, st := range a.stores[n] {
+				a.pts[n].forEach(func(oi int) {
+					a.addEdge(st.other, a.node(oi, st.field))
+				})
+			}
+		}
+		// Propagate along inclusion edges.
+		for _, s := range a.succ[n] {
+			if a.pts[s].orChanged(a.pts[n]) {
+				a.push(int(s))
+			}
+		}
+	}
+}

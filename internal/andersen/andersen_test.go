@@ -1,0 +1,226 @@
+package andersen
+
+import (
+	"sort"
+	"testing"
+
+	"parcfl/internal/cfl"
+	"parcfl/internal/frontend"
+	"parcfl/internal/pag"
+)
+
+func TestBitset(t *testing.T) {
+	var b bitset
+	if !b.empty() {
+		t.Fatal("fresh bitset not empty")
+	}
+	if !b.set(3) || b.set(3) {
+		t.Fatal("set(3) semantics wrong")
+	}
+	if !b.set(200) {
+		t.Fatal("set(200) failed")
+	}
+	if !b.has(3) || !b.has(200) || b.has(4) || b.has(1000) {
+		t.Fatal("has wrong")
+	}
+	if b.count() != 2 {
+		t.Fatalf("count = %d", b.count())
+	}
+	var c bitset
+	c.set(64)
+	if !c.orChanged(b) {
+		t.Fatal("orChanged should report growth")
+	}
+	if c.orChanged(b) {
+		t.Fatal("second or should be a no-op")
+	}
+	if !c.intersects(b) {
+		t.Fatal("intersects false negative")
+	}
+	var d bitset
+	d.set(65)
+	if d.intersects(b) {
+		t.Fatal("intersects false positive")
+	}
+	var got []int
+	c.forEach(func(i int) { got = append(got, i) })
+	want := []int{3, 64, 200}
+	if len(got) != len(want) {
+		t.Fatalf("forEach = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("forEach = %v, want %v", got, want)
+		}
+	}
+}
+
+func sortedIDs(ns []pag.NodeID) []pag.NodeID {
+	out := append([]pag.NodeID(nil), ns...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestFig2Andersen checks the whole-program analysis on the Vector example.
+// Crucially, context-insensitive analysis CONFLATES the two vectors: s1 and
+// s2 both appear to point to o16 and o20 — the precision gap that motivates
+// the CFL-reachability formulation.
+func TestFig2Andersen(t *testing.T) {
+	f, err := frontend.BuildFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(f.Lowered.Graph)
+
+	check := func(name string, v pag.NodeID, want ...pag.NodeID) {
+		t.Helper()
+		got := sortedIDs(r.PointsTo(v))
+		w := sortedIDs(want)
+		if len(got) != len(w) {
+			t.Fatalf("%s: pts = %v, want %v", name, got, w)
+		}
+		for i := range w {
+			if got[i] != w[i] {
+				t.Fatalf("%s: pts = %v, want %v", name, got, w)
+			}
+		}
+	}
+	check("v1", f.V1, f.O15)
+	check("v2", f.V2, f.O19)
+	check("n1", f.N1, f.O16)
+	check("thisVector", f.ThisVector, f.O15, f.O19)
+	check("tget", f.TGet, f.O6)
+	// The context-insensitive conflation:
+	check("s1", f.S1, f.O16, f.O20)
+	check("s2", f.S2, f.O16, f.O20)
+	check("eadd", f.EAdd, f.O16, f.O20)
+
+	if !r.Alias(f.TAdd, f.TGet) {
+		t.Error("tadd must alias tget")
+	}
+	if r.Alias(f.N1, f.N2) {
+		t.Error("n1 must not alias n2")
+	}
+	if r.NumObjects() != 5 {
+		t.Errorf("NumObjects = %d, want 5", r.NumObjects())
+	}
+}
+
+// TestCFLSubsetOfAndersen: on Fig. 2, every demand-driven points-to set
+// (projected to objects) must be a subset of Andersen's — the CFL analysis
+// refines, never invents.
+func TestCFLSubsetOfAndersen(t *testing.T) {
+	f, err := frontend.BuildFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	and := Analyze(f.Lowered.Graph)
+	dem := cfl.New(f.Lowered.Graph, cfl.Config{})
+	for _, v := range f.Lowered.AppQueryVars {
+		res := dem.PointsTo(v, pag.EmptyContext)
+		if res.Aborted {
+			t.Fatalf("query on %s aborted without budget", f.Lowered.Graph.Node(v).Name)
+		}
+		super := and.PointsToSet(v)
+		for _, o := range res.Objects() {
+			if !super[o] {
+				t.Errorf("CFL says %s -> %s, Andersen disagrees",
+					f.Lowered.Graph.Node(v).Name, f.Lowered.Graph.Node(o).Name)
+			}
+		}
+	}
+}
+
+// TestHeapChain exercises multi-hop heap flow: a.f.g style nesting.
+func TestHeapChain(t *testing.T) {
+	g := pag.NewGraph()
+	ty := pag.TypeID(0)
+	oOuter := g.AddObject("oOuter", ty)
+	oInner := g.AddObject("oInner", ty)
+	a := g.AddLocal("a", ty, 0)
+	b := g.AddLocal("b", ty, 0)
+	inner := g.AddLocal("inner", ty, 0)
+	out := g.AddLocal("out", ty, 0)
+	tmp := g.AddLocal("tmp", ty, 0)
+	fOuter := pag.Label(1)
+	fInner := pag.Label(2)
+	// a = new Outer; inner = new Inner; a.f = inner (via store);
+	// b = a; tmp = b.f; tmp.g = inner? Keep simpler: out = tmp.
+	g.AddEdge(pag.Edge{Dst: a, Src: oOuter, Kind: pag.EdgeNew})
+	g.AddEdge(pag.Edge{Dst: inner, Src: oInner, Kind: pag.EdgeNew})
+	g.AddEdge(pag.Edge{Dst: a, Src: inner, Kind: pag.EdgeStore, Label: fOuter}) // a.f = inner
+	g.AddEdge(pag.Edge{Dst: b, Src: a, Kind: pag.EdgeAssignLocal})              // b = a
+	g.AddEdge(pag.Edge{Dst: tmp, Src: b, Kind: pag.EdgeLoad, Label: fOuter})    // tmp = b.f
+	g.AddEdge(pag.Edge{Dst: out, Src: tmp, Kind: pag.EdgeAssignLocal})          // out = tmp
+	_ = fInner
+	g.Freeze()
+
+	r := Analyze(g)
+	got := r.PointsTo(out)
+	if len(got) != 1 || got[0] != oInner {
+		t.Fatalf("out pts = %v, want [oInner]", got)
+	}
+	if pts := r.PointsTo(tmp); len(pts) != 1 || pts[0] != oInner {
+		t.Fatalf("tmp pts = %v", pts)
+	}
+}
+
+// TestStoreBeforeLoadOrderIndependence: the fixpoint must be reached no
+// matter the textual order of loads and stores.
+func TestStoreBeforeLoadOrderIndependence(t *testing.T) {
+	build := func(storeFirst bool) []pag.NodeID {
+		g := pag.NewGraph()
+		ty := pag.TypeID(0)
+		o1 := g.AddObject("o1", ty)
+		o2 := g.AddObject("o2", ty)
+		p := g.AddLocal("p", ty, 0)
+		q := g.AddLocal("q", ty, 0)
+		y := g.AddLocal("y", ty, 0)
+		x := g.AddLocal("x", ty, 0)
+		f := pag.Label(1)
+		edges := []pag.Edge{
+			{Dst: p, Src: o1, Kind: pag.EdgeNew},
+			{Dst: q, Src: p, Kind: pag.EdgeAssignLocal},
+			{Dst: y, Src: o2, Kind: pag.EdgeNew},
+		}
+		st := pag.Edge{Dst: q, Src: y, Kind: pag.EdgeStore, Label: f}
+		ld := pag.Edge{Dst: x, Src: p, Kind: pag.EdgeLoad, Label: f}
+		if storeFirst {
+			edges = append(edges, st, ld)
+		} else {
+			edges = append(edges, ld, st)
+		}
+		for _, e := range edges {
+			g.AddEdge(e)
+		}
+		g.Freeze()
+		return Analyze(g).PointsTo(x)
+	}
+	a := build(true)
+	b := build(false)
+	if len(a) != 1 || len(b) != 1 || a[0] != b[0] {
+		t.Fatalf("order dependence: %v vs %v", a, b)
+	}
+}
+
+func TestUnfrozenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Analyze on unfrozen graph did not panic")
+		}
+	}()
+	Analyze(pag.NewGraph())
+}
+
+func TestPointsToUnknownNode(t *testing.T) {
+	g := pag.NewGraph()
+	g.AddLocal("a", 0, 0)
+	g.Freeze()
+	r := Analyze(g)
+	if got := r.PointsTo(pag.NodeID(99)); got != nil {
+		t.Fatalf("PointsTo(out of range) = %v", got)
+	}
+	if r.Alias(99, 0) {
+		t.Fatal("Alias out of range = true")
+	}
+}

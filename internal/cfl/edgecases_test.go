@@ -1,0 +1,203 @@
+package cfl
+
+import (
+	"testing"
+
+	"parcfl/internal/frontend"
+	"parcfl/internal/pag"
+)
+
+// lowerOrDie lowers a hand-written program.
+func lowerOrDie(t *testing.T, p *frontend.Program) *frontend.Lowered {
+	t.Helper()
+	lo, err := frontend.Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lo
+}
+
+// TestLinkedListCycle: the classic recursive alias cycle p = p.next. The
+// printed Algorithm 1 would recurse forever; the query-local fixpoint must
+// terminate and find both the head and the tail node objects.
+func TestLinkedListCycle(t *testing.T) {
+	obj := pag.TypeID(0)
+	node := pag.TypeID(1)
+	fNext := pag.FieldID(1)
+	p := &frontend.Program{
+		Types: []frontend.Type{
+			{Name: "Object", Ref: true},
+			{Name: "Node", Ref: true, Fields: []frontend.Field{{Name: "next", ID: fNext, Type: node}}},
+		},
+		Methods: []frontend.Method{{
+			Name: "walk",
+			Locals: []frontend.LocalVar{
+				{Name: "head", Type: node}, // 0
+				{Name: "tail", Type: node}, // 1
+				{Name: "p", Type: node},    // 2
+			},
+			Ret: -1, Application: true,
+			Body: []frontend.Stmt{
+				{Kind: frontend.StAlloc, Dst: frontend.Local(0), Type: node},                            // head = new Node (oHead)
+				{Kind: frontend.StAlloc, Dst: frontend.Local(1), Type: node},                            // tail = new Node (oTail)
+				{Kind: frontend.StStore, Base: frontend.Local(0), Field: fNext, Src: frontend.Local(1)}, // head.next = tail
+				{Kind: frontend.StStore, Base: frontend.Local(1), Field: fNext, Src: frontend.Local(1)}, // tail.next = tail (cycle)
+				{Kind: frontend.StAssign, Dst: frontend.Local(2), Src: frontend.Local(0)},               // p = head
+				{Kind: frontend.StLoad, Dst: frontend.Local(2), Base: frontend.Local(2), Field: fNext},  // p = p.next (loop)
+			},
+		}},
+	}
+	_ = obj
+	lo := lowerOrDie(t, p)
+	s := New(lo.Graph, Config{})
+	pVar := lo.LocalNode[0][2]
+	r := s.PointsTo(pVar, pag.EmptyContext)
+	if r.Aborted {
+		t.Fatal("unbudgeted query aborted")
+	}
+	objs := map[pag.NodeID]bool{}
+	for _, o := range r.Objects() {
+		objs[o] = true
+	}
+	oHead := lo.ObjectNode[0][0]
+	oTail := lo.ObjectNode[0][1]
+	if !objs[oHead] || !objs[oTail] {
+		t.Fatalf("p should reach both list nodes; got %v (head=%d tail=%d)", r.Objects(), oHead, oTail)
+	}
+}
+
+// TestGlobalClearsContext: traversing an assigng edge clears the context, so
+// values read from a global are visible regardless of calling context, and
+// flows through globals never match call-site parentheses spuriously.
+func TestGlobalClearsContext(t *testing.T) {
+	obj := pag.TypeID(0)
+	p := &frontend.Program{
+		Types:   []frontend.Type{{Name: "Object", Ref: true}},
+		Globals: []frontend.GlobalVar{{Name: "G", Type: obj}},
+		Methods: []frontend.Method{
+			{ // 0: producer() { a = new; G = a }
+				Name:   "producer",
+				Locals: []frontend.LocalVar{{Name: "a", Type: obj}},
+				Ret:    -1, Application: true,
+				Body: []frontend.Stmt{
+					{Kind: frontend.StAlloc, Dst: frontend.Local(0), Type: obj},
+					{Kind: frontend.StAssign, Dst: frontend.Global(0), Src: frontend.Local(0)},
+				},
+			},
+			{ // 1: consumer() Object { b = G; return b }
+				Name:   "consumer",
+				Locals: []frontend.LocalVar{{Name: "b", Type: obj}},
+				Ret:    0, Application: true,
+				Body: []frontend.Stmt{
+					{Kind: frontend.StAssign, Dst: frontend.Local(0), Src: frontend.Global(0)},
+				},
+			},
+			{ // 2: main { x = consumer(); y = consumer(); }
+				Name:   "main",
+				Locals: []frontend.LocalVar{{Name: "x", Type: obj}, {Name: "y", Type: obj}},
+				Ret:    -1, Application: true,
+				Body: []frontend.Stmt{
+					{Kind: frontend.StCall, Callee: 1, Dst: frontend.Local(0)},
+					{Kind: frontend.StCall, Callee: 1, Dst: frontend.Local(1)},
+				},
+			},
+		},
+	}
+	lo := lowerOrDie(t, p)
+	s := New(lo.Graph, Config{})
+	oA := lo.ObjectNode[0][0]
+	for _, v := range []pag.NodeID{lo.LocalNode[2][0], lo.LocalNode[2][1]} {
+		r := s.PointsTo(v, pag.EmptyContext)
+		if got := r.Objects(); len(got) != 1 || got[0] != oA {
+			t.Fatalf("%s: pts = %v, want [%d]", lo.Graph.Node(v).Name, got, oA)
+		}
+	}
+	// Forward: the object flows to both call results.
+	fl := s.FlowsTo(oA, pag.EmptyContext)
+	found := map[pag.NodeID]bool{}
+	for _, nc := range fl.PointsTo {
+		found[nc.Node] = true
+	}
+	for _, v := range []pag.NodeID{lo.GlobalNode[0], lo.LocalNode[1][0], lo.LocalNode[2][0], lo.LocalNode[2][1]} {
+		if !found[v] {
+			t.Fatalf("object should flow to %s", lo.Graph.Node(v).Name)
+		}
+	}
+}
+
+// TestParamMismatchFiltersFlows: a value entering a callee from call site A
+// must not exit toward call site B (the R_CS matching).
+func TestParamMismatchFiltersFlows(t *testing.T) {
+	obj := pag.TypeID(0)
+	p := &frontend.Program{
+		Types: []frontend.Type{{Name: "Object", Ref: true}},
+		Methods: []frontend.Method{
+			{ // 0: id(x) { return x }
+				Name:   "id",
+				Locals: []frontend.LocalVar{{Name: "x", Type: obj}},
+				Params: []int{0}, Ret: 0, Application: true,
+				Body: []frontend.Stmt{},
+			},
+			{ // 1: main { a = new; b = new; ra = id(a); rb = id(b) }
+				Name: "main",
+				Locals: []frontend.LocalVar{
+					{Name: "a", Type: obj}, {Name: "b", Type: obj},
+					{Name: "ra", Type: obj}, {Name: "rb", Type: obj},
+				},
+				Ret: -1, Application: true,
+				Body: []frontend.Stmt{
+					{Kind: frontend.StAlloc, Dst: frontend.Local(0), Type: obj},
+					{Kind: frontend.StAlloc, Dst: frontend.Local(1), Type: obj},
+					{Kind: frontend.StCall, Callee: 0, Args: []frontend.VarRef{frontend.Local(0)}, Dst: frontend.Local(2)},
+					{Kind: frontend.StCall, Callee: 0, Args: []frontend.VarRef{frontend.Local(1)}, Dst: frontend.Local(3)},
+				},
+			},
+		},
+	}
+	lo := lowerOrDie(t, p)
+	s := New(lo.Graph, Config{})
+	oA := lo.ObjectNode[1][0]
+	oB := lo.ObjectNode[1][1]
+	ra := lo.LocalNode[1][2]
+	rb := lo.LocalNode[1][3]
+	gotA := s.PointsTo(ra, pag.EmptyContext).Objects()
+	gotB := s.PointsTo(rb, pag.EmptyContext).Objects()
+	if len(gotA) != 1 || gotA[0] != oA {
+		t.Fatalf("ra pts = %v, want [oA]", gotA)
+	}
+	if len(gotB) != 1 || gotB[0] != oB {
+		t.Fatalf("rb pts = %v, want [oB]", gotB)
+	}
+	// The id formal itself conflates both, of course.
+	formal := s.PointsTo(lo.LocalNode[0][0], pag.EmptyContext).Objects()
+	if len(formal) != 2 {
+		t.Fatalf("id.x pts = %v, want both objects", formal)
+	}
+}
+
+// TestEmptyResultQueries: variables with no incoming flow return empty sets
+// quickly, not errors.
+func TestEmptyResultQueries(t *testing.T) {
+	obj := pag.TypeID(0)
+	p := &frontend.Program{
+		Types: []frontend.Type{{Name: "Object", Ref: true}},
+		Methods: []frontend.Method{{
+			Name:   "m",
+			Locals: []frontend.LocalVar{{Name: "dead", Type: obj}},
+			Ret:    -1, Application: true,
+			Body: []frontend.Stmt{{Kind: frontend.StAlloc, Dst: frontend.Local(0), Type: obj}},
+		}},
+	}
+	lo := lowerOrDie(t, p)
+	s := New(lo.Graph, Config{Budget: 10})
+	// A fresh local with only an allocation: one object.
+	r := s.PointsTo(lo.LocalNode[0][0], pag.EmptyContext)
+	if r.Aborted || len(r.Objects()) != 1 {
+		t.Fatalf("r = %+v", r)
+	}
+	// FlowsTo of the object reaches only that local.
+	fl := s.FlowsTo(lo.ObjectNode[0][0], pag.EmptyContext)
+	if fl.Aborted || len(fl.PointsTo) != 1 {
+		t.Fatalf("fl = %+v", fl)
+	}
+}

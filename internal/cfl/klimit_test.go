@@ -1,0 +1,114 @@
+package cfl
+
+import (
+	"testing"
+
+	"parcfl/internal/frontend"
+	"parcfl/internal/pag"
+	"parcfl/internal/randprog"
+)
+
+func TestPushK(t *testing.T) {
+	c := pag.EmptyContext
+	for i := 1; i <= 5; i++ {
+		c = c.PushK(pag.CallSiteID(i), 3)
+	}
+	sites := c.Sites()
+	if len(sites) != 3 || sites[0] != 3 || sites[1] != 4 || sites[2] != 5 {
+		t.Fatalf("k-limited sites = %v, want [3 4 5]", sites)
+	}
+	// k <= 0 is unlimited.
+	u := pag.EmptyContext
+	for i := 1; i <= 5; i++ {
+		u = u.PushK(pag.CallSiteID(i), 0)
+	}
+	if u.Depth() != 5 {
+		t.Fatalf("unlimited depth = %d", u.Depth())
+	}
+}
+
+// TestKLimitOverApproximates: for every k, the k-limited answer contains
+// the exact answer; for k at least the program's call depth, they are equal.
+func TestKLimitOverApproximates(t *testing.T) {
+	for seed := int64(900); seed < 930; seed++ {
+		p := randprog.Generate(seed, randprog.DefaultLimits())
+		lo, err := frontend.Lower(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := New(lo.Graph, Config{})
+		for _, k := range []int{1, 2, 64} {
+			lim := New(lo.Graph, Config{ContextK: k})
+			for _, v := range lo.AppQueryVars {
+				want := exact.PointsTo(v, pag.EmptyContext).Objects()
+				gotSet := map[pag.NodeID]bool{}
+				for _, o := range lim.PointsTo(v, pag.EmptyContext).Objects() {
+					gotSet[o] = true
+				}
+				for _, o := range want {
+					if !gotSet[o] {
+						t.Fatalf("seed %d k=%d: lost %s -> %s", seed, k,
+							lo.Graph.Node(v).Name, lo.Graph.Node(o).Name)
+					}
+				}
+				if k == 64 && len(gotSet) != len(want) {
+					t.Fatalf("seed %d: k=64 differs from exact (%d vs %d)", seed, len(gotSet), len(want))
+				}
+			}
+		}
+	}
+}
+
+// TestKLimitCanLosePrecision: Fig. 2 with k=0-equivalent context strings —
+// with k=1 the param/ret matching for s1/s2 needs two frames, so precision
+// may drop; with k=2 the example is fully precise.
+func TestKLimitPrecisionOnFig2(t *testing.T) {
+	f, err := frontend.BuildFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=2 suffices for the deepest derivation in the example.
+	s2 := New(f.Lowered.Graph, Config{ContextK: 2})
+	got := s2.PointsTo(f.S1, pag.EmptyContext).Objects()
+	if len(got) != 1 || got[0] != f.O16 {
+		t.Fatalf("k=2 pts(s1) = %v, want exactly [o16]", got)
+	}
+}
+
+// TestKLimitTerminatesOnUncollapsedRecursion: a PAG with a recursive
+// param/ret cycle (built directly, bypassing the frontend's recursion
+// collapsing) does not terminate with unlimited contexts unless budgeted;
+// with a finite k it must terminate unbudgeted and stay sound.
+func TestKLimitTerminatesOnUncollapsedRecursion(t *testing.T) {
+	g := pag.NewGraph()
+	o := g.AddObject("o", 0)
+	a := g.AddLocal("a", 0, 0) // caller local
+	x := g.AddLocal("x", 0, 1) // recursive formal
+	r := g.AddLocal("r", 0, 1) // recursive return
+	res := g.AddLocal("res", 0, 0)
+	g.AddEdge(pag.Edge{Dst: a, Src: o, Kind: pag.EdgeNew})
+	// Call f(a) at site 1: x <-param1- a; res <-ret1- r.
+	g.AddEdge(pag.Edge{Dst: x, Src: a, Kind: pag.EdgeParam, Label: 1})
+	g.AddEdge(pag.Edge{Dst: res, Src: r, Kind: pag.EdgeRet, Label: 1})
+	// Inside f: recursive call f(x) at site 2 (NOT collapsed):
+	// x <-param2- x; r <-ret2- r; plus r = x.
+	g.AddEdge(pag.Edge{Dst: x, Src: x, Kind: pag.EdgeParam, Label: 2})
+	g.AddEdge(pag.Edge{Dst: r, Src: r, Kind: pag.EdgeRet, Label: 2})
+	g.AddEdge(pag.Edge{Dst: r, Src: x, Kind: pag.EdgeAssignLocal})
+	g.Freeze()
+
+	s := New(g, Config{ContextK: 2})
+	resPts := s.PointsTo(res, pag.EmptyContext)
+	if resPts.Aborted {
+		t.Fatal("k-limited query aborted without budget")
+	}
+	found := false
+	for _, got := range resPts.Objects() {
+		if got == o {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("res must reach o through the recursion: %v", resPts.Objects())
+	}
+}

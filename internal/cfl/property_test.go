@@ -1,0 +1,178 @@
+package cfl
+
+import (
+	"testing"
+
+	"parcfl/internal/andersen"
+	"parcfl/internal/frontend"
+	"parcfl/internal/pag"
+	"parcfl/internal/randprog"
+	"parcfl/internal/share"
+)
+
+// lowerRandom generates and lowers a random program; generation is total, so
+// any failure is a bug.
+func lowerRandom(t *testing.T, seed int64) *frontend.Lowered {
+	t.Helper()
+	p := randprog.Generate(seed, randprog.DefaultLimits())
+	lo, err := frontend.Lower(p)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return lo
+}
+
+const propertySeeds = 60
+
+// TestPropertySoundnessVsAndersen: on random programs, every unbudgeted
+// demand answer (projected to objects) is a subset of Andersen's
+// whole-program, context-insensitive answer.
+func TestPropertySoundnessVsAndersen(t *testing.T) {
+	for seed := int64(0); seed < propertySeeds; seed++ {
+		lo := lowerRandom(t, seed)
+		and := andersen.Analyze(lo.Graph)
+		s := New(lo.Graph, Config{})
+		for _, v := range lo.AppQueryVars {
+			r := s.PointsTo(v, pag.EmptyContext)
+			if r.Aborted {
+				t.Fatalf("seed %d: unbudgeted query aborted", seed)
+			}
+			super := and.PointsToSet(v)
+			for _, o := range r.Objects() {
+				if !super[o] {
+					t.Fatalf("seed %d: CFL %s -> %s not in Andersen set",
+						seed, lo.Graph.Node(v).Name, lo.Graph.Node(o).Name)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyFlowsToInverse: with empty query contexts (which permit
+// partially balanced paths in both directions), o ∈ pts(v) iff v ∈ fls(o).
+func TestPropertyFlowsToInverse(t *testing.T) {
+	for seed := int64(0); seed < propertySeeds; seed++ {
+		lo := lowerRandom(t, seed)
+		s := New(lo.Graph, Config{})
+
+		// Forward index: object -> reached variables.
+		fls := map[pag.NodeID]map[pag.NodeID]bool{}
+		for _, o := range lo.Graph.Objects() {
+			r := s.FlowsTo(o, pag.EmptyContext)
+			set := map[pag.NodeID]bool{}
+			for _, nc := range r.PointsTo {
+				set[nc.Node] = true
+			}
+			fls[o] = set
+		}
+		for _, v := range lo.Graph.Variables() {
+			r := s.PointsTo(v, pag.EmptyContext)
+			ptsSet := map[pag.NodeID]bool{}
+			for _, oc := range r.PointsTo {
+				ptsSet[oc.Node] = true
+			}
+			for _, o := range lo.Graph.Objects() {
+				if ptsSet[o] != fls[o][v] {
+					t.Fatalf("seed %d: inverse mismatch: pts(%s)∋%s = %v but fls∋ = %v",
+						seed, lo.Graph.Node(v).Name, lo.Graph.Node(o).Name, ptsSet[o], fls[o][v])
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyBudgetMonotone: for the deterministic sequential solver, a
+// query that completes within budget B returns the same answer with any
+// larger budget, and a smaller budget yields a subset (prefix of the same
+// traversal).
+func TestPropertyBudgetMonotone(t *testing.T) {
+	for seed := int64(0); seed < propertySeeds/2; seed++ {
+		lo := lowerRandom(t, seed)
+		full := New(lo.Graph, Config{})
+		for _, v := range lo.AppQueryVars {
+			rFull := full.PointsTo(v, pag.EmptyContext)
+			fullSet := map[pag.NodeCtx]bool{}
+			for _, nc := range rFull.PointsTo {
+				fullSet[nc] = true
+			}
+			for _, b := range []int{1, 10, rFull.Steps, rFull.Steps * 2} {
+				if b <= 0 {
+					continue
+				}
+				s := New(lo.Graph, Config{Budget: b})
+				r := s.PointsTo(v, pag.EmptyContext)
+				for _, nc := range r.PointsTo {
+					if !fullSet[nc] {
+						t.Fatalf("seed %d budget %d: spurious fact %v", seed, b, nc)
+					}
+				}
+				if b >= rFull.Steps && (r.Aborted || len(r.PointsTo) != len(rFull.PointsTo)) {
+					t.Fatalf("seed %d: budget %d >= full steps %d but aborted=%v size %d vs %d",
+						seed, b, rFull.Steps, r.Aborted, len(r.PointsTo), len(rFull.PointsTo))
+				}
+			}
+		}
+	}
+}
+
+// TestPropertySharingPreservesResults: running the whole batch with a shared
+// store (sequentially, unbudgeted) yields exactly the unshared answers, in
+// any repetition.
+func TestPropertySharingPreservesResults(t *testing.T) {
+	for seed := int64(0); seed < propertySeeds; seed++ {
+		lo := lowerRandom(t, seed)
+		plain := New(lo.Graph, Config{})
+		st := share.NewStore(share.Config{TauF: 1, TauU: 1, Shards: 4})
+		shared := New(lo.Graph, Config{Share: st})
+		for pass := 0; pass < 2; pass++ {
+			for _, v := range lo.AppQueryVars {
+				a := plain.PointsTo(v, pag.EmptyContext)
+				b := shared.PointsTo(v, pag.EmptyContext)
+				if len(a.PointsTo) != len(b.PointsTo) {
+					t.Fatalf("seed %d pass %d: %s: %d vs %d facts",
+						seed, pass, lo.Graph.Node(v).Name, len(a.PointsTo), len(b.PointsTo))
+				}
+				am := map[pag.NodeCtx]bool{}
+				for _, nc := range a.PointsTo {
+					am[nc] = true
+				}
+				for _, nc := range b.PointsTo {
+					if !am[nc] {
+						t.Fatalf("seed %d pass %d: %s: spurious %v under sharing",
+							seed, pass, lo.Graph.Node(v).Name, nc)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyContextRefinement: a query under a specific calling context
+// returns a subset of the empty-context (all-contexts) answer, projected to
+// objects.
+func TestPropertyContextRefinement(t *testing.T) {
+	for seed := int64(0); seed < propertySeeds/2; seed++ {
+		lo := lowerRandom(t, seed)
+		s := New(lo.Graph, Config{})
+		for _, v := range lo.AppQueryVars {
+			all := map[pag.NodeID]bool{}
+			for _, o := range s.PointsTo(v, pag.EmptyContext).Objects() {
+				all[o] = true
+			}
+			// Use each incoming ret-edge call site of the variable's
+			// method as a plausible context.
+			for _, he := range lo.Graph.In(v) {
+				if he.Kind != pag.EdgeParam {
+					continue
+				}
+				ctx := pag.EmptyContext.Push(pag.CallSiteID(he.Label))
+				for _, o := range s.PointsTo(v, ctx).Objects() {
+					if !all[o] {
+						t.Fatalf("seed %d: context-specific answer for %s not in all-context answer",
+							seed, lo.Graph.Node(v).Name)
+					}
+				}
+			}
+		}
+	}
+}

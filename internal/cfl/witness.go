@@ -1,0 +1,109 @@
+package cfl
+
+import (
+	"fmt"
+
+	"parcfl/internal/pag"
+)
+
+// WitnessStep is one hop of a points-to explanation: the (node, context)
+// visited and the edge that led there from the previous step.
+type WitnessStep struct {
+	Node pag.NodeID
+	Ctx  pag.Context
+	// Edge describes how this step was reached from the previous one:
+	// "query" for the root, an edge-kind name ("assignl", "param(3)",
+	// "ret(7)", "assigng"), "heap" for an alias-expansion hop, or "new"
+	// for the final allocation edge.
+	Edge string
+}
+
+// String renders a step like "main.s1[] <-ret(18)-".
+func (w WitnessStep) String() string {
+	return fmt.Sprintf("%d%s <-%s-", w.Node, w.Ctx, w.Edge)
+}
+
+// parentInfo records the first discovered predecessor of a traversal item.
+type parentInfo struct {
+	from  pag.NodeCtx
+	label string
+}
+
+// Explain answers "why does variable v (under ctx) point to obj?" with a
+// chain of traversal steps from the query variable to the allocation site.
+// Heap hops (matching a load against an aliased store) are summarised as a
+// single "heap" step; the sub-derivation of the alias itself can be explored
+// by further Explain calls on the base variables. Returns ok=false if v does
+// not point to obj (or the query ran out of budget first).
+//
+// Explanations are a standard demand-analysis client need (the paper's
+// debugging use case): a points-to fact without a path is hard to act on.
+func (s *Solver) Explain(v pag.NodeID, ctx pag.Context, obj pag.NodeID) ([]WitnessStep, bool) {
+	q := newQuery(s)
+	q.wit = true
+
+	aborted := false
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, isAbort := r.(budgetAbort); !isAbort {
+					panic(r)
+				}
+				aborted = true
+			}
+		}()
+		q.run(compKey{kind: kindPts, node: v, ctx: ctx})
+		q.drainDirty()
+	}()
+	root, ok := q.comps[compKey{kind: kindPts, node: v, ctx: ctx}]
+	if !ok {
+		return nil, false
+	}
+
+	// Find a fact for obj and the item that produced it.
+	var factItem pag.NodeCtx
+	found := false
+	for fact, item := range root.objSrc {
+		if fact.Node == obj {
+			factItem = item
+			found = true
+			break
+		}
+	}
+	if !found {
+		_ = aborted
+		return nil, false
+	}
+
+	// Walk parents from the producing item back to the query root.
+	var rev []WitnessStep
+	cur := factItem
+	for {
+		info, has := root.parent[cur]
+		if !has {
+			rev = append(rev, WitnessStep{Node: cur.Node, Ctx: cur.Ctx, Edge: "query"})
+			break
+		}
+		rev = append(rev, WitnessStep{Node: cur.Node, Ctx: cur.Ctx, Edge: info.label})
+		cur = info.from
+	}
+	// Reverse into query-to-object order and append the allocation hop.
+	steps := make([]WitnessStep, 0, len(rev)+1)
+	for i := len(rev) - 1; i >= 0; i-- {
+		steps = append(steps, rev[i])
+	}
+	steps = append(steps, WitnessStep{Node: obj, Ctx: ctx, Edge: "new"})
+	return steps, true
+}
+
+// edgeLabel renders an edge kind with its call-site for param/ret.
+func edgeLabel(k pag.EdgeKind, label pag.Label) string {
+	switch k {
+	case pag.EdgeParam:
+		return fmt.Sprintf("param(%d)", label)
+	case pag.EdgeRet:
+		return fmt.Sprintf("ret(%d)", label)
+	default:
+		return k.String()
+	}
+}

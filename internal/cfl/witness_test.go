@@ -1,0 +1,118 @@
+package cfl
+
+import (
+	"strings"
+	"testing"
+
+	"parcfl/internal/frontend"
+	"parcfl/internal/pag"
+	"parcfl/internal/randprog"
+)
+
+func TestExplainFig2(t *testing.T) {
+	f := fig2(t)
+	s := New(f.Lowered.Graph, Config{})
+
+	steps, ok := s.Explain(f.S1, pag.EmptyContext, f.O16)
+	if !ok {
+		t.Fatal("no witness for s1 -> o16")
+	}
+	if steps[0].Node != f.S1 || steps[0].Edge != "query" {
+		t.Fatalf("witness must start at the query: %v", steps)
+	}
+	last := steps[len(steps)-1]
+	if last.Node != f.O16 || last.Edge != "new" {
+		t.Fatalf("witness must end at the allocation: %v", steps)
+	}
+	// The s1 derivation goes through ret(18)-style and heap hops.
+	var sawRet, sawHeap bool
+	for _, st := range steps {
+		if strings.HasPrefix(st.Edge, "ret(") {
+			sawRet = true
+		}
+		if st.Edge == "heap" {
+			sawHeap = true
+		}
+	}
+	if !sawRet || !sawHeap {
+		t.Fatalf("expected ret and heap hops in %v", steps)
+	}
+	// Consecutive steps must be connected (each node is the parent's
+	// discovered successor — spot check: no duplicate consecutive nodes
+	// with the same context).
+	for i := 1; i < len(steps); i++ {
+		if steps[i].Node == steps[i-1].Node && steps[i].Ctx == steps[i-1].Ctx {
+			t.Fatalf("witness stutters at %d: %v", i, steps)
+		}
+	}
+}
+
+func TestExplainNegative(t *testing.T) {
+	f := fig2(t)
+	s := New(f.Lowered.Graph, Config{})
+	// s1 does not point to o20: no witness.
+	if _, ok := s.Explain(f.S1, pag.EmptyContext, f.O20); ok {
+		t.Fatal("witness produced for a non-fact")
+	}
+	// Unknown object.
+	if _, ok := s.Explain(f.S1, pag.EmptyContext, f.V2); ok {
+		t.Fatal("witness produced for a variable target")
+	}
+}
+
+func TestExplainDirectAllocation(t *testing.T) {
+	f := fig2(t)
+	s := New(f.Lowered.Graph, Config{})
+	steps, ok := s.Explain(f.V1, pag.EmptyContext, f.O15)
+	if !ok {
+		t.Fatal("no witness for v1 -> o15")
+	}
+	// v1 = new Vector: two steps (query, new).
+	if len(steps) != 2 {
+		t.Fatalf("witness = %v, want [query, new]", steps)
+	}
+}
+
+// TestExplainMatchesQuery: on random programs, every object in the query
+// answer has a witness, and no witness exists for objects outside it.
+func TestExplainMatchesQuery(t *testing.T) {
+	for seed := int64(500); seed < 520; seed++ {
+		p := randprog.Generate(seed, randprog.DefaultLimits())
+		lo, err := frontend.Lower(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := New(lo.Graph, Config{})
+		for _, v := range lo.AppQueryVars {
+			r := s.PointsTo(v, pag.EmptyContext)
+			in := map[pag.NodeID]bool{}
+			for _, o := range r.Objects() {
+				in[o] = true
+				steps, ok := s.Explain(v, pag.EmptyContext, o)
+				if !ok {
+					t.Fatalf("seed %d: no witness for %s -> %s",
+						seed, lo.Graph.Node(v).Name, lo.Graph.Node(o).Name)
+				}
+				if steps[0].Node != v || steps[len(steps)-1].Node != o {
+					t.Fatalf("seed %d: malformed witness %v", seed, steps)
+				}
+			}
+			for _, o := range lo.Graph.Objects() {
+				if in[o] {
+					continue
+				}
+				if _, ok := s.Explain(v, pag.EmptyContext, o); ok {
+					t.Fatalf("seed %d: spurious witness for %s -> %s",
+						seed, lo.Graph.Node(v).Name, lo.Graph.Node(o).Name)
+				}
+			}
+		}
+	}
+}
+
+func TestWitnessStepString(t *testing.T) {
+	w := WitnessStep{Node: 7, Ctx: pag.EmptyContext.Push(3), Edge: "assignl"}
+	if got := w.String(); !strings.Contains(got, "assignl") || !strings.Contains(got, "7") {
+		t.Fatalf("String = %q", got)
+	}
+}

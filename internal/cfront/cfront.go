@@ -1,0 +1,375 @@
+// Package cfront is a C-language frontend for the analysis, reproducing the
+// paper's claim (Section V-B) that the parallel CFL-reachability solution
+// "is expected to generalise to C programs as well", following the
+// demand-driven C alias analysis of Zheng & Rugina (POPL'08) that the paper
+// builds on for C.
+//
+// C pointers are lowered onto the same PAG the Java analysis uses:
+//
+//   - every address-taken variable x gets a *location object* Loc(x) and a
+//     constant pointer &x to it; reads and writes of x become loads/stores
+//     of the collapsed `deref` pseudo-field on &x;
+//   - x = &y     becomes an assignment from the constant pointer &y;
+//   - x = *p     becomes a load  x  = p.deref;
+//   - *p = y     becomes a store p.deref = y;
+//   - x = p->f   and p->f = y use struct fields, exactly like Java fields;
+//   - x = malloc becomes an allocation site;
+//   - calls are direct (C has no virtual dispatch), so param/ret matching
+//     carries context-sensitivity exactly as for Java.
+//
+// The lowering targets the frontend IR, so recursion collapsing, type
+// levels, scheduling, sharing — the entire pipeline — apply unchanged.
+package cfront
+
+import (
+	"fmt"
+
+	"parcfl/internal/frontend"
+	"parcfl/internal/pag"
+)
+
+// DerefField is the collapsed pseudo-field used for pointer dereference.
+// It is distinct from every struct field the translator allocates.
+const DerefField = pag.ArrField // reuse field 0: C programs have no Java arrays
+
+// Struct declares a C struct type with pointer-typed fields.
+type Struct struct {
+	Name   string
+	Fields []string // field names; all fields are pointer-sized
+}
+
+// Local is a local variable (or parameter) of a function.
+type Local struct {
+	Name string
+	// Struct, if >= 0, is the index of the struct this variable points
+	// to (for p->f accesses); -1 for plain pointers/values.
+	Struct int
+}
+
+// StmtKind discriminates C statements.
+type StmtKind uint8
+
+const (
+	// CAssign is x = y.
+	CAssign StmtKind = iota
+	// CAddr is x = &y (y becomes address-taken).
+	CAddr
+	// CLoad is x = *p.
+	CLoad
+	// CStore is *p = y.
+	CStore
+	// CFieldLoad is x = p->f.
+	CFieldLoad
+	// CFieldStore is p->f = y.
+	CFieldStore
+	// CMalloc is x = malloc(...) — a fresh allocation site.
+	CMalloc
+	// CCall is x = f(args...) or f(args...).
+	CCall
+)
+
+// Stmt is one C statement. Operands index the enclosing function's Locals.
+type Stmt struct {
+	Kind  StmtKind
+	Dst   int    // CAssign/CAddr/CLoad/CFieldLoad/CMalloc/CCall (-1 = discard)
+	Src   int    // CAssign/CAddr(src=&y's y)/CStore value/CFieldStore value
+	Base  int    // CLoad/CStore pointer, CFieldLoad/CFieldStore base
+	Field string // CFieldLoad/CFieldStore
+	// Callee/Args for CCall.
+	Callee int
+	Args   []int
+}
+
+// Func is a C function.
+type Func struct {
+	Name   string
+	Locals []Local
+	Params []int // local slots receiving arguments
+	Ret    int   // local slot returned, or -1
+	Body   []Stmt
+	// Application marks functions whose locals are queried in batch.
+	Application bool
+}
+
+// Program is a whole C translation unit (calls pre-resolved, as in the
+// paper's PAG construction).
+type Program struct {
+	Structs []Struct
+	Funcs   []Func
+}
+
+// Translate lowers the C program onto the mini-Java frontend IR (and thence
+// the PAG). The returned Translation maps C entities to frontend slots.
+type Translation struct {
+	IR *frontend.Program
+	// LocalSlot[f][l] is the frontend local slot of C local l in func f.
+	LocalSlot [][]int
+	// AddrSlot[f][l] is the slot of the synthetic &l pointer, or -1 if l
+	// is not address-taken.
+	AddrSlot [][]int
+	// FieldID maps "Struct.field" to the PAG field.
+	FieldID map[string]pag.FieldID
+}
+
+// Translate validates and lowers prog.
+func Translate(prog *Program) (*Translation, error) {
+	tr := &Translation{
+		IR:      &frontend.Program{},
+		FieldID: map[string]pag.FieldID{},
+	}
+
+	// Types: 0 = "ptr" (the generic pointer/value type), 1 = "loc" (the
+	// location-object type with the deref field), then one per struct.
+	const tPtr, tLoc = pag.TypeID(0), pag.TypeID(1)
+	tr.IR.Types = append(tr.IR.Types,
+		frontend.Type{Name: "ptr", Ref: true},
+		frontend.Type{Name: "loc", Ref: true, Fields: []frontend.Field{
+			{Name: "deref", ID: DerefField, Type: tPtr},
+		}},
+	)
+	nextField := pag.FieldID(1)
+	structType := make([]pag.TypeID, len(prog.Structs))
+	for si, st := range prog.Structs {
+		tid := pag.TypeID(len(tr.IR.Types))
+		ty := frontend.Type{Name: st.Name, Ref: true}
+		for _, fn := range st.Fields {
+			key := st.Name + "." + fn
+			if _, dup := tr.FieldID[key]; dup {
+				return nil, fmt.Errorf("cfront: struct %s: duplicate field %s", st.Name, fn)
+			}
+			tr.FieldID[key] = nextField
+			ty.Fields = append(ty.Fields, frontend.Field{Name: fn, ID: nextField, Type: tPtr})
+			nextField++
+		}
+		tr.IR.Types = append(tr.IR.Types, ty)
+		structType[si] = tid
+	}
+
+	// Determine address-taken locals.
+	addrTaken := make([][]bool, len(prog.Funcs))
+	for fi := range prog.Funcs {
+		f := &prog.Funcs[fi]
+		addrTaken[fi] = make([]bool, len(f.Locals))
+		for _, s := range f.Body {
+			if s.Kind == CAddr {
+				if s.Src < 0 || s.Src >= len(f.Locals) {
+					return nil, fmt.Errorf("cfront: %s: &x of unknown local %d", f.Name, s.Src)
+				}
+				addrTaken[fi][s.Src] = true
+			}
+		}
+	}
+
+	// Build function skeletons: real locals, then synthetic &x pointers.
+	tr.LocalSlot = make([][]int, len(prog.Funcs))
+	tr.AddrSlot = make([][]int, len(prog.Funcs))
+	for fi := range prog.Funcs {
+		f := &prog.Funcs[fi]
+		m := frontend.Method{Name: f.Name, Ret: -1, Application: f.Application}
+		tr.LocalSlot[fi] = make([]int, len(f.Locals))
+		tr.AddrSlot[fi] = make([]int, len(f.Locals))
+		for li, l := range f.Locals {
+			t := tPtr
+			if l.Struct >= 0 {
+				if l.Struct >= len(prog.Structs) {
+					return nil, fmt.Errorf("cfront: %s: local %s has unknown struct %d", f.Name, l.Name, l.Struct)
+				}
+				t = structType[l.Struct]
+			}
+			tr.LocalSlot[fi][li] = len(m.Locals)
+			m.Locals = append(m.Locals, frontend.LocalVar{Name: l.Name, Type: t})
+			tr.AddrSlot[fi][li] = -1
+		}
+		for li := range f.Locals {
+			if addrTaken[fi][li] {
+				tr.AddrSlot[fi][li] = len(m.Locals)
+				m.Locals = append(m.Locals, frontend.LocalVar{Name: "&" + f.Locals[li].Name, Type: tLoc})
+			}
+		}
+		for _, p := range f.Params {
+			if p < 0 || p >= len(f.Locals) {
+				return nil, fmt.Errorf("cfront: %s: bad param slot %d", f.Name, p)
+			}
+			m.Params = append(m.Params, tr.LocalSlot[fi][p])
+		}
+		if f.Ret >= 0 {
+			if f.Ret >= len(f.Locals) {
+				return nil, fmt.Errorf("cfront: %s: bad ret slot %d", f.Name, f.Ret)
+			}
+			m.Ret = tr.LocalSlot[fi][f.Ret]
+		}
+		tr.IR.Methods = append(tr.IR.Methods, m)
+	}
+
+	// Lower bodies.
+	for fi := range prog.Funcs {
+		f := &prog.Funcs[fi]
+		m := &tr.IR.Methods[fi]
+		emit := func(s frontend.Stmt) { m.Body = append(m.Body, s) }
+		local := func(l int) frontend.VarRef { return frontend.Local(tr.LocalSlot[fi][l]) }
+
+		// Materialise the location objects of address-taken locals once,
+		// at function entry (like C allocas). Address-taken parameters
+		// additionally spill their incoming value into the location
+		// object, since param edges write the direct slot.
+		isParam := make(map[int]bool, len(f.Params))
+		for _, p := range f.Params {
+			isParam[p] = true
+		}
+		for li := range f.Locals {
+			if slot := tr.AddrSlot[fi][li]; slot >= 0 {
+				emit(frontend.Stmt{Kind: frontend.StAlloc, Dst: frontend.Local(slot), Type: tLoc})
+				if isParam[li] {
+					emit(frontend.Stmt{Kind: frontend.StStore, Base: frontend.Local(slot), Field: DerefField, Src: local(li)})
+				}
+			}
+		}
+
+		// readVar/writeVar route address-taken variables through their
+		// location object so direct accesses and *p accesses agree.
+		readVar := func(l int) frontend.VarRef {
+			if slot := tr.AddrSlot[fi][l]; slot >= 0 {
+				tmp := len(m.Locals)
+				m.Locals = append(m.Locals, frontend.LocalVar{Name: fmt.Sprintf("$r%d", len(m.Locals)), Type: tPtr})
+				emit(frontend.Stmt{Kind: frontend.StLoad, Dst: frontend.Local(tmp), Base: frontend.Local(slot), Field: DerefField})
+				return frontend.Local(tmp)
+			}
+			return local(l)
+		}
+		writeVar := func(l int, src frontend.VarRef) {
+			if slot := tr.AddrSlot[fi][l]; slot >= 0 {
+				emit(frontend.Stmt{Kind: frontend.StStore, Base: frontend.Local(slot), Field: DerefField, Src: src})
+				// Also refresh the direct slot: it is what ret edges
+				// and param edges read.
+				emit(frontend.Stmt{Kind: frontend.StAssign, Dst: local(l), Src: src})
+				return
+			}
+			if src.Global || src.Index != tr.LocalSlot[fi][l] {
+				emit(frontend.Stmt{Kind: frontend.StAssign, Dst: local(l), Src: src})
+			}
+		}
+		// assignInto lowers "dst = <ref>" honouring address-taken dsts.
+		checkLocal := func(l int, what string) error {
+			if l < 0 || l >= len(f.Locals) {
+				return fmt.Errorf("cfront: %s: %s references unknown local %d", f.Name, what, l)
+			}
+			return nil
+		}
+
+		for si, s := range f.Body {
+			what := fmt.Sprintf("stmt %d", si)
+			switch s.Kind {
+			case CAssign:
+				if err := firstErr(checkLocal(s.Dst, what), checkLocal(s.Src, what)); err != nil {
+					return nil, err
+				}
+				writeVar(s.Dst, readVar(s.Src))
+			case CAddr:
+				if err := firstErr(checkLocal(s.Dst, what), checkLocal(s.Src, what)); err != nil {
+					return nil, err
+				}
+				// x = &y: copy the constant pointer.
+				writeVar(s.Dst, frontend.Local(tr.AddrSlot[fi][s.Src]))
+			case CLoad:
+				if err := firstErr(checkLocal(s.Dst, what), checkLocal(s.Base, what)); err != nil {
+					return nil, err
+				}
+				p := readVar(s.Base)
+				tmp := len(m.Locals)
+				m.Locals = append(m.Locals, frontend.LocalVar{Name: fmt.Sprintf("$d%d", tmp), Type: tPtr})
+				emit(frontend.Stmt{Kind: frontend.StLoad, Dst: frontend.Local(tmp), Base: p, Field: DerefField})
+				writeVar(s.Dst, frontend.Local(tmp))
+			case CStore:
+				if err := firstErr(checkLocal(s.Base, what), checkLocal(s.Src, what)); err != nil {
+					return nil, err
+				}
+				emit(frontend.Stmt{Kind: frontend.StStore, Base: readVar(s.Base), Field: DerefField, Src: readVar(s.Src)})
+			case CFieldLoad, CFieldStore:
+				base := s.Base
+				if err := checkLocal(base, what); err != nil {
+					return nil, err
+				}
+				st := f.Locals[base].Struct
+				if st < 0 {
+					return nil, fmt.Errorf("cfront: %s: %s: field access on non-struct pointer %s", f.Name, what, f.Locals[base].Name)
+				}
+				fid, ok := tr.FieldID[prog.Structs[st].Name+"."+s.Field]
+				if !ok {
+					return nil, fmt.Errorf("cfront: %s: %s: struct %s has no field %s", f.Name, what, prog.Structs[st].Name, s.Field)
+				}
+				if s.Kind == CFieldLoad {
+					if err := checkLocal(s.Dst, what); err != nil {
+						return nil, err
+					}
+					tmp := len(m.Locals)
+					m.Locals = append(m.Locals, frontend.LocalVar{Name: fmt.Sprintf("$f%d", tmp), Type: tPtr})
+					emit(frontend.Stmt{Kind: frontend.StLoad, Dst: frontend.Local(tmp), Base: readVar(base), Field: fid})
+					writeVar(s.Dst, frontend.Local(tmp))
+				} else {
+					if err := checkLocal(s.Src, what); err != nil {
+						return nil, err
+					}
+					emit(frontend.Stmt{Kind: frontend.StStore, Base: readVar(base), Field: fid, Src: readVar(s.Src)})
+				}
+			case CMalloc:
+				if err := checkLocal(s.Dst, what); err != nil {
+					return nil, err
+				}
+				t := tPtr
+				if st := f.Locals[s.Dst].Struct; st >= 0 {
+					t = structType[st]
+				}
+				tmp := len(m.Locals)
+				m.Locals = append(m.Locals, frontend.LocalVar{Name: fmt.Sprintf("$m%d", tmp), Type: t})
+				emit(frontend.Stmt{Kind: frontend.StAlloc, Dst: frontend.Local(tmp), Type: t})
+				writeVar(s.Dst, frontend.Local(tmp))
+			case CCall:
+				if s.Callee < 0 || s.Callee >= len(prog.Funcs) {
+					return nil, fmt.Errorf("cfront: %s: %s: unknown callee %d", f.Name, what, s.Callee)
+				}
+				callee := &prog.Funcs[s.Callee]
+				if len(s.Args) != len(callee.Params) {
+					return nil, fmt.Errorf("cfront: %s: %s: %d args for %d params of %s",
+						f.Name, what, len(s.Args), len(callee.Params), callee.Name)
+				}
+				var args []frontend.VarRef
+				for _, a := range s.Args {
+					if err := checkLocal(a, what); err != nil {
+						return nil, err
+					}
+					args = append(args, readVar(a))
+				}
+				if s.Dst >= 0 {
+					if err := checkLocal(s.Dst, what); err != nil {
+						return nil, err
+					}
+					if callee.Ret < 0 {
+						return nil, fmt.Errorf("cfront: %s: %s: callee %s returns nothing", f.Name, what, callee.Name)
+					}
+					tmp := len(m.Locals)
+					m.Locals = append(m.Locals, frontend.LocalVar{Name: fmt.Sprintf("$c%d", tmp), Type: tPtr})
+					emit(frontend.Stmt{Kind: frontend.StCall, Callee: s.Callee, Args: args, Dst: frontend.Local(tmp)})
+					writeVar(s.Dst, frontend.Local(tmp))
+				} else {
+					emit(frontend.Stmt{Kind: frontend.StCall, Callee: s.Callee, Args: args, Dst: frontend.NoVar})
+				}
+			default:
+				return nil, fmt.Errorf("cfront: %s: %s: unknown statement kind %d", f.Name, what, s.Kind)
+			}
+		}
+	}
+
+	if err := tr.IR.Validate(); err != nil {
+		return nil, fmt.Errorf("cfront: internal lowering error: %w", err)
+	}
+	return tr, nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

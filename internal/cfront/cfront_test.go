@@ -1,0 +1,277 @@
+package cfront
+
+import (
+	"testing"
+
+	"parcfl/internal/andersen"
+	"parcfl/internal/cfl"
+	"parcfl/internal/frontend"
+	"parcfl/internal/pag"
+)
+
+func analyze(t *testing.T, prog *Program) (*Translation, *frontend.Lowered, *cfl.Solver) {
+	t.Helper()
+	tr, err := Translate(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := frontend.Lower(tr.IR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, lo, cfl.New(lo.Graph, cfl.Config{})
+}
+
+// readOf returns the points-to objects of C local l of function f, going
+// through the location object when l is address-taken (as C reads do).
+func readOf(t *testing.T, tr *Translation, lo *frontend.Lowered, s *cfl.Solver, f, l int) []pag.NodeID {
+	t.Helper()
+	slot := tr.LocalSlot[f][l]
+	if a := tr.AddrSlot[f][l]; a >= 0 {
+		// Find the $r temp? Simpler: query the location object's deref
+		// by asking what the address pointer's pointee field holds —
+		// use a direct query on the direct slot, which writeVar keeps
+		// fresh for direct writes, but *p writes bypass it. For tests
+		// we query through a synthetic read emitted by the translator
+		// when one exists; otherwise fall back to the direct slot.
+		_ = a
+	}
+	r := s.PointsTo(lo.LocalNode[f][slot], pag.EmptyContext)
+	if r.Aborted {
+		t.Fatal("query aborted")
+	}
+	return r.Objects()
+}
+
+// TestAddrDeref: p = &x; v = malloc; *p = v; w = x — w must see v's
+// allocation site.
+func TestAddrDeref(t *testing.T) {
+	prog := &Program{
+		Funcs: []Func{{
+			Name: "main", Application: true, Ret: -1,
+			Locals: []Local{
+				{Name: "x", Struct: -1}, // 0, address-taken
+				{Name: "p", Struct: -1}, // 1
+				{Name: "v", Struct: -1}, // 2
+				{Name: "w", Struct: -1}, // 3
+			},
+			Body: []Stmt{
+				{Kind: CAddr, Dst: 1, Src: 0},   // p = &x
+				{Kind: CMalloc, Dst: 2},         // v = malloc
+				{Kind: CStore, Base: 1, Src: 2}, // *p = v
+				{Kind: CAssign, Dst: 3, Src: 0}, // w = x
+			},
+		}},
+	}
+	tr, lo, s := analyze(t, prog)
+	w := lo.LocalNode[0][tr.LocalSlot[0][3]]
+	r := s.PointsTo(w, pag.EmptyContext)
+	objs := r.Objects()
+	if len(objs) != 1 {
+		t.Fatalf("w pts = %v, want exactly the malloc site", namesOf(lo, objs))
+	}
+	if lo.Graph.Node(objs[0]).Name == "" {
+		t.Fatal("unnamed object")
+	}
+}
+
+// TestContextSensitiveStores: a helper writing through a pointer parameter
+// must not conflate the two callers' targets.
+func TestContextSensitiveStores(t *testing.T) {
+	prog := &Program{
+		Funcs: []Func{
+			{ // 0: setp(p, v) { *p = v }
+				Name: "setp",
+				Locals: []Local{
+					{Name: "p", Struct: -1},
+					{Name: "v", Struct: -1},
+				},
+				Params: []int{0, 1}, Ret: -1,
+				Body: []Stmt{{Kind: CStore, Base: 0, Src: 1}},
+			},
+			{ // 1: main
+				Name: "main", Application: true, Ret: -1,
+				Locals: []Local{
+					{Name: "a", Struct: -1},  // 0, addr-taken
+					{Name: "b", Struct: -1},  // 1, addr-taken
+					{Name: "pa", Struct: -1}, // 2
+					{Name: "pb", Struct: -1}, // 3
+					{Name: "o1", Struct: -1}, // 4
+					{Name: "o2", Struct: -1}, // 5
+					{Name: "ra", Struct: -1}, // 6
+					{Name: "rb", Struct: -1}, // 7
+				},
+				Body: []Stmt{
+					{Kind: CAddr, Dst: 2, Src: 0},                        // pa = &a
+					{Kind: CAddr, Dst: 3, Src: 1},                        // pb = &b
+					{Kind: CMalloc, Dst: 4},                              // o1 = malloc
+					{Kind: CMalloc, Dst: 5},                              // o2 = malloc
+					{Kind: CCall, Callee: 0, Args: []int{2, 4}, Dst: -1}, // setp(pa, o1)
+					{Kind: CCall, Callee: 0, Args: []int{3, 5}, Dst: -1}, // setp(pb, o2)
+					{Kind: CAssign, Dst: 6, Src: 0},                      // ra = a
+					{Kind: CAssign, Dst: 7, Src: 1},                      // rb = b
+				},
+			},
+		},
+	}
+	tr, lo, s := analyze(t, prog)
+	main := 1
+	ra := lo.LocalNode[main][tr.LocalSlot[main][6]]
+	rb := lo.LocalNode[main][tr.LocalSlot[main][7]]
+	// Identify the malloc objects: allocation order within main's lowered
+	// body — find objects whose names mention main.
+	rA := s.PointsTo(ra, pag.EmptyContext)
+	rB := s.PointsTo(rb, pag.EmptyContext)
+	oA, oB := rA.Objects(), rB.Objects()
+	if len(oA) != 1 || len(oB) != 1 {
+		t.Fatalf("ra pts = %v, rb pts = %v; want singletons (context-sensitive)",
+			namesOf(lo, oA), namesOf(lo, oB))
+	}
+	if oA[0] == oB[0] {
+		t.Fatal("ra and rb conflated — context sensitivity lost through C pointers")
+	}
+}
+
+// TestStructFields: linked-list style p->next traversal.
+func TestStructFields(t *testing.T) {
+	prog := &Program{
+		Structs: []Struct{{Name: "node", Fields: []string{"next", "val"}}},
+		Funcs: []Func{{
+			Name: "main", Application: true, Ret: -1,
+			Locals: []Local{
+				{Name: "n1", Struct: 0}, // 0
+				{Name: "n2", Struct: 0}, // 1
+				{Name: "v", Struct: -1}, // 2
+				{Name: "q", Struct: 0},  // 3
+				{Name: "w", Struct: -1}, // 4
+			},
+			Body: []Stmt{
+				{Kind: CMalloc, Dst: 0},                             // n1 = malloc
+				{Kind: CMalloc, Dst: 1},                             // n2 = malloc
+				{Kind: CMalloc, Dst: 2},                             // v = malloc
+				{Kind: CFieldStore, Base: 0, Field: "next", Src: 1}, // n1->next = n2
+				{Kind: CFieldStore, Base: 1, Field: "val", Src: 2},  // n2->val = v
+				{Kind: CFieldLoad, Dst: 3, Base: 0, Field: "next"},  // q = n1->next
+				{Kind: CFieldLoad, Dst: 4, Base: 3, Field: "val"},   // w = q->val
+			},
+		}},
+	}
+	tr, lo, s := analyze(t, prog)
+	w := lo.LocalNode[0][tr.LocalSlot[0][4]]
+	r := s.PointsTo(w, pag.EmptyContext)
+	objs := r.Objects()
+	if len(objs) != 1 {
+		t.Fatalf("w pts = %v, want only v's malloc", namesOf(lo, objs))
+	}
+	// Field sensitivity: q must be n2 only, and q->next (absent) empty.
+	q := lo.LocalNode[0][tr.LocalSlot[0][3]]
+	if got := s.PointsTo(q, pag.EmptyContext).Objects(); len(got) != 1 {
+		t.Fatalf("q pts = %v", namesOf(lo, got))
+	}
+}
+
+// TestReturnsThroughPointers: ret slots of address-taken locals stay fresh.
+func TestReturnsThroughPointers(t *testing.T) {
+	prog := &Program{
+		Funcs: []Func{
+			{ // 0: mk() { r = malloc; p = &r; *p = malloc2? keep simple: r addr-taken via p, return r }
+				Name: "mk",
+				Locals: []Local{
+					{Name: "r", Struct: -1}, // 0, addr-taken
+					{Name: "p", Struct: -1}, // 1
+					{Name: "v", Struct: -1}, // 2
+				},
+				Ret: 0,
+				Body: []Stmt{
+					{Kind: CAddr, Dst: 1, Src: 0},   // p = &r
+					{Kind: CMalloc, Dst: 2},         // v = malloc
+					{Kind: CStore, Base: 1, Src: 2}, // *p = v  (writes r!)
+					{Kind: CAssign, Dst: 0, Src: 0}, // r = r (refresh direct slot from loc)
+				},
+			},
+			{ // 1: main { x = mk() }
+				Name: "main", Application: true, Ret: -1,
+				Locals: []Local{{Name: "x", Struct: -1}},
+				Body: []Stmt{
+					{Kind: CCall, Callee: 0, Args: nil, Dst: 0},
+				},
+			},
+		},
+	}
+	tr, lo, s := analyze(t, prog)
+	x := lo.LocalNode[1][tr.LocalSlot[1][0]]
+	r := s.PointsTo(x, pag.EmptyContext)
+	if len(r.Objects()) == 0 {
+		t.Fatalf("x pts empty; *p write lost on return path")
+	}
+}
+
+// TestSoundVsAndersen: the C lowering preserves the subset relation against
+// Andersen on the lowered graph.
+func TestSoundVsAndersen(t *testing.T) {
+	prog := &Program{
+		Structs: []Struct{{Name: "s", Fields: []string{"f"}}},
+		Funcs: []Func{{
+			Name: "main", Application: true, Ret: -1,
+			Locals: []Local{
+				{Name: "a", Struct: 0}, {Name: "b", Struct: 0},
+				{Name: "p", Struct: -1}, {Name: "q", Struct: 0}, {Name: "r", Struct: -1},
+			},
+			Body: []Stmt{
+				{Kind: CMalloc, Dst: 0},
+				{Kind: CMalloc, Dst: 1},
+				{Kind: CAddr, Dst: 2, Src: 0},
+				{Kind: CLoad, Dst: 3, Base: 2},
+				{Kind: CFieldStore, Base: 0, Field: "f", Src: 1},
+				{Kind: CFieldLoad, Dst: 4, Base: 3, Field: "f"},
+			},
+		}},
+	}
+	tr, lo, s := analyze(t, prog)
+	and := andersen.Analyze(lo.Graph)
+	for li := range prog.Funcs[0].Locals {
+		v := lo.LocalNode[0][tr.LocalSlot[0][li]]
+		super := and.PointsToSet(v)
+		for _, o := range s.PointsTo(v, pag.EmptyContext).Objects() {
+			if !super[o] {
+				t.Fatalf("local %d: CFL fact %v not in Andersen", li, o)
+			}
+		}
+	}
+}
+
+// TestTranslateErrors exercises validation.
+func TestTranslateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		prog *Program
+	}{
+		{"bad addr src", &Program{Funcs: []Func{{Name: "f", Ret: -1, Locals: []Local{{Name: "x", Struct: -1}}, Body: []Stmt{{Kind: CAddr, Dst: 0, Src: 9}}}}}},
+		{"bad struct idx", &Program{Funcs: []Func{{Name: "f", Ret: -1, Locals: []Local{{Name: "x", Struct: 3}}}}}},
+		{"field on non-struct", &Program{Funcs: []Func{{Name: "f", Ret: -1, Locals: []Local{{Name: "x", Struct: -1}}, Body: []Stmt{{Kind: CFieldLoad, Dst: 0, Base: 0, Field: "g"}}}}}},
+		{"unknown field", &Program{Structs: []Struct{{Name: "s", Fields: []string{"f"}}}, Funcs: []Func{{Name: "f", Ret: -1, Locals: []Local{{Name: "x", Struct: 0}}, Body: []Stmt{{Kind: CFieldLoad, Dst: 0, Base: 0, Field: "g"}}}}}},
+		{"unknown callee", &Program{Funcs: []Func{{Name: "f", Ret: -1, Locals: []Local{{Name: "x", Struct: -1}}, Body: []Stmt{{Kind: CCall, Callee: 5, Dst: -1}}}}}},
+		{"arity", &Program{Funcs: []Func{
+			{Name: "g", Ret: -1, Locals: []Local{{Name: "a", Struct: -1}}, Params: []int{0}},
+			{Name: "f", Ret: -1, Locals: []Local{{Name: "x", Struct: -1}}, Body: []Stmt{{Kind: CCall, Callee: 0, Dst: -1}}},
+		}}},
+		{"void result", &Program{Funcs: []Func{
+			{Name: "g", Ret: -1},
+			{Name: "f", Ret: -1, Locals: []Local{{Name: "x", Struct: -1}}, Body: []Stmt{{Kind: CCall, Callee: 0, Dst: 0}}},
+		}}},
+		{"dup field", &Program{Structs: []Struct{{Name: "s", Fields: []string{"f", "f"}}}}},
+	}
+	for _, c := range cases {
+		if _, err := Translate(c.prog); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func namesOf(lo *frontend.Lowered, ids []pag.NodeID) []string {
+	var out []string
+	for _, id := range ids {
+		out = append(out, lo.Graph.Node(id).Name)
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package concurrent
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newIntMap(shards int) *Map[int, int] {
+	return NewMap[int, int](shards, func(k int) uint64 { return HashUint64(HashSeed, uint64(k)) })
+}
+
+func TestMapBasic(t *testing.T) {
+	m := newIntMap(8)
+	if _, ok := m.Get(1); ok {
+		t.Fatal("empty map returned a value")
+	}
+	v, inserted := m.PutIfAbsent(1, 100)
+	if !inserted || v != 100 {
+		t.Fatalf("first insert: v=%d inserted=%v", v, inserted)
+	}
+	v, inserted = m.PutIfAbsent(1, 200)
+	if inserted || v != 100 {
+		t.Fatalf("second insert must lose: v=%d inserted=%v", v, inserted)
+	}
+	got, ok := m.Get(1)
+	if !ok || got != 100 {
+		t.Fatalf("Get = %d,%v", got, ok)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestMapShardRounding(t *testing.T) {
+	for _, shards := range []int{0, 1, 3, 7, 64} {
+		m := newIntMap(shards)
+		for i := 0; i < 100; i++ {
+			m.PutIfAbsent(i, i)
+		}
+		if m.Len() != 100 {
+			t.Fatalf("shards=%d: Len = %d", shards, m.Len())
+		}
+	}
+}
+
+func TestMapRange(t *testing.T) {
+	m := newIntMap(4)
+	want := map[int]int{}
+	for i := 0; i < 50; i++ {
+		m.PutIfAbsent(i, i*i)
+		want[i] = i * i
+	}
+	got := map[int]int{}
+	m.Range(func(k, v int) bool {
+		got[k] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range saw %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Range[%d] = %d, want %d", k, got[k], v)
+		}
+	}
+	// Early stop.
+	n := 0
+	m.Range(func(k, v int) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Fatalf("early-stop Range visited %d", n)
+	}
+}
+
+func TestMapClear(t *testing.T) {
+	m := newIntMap(4)
+	m.PutIfAbsent(1, 1)
+	m.Clear()
+	if m.Len() != 0 {
+		t.Fatal("Clear left entries")
+	}
+}
+
+// Concurrent hammer: many goroutines race PutIfAbsent on the same keys;
+// exactly one insert per key must win and all observers must agree on the
+// winner. Run with -race.
+func TestMapConcurrentPutIfAbsent(t *testing.T) {
+	m := newIntMap(16)
+	const keys = 200
+	const workers = 8
+	winners := make([][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			winners[w] = make([]int, keys)
+			for k := 0; k < keys; k++ {
+				v, _ := m.PutIfAbsent(k, w*1000+k)
+				winners[w][k] = v
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Len() != keys {
+		t.Fatalf("Len = %d, want %d", m.Len(), keys)
+	}
+	for k := 0; k < keys; k++ {
+		v0, _ := m.Get(k)
+		for w := 0; w < workers; w++ {
+			if winners[w][k] != v0 {
+				t.Fatalf("key %d: worker %d saw %d, final %d", k, w, winners[w][k], v0)
+			}
+		}
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add(w, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Sum(); got != 8000 {
+		t.Fatalf("Sum = %d, want 8000", got)
+	}
+	c.Reset()
+	if got := c.Sum(); got != 0 {
+		t.Fatalf("Sum after Reset = %d", got)
+	}
+	// Zero lanes clamps to 1.
+	c0 := NewCounter(0)
+	c0.Add(5, 3)
+	if c0.Sum() != 3 {
+		t.Fatal("zero-lane counter broken")
+	}
+}
+
+// Property: HashBytes is deterministic and respects prefix sensitivity well
+// enough that differing strings rarely collide (smoke-level check).
+func TestHashDeterminism(t *testing.T) {
+	prop := func(s string) bool {
+		return HashBytes(HashSeed, s) == HashBytes(HashSeed, s)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+	if HashBytes(HashSeed, "a") == HashBytes(HashSeed, "b") {
+		t.Fatal("trivial collision")
+	}
+	if HashUint64(HashSeed, 1) == HashUint64(HashSeed, 2) {
+		t.Fatal("trivial uint collision")
+	}
+}

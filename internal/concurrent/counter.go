@@ -1,0 +1,45 @@
+package concurrent
+
+import "sync/atomic"
+
+// Counter is a sharded monotone counter for hot-path statistics. Each
+// goroutine should add through its own lane (by worker index) to avoid
+// cache-line ping-pong; Sum folds the lanes.
+type Counter struct {
+	lanes []paddedInt64
+}
+
+type paddedInt64 struct {
+	v int64
+	_ [56]byte
+}
+
+// NewCounter creates a counter with the given number of lanes (minimum 1).
+func NewCounter(lanes int) *Counter {
+	if lanes < 1 {
+		lanes = 1
+	}
+	return &Counter{lanes: make([]paddedInt64, lanes)}
+}
+
+// Add adds delta through lane. Lane indexes wrap, so any non-negative worker
+// index is safe.
+func (c *Counter) Add(lane int, delta int64) {
+	atomic.AddInt64(&c.lanes[lane%len(c.lanes)].v, delta)
+}
+
+// Sum returns the total across lanes.
+func (c *Counter) Sum() int64 {
+	var t int64
+	for i := range c.lanes {
+		t += atomic.LoadInt64(&c.lanes[i].v)
+	}
+	return t
+}
+
+// Reset zeroes all lanes.
+func (c *Counter) Reset() {
+	for i := range c.lanes {
+		atomic.StoreInt64(&c.lanes[i].v, 0)
+	}
+}

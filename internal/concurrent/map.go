@@ -1,0 +1,155 @@
+// Package concurrent provides the small set of concurrency utilities the
+// parallel analysis needs: a lock-striped hash map standing in for the
+// java.util.concurrent.ConcurrentHashMap the paper uses to manage jmp edges
+// (Section IV-A), and cheap sharded counters for statistics.
+package concurrent
+
+import "sync"
+
+// Map is a lock-striped concurrent hash map with put-if-absent semantics.
+// Striping bounds contention: each key hashes to one of the shards, and all
+// operations on that key take only that shard's lock.
+type Map[K comparable, V any] struct {
+	shards []mapShard[K, V]
+	mask   uint64
+	hash   func(K) uint64
+}
+
+type mapShard[K comparable, V any] struct {
+	mu sync.RWMutex
+	m  map[K]V
+	_  [40]byte // pad to reduce false sharing between adjacent shards
+}
+
+// NewMap creates a map with the given shard count (rounded up to a power of
+// two, minimum 1) and hash function.
+func NewMap[K comparable, V any](shards int, hash func(K) uint64) *Map[K, V] {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	m := &Map[K, V]{
+		shards: make([]mapShard[K, V], n),
+		mask:   uint64(n - 1),
+		hash:   hash,
+	}
+	for i := range m.shards {
+		m.shards[i].m = make(map[K]V)
+	}
+	return m
+}
+
+func (m *Map[K, V]) shard(k K) *mapShard[K, V] {
+	return &m.shards[m.hash(k)&m.mask]
+}
+
+// Get returns the value stored for k, if any.
+func (m *Map[K, V]) Get(k K) (V, bool) {
+	s := m.shard(k)
+	s.mu.RLock()
+	v, ok := s.m[k]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+// PutIfAbsent stores v for k unless k already has a value. It returns the
+// value now associated with k and whether this call inserted it. This is the
+// only write primitive, mirroring the paper's insertion discipline: when two
+// threads race to record jmp edges for the same (node, context) key, exactly
+// one wins and the other's work is discarded.
+func (m *Map[K, V]) PutIfAbsent(k K, v V) (V, bool) {
+	s := m.shard(k)
+	s.mu.Lock()
+	if old, ok := s.m[k]; ok {
+		s.mu.Unlock()
+		return old, false
+	}
+	s.m[k] = v
+	s.mu.Unlock()
+	return v, true
+}
+
+// Replace swaps the value stored for k from old to new, compare-and-swap
+// style: it succeeds only if k currently maps to old (compared with ==, so
+// pointer values compare by identity). Returns whether the swap happened.
+func (m *Map[K, V]) Replace(k K, old, new V) bool {
+	s := m.shard(k)
+	s.mu.Lock()
+	cur, ok := s.m[k]
+	if !ok || any(cur) != any(old) {
+		s.mu.Unlock()
+		return false
+	}
+	s.m[k] = new
+	s.mu.Unlock()
+	return true
+}
+
+// Len returns the total number of entries. It takes each shard lock in turn,
+// so the result is only a consistent snapshot when writers are quiescent.
+func (m *Map[K, V]) Len() int {
+	n := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Range calls f for every entry until f returns false. Entries written
+// concurrently with the iteration may or may not be observed. The callback
+// must not call back into the same Map shard (it runs under the shard lock).
+func (m *Map[K, V]) Range(f func(K, V) bool) {
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.RLock()
+		for k, v := range s.m {
+			if !f(k, v) {
+				s.mu.RUnlock()
+				return
+			}
+		}
+		s.mu.RUnlock()
+	}
+}
+
+// Clear removes all entries.
+func (m *Map[K, V]) Clear() {
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		s.m = make(map[K]V)
+		s.mu.Unlock()
+	}
+}
+
+// FNV-1a constants for the hash helpers.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// HashBytes is FNV-1a over a byte string, seeded with h (pass HashSeed for a
+// fresh hash).
+func HashBytes(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// HashUint64 folds v into h, FNV-1a style, one byte at a time.
+func HashUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// HashSeed is the initial value for the hash helpers.
+const HashSeed = uint64(fnvOffset)

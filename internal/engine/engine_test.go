@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"sort"
+	"testing"
+
+	"parcfl/internal/frontend"
+	"parcfl/internal/javagen"
+	"parcfl/internal/pag"
+)
+
+func genBench(t *testing.T) *frontend.Lowered {
+	t.Helper()
+	prg, err := javagen.Generate(javagen.Params{
+		Name: "enginetest", Seed: 11, Containers: 3, CallDepth: 3,
+		PayloadClasses: 4, PayloadFieldDepth: 3, AppMethods: 12, OpsPerApp: 12,
+		Globals: 3, AppCallFanout: 1, HubFields: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := frontend.Lower(prg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lo
+}
+
+// resultMap indexes batch results by variable; completed queries only.
+func resultMap(rs []QueryResult) map[pag.NodeID][]pag.NodeID {
+	m := make(map[pag.NodeID][]pag.NodeID, len(rs))
+	for _, r := range rs {
+		if r.Aborted {
+			continue
+		}
+		objs := append([]pag.NodeID{}, r.Objects...)
+		sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+		m[r.Var] = objs
+	}
+	return m
+}
+
+func sameResults(t *testing.T, name string, a, b map[pag.NodeID][]pag.NodeID) {
+	t.Helper()
+	for v, objs := range a {
+		bObjs, ok := b[v]
+		if !ok {
+			continue // aborted in the other mode; allowed under budgets
+		}
+		if len(objs) != len(bObjs) {
+			t.Fatalf("%s: var %d: %v vs %v", name, v, objs, bObjs)
+		}
+		for i := range objs {
+			if objs[i] != bObjs[i] {
+				t.Fatalf("%s: var %d: %v vs %v", name, v, objs, bObjs)
+			}
+		}
+	}
+}
+
+// TestModesAgreeUnbudgeted is the central correctness property: with no
+// budget, every mode (any thread count) must compute the exact same
+// points-to sets for every query.
+func TestModesAgreeUnbudgeted(t *testing.T) {
+	lo := genBench(t)
+	queries := lo.AppQueryVars
+
+	seqRes, seqStats := Run(lo.Graph, queries, Config{Mode: Seq})
+	if seqStats.Aborted != 0 {
+		t.Fatalf("unbudgeted sequential run aborted %d queries", seqStats.Aborted)
+	}
+	seqMap := resultMap(seqRes)
+
+	for _, cfg := range []Config{
+		{Mode: Naive, Threads: 4},
+		{Mode: D, Threads: 4, TauF: 1, TauU: 1},
+		{Mode: DQ, Threads: 4, TauF: 1, TauU: 1, TypeLevels: lo.TypeLevels},
+	} {
+		res, stats := Run(lo.Graph, queries, cfg)
+		if stats.Aborted != 0 {
+			t.Fatalf("%v: aborted %d queries without budget", cfg.Mode, stats.Aborted)
+		}
+		if stats.Queries != len(queries) {
+			t.Fatalf("%v: ran %d of %d queries", cfg.Mode, stats.Queries, len(queries))
+		}
+		m := resultMap(res)
+		if len(m) != len(seqMap) {
+			t.Fatalf("%v: %d results vs %d sequential", cfg.Mode, len(m), len(seqMap))
+		}
+		sameResults(t, cfg.Mode.String(), seqMap, m)
+		sameResults(t, cfg.Mode.String(), m, seqMap)
+	}
+}
+
+// TestModesAgreeBudgeted: under a budget, queries that complete in both
+// modes must agree exactly (abort sets may differ between modes).
+func TestModesAgreeBudgeted(t *testing.T) {
+	lo := genBench(t)
+	queries := lo.AppQueryVars
+	const B = 20000
+
+	seqRes, _ := Run(lo.Graph, queries, Config{Mode: Seq, Budget: B})
+	seqMap := resultMap(seqRes)
+	for _, cfg := range []Config{
+		{Mode: Naive, Threads: 4, Budget: B},
+		{Mode: D, Threads: 4, Budget: B, TauF: 1, TauU: 1},
+		{Mode: DQ, Threads: 4, Budget: B, TauF: 1, TauU: 1, TypeLevels: lo.TypeLevels},
+	} {
+		res, _ := Run(lo.Graph, queries, cfg)
+		sameResults(t, cfg.Mode.String(), resultMap(res), seqMap)
+	}
+}
+
+func TestSharingActuallyShares(t *testing.T) {
+	lo := genBench(t)
+	_, dStats := Run(lo.Graph, lo.AppQueryVars, Config{Mode: D, Threads: 4, TauF: 1, TauU: 1})
+	if dStats.Share.FinishedAdded == 0 {
+		t.Fatal("D mode recorded no finished jmp edges")
+	}
+	if dStats.JumpsTaken == 0 {
+		t.Fatal("D mode took no shortcuts")
+	}
+	if dStats.StepsSaved == 0 {
+		t.Fatal("D mode saved no steps")
+	}
+	if dStats.RS() <= 0 {
+		t.Fatal("R_S not positive")
+	}
+}
+
+func TestSeqForcesOneThread(t *testing.T) {
+	lo := genBench(t)
+	_, stats := Run(lo.Graph, lo.AppQueryVars[:4], Config{Mode: Seq, Threads: 16})
+	if stats.Threads != 1 {
+		t.Fatalf("Seq ran with %d threads", stats.Threads)
+	}
+}
+
+func TestDQGroupStats(t *testing.T) {
+	lo := genBench(t)
+	_, stats := Run(lo.Graph, lo.AppQueryVars, Config{
+		Mode: DQ, Threads: 2, TypeLevels: lo.TypeLevels, TauF: 1, TauU: 1,
+	})
+	if stats.NumGroups == 0 || stats.AvgGroupSize <= 0 {
+		t.Fatalf("DQ group stats missing: %+v", stats)
+	}
+	if stats.Queries != len(lo.AppQueryVars) {
+		t.Fatalf("DQ processed %d of %d queries", stats.Queries, len(lo.AppQueryVars))
+	}
+}
+
+func TestEmptyBatchRun(t *testing.T) {
+	lo := genBench(t)
+	res, stats := Run(lo.Graph, nil, Config{Mode: DQ, Threads: 4, TypeLevels: lo.TypeLevels})
+	if len(res) != 0 || stats.Queries != 0 {
+		t.Fatalf("empty batch: %d results, %d queries", len(res), stats.Queries)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	names := map[Mode]string{Seq: "SeqCFL", Naive: "ParCFL-naive", D: "ParCFL-D", DQ: "ParCFL-DQ"}
+	for m, w := range names {
+		if m.String() != w {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), w)
+		}
+	}
+}
+
+// TestBudgetPressureProducesETs: with sharing and a tight budget, unfinished
+// jmp edges should appear, and typically some early terminations.
+func TestBudgetPressureProducesETs(t *testing.T) {
+	lo := genBench(t)
+	_, stats := Run(lo.Graph, lo.AppQueryVars, Config{
+		Mode: D, Threads: 1, Budget: 2000, TauF: 1, TauU: 1,
+	})
+	if stats.Aborted == 0 {
+		t.Skip("budget 2000 did not abort anything on this benchmark")
+	}
+	if stats.Share.UnfinishedAdded == 0 {
+		t.Fatal("aborted queries recorded no unfinished jmp edges")
+	}
+}

@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"sort"
+	"testing"
+
+	"parcfl/internal/frontend"
+	"parcfl/internal/pag"
+	"parcfl/internal/randprog"
+)
+
+// TestPropertyParallelEqualsSequential: on random programs, every parallel
+// configuration computes exactly the sequential results (unbudgeted).
+func TestPropertyParallelEqualsSequential(t *testing.T) {
+	for seed := int64(100); seed < 140; seed++ {
+		p := randprog.Generate(seed, randprog.DefaultLimits())
+		lo, err := frontend.Lower(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		queries := lo.AppQueryVars
+		if len(queries) == 0 {
+			continue
+		}
+		canon := func(rs []QueryResult) map[pag.NodeID]string {
+			m := map[pag.NodeID]string{}
+			for _, r := range rs {
+				objs := append([]pag.NodeID{}, r.Objects...)
+				sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+				key := ""
+				for _, o := range objs {
+					key += string(rune(o)) + ","
+				}
+				m[r.Var] = key
+			}
+			return m
+		}
+		seqRes, seqStats := Run(lo.Graph, queries, Config{Mode: Seq})
+		if seqStats.Aborted != 0 {
+			t.Fatalf("seed %d: sequential aborted", seed)
+		}
+		want := canon(seqRes)
+		for _, cfg := range []Config{
+			{Mode: Naive, Threads: 3},
+			{Mode: D, Threads: 3, TauF: 1, TauU: 1},
+			{Mode: DQ, Threads: 3, TauF: 1, TauU: 1, TypeLevels: lo.TypeLevels},
+		} {
+			res, _ := Run(lo.Graph, queries, cfg)
+			got := canon(res)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d %v: result count %d vs %d", seed, cfg.Mode, len(got), len(want))
+			}
+			for v, k := range want {
+				if got[v] != k {
+					t.Fatalf("seed %d %v: var %s mismatch", seed, cfg.Mode, lo.Graph.Node(v).Name)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyStatsConsistency: aggregate statistics are internally
+// consistent on random programs.
+func TestPropertyStatsConsistency(t *testing.T) {
+	for seed := int64(200); seed < 220; seed++ {
+		p := randprog.Generate(seed, randprog.DefaultLimits())
+		lo, err := frontend.Lower(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, st := Run(lo.Graph, lo.AppQueryVars, Config{Mode: DQ, Threads: 3, Budget: 5000, TauF: 1, TauU: 1, TypeLevels: lo.TypeLevels})
+		if st.Completed+st.Aborted != st.Queries {
+			t.Fatalf("seed %d: completed %d + aborted %d != queries %d", seed, st.Completed, st.Aborted, st.Queries)
+		}
+		if st.EarlyTerminations > st.Aborted {
+			t.Fatalf("seed %d: ETs %d > aborted %d", seed, st.EarlyTerminations, st.Aborted)
+		}
+		if st.StepsSaved > st.TotalSteps {
+			t.Fatalf("seed %d: saved %d > total %d", seed, st.StepsSaved, st.TotalSteps)
+		}
+		var walked int64
+		for _, w := range st.WalkedPerWorker {
+			walked += w
+		}
+		if walked != st.StepsWalked() {
+			t.Fatalf("seed %d: per-worker walked %d != steps walked %d", seed, walked, st.StepsWalked())
+		}
+	}
+}

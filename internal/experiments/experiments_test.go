@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyOpts keeps experiment tests fast: two small benchmarks at a small
+// scale and few threads.
+func tinyOpts(buf *bytes.Buffer) Options {
+	return Options{
+		Scale:      0.002,
+		Budget:     75000,
+		Threads:    4,
+		Benchmarks: []string{"_200_check", "_209_db"},
+		Out:        buf,
+	}
+}
+
+func TestPrepareBenchDeterministic(t *testing.T) {
+	var buf bytes.Buffer
+	opts := tinyOpts(&buf)
+	presets, err := opts.presets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := PrepareBench(presets[0], opts.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PrepareBench(presets[0], opts.Scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Queries) != len(b.Queries) {
+		t.Fatalf("query counts differ: %d vs %d", len(a.Queries), len(b.Queries))
+	}
+	for i := range a.Queries {
+		if a.Queries[i] != b.Queries[i] {
+			t.Fatal("shuffled batch order is not deterministic")
+		}
+	}
+	// The shuffle must actually reorder (overwhelmingly likely).
+	same := true
+	for i, v := range a.Queries {
+		if v != a.Lowered.AppQueryVars[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("batch was not shuffled")
+	}
+}
+
+func TestTable1Runs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(tinyOpts(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table I", "_200_check", "_209_db", "Average", "R_S", "R_ET"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig6Runs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig6(tinyOpts(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig. 6", "naive1", "D4", "DQ4", "AVERAGE", "modeled"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig6 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig7Runs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig7(tinyOpts(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig. 7", "2^0", "2^16", "Finished", "Unfinished_opt", "total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig7 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig8Runs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig8(tinyOpts(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig. 8", "DQ1", "DQ16", "AVERAGE"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig8 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Runs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table2(tinyOpts(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table II", "CFL-Reachability", "Andersen", "per-query"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Ablation(tinyOpts(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Ablation", "paper (tauF=100", "no thresholds", "aggressive"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablation output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMemoryRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Memory(tinyOpts(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "peak heap") {
+		t.Fatalf("memory output:\n%s", buf.String())
+	}
+}
+
+func TestByName(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ByName("nope", tinyOpts(&buf)); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := ByName("table2", tinyOpts(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if len(Names()) != 12 {
+		t.Fatalf("Names() = %v", Names())
+	}
+}
+
+func TestExtensionExperimentsRun(t *testing.T) {
+	var buf bytes.Buffer
+	opts := tinyOpts(&buf)
+	if err := Summaries(opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := IntraQuery(opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := Refinement(opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := Caching(opts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Summarisation", "forwarders", "Intra-query", "Refinement-based", "passes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("extension output missing %q", want)
+		}
+	}
+}
+
+func TestUnknownBenchmark(t *testing.T) {
+	var buf bytes.Buffer
+	opts := tinyOpts(&buf)
+	opts.Benchmarks = []string{"doesnotexist"}
+	if err := Table1(opts); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}

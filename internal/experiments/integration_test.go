@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"parcfl/internal/engine"
+	"parcfl/internal/javagen"
+	"parcfl/internal/pag"
+)
+
+// TestSerialisedBenchmarkEquivalence: analysing a benchmark loaded from its
+// PAG JSON must give exactly the results of analysing the freshly lowered
+// graph — the round trip the benchgen/pointsto tools rely on.
+func TestSerialisedBenchmarkEquivalence(t *testing.T) {
+	pr, err := javagen.PresetByName("_201_compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PrepareBench(pr, 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := b.Lowered.Graph.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := pag.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != b.Lowered.Graph.NumNodes() || g2.NumEdges() != b.Lowered.Graph.NumEdges() {
+		t.Fatalf("roundtrip size mismatch: %d/%d vs %d/%d",
+			g2.NumNodes(), g2.NumEdges(), b.Lowered.Graph.NumNodes(), b.Lowered.Graph.NumEdges())
+	}
+
+	canon := func(rs []engine.QueryResult) map[pag.NodeID]string {
+		m := map[pag.NodeID]string{}
+		for _, r := range rs {
+			objs := append([]pag.NodeID{}, r.Objects...)
+			sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+			var key []byte
+			for _, o := range objs {
+				key = append(key, byte(o), byte(o>>8), byte(o>>16), byte(o>>24))
+			}
+			m[r.Var] = string(key)
+		}
+		return m
+	}
+	r1, _ := engine.Run(b.Lowered.Graph, b.Queries, engine.Config{Mode: engine.Seq, Budget: 75000})
+	r2, _ := engine.Run(g2, b.Queries, engine.Config{Mode: engine.Seq, Budget: 75000})
+	m1, m2 := canon(r1), canon(r2)
+	if len(m1) != len(m2) {
+		t.Fatalf("result counts differ: %d vs %d", len(m1), len(m2))
+	}
+	for v, k := range m1 {
+		if m2[v] != k {
+			t.Fatalf("var %d differs after serialisation roundtrip", v)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package frontend
+
+import (
+	"fmt"
+
+	"parcfl/internal/pag"
+	"parcfl/internal/scc"
+)
+
+// Lowered is the result of lowering a Program to a PAG, along with the side
+// tables the analysis layers need.
+type Lowered struct {
+	// Graph is the frozen PAG.
+	Graph *pag.Graph
+	// LocalNode[m][i] is the PAG node of local slot i of method m.
+	LocalNode [][]pag.NodeID
+	// GlobalNode[g] is the PAG node of global g.
+	GlobalNode []pag.NodeID
+	// ObjectNode[m] lists, in statement order, the object nodes of the
+	// allocation sites in method m.
+	ObjectNode [][]pag.NodeID
+	// TypeLevels[t] is L(t) per Section III-C2, consumed by the query
+	// scheduler's dependence-depth heuristic.
+	TypeLevels []int
+	// AppQueryVars lists the PAG nodes of all local variables declared in
+	// application methods — the batch of queries the paper issues for
+	// each benchmark ("all the local variables in its application code").
+	AppQueryVars []pag.NodeID
+	// MethodSCC[m] is the call-graph SCC index of method m.
+	MethodSCC []int
+	// CollapsedCalls counts call sites whose param/ret edges were demoted
+	// to plain assignments because caller and callee share a call-graph
+	// SCC (the paper's "recursion cycles of the call graph are
+	// collapsed").
+	CollapsedCalls int
+	// NumCallSites is the number of context-sensitive call sites emitted.
+	NumCallSites int
+}
+
+// Lower validates and lowers a program to its PAG per the statement
+// semantics of Fig. 2, collapsing recursive call cycles.
+func Lower(p *Program) (*Lowered, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+
+	g := pag.NewGraph()
+	lo := &Lowered{
+		Graph:      g,
+		LocalNode:  make([][]pag.NodeID, len(p.Methods)),
+		GlobalNode: make([]pag.NodeID, len(p.Globals)),
+		ObjectNode: make([][]pag.NodeID, len(p.Methods)),
+		TypeLevels: TypeLevels(p.Types),
+	}
+
+	for gi, gv := range p.Globals {
+		lo.GlobalNode[gi] = g.AddGlobal(gv.Name, gv.Type)
+	}
+	for mi := range p.Methods {
+		m := &p.Methods[mi]
+		lo.LocalNode[mi] = make([]pag.NodeID, len(m.Locals))
+		for li, lv := range m.Locals {
+			n := g.AddLocal(fmt.Sprintf("%s.%s", m.Name, lv.Name), lv.Type, pag.MethodID(mi))
+			lo.LocalNode[mi][li] = n
+			if m.Application {
+				lo.AppQueryVars = append(lo.AppQueryVars, n)
+			}
+		}
+	}
+
+	// Call graph and its SCCs (for recursion collapsing).
+	callees := make([][]int, len(p.Methods))
+	for mi := range p.Methods {
+		for _, s := range p.Methods[mi].Body {
+			if s.Kind == StCall {
+				callees[mi] = append(callees[mi], s.Callee)
+			}
+		}
+	}
+	lo.MethodSCC, _ = scc.Compute(len(p.Methods), func(v int) []int { return callees[v] })
+
+	node := func(mi int, v VarRef) pag.NodeID {
+		if v.Global {
+			return lo.GlobalNode[v.Index]
+		}
+		return lo.LocalNode[mi][v.Index]
+	}
+	isGlobal := func(v VarRef) bool { return v.Global }
+
+	addAssign := func(dst, src pag.NodeID, anyGlobal bool) {
+		k := pag.EdgeAssignLocal
+		if anyGlobal {
+			k = pag.EdgeAssignGlobal
+		}
+		g.AddEdge(pag.Edge{Dst: dst, Src: src, Kind: k})
+	}
+
+	nextSite := pag.CallSiteID(1) // 0 is reserved so contexts stay non-trivial to misread
+	for mi := range p.Methods {
+		m := &p.Methods[mi]
+		for si, s := range m.Body {
+			switch s.Kind {
+			case StAlloc:
+				o := g.AddObject(fmt.Sprintf("o@%s:%d", m.Name, si), s.Type)
+				lo.ObjectNode[mi] = append(lo.ObjectNode[mi], o)
+				g.AddEdge(pag.Edge{Dst: node(mi, s.Dst), Src: o, Kind: pag.EdgeNew})
+			case StAssign:
+				addAssign(node(mi, s.Dst), node(mi, s.Src), isGlobal(s.Dst) || isGlobal(s.Src))
+			case StLoad:
+				g.AddEdge(pag.Edge{Dst: node(mi, s.Dst), Src: node(mi, s.Base), Kind: pag.EdgeLoad, Label: pag.Label(s.Field)})
+			case StStore:
+				g.AddEdge(pag.Edge{Dst: node(mi, s.Base), Src: node(mi, s.Src), Kind: pag.EdgeStore, Label: pag.Label(s.Field)})
+			case StCall:
+				callee := &p.Methods[s.Callee]
+				recursive := lo.MethodSCC[mi] == lo.MethodSCC[s.Callee]
+				var site pag.CallSiteID
+				if recursive {
+					lo.CollapsedCalls++
+				} else {
+					site = nextSite
+					nextSite++
+					lo.NumCallSites++
+				}
+				for ai, a := range s.Args {
+					formal := lo.LocalNode[s.Callee][callee.Params[ai]]
+					actual := node(mi, a)
+					if recursive {
+						addAssign(formal, actual, isGlobal(a))
+					} else {
+						g.AddEdge(pag.Edge{Dst: formal, Src: actual, Kind: pag.EdgeParam, Label: pag.Label(site)})
+					}
+				}
+				if !s.Dst.IsNoVar() {
+					retNode := lo.LocalNode[s.Callee][callee.Ret]
+					dst := node(mi, s.Dst)
+					if recursive {
+						addAssign(dst, retNode, isGlobal(s.Dst))
+					} else {
+						g.AddEdge(pag.Edge{Dst: dst, Src: retNode, Kind: pag.EdgeRet, Label: pag.Label(site)})
+					}
+				}
+			}
+		}
+	}
+
+	g.Freeze()
+	return lo, nil
+}

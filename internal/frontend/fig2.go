@@ -1,0 +1,161 @@
+package frontend
+
+import "parcfl/internal/pag"
+
+// Fig2 exposes the PAG nodes of the paper's running example (Fig. 2), named
+// as in the paper, so tests and examples can assert the exact facts the
+// paper derives (e.g. s1main points to o16 but not o20).
+type Fig2 struct {
+	Program *Program
+	Lowered *Lowered
+
+	// main's locals.
+	V1, N1, S1, V2, N2, S2 pag.NodeID
+	// Vector.<init>'s locals.
+	ThisVector, TVector pag.NodeID
+	// Vector.add's locals.
+	ThisAdd, EAdd, TAdd pag.NodeID
+	// Vector.get's locals.
+	ThisGet, TGet, RetGet pag.NodeID
+	// Allocation sites, named by the paper's line numbers.
+	O6, O15, O16, O19, O20 pag.NodeID
+}
+
+// Field IDs of the example. ArrField (0) is the collapsed array-element
+// pseudo-field; Elems is Vector.elems.
+const (
+	Fig2FieldElems = pag.FieldID(1)
+)
+
+// Type IDs of the example.
+const (
+	Fig2TypeInt     = pag.TypeID(0)
+	Fig2TypeObject  = pag.TypeID(1)
+	Fig2TypeObjArr  = pag.TypeID(2)
+	Fig2TypeString  = pag.TypeID(3)
+	Fig2TypeInteger = pag.TypeID(4)
+	Fig2TypeVector  = pag.TypeID(5)
+)
+
+// BuildFig2 constructs and lowers the Vector example of Fig. 2.
+func BuildFig2() (*Fig2, error) {
+	p := &Program{
+		Types: []Type{
+			{Name: "int", Ref: false},
+			{Name: "java.lang.Object", Ref: true},
+			{Name: "java.lang.Object[]", Ref: true, Fields: []Field{{Name: "arr", ID: pag.ArrField, Type: Fig2TypeObject}}},
+			{Name: "java.lang.String", Ref: true},
+			{Name: "java.lang.Integer", Ref: true},
+			{Name: "Vector", Ref: true, Fields: []Field{
+				{Name: "elems", ID: Fig2FieldElems, Type: Fig2TypeObjArr},
+				{Name: "count", ID: 2, Type: Fig2TypeInt},
+			}},
+		},
+	}
+
+	// Method 0: Vector.<init>(this) — t = new Object[MAXSIZE]; this.elems = t.
+	p.Methods = append(p.Methods, Method{
+		Name: "Vector.<init>",
+		Locals: []LocalVar{
+			{Name: "this", Type: Fig2TypeVector},
+			{Name: "t", Type: Fig2TypeObjArr},
+		},
+		Params:      []int{0},
+		Ret:         -1,
+		Application: true,
+		Body: []Stmt{
+			{Kind: StAlloc, Dst: Local(1), Type: Fig2TypeObjArr},                  // o6
+			{Kind: StStore, Base: Local(0), Field: Fig2FieldElems, Src: Local(1)}, // this.elems = t
+		},
+	})
+	// Method 1: Vector.add(this, e) — t = this.elems; t[count++] = e.
+	p.Methods = append(p.Methods, Method{
+		Name: "Vector.add",
+		Locals: []LocalVar{
+			{Name: "this", Type: Fig2TypeVector},
+			{Name: "e", Type: Fig2TypeObject},
+			{Name: "t", Type: Fig2TypeObjArr},
+		},
+		Params:      []int{0, 1},
+		Ret:         -1,
+		Application: true,
+		Body: []Stmt{
+			{Kind: StLoad, Dst: Local(2), Base: Local(0), Field: Fig2FieldElems}, // t = this.elems
+			{Kind: StStore, Base: Local(2), Field: pag.ArrField, Src: Local(1)},  // t[..] = e
+		},
+	})
+	// Method 2: Vector.get(this) — t = this.elems; return t[i].
+	p.Methods = append(p.Methods, Method{
+		Name: "Vector.get",
+		Locals: []LocalVar{
+			{Name: "this", Type: Fig2TypeVector},
+			{Name: "t", Type: Fig2TypeObjArr},
+			{Name: "ret", Type: Fig2TypeObject},
+		},
+		Params:      []int{0},
+		Ret:         2,
+		Application: true,
+		Body: []Stmt{
+			{Kind: StLoad, Dst: Local(1), Base: Local(0), Field: Fig2FieldElems}, // t = this.elems
+			{Kind: StLoad, Dst: Local(2), Base: Local(1), Field: pag.ArrField},   // ret = t[i]
+		},
+	})
+	// Method 3: main.
+	p.Methods = append(p.Methods, Method{
+		Name: "main",
+		Locals: []LocalVar{
+			{Name: "v1", Type: Fig2TypeVector},
+			{Name: "n1", Type: Fig2TypeString},
+			{Name: "s1", Type: Fig2TypeObject},
+			{Name: "v2", Type: Fig2TypeVector},
+			{Name: "n2", Type: Fig2TypeInteger},
+			{Name: "s2", Type: Fig2TypeObject},
+		},
+		Params:      nil,
+		Ret:         -1,
+		Application: true,
+		Body: []Stmt{
+			{Kind: StAlloc, Dst: Local(0), Type: Fig2TypeVector},                      // o15: v1 = new Vector
+			{Kind: StCall, Callee: 0, Args: []VarRef{Local(0)}, Dst: NoVar},           // Vector.<init>(v1), "site 15"
+			{Kind: StAlloc, Dst: Local(1), Type: Fig2TypeString},                      // o16: n1 = new String
+			{Kind: StCall, Callee: 1, Args: []VarRef{Local(0), Local(1)}, Dst: NoVar}, // v1.add(n1), "site 17"
+			{Kind: StCall, Callee: 2, Args: []VarRef{Local(0)}, Dst: Local(2)},        // s1 = v1.get(0), "site 18"
+			{Kind: StAlloc, Dst: Local(3), Type: Fig2TypeVector},                      // o19: v2 = new Vector
+			{Kind: StCall, Callee: 0, Args: []VarRef{Local(3)}, Dst: NoVar},           // Vector.<init>(v2), "site 19"
+			{Kind: StAlloc, Dst: Local(4), Type: Fig2TypeInteger},                     // o20: n2 = new Integer
+			{Kind: StCall, Callee: 1, Args: []VarRef{Local(3), Local(4)}, Dst: NoVar}, // v2.add(n2), "site 21"
+			{Kind: StCall, Callee: 2, Args: []VarRef{Local(3)}, Dst: Local(5)},        // s2 = v2.get(0), "site 22"
+		},
+	})
+
+	lo, err := Lower(p)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fig2{
+		Program: p,
+		Lowered: lo,
+
+		ThisVector: lo.LocalNode[0][0],
+		TVector:    lo.LocalNode[0][1],
+		ThisAdd:    lo.LocalNode[1][0],
+		EAdd:       lo.LocalNode[1][1],
+		TAdd:       lo.LocalNode[1][2],
+		ThisGet:    lo.LocalNode[2][0],
+		TGet:       lo.LocalNode[2][1],
+		RetGet:     lo.LocalNode[2][2],
+		V1:         lo.LocalNode[3][0],
+		N1:         lo.LocalNode[3][1],
+		S1:         lo.LocalNode[3][2],
+		V2:         lo.LocalNode[3][3],
+		N2:         lo.LocalNode[3][4],
+		S2:         lo.LocalNode[3][5],
+
+		O6:  lo.ObjectNode[0][0],
+		O15: lo.ObjectNode[3][0],
+		O16: lo.ObjectNode[3][1],
+		O19: lo.ObjectNode[3][2],
+		O20: lo.ObjectNode[3][3],
+	}
+	return f, nil
+}

@@ -1,0 +1,347 @@
+package frontend
+
+import (
+	"testing"
+
+	"parcfl/internal/pag"
+	"parcfl/internal/scc"
+)
+
+func TestFig2Builds(t *testing.T) {
+	f, err := BuildFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := f.Lowered.Graph
+	if !g.Frozen() {
+		t.Fatal("graph not frozen")
+	}
+	// 14 locals + 5 objects + O.
+	if g.NumNodes() != 20 {
+		t.Fatalf("NumNodes = %d, want 20", g.NumNodes())
+	}
+	// Edges: 5 new, 2 store, 3 load, param edges: init(1)x2 + add(2)x2 + get(1)x2 = 8, ret: 2.
+	if g.NumEdges() != 20 {
+		t.Fatalf("NumEdges = %d, want 20", g.NumEdges())
+	}
+	if f.Lowered.CollapsedCalls != 0 {
+		t.Fatalf("CollapsedCalls = %d, want 0", f.Lowered.CollapsedCalls)
+	}
+	if f.Lowered.NumCallSites != 6 {
+		t.Fatalf("NumCallSites = %d, want 6", f.Lowered.NumCallSites)
+	}
+	// All 14 locals are application query variables.
+	if len(f.Lowered.AppQueryVars) != 14 {
+		t.Fatalf("AppQueryVars = %d, want 14", len(f.Lowered.AppQueryVars))
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	f, err := BuildFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := f.Lowered.Graph
+
+	// v1 <-new- o15.
+	found := false
+	for _, he := range g.In(f.V1) {
+		if he.Kind == pag.EdgeNew && he.Other == f.O15 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing v1 <-new- o15")
+	}
+
+	// thisVector <-st(elems)- tVector.
+	st := g.StoresOf(Fig2FieldElems)
+	if len(st) != 1 || st[0].Base != f.ThisVector || st[0].Val != f.TVector {
+		t.Errorf("StoresOf(elems) = %v", st)
+	}
+	// tadd <-st(arr)- eadd.
+	starr := g.StoresOf(pag.ArrField)
+	if len(starr) != 1 || starr[0].Base != f.TAdd || starr[0].Val != f.EAdd {
+		t.Errorf("StoresOf(arr) = %v", starr)
+	}
+	// Loads of elems: tadd = thisadd.elems, tget = thisget.elems.
+	ld := g.LoadsOf(Fig2FieldElems)
+	if len(ld) != 2 {
+		t.Fatalf("LoadsOf(elems) = %v", ld)
+	}
+
+	// eadd has two incoming param edges with distinct call sites.
+	var sites []pag.CallSiteID
+	for _, he := range g.In(f.EAdd) {
+		if he.Kind == pag.EdgeParam {
+			sites = append(sites, pag.CallSiteID(he.Label))
+		}
+	}
+	if len(sites) != 2 || sites[0] == sites[1] {
+		t.Errorf("eadd param sites = %v", sites)
+	}
+
+	// s1 and s2 have one ret edge each, from retget, with distinct sites.
+	retSite := func(n pag.NodeID) (pag.CallSiteID, bool) {
+		for _, he := range g.In(n) {
+			if he.Kind == pag.EdgeRet {
+				if he.Other != f.RetGet {
+					t.Errorf("ret source = %d, want retget", he.Other)
+				}
+				return pag.CallSiteID(he.Label), true
+			}
+		}
+		return 0, false
+	}
+	r1, ok1 := retSite(f.S1)
+	r2, ok2 := retSite(f.S2)
+	if !ok1 || !ok2 || r1 == r2 {
+		t.Errorf("ret sites: %v(%v) %v(%v)", r1, ok1, r2, ok2)
+	}
+}
+
+func TestTypeLevelsFig2(t *testing.T) {
+	f, err := BuildFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := f.Lowered.TypeLevels
+	want := map[pag.TypeID]int{
+		Fig2TypeInt:     0,
+		Fig2TypeObject:  1,
+		Fig2TypeObjArr:  2,
+		Fig2TypeString:  1,
+		Fig2TypeInteger: 1,
+		Fig2TypeVector:  3,
+	}
+	for ty, w := range want {
+		if lv[ty] != w {
+			t.Errorf("L(%s) = %d, want %d", f.Program.Types[ty].Name, lv[ty], w)
+		}
+	}
+}
+
+func TestTypeLevelsRecursion(t *testing.T) {
+	// A linked list: Node { Node next; Object val } — recursive cycle must
+	// be collapsed, giving L(Node) = L(Object)+1 = 2.
+	types := []Type{
+		{Name: "Object", Ref: true},
+		{Name: "Node", Ref: true, Fields: []Field{
+			{Name: "next", ID: 1, Type: 1},
+			{Name: "val", ID: 2, Type: 0},
+		}},
+	}
+	lv := TypeLevels(types)
+	if lv[0] != 1 || lv[1] != 2 {
+		t.Fatalf("levels = %v, want [1 2]", lv)
+	}
+}
+
+func TestTypeLevelsMutualRecursion(t *testing.T) {
+	// A <-> B mutual recursion plus a chain below.
+	types := []Type{
+		{Name: "leaf", Ref: true}, // 0: L=1
+		{Name: "mid", Ref: true, Fields: []Field{{Name: "l", ID: 1, Type: 0}}},                            // 1: L=2
+		{Name: "A", Ref: true, Fields: []Field{{Name: "b", ID: 2, Type: 3}, {Name: "m", ID: 3, Type: 1}}}, // 2
+		{Name: "B", Ref: true, Fields: []Field{{Name: "a", ID: 4, Type: 2}}},                              // 3
+	}
+	lv := TypeLevels(types)
+	if lv[0] != 1 || lv[1] != 2 {
+		t.Fatalf("chain levels = %v", lv)
+	}
+	// A and B share an SCC: both get max(outside)+1 = L(mid)+1 = 3.
+	if lv[2] != 3 || lv[3] != 3 {
+		t.Fatalf("SCC levels = %v, want A=B=3", lv)
+	}
+}
+
+func TestTypeLevelsPrimitivesZero(t *testing.T) {
+	types := []Type{
+		{Name: "int", Ref: false},
+		{Name: "C", Ref: true, Fields: []Field{{Name: "x", ID: 1, Type: 0}}},
+	}
+	lv := TypeLevels(types)
+	if lv[0] != 0 {
+		t.Fatalf("L(int) = %d, want 0", lv[0])
+	}
+	if lv[1] != 1 {
+		t.Fatalf("L(C) = %d, want 1 (primitive fields do not raise the level)", lv[1])
+	}
+}
+
+func TestRecursionCollapsing(t *testing.T) {
+	// f calls g, g calls f (mutual recursion), and main calls f.
+	obj := pag.TypeID(0)
+	p := &Program{
+		Types: []Type{{Name: "Object", Ref: true}},
+		Methods: []Method{
+			{
+				Name:   "f",
+				Locals: []LocalVar{{Name: "pf", Type: obj}, {Name: "rf", Type: obj}},
+				Params: []int{0}, Ret: 1,
+				Body: []Stmt{
+					{Kind: StCall, Callee: 1, Args: []VarRef{Local(0)}, Dst: Local(1)},
+				},
+			},
+			{
+				Name:   "g",
+				Locals: []LocalVar{{Name: "pg", Type: obj}, {Name: "rg", Type: obj}},
+				Params: []int{0}, Ret: 1,
+				Body: []Stmt{
+					{Kind: StCall, Callee: 0, Args: []VarRef{Local(0)}, Dst: Local(1)},
+					{Kind: StAssign, Dst: Local(1), Src: Local(0)},
+				},
+			},
+			{
+				Name:   "main",
+				Locals: []LocalVar{{Name: "a", Type: obj}, {Name: "r", Type: obj}},
+				Params: nil, Ret: -1,
+				Body: []Stmt{
+					{Kind: StAlloc, Dst: Local(0), Type: obj},
+					{Kind: StCall, Callee: 0, Args: []VarRef{Local(0)}, Dst: Local(1)},
+				},
+			},
+		},
+	}
+	lo, err := Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f<->g collapse: 2 call sites collapsed; main->f stays sensitive.
+	if lo.CollapsedCalls != 2 {
+		t.Fatalf("CollapsedCalls = %d, want 2", lo.CollapsedCalls)
+	}
+	if lo.NumCallSites != 1 {
+		t.Fatalf("NumCallSites = %d, want 1", lo.NumCallSites)
+	}
+	if lo.MethodSCC[0] != lo.MethodSCC[1] {
+		t.Fatal("f and g not in the same SCC")
+	}
+	if lo.MethodSCC[0] == lo.MethodSCC[2] {
+		t.Fatal("main must not join f/g's SCC")
+	}
+	// The collapsed calls become assignl edges: pg <- pf, pf <- pg etc.
+	g := lo.Graph
+	hasAssign := func(dst, src pag.NodeID) bool {
+		for _, he := range g.In(dst) {
+			if he.Kind == pag.EdgeAssignLocal && he.Other == src {
+				return true
+			}
+		}
+		return false
+	}
+	pf, rf := lo.LocalNode[0][0], lo.LocalNode[0][1]
+	pg, rg := lo.LocalNode[1][0], lo.LocalNode[1][1]
+	if !hasAssign(pg, pf) {
+		t.Error("missing collapsed param edge pg <- pf")
+	}
+	if !hasAssign(pf, pg) {
+		t.Error("missing collapsed param edge pf <- pg")
+	}
+	if !hasAssign(rf, rg) {
+		t.Error("missing collapsed ret edge rf <- rg")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	obj := pag.TypeID(0)
+	base := func() *Program {
+		return &Program{
+			Types: []Type{{Name: "Object", Ref: true}},
+			Methods: []Method{{
+				Name:   "m",
+				Locals: []LocalVar{{Name: "a", Type: obj}},
+				Ret:    -1,
+				Body:   []Stmt{{Kind: StAlloc, Dst: Local(0), Type: obj}},
+			}},
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("base program invalid: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mod  func(*Program)
+	}{
+		{"unknown local", func(p *Program) { p.Methods[0].Body[0].Dst = Local(9) }},
+		{"unknown global", func(p *Program) { p.Methods[0].Body[0].Dst = Global(0) }},
+		{"unknown type", func(p *Program) { p.Methods[0].Body[0].Type = 42 }},
+		{"bad ret slot", func(p *Program) { p.Methods[0].Ret = 7 }},
+		{"bad param slot", func(p *Program) { p.Methods[0].Params = []int{5} }},
+		{"unknown callee", func(p *Program) {
+			p.Methods[0].Body = append(p.Methods[0].Body, Stmt{Kind: StCall, Callee: 3, Dst: NoVar})
+		}},
+		{"arity mismatch", func(p *Program) {
+			p.Methods[0].Body = append(p.Methods[0].Body,
+				Stmt{Kind: StCall, Callee: 0, Args: []VarRef{Local(0)}, Dst: NoVar})
+		}},
+		{"result from void callee", func(p *Program) {
+			p.Methods[0].Body = append(p.Methods[0].Body,
+				Stmt{Kind: StCall, Callee: 0, Dst: Local(0)})
+		}},
+		{"alloc without dst", func(p *Program) { p.Methods[0].Body[0].Dst = NoVar }},
+		{"global arg", func(p *Program) {
+			p.Globals = append(p.Globals, GlobalVar{Name: "G", Type: obj})
+			p.Methods[0].Params = []int{0}
+			p.Methods[0].Body = append(p.Methods[0].Body,
+				Stmt{Kind: StCall, Callee: 0, Args: []VarRef{Global(0)}, Dst: NoVar})
+		}},
+	}
+	for _, c := range cases {
+		p := base()
+		c.mod(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid program", c.name)
+		}
+	}
+}
+
+func TestTarjanSCC(t *testing.T) {
+	// 0->1->2->0 (cycle), 2->3, 3->4, 4->3 (cycle), 5 isolated.
+	succ := map[int][]int{0: {1}, 1: {2}, 2: {0, 3}, 3: {4}, 4: {3}}
+	comp, n := scc.Compute(6, func(v int) []int { return succ[v] })
+	if n != 3 {
+		t.Fatalf("numComp = %d, want 3", n)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Error("0,1,2 should share a component")
+	}
+	if comp[3] != comp[4] {
+		t.Error("3,4 should share a component")
+	}
+	if comp[0] == comp[3] || comp[3] == comp[5] || comp[0] == comp[5] {
+		t.Error("components improperly merged")
+	}
+	// Reverse topological order: successors have smaller component ids.
+	if !(comp[3] < comp[0]) {
+		t.Errorf("want comp[3] < comp[0]: %v", comp)
+	}
+}
+
+func TestTarjanSCCDeepChain(t *testing.T) {
+	// A 100000-node chain must not overflow (iterative DFS).
+	n := 100000
+	comp, nc := scc.Compute(n, func(v int) []int {
+		if v+1 < n {
+			return []int{v + 1}
+		}
+		return nil
+	})
+	if nc != n {
+		t.Fatalf("numComp = %d, want %d", nc, n)
+	}
+	if comp[n-1] != 0 {
+		t.Fatalf("sink component = %d, want 0 (reverse topo)", comp[n-1])
+	}
+}
+
+func TestNumStatements(t *testing.T) {
+	f, err := BuildFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Program.NumStatements(); got != 16 {
+		t.Fatalf("NumStatements = %d, want 16", got)
+	}
+}

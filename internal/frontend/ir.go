@@ -1,0 +1,275 @@
+// Package frontend defines a miniature Java-like intermediate representation
+// (classes with reference-typed fields, methods with parameters and returns,
+// allocation/assignment/load/store/call statements) and lowers it to the
+// Pointer Assignment Graph of package pag.
+//
+// It stands in for the Soot 2.5.0 frontend the paper used: the analysis
+// itself consumes only the PAG, so any frontend producing PAGs with the
+// statement semantics of Fig. 2 exercises identical solver code paths. The
+// lowering also performs the two preprocessing steps the paper applies
+// (Section IV-A): recursion cycles of the call graph are collapsed (call
+// edges inside a call-graph SCC are emitted as plain assignments, keeping
+// context strings finite), and the type table is analysed to produce the
+// type levels L(t) that drive query scheduling (Section III-C2).
+package frontend
+
+import (
+	"fmt"
+
+	"parcfl/internal/pag"
+)
+
+// Field is one instance field of a reference type.
+type Field struct {
+	Name string
+	// ID is the program-wide field identifier used on ld/st edge labels.
+	// Distinct fields with the same name in different classes may share
+	// an ID only if the generator wants field-based smashing; normally
+	// IDs are unique per (class, name).
+	ID pag.FieldID
+	// Type is the field's declared type.
+	Type pag.TypeID
+}
+
+// Type is a declared type. Index in Program.Types is its pag.TypeID.
+type Type struct {
+	Name string
+	// Ref reports whether this is a reference type (class or array).
+	// Primitive types have Ref false and never contribute to levels.
+	Ref bool
+	// Fields lists the instance fields (reference- or primitive-typed).
+	Fields []Field
+}
+
+// VarRef names a variable: either a global (static) variable or a local slot
+// of a specific method.
+type VarRef struct {
+	// Global selects Program.Globals[Index] when true, otherwise local
+	// slot Index of the enclosing method.
+	Global bool
+	Index  int
+}
+
+// Local returns a reference to local slot i of the enclosing method.
+func Local(i int) VarRef { return VarRef{Index: i} }
+
+// Global returns a reference to global variable i.
+func Global(i int) VarRef { return VarRef{Global: true, Index: i} }
+
+// GlobalVar is a static variable.
+type GlobalVar struct {
+	Name string
+	Type pag.TypeID
+}
+
+// LocalVar is a local variable slot of a method.
+type LocalVar struct {
+	Name string
+	Type pag.TypeID
+}
+
+// StmtKind discriminates Stmt.
+type StmtKind uint8
+
+const (
+	// StAlloc is dst = new T (an allocation site).
+	StAlloc StmtKind = iota
+	// StAssign is dst = src.
+	StAssign
+	// StLoad is dst = base.f.
+	StLoad
+	// StStore is base.f = src.
+	StStore
+	// StCall is dst = callee(args...) at a fresh call site. Dispatch is
+	// already resolved (the paper's PAG likewise embeds a precomputed
+	// call graph).
+	StCall
+)
+
+// Stmt is one statement. Which fields are meaningful depends on Kind.
+type Stmt struct {
+	Kind   StmtKind
+	Dst    VarRef      // Alloc, Assign, Load, Call (receiver of return value; may be NoVar)
+	Src    VarRef      // Assign, Store
+	Base   VarRef      // Load, Store
+	Field  pag.FieldID // Load, Store
+	Type   pag.TypeID  // Alloc
+	Callee int         // Call: index into Program.Methods
+	Args   []VarRef    // Call: actuals, matched positionally to callee params
+}
+
+// NoVar marks an absent variable operand (e.g. a call whose result is
+// discarded, or a method with no return value).
+var NoVar = VarRef{Index: -1}
+
+// IsNoVar reports whether v is the absent-operand marker.
+func (v VarRef) IsNoVar() bool { return !v.Global && v.Index == -1 }
+
+// Method is one method. Index in Program.Methods is its pag.MethodID.
+type Method struct {
+	Name string
+	// Locals are the method's variable slots. Params and Ret refer into
+	// this slice.
+	Locals []LocalVar
+	// Params lists the local slots that receive arguments, in order.
+	Params []int
+	// Ret is the local slot whose value the method returns, or -1.
+	Ret int
+	// Body is the statement list. Order is irrelevant to the (flow-
+	// insensitive) analysis but kept for readability of dumps.
+	Body []Stmt
+	// Application marks methods belonging to the application (as opposed
+	// to library) code; queries are issued for application locals only,
+	// matching the paper's query census.
+	Application bool
+}
+
+// Program is a whole mini-Java program.
+type Program struct {
+	Types   []Type
+	Globals []GlobalVar
+	Methods []Method
+}
+
+// Validate checks referential integrity of the program: every type, field,
+// variable, method and call-site reference must be in range. It returns the
+// first problem found.
+func (p *Program) Validate() error {
+	checkType := func(t pag.TypeID, what string) error {
+		if t == pag.UntypedType {
+			return nil
+		}
+		if int(t) >= len(p.Types) {
+			return fmt.Errorf("frontend: %s references unknown type %d", what, t)
+		}
+		return nil
+	}
+	for gi, g := range p.Globals {
+		if err := checkType(g.Type, fmt.Sprintf("global %d (%s)", gi, g.Name)); err != nil {
+			return err
+		}
+	}
+	for ti, t := range p.Types {
+		for _, f := range t.Fields {
+			if err := checkType(f.Type, fmt.Sprintf("field %s.%s", t.Name, f.Name)); err != nil {
+				return err
+			}
+			_ = ti
+		}
+	}
+	for mi := range p.Methods {
+		m := &p.Methods[mi]
+		checkVar := func(v VarRef, what string) error {
+			if v.IsNoVar() {
+				return nil
+			}
+			if v.Global {
+				if v.Index < 0 || v.Index >= len(p.Globals) {
+					return fmt.Errorf("frontend: method %s: %s references unknown global %d", m.Name, what, v.Index)
+				}
+				return nil
+			}
+			if v.Index < 0 || v.Index >= len(m.Locals) {
+				return fmt.Errorf("frontend: method %s: %s references unknown local %d", m.Name, what, v.Index)
+			}
+			return nil
+		}
+		for _, pi := range m.Params {
+			if pi < 0 || pi >= len(m.Locals) {
+				return fmt.Errorf("frontend: method %s: param slot %d out of range", m.Name, pi)
+			}
+		}
+		if m.Ret != -1 && (m.Ret < 0 || m.Ret >= len(m.Locals)) {
+			return fmt.Errorf("frontend: method %s: ret slot %d out of range", m.Name, m.Ret)
+		}
+		for si, s := range m.Body {
+			what := fmt.Sprintf("stmt %d", si)
+			switch s.Kind {
+			case StAlloc:
+				if s.Dst.IsNoVar() {
+					return fmt.Errorf("frontend: method %s: %s: alloc without destination", m.Name, what)
+				}
+				if err := checkVar(s.Dst, what); err != nil {
+					return err
+				}
+				if err := checkType(s.Type, what); err != nil {
+					return err
+				}
+			case StAssign:
+				if err := firstErr(checkVar(s.Dst, what), checkVar(s.Src, what)); err != nil {
+					return err
+				}
+				if s.Dst.IsNoVar() || s.Src.IsNoVar() {
+					return fmt.Errorf("frontend: method %s: %s: assign with missing operand", m.Name, what)
+				}
+			case StLoad:
+				if err := firstErr(checkVar(s.Dst, what), checkVar(s.Base, what)); err != nil {
+					return err
+				}
+				if s.Dst.IsNoVar() || s.Base.IsNoVar() {
+					return fmt.Errorf("frontend: method %s: %s: load with missing operand", m.Name, what)
+				}
+			case StStore:
+				if err := firstErr(checkVar(s.Base, what), checkVar(s.Src, what)); err != nil {
+					return err
+				}
+				if s.Base.IsNoVar() || s.Src.IsNoVar() {
+					return fmt.Errorf("frontend: method %s: %s: store with missing operand", m.Name, what)
+				}
+			case StCall:
+				if s.Callee < 0 || s.Callee >= len(p.Methods) {
+					return fmt.Errorf("frontend: method %s: %s: unknown callee %d", m.Name, what, s.Callee)
+				}
+				callee := &p.Methods[s.Callee]
+				if len(s.Args) != len(callee.Params) {
+					return fmt.Errorf("frontend: method %s: %s: %d args for %d params of %s",
+						m.Name, what, len(s.Args), len(callee.Params), callee.Name)
+				}
+				for ai, a := range s.Args {
+					if err := checkVar(a, fmt.Sprintf("%s arg %d", what, ai)); err != nil {
+						return err
+					}
+					if a.IsNoVar() {
+						return fmt.Errorf("frontend: method %s: %s: missing arg %d", m.Name, what, ai)
+					}
+					// param edges connect locals only (Fig. 1); route
+					// globals through a temporary local instead.
+					if a.Global {
+						return fmt.Errorf("frontend: method %s: %s: global passed directly as arg %d; use a local temp", m.Name, what, ai)
+					}
+				}
+				if err := checkVar(s.Dst, what); err != nil {
+					return err
+				}
+				if !s.Dst.IsNoVar() && s.Dst.Global {
+					return fmt.Errorf("frontend: method %s: %s: call result assigned directly to a global; use a local temp", m.Name, what)
+				}
+				if !s.Dst.IsNoVar() && callee.Ret == -1 {
+					return fmt.Errorf("frontend: method %s: %s: callee %s returns nothing", m.Name, what, callee.Name)
+				}
+			default:
+				return fmt.Errorf("frontend: method %s: %s: unknown statement kind %d", m.Name, what, s.Kind)
+			}
+		}
+	}
+	return nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// NumStatements returns the total statement count, a rough program-size
+// metric used by the benchmark census.
+func (p *Program) NumStatements() int {
+	n := 0
+	for i := range p.Methods {
+		n += len(p.Methods[i].Body)
+	}
+	return n
+}

@@ -1,0 +1,79 @@
+package frontend
+
+import (
+	"parcfl/internal/pag"
+	"parcfl/internal/scc"
+)
+
+// TypeLevels computes the level L(t) of every type, per Section III-C2:
+//
+//	L(t) = max_{ti in FT(t)} L(ti) + 1   if isRef(t)
+//	L(t) = 0                             otherwise
+//
+// where FT(t) enumerates the types of all instance fields of t, modulo
+// recursion. Recursive field cycles are handled by collapsing the
+// type-containment graph into SCCs (every type in a cycle receives the same
+// level, computed from field types outside the cycle), which is the natural
+// reading of "modulo recursion".
+//
+// The returned slice is indexed by pag.TypeID. A reference type with no
+// reference-typed fields has level 1; primitives have level 0.
+func TypeLevels(types []Type) []int {
+	n := len(types)
+	succs := make([][]int, n)
+	for i := range types {
+		if !types[i].Ref {
+			continue
+		}
+		for _, f := range types[i].Fields {
+			if f.Type == pag.UntypedType {
+				continue
+			}
+			succs[i] = append(succs[i], int(f.Type))
+		}
+	}
+	comp, numComp := scc.Compute(n, func(v int) []int { return succs[v] })
+
+	// Components are numbered in reverse topological order: all of a
+	// component's successors have smaller component numbers, so a single
+	// ascending pass computes levels bottom-up.
+	compLevel := make([]int, numComp)
+	compHasRef := make([]bool, numComp)
+	members := make([][]int, numComp)
+	for t := 0; t < n; t++ {
+		c := comp[t]
+		members[c] = append(members[c], t)
+		if types[t].Ref {
+			compHasRef[c] = true
+		}
+	}
+	for c := 0; c < numComp; c++ {
+		maxChild := 0
+		for _, t := range members[c] {
+			for _, s := range succs[t] {
+				sc := comp[s]
+				if sc == c {
+					continue // recursion: ignored
+				}
+				if compLevel[sc] > maxChild {
+					maxChild = compLevel[sc]
+				}
+			}
+		}
+		if compHasRef[c] {
+			compLevel[c] = maxChild + 1
+		} else {
+			compLevel[c] = 0
+		}
+	}
+
+	levels := make([]int, n)
+	for t := 0; t < n; t++ {
+		if types[t].Ref {
+			levels[t] = compLevel[comp[t]]
+		} else {
+			levels[t] = 0
+		}
+	}
+	return levels
+}

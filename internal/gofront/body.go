@@ -1,0 +1,470 @@
+package gofront
+
+import (
+	"fmt"
+	"go/ast"
+	gotoken "go/token"
+
+	"parcfl/internal/frontend"
+	"parcfl/internal/pag"
+)
+
+// funcBody lowers one function body.
+type funcBody struct {
+	tr     *translator
+	fi     int
+	m      *frontend.Method
+	scope  map[string]int
+	nTemps int
+}
+
+func (b *funcBody) newLocal(name string, t pag.TypeID) int {
+	slot := len(b.m.Locals)
+	b.m.Locals = append(b.m.Locals, frontend.LocalVar{Name: name, Type: t})
+	return slot
+}
+
+func (b *funcBody) newTemp(t pag.TypeID) int {
+	b.nTemps++
+	return b.newLocal(fmt.Sprintf("$t%d", b.nTemps), t)
+}
+
+func (b *funcBody) emit(s frontend.Stmt) { b.m.Body = append(b.m.Body, s) }
+
+// lookupVar resolves an identifier to a VarRef and type.
+func (b *funcBody) lookupVar(id *ast.Ident) (frontend.VarRef, pag.TypeID, error) {
+	if slot, ok := b.scope[id.Name]; ok {
+		return frontend.Local(slot), b.m.Locals[slot].Type, nil
+	}
+	if gi, ok := b.tr.globIdx[id.Name]; ok {
+		return frontend.Global(gi), b.tr.prog.Globals[gi].Type, nil
+	}
+	return frontend.NoVar, 0, b.tr.errAt(id.Pos(), "unknown variable %s", id.Name)
+}
+
+func (b *funcBody) fieldOf(base pag.TypeID, sel *ast.Ident) (pag.FieldID, pag.TypeID, error) {
+	for _, f := range b.tr.prog.Types[base].Fields {
+		if f.Name == sel.Name {
+			return f.ID, f.Type, nil
+		}
+	}
+	return 0, 0, b.tr.errAt(sel.Pos(), "type %s has no field %s", b.tr.prog.Types[base].Name, sel.Name)
+}
+
+// evalToLocal lowers an expression into a local variable reference, creating
+// typed temporaries as needed, and returns (ref, type).
+func (b *funcBody) evalToLocal(e ast.Expr) (frontend.VarRef, pag.TypeID, error) {
+	switch ex := e.(type) {
+	case *ast.Ident:
+		if ex.Name == "nil" {
+			// nil carries no objects: a fresh, never-assigned temp.
+			t := b.tr.primitive()
+			return frontend.Local(b.newTemp(t)), t, nil
+		}
+		ref, t, err := b.lookupVar(ex)
+		if err != nil {
+			return frontend.NoVar, 0, err
+		}
+		if ref.Global {
+			tmp := b.newTemp(t)
+			b.emit(frontend.Stmt{Kind: frontend.StAssign, Dst: frontend.Local(tmp), Src: ref})
+			return frontend.Local(tmp), t, nil
+		}
+		return ref, t, nil
+
+	case *ast.UnaryExpr:
+		if ex.Op != gotoken.AND {
+			return frontend.NoVar, 0, b.tr.errAt(ex.Pos(), "unsupported unary operator %s", ex.Op)
+		}
+		cl, ok := ex.X.(*ast.CompositeLit)
+		if !ok {
+			return frontend.NoVar, 0, b.tr.errAt(ex.Pos(), "&x of variables is unsupported; use &T{...} literals")
+		}
+		return b.lowerCompositeLit(cl)
+
+	case *ast.CompositeLit:
+		return b.lowerCompositeLit(ex)
+
+	case *ast.SelectorExpr:
+		base, bt, err := b.evalToLocal(ex.X)
+		if err != nil {
+			return frontend.NoVar, 0, err
+		}
+		fid, ft, err := b.fieldOf(bt, ex.Sel)
+		if err != nil {
+			return frontend.NoVar, 0, err
+		}
+		tmp := b.newTemp(ft)
+		b.emit(frontend.Stmt{Kind: frontend.StLoad, Dst: frontend.Local(tmp), Base: base, Field: fid})
+		return frontend.Local(tmp), ft, nil
+
+	case *ast.IndexExpr:
+		base, bt, err := b.evalToLocal(ex.X)
+		if err != nil {
+			return frontend.NoVar, 0, err
+		}
+		elem, err := b.sliceElem(bt, ex.Pos())
+		if err != nil {
+			return frontend.NoVar, 0, err
+		}
+		tmp := b.newTemp(elem)
+		b.emit(frontend.Stmt{Kind: frontend.StLoad, Dst: frontend.Local(tmp), Base: base, Field: pag.ArrField})
+		return frontend.Local(tmp), elem, nil
+
+	case *ast.CallExpr:
+		return b.lowerCall(ex)
+
+	case *ast.BasicLit:
+		t := b.tr.primitive()
+		return frontend.Local(b.newTemp(t)), t, nil
+
+	case *ast.StarExpr:
+		// Dereference of a pointer-to-struct is the identity in our model.
+		return b.evalToLocal(ex.X)
+
+	default:
+		return frontend.NoVar, 0, b.tr.errAt(e.Pos(), "unsupported expression %T", e)
+	}
+}
+
+func (b *funcBody) sliceElem(t pag.TypeID, pos gotoken.Pos) (pag.TypeID, error) {
+	ty := &b.tr.prog.Types[t]
+	for _, f := range ty.Fields {
+		if f.ID == pag.ArrField {
+			return f.Type, nil
+		}
+	}
+	return 0, b.tr.errAt(pos, "indexing non-slice type %s", ty.Name)
+}
+
+// lowerCompositeLit lowers &T{f: e, ...} or []T{e, ...}: allocate, then
+// store the initialisers.
+func (b *funcBody) lowerCompositeLit(cl *ast.CompositeLit) (frontend.VarRef, pag.TypeID, error) {
+	tid, err := b.tr.resolveType(cl.Type)
+	if err != nil {
+		return frontend.NoVar, 0, err
+	}
+	tmp := b.newTemp(tid)
+	b.emit(frontend.Stmt{Kind: frontend.StAlloc, Dst: frontend.Local(tmp), Type: tid})
+	for _, el := range cl.Elts {
+		switch item := el.(type) {
+		case *ast.KeyValueExpr:
+			key, ok := item.Key.(*ast.Ident)
+			if !ok {
+				return frontend.NoVar, 0, b.tr.errAt(item.Pos(), "unsupported composite key")
+			}
+			fid, _, err := b.fieldOf(tid, key)
+			if err != nil {
+				return frontend.NoVar, 0, err
+			}
+			val, _, err := b.evalToLocal(item.Value)
+			if err != nil {
+				return frontend.NoVar, 0, err
+			}
+			b.emit(frontend.Stmt{Kind: frontend.StStore, Base: frontend.Local(tmp), Field: fid, Src: val})
+		default:
+			// Positional element of a slice literal: store into the
+			// collapsed element field.
+			if _, err := b.sliceElem(tid, el.Pos()); err != nil {
+				return frontend.NoVar, 0, b.tr.errAt(el.Pos(), "positional initialisers are only supported in slice literals")
+			}
+			val, _, err := b.evalToLocal(el)
+			if err != nil {
+				return frontend.NoVar, 0, err
+			}
+			b.emit(frontend.Stmt{Kind: frontend.StStore, Base: frontend.Local(tmp), Field: pag.ArrField, Src: val})
+		}
+	}
+	return frontend.Local(tmp), tid, nil
+}
+
+// lowerCall lowers f(args), new(T), and append(s, vs...).
+func (b *funcBody) lowerCall(call *ast.CallExpr) (frontend.VarRef, pag.TypeID, error) {
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return frontend.NoVar, 0, b.tr.errAt(call.Pos(), "unsupported call target %T", call.Fun)
+	}
+	switch fn.Name {
+	case "new":
+		if len(call.Args) != 1 {
+			return frontend.NoVar, 0, b.tr.errAt(call.Pos(), "new takes one type argument")
+		}
+		tid, err := b.tr.resolveType(call.Args[0])
+		if err != nil {
+			return frontend.NoVar, 0, err
+		}
+		tmp := b.newTemp(tid)
+		b.emit(frontend.Stmt{Kind: frontend.StAlloc, Dst: frontend.Local(tmp), Type: tid})
+		return frontend.Local(tmp), tid, nil
+
+	case "make":
+		if len(call.Args) < 1 {
+			return frontend.NoVar, 0, b.tr.errAt(call.Pos(), "make takes a type argument")
+		}
+		tid, err := b.tr.resolveType(call.Args[0])
+		if err != nil {
+			return frontend.NoVar, 0, err
+		}
+		tmp := b.newTemp(tid)
+		b.emit(frontend.Stmt{Kind: frontend.StAlloc, Dst: frontend.Local(tmp), Type: tid})
+		return frontend.Local(tmp), tid, nil
+
+	case "append":
+		if len(call.Args) < 2 {
+			return frontend.NoVar, 0, b.tr.errAt(call.Pos(), "append needs a slice and values")
+		}
+		slice, st, err := b.evalToLocal(call.Args[0])
+		if err != nil {
+			return frontend.NoVar, 0, err
+		}
+		if _, err := b.sliceElem(st, call.Pos()); err != nil {
+			return frontend.NoVar, 0, err
+		}
+		for _, arg := range call.Args[1:] {
+			val, _, err := b.evalToLocal(arg)
+			if err != nil {
+				return frontend.NoVar, 0, err
+			}
+			b.emit(frontend.Stmt{Kind: frontend.StStore, Base: slice, Field: pag.ArrField, Src: val})
+		}
+		// append returns (a slice sharing) the same backing store.
+		return slice, st, nil
+
+	case "len", "cap":
+		t := b.tr.primitive()
+		return frontend.Local(b.newTemp(t)), t, nil
+	}
+
+	ci, ok := b.tr.funcIdx[fn.Name]
+	if !ok {
+		return frontend.NoVar, 0, b.tr.errAt(fn.Pos(), "unknown function %s", fn.Name)
+	}
+	callee := &b.tr.prog.Methods[ci]
+	if len(call.Args) != len(callee.Params) {
+		return frontend.NoVar, 0, b.tr.errAt(call.Pos(), "%s takes %d argument(s), got %d", fn.Name, len(callee.Params), len(call.Args))
+	}
+	var args []frontend.VarRef
+	for _, a := range call.Args {
+		ref, _, err := b.evalToLocal(a)
+		if err != nil {
+			return frontend.NoVar, 0, err
+		}
+		args = append(args, ref)
+	}
+	if callee.Ret == -1 {
+		b.emit(frontend.Stmt{Kind: frontend.StCall, Callee: ci, Args: args, Dst: frontend.NoVar})
+		return frontend.NoVar, 0, nil
+	}
+	rt := callee.Locals[callee.Ret].Type
+	tmp := b.newTemp(rt)
+	b.emit(frontend.Stmt{Kind: frontend.StCall, Callee: ci, Args: args, Dst: frontend.Local(tmp)})
+	return frontend.Local(tmp), rt, nil
+}
+
+// assignTo stores a computed value into an lvalue (identifier, field
+// selection, or index expression).
+func (b *funcBody) assignTo(lhs ast.Expr, src frontend.VarRef, srcType pag.TypeID, define bool) error {
+	switch lv := lhs.(type) {
+	case *ast.Ident:
+		if lv.Name == "_" {
+			return nil
+		}
+		if define {
+			if _, exists := b.scope[lv.Name]; !exists {
+				slot := b.newLocal(lv.Name, srcType)
+				b.scope[lv.Name] = slot
+			}
+		}
+		dst, _, err := b.lookupVar(lv)
+		if err != nil {
+			return err
+		}
+		if src.IsNoVar() {
+			return b.tr.errAt(lhs.Pos(), "right-hand side produces no value")
+		}
+		if dst == src {
+			return nil
+		}
+		b.emit(frontend.Stmt{Kind: frontend.StAssign, Dst: dst, Src: src})
+		return nil
+	case *ast.SelectorExpr:
+		base, bt, err := b.evalToLocal(lv.X)
+		if err != nil {
+			return err
+		}
+		fid, _, err := b.fieldOf(bt, lv.Sel)
+		if err != nil {
+			return err
+		}
+		b.emit(frontend.Stmt{Kind: frontend.StStore, Base: base, Field: fid, Src: src})
+		return nil
+	case *ast.IndexExpr:
+		base, bt, err := b.evalToLocal(lv.X)
+		if err != nil {
+			return err
+		}
+		if _, err := b.sliceElem(bt, lv.Pos()); err != nil {
+			return err
+		}
+		b.emit(frontend.Stmt{Kind: frontend.StStore, Base: base, Field: pag.ArrField, Src: src})
+		return nil
+	default:
+		return b.tr.errAt(lhs.Pos(), "unsupported assignment target %T", lhs)
+	}
+}
+
+func (b *funcBody) lowerBlock(blk *ast.BlockStmt) error {
+	for _, st := range blk.List {
+		if err := b.lowerStmt(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *funcBody) lowerStmt(st ast.Stmt) error {
+	switch s := st.(type) {
+	case *ast.AssignStmt:
+		if len(s.Lhs) != len(s.Rhs) {
+			return b.tr.errAt(s.Pos(), "unbalanced assignment")
+		}
+		for i := range s.Lhs {
+			src, t, err := b.evalToLocal(s.Rhs[i])
+			if err != nil {
+				return err
+			}
+			if err := b.assignTo(s.Lhs[i], src, t, s.Tok == gotoken.DEFINE); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != gotoken.VAR {
+			return b.tr.errAt(s.Pos(), "unsupported declaration")
+		}
+		for _, spec := range gd.Specs {
+			vs := spec.(*ast.ValueSpec)
+			var tid pag.TypeID
+			var err error
+			if vs.Type != nil {
+				tid, err = b.tr.resolveType(vs.Type)
+				if err != nil {
+					return err
+				}
+			}
+			for i, name := range vs.Names {
+				if vs.Type == nil && i < len(vs.Values) {
+					src, t, err := b.evalToLocal(vs.Values[i])
+					if err != nil {
+						return err
+					}
+					slot := b.newLocal(name.Name, t)
+					b.scope[name.Name] = slot
+					b.emit(frontend.Stmt{Kind: frontend.StAssign, Dst: frontend.Local(slot), Src: src})
+					continue
+				}
+				slot := b.newLocal(name.Name, tid)
+				b.scope[name.Name] = slot
+				if i < len(vs.Values) {
+					src, _, err := b.evalToLocal(vs.Values[i])
+					if err != nil {
+						return err
+					}
+					b.emit(frontend.Stmt{Kind: frontend.StAssign, Dst: frontend.Local(slot), Src: src})
+				}
+			}
+		}
+		return nil
+
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			_, _, err := b.lowerCall(call)
+			return err
+		}
+		return b.tr.errAt(s.Pos(), "unsupported expression statement")
+
+	case *ast.ReturnStmt:
+		if len(s.Results) == 0 {
+			return nil
+		}
+		if len(s.Results) > 1 {
+			return b.tr.errAt(s.Pos(), "multiple results are unsupported")
+		}
+		if b.m.Ret == -1 {
+			return b.tr.errAt(s.Pos(), "return with value in void function")
+		}
+		src, _, err := b.evalToLocal(s.Results[0])
+		if err != nil {
+			return err
+		}
+		if src.IsNoVar() {
+			return b.tr.errAt(s.Pos(), "returned expression produces no value")
+		}
+		b.emit(frontend.Stmt{Kind: frontend.StAssign, Dst: frontend.Local(b.m.Ret), Src: src})
+		return nil
+
+	case *ast.IfStmt:
+		// Flow-insensitive: both branches contribute. Conditions with
+		// side-effect-free comparisons are ignored.
+		if s.Init != nil {
+			if err := b.lowerStmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if err := b.lowerBlock(s.Body); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				return b.lowerBlock(e)
+			case *ast.IfStmt:
+				return b.lowerStmt(e)
+			}
+		}
+		return nil
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			if err := b.lowerStmt(s.Init); err != nil {
+				return err
+			}
+		}
+		if s.Post != nil {
+			if err := b.lowerStmt(s.Post); err != nil {
+				return err
+			}
+		}
+		return b.lowerBlock(s.Body)
+
+	case *ast.RangeStmt:
+		// for _, v := range s { ... }: v receives the slice elements.
+		base, bt, err := b.evalToLocal(s.X)
+		if err != nil {
+			return err
+		}
+		elem, err := b.sliceElem(bt, s.Pos())
+		if err != nil {
+			return err
+		}
+		if s.Value != nil {
+			tmp := b.newTemp(elem)
+			b.emit(frontend.Stmt{Kind: frontend.StLoad, Dst: frontend.Local(tmp), Base: base, Field: pag.ArrField})
+			if err := b.assignTo(s.Value, frontend.Local(tmp), elem, s.Tok == gotoken.DEFINE); err != nil {
+				return err
+			}
+		}
+		return b.lowerBlock(s.Body)
+
+	case *ast.BlockStmt:
+		return b.lowerBlock(s)
+
+	case *ast.IncDecStmt, *ast.EmptyStmt:
+		return nil
+
+	default:
+		return b.tr.errAt(st.Pos(), "unsupported statement %T", st)
+	}
+}

@@ -1,0 +1,258 @@
+// Package gofront lowers a (well-defined subset of) Go source onto the
+// analysis PAG, so the library can answer points-to, alias and flows-to
+// queries about actual Go code. It demonstrates that the paper's machinery
+// is frontend-agnostic: like the Java (mjlang) and C (cfront) frontends, it
+// only has to produce the seven PAG edge kinds.
+//
+// Supported subset (checked syntactically; unsupported constructs are
+// rejected with positioned errors rather than silently mis-modelled):
+//
+//   - struct type declarations whose fields are pointers to structs,
+//     structs, slices, or (ignored) basic types;
+//   - package-level `var` declarations of pointer/struct/slice type;
+//   - plain functions (no methods) with pointer/struct/slice parameters
+//     and at most one result;
+//   - statements: x := expr, x = expr, x.f = expr, x[i] = expr, calls,
+//     return, and if/else/for blocks (flattened — the analysis is
+//     flow-insensitive);
+//   - expressions: &T{...} and []T{...} composite literals (with field and
+//     element initialisers), new(T), append(s, v...), identifiers, field
+//     selections x.f.g, indexing s[i], and calls f(args).
+//
+// Pointers and values of struct type are modelled uniformly as references
+// (the analysis tracks heap objects, not Go's value semantics — a
+// documented over-approximation). Slices are modelled like the paper
+// models Java arrays: all elements collapse into one pseudo-field.
+package gofront
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	gotoken "go/token"
+
+	"parcfl/internal/frontend"
+	"parcfl/internal/pag"
+)
+
+// Parse lowers Go source text (one file, package clause required) to a
+// frontend Program. Every function is marked Application (queries target
+// all locals).
+func Parse(src string) (*frontend.Program, error) {
+	fset := gotoken.NewFileSet()
+	file, err := parser.ParseFile(fset, "input.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	tr := &translator{
+		fset:     fset,
+		prog:     &frontend.Program{},
+		typeIdx:  map[string]pag.TypeID{},
+		sliceIdx: map[pag.TypeID]pag.TypeID{},
+		globIdx:  map[string]int{},
+		funcIdx:  map[string]int{},
+	}
+	return tr.run(file)
+}
+
+type translator struct {
+	fset *gotoken.FileSet
+	prog *frontend.Program
+
+	typeIdx  map[string]pag.TypeID
+	sliceIdx map[pag.TypeID]pag.TypeID // element type -> slice type
+	globIdx  map[string]int
+	funcIdx  map[string]int
+
+	nextField pag.FieldID
+	prim      pag.TypeID // shared primitive type, created lazily
+	primSet   bool
+}
+
+func (tr *translator) errAt(pos gotoken.Pos, format string, args ...any) error {
+	p := tr.fset.Position(pos)
+	return fmt.Errorf("%d:%d: %s", p.Line, p.Column, fmt.Sprintf(format, args...))
+}
+
+// primitive returns the shared primitive TypeID.
+func (tr *translator) primitive() pag.TypeID {
+	if !tr.primSet {
+		tr.prim = pag.TypeID(len(tr.prog.Types))
+		tr.prog.Types = append(tr.prog.Types, frontend.Type{Name: "<basic>"})
+		tr.primSet = true
+	}
+	return tr.prim
+}
+
+// sliceOf returns (creating on demand) the slice type of elem, whose
+// collapsed element field is pag.ArrField.
+func (tr *translator) sliceOf(elem pag.TypeID) pag.TypeID {
+	if id, ok := tr.sliceIdx[elem]; ok {
+		return id
+	}
+	id := pag.TypeID(len(tr.prog.Types))
+	tr.prog.Types = append(tr.prog.Types, frontend.Type{
+		Name: "[]" + tr.prog.Types[elem].Name,
+		Ref:  true,
+		Fields: []frontend.Field{
+			{Name: "elem", ID: pag.ArrField, Type: elem},
+		},
+	})
+	tr.sliceIdx[elem] = id
+	return id
+}
+
+// resolveType maps a type expression to a TypeID. Pointers to structs and
+// structs map to the struct's type; slices map to slice types; basic types
+// map to the shared primitive.
+func (tr *translator) resolveType(e ast.Expr) (pag.TypeID, error) {
+	switch t := e.(type) {
+	case *ast.Ident:
+		if id, ok := tr.typeIdx[t.Name]; ok {
+			return id, nil
+		}
+		// Any unknown identifier type (int, string, ...) is primitive.
+		return tr.primitive(), nil
+	case *ast.StarExpr:
+		return tr.resolveType(t.X)
+	case *ast.ArrayType:
+		elem, err := tr.resolveType(t.Elt)
+		if err != nil {
+			return 0, err
+		}
+		return tr.sliceOf(elem), nil
+	default:
+		return 0, tr.errAt(e.Pos(), "unsupported type expression %T", e)
+	}
+}
+
+func (tr *translator) run(file *ast.File) (*frontend.Program, error) {
+	// Pass 1: struct type names.
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != gotoken.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts := spec.(*ast.TypeSpec)
+			if _, isStruct := ts.Type.(*ast.StructType); !isStruct {
+				continue // non-struct named types treated as primitive
+			}
+			if _, dup := tr.typeIdx[ts.Name.Name]; dup {
+				return nil, tr.errAt(ts.Pos(), "type %s redeclared", ts.Name.Name)
+			}
+			id := pag.TypeID(len(tr.prog.Types))
+			tr.typeIdx[ts.Name.Name] = id
+			tr.prog.Types = append(tr.prog.Types, frontend.Type{Name: ts.Name.Name, Ref: true})
+		}
+	}
+	// Pass 2: struct fields.
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != gotoken.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts := spec.(*ast.TypeSpec)
+			st, isStruct := ts.Type.(*ast.StructType)
+			if !isStruct {
+				continue
+			}
+			id := tr.typeIdx[ts.Name.Name]
+			for _, fld := range st.Fields.List {
+				ftid, err := tr.resolveType(fld.Type)
+				if err != nil {
+					return nil, err
+				}
+				for _, name := range fld.Names {
+					tr.nextField++
+					tr.prog.Types[id].Fields = append(tr.prog.Types[id].Fields, frontend.Field{
+						Name: name.Name, ID: tr.nextField, Type: ftid,
+					})
+				}
+			}
+		}
+	}
+	// Pass 3: globals.
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != gotoken.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs := spec.(*ast.ValueSpec)
+			if vs.Type == nil {
+				return nil, tr.errAt(vs.Pos(), "package-level var needs an explicit type")
+			}
+			tid, err := tr.resolveType(vs.Type)
+			if err != nil {
+				return nil, err
+			}
+			if len(vs.Values) > 0 {
+				return nil, tr.errAt(vs.Pos(), "package-level var initialisers are unsupported; assign in a function")
+			}
+			for _, name := range vs.Names {
+				tr.globIdx[name.Name] = len(tr.prog.Globals)
+				tr.prog.Globals = append(tr.prog.Globals, frontend.GlobalVar{Name: name.Name, Type: tid})
+			}
+		}
+	}
+	// Pass 4: function signatures.
+	var fnDecls []*ast.FuncDecl
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if fd.Recv != nil {
+			return nil, tr.errAt(fd.Pos(), "methods are unsupported; use plain functions")
+		}
+		if _, dup := tr.funcIdx[fd.Name.Name]; dup {
+			return nil, tr.errAt(fd.Pos(), "func %s redeclared", fd.Name.Name)
+		}
+		tr.funcIdx[fd.Name.Name] = len(tr.prog.Methods)
+		m := frontend.Method{Name: fd.Name.Name, Ret: -1, Application: true}
+		for _, prm := range fd.Type.Params.List {
+			tid, err := tr.resolveType(prm.Type)
+			if err != nil {
+				return nil, err
+			}
+			for _, name := range prm.Names {
+				m.Params = append(m.Params, len(m.Locals))
+				m.Locals = append(m.Locals, frontend.LocalVar{Name: name.Name, Type: tid})
+			}
+		}
+		if fd.Type.Results != nil {
+			if len(fd.Type.Results.List) > 1 {
+				return nil, tr.errAt(fd.Pos(), "multiple results are unsupported")
+			}
+			tid, err := tr.resolveType(fd.Type.Results.List[0].Type)
+			if err != nil {
+				return nil, err
+			}
+			m.Ret = len(m.Locals)
+			m.Locals = append(m.Locals, frontend.LocalVar{Name: "$ret", Type: tid})
+		}
+		tr.prog.Methods = append(tr.prog.Methods, m)
+		fnDecls = append(fnDecls, fd)
+	}
+	// Pass 5: bodies.
+	for _, fd := range fnDecls {
+		if fd.Body == nil {
+			continue
+		}
+		fb := &funcBody{tr: tr, fi: tr.funcIdx[fd.Name.Name], scope: map[string]int{}}
+		fb.m = &tr.prog.Methods[fb.fi]
+		for i, slot := range fb.m.Params {
+			_ = i
+			fb.scope[fb.m.Locals[slot].Name] = slot
+		}
+		if err := fb.lowerBlock(fd.Body); err != nil {
+			return nil, err
+		}
+	}
+	if err := tr.prog.Validate(); err != nil {
+		return nil, fmt.Errorf("gofront: internal lowering error: %w", err)
+	}
+	return tr.prog, nil
+}

@@ -1,0 +1,266 @@
+package gofront
+
+import (
+	"strings"
+	"testing"
+
+	"parcfl/internal/andersen"
+	"parcfl/internal/cfl"
+	"parcfl/internal/frontend"
+	"parcfl/internal/pag"
+)
+
+func analyze(t *testing.T, src string) (*frontend.Program, *frontend.Lowered, *cfl.Solver) {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := frontend.Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, lo, cfl.New(lo.Graph, cfl.Config{})
+}
+
+// localOf finds the PAG node of a named local in a named function.
+func localOf(t *testing.T, p *frontend.Program, lo *frontend.Lowered, fn, local string) pag.NodeID {
+	t.Helper()
+	for mi := range p.Methods {
+		if p.Methods[mi].Name != fn {
+			continue
+		}
+		for li, lv := range p.Methods[mi].Locals {
+			if lv.Name == local {
+				return lo.LocalNode[mi][li]
+			}
+		}
+	}
+	t.Fatalf("no local %s.%s", fn, local)
+	return 0
+}
+
+// TestGoVectorExample: the paper's Fig. 2 scenario written as Go.
+func TestGoVectorExample(t *testing.T) {
+	src := `
+package main
+
+type Vector struct {
+	elems []interface{}
+}
+
+func push(v *Vector, e *Item)  { v.elems = append(v.elems, e) }
+func pop(v *Vector) *Item      { return v.elems[0].(*Item) }
+
+type Item struct{ tag int }
+`
+	// Type assertions are unsupported; write the subset version instead.
+	_ = src
+	subset := `
+package main
+
+type Item struct{ tag int }
+type Vector struct{ elems []*Item }
+
+func push(v *Vector, e *Item) {
+	v.elems = append(v.elems, e)
+}
+func pop(v *Vector) *Item {
+	return v.elems[0]
+}
+func main() {
+	v1 := &Vector{elems: []*Item{}}
+	n1 := &Item{}
+	push(v1, n1)
+	s1 := pop(v1)
+
+	v2 := &Vector{elems: []*Item{}}
+	n2 := &Item{}
+	push(v2, n2)
+	s2 := pop(v2)
+	_ = s1
+	_ = s2
+}
+`
+	p, lo, s := analyze(t, subset)
+	s1 := localOf(t, p, lo, "main", "s1")
+	s2 := localOf(t, p, lo, "main", "s2")
+	r1 := s.PointsTo(s1, pag.EmptyContext)
+	r2 := s.PointsTo(s2, pag.EmptyContext)
+	if len(r1.Objects()) != 1 || len(r2.Objects()) != 1 {
+		t.Fatalf("pts sizes: %d, %d (want 1,1 — context-sensitive separation)",
+			len(r1.Objects()), len(r2.Objects()))
+	}
+	if r1.Objects()[0] == r2.Objects()[0] {
+		t.Fatal("s1 and s2 conflated through the shared Vector code")
+	}
+	// And they must not alias.
+	if al, _ := s.Alias(s1, s2, pag.EmptyContext); al {
+		t.Fatal("alias(s1, s2) = true")
+	}
+}
+
+func TestGoCompositeLiteralFields(t *testing.T) {
+	src := `
+package main
+
+type Inner struct{ x int }
+type Outer struct{ in *Inner }
+
+func main() {
+	i := &Inner{}
+	o := &Outer{in: i}
+	got := o.in
+	_ = got
+}
+`
+	p, lo, s := analyze(t, src)
+	got := localOf(t, p, lo, "main", "got")
+	r := s.PointsTo(got, pag.EmptyContext)
+	if len(r.Objects()) != 1 {
+		t.Fatalf("pts(got) = %v", r.Objects())
+	}
+}
+
+func TestGoSlicesAndRange(t *testing.T) {
+	src := `
+package main
+
+type T struct{ n int }
+
+func main() {
+	xs := []*T{&T{}, &T{}}
+	xs = append(xs, new(T))
+	var last *T
+	for _, v := range xs {
+		last = v
+	}
+	first := xs[0]
+	_ = first
+	_ = last
+}
+`
+	p, lo, s := analyze(t, src)
+	last := localOf(t, p, lo, "main", "last")
+	r := s.PointsTo(last, pag.EmptyContext)
+	// All three allocations flow through the collapsed element field.
+	if len(r.Objects()) != 3 {
+		t.Fatalf("pts(last) = %d objects, want 3", len(r.Objects()))
+	}
+	first := localOf(t, p, lo, "main", "first")
+	if got := s.PointsTo(first, pag.EmptyContext).Objects(); len(got) != 3 {
+		t.Fatalf("pts(first) = %d objects, want 3 (collapsed elements)", len(got))
+	}
+}
+
+func TestGoGlobals(t *testing.T) {
+	src := `
+package main
+
+type Conn struct{ id int }
+
+var current *Conn
+
+func set() { current = &Conn{} }
+func get() *Conn {
+	return current
+}
+func main() {
+	set()
+	c := get()
+	_ = c
+}
+`
+	p, lo, s := analyze(t, src)
+	c := localOf(t, p, lo, "main", "c")
+	if got := s.PointsTo(c, pag.EmptyContext).Objects(); len(got) != 1 {
+		t.Fatalf("pts(c) = %v", got)
+	}
+}
+
+func TestGoIfElseFlattening(t *testing.T) {
+	src := `
+package main
+
+type T struct{ n int }
+
+func main() {
+	var x *T
+	if true {
+		x = &T{}
+	} else if false {
+		x = &T{}
+	} else {
+		x = new(T)
+	}
+	_ = x
+}
+`
+	p, lo, s := analyze(t, src)
+	x := localOf(t, p, lo, "main", "x")
+	if got := s.PointsTo(x, pag.EmptyContext).Objects(); len(got) != 3 {
+		t.Fatalf("pts(x) = %d, want 3 (flow-insensitive)", len(got))
+	}
+}
+
+// TestGoSoundVsAndersen: the Go lowering preserves the Andersen superset
+// relation.
+func TestGoSoundVsAndersen(t *testing.T) {
+	src := `
+package main
+
+type Node struct{ next *Node }
+
+func main() {
+	head := &Node{}
+	tail := &Node{}
+	head.next = tail
+	tail.next = tail
+	p := head
+	for i := 0; i < 10; i++ {
+		p = p.next
+	}
+	_ = p
+}
+`
+	p, lo, s := analyze(t, src)
+	and := andersen.Analyze(lo.Graph)
+	for mi := range p.Methods {
+		for li := range p.Methods[mi].Locals {
+			v := lo.LocalNode[mi][li]
+			super := and.PointsToSet(v)
+			for _, o := range s.PointsTo(v, pag.EmptyContext).Objects() {
+				if !super[o] {
+					t.Fatalf("%s.%s: CFL fact not in Andersen", p.Methods[mi].Name, p.Methods[mi].Locals[li].Name)
+				}
+			}
+		}
+	}
+	// The linked-list walk must find both nodes.
+	pv := localOf(t, p, lo, "main", "p")
+	if got := s.PointsTo(pv, pag.EmptyContext).Objects(); len(got) != 2 {
+		t.Fatalf("pts(p) = %d, want both list nodes", len(got))
+	}
+}
+
+func TestGoUnsupportedConstructs(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"method", "package m\ntype T struct{}\nfunc (t *T) f() {}", "methods are unsupported"},
+		{"multi-result", "package m\nfunc f() (int, int) { return 1, 2 }", "multiple results"},
+		{"addr of var", "package m\ntype T struct{}\nfunc f() { var x T; p := &x; _ = p }", "&x of variables"},
+		{"goroutine", "package m\nfunc g() {}\nfunc f() { go g() }", "unsupported statement"},
+		{"unknown func", "package m\nfunc f() { h() }", "unknown function"},
+		{"pkg var init", "package m\ntype T struct{}\nvar G *T = nil", "initialisers are unsupported"},
+		{"syntax", "package m\nfunc {", "expected"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q missing %q", c.name, err, c.want)
+		}
+	}
+}

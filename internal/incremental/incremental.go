@@ -1,0 +1,136 @@
+// Package incremental maintains analysis results across program edits,
+// reproducing (in simplified form) the incremental CFL-reachability line of
+// work the paper builds on ([6] Lu/Shang/Xie/Xue CC'13, [16] Shang/Lu/Xue
+// ASE'12): "incremental techniques, which are tailored for scenarios where
+// code changes are small, take advantage of previously computed
+// CFL-reachable paths to avoid unnecessary reanalysis."
+//
+// The previously computed paths here are the jmp shortcut edges of the
+// data-sharing store. Program edits classify into:
+//
+//   - shrinking edits (statement/edge removals): recorded shortcuts can
+//     only over-approximate afterwards — taking one may re-derive facts
+//     that no longer hold, costing precision but never soundness — so the
+//     store is RETAINED and results stay conservative until entries are
+//     naturally replaced;
+//   - growing edits (additions): recorded shortcuts may now be incomplete
+//     (missing targets), which would lose facts; the store's epoch is
+//     advanced, lazily invalidating every entry. Re-querying rebuilds
+//     entries on demand — no eager recomputation.
+//
+// The PAG itself is edited in place (node IDs are stable across updates),
+// so the caches keyed by (node, context) stay meaningful.
+package incremental
+
+import (
+	"parcfl/internal/cfl"
+	"parcfl/internal/pag"
+	"parcfl/internal/ptcache"
+	"parcfl/internal/share"
+)
+
+// Analyzer owns a mutable PAG and the persistent jmp store.
+type Analyzer struct {
+	g      *pag.Graph
+	store  *share.Store
+	cache  *ptcache.Cache
+	budget int
+
+	// edit statistics
+	grew, shrank int
+}
+
+// Config tunes the incremental analyzer.
+type Config struct {
+	// Budget is the per-query step budget (0 = unbounded).
+	Budget int
+	// Store overrides the jmp store (mainly for tests); nil creates one
+	// with the paper's thresholds.
+	Store *share.Store
+	// ResultCache additionally maintains a cross-query result cache with
+	// the same epoch discipline.
+	ResultCache bool
+}
+
+// New wraps a frozen graph for incremental analysis.
+func New(g *pag.Graph, cfg Config) *Analyzer {
+	if !g.Frozen() {
+		panic("incremental: unfrozen graph")
+	}
+	st := cfg.Store
+	if st == nil {
+		st = share.NewStore(share.DefaultConfig())
+	}
+	a := &Analyzer{g: g, store: st, budget: cfg.Budget}
+	if cfg.ResultCache {
+		a.cache = ptcache.New(64)
+	}
+	return a
+}
+
+// Graph returns the underlying (currently frozen) graph.
+func (a *Analyzer) Graph() *pag.Graph { return a.g }
+
+// Store returns the persistent jmp store.
+func (a *Analyzer) Store() *share.Store { return a.store }
+
+// Edit is a batch of graph changes applied atomically between analysis
+// sessions.
+type Edit struct {
+	AddNodes    []pag.Node
+	AddEdges    []pag.Edge
+	RemoveEdges []pag.Edge
+}
+
+// Grows reports whether the edit can add value-flow paths (any node or edge
+// addition). Growing edits invalidate cached shortcuts.
+func (e *Edit) Grows() bool {
+	return len(e.AddNodes) > 0 || len(e.AddEdges) > 0
+}
+
+// Apply performs the edit and returns the IDs of any added nodes (in order).
+// The analyzer must not be queried concurrently with Apply.
+func (a *Analyzer) Apply(e Edit) []pag.NodeID {
+	a.g.BeginUpdate()
+	ids := make([]pag.NodeID, 0, len(e.AddNodes))
+	for _, n := range e.AddNodes {
+		ids = append(ids, a.g.AddNode(n))
+	}
+	for _, ed := range e.RemoveEdges {
+		a.g.RemoveEdge(ed)
+	}
+	for _, ed := range e.AddEdges {
+		a.g.AddEdge(ed)
+	}
+	a.g.CommitUpdate()
+
+	if e.Grows() {
+		// Additions can create new paths: every recorded expansion may
+		// now be incomplete. Invalidate lazily.
+		a.store.BumpEpoch()
+		if a.cache != nil {
+			a.cache.BumpEpoch()
+		}
+		a.grew++
+	} else {
+		// Pure removals: stale entries only over-approximate. Keep them
+		// (the incremental win: prior work remains usable).
+		a.shrank++
+	}
+	return ids
+}
+
+// Solver returns a fresh demand solver sharing the persistent store.
+// Solvers are single-goroutine; create one per worker.
+func (a *Analyzer) Solver() *cfl.Solver {
+	return cfl.New(a.g, cfl.Config{Budget: a.budget, Share: a.store, Cache: a.cache})
+}
+
+// PointsTo runs one query against the current graph with the persistent
+// store.
+func (a *Analyzer) PointsTo(v pag.NodeID, ctx pag.Context) cfl.Result {
+	return a.Solver().PointsTo(v, ctx)
+}
+
+// Edits returns how many growing and shrinking edits have been applied.
+func (a *Analyzer) Edits() (grew, shrank int) { return a.grew, a.shrank }

@@ -1,0 +1,216 @@
+package incremental
+
+import (
+	"testing"
+
+	"parcfl/internal/cfl"
+	"parcfl/internal/frontend"
+	"parcfl/internal/pag"
+	"parcfl/internal/randprog"
+	"parcfl/internal/share"
+)
+
+// buildBase: o1 -new-> a -assign-> b, plus store/load through a container:
+// c -new-> oc ; c.f = a ; d = c.f.
+func buildBase(t *testing.T) (*pag.Graph, map[string]pag.NodeID) {
+	t.Helper()
+	g := pag.NewGraph()
+	ids := map[string]pag.NodeID{}
+	ids["o1"] = g.AddObject("o1", 0)
+	ids["oc"] = g.AddObject("oc", 1)
+	ids["a"] = g.AddLocal("a", 0, 0)
+	ids["b"] = g.AddLocal("b", 0, 0)
+	ids["c"] = g.AddLocal("c", 1, 0)
+	ids["d"] = g.AddLocal("d", 0, 0)
+	f := pag.Label(1)
+	g.AddEdge(pag.Edge{Dst: ids["a"], Src: ids["o1"], Kind: pag.EdgeNew})
+	g.AddEdge(pag.Edge{Dst: ids["b"], Src: ids["a"], Kind: pag.EdgeAssignLocal})
+	g.AddEdge(pag.Edge{Dst: ids["c"], Src: ids["oc"], Kind: pag.EdgeNew})
+	g.AddEdge(pag.Edge{Dst: ids["c"], Src: ids["a"], Kind: pag.EdgeStore, Label: f})
+	g.AddEdge(pag.Edge{Dst: ids["d"], Src: ids["c"], Kind: pag.EdgeLoad, Label: f})
+	g.Freeze()
+	return g, ids
+}
+
+func objs(r cfl.Result) map[pag.NodeID]bool {
+	m := map[pag.NodeID]bool{}
+	for _, o := range r.Objects() {
+		m[o] = true
+	}
+	return m
+}
+
+func TestGrowingEditFindsNewFacts(t *testing.T) {
+	g, ids := buildBase(t)
+	st := share.NewStore(share.Config{TauF: 1, TauU: 1, Shards: 4})
+	ia := New(g, Config{Store: st})
+
+	// Warm the cache: d -> {o1} via the store/load pair.
+	r := ia.PointsTo(ids["d"], pag.EmptyContext)
+	if !objs(r)[ids["o1"]] {
+		t.Fatalf("d pts = %v, want o1", r.Objects())
+	}
+	if st.NumJumps() == 0 {
+		t.Fatal("no shortcuts recorded")
+	}
+
+	// Edit: a second object flows into the container: o2 -new-> e; c.f = e.
+	gIDs := ia.Apply(Edit{
+		AddNodes: []pag.Node{
+			{Name: "o2", Kind: pag.KindObject},
+			{Name: "e", Kind: pag.KindLocal},
+		},
+		AddEdges: nil,
+	})
+	o2, e := gIDs[0], gIDs[1]
+	ia.Apply(Edit{AddEdges: []pag.Edge{
+		{Dst: e, Src: o2, Kind: pag.EdgeNew},
+		{Dst: ids["c"], Src: e, Kind: pag.EdgeStore, Label: 1},
+	}})
+
+	// The cached shortcut for d's expansion is stale; epoch invalidation
+	// must expose the new fact.
+	r2 := ia.PointsTo(ids["d"], pag.EmptyContext)
+	got := objs(r2)
+	if !got[ids["o1"]] || !got[o2] {
+		t.Fatalf("after growing edit, d pts = %v, want {o1, o2}", r2.Objects())
+	}
+	grew, _ := ia.Edits()
+	if grew != 2 {
+		t.Fatalf("grew = %d", grew)
+	}
+}
+
+func TestShrinkingEditKeepsCache(t *testing.T) {
+	g, ids := buildBase(t)
+	st := share.NewStore(share.Config{TauF: 1, TauU: 1, Shards: 4})
+	ia := New(g, Config{Store: st})
+	ia.PointsTo(ids["d"], pag.EmptyContext)
+	epochBefore := st.Epoch()
+
+	// Remove the assignment b = a (irrelevant to d's answer).
+	ia.Apply(Edit{RemoveEdges: []pag.Edge{
+		{Dst: ids["b"], Src: ids["a"], Kind: pag.EdgeAssignLocal},
+	}})
+	if st.Epoch() != epochBefore {
+		t.Fatal("shrinking edit bumped the epoch")
+	}
+	// The cached answer is still usable and correct here.
+	r := ia.PointsTo(ids["d"], pag.EmptyContext)
+	if !objs(r)[ids["o1"]] {
+		t.Fatalf("d pts = %v", r.Objects())
+	}
+	// b's answer reflects the removal (no cache covered it).
+	rb := ia.PointsTo(ids["b"], pag.EmptyContext)
+	if len(rb.Objects()) != 0 {
+		t.Fatalf("b pts = %v after removing its only edge", rb.Objects())
+	}
+	_, shrank := ia.Edits()
+	if shrank != 1 {
+		t.Fatalf("shrank = %d", shrank)
+	}
+}
+
+func TestShrinkingEditIsSoundOverApprox(t *testing.T) {
+	g, ids := buildBase(t)
+	st := share.NewStore(share.Config{TauF: 1, TauU: 1, Shards: 4})
+	ia := New(g, Config{Store: st})
+	ia.PointsTo(ids["d"], pag.EmptyContext) // warm shortcut for d
+
+	// Remove the store c.f = a: exactly (from scratch) d now points to
+	// nothing; incrementally, the stale shortcut may still claim o1.
+	ia.Apply(Edit{RemoveEdges: []pag.Edge{
+		{Dst: ids["c"], Src: ids["a"], Kind: pag.EdgeStore, Label: 1},
+	}})
+	inc := objs(ia.PointsTo(ids["d"], pag.EmptyContext))
+
+	fresh := cfl.New(ia.Graph(), cfl.Config{})
+	exact := objs(fresh.PointsTo(ids["d"], pag.EmptyContext))
+
+	// Over-approximation: everything exact is in the incremental answer.
+	for o := range exact {
+		if !inc[o] {
+			t.Fatalf("incremental lost fact %v after removal", o)
+		}
+	}
+}
+
+// TestIncrementalMatchesFromScratchOnGrowth: on random programs, applying a
+// growing edit and re-querying must equal a from-scratch analysis of the
+// edited graph.
+func TestIncrementalMatchesFromScratchOnGrowth(t *testing.T) {
+	for seed := int64(600); seed < 620; seed++ {
+		p := randprog.Generate(seed, randprog.DefaultLimits())
+		lo, err := frontend.Lower(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := share.NewStore(share.Config{TauF: 1, TauU: 1, Shards: 4})
+		ia := New(lo.Graph, Config{Store: st})
+		// Warm: query everything once.
+		for _, v := range lo.AppQueryVars {
+			ia.PointsTo(v, pag.EmptyContext)
+		}
+		// Grow: new object assigned into the first queried variable.
+		if len(lo.AppQueryVars) == 0 {
+			continue
+		}
+		target := lo.AppQueryVars[0]
+		added := ia.Apply(Edit{AddNodes: []pag.Node{{Name: "oNew", Kind: pag.KindObject}}})
+		ia.Apply(Edit{AddEdges: []pag.Edge{{Dst: target, Src: added[0], Kind: pag.EdgeNew}}})
+
+		fresh := cfl.New(ia.Graph(), cfl.Config{})
+		for _, v := range lo.AppQueryVars {
+			a := objs(ia.PointsTo(v, pag.EmptyContext))
+			b := objs(fresh.PointsTo(v, pag.EmptyContext))
+			if len(a) != len(b) {
+				t.Fatalf("seed %d: %s: incremental %v vs fresh %v", seed, lo.Graph.Node(v).Name, a, b)
+			}
+			for o := range b {
+				if !a[o] {
+					t.Fatalf("seed %d: %s: incremental missing %v", seed, lo.Graph.Node(v).Name, o)
+				}
+			}
+		}
+	}
+}
+
+func TestUpdateAPIBasics(t *testing.T) {
+	g, ids := buildBase(t)
+	// RemoveEdge of an absent edge returns false.
+	g.BeginUpdate()
+	if g.RemoveEdge(pag.Edge{Dst: ids["a"], Src: ids["b"], Kind: pag.EdgeAssignLocal}) {
+		t.Fatal("removed a non-existent edge")
+	}
+	if !g.RemoveEdge(pag.Edge{Dst: ids["b"], Src: ids["a"], Kind: pag.EdgeAssignLocal}) {
+		t.Fatal("failed to remove an existing edge")
+	}
+	g.CommitUpdate()
+	if !g.Frozen() {
+		t.Fatal("not re-frozen")
+	}
+	// Double BeginUpdate / CommitUpdate misuse panics.
+	mustPanic := func(f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { g.CommitUpdate() })
+	g.BeginUpdate()
+	mustPanic(func() { g.BeginUpdate() })
+	g.CommitUpdate()
+	// The O node survives updates and stays unique.
+	n := 0
+	for i := 0; i < g.NumNodes(); i++ {
+		if g.Node(pag.NodeID(i)).Kind == pag.KindUnfinished {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("O nodes = %d", n)
+	}
+}

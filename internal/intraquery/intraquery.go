@@ -1,0 +1,162 @@
+// Package intraquery implements the intra-query parallelisation strategy
+// the paper considers and rejects (Section III): "To exploit intra-query
+// parallelism, we need to partition and distribute the work performed in
+// computing the points-to set of a single query among different threads.
+// Such parallelism is irregular and hard to achieve with the right
+// granularity. In addition, considerable synchronisation overhead ... would
+// likely offset the performance benefit achieved."
+//
+// This package exists to reproduce that argument empirically. It answers a
+// single query by fanning its alias expansions out to worker goroutines:
+//
+//  1. a sequential skeleton pass traverses the direct (assign/param/ret)
+//     edges, collecting the heap expansions the query needs;
+//  2. each expansion's sub-queries (points-to of the load base, flows-to of
+//     its objects) run as independent parallel solver calls;
+//  3. the discovered continuation variables feed the next round, with a
+//     barrier between rounds.
+//
+// The results are exactly the standard solver's; the performance is not —
+// sub-queries cannot share memoised computations across goroutines, and the
+// per-round barriers serialise the irregular tail. The accompanying
+// benchmark quantifies the loss, empirically justifying the paper's choice
+// of inter-query parallelism.
+package intraquery
+
+import (
+	"sync"
+
+	"parcfl/internal/cfl"
+	"parcfl/internal/pag"
+)
+
+// Config tunes the intra-query engine.
+type Config struct {
+	// Threads is the fan-out width (0 = 4).
+	Threads int
+	// Budget bounds each sub-query (0 = unbounded).
+	Budget int
+}
+
+// Result mirrors the sequential solver's result for a points-to query.
+type Result struct {
+	Objects []pag.NodeID
+	// Rounds is the number of barrier-separated expansion rounds.
+	Rounds int
+	// SubQueries is the number of parallel solver calls issued.
+	SubQueries int
+}
+
+// expansion is one heap demand discovered by the skeleton pass: a load
+// x = p.f reached at context c.
+type expansion struct {
+	base  pag.NodeID
+	field pag.FieldID
+	ctx   pag.Context
+}
+
+// PointsTo answers pts(v, ctx) with intra-query parallelism.
+func PointsTo(g *pag.Graph, v pag.NodeID, ctx pag.Context, cfg Config) Result {
+	threads := cfg.Threads
+	if threads <= 0 {
+		threads = 4
+	}
+
+	var res Result
+	objects := map[pag.NodeID]bool{}
+	visited := map[pag.NodeCtx]bool{}
+	work := []pag.NodeCtx{{Node: v, Ctx: ctx}}
+
+	for len(work) > 0 {
+		res.Rounds++
+		// Phase 1 (sequential skeleton): drain direct edges, collect
+		// heap expansions.
+		var demands []expansion
+		for len(work) > 0 {
+			it := work[len(work)-1]
+			work = work[:len(work)-1]
+			if visited[it] {
+				continue
+			}
+			visited[it] = true
+			for _, he := range g.In(it.Node) {
+				switch he.Kind {
+				case pag.EdgeNew:
+					objects[he.Other] = true
+				case pag.EdgeAssignLocal:
+					work = append(work, pag.NodeCtx{Node: he.Other, Ctx: it.Ctx})
+				case pag.EdgeAssignGlobal:
+					work = append(work, pag.NodeCtx{Node: he.Other, Ctx: pag.EmptyContext})
+				case pag.EdgeParam:
+					i := pag.CallSiteID(he.Label)
+					if it.Ctx.Empty() {
+						work = append(work, pag.NodeCtx{Node: he.Other, Ctx: pag.EmptyContext})
+					} else if it.Ctx.Top() == i {
+						work = append(work, pag.NodeCtx{Node: he.Other, Ctx: it.Ctx.Pop()})
+					}
+				case pag.EdgeRet:
+					work = append(work, pag.NodeCtx{Node: he.Other, Ctx: it.Ctx.Push(pag.CallSiteID(he.Label))})
+				case pag.EdgeLoad:
+					demands = append(demands, expansion{base: he.Other, field: pag.FieldID(he.Label), ctx: it.Ctx})
+				}
+			}
+		}
+		if len(demands) == 0 {
+			break
+		}
+
+		// Phase 2 (parallel fan-out with a barrier): resolve each
+		// expansion with independent sub-queries. Each goroutine builds
+		// its own solvers — no shared memoisation, which is precisely
+		// the strategy's weakness.
+		type contribution struct {
+			targets []pag.NodeCtx
+			subs    int
+		}
+		out := make([]contribution, len(demands))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, threads)
+		for di := range demands {
+			wg.Add(1)
+			go func(di int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				d := demands[di]
+				solver := cfl.New(g, cfl.Config{Budget: cfg.Budget})
+				pts := solver.PointsTo(d.base, d.ctx)
+				out[di].subs++
+				seen := map[pag.NodeCtx]bool{}
+				for _, oc := range pts.PointsTo {
+					fls := solver.FlowsTo(oc.Node, oc.Ctx)
+					out[di].subs++
+					for _, vc := range fls.PointsTo {
+						for _, she := range g.In(vc.Node) {
+							if she.Kind == pag.EdgeStore && pag.FieldID(she.Label) == d.field {
+								t := pag.NodeCtx{Node: she.Other, Ctx: vc.Ctx}
+								if !seen[t] {
+									seen[t] = true
+									out[di].targets = append(out[di].targets, t)
+								}
+							}
+						}
+					}
+				}
+			}(di)
+		}
+		wg.Wait()
+		for _, c := range out {
+			res.SubQueries += c.subs
+			for _, t := range c.targets {
+				if !visited[t] {
+					work = append(work, t)
+				}
+			}
+		}
+	}
+
+	for o := range objects {
+		res.Objects = append(res.Objects, o)
+	}
+	return res
+}

@@ -1,0 +1,121 @@
+package intraquery
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"parcfl/internal/cfl"
+	"parcfl/internal/frontend"
+	"parcfl/internal/javagen"
+	"parcfl/internal/pag"
+	"parcfl/internal/randprog"
+)
+
+func sorted(ids []pag.NodeID) []pag.NodeID {
+	out := append([]pag.NodeID{}, ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestMatchesSequentialFig2: intra-query parallel answers equal the
+// standard solver on the paper's example.
+func TestMatchesSequentialFig2(t *testing.T) {
+	f, err := frontend.BuildFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := cfl.New(f.Lowered.Graph, cfl.Config{})
+	for _, v := range f.Lowered.AppQueryVars {
+		want := sorted(seq.PointsTo(v, pag.EmptyContext).Objects())
+		got := sorted(PointsTo(f.Lowered.Graph, v, pag.EmptyContext, Config{Threads: 4}).Objects)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %v vs %v", f.Lowered.Graph.Node(v).Name, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: %v vs %v", f.Lowered.Graph.Node(v).Name, got, want)
+			}
+		}
+	}
+}
+
+// TestMatchesSequentialRandom: same property on random programs.
+func TestMatchesSequentialRandom(t *testing.T) {
+	for seed := int64(700); seed < 720; seed++ {
+		p := randprog.Generate(seed, randprog.DefaultLimits())
+		lo, err := frontend.Lower(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := cfl.New(lo.Graph, cfl.Config{})
+		for _, v := range lo.AppQueryVars {
+			want := sorted(seq.PointsTo(v, pag.EmptyContext).Objects())
+			got := sorted(PointsTo(lo.Graph, v, pag.EmptyContext, Config{Threads: 3}).Objects)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d %s: %v vs %v", seed, lo.Graph.Node(v).Name, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d %s: mismatch", seed, lo.Graph.Node(v).Name)
+				}
+			}
+		}
+	}
+}
+
+// TestSlowerThanInterQuery reproduces the paper's Section III argument: on
+// a benchmark-shaped program, answering queries with intra-query fan-out is
+// slower than the plain sequential solver (which the inter-query modes
+// build on), because sub-queries cannot share memoised work.
+func TestSlowerThanInterQuery(t *testing.T) {
+	pr, err := javagen.PresetByName("_209_db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prg, err := javagen.Generate(pr.Params(0.005))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := frontend.Lower(prg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := lo.AppQueryVars
+	if len(queries) > 40 {
+		queries = queries[:40]
+	}
+
+	seqStart := time.Now()
+	seq := cfl.New(lo.Graph, cfl.Config{Budget: 75000})
+	for _, v := range queries {
+		seq.PointsTo(v, pag.EmptyContext)
+	}
+	seqTime := time.Since(seqStart)
+
+	intraStart := time.Now()
+	for _, v := range queries {
+		PointsTo(lo.Graph, v, pag.EmptyContext, Config{Threads: 4, Budget: 75000})
+	}
+	intraTime := time.Since(intraStart)
+
+	t.Logf("sequential: %v, intra-query x4: %v (ratio %.1fx)",
+		seqTime, intraTime, float64(intraTime)/float64(seqTime))
+	if intraTime < seqTime {
+		t.Log("note: intra-query happened to win on this host/benchmark; the paper's claim is about the common case")
+	}
+}
+
+func TestRoundsAndSubQueries(t *testing.T) {
+	f, err := frontend.BuildFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := PointsTo(f.Lowered.Graph, f.S1, pag.EmptyContext, Config{})
+	if r.Rounds < 2 {
+		t.Fatalf("s1 requires heap rounds, got %d", r.Rounds)
+	}
+	if r.SubQueries == 0 {
+		t.Fatal("no sub-queries issued")
+	}
+}

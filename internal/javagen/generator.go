@@ -1,0 +1,643 @@
+// Package javagen generates synthetic mini-Java benchmark programs with the
+// structural characteristics of the paper's 20 Java benchmarks (10 SPEC
+// JVM98 + 10 DaCapo 2009). The real benchmarks require a Java bytecode
+// frontend (Soot); per the reproduction's substitution rule we instead
+// generate seeded, deterministic programs that exercise the same analysis
+// code paths:
+//
+//   - Vector-like library containers with a two-level heap (container ->
+//     backing array -> elements), producing the long ld/st alias chains the
+//     paper identifies as "long (time-consuming to traverse) and common
+//     (repeatedly traversed across the queries)";
+//   - wrapper call chains of configurable depth, exercising param_i/ret_i
+//     context matching;
+//   - application methods sharing containers through globals and through
+//     app-to-app calls, creating the cross-query redundancy that data
+//     sharing exploits;
+//   - occasional high fan-in "hub" fields, making some expansions exceed
+//     the per-query budget (the source of unfinished jmp edges and early
+//     terminations);
+//   - payload-class hierarchies of varying field-containment depth, giving
+//     the scheduler's dependence-depth heuristic something to order.
+//
+// Generation is fully deterministic given Params (including the seed), so
+// benchmarks never need to be stored: experiments regenerate them.
+package javagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"parcfl/internal/frontend"
+	"parcfl/internal/pag"
+)
+
+// Params controls generation. All counts are "approximately proportional" —
+// the generator derives concrete structures from them.
+type Params struct {
+	// Name labels the benchmark in reports.
+	Name string
+	// Seed drives all randomised choices.
+	Seed int64
+
+	// Containers is the number of distinct container classes in the
+	// library (each with init/put/get and a wrapper chain).
+	Containers int
+	// CallDepth is the wrapper chain length above put/get.
+	CallDepth int
+	// PayloadClasses is the number of element classes apps allocate.
+	PayloadClasses int
+	// PayloadFieldDepth is the maximum field-containment depth of the
+	// payload class chains (drives type levels / dependence depths).
+	PayloadFieldDepth int
+	// AppMethods is the number of application methods (queries are
+	// issued for all their locals).
+	AppMethods int
+	// OpsPerApp is the number of operations (alloc/put/get/assign/
+	// field access) emitted per application method.
+	OpsPerApp int
+	// Globals is the number of global variables holding containers
+	// shared across application methods.
+	Globals int
+	// AppCallFanout is the number of calls each app method makes to
+	// lower-indexed app methods (passing containers around).
+	AppCallFanout int
+	// HubFields, when positive, adds high-fan-in stores: this many extra
+	// app methods all store into the same field of aliased bases, making
+	// expansions through that field expensive (budget pressure).
+	HubFields int
+	// LibPadMethods adds uncalled library methods that pass fresh
+	// payloads through the container API. They model the large library
+	// mass of the real benchmarks (the JVM98 suite is library-heavy):
+	// their param edges fan into the shared put/get formals, so
+	// empty-context traversals must explore them, inflating per-query
+	// cost exactly as big libraries do.
+	LibPadMethods int
+}
+
+// Validate reports the first implausible parameter.
+func (p *Params) Validate() error {
+	switch {
+	case p.Containers < 1:
+		return fmt.Errorf("javagen: Containers must be >= 1")
+	case p.CallDepth < 0:
+		return fmt.Errorf("javagen: CallDepth must be >= 0")
+	case p.PayloadClasses < 1:
+		return fmt.Errorf("javagen: PayloadClasses must be >= 1")
+	case p.PayloadFieldDepth < 1:
+		return fmt.Errorf("javagen: PayloadFieldDepth must be >= 1")
+	case p.AppMethods < 1:
+		return fmt.Errorf("javagen: AppMethods must be >= 1")
+	case p.OpsPerApp < 1:
+		return fmt.Errorf("javagen: OpsPerApp must be >= 1")
+	case p.Globals < 0 || p.AppCallFanout < 0 || p.HubFields < 0 || p.LibPadMethods < 0:
+		return fmt.Errorf("javagen: negative count")
+	}
+	return nil
+}
+
+// gen carries generation state.
+type gen struct {
+	p   Params
+	rng *rand.Rand
+	prg *frontend.Program
+
+	// Type IDs.
+	tObject    pag.TypeID
+	tArr       pag.TypeID // backing array type with the collapsed arr field
+	tPayload   []pag.TypeID
+	tContainer []pag.TypeID
+
+	nextField pag.FieldID
+
+	// Per-container method indexes.
+	initM, putM, getM []int
+	putWrap, getWrap  [][]int // [container][depth]
+
+	hubField pag.FieldID
+}
+
+// Generate builds a program from params. The same params always produce the
+// same program.
+func Generate(p Params) (*frontend.Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := &gen{
+		p:   p,
+		rng: rand.New(rand.NewSource(p.Seed)),
+		prg: &frontend.Program{},
+	}
+	g.buildTypes()
+	g.buildGlobals()
+	g.buildLibrary()
+	g.buildGlobalInits()
+	g.buildLibraryPadding()
+	g.buildApps()
+	if err := g.prg.Validate(); err != nil {
+		return nil, fmt.Errorf("javagen: generated invalid program: %w", err)
+	}
+	return g.prg, nil
+}
+
+func (g *gen) field(name string, t pag.TypeID) frontend.Field {
+	g.nextField++
+	return frontend.Field{Name: name, ID: g.nextField, Type: t}
+}
+
+func (g *gen) buildTypes() {
+	// Type 0: Object.
+	g.tObject = pag.TypeID(len(g.prg.Types))
+	g.prg.Types = append(g.prg.Types, frontend.Type{Name: "Object", Ref: true})
+	// Reserve field 0 as the collapsed array field (pag.ArrField).
+	g.tArr = pag.TypeID(len(g.prg.Types))
+	g.prg.Types = append(g.prg.Types, frontend.Type{
+		Name: "Object[]", Ref: true,
+		Fields: []frontend.Field{{Name: "arr", ID: pag.ArrField, Type: g.tObject}},
+	})
+
+	// Payload class chains: P_k_0 has an Object field; P_k_d has a field
+	// of type P_k_(d-1); depth varies per class so type levels differ.
+	for k := 0; k < g.p.PayloadClasses; k++ {
+		depth := 1 + g.rng.Intn(g.p.PayloadFieldDepth)
+		prev := g.tObject
+		var tid pag.TypeID
+		for d := 0; d < depth; d++ {
+			tid = pag.TypeID(len(g.prg.Types))
+			g.prg.Types = append(g.prg.Types, frontend.Type{
+				Name: fmt.Sprintf("P%d_%d", k, d), Ref: true,
+				Fields: []frontend.Field{g.field(fmt.Sprintf("p%d_%d", k, d), prev)},
+			})
+			prev = tid
+		}
+		g.tPayload = append(g.tPayload, tid)
+	}
+
+	// Container classes: C_k { Object[] elems } — like the paper's Vector.
+	for k := 0; k < g.p.Containers; k++ {
+		tid := pag.TypeID(len(g.prg.Types))
+		g.prg.Types = append(g.prg.Types, frontend.Type{
+			Name: fmt.Sprintf("C%d", k), Ref: true,
+			Fields: []frontend.Field{g.field(fmt.Sprintf("elems%d", k), g.tArr)},
+		})
+		g.tContainer = append(g.tContainer, tid)
+	}
+
+	// One hub field on Object-typed bases (high fan-in stores).
+	if g.p.HubFields > 0 {
+		g.nextField++
+		g.hubField = g.nextField
+		g.prg.Types[g.tObject].Fields = append(g.prg.Types[g.tObject].Fields,
+			frontend.Field{Name: "hub", ID: g.hubField, Type: g.tObject})
+	}
+}
+
+func (g *gen) buildGlobals() {
+	for i := 0; i < g.p.Globals; i++ {
+		ct := g.tContainer[i%len(g.tContainer)]
+		g.prg.Globals = append(g.prg.Globals, frontend.GlobalVar{
+			Name: fmt.Sprintf("G%d", i), Type: ct,
+		})
+	}
+}
+
+// elemsFieldOf returns the elems field ID of container class k.
+func (g *gen) elemsFieldOf(k int) pag.FieldID {
+	return g.prg.Types[g.tContainer[k]].Fields[0].ID
+}
+
+// buildLibrary emits, per container class k:
+//
+//	Ck_init(this)        { t = new Object[]; this.elems = t }
+//	Ck_put(this, e)      { t = this.elems; t.arr = e }
+//	Ck_get(this) Object  { t = this.elems; r = t.arr; return r }
+//	Ck_put_d / Ck_get_d  wrapper chains of depth CallDepth
+func (g *gen) buildLibrary() {
+	for k := 0; k < g.p.Containers; k++ {
+		ct := g.tContainer[k]
+		elems := g.elemsFieldOf(k)
+
+		g.initM = append(g.initM, len(g.prg.Methods))
+		g.prg.Methods = append(g.prg.Methods, frontend.Method{
+			Name: fmt.Sprintf("C%d.init", k),
+			Locals: []frontend.LocalVar{
+				{Name: "this", Type: ct},
+				{Name: "t", Type: g.tArr},
+			},
+			Params: []int{0}, Ret: -1,
+			Body: []frontend.Stmt{
+				{Kind: frontend.StAlloc, Dst: frontend.Local(1), Type: g.tArr},
+				{Kind: frontend.StStore, Base: frontend.Local(0), Field: elems, Src: frontend.Local(1)},
+			},
+		})
+
+		g.putM = append(g.putM, len(g.prg.Methods))
+		g.prg.Methods = append(g.prg.Methods, frontend.Method{
+			Name: fmt.Sprintf("C%d.put", k),
+			Locals: []frontend.LocalVar{
+				{Name: "this", Type: ct},
+				{Name: "e", Type: g.tObject},
+				{Name: "t", Type: g.tArr},
+			},
+			Params: []int{0, 1}, Ret: -1,
+			Body: []frontend.Stmt{
+				{Kind: frontend.StLoad, Dst: frontend.Local(2), Base: frontend.Local(0), Field: elems},
+				{Kind: frontend.StStore, Base: frontend.Local(2), Field: pag.ArrField, Src: frontend.Local(1)},
+			},
+		})
+
+		g.getM = append(g.getM, len(g.prg.Methods))
+		g.prg.Methods = append(g.prg.Methods, frontend.Method{
+			Name: fmt.Sprintf("C%d.get", k),
+			Locals: []frontend.LocalVar{
+				{Name: "this", Type: ct},
+				{Name: "t", Type: g.tArr},
+				{Name: "r", Type: g.tObject},
+			},
+			Params: []int{0}, Ret: 2,
+			Body: []frontend.Stmt{
+				{Kind: frontend.StLoad, Dst: frontend.Local(1), Base: frontend.Local(0), Field: elems},
+				{Kind: frontend.StLoad, Dst: frontend.Local(2), Base: frontend.Local(1), Field: pag.ArrField},
+			},
+		})
+
+		// Wrapper chains: depth 0 refers to the raw put/get; depth d>0
+		// calls depth d-1.
+		pw := []int{g.putM[k]}
+		gw := []int{g.getM[k]}
+		for d := 1; d <= g.p.CallDepth; d++ {
+			pi := len(g.prg.Methods)
+			g.prg.Methods = append(g.prg.Methods, frontend.Method{
+				Name: fmt.Sprintf("C%d.put_%d", k, d),
+				Locals: []frontend.LocalVar{
+					{Name: "this", Type: ct},
+					{Name: "e", Type: g.tObject},
+				},
+				Params: []int{0, 1}, Ret: -1,
+				Body: []frontend.Stmt{
+					{Kind: frontend.StCall, Callee: pw[d-1], Args: []frontend.VarRef{frontend.Local(0), frontend.Local(1)}, Dst: frontend.NoVar},
+				},
+			})
+			pw = append(pw, pi)
+
+			gi := len(g.prg.Methods)
+			g.prg.Methods = append(g.prg.Methods, frontend.Method{
+				Name: fmt.Sprintf("C%d.get_%d", k, d),
+				Locals: []frontend.LocalVar{
+					{Name: "this", Type: ct},
+					{Name: "r", Type: g.tObject},
+				},
+				Params: []int{0}, Ret: 1,
+				Body: []frontend.Stmt{
+					{Kind: frontend.StCall, Callee: gw[d-1], Args: []frontend.VarRef{frontend.Local(0)}, Dst: frontend.Local(1)},
+				},
+			})
+			gw = append(gw, gi)
+		}
+		g.putWrap = append(g.putWrap, pw)
+		g.getWrap = append(g.getWrap, gw)
+	}
+}
+
+// buildGlobalInits emits one static-initialiser-style method per global,
+// allocating and publishing a container of the global's class (as a Java
+// <clinit> would). This guarantees every global holds at least one object,
+// so library helpers reading globals are reachable by flowsTo traversals.
+func (g *gen) buildGlobalInits() {
+	for gi := range g.prg.Globals {
+		k := gi % len(g.tContainer)
+		g.prg.Methods = append(g.prg.Methods, frontend.Method{
+			Name: fmt.Sprintf("clinit%d", gi),
+			Locals: []frontend.LocalVar{
+				{Name: "c", Type: g.tContainer[k]},
+			},
+			Ret: -1,
+			Body: []frontend.Stmt{
+				{Kind: frontend.StAlloc, Dst: frontend.Local(0), Type: g.tContainer[k]},
+				{Kind: frontend.StCall, Callee: g.initM[k], Args: []frontend.VarRef{frontend.Local(0)}, Dst: frontend.NoVar},
+				{Kind: frontend.StAssign, Dst: frontend.Global(gi), Src: frontend.Local(0)},
+			},
+		})
+	}
+}
+
+// buildLibraryPadding emits LibPadMethods library helper methods, each
+// reading a shared global container and exercising its put/get through the
+// wrapper chain with a fresh payload. Because the helpers hold the same
+// container objects the application publishes to globals, forward flowsTo
+// traversals of those objects must explore every helper — reproducing the
+// per-query cost profile of analysing a large library (the JVM98 suite's
+// graphs are dominated by library code the queries still have to wade
+// through).
+func (g *gen) buildLibraryPadding() {
+	for i := 0; i < g.p.LibPadMethods; i++ {
+		k := g.rng.Intn(g.p.Containers)
+		d := g.rng.Intn(len(g.putWrap[k]))
+		pt := g.tPayload[g.rng.Intn(len(g.tPayload))]
+		m := frontend.Method{
+			Name: fmt.Sprintf("lib.pad%d", i),
+			Locals: []frontend.LocalVar{
+				{Name: "c", Type: g.tContainer[k]},
+				{Name: "e", Type: pt},
+				{Name: "x", Type: g.tObject},
+				{Name: "y", Type: g.tObject},
+			},
+			Ret: -1,
+		}
+		if g.p.Globals > 0 {
+			// Pick a global of container class k if one exists.
+			gi := -1
+			for cand := 0; cand < g.p.Globals; cand++ {
+				if cand%len(g.tContainer) == k {
+					gi = cand
+					break
+				}
+			}
+			if gi >= 0 {
+				m.Body = append(m.Body, frontend.Stmt{Kind: frontend.StAssign, Dst: frontend.Local(0), Src: frontend.Global(gi)})
+			}
+		}
+		if len(m.Body) == 0 {
+			// No matching global: self-contained container.
+			m.Body = append(m.Body,
+				frontend.Stmt{Kind: frontend.StAlloc, Dst: frontend.Local(0), Type: g.tContainer[k]},
+				frontend.Stmt{Kind: frontend.StCall, Callee: g.initM[k], Args: []frontend.VarRef{frontend.Local(0)}, Dst: frontend.NoVar},
+			)
+		}
+		// Read-mostly: every helper reads through the container (making
+		// alias discovery walk it), but only a few write into it, so the
+		// discovery work — which data sharing can shortcut — dominates
+		// the per-store continuation work, as in real library code where
+		// readers outnumber writers.
+		if i%5 == 0 {
+			m.Body = append(m.Body,
+				frontend.Stmt{Kind: frontend.StAlloc, Dst: frontend.Local(1), Type: pt},
+				frontend.Stmt{Kind: frontend.StCall, Callee: g.putWrap[k][d], Args: []frontend.VarRef{frontend.Local(0), frontend.Local(1)}, Dst: frontend.NoVar},
+			)
+		}
+		m.Body = append(m.Body,
+			frontend.Stmt{Kind: frontend.StCall, Callee: g.getWrap[k][d], Args: []frontend.VarRef{frontend.Local(0)}, Dst: frontend.Local(2)},
+			frontend.Stmt{Kind: frontend.StAssign, Dst: frontend.Local(3), Src: frontend.Local(2)},
+		)
+		g.prg.Methods = append(g.prg.Methods, m)
+	}
+}
+
+// buildApps emits the application methods.
+func (g *gen) buildApps() {
+	appStart := len(g.prg.Methods)
+	// Cap how many app methods interact with each global container:
+	// real programs share a singleton with a bounded clique of call
+	// sites, not with every method, and without the cap per-query cost
+	// would grow with program size (the paper's per-query cost is
+	// roughly constant per benchmark).
+	const globalAudience = 8
+	const globalPublishers = 3
+	readers := make([]int, g.p.Globals)
+	publishers := make([]int, g.p.Globals)
+	for a := 0; a < g.p.AppMethods; a++ {
+		m := frontend.Method{
+			Name:        fmt.Sprintf("app%d", a),
+			Ret:         -1,
+			Application: true,
+		}
+		// Local slot bookkeeping: track which locals currently hold
+		// containers (per container class) and which hold payloads.
+		var containerLocals []struct {
+			slot int
+			k    int
+		}
+		var objLocals []int
+
+		newLocal := func(name string, t pag.TypeID) int {
+			m.Locals = append(m.Locals, frontend.LocalVar{Name: fmt.Sprintf("%s%d", name, len(m.Locals)), Type: t})
+			return len(m.Locals) - 1
+		}
+
+		// Every app method starts with one container of a random class:
+		// either a fresh allocation (with init) or a shared global.
+		k := g.rng.Intn(g.p.Containers)
+		c0 := newLocal("c", g.tContainer[k])
+		gi := -1
+		if g.p.Globals > 0 {
+			gi = g.rng.Intn(g.p.Globals)
+		}
+		if gi >= 0 && g.rng.Intn(2) == 0 && readers[gi] < globalAudience {
+			readers[gi]++
+			// Pick the global's own class so put/get match.
+			k = gi % g.p.Containers
+			m.Locals[c0].Type = g.tContainer[k]
+			m.Body = append(m.Body, frontend.Stmt{Kind: frontend.StAssign, Dst: frontend.Local(c0), Src: frontend.Global(gi)})
+		} else {
+			m.Body = append(m.Body,
+				frontend.Stmt{Kind: frontend.StAlloc, Dst: frontend.Local(c0), Type: g.tContainer[k]},
+				frontend.Stmt{Kind: frontend.StCall, Callee: g.initM[k], Args: []frontend.VarRef{frontend.Local(c0)}, Dst: frontend.NoVar},
+			)
+			// Sometimes publish the fresh container to a global so other
+			// app methods see it.
+			if gi >= 0 && g.rng.Intn(3) == 0 && gi%g.p.Containers == k && publishers[gi] < globalPublishers {
+				publishers[gi]++
+				m.Body = append(m.Body, frontend.Stmt{Kind: frontend.StAssign, Dst: frontend.Global(gi), Src: frontend.Local(c0)})
+			}
+		}
+		containerLocals = append(containerLocals, struct {
+			slot int
+			k    int
+		}{c0, k})
+
+		for op := 0; op < g.p.OpsPerApp; op++ {
+			c := containerLocals[g.rng.Intn(len(containerLocals))]
+			switch g.rng.Intn(10) {
+			case 0, 1: // allocate a payload
+				pt := g.tPayload[g.rng.Intn(len(g.tPayload))]
+				s := newLocal("p", pt)
+				m.Body = append(m.Body, frontend.Stmt{Kind: frontend.StAlloc, Dst: frontend.Local(s), Type: pt})
+				objLocals = append(objLocals, s)
+			case 2, 3, 4: // put a payload into a container (via wrapper)
+				if len(objLocals) == 0 {
+					op--
+					continue
+				}
+				e := objLocals[g.rng.Intn(len(objLocals))]
+				d := g.rng.Intn(len(g.putWrap[c.k]))
+				m.Body = append(m.Body, frontend.Stmt{
+					Kind: frontend.StCall, Callee: g.putWrap[c.k][d],
+					Args: []frontend.VarRef{frontend.Local(c.slot), frontend.Local(e)},
+					Dst:  frontend.NoVar,
+				})
+			case 5, 6, 7: // get from a container
+				d := g.rng.Intn(len(g.getWrap[c.k]))
+				s := newLocal("x", g.tObject)
+				m.Body = append(m.Body, frontend.Stmt{
+					Kind: frontend.StCall, Callee: g.getWrap[c.k][d],
+					Args: []frontend.VarRef{frontend.Local(c.slot)},
+					Dst:  frontend.Local(s),
+				})
+				objLocals = append(objLocals, s)
+				// Copy the result through a short local chain (as real
+				// code does). Queries on the chained locals re-traverse
+				// the get's alias expansion, which is precisely the
+				// redundancy the jmp shortcuts remove — and the
+				// connection-distance ordering issues the chain head
+				// first so the shortcut exists by the time the tail runs.
+				prev := s
+				for ch := 0; ch < 1+g.rng.Intn(2); ch++ {
+					cs := newLocal("y", g.tObject)
+					m.Body = append(m.Body, frontend.Stmt{Kind: frontend.StAssign, Dst: frontend.Local(cs), Src: frontend.Local(prev)})
+					objLocals = append(objLocals, cs)
+					prev = cs
+				}
+				// Sometimes treat the fetched value as a nested container
+				// (containers of containers): reading through it forces a
+				// second level of alias expansion, the expensive-and-
+				// shareable work the data-sharing scheme targets.
+				if g.rng.Intn(8) == 0 {
+					k2 := c.k
+					d2 := g.rng.Intn(len(g.getWrap[k2]))
+					s2 := newLocal("xx", g.tObject)
+					m.Body = append(m.Body,
+						frontend.Stmt{Kind: frontend.StCall, Callee: g.putWrap[k2][d2],
+							Args: []frontend.VarRef{frontend.Local(c.slot), frontend.Local(s)}, Dst: frontend.NoVar},
+						frontend.Stmt{Kind: frontend.StCall, Callee: g.getWrap[k2][d2],
+							Args: []frontend.VarRef{frontend.Local(s)}, Dst: frontend.Local(s2)},
+					)
+					objLocals = append(objLocals, s2)
+				}
+			case 8: // local assignment chain
+				if len(objLocals) == 0 {
+					op--
+					continue
+				}
+				src := objLocals[g.rng.Intn(len(objLocals))]
+				s := newLocal("y", m.Locals[src].Type)
+				m.Body = append(m.Body, frontend.Stmt{Kind: frontend.StAssign, Dst: frontend.Local(s), Src: frontend.Local(src)})
+				objLocals = append(objLocals, s)
+			case 9: // another container
+				k2 := g.rng.Intn(g.p.Containers)
+				s := newLocal("c", g.tContainer[k2])
+				m.Body = append(m.Body,
+					frontend.Stmt{Kind: frontend.StAlloc, Dst: frontend.Local(s), Type: g.tContainer[k2]},
+					frontend.Stmt{Kind: frontend.StCall, Callee: g.initM[k2], Args: []frontend.VarRef{frontend.Local(s)}, Dst: frontend.NoVar},
+				)
+				containerLocals = append(containerLocals, struct {
+					slot int
+					k    int
+				}{s, k2})
+			}
+		}
+
+		// App-to-app calls: pass a container to an earlier app method's
+		// entry hook if it has one. To keep arities simple, app methods
+		// expose no params; instead share through globals (already done)
+		// and through container reuse. AppCallFanout instead introduces
+		// helper calls: see below.
+		g.prg.Methods = append(g.prg.Methods, m)
+	}
+
+	// App call fabric: each app method a > 0 calls up to AppCallFanout
+	// helper methods derived from earlier app methods. We add tiny
+	// "bridge" app methods that accept a container, put into it and
+	// return a fresh read — exercising param/ret matching between app
+	// methods.
+	if g.p.AppCallFanout > 0 {
+		// Several bridge instances per container class, so each bridge's
+		// call fan-in stays bounded (~bridgeAudience callers): queries on
+		// a bridge formal explore its callers with an empty context, and
+		// unbounded fan-in would make per-query cost grow with program
+		// size.
+		const bridgeAudience = 12
+		perClass := g.p.AppMethods*g.p.AppCallFanout/(bridgeAudience*g.p.Containers) + 1
+		bridges := make([][]int, g.p.Containers)
+		for k := 0; k < g.p.Containers; k++ {
+			for b := 0; b < perClass; b++ {
+				bi := len(g.prg.Methods)
+				g.prg.Methods = append(g.prg.Methods, frontend.Method{
+					Name: fmt.Sprintf("bridge%d_%d", k, b),
+					Locals: []frontend.LocalVar{
+						{Name: "c", Type: g.tContainer[k]},
+						{Name: "v", Type: g.tObject},
+						{Name: "r", Type: g.tObject},
+					},
+					Params: []int{0}, Ret: 2,
+					Application: true,
+					Body: []frontend.Stmt{
+						{Kind: frontend.StAlloc, Dst: frontend.Local(1), Type: g.tPayload[k%len(g.tPayload)]},
+						{Kind: frontend.StCall, Callee: g.putWrap[k][len(g.putWrap[k])-1], Args: []frontend.VarRef{frontend.Local(0), frontend.Local(1)}, Dst: frontend.NoVar},
+						{Kind: frontend.StCall, Callee: g.getWrap[k][len(g.getWrap[k])-1], Args: []frontend.VarRef{frontend.Local(0)}, Dst: frontend.Local(2)},
+					},
+				})
+				bridges[k] = append(bridges[k], bi)
+			}
+		}
+		for a := 0; a < g.p.AppMethods; a++ {
+			mi := appStart + a
+			m := &g.prg.Methods[mi]
+			// Find this method's first container local and its class.
+			ck := -1
+			var cslot int
+			for si, lv := range m.Locals {
+				for k2, ct := range g.tContainer {
+					if lv.Type == ct {
+						ck, cslot = k2, si
+						break
+					}
+				}
+				if ck >= 0 {
+					break
+				}
+			}
+			if ck < 0 {
+				continue
+			}
+			for fi := 0; fi < g.p.AppCallFanout; fi++ {
+				s := len(m.Locals)
+				m.Locals = append(m.Locals, frontend.LocalVar{Name: fmt.Sprintf("b%d", fi), Type: g.tObject})
+				m.Body = append(m.Body, frontend.Stmt{
+					Kind: frontend.StCall, Callee: bridges[ck][a%len(bridges[ck])],
+					Args: []frontend.VarRef{frontend.Local(cslot)},
+					Dst:  frontend.Local(s),
+				})
+			}
+		}
+	}
+
+	// Hub pressure: HubFields extra app methods that each store a fresh
+	// object into the hub field of a shared Object-typed base obtained
+	// from a container, then read it back. All these stores target the
+	// same field on aliased bases, so a points-to query on the loaded
+	// value must alias-test against every store — an expensive expansion
+	// that can exceed the per-query budget.
+	if g.p.HubFields > 0 {
+		k := 0
+		for h := 0; h < g.p.HubFields; h++ {
+			m := frontend.Method{
+				Name:        fmt.Sprintf("hub%d", h),
+				Ret:         -1,
+				Application: true,
+				Locals: []frontend.LocalVar{
+					{Name: "c", Type: g.tContainer[k]},
+					{Name: "base", Type: g.tObject},
+					{Name: "v", Type: g.tObject},
+					{Name: "w", Type: g.tObject},
+				},
+			}
+			getC := frontend.Stmt{Kind: frontend.StCall, Callee: g.getWrap[k][0], Args: []frontend.VarRef{frontend.Local(0)}, Dst: frontend.Local(1)}
+			if g.p.Globals > 0 {
+				gi := k % g.p.Globals
+				m.Body = append(m.Body, frontend.Stmt{Kind: frontend.StAssign, Dst: frontend.Local(0), Src: frontend.Global(gi)})
+			} else {
+				m.Body = append(m.Body,
+					frontend.Stmt{Kind: frontend.StAlloc, Dst: frontend.Local(0), Type: g.tContainer[k]},
+					frontend.Stmt{Kind: frontend.StCall, Callee: g.initM[k], Args: []frontend.VarRef{frontend.Local(0)}, Dst: frontend.NoVar},
+				)
+			}
+			m.Body = append(m.Body,
+				getC,
+				frontend.Stmt{Kind: frontend.StAlloc, Dst: frontend.Local(2), Type: g.tPayload[h%len(g.tPayload)]},
+				frontend.Stmt{Kind: frontend.StStore, Base: frontend.Local(1), Field: g.hubField, Src: frontend.Local(2)},
+				frontend.Stmt{Kind: frontend.StLoad, Dst: frontend.Local(3), Base: frontend.Local(1), Field: g.hubField},
+			)
+			g.prg.Methods = append(g.prg.Methods, m)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package javagen
+
+import (
+	"testing"
+
+	"parcfl/internal/cfl"
+	"parcfl/internal/frontend"
+	"parcfl/internal/pag"
+)
+
+func smallParams() Params {
+	return Params{
+		Name: "test", Seed: 42,
+		Containers: 3, CallDepth: 2, PayloadClasses: 4, PayloadFieldDepth: 3,
+		AppMethods: 8, OpsPerApp: 10, Globals: 3, AppCallFanout: 1, HubFields: 2,
+	}
+}
+
+func TestGenerateValidProgram(t *testing.T) {
+	p, err := Generate(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	lo, err := frontend.Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.Graph.NumNodes() < 50 {
+		t.Fatalf("suspiciously small graph: %d nodes", lo.Graph.NumNodes())
+	}
+	if len(lo.AppQueryVars) == 0 {
+		t.Fatal("no query variables")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, _ := frontend.Lower(a)
+	lb, _ := frontend.Lower(b)
+	if la.Graph.NumNodes() != lb.Graph.NumNodes() || la.Graph.NumEdges() != lb.Graph.NumEdges() {
+		t.Fatalf("nondeterministic generation: %d/%d vs %d/%d nodes/edges",
+			la.Graph.NumNodes(), la.Graph.NumEdges(), lb.Graph.NumNodes(), lb.Graph.NumEdges())
+	}
+	for i := 0; i < la.Graph.NumNodes(); i++ {
+		if la.Graph.Node(pag.NodeID(i)) != lb.Graph.Node(pag.NodeID(i)) {
+			t.Fatalf("node %d differs", i)
+		}
+	}
+	// Different seeds must differ (overwhelmingly likely).
+	pp := smallParams()
+	pp.Seed = 43
+	c, err := Generate(pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lc, _ := frontend.Lower(c)
+	if lc.Graph.NumNodes() == la.Graph.NumNodes() && lc.Graph.NumEdges() == la.Graph.NumEdges() {
+		t.Log("warning: different seeds produced identical counts (possible but unlikely)")
+	}
+}
+
+func TestGeneratedProgramIsAnalysable(t *testing.T) {
+	p, err := Generate(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := frontend.Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cfl.New(lo.Graph, cfl.Config{Budget: 50000})
+	nonEmpty := 0
+	aborted := 0
+	for _, v := range lo.AppQueryVars {
+		r := s.PointsTo(v, pag.EmptyContext)
+		if r.Aborted {
+			aborted++
+			continue
+		}
+		if len(r.PointsTo) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 0 {
+		t.Fatal("every query returned an empty points-to set; generator produces dead graphs")
+	}
+	t.Logf("queries=%d nonEmpty=%d aborted=%d", len(lo.AppQueryVars), nonEmpty, aborted)
+}
+
+func TestValidateParams(t *testing.T) {
+	bad := []func(*Params){
+		func(p *Params) { p.Containers = 0 },
+		func(p *Params) { p.CallDepth = -1 },
+		func(p *Params) { p.PayloadClasses = 0 },
+		func(p *Params) { p.PayloadFieldDepth = 0 },
+		func(p *Params) { p.AppMethods = 0 },
+		func(p *Params) { p.OpsPerApp = 0 },
+		func(p *Params) { p.Globals = -1 },
+	}
+	for i, mod := range bad {
+		p := smallParams()
+		mod(&p)
+		if _, err := Generate(p); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestPresets(t *testing.T) {
+	ps := Presets()
+	if len(ps) != 20 {
+		t.Fatalf("preset count = %d, want 20", len(ps))
+	}
+	jvm98, dacapo := 0, 0
+	for _, p := range ps {
+		if p.DaCapo {
+			dacapo++
+		} else {
+			jvm98++
+		}
+		if p.Paper.Queries <= 0 || p.Paper.Nodes <= 0 || p.Paper.TSeqSecs <= 0 {
+			t.Errorf("%s: incomplete census %+v", p.Name, p.Paper)
+		}
+	}
+	if jvm98 != 10 || dacapo != 10 {
+		t.Fatalf("suite split = %d/%d, want 10/10", jvm98, dacapo)
+	}
+	if _, err := PresetByName("tomcat"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PresetByName("nope"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestPresetParamsScale(t *testing.T) {
+	pr, _ := PresetByName("tomcat")
+	small := pr.Params(0.001)
+	big := pr.Params(0.01)
+	if small.AppMethods >= big.AppMethods {
+		t.Fatalf("scaling broken: %d !< %d", small.AppMethods, big.AppMethods)
+	}
+	// Structural parameters must not depend on scale.
+	if small.Containers != big.Containers || small.CallDepth != big.CallDepth {
+		t.Fatal("structural params vary with scale")
+	}
+	// Zero/negative scale falls back to 1.0.
+	full := pr.Params(0)
+	if full.AppMethods <= big.AppMethods {
+		t.Fatal("scale fallback broken")
+	}
+	if _, err := Generate(small); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPresetShapeOrdering: benchmarks with more paper queries must generate
+// more app methods (the suite's relative sizing is preserved).
+func TestPresetShapeOrdering(t *testing.T) {
+	small, _ := PresetByName("_200_check") // 1101 queries
+	big, _ := PresetByName("tomcat")       // 185810 queries
+	s := small.Params(0.01)
+	b := big.Params(0.01)
+	if s.AppMethods >= b.AppMethods {
+		t.Fatalf("check=%d !< tomcat=%d app methods", s.AppMethods, b.AppMethods)
+	}
+}

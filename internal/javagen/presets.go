@@ -1,0 +1,126 @@
+package javagen
+
+import (
+	"fmt"
+	"math"
+
+	"parcfl/internal/concurrent"
+)
+
+// Census records the paper's Table I columns for one benchmark — the
+// published reference values our reports print next to measured numbers.
+type Census struct {
+	Classes int
+	Methods int
+	Nodes   int
+	Edges   int
+	Queries int
+	// TSeqSecs is the paper's sequential analysis time in seconds.
+	TSeqSecs float64
+	// Jumps, SMillions, RS, Sg, ETs, RET are the paper's data-sharing and
+	// scheduling statistics (Columns 8–13).
+	Jumps     int
+	SMillions float64
+	RS        float64
+	Sg        float64
+	ETs       int
+	RET       float64
+}
+
+// Preset is one of the paper's 20 benchmarks: its published census plus the
+// generator parameters that produce a synthetic program of proportional
+// shape at a given scale.
+type Preset struct {
+	Name   string
+	DaCapo bool
+	Paper  Census
+}
+
+// Presets returns the 20 benchmarks of Table I: the 10 SPEC JVM98 programs
+// followed by the 10 DaCapo 2009 programs.
+func Presets() []Preset {
+	return []Preset{
+		{"_200_check", false, Census{5758, 54514, 225797, 429551, 1101, 2.88, 428, 4.14, 25.76, 16.7, 0, 1.00}},
+		{"_201_compress", false, Census{5761, 54549, 225765, 429808, 1328, 3.72, 1210, 4.21, 8.42, 4.6, 5, 1.00}},
+		{"_202_jess", false, Census{5901, 55200, 232242, 440890, 7573, 121.11, 4755, 193.77, 42.68, 16.1, 617, 1.15}},
+		{"_205_raytrace", false, Census{5774, 54681, 227514, 432110, 3240, 9.39, 2325, 62.02, 92.84, 7.2, 8, 0.88}},
+		{"_209_db", false, Census{5753, 54549, 225994, 430569, 1339, 16.98, 4202, 10.06, 10.02, 10.3, 18, 1.17}},
+		{"_213_javac", false, Census{5921, 55685, 240406, 473680, 14689, 258.34, 5309, 467.28, 64.60, 9.2, 76, 0.99}},
+		{"_222_mpegaudio", false, Census{5801, 54826, 230349, 435391, 6389, 46.52, 2306, 86.17, 53.33, 3.8, 53, 3.17}},
+		{"_227_mtrt", false, Census{5774, 54681, 227514, 432110, 3241, 10.38, 2358, 62.17, 115.70, 7.2, 7, 0.86}},
+		{"_228_jack", false, Census{5806, 54830, 229482, 435159, 6591, 39.54, 25030, 79.48, 40.03, 14.2, 100, 1.62}},
+		{"_999_checkit", false, Census{5757, 54548, 226292, 431435, 1473, 12.61, 2180, 10.14, 7.94, 16.9, 23, 0.78}},
+		{"avrora", true, Census{3521, 29542, 108210, 189081, 24455, 51.16, 32046, 47.46, 6.18, 9.4, 24, 2.83}},
+		{"batik", true, Census{7546, 65899, 252590, 477113, 64467, 72.72, 14876, 114.57, 11.95, 10.3, 38, 1.37}},
+		{"fop", true, Census{8965, 79776, 266514, 636776, 71542, 118.22, 25418, 169.92, 19.03, 18.6, 76, 1.20}},
+		{"h2", true, Census{3381, 32691, 115249, 204516, 44901, 25.50, 22094, 91.38, 12.39, 16.0, 283, 0.66}},
+		{"luindex", true, Census{3160, 28791, 108827, 191126, 22415, 23.28, 62457, 60.93, 8.72, 8.2, 113, 0.71}},
+		{"lusearch", true, Census{3120, 28223, 109439, 193012, 17520, 57.78, 77153, 66.26, 7.90, 9.3, 75, 1.52}},
+		{"pmd", true, Census{3786, 33432, 110388, 195834, 56833, 61.05, 77313, 69.10, 7.93, 9.2, 84, 1.06}},
+		{"sunflow", true, Census{6066, 56673, 233459, 447002, 21339, 55.56, 20946, 49.04, 5.57, 7.4, 24, 2.38}},
+		{"tomcat", true, Census{8458, 83092, 265015, 574236, 185810, 202.89, 24601, 243.90, 23.14, 13.1, 574, 1.33}},
+		{"xalan", true, Census{3716, 33248, 109317, 192441, 56229, 54.11, 33459, 60.35, 7.90, 9.4, 82, 1.43}},
+	}
+}
+
+// PresetByName returns the preset with the given name.
+func PresetByName(name string) (Preset, error) {
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Preset{}, fmt.Errorf("javagen: unknown benchmark %q", name)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Params derives generator parameters for this preset at the given scale.
+// Scale 1.0 aims at the paper's full query census; experiments typically use
+// a small fraction (e.g. 0.01) so the whole 20-benchmark suite runs on a
+// laptop in minutes. Structural parameters (container breadth, call depth,
+// type depth) derive from the class/method census and stay constant across
+// scales; only the volume of application code (and hence queries) scales.
+func (pr Preset) Params(scale float64) Params {
+	if scale <= 0 {
+		scale = 1
+	}
+	c := pr.Paper
+	queriesTarget := float64(c.Queries) * scale
+	// Each app method contributes roughly 8 query variables (locals).
+	appMethods := clampInt(int(math.Round(queriesTarget/8)), 4, 1<<20)
+	// Library padding tracks the node census: the JVM98 benchmarks have
+	// few queries but large graphs (library-heavy), so the bulk of their
+	// scaled node budget goes into padding. Each pad method contributes
+	// ~5 nodes.
+	padNodes := float64(c.Nodes)*scale - float64(appMethods)*12
+	libPad := clampInt(int(padNodes/5), 0, 1<<20)
+	// Budget pressure (the source of ETs) tracks how slow the paper found
+	// the benchmark relative to its query count: slow-per-query
+	// benchmarks get more hub methods.
+	perQueryCost := c.TSeqSecs / float64(c.Queries) * 1000 // ms/query
+	hubs := clampInt(int(perQueryCost*1.5), 1, 24)
+
+	return Params{
+		Name:              pr.Name,
+		Seed:              int64(concurrent.HashBytes(concurrent.HashSeed, pr.Name)),
+		Containers:        clampInt(c.Classes/700, 3, 14),
+		CallDepth:         clampInt(c.Methods/12000, 2, 7),
+		PayloadClasses:    clampInt(c.Classes/500, 3, 18),
+		PayloadFieldDepth: 4,
+		AppMethods:        appMethods,
+		OpsPerApp:         12,
+		Globals:           clampInt(c.Classes/900, 2, 12),
+		AppCallFanout:     map[bool]int{true: 2, false: 1}[pr.DaCapo],
+		HubFields:         hubs,
+		LibPadMethods:     libPad,
+	}
+}

@@ -1,0 +1,39 @@
+package mjlang
+
+import (
+	"testing"
+
+	"parcfl/internal/frontend"
+)
+
+// FuzzParse: the parser must never panic, and every accepted program must
+// validate and lower. Run with `go test -fuzz FuzzParse ./internal/mjlang`
+// for continuous fuzzing; the seed corpus runs in normal `go test`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"type Object {}",
+		vectorSrc,
+		"type O {}\nglobal G: O;\nfunc m() application { G = new O; }",
+		"func broken(",
+		"type A { f: A; }\nfunc m(a: A) { a.f = a; var x: A = a.f; }",
+		"type i primitive;\ntype O {}\nfunc f(x: O): O { return x; }\nfunc m() { var y: O = f(f(new O)); }", // nested call expr (invalid arg) — must error, not crash
+		"// just a comment",
+		"type O {}\nfunc m() { var a: O[][] = new O[][]; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted program fails validation: %v\nsource:\n%s", err, src)
+		}
+		if _, err := frontend.Lower(p); err != nil {
+			t.Fatalf("accepted program fails lowering: %v\nsource:\n%s", err, src)
+		}
+	})
+}

@@ -1,0 +1,399 @@
+package mjlang
+
+import (
+	"strings"
+	"testing"
+
+	"parcfl/internal/cfl"
+	"parcfl/internal/frontend"
+	"parcfl/internal/pag"
+)
+
+// vectorSrc is the paper's Fig. 2 program in mini-Java source form.
+const vectorSrc = `
+type int primitive;
+type Object {}
+type String {}
+type Integer {}
+type Vector { elems: Object[]; }
+
+func init(this: Vector) application {
+    var t: Object[] = new Object[];
+    this.elems = t;
+}
+func add(this: Vector, e: Object) application {
+    var t: Object[] = this.elems;
+    t.arr = e;
+}
+func get(this: Vector): Object application {
+    var t: Object[] = this.elems;
+    var r: Object = t.arr;
+    return r;
+}
+func main() application {
+    var v1: Vector = new Vector;
+    init(v1);
+    var n1: String = new String;
+    add(v1, n1);
+    var s1: Object = get(v1);
+    var v2: Vector = new Vector;
+    init(v2);
+    var n2: Integer = new Integer;
+    add(v2, n2);
+    var s2: Object = get(v2);
+}
+`
+
+func parseOrDie(t *testing.T, src string) *frontend.Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseVector(t *testing.T) {
+	p := parseOrDie(t, vectorSrc)
+	if len(p.Methods) != 4 {
+		t.Fatalf("methods = %d, want 4", len(p.Methods))
+	}
+	// Object[] auto-declared once: int, Object, String, Integer, Vector + Object[].
+	if len(p.Types) != 6 {
+		for _, ty := range p.Types {
+			t.Log(ty.Name)
+		}
+		t.Fatalf("types = %d, want 6", len(p.Types))
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVectorSemantics: the parsed program must produce the paper's exact
+// points-to facts.
+func TestVectorSemantics(t *testing.T) {
+	p := parseOrDie(t, vectorSrc)
+	lo, err := frontend.Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cfl.New(lo.Graph, cfl.Config{})
+
+	// main is method 3; slot layout: v1, n1, s1, v2, n2, s2 in decl order.
+	mainM := 3
+	slotOf := func(name string) int {
+		for i, lv := range p.Methods[mainM].Locals {
+			if lv.Name == name {
+				return i
+			}
+		}
+		t.Fatalf("no local %q", name)
+		return -1
+	}
+	s1 := lo.LocalNode[mainM][slotOf("s1")]
+	s2 := lo.LocalNode[mainM][slotOf("s2")]
+	// Allocation order in main: o(v1)=0, o(n1)=1, o(v2)=2, o(n2)=3.
+	oN1 := lo.ObjectNode[mainM][1]
+	oN2 := lo.ObjectNode[mainM][3]
+
+	r1 := s.PointsTo(s1, pag.EmptyContext)
+	if got := r1.Objects(); len(got) != 1 || got[0] != oN1 {
+		t.Fatalf("pts(s1) = %v, want [o(n1)=%d]", got, oN1)
+	}
+	r2 := s.PointsTo(s2, pag.EmptyContext)
+	if got := r2.Objects(); len(got) != 1 || got[0] != oN2 {
+		t.Fatalf("pts(s2) = %v, want [o(n2)=%d]", got, oN2)
+	}
+}
+
+func TestGlobalsAndTemps(t *testing.T) {
+	src := `
+type Object {}
+global G: Object;
+func id(x: Object): Object { return x; }
+func main() application {
+    G = new Object;
+    var y: Object = id(G);   // global arg must be copied through a temp
+    G = id(y);               // global result likewise
+}
+`
+	p := parseOrDie(t, src)
+	lo, err := frontend.Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cfl.New(lo.Graph, cfl.Config{})
+	var y pag.NodeID
+	for i, lv := range p.Methods[1].Locals {
+		if lv.Name == "y" {
+			y = lo.LocalNode[1][i]
+		}
+	}
+	r := s.PointsTo(y, pag.EmptyContext)
+	if len(r.Objects()) != 1 {
+		t.Fatalf("pts(y) = %v, want the single allocation", r.Objects())
+	}
+}
+
+func TestReturnSynthesis(t *testing.T) {
+	src := `
+type Object {}
+func pick(a: Object, b: Object): Object {
+    return a;
+    return b;
+}
+func main() application {
+    var x: Object = new Object;
+    var y: Object = new Object;
+    var r: Object = pick(x, y);
+}
+`
+	p := parseOrDie(t, src)
+	lo, err := frontend.Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cfl.New(lo.Graph, cfl.Config{})
+	var r pag.NodeID
+	for i, lv := range p.Methods[1].Locals {
+		if lv.Name == "r" {
+			r = lo.LocalNode[1][i]
+		}
+	}
+	// Flow-insensitively, both returns reach r.
+	if got := s.PointsTo(r, pag.EmptyContext).Objects(); len(got) != 2 {
+		t.Fatalf("pts(r) = %v, want both objects", got)
+	}
+}
+
+func TestNestedArrays(t *testing.T) {
+	src := `
+type Object {}
+func main() application {
+    var m: Object[][] = new Object[][];
+    var row: Object[] = new Object[];
+    var v: Object = new Object;
+    row.arr = v;
+    m.arr = row;
+    var r0: Object[] = m.arr;
+    var r: Object = r0.arr;
+}
+`
+	p := parseOrDie(t, src)
+	lo, err := frontend.Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cfl.New(lo.Graph, cfl.Config{})
+	var r pag.NodeID
+	for i, lv := range p.Methods[0].Locals {
+		if lv.Name == "r" {
+			r = lo.LocalNode[0][i]
+		}
+	}
+	got := s.PointsTo(r, pag.EmptyContext).Objects()
+	if len(got) == 0 {
+		t.Fatal("nested array read found nothing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"garbage", "what is this", `expected top-level declaration`},
+		{"bad char", "type A { x: !; }", `unexpected character`},
+		{"unknown type", "global G: Nope;", `unknown type`},
+		{"type redecl", "type A {}\ntype A {}", "redeclared"},
+		{"field redecl", "type A { f: A; f: A; }", "redeclared"},
+		{"primitive fields", "type P primitive;\n", ""},
+		{"unknown var", "type O {}\nfunc m() { x = new O; }", `unknown variable "x"`},
+		{"unknown func", "type O {}\nfunc m() { f(); }", `unknown function`},
+		{"arity", "type O {}\nfunc f(a: O) {}\nfunc m() { var x: O = new O; f(x, x); }", "argument"},
+		{"void result", "type O {}\nfunc f() {}\nfunc m() { var x: O = f(); }", "returns nothing"},
+		{"return in void", "type O {}\nfunc m() { var x: O = new O; return x; }", "returns nothing"},
+		{"no such field", "type O {}\nfunc m() { var x: O = new O; var y: O = x.f; }", "no field"},
+		{"new primitive", "type i primitive;\ntype O {}\nfunc m() { var x: O = new i; }", "primitive"},
+		{"var redecl", "type O {}\nfunc m(a: O) { var a: O = new O; }", "redeclared"},
+		{"global redecl", "type O {}\nglobal G: O;\nglobal G: O;", "redeclared"},
+		{"missing semi", "type O {}\nfunc m() { var x: O = new O }", `expected ";"`},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: error expected", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	src := "type O {}\nfunc m() {\n    x = new O;\n}"
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if perr.Line != 3 {
+		t.Fatalf("error line = %d, want 3 (%v)", perr.Line, err)
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := `
+// leading comment
+type Object {}   // trailing
+func main() application {
+    // body comment
+    var x: Object = new Object;
+}
+`
+	p := parseOrDie(t, src)
+	if len(p.Methods) != 1 || len(p.Methods[0].Body) != 1 {
+		t.Fatalf("unexpected structure: %+v", p.Methods)
+	}
+}
+
+func TestLibraryAttribute(t *testing.T) {
+	src := `
+type Object {}
+func helper() library { var x: Object = new Object; }
+func main() application { helper(); }
+`
+	p := parseOrDie(t, src)
+	if p.Methods[0].Application {
+		t.Fatal("library func marked application")
+	}
+	if !p.Methods[1].Application {
+		t.Fatal("application func not marked")
+	}
+}
+
+func TestNestedCallArguments(t *testing.T) {
+	src := `
+type Object {}
+func id(x: Object): Object { return x; }
+func main() application {
+    var y: Object = id(id(new Object));
+    var z: Object = id(y.self);
+}
+`
+	// y.self doesn't exist — split the test: first the valid part.
+	_ = src
+	valid := `
+type Object {}
+func id(x: Object): Object { return x; }
+func main() application {
+    var y: Object = id(id(new Object));
+}
+`
+	p := parseOrDie(t, valid)
+	lo, err := frontend.Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cfl.New(lo.Graph, cfl.Config{})
+	var y pag.NodeID
+	mainIdx := 1
+	for i, lv := range p.Methods[mainIdx].Locals {
+		if lv.Name == "y" {
+			y = lo.LocalNode[mainIdx][i]
+		}
+	}
+	if got := s.PointsTo(y, pag.EmptyContext).Objects(); len(got) != 1 {
+		t.Fatalf("pts(y) = %v, want the nested allocation", got)
+	}
+}
+
+func TestFieldExprArgument(t *testing.T) {
+	src := `
+type Object {}
+type Box { val: Object; }
+func id(x: Object): Object { return x; }
+func main() application {
+    var b: Box = new Box;
+    var v: Object = new Object;
+    b.val = v;
+    var y: Object = id(b.val);
+}
+`
+	p := parseOrDie(t, src)
+	lo, err := frontend.Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cfl.New(lo.Graph, cfl.Config{})
+	mainIdx := 1
+	var y pag.NodeID
+	for i, lv := range p.Methods[mainIdx].Locals {
+		if lv.Name == "y" {
+			y = lo.LocalNode[mainIdx][i]
+		}
+	}
+	got := s.PointsTo(y, pag.EmptyContext).Objects()
+	if len(got) != 1 {
+		t.Fatalf("pts(y) = %v", got)
+	}
+}
+
+func TestIfElseWhileBlocks(t *testing.T) {
+	src := `
+type Object {}
+func main() application {
+    var x: Object = new Object;
+    if {
+        x = new Object;
+    } else {
+        var inner: Object = new Object;
+        x = inner;
+    }
+    while {
+        x = new Object;
+    }
+}
+`
+	p := parseOrDie(t, src)
+	lo, err := frontend.Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := cfl.New(lo.Graph, cfl.Config{})
+	var x pag.NodeID
+	for i, lv := range p.Methods[0].Locals {
+		if lv.Name == "x" {
+			x = lo.LocalNode[0][i]
+		}
+	}
+	// Flow-insensitive: all four allocations reach x.
+	if got := s.PointsTo(x, pag.EmptyContext).Objects(); len(got) != 4 {
+		t.Fatalf("pts(x) = %v, want 4 allocations (flow-insensitive)", got)
+	}
+}
+
+func TestNestedCallArgErrors(t *testing.T) {
+	// A void call used as an argument must error with position info.
+	src := `
+type Object {}
+func v() { var a: Object = new Object; }
+func id(x: Object): Object { return x; }
+func main() application {
+    var y: Object = id(v());
+}
+`
+	if _, err := Parse(src); err == nil || !strings.Contains(err.Error(), "returns nothing") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,485 @@
+package mjlang
+
+// AST types. Tokens are retained on every node so the resolver can report
+// positioned errors.
+
+type srcProgram struct {
+	types   []srcType
+	globals []srcGlobal
+	funcs   []srcFunc
+}
+
+type srcTypeRef struct {
+	name token
+	dims int // number of "[]" suffixes
+}
+
+type srcField struct {
+	name token
+	typ  srcTypeRef
+}
+
+type srcType struct {
+	name      token
+	primitive bool
+	fields    []srcField
+}
+
+type srcGlobal struct {
+	name token
+	typ  srcTypeRef
+}
+
+type srcParam struct {
+	name token
+	typ  srcTypeRef
+}
+
+type srcFunc struct {
+	name        token
+	params      []srcParam
+	ret         *srcTypeRef
+	application bool
+	body        []srcStmt
+}
+
+type stmtKind uint8
+
+const (
+	stDecl stmtKind = iota
+	stAssign
+	stReturn
+	stExpr
+	stBlock
+)
+
+type exprKind uint8
+
+const (
+	exNew exprKind = iota
+	exIdent
+	exField
+	exCall
+)
+
+type srcExpr struct {
+	kind  exprKind
+	typ   srcTypeRef // exNew
+	base  token      // exIdent (the ident), exField (the base)
+	field token      // exField
+	call  *srcCall   // exCall
+}
+
+type srcCall struct {
+	fn   token
+	args []srcExpr
+}
+
+type srcLValue struct {
+	base  token
+	field *token // non-nil for x.f = ...
+}
+
+type srcStmt struct {
+	kind stmtKind
+	// stDecl
+	declName token
+	declType srcTypeRef
+	declInit *srcExpr
+	// stAssign
+	lhs srcLValue
+	rhs srcExpr
+	// stReturn
+	retVal token
+	// stExpr
+	call *srcCall
+	// stBlock (if/else/while): nested statement groups, analysed
+	// flow-insensitively (all branches contribute).
+	blocks [][]srcStmt
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expectPunct(text string) (token, error) {
+	t := p.next()
+	if !t.is(tokPunct, text) {
+		return t, errAt(t, "expected %q, found %q", text, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(text string) (token, error) {
+	t := p.next()
+	if !t.is(tokKeyword, text) {
+		return t, errAt(t, "expected %q, found %q", text, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return t, errAt(t, "expected identifier, found %q", t.text)
+	}
+	return t, nil
+}
+
+func parse(src string) (*srcProgram, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &srcProgram{}
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokEOF:
+			return prog, nil
+		case t.is(tokKeyword, "type"):
+			ty, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			prog.types = append(prog.types, *ty)
+		case t.is(tokKeyword, "global"):
+			g, err := p.parseGlobal()
+			if err != nil {
+				return nil, err
+			}
+			prog.globals = append(prog.globals, *g)
+		case t.is(tokKeyword, "func"):
+			f, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			prog.funcs = append(prog.funcs, *f)
+		default:
+			return nil, errAt(t, "expected top-level declaration (type/global/func), found %q", t.text)
+		}
+	}
+}
+
+func (p *parser) parseTypeRef() (srcTypeRef, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return srcTypeRef{}, err
+	}
+	tr := srcTypeRef{name: name}
+	for p.peek().is(tokPunct, "[]") {
+		p.next()
+		tr.dims++
+	}
+	return tr, nil
+}
+
+func (p *parser) parseType() (*srcType, error) {
+	p.next() // "type"
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ty := &srcType{name: name}
+	if p.peek().is(tokKeyword, "primitive") {
+		p.next()
+		ty.primitive = true
+		if p.peek().is(tokPunct, ";") {
+			p.next()
+		}
+		return ty, nil
+	}
+	if _, err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	for !p.peek().is(tokPunct, "}") {
+		fname, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		ftyp, err := p.parseTypeRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		ty.fields = append(ty.fields, srcField{name: fname, typ: ftyp})
+	}
+	p.next() // "}"
+	return ty, nil
+}
+
+func (p *parser) parseGlobal() (*srcGlobal, error) {
+	p.next() // "global"
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct(":"); err != nil {
+		return nil, err
+	}
+	typ, err := p.parseTypeRef()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return &srcGlobal{name: name, typ: typ}, nil
+}
+
+func (p *parser) parseFunc() (*srcFunc, error) {
+	p.next() // "func"
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	f := &srcFunc{name: name}
+	if _, err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for !p.peek().is(tokPunct, ")") {
+		if len(f.params) > 0 {
+			if _, err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		pname, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		ptyp, err := p.parseTypeRef()
+		if err != nil {
+			return nil, err
+		}
+		f.params = append(f.params, srcParam{name: pname, typ: ptyp})
+	}
+	p.next() // ")"
+	if p.peek().is(tokPunct, ":") {
+		p.next()
+		rt, err := p.parseTypeRef()
+		if err != nil {
+			return nil, err
+		}
+		f.ret = &rt
+	}
+	switch {
+	case p.peek().is(tokKeyword, "application"):
+		p.next()
+		f.application = true
+	case p.peek().is(tokKeyword, "library"):
+		p.next()
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.body = body
+	return f, nil
+}
+
+func (p *parser) parseBlock() ([]srcStmt, error) {
+	if _, err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var stmts []srcStmt
+	for !p.peek().is(tokPunct, "}") {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, *s)
+	}
+	p.next() // "}"
+	return stmts, nil
+}
+
+func (p *parser) parseStmt() (*srcStmt, error) {
+	t := p.peek()
+	switch {
+	case t.is(tokKeyword, "var"):
+		p.next()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		typ, err := p.parseTypeRef()
+		if err != nil {
+			return nil, err
+		}
+		s := &srcStmt{kind: stDecl, declName: name, declType: typ}
+		if p.peek().is(tokPunct, "=") {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.declInit = e
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+
+	case t.is(tokKeyword, "return"):
+		p.next()
+		val, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &srcStmt{kind: stReturn, retVal: val}, nil
+
+	case t.is(tokKeyword, "if"):
+		p.next()
+		thenB, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		st := &srcStmt{kind: stBlock, blocks: [][]srcStmt{thenB}}
+		if p.peek().is(tokKeyword, "else") {
+			p.next()
+			elseB, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			st.blocks = append(st.blocks, elseB)
+		}
+		return st, nil
+
+	case t.is(tokKeyword, "while"):
+		p.next()
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &srcStmt{kind: stBlock, blocks: [][]srcStmt{body}}, nil
+
+	case t.kind == tokIdent:
+		first := p.next()
+		switch {
+		case p.peek().is(tokPunct, "("):
+			// Call statement with discarded result.
+			call, err := p.parseCallAfterName(first)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			return &srcStmt{kind: stExpr, call: call}, nil
+		case p.peek().is(tokPunct, "."):
+			// Field store or load-into? Only stores have a dotted LHS.
+			p.next()
+			field, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct("="); err != nil {
+				return nil, err
+			}
+			rhs, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			return &srcStmt{kind: stAssign, lhs: srcLValue{base: first, field: &field}, rhs: *rhs}, nil
+		default:
+			if _, err := p.expectPunct("="); err != nil {
+				return nil, err
+			}
+			rhs, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			return &srcStmt{kind: stAssign, lhs: srcLValue{base: first}, rhs: *rhs}, nil
+		}
+	default:
+		return nil, errAt(t, "expected statement, found %q", t.text)
+	}
+}
+
+func (p *parser) parseCallAfterName(fn token) (*srcCall, error) {
+	if _, err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	call := &srcCall{fn: fn}
+	for !p.peek().is(tokPunct, ")") {
+		if len(call.args) > 0 {
+			if _, err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		call.args = append(call.args, *arg)
+	}
+	p.next() // ")"
+	return call, nil
+}
+
+func (p *parser) parseExpr() (*srcExpr, error) {
+	t := p.peek()
+	switch {
+	case t.is(tokKeyword, "new"):
+		p.next()
+		tr, err := p.parseTypeRef()
+		if err != nil {
+			return nil, err
+		}
+		return &srcExpr{kind: exNew, typ: tr}, nil
+	case t.kind == tokIdent:
+		name := p.next()
+		switch {
+		case p.peek().is(tokPunct, "("):
+			call, err := p.parseCallAfterName(name)
+			if err != nil {
+				return nil, err
+			}
+			return &srcExpr{kind: exCall, call: call}, nil
+		case p.peek().is(tokPunct, "."):
+			p.next()
+			field, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &srcExpr{kind: exField, base: name, field: field}, nil
+		default:
+			return &srcExpr{kind: exIdent, base: name}, nil
+		}
+	default:
+		return nil, errAt(t, "expected expression, found %q", t.text)
+	}
+}

@@ -1,0 +1,427 @@
+package mjlang
+
+import (
+	"fmt"
+
+	"parcfl/internal/frontend"
+	"parcfl/internal/pag"
+)
+
+// Parse lexes, parses and resolves mini-Java source text into a frontend
+// Program ready for lowering. Errors carry line:column positions.
+func Parse(src string) (*frontend.Program, error) {
+	sp, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	r := &resolver{
+		prog:     &frontend.Program{},
+		typeIdx:  map[string]pag.TypeID{},
+		arrayIdx: map[arrayKey]pag.TypeID{},
+		globIdx:  map[string]int{},
+		funcIdx:  map[string]int{},
+	}
+	if err := r.run(sp); err != nil {
+		return nil, err
+	}
+	return r.prog, nil
+}
+
+type arrayKey struct {
+	elem pag.TypeID
+	dims int
+}
+
+type resolver struct {
+	prog      *frontend.Program
+	typeIdx   map[string]pag.TypeID
+	arrayIdx  map[arrayKey]pag.TypeID
+	globIdx   map[string]int
+	funcIdx   map[string]int
+	nextField pag.FieldID
+}
+
+func (r *resolver) run(sp *srcProgram) error {
+	// Pass 1: declared type names.
+	for _, ty := range sp.types {
+		if _, dup := r.typeIdx[ty.name.text]; dup {
+			return errAt(ty.name, "type %q redeclared", ty.name.text)
+		}
+		id := pag.TypeID(len(r.prog.Types))
+		r.typeIdx[ty.name.text] = id
+		r.prog.Types = append(r.prog.Types, frontend.Type{Name: ty.name.text, Ref: !ty.primitive})
+	}
+	// Pass 2: fields (may reference any type, including arrays).
+	for _, ty := range sp.types {
+		id := r.typeIdx[ty.name.text]
+		if ty.primitive && len(ty.fields) > 0 {
+			return errAt(ty.name, "primitive type %q cannot have fields", ty.name.text)
+		}
+		for _, f := range ty.fields {
+			ftid, err := r.resolveTypeRef(f.typ)
+			if err != nil {
+				return err
+			}
+			for _, existing := range r.prog.Types[id].Fields {
+				if existing.Name == f.name.text {
+					return errAt(f.name, "field %q redeclared in %q", f.name.text, ty.name.text)
+				}
+			}
+			r.nextField++
+			r.prog.Types[id].Fields = append(r.prog.Types[id].Fields, frontend.Field{
+				Name: f.name.text, ID: r.nextField, Type: ftid,
+			})
+		}
+	}
+	// Pass 3: globals.
+	for _, g := range sp.globals {
+		if _, dup := r.globIdx[g.name.text]; dup {
+			return errAt(g.name, "global %q redeclared", g.name.text)
+		}
+		tid, err := r.resolveTypeRef(g.typ)
+		if err != nil {
+			return err
+		}
+		r.globIdx[g.name.text] = len(r.prog.Globals)
+		r.prog.Globals = append(r.prog.Globals, frontend.GlobalVar{Name: g.name.text, Type: tid})
+	}
+	// Pass 4: function signatures.
+	for _, f := range sp.funcs {
+		if _, dup := r.funcIdx[f.name.text]; dup {
+			return errAt(f.name, "func %q redeclared", f.name.text)
+		}
+		r.funcIdx[f.name.text] = len(r.prog.Methods)
+		m := frontend.Method{Name: f.name.text, Ret: -1, Application: f.application}
+		for _, prm := range f.params {
+			tid, err := r.resolveTypeRef(prm.typ)
+			if err != nil {
+				return err
+			}
+			m.Params = append(m.Params, len(m.Locals))
+			m.Locals = append(m.Locals, frontend.LocalVar{Name: prm.name.text, Type: tid})
+		}
+		if f.ret != nil {
+			tid, err := r.resolveTypeRef(*f.ret)
+			if err != nil {
+				return err
+			}
+			m.Ret = len(m.Locals)
+			m.Locals = append(m.Locals, frontend.LocalVar{Name: "$ret", Type: tid})
+		}
+		r.prog.Methods = append(r.prog.Methods, m)
+	}
+	// Pass 5: bodies.
+	for fi, f := range sp.funcs {
+		if err := r.lowerBody(fi, &f); err != nil {
+			return err
+		}
+	}
+	if err := r.prog.Validate(); err != nil {
+		return fmt.Errorf("mjlang: internal lowering error: %w", err)
+	}
+	return nil
+}
+
+// resolveTypeRef resolves a (possibly array) type reference, creating array
+// types on demand. Every array type's element field is the collapsed arr
+// pseudo-field (pag.ArrField), matching the paper's array modelling.
+func (r *resolver) resolveTypeRef(tr srcTypeRef) (pag.TypeID, error) {
+	base, ok := r.typeIdx[tr.name.text]
+	if !ok {
+		return 0, errAt(tr.name, "unknown type %q", tr.name.text)
+	}
+	cur := base
+	for d := 1; d <= tr.dims; d++ {
+		key := arrayKey{elem: cur, dims: 1}
+		if id, ok := r.arrayIdx[key]; ok {
+			cur = id
+			continue
+		}
+		id := pag.TypeID(len(r.prog.Types))
+		r.prog.Types = append(r.prog.Types, frontend.Type{
+			Name: r.prog.Types[cur].Name + "[]",
+			Ref:  true,
+			Fields: []frontend.Field{
+				{Name: "arr", ID: pag.ArrField, Type: cur},
+			},
+		})
+		r.arrayIdx[key] = id
+		cur = id
+	}
+	return cur, nil
+}
+
+// bodyCtx carries per-function lowering state.
+type bodyCtx struct {
+	r      *resolver
+	fi     int
+	m      *frontend.Method
+	scope  map[string]int // local name -> slot
+	nTemps int
+}
+
+func (r *resolver) lowerBody(fi int, f *srcFunc) error {
+	b := &bodyCtx{r: r, fi: fi, m: &r.prog.Methods[fi], scope: map[string]int{}}
+	for i, prm := range f.params {
+		if _, dup := b.scope[prm.name.text]; dup {
+			return errAt(prm.name, "parameter %q redeclared", prm.name.text)
+		}
+		b.scope[prm.name.text] = b.m.Params[i]
+	}
+	for i := range f.body {
+		if err := b.lowerStmt(&f.body[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *bodyCtx) newLocal(name string, t pag.TypeID) int {
+	slot := len(b.m.Locals)
+	b.m.Locals = append(b.m.Locals, frontend.LocalVar{Name: name, Type: t})
+	return slot
+}
+
+func (b *bodyCtx) newTemp(t pag.TypeID) int {
+	b.nTemps++
+	return b.newLocal(fmt.Sprintf("$t%d", b.nTemps), t)
+}
+
+func (b *bodyCtx) emit(s frontend.Stmt) { b.m.Body = append(b.m.Body, s) }
+
+// resolveVar resolves an identifier to a variable reference and its static
+// type.
+func (b *bodyCtx) resolveVar(name token) (frontend.VarRef, pag.TypeID, error) {
+	if slot, ok := b.scope[name.text]; ok {
+		return frontend.Local(slot), b.m.Locals[slot].Type, nil
+	}
+	if gi, ok := b.r.globIdx[name.text]; ok {
+		return frontend.Global(gi), b.r.prog.Globals[gi].Type, nil
+	}
+	return frontend.NoVar, 0, errAt(name, "unknown variable %q", name.text)
+}
+
+// fieldOf looks field name up in the static type of a base variable.
+func (b *bodyCtx) fieldOf(baseType pag.TypeID, field token) (pag.FieldID, pag.TypeID, error) {
+	ty := &b.r.prog.Types[baseType]
+	for _, f := range ty.Fields {
+		if f.Name == field.text {
+			return f.ID, f.Type, nil
+		}
+	}
+	return 0, 0, errAt(field, "type %q has no field %q", ty.Name, field.text)
+}
+
+// exprType infers the static type of an expression.
+func (b *bodyCtx) exprType(e *srcExpr) (pag.TypeID, error) {
+	switch e.kind {
+	case exNew:
+		return b.r.resolveTypeRef(e.typ)
+	case exIdent:
+		_, t, err := b.resolveVar(e.base)
+		return t, err
+	case exField:
+		_, bt, err := b.resolveVar(e.base)
+		if err != nil {
+			return 0, err
+		}
+		_, ft, err := b.fieldOf(bt, e.field)
+		return ft, err
+	case exCall:
+		ci, ok := b.r.funcIdx[e.call.fn.text]
+		if !ok {
+			return 0, errAt(e.call.fn, "unknown function %q", e.call.fn.text)
+		}
+		callee := &b.r.prog.Methods[ci]
+		if callee.Ret == -1 {
+			return 0, errAt(e.call.fn, "%q returns nothing", e.call.fn.text)
+		}
+		return callee.Locals[callee.Ret].Type, nil
+	}
+	return 0, errAt(e.base, "unsupported expression")
+}
+
+// localArg returns a local VarRef carrying an argument expression's value:
+// identifiers naming locals pass through directly; globals and compound
+// expressions (allocations, nested calls, field reads) are lowered into
+// typed temporaries first.
+func (b *bodyCtx) localArg(arg *srcExpr) (frontend.VarRef, error) {
+	if arg.kind == exIdent {
+		ref, t, err := b.resolveVar(arg.base)
+		if err != nil {
+			return frontend.NoVar, err
+		}
+		if !ref.Global {
+			return ref, nil
+		}
+		tmp := b.newTemp(t)
+		b.emit(frontend.Stmt{Kind: frontend.StAssign, Dst: frontend.Local(tmp), Src: ref})
+		return frontend.Local(tmp), nil
+	}
+	t, err := b.exprType(arg)
+	if err != nil {
+		return frontend.NoVar, err
+	}
+	tmp := b.newTemp(t)
+	if err := b.lowerExprInto(frontend.Local(tmp), arg); err != nil {
+		return frontend.NoVar, err
+	}
+	return frontend.Local(tmp), nil
+}
+
+// lowerCall emits a call, returning the destination slot information.
+func (b *bodyCtx) lowerCall(call *srcCall, dst frontend.VarRef) error {
+	ci, ok := b.r.funcIdx[call.fn.text]
+	if !ok {
+		return errAt(call.fn, "unknown function %q", call.fn.text)
+	}
+	callee := &b.r.prog.Methods[ci]
+	if len(call.args) != len(callee.Params) {
+		return errAt(call.fn, "%q takes %d argument(s), got %d", call.fn.text, len(callee.Params), len(call.args))
+	}
+	var args []frontend.VarRef
+	for i := range call.args {
+		ref, err := b.localArg(&call.args[i])
+		if err != nil {
+			return err
+		}
+		args = append(args, ref)
+	}
+	if !dst.IsNoVar() && callee.Ret == -1 {
+		return errAt(call.fn, "%q returns nothing", call.fn.text)
+	}
+	if dst.Global {
+		// Route the result through a temp: ret edges connect locals.
+		tmp := b.newTemp(b.r.prog.Globals[dst.Index].Type)
+		b.emit(frontend.Stmt{Kind: frontend.StCall, Callee: ci, Args: args, Dst: frontend.Local(tmp)})
+		b.emit(frontend.Stmt{Kind: frontend.StAssign, Dst: dst, Src: frontend.Local(tmp)})
+		return nil
+	}
+	b.emit(frontend.Stmt{Kind: frontend.StCall, Callee: ci, Args: args, Dst: dst})
+	return nil
+}
+
+// lowerExprInto lowers an expression so its value lands in dst.
+func (b *bodyCtx) lowerExprInto(dst frontend.VarRef, e *srcExpr) error {
+	switch e.kind {
+	case exNew:
+		tid, err := b.r.resolveTypeRef(e.typ)
+		if err != nil {
+			return err
+		}
+		if !b.r.prog.Types[tid].Ref {
+			return errAt(e.typ.name, "cannot allocate primitive type %q", e.typ.name.text)
+		}
+		if dst.Global {
+			tmp := b.newTemp(tid)
+			b.emit(frontend.Stmt{Kind: frontend.StAlloc, Dst: frontend.Local(tmp), Type: tid})
+			b.emit(frontend.Stmt{Kind: frontend.StAssign, Dst: dst, Src: frontend.Local(tmp)})
+			return nil
+		}
+		b.emit(frontend.Stmt{Kind: frontend.StAlloc, Dst: dst, Type: tid})
+		return nil
+	case exIdent:
+		src, _, err := b.resolveVar(e.base)
+		if err != nil {
+			return err
+		}
+		b.emit(frontend.Stmt{Kind: frontend.StAssign, Dst: dst, Src: src})
+		return nil
+	case exField:
+		base, bt, err := b.resolveVar(e.base)
+		if err != nil {
+			return err
+		}
+		fid, _, err := b.fieldOf(bt, e.field)
+		if err != nil {
+			return err
+		}
+		b.emit(frontend.Stmt{Kind: frontend.StLoad, Dst: dst, Base: base, Field: fid})
+		return nil
+	case exCall:
+		return b.lowerCall(e.call, dst)
+	}
+	return errAt(e.base, "unsupported expression")
+}
+
+func (b *bodyCtx) lowerStmt(s *srcStmt) error {
+	switch s.kind {
+	case stDecl:
+		if _, dup := b.scope[s.declName.text]; dup {
+			return errAt(s.declName, "variable %q redeclared", s.declName.text)
+		}
+		tid, err := b.r.resolveTypeRef(s.declType)
+		if err != nil {
+			return err
+		}
+		slot := b.newLocal(s.declName.text, tid)
+		b.scope[s.declName.text] = slot
+		if s.declInit != nil {
+			return b.lowerExprInto(frontend.Local(slot), s.declInit)
+		}
+		return nil
+
+	case stAssign:
+		if s.lhs.field != nil {
+			// Store: base.f = rhs. The stored value must be a variable;
+			// other expressions go through a temp.
+			base, bt, err := b.resolveVar(s.lhs.base)
+			if err != nil {
+				return err
+			}
+			fid, ft, err := b.fieldOf(bt, *s.lhs.field)
+			if err != nil {
+				return err
+			}
+			var src frontend.VarRef
+			if s.rhs.kind == exIdent {
+				src, _, err = b.resolveVar(s.rhs.base)
+				if err != nil {
+					return err
+				}
+			} else {
+				tmp := b.newTemp(ft)
+				if err := b.lowerExprInto(frontend.Local(tmp), &s.rhs); err != nil {
+					return err
+				}
+				src = frontend.Local(tmp)
+			}
+			b.emit(frontend.Stmt{Kind: frontend.StStore, Base: base, Field: fid, Src: src})
+			return nil
+		}
+		dst, _, err := b.resolveVar(s.lhs.base)
+		if err != nil {
+			return err
+		}
+		return b.lowerExprInto(dst, &s.rhs)
+
+	case stReturn:
+		if b.m.Ret == -1 {
+			return errAt(s.retVal, "function %q returns nothing", b.m.Name)
+		}
+		src, _, err := b.resolveVar(s.retVal)
+		if err != nil {
+			return err
+		}
+		b.emit(frontend.Stmt{Kind: frontend.StAssign, Dst: frontend.Local(b.m.Ret), Src: src})
+		return nil
+
+	case stExpr:
+		return b.lowerCall(s.call, frontend.NoVar)
+
+	case stBlock:
+		// Flow-insensitive analysis: every branch/iteration contributes,
+		// so nested blocks flatten into the enclosing body. Declarations
+		// inside blocks scope to the whole function (the language keeps
+		// scoping simple).
+		for bi := range s.blocks {
+			for si := range s.blocks[bi] {
+				if err := b.lowerStmt(&s.blocks[bi][si]); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("mjlang: unknown statement kind")
+}

@@ -1,0 +1,130 @@
+package pag
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Context is a calling-context string: a stack of call-site IDs, as used by
+// the context-sensitive CFL R_CS of Eq. (3). The zero value is the empty
+// context.
+//
+// Representation: each call site occupies four big-endian bytes of an
+// immutable Go string, the top of the stack being the final four bytes.
+// This makes Context a comparable value type, usable directly as a map key —
+// essential because jmp-edge keys (node, context) are shared between
+// query-processing goroutines — while Push and Pop remain O(depth) copies at
+// worst (Pop is a zero-copy reslice).
+type Context struct {
+	s string
+}
+
+// EmptyContext is the empty calling context (the zero value, spelled out).
+var EmptyContext = Context{}
+
+// Empty reports whether the context stack is empty.
+func (c Context) Empty() bool { return len(c.s) == 0 }
+
+// Depth returns the number of call sites on the stack.
+func (c Context) Depth() int { return len(c.s) / 4 }
+
+// Top returns the call site on top of the stack. It panics on an empty
+// context; callers must check Empty first, mirroring the c = ∅ test in
+// Algorithm 1.
+func (c Context) Top() CallSiteID {
+	if c.Empty() {
+		panic("pag: Top of empty context")
+	}
+	n := len(c.s)
+	return CallSiteID(uint32(c.s[n-4])<<24 | uint32(c.s[n-3])<<16 | uint32(c.s[n-2])<<8 | uint32(c.s[n-1]))
+}
+
+// Push returns a new context with call site i pushed on top.
+func (c Context) Push(i CallSiteID) Context {
+	var b strings.Builder
+	b.Grow(len(c.s) + 4)
+	b.WriteString(c.s)
+	b.WriteByte(byte(i >> 24))
+	b.WriteByte(byte(i >> 16))
+	b.WriteByte(byte(i >> 8))
+	b.WriteByte(byte(i))
+	return Context{b.String()}
+}
+
+// Pop returns the context with its top call site removed. It panics on an
+// empty context.
+func (c Context) Pop() Context {
+	if c.Empty() {
+		panic("pag: Pop of empty context")
+	}
+	return Context{c.s[:len(c.s)-4]}
+}
+
+// PushK pushes call site i, keeping at most k sites by discarding the
+// oldest entry on overflow (k-limited call strings, the standard k-CFA
+// truncation). Discarding the bottom of the stack is a sound
+// over-approximation: the visible suffix still matches pops exactly, and
+// once the stack empties the analysis already permits partially balanced
+// continuations. k <= 0 means unlimited.
+func (c Context) PushK(i CallSiteID, k int) Context {
+	if k <= 0 || c.Depth() < k {
+		return c.Push(i)
+	}
+	drop := (c.Depth() - k + 1) * 4
+	return Context{c.s[drop:]}.Push(i)
+}
+
+// Key returns the raw representation, suitable for building composite map
+// keys. The returned string uniquely determines the context.
+func (c Context) Key() string { return c.s }
+
+// ContextFromKey rebuilds a Context from a Key() value. The key must have
+// been produced by Key; no validation beyond length is performed.
+func ContextFromKey(k string) Context {
+	if len(k)%4 != 0 {
+		panic("pag: malformed context key")
+	}
+	return Context{k}
+}
+
+// Sites returns the call sites bottom-up (oldest first). Intended for
+// diagnostics and tests.
+func (c Context) Sites() []CallSiteID {
+	out := make([]CallSiteID, 0, c.Depth())
+	for i := 0; i+4 <= len(c.s); i += 4 {
+		out = append(out, CallSiteID(uint32(c.s[i])<<24|uint32(c.s[i+1])<<16|uint32(c.s[i+2])<<8|uint32(c.s[i+3])))
+	}
+	return out
+}
+
+// String renders the context like "[3 17]" (bottom-up) for diagnostics.
+func (c Context) String() string {
+	if c.Empty() {
+		return "[]"
+	}
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, s := range c.Sites() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", s)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// NodeCtx is a (node, context) pair — the unit of traversal work in
+// Algorithm 1 and the key of the jmp-edge table in Algorithm 2. It is a
+// comparable value type.
+type NodeCtx struct {
+	Node NodeID
+	Ctx  Context
+}
+
+// ObjCtx is a (object, context) pair, an element of a context-sensitive
+// points-to set.
+type ObjCtx struct {
+	Obj NodeID
+	Ctx Context
+}

@@ -1,0 +1,182 @@
+package pag
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyContext(t *testing.T) {
+	c := EmptyContext
+	if !c.Empty() {
+		t.Fatal("EmptyContext.Empty() = false")
+	}
+	if c.Depth() != 0 {
+		t.Fatalf("EmptyContext.Depth() = %d, want 0", c.Depth())
+	}
+	if c.Key() != "" {
+		t.Fatalf("EmptyContext.Key() = %q, want empty", c.Key())
+	}
+	if got := c.String(); got != "[]" {
+		t.Fatalf("EmptyContext.String() = %q, want []", got)
+	}
+}
+
+func TestContextPushPopTop(t *testing.T) {
+	c := EmptyContext.Push(17)
+	if c.Empty() {
+		t.Fatal("pushed context is empty")
+	}
+	if c.Top() != 17 {
+		t.Fatalf("Top = %d, want 17", c.Top())
+	}
+	c2 := c.Push(42)
+	if c2.Top() != 42 || c2.Depth() != 2 {
+		t.Fatalf("after second push: top=%d depth=%d", c2.Top(), c2.Depth())
+	}
+	// Push must not mutate the original.
+	if c.Top() != 17 || c.Depth() != 1 {
+		t.Fatalf("original mutated by Push: top=%d depth=%d", c.Top(), c.Depth())
+	}
+	if p := c2.Pop(); p != c {
+		t.Fatalf("Pop did not return original: %v vs %v", p, c)
+	}
+	if p := c2.Pop().Pop(); !p.Empty() {
+		t.Fatalf("double Pop not empty: %v", p)
+	}
+}
+
+func TestContextPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s on empty context did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Top", func() { EmptyContext.Top() })
+	mustPanic("Pop", func() { EmptyContext.Pop() })
+}
+
+func TestContextLargeSiteIDs(t *testing.T) {
+	for _, id := range []CallSiteID{0, 1, 255, 256, 1 << 16, 1<<31 - 1, ^CallSiteID(0)} {
+		c := EmptyContext.Push(id)
+		if c.Top() != id {
+			t.Errorf("Push(%d).Top() = %d", id, c.Top())
+		}
+	}
+}
+
+func TestContextSitesOrder(t *testing.T) {
+	c := EmptyContext.Push(1).Push(2).Push(3)
+	sites := c.Sites()
+	want := []CallSiteID{1, 2, 3}
+	if len(sites) != len(want) {
+		t.Fatalf("Sites len = %d, want %d", len(sites), len(want))
+	}
+	for i := range want {
+		if sites[i] != want[i] {
+			t.Fatalf("Sites[%d] = %d, want %d", i, sites[i], want[i])
+		}
+	}
+	if got := c.String(); got != "[1 2 3]" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestContextKeyRoundtrip(t *testing.T) {
+	c := EmptyContext.Push(7).Push(1 << 20).Push(3)
+	back := ContextFromKey(c.Key())
+	if back != c {
+		t.Fatalf("roundtrip mismatch: %v vs %v", back, c)
+	}
+}
+
+func TestContextFromMalformedKey(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ContextFromKey on odd-length key did not panic")
+		}
+	}()
+	ContextFromKey("abc")
+}
+
+// Property: pushing a sequence of sites and reading Sites() yields the same
+// sequence, and popping them all yields the empty context.
+func TestContextPushSequenceProperty(t *testing.T) {
+	prop := func(sites []uint32) bool {
+		if len(sites) > 64 {
+			sites = sites[:64]
+		}
+		c := EmptyContext
+		for _, s := range sites {
+			c = c.Push(CallSiteID(s))
+		}
+		got := c.Sites()
+		if len(got) != len(sites) {
+			return false
+		}
+		for i := range sites {
+			if got[i] != CallSiteID(sites[i]) {
+				return false
+			}
+		}
+		for range sites {
+			c = c.Pop()
+		}
+		return c.Empty()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: contexts are value-comparable — two contexts built from the same
+// site sequence are equal, and differing sequences are unequal.
+func TestContextEqualityProperty(t *testing.T) {
+	build := func(sites []uint32) Context {
+		c := EmptyContext
+		for _, s := range sites {
+			c = c.Push(CallSiteID(s))
+		}
+		return c
+	}
+	prop := func(a []uint32) bool {
+		if build(a) != build(a) {
+			return false
+		}
+		b := append(append([]uint32{}, a...), 99)
+		return build(a) != build(b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeCtxAsMapKey(t *testing.T) {
+	m := map[NodeCtx]int{}
+	k1 := NodeCtx{Node: 3, Ctx: EmptyContext.Push(9)}
+	k2 := NodeCtx{Node: 3, Ctx: EmptyContext.Push(9)}
+	k3 := NodeCtx{Node: 3, Ctx: EmptyContext.Push(10)}
+	m[k1] = 1
+	if m[k2] != 1 {
+		t.Fatal("equal NodeCtx keys do not collide in map")
+	}
+	if _, ok := m[k3]; ok {
+		t.Fatal("distinct NodeCtx keys collide in map")
+	}
+}
+
+func TestPushKInPag(t *testing.T) {
+	c := EmptyContext
+	for i := 1; i <= 4; i++ {
+		c = c.PushK(CallSiteID(i), 2)
+	}
+	if got := c.Sites(); len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("PushK sites = %v", got)
+	}
+	if got := EmptyContext.PushK(9, 0).Depth(); got != 1 {
+		t.Fatalf("PushK unlimited depth = %d", got)
+	}
+}

@@ -1,0 +1,50 @@
+package pag
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format for inspection:
+// variables as ellipses, globals as double ellipses, objects as boxes,
+// edges labelled with their kind (and field/call-site where applicable).
+// Intended for small graphs (examples, paper figures); large benchmarks are
+// better explored with the query tools.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "digraph pag {")
+	fmt.Fprintln(bw, "  rankdir=BT;")
+	fmt.Fprintln(bw, "  node [fontsize=10]; edge [fontsize=9];")
+	for i := 0; i < len(g.nodes); i++ {
+		n := g.nodes[i]
+		shape := "ellipse"
+		switch n.Kind {
+		case KindObject:
+			shape = "box"
+		case KindGlobal:
+			shape = "doublecircle"
+		case KindUnfinished:
+			continue // the O node has no drawn edges
+		}
+		fmt.Fprintf(bw, "  n%d [label=%q shape=%s];\n", i, n.Name, shape)
+	}
+	for dst := 0; dst < len(g.in); dst++ {
+		for _, he := range g.in[dst] {
+			label := he.Kind.String()
+			switch he.Kind {
+			case EdgeLoad, EdgeStore:
+				label = fmt.Sprintf("%s(f%d)", he.Kind, he.Label)
+			case EdgeParam, EdgeRet:
+				label = fmt.Sprintf("%s%d", he.Kind, he.Label)
+			}
+			style := ""
+			if he.Kind == EdgeNew {
+				style = " style=bold"
+			}
+			fmt.Fprintf(bw, "  n%d -> n%d [label=%q%s];\n", he.Other, dst, label, style)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,36 @@
+package pag
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := NewGraph()
+	o := g.AddObject("o1", 0)
+	a := g.AddLocal("a", 0, 0)
+	b := g.AddGlobal("G", 0)
+	g.AddEdge(Edge{Dst: a, Src: o, Kind: EdgeNew})
+	g.AddEdge(Edge{Dst: b, Src: a, Kind: EdgeAssignGlobal})
+	g.AddEdge(Edge{Dst: a, Src: a, Kind: EdgeLoad, Label: 3})
+	g.Freeze()
+
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph pag", `label="o1" shape=box`, `label="G" shape=doublecircle`,
+		`label="new"`, `label="assigng"`, `label="ld(f3)"`, "}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// The O node is not drawn.
+	if strings.Contains(out, `label="O"`) {
+		t.Fatal("O node drawn")
+	}
+}

@@ -1,0 +1,112 @@
+package pag
+
+import "fmt"
+
+// EdgeKind classifies PAG edges, following the edge syntax of Fig. 1.
+type EdgeKind uint8
+
+const (
+	// EdgeNew is an allocation l1 <-new- o: object o flows to l1.
+	EdgeNew EdgeKind = iota
+	// EdgeAssignLocal is a local assignment l1 = l2.
+	EdgeAssignLocal
+	// EdgeAssignGlobal is an assignment with a global on at least one
+	// side. Globals are context-insensitive, so traversing such an edge
+	// clears the context.
+	EdgeAssignGlobal
+	// EdgeLoad is a field load l1 = l2.f; Label is the FieldID of f.
+	EdgeLoad
+	// EdgeStore is a field store l1.f = l2; Label is the FieldID of f.
+	EdgeStore
+	// EdgeParam models parameter passing at a call site: l1 is the formal,
+	// l2 the actual; Label is the CallSiteID.
+	EdgeParam
+	// EdgeRet models returning a value at a call site: l1 receives the
+	// value of l2 returned from the callee; Label is the CallSiteID.
+	EdgeRet
+)
+
+// String returns the paper's name for the edge kind.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeNew:
+		return "new"
+	case EdgeAssignLocal:
+		return "assignl"
+	case EdgeAssignGlobal:
+		return "assigng"
+	case EdgeLoad:
+		return "ld"
+	case EdgeStore:
+		return "st"
+	case EdgeParam:
+		return "param"
+	case EdgeRet:
+		return "ret"
+	default:
+		return fmt.Sprintf("EdgeKind(%d)", uint8(k))
+	}
+}
+
+// IsDirect reports whether the edge kind participates in the "direct"
+// relation of Eq. (5) in the paper, used to group queries:
+//
+//	direct -> (assignl | assigng | param_i | ret_i)*
+//
+// Load and store edges are excluded because there is no variable-to-variable
+// reachability between their endpoints.
+func (k EdgeKind) IsDirect() bool {
+	switch k {
+	case EdgeAssignLocal, EdgeAssignGlobal, EdgeParam, EdgeRet:
+		return true
+	}
+	return false
+}
+
+// FieldID identifies a field name. Array elements are collapsed into the
+// special ArrField, as in the paper ("arr").
+type FieldID uint32
+
+// ArrField is the collapsed pseudo-field for all array element accesses.
+const ArrField = FieldID(0)
+
+// CallSiteID identifies a call site; param/ret edge labels and context
+// strings are built from these.
+type CallSiteID uint32
+
+// Label is the extra datum on an edge: a FieldID for ld/st edges, a
+// CallSiteID for param/ret edges, zero otherwise.
+type Label uint32
+
+// Edge is a full PAG edge dst <-kind(label)- src, meaning the statement's
+// value flows from Src to Dst (e.g. for l1 = l2, Src is l2 and Dst is l1;
+// for l1 <-new- o, Src is the object o and Dst is l1).
+type Edge struct {
+	Dst   NodeID
+	Src   NodeID
+	Kind  EdgeKind
+	Label Label
+}
+
+// HalfEdge is an adjacency-list entry: the edge kind and label plus the node
+// at the far end. Whether Other is the source or destination depends on
+// which adjacency list (In or Out) the entry appears in.
+type HalfEdge struct {
+	Other NodeID
+	Kind  EdgeKind
+	Label Label
+}
+
+// StoreSite is one store statement base.f = val, indexed globally per field
+// so that ReachableNodes can enumerate all stores matching a load of f.
+type StoreSite struct {
+	Base NodeID // the variable whose field is written (q in q.f = y)
+	Val  NodeID // the stored value (y)
+}
+
+// LoadSite is one load statement dst = base.f, indexed globally per field
+// for the inverse (flowsTo) direction of ReachableNodes.
+type LoadSite struct {
+	Base NodeID // the variable whose field is read (p in x = p.f)
+	Dst  NodeID // the loaded-into variable (x)
+}

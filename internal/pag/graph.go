@@ -1,0 +1,254 @@
+package pag
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a Pointer Assignment Graph. It is built once (via Builder
+// methods) and then frozen with Freeze; a frozen graph is immutable and safe
+// for concurrent readers, which is how the parallel analysis shares it
+// between query-processing goroutines.
+//
+// Adjacency is stored both ways: In(x) lists edges x <-e- y (needed by
+// PointsTo, which traverses against value flow), Out(x) lists edges
+// z <-e- x (needed by FlowsTo, which traverses with value flow). Store and
+// load statements are additionally indexed per field, because matching a
+// load x = p.f requires enumerating every store q.f = y in the whole
+// program, not just stores adjacent to x.
+type Graph struct {
+	nodes []Node
+
+	in  [][]HalfEdge
+	out [][]HalfEdge
+
+	storesByField map[FieldID][]StoreSite
+	loadsByField  map[FieldID][]LoadSite
+
+	unfinished NodeID // the single O node, created lazily by Freeze
+
+	numEdges  int
+	fieldMax  FieldID
+	frozen    bool
+	callSites map[CallSiteID]struct{}
+}
+
+// NewGraph returns an empty, unfrozen graph.
+func NewGraph() *Graph {
+	return &Graph{
+		storesByField: make(map[FieldID][]StoreSite),
+		loadsByField:  make(map[FieldID][]LoadSite),
+		unfinished:    InvalidNode,
+		callSites:     make(map[CallSiteID]struct{}),
+	}
+}
+
+// AddNode appends a node and returns its ID.
+func (g *Graph) AddNode(n Node) NodeID {
+	if g.frozen {
+		panic("pag: AddNode on frozen graph")
+	}
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, n)
+	g.in = append(g.in, nil)
+	g.out = append(g.out, nil)
+	return id
+}
+
+// AddLocal is a convenience wrapper adding a local variable node.
+func (g *Graph) AddLocal(name string, typ TypeID, m MethodID) NodeID {
+	return g.AddNode(Node{Name: name, Kind: KindLocal, Type: typ, Method: m})
+}
+
+// AddGlobal is a convenience wrapper adding a global variable node.
+func (g *Graph) AddGlobal(name string, typ TypeID) NodeID {
+	return g.AddNode(Node{Name: name, Kind: KindGlobal, Type: typ, Method: NoMethod})
+}
+
+// AddObject is a convenience wrapper adding an abstract heap object node.
+func (g *Graph) AddObject(name string, typ TypeID) NodeID {
+	return g.AddNode(Node{Name: name, Kind: KindObject, Type: typ, Method: NoMethod})
+}
+
+// AddEdge inserts the edge dst <-kind(label)- src. Both endpoints must
+// already exist. Statement well-formedness (e.g. that the source of a new
+// edge is an object) is the caller's responsibility; ValidateEdge can check.
+func (g *Graph) AddEdge(e Edge) {
+	if g.frozen {
+		panic("pag: AddEdge on frozen graph")
+	}
+	if int(e.Dst) >= len(g.nodes) || int(e.Src) >= len(g.nodes) {
+		panic(fmt.Sprintf("pag: AddEdge with unknown node (dst=%d src=%d n=%d)", e.Dst, e.Src, len(g.nodes)))
+	}
+	g.in[e.Dst] = append(g.in[e.Dst], HalfEdge{Other: e.Src, Kind: e.Kind, Label: e.Label})
+	g.out[e.Src] = append(g.out[e.Src], HalfEdge{Other: e.Dst, Kind: e.Kind, Label: e.Label})
+	switch e.Kind {
+	case EdgeStore:
+		f := FieldID(e.Label)
+		g.storesByField[f] = append(g.storesByField[f], StoreSite{Base: e.Dst, Val: e.Src})
+		if f > g.fieldMax {
+			g.fieldMax = f
+		}
+	case EdgeLoad:
+		f := FieldID(e.Label)
+		g.loadsByField[f] = append(g.loadsByField[f], LoadSite{Base: e.Src, Dst: e.Dst})
+		if f > g.fieldMax {
+			g.fieldMax = f
+		}
+	case EdgeParam, EdgeRet:
+		g.callSites[CallSiteID(e.Label)] = struct{}{}
+	}
+	g.numEdges++
+}
+
+// ValidateEdge reports whether edge e is well-formed with respect to the
+// node kinds of its endpoints, per the syntax of Fig. 1.
+func (g *Graph) ValidateEdge(e Edge) error {
+	dk, sk := g.nodes[e.Dst].Kind, g.nodes[e.Src].Kind
+	bad := func(msg string) error {
+		return fmt.Errorf("pag: invalid %s edge %s(%d) <- %s(%d): %s",
+			e.Kind, g.nodes[e.Dst].Name, e.Dst, g.nodes[e.Src].Name, e.Src, msg)
+	}
+	switch e.Kind {
+	case EdgeNew:
+		if sk != KindObject {
+			return bad("source must be an object")
+		}
+		if !dk.IsVariable() {
+			return bad("destination must be a variable")
+		}
+	case EdgeAssignLocal:
+		if dk != KindLocal || sk != KindLocal {
+			return bad("both sides must be locals")
+		}
+	case EdgeAssignGlobal:
+		if !dk.IsVariable() || !sk.IsVariable() {
+			return bad("both sides must be variables")
+		}
+		if dk != KindGlobal && sk != KindGlobal {
+			return bad("at least one side must be global")
+		}
+	case EdgeLoad, EdgeStore:
+		if !dk.IsVariable() || !sk.IsVariable() {
+			return bad("both sides must be variables")
+		}
+	case EdgeParam, EdgeRet:
+		if dk != KindLocal || sk != KindLocal {
+			return bad("both sides must be locals")
+		}
+	default:
+		return bad("unknown edge kind")
+	}
+	return nil
+}
+
+// Freeze finalises the graph: it creates the unfinished node O (once), sorts
+// the per-field indexes for determinism, and marks the graph immutable.
+// Freeze is idempotent and is also used by CommitUpdate to re-freeze after
+// an incremental edit.
+func (g *Graph) Freeze() {
+	if g.frozen {
+		return
+	}
+	if g.unfinished == InvalidNode {
+		g.unfinished = g.AddNode(Node{Name: "O", Kind: KindUnfinished, Type: UntypedType, Method: NoMethod})
+	}
+	for f := range g.storesByField {
+		s := g.storesByField[f]
+		sort.Slice(s, func(i, j int) bool {
+			if s[i].Base != s[j].Base {
+				return s[i].Base < s[j].Base
+			}
+			return s[i].Val < s[j].Val
+		})
+	}
+	for f := range g.loadsByField {
+		l := g.loadsByField[f]
+		sort.Slice(l, func(i, j int) bool {
+			if l[i].Base != l[j].Base {
+				return l[i].Base < l[j].Base
+			}
+			return l[i].Dst < l[j].Dst
+		})
+	}
+	g.frozen = true
+}
+
+// Frozen reports whether Freeze has been called.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+// NumNodes returns the node count (including O once frozen).
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// NumCallSites returns the number of distinct call sites seen on param/ret
+// edges.
+func (g *Graph) NumCallSites() int { return len(g.callSites) }
+
+// Node returns the metadata of node id.
+func (g *Graph) Node(id NodeID) Node { return g.nodes[id] }
+
+// Unfinished returns the special O node. The graph must be frozen.
+func (g *Graph) Unfinished() NodeID {
+	if !g.frozen {
+		panic("pag: Unfinished before Freeze")
+	}
+	return g.unfinished
+}
+
+// In returns the incoming half-edges of x: entries {y, e, l} such that the
+// graph contains x <-e(l)- y. The slice must not be modified.
+func (g *Graph) In(x NodeID) []HalfEdge { return g.in[x] }
+
+// Out returns the outgoing half-edges of x: entries {z, e, l} such that the
+// graph contains z <-e(l)- x. The slice must not be modified.
+func (g *Graph) Out(x NodeID) []HalfEdge { return g.out[x] }
+
+// StoresOf returns every store site q.f = y for field f, program-wide.
+func (g *Graph) StoresOf(f FieldID) []StoreSite { return g.storesByField[f] }
+
+// LoadsOf returns every load site x = p.f for field f, program-wide.
+func (g *Graph) LoadsOf(f FieldID) []LoadSite { return g.loadsByField[f] }
+
+// Fields returns the IDs of all fields that appear on a load or store edge,
+// in ascending order.
+func (g *Graph) Fields() []FieldID {
+	seen := make(map[FieldID]struct{}, len(g.storesByField)+len(g.loadsByField))
+	for f := range g.storesByField {
+		seen[f] = struct{}{}
+	}
+	for f := range g.loadsByField {
+		seen[f] = struct{}{}
+	}
+	out := make([]FieldID, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Variables returns the IDs of all variable nodes (locals and globals), in
+// ascending order.
+func (g *Graph) Variables() []NodeID {
+	var out []NodeID
+	for id := range g.nodes {
+		if g.nodes[id].Kind.IsVariable() {
+			out = append(out, NodeID(id))
+		}
+	}
+	return out
+}
+
+// Objects returns the IDs of all object nodes, in ascending order.
+func (g *Graph) Objects() []NodeID {
+	var out []NodeID
+	for id := range g.nodes {
+		if g.nodes[id].Kind == KindObject {
+			out = append(out, NodeID(id))
+		}
+	}
+	return out
+}

@@ -1,0 +1,266 @@
+package pag
+
+import (
+	"bytes"
+	"testing"
+)
+
+// buildTinyGraph constructs: o -new-> a -assignl-> b, b -st(f)-> base,
+// x <-ld(f)- base (i.e. x = base.f, base.f = b).
+func buildTinyGraph(t *testing.T) (*Graph, map[string]NodeID) {
+	t.Helper()
+	g := NewGraph()
+	ids := map[string]NodeID{}
+	ids["o"] = g.AddObject("o", 1)
+	ids["a"] = g.AddLocal("a", 1, 0)
+	ids["b"] = g.AddLocal("b", 1, 0)
+	ids["base"] = g.AddLocal("base", 2, 0)
+	ids["x"] = g.AddLocal("x", 1, 0)
+	ids["gv"] = g.AddGlobal("gv", 1)
+	f := Label(5)
+	edges := []Edge{
+		{Dst: ids["a"], Src: ids["o"], Kind: EdgeNew},
+		{Dst: ids["b"], Src: ids["a"], Kind: EdgeAssignLocal},
+		{Dst: ids["base"], Src: ids["b"], Kind: EdgeStore, Label: f},
+		{Dst: ids["x"], Src: ids["base"], Kind: EdgeLoad, Label: f},
+		{Dst: ids["gv"], Src: ids["a"], Kind: EdgeAssignGlobal},
+	}
+	for _, e := range edges {
+		if err := g.ValidateEdge(e); err != nil {
+			t.Fatalf("ValidateEdge(%v): %v", e, err)
+		}
+		g.AddEdge(e)
+	}
+	return g, ids
+}
+
+func TestGraphBuildAndCounts(t *testing.T) {
+	g, _ := buildTinyGraph(t)
+	if g.NumNodes() != 6 {
+		t.Fatalf("NumNodes = %d, want 6", g.NumNodes())
+	}
+	if g.NumEdges() != 5 {
+		t.Fatalf("NumEdges = %d, want 5", g.NumEdges())
+	}
+	g.Freeze()
+	if g.NumNodes() != 7 { // +O
+		t.Fatalf("NumNodes after Freeze = %d, want 7", g.NumNodes())
+	}
+	if g.Node(g.Unfinished()).Kind != KindUnfinished {
+		t.Fatal("Unfinished node has wrong kind")
+	}
+}
+
+func TestGraphAdjacency(t *testing.T) {
+	g, ids := buildTinyGraph(t)
+	g.Freeze()
+	in := g.In(ids["b"])
+	if len(in) != 1 || in[0].Other != ids["a"] || in[0].Kind != EdgeAssignLocal {
+		t.Fatalf("In(b) = %v", in)
+	}
+	out := g.Out(ids["a"])
+	if len(out) != 2 {
+		t.Fatalf("Out(a) = %v, want 2 edges", out)
+	}
+	// new edge appears in In of a and Out of o.
+	if len(g.In(ids["a"])) != 1 || g.In(ids["a"])[0].Kind != EdgeNew {
+		t.Fatalf("In(a) = %v", g.In(ids["a"]))
+	}
+	if len(g.Out(ids["o"])) != 1 || g.Out(ids["o"])[0].Other != ids["a"] {
+		t.Fatalf("Out(o) = %v", g.Out(ids["o"]))
+	}
+}
+
+func TestGraphFieldIndexes(t *testing.T) {
+	g, ids := buildTinyGraph(t)
+	g.Freeze()
+	st := g.StoresOf(5)
+	if len(st) != 1 || st[0].Base != ids["base"] || st[0].Val != ids["b"] {
+		t.Fatalf("StoresOf(5) = %v", st)
+	}
+	ld := g.LoadsOf(5)
+	if len(ld) != 1 || ld[0].Base != ids["base"] || ld[0].Dst != ids["x"] {
+		t.Fatalf("LoadsOf(5) = %v", ld)
+	}
+	if got := g.Fields(); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("Fields = %v", got)
+	}
+	if got := g.StoresOf(99); got != nil {
+		t.Fatalf("StoresOf(unknown) = %v, want nil", got)
+	}
+}
+
+func TestGraphVariablesAndObjects(t *testing.T) {
+	g, ids := buildTinyGraph(t)
+	g.Freeze()
+	vars := g.Variables()
+	if len(vars) != 5 {
+		t.Fatalf("Variables = %v, want 5", vars)
+	}
+	objs := g.Objects()
+	if len(objs) != 1 || objs[0] != ids["o"] {
+		t.Fatalf("Objects = %v", objs)
+	}
+}
+
+func TestGraphFrozenPanics(t *testing.T) {
+	g, _ := buildTinyGraph(t)
+	g.Freeze()
+	g.Freeze() // idempotent, no panic
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s on frozen graph did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("AddNode", func() { g.AddLocal("z", 0, 0) })
+	mustPanic("AddEdge", func() { g.AddEdge(Edge{Dst: 0, Src: 1, Kind: EdgeAssignLocal}) })
+}
+
+func TestUnfinishedBeforeFreezePanics(t *testing.T) {
+	g := NewGraph()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unfinished before Freeze did not panic")
+		}
+	}()
+	g.Unfinished()
+}
+
+func TestValidateEdgeRejections(t *testing.T) {
+	g := NewGraph()
+	o := g.AddObject("o", 0)
+	l := g.AddLocal("l", 0, 0)
+	gl := g.AddGlobal("g", 0)
+	cases := []struct {
+		name string
+		e    Edge
+	}{
+		{"new from local", Edge{Dst: l, Src: l, Kind: EdgeNew}},
+		{"new into object", Edge{Dst: o, Src: o, Kind: EdgeNew}},
+		{"assignl with global", Edge{Dst: gl, Src: l, Kind: EdgeAssignLocal}},
+		{"assigng without global", Edge{Dst: l, Src: l, Kind: EdgeAssignGlobal}},
+		{"load from object", Edge{Dst: l, Src: o, Kind: EdgeLoad}},
+		{"store into object", Edge{Dst: o, Src: l, Kind: EdgeStore}},
+		{"param with global", Edge{Dst: gl, Src: l, Kind: EdgeParam}},
+		{"ret with object", Edge{Dst: l, Src: o, Kind: EdgeRet}},
+	}
+	for _, c := range cases {
+		if err := g.ValidateEdge(c.e); err == nil {
+			t.Errorf("%s: ValidateEdge accepted invalid edge", c.name)
+		}
+	}
+}
+
+func TestEdgeKindStrings(t *testing.T) {
+	want := map[EdgeKind]string{
+		EdgeNew: "new", EdgeAssignLocal: "assignl", EdgeAssignGlobal: "assigng",
+		EdgeLoad: "ld", EdgeStore: "st", EdgeParam: "param", EdgeRet: "ret",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("EdgeKind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestIsDirect(t *testing.T) {
+	direct := []EdgeKind{EdgeAssignLocal, EdgeAssignGlobal, EdgeParam, EdgeRet}
+	indirect := []EdgeKind{EdgeNew, EdgeLoad, EdgeStore}
+	for _, k := range direct {
+		if !k.IsDirect() {
+			t.Errorf("%v should be direct", k)
+		}
+	}
+	for _, k := range indirect {
+		if k.IsDirect() {
+			t.Errorf("%v should not be direct", k)
+		}
+	}
+}
+
+func TestSerializeRoundtrip(t *testing.T) {
+	g, ids := buildTinyGraph(t)
+	g.Freeze()
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("roundtrip counts: nodes %d vs %d, edges %d vs %d",
+			g2.NumNodes(), g.NumNodes(), g2.NumEdges(), g.NumEdges())
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		a, b := g.Node(NodeID(i)), g2.Node(NodeID(i))
+		if a != b {
+			t.Fatalf("node %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+	st := g2.StoresOf(5)
+	if len(st) != 1 || st[0].Base != ids["base"] {
+		t.Fatalf("roundtrip StoresOf = %v", st)
+	}
+	if !g2.Frozen() {
+		t.Fatal("ReadJSON graph not frozen")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("{nope")); err == nil {
+		t.Fatal("ReadJSON accepted malformed JSON")
+	}
+	// Edge referencing unknown node.
+	if _, err := ReadJSON(bytes.NewBufferString(`{"nodes":[{"kind":0,"type":0,"method":0}],"edges":[{"d":0,"s":9,"k":1}]}`)); err == nil {
+		t.Fatal("ReadJSON accepted dangling edge")
+	}
+	// Invalid edge shape (assignl into object-less pair is fine; use new from local).
+	if _, err := ReadJSON(bytes.NewBufferString(`{"nodes":[{"kind":0,"type":0,"method":0},{"kind":0,"type":0,"method":0}],"edges":[{"d":0,"s":1,"k":0}]}`)); err == nil {
+		t.Fatal("ReadJSON accepted invalid new edge")
+	}
+}
+
+func TestNumCallSitesAndKindString(t *testing.T) {
+	g := NewGraph()
+	a := g.AddLocal("a", 0, 0)
+	b := g.AddLocal("b", 0, 1)
+	g.AddEdge(Edge{Dst: a, Src: b, Kind: EdgeParam, Label: 7})
+	g.AddEdge(Edge{Dst: b, Src: a, Kind: EdgeRet, Label: 7})
+	g.AddEdge(Edge{Dst: a, Src: b, Kind: EdgeParam, Label: 8})
+	g.Freeze()
+	if got := g.NumCallSites(); got != 2 {
+		t.Fatalf("NumCallSites = %d, want 2", got)
+	}
+	for k, want := range map[NodeKind]string{
+		KindLocal: "local", KindGlobal: "global", KindObject: "object", KindUnfinished: "unfinished",
+	} {
+		if k.String() != want {
+			t.Fatalf("%v.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestRemoveEdgeUpdatesIndexes(t *testing.T) {
+	g, ids := buildTinyGraph(t)
+	g.Freeze()
+	g.BeginUpdate()
+	if !g.RemoveEdge(Edge{Dst: ids["base"], Src: ids["b"], Kind: EdgeStore, Label: 5}) {
+		t.Fatal("store edge not removed")
+	}
+	if !g.RemoveEdge(Edge{Dst: ids["x"], Src: ids["base"], Kind: EdgeLoad, Label: 5}) {
+		t.Fatal("load edge not removed")
+	}
+	g.CommitUpdate()
+	if len(g.StoresOf(5)) != 0 || len(g.LoadsOf(5)) != 0 {
+		t.Fatal("field indexes not updated on removal")
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+}

@@ -1,0 +1,93 @@
+// Package pag defines the Pointer Assignment Graph (PAG), the program
+// representation over which CFL-reachability-based pointer analysis runs.
+//
+// The model follows Fig. 1 of "Parallel Pointer Analysis with
+// CFL-Reachability" (Su, Ye, Xue; ICPP 2014): nodes are variables (local or
+// global) and abstract heap objects; edges represent pointer-manipulating
+// statements oriented in the direction of value flow. The extended syntax of
+// Fig. 4 (jmp shortcut edges and the special "unfinished" node O) is also
+// modelled here, although jmp edges themselves are stored in a concurrent
+// side table (package share) so that the graph proper stays immutable and
+// safely shareable between query-processing goroutines.
+package pag
+
+import "fmt"
+
+// NodeID identifies a node in a Graph. IDs are dense, starting at 0, so they
+// can index per-node slices directly.
+type NodeID uint32
+
+// InvalidNode is a sentinel that is never a valid node of any graph.
+const InvalidNode = NodeID(^uint32(0))
+
+// NodeKind classifies PAG nodes.
+type NodeKind uint8
+
+const (
+	// KindLocal is a local variable (l in Fig. 1).
+	KindLocal NodeKind = iota
+	// KindGlobal is a global (static) variable (g in Fig. 1). Globals are
+	// analysed context-insensitively: traversing through one clears the
+	// context string.
+	KindGlobal
+	// KindObject is an abstract heap object named by its allocation site
+	// (o in Fig. 1).
+	KindObject
+	// KindUnfinished is the special O node of Fig. 4, the target of
+	// "unfinished" jmp edges recording out-of-budget traversals. Each
+	// graph has exactly one such node.
+	KindUnfinished
+)
+
+// String returns a short human-readable name for the kind.
+func (k NodeKind) String() string {
+	switch k {
+	case KindLocal:
+		return "local"
+	case KindGlobal:
+		return "global"
+	case KindObject:
+		return "object"
+	case KindUnfinished:
+		return "unfinished"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", uint8(k))
+	}
+}
+
+// IsVariable reports whether the kind is a variable (local or global), i.e.
+// a legal source of a points-to query.
+func (k NodeKind) IsVariable() bool {
+	return k == KindLocal || k == KindGlobal
+}
+
+// TypeID identifies a static (declared) type in the program's type table.
+// Types matter only to the query scheduler, which derives dependence depths
+// from the field-containment hierarchy; the solver itself never inspects
+// them.
+type TypeID uint32
+
+// UntypedType is used for nodes with no meaningful static type (objects of
+// primitive-array element type, the unfinished node, and so on).
+const UntypedType = TypeID(^uint32(0))
+
+// MethodID identifies the method a local variable belongs to. Globals and
+// objects carry NoMethod.
+type MethodID uint32
+
+// NoMethod marks nodes that do not belong to any method.
+const NoMethod = MethodID(^uint32(0))
+
+// Node carries the metadata of one PAG node. The topology (edges) lives in
+// the Graph adjacency structures, not here.
+type Node struct {
+	// Name is a human-readable label, e.g. "v1main" or "o15". Names are
+	// for diagnostics only and need not be unique.
+	Name string
+	// Kind classifies the node.
+	Kind NodeKind
+	// Type is the node's declared static type, or UntypedType.
+	Type TypeID
+	// Method is the enclosing method for locals, or NoMethod.
+	Method MethodID
+}

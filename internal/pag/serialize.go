@@ -1,0 +1,85 @@
+package pag
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonGraph is the on-disk form of a Graph, as written by cmd/benchgen and
+// read back by cmd/pointsto and cmd/experiments. The format is deliberately
+// plain JSON so generated benchmarks can be inspected and diffed.
+type jsonGraph struct {
+	Nodes []jsonNode `json:"nodes"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonNode struct {
+	Name   string `json:"name,omitempty"`
+	Kind   uint8  `json:"kind"`
+	Type   uint32 `json:"type"`
+	Method uint32 `json:"method"`
+}
+
+type jsonEdge struct {
+	Dst   uint32 `json:"d"`
+	Src   uint32 `json:"s"`
+	Kind  uint8  `json:"k"`
+	Label uint32 `json:"l,omitempty"`
+}
+
+// WriteJSON serialises the graph. The graph may be frozen or not; the
+// unfinished node is never serialised (Freeze on load recreates it).
+func (g *Graph) WriteJSON(w io.Writer) error {
+	jg := jsonGraph{
+		Nodes: make([]jsonNode, 0, len(g.nodes)),
+		Edges: make([]jsonEdge, 0, g.numEdges),
+	}
+	for _, n := range g.nodes {
+		if n.Kind == KindUnfinished {
+			continue
+		}
+		jg.Nodes = append(jg.Nodes, jsonNode{Name: n.Name, Kind: uint8(n.Kind), Type: uint32(n.Type), Method: uint32(n.Method)})
+	}
+	for dst, hes := range g.in {
+		for _, he := range hes {
+			jg.Edges = append(jg.Edges, jsonEdge{Dst: uint32(dst), Src: uint32(he.Other), Kind: uint8(he.Kind), Label: uint32(he.Label)})
+		}
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(&jg); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadJSON deserialises a graph written by WriteJSON and returns it frozen.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var jg jsonGraph
+	dec := json.NewDecoder(bufio.NewReader(r))
+	if err := dec.Decode(&jg); err != nil {
+		return nil, fmt.Errorf("pag: decoding graph: %w", err)
+	}
+	g := NewGraph()
+	for _, n := range jg.Nodes {
+		k := NodeKind(n.Kind)
+		if k == KindUnfinished {
+			return nil, fmt.Errorf("pag: serialised graph contains an unfinished node")
+		}
+		g.AddNode(Node{Name: n.Name, Kind: k, Type: TypeID(n.Type), Method: MethodID(n.Method)})
+	}
+	for _, e := range jg.Edges {
+		if int(e.Dst) >= len(g.nodes) || int(e.Src) >= len(g.nodes) {
+			return nil, fmt.Errorf("pag: edge references unknown node (%d <- %d)", e.Dst, e.Src)
+		}
+		edge := Edge{Dst: NodeID(e.Dst), Src: NodeID(e.Src), Kind: EdgeKind(e.Kind), Label: Label(e.Label)}
+		if err := g.ValidateEdge(edge); err != nil {
+			return nil, err
+		}
+		g.AddEdge(edge)
+	}
+	g.Freeze()
+	return g, nil
+}

@@ -1,0 +1,84 @@
+package pag
+
+import "fmt"
+
+// Incremental update support. A frozen graph can be edited between analysis
+// sessions via BeginUpdate / (AddNode | AddEdge | RemoveEdge)* /
+// CommitUpdate. Node IDs are stable across updates (nodes are only ever
+// appended), which is what lets cached jmp edges survive edits that permit
+// it (see package incremental). The graph must not be queried concurrently
+// with an update.
+
+// BeginUpdate reopens a frozen graph for mutation.
+func (g *Graph) BeginUpdate() {
+	if !g.frozen {
+		panic("pag: BeginUpdate on unfrozen graph")
+	}
+	g.frozen = false
+}
+
+// CommitUpdate re-freezes the graph after an update.
+func (g *Graph) CommitUpdate() {
+	if g.frozen {
+		panic("pag: CommitUpdate without BeginUpdate")
+	}
+	g.Freeze()
+}
+
+// RemoveEdge deletes one occurrence of the edge from the graph. It reports
+// whether the edge was present. The graph must be open for update.
+func (g *Graph) RemoveEdge(e Edge) bool {
+	if g.frozen {
+		panic("pag: RemoveEdge on frozen graph")
+	}
+	if int(e.Dst) >= len(g.nodes) || int(e.Src) >= len(g.nodes) {
+		return false
+	}
+	removedIn := removeHalf(&g.in[e.Dst], HalfEdge{Other: e.Src, Kind: e.Kind, Label: e.Label})
+	removedOut := removeHalf(&g.out[e.Src], HalfEdge{Other: e.Dst, Kind: e.Kind, Label: e.Label})
+	if removedIn != removedOut {
+		panic(fmt.Sprintf("pag: inconsistent adjacency for %v", e))
+	}
+	if !removedIn {
+		return false
+	}
+	switch e.Kind {
+	case EdgeStore:
+		removeStore(g.storesByField, FieldID(e.Label), StoreSite{Base: e.Dst, Val: e.Src})
+	case EdgeLoad:
+		removeLoad(g.loadsByField, FieldID(e.Label), LoadSite{Base: e.Src, Dst: e.Dst})
+	}
+	g.numEdges--
+	return true
+}
+
+func removeHalf(list *[]HalfEdge, he HalfEdge) bool {
+	s := *list
+	for i := range s {
+		if s[i] == he {
+			*list = append(s[:i], s[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func removeStore(m map[FieldID][]StoreSite, f FieldID, site StoreSite) {
+	s := m[f]
+	for i := range s {
+		if s[i] == site {
+			m[f] = append(s[:i], s[i+1:]...)
+			return
+		}
+	}
+}
+
+func removeLoad(m map[FieldID][]LoadSite, f FieldID, site LoadSite) {
+	s := m[f]
+	for i := range s {
+		if s[i] == site {
+			m[f] = append(s[:i], s[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package ptcache is a cross-query points-to result cache, the "ad-hoc
+// caching" optimisation the paper attributes to the sequential
+// implementations it builds on ([18] Sridharan-Bodik, [25] Xu et al.):
+// where the jmp store shares *alias expansions*, this cache shares entire
+// memoised traversal results — the points-to set of (variable, context) and
+// the flows-to set of (object, context) — across queries and workers.
+//
+// Only results computed by queries that ran to their local fixpoint without
+// exhausting their budget are published, so every cached set is the exact
+// CFL answer; consulting the cache is therefore precision-neutral. Entries
+// are epoch-invalidated like jmp edges, so incremental clients can reuse
+// the same discipline.
+package ptcache
+
+import (
+	"sync/atomic"
+
+	"parcfl/internal/concurrent"
+	"parcfl/internal/pag"
+)
+
+// Direction distinguishes points-to (backward) from flows-to (forward)
+// entries.
+type Direction uint8
+
+const (
+	// Backward caches points-to sets of variables.
+	Backward Direction = iota
+	// Forward caches flows-to sets of objects.
+	Forward
+)
+
+// Key identifies one cached computation.
+type Key struct {
+	Dir  Direction
+	Node pag.NodeID
+	Ctx  pag.Context
+}
+
+type entry struct {
+	set   []pag.NodeCtx
+	epoch int64
+}
+
+// Cache is safe for concurrent use by any number of solvers.
+type Cache struct {
+	m     *concurrent.Map[Key, *entry]
+	epoch atomic.Int64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	published atomic.Int64
+}
+
+// New creates an empty cache with the given lock-stripe count.
+func New(shards int) *Cache {
+	if shards <= 0 {
+		shards = 64
+	}
+	return &Cache{
+		m: concurrent.NewMap[Key, *entry](shards, func(k Key) uint64 {
+			h := concurrent.HashSeed
+			h = concurrent.HashUint64(h, uint64(k.Dir))
+			h = concurrent.HashUint64(h, uint64(k.Node))
+			return concurrent.HashBytes(h, k.Ctx.Key())
+		}),
+	}
+}
+
+// Get returns the cached exact result set for k, if present in the current
+// epoch. The returned slice must not be modified.
+func (c *Cache) Get(k Key) ([]pag.NodeCtx, bool) {
+	e, ok := c.m.Get(k)
+	if !ok || e.epoch != c.epoch.Load() {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return e.set, true
+}
+
+// Put publishes an exact result set for k. The slice is retained. Losing a
+// put-if-absent race is fine — both publishers computed the same exact set.
+func (c *Cache) Put(k Key, set []pag.NodeCtx) {
+	ep := c.epoch.Load()
+	for {
+		existing, inserted := c.m.PutIfAbsent(k, &entry{set: set, epoch: ep})
+		if inserted {
+			c.published.Add(1)
+			return
+		}
+		if existing.epoch == ep {
+			return
+		}
+		if c.m.Replace(k, existing, &entry{set: set, epoch: ep}) {
+			c.published.Add(1)
+			return
+		}
+	}
+}
+
+// BumpEpoch lazily invalidates every entry (for incremental edits that can
+// add value-flow paths).
+func (c *Cache) BumpEpoch() { c.epoch.Add(1) }
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	Hits, Misses, Published int64
+	Entries                 int
+}
+
+// Snapshot returns the current counters.
+func (c *Cache) Snapshot() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Published: c.published.Load(),
+		Entries:   c.m.Len(),
+	}
+}

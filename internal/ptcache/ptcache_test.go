@@ -1,0 +1,163 @@
+package ptcache_test
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"parcfl/internal/cfl"
+	"parcfl/internal/frontend"
+	"parcfl/internal/pag"
+	"parcfl/internal/ptcache"
+	"parcfl/internal/randprog"
+)
+
+func TestBasicPutGet(t *testing.T) {
+	c := ptcache.New(4)
+	k := ptcache.Key{Dir: ptcache.Backward, Node: 3, Ctx: pag.EmptyContext.Push(5)}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("empty cache hit")
+	}
+	set := []pag.NodeCtx{{Node: 9}}
+	c.Put(k, set)
+	got, ok := c.Get(k)
+	if !ok || len(got) != 1 || got[0].Node != 9 {
+		t.Fatalf("Get = %v, %v", got, ok)
+	}
+	st := c.Snapshot()
+	if st.Published != 1 || st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEpochInvalidation(t *testing.T) {
+	c := ptcache.New(4)
+	k := ptcache.Key{Node: 1}
+	c.Put(k, []pag.NodeCtx{{Node: 2}})
+	c.BumpEpoch()
+	if _, ok := c.Get(k); ok {
+		t.Fatal("stale entry visible")
+	}
+	// Re-publishing under the new epoch replaces the stale entry.
+	c.Put(k, []pag.NodeCtx{{Node: 3}})
+	got, ok := c.Get(k)
+	if !ok || got[0].Node != 3 {
+		t.Fatalf("replacement failed: %v %v", got, ok)
+	}
+}
+
+// TestCachePreservesResults: queries with a shared cache return exactly the
+// uncached answers, and repeat queries hit.
+func TestCachePreservesResults(t *testing.T) {
+	for seed := int64(800); seed < 830; seed++ {
+		p := randprog.Generate(seed, randprog.DefaultLimits())
+		lo, err := frontend.Lower(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain := cfl.New(lo.Graph, cfl.Config{})
+		cache := ptcache.New(8)
+		cached := cfl.New(lo.Graph, cfl.Config{Cache: cache})
+		for pass := 0; pass < 2; pass++ {
+			for _, v := range lo.AppQueryVars {
+				a := plain.PointsTo(v, pag.EmptyContext)
+				b := cached.PointsTo(v, pag.EmptyContext)
+				ga, gb := a.Objects(), b.Objects()
+				sort.Slice(ga, func(i, j int) bool { return ga[i] < ga[j] })
+				sort.Slice(gb, func(i, j int) bool { return gb[i] < gb[j] })
+				if len(ga) != len(gb) {
+					t.Fatalf("seed %d pass %d %s: %v vs %v", seed, pass, lo.Graph.Node(v).Name, ga, gb)
+				}
+				for i := range ga {
+					if ga[i] != gb[i] {
+						t.Fatalf("seed %d pass %d %s: %v vs %v", seed, pass, lo.Graph.Node(v).Name, ga, gb)
+					}
+				}
+			}
+		}
+		if cache.Snapshot().Hits == 0 {
+			t.Fatalf("seed %d: no cache hits on second pass", seed)
+		}
+	}
+}
+
+// TestCacheCutsSteps: a repeated query with a warm cache costs almost
+// nothing.
+func TestCacheCutsSteps(t *testing.T) {
+	f, err := frontend.BuildFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := ptcache.New(8)
+	s := cfl.New(f.Lowered.Graph, cfl.Config{Cache: cache})
+	r1 := s.PointsTo(f.S1, pag.EmptyContext)
+	r2 := s.PointsTo(f.S1, pag.EmptyContext)
+	if r2.Steps >= r1.Steps {
+		t.Fatalf("warm query not cheaper: %d vs %d", r2.Steps, r1.Steps)
+	}
+	if r2.Steps > 3 {
+		t.Fatalf("warm query cost %d steps, expected a couple of cache hits", r2.Steps)
+	}
+}
+
+// TestConcurrentSolvers: many goroutines share one cache; all answers agree
+// (run with -race).
+func TestConcurrentSolvers(t *testing.T) {
+	f, err := frontend.BuildFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := ptcache.New(8)
+	want := cfl.New(f.Lowered.Graph, cfl.Config{}).PointsTo(f.S1, pag.EmptyContext).Objects()
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := cfl.New(f.Lowered.Graph, cfl.Config{Cache: cache})
+			for i := 0; i < 20; i++ {
+				got := s.PointsTo(f.S1, pag.EmptyContext).Objects()
+				if len(got) != len(want) || got[0] != want[0] {
+					errs <- "mismatch"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, bad := <-errs; bad {
+		t.Fatal(msg)
+	}
+}
+
+// TestCacheWithApproxPanics: the combination is rejected.
+func TestCacheWithApproxPanics(t *testing.T) {
+	f, err := frontend.BuildFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	cfl.New(f.Lowered.Graph, cfl.Config{Cache: ptcache.New(4), Approx: &cfl.Approx{}})
+}
+
+// TestExplainIgnoresCache: witness queries bypass the cache, so
+// explanations stay available after cached queries.
+func TestExplainIgnoresCache(t *testing.T) {
+	f, err := frontend.BuildFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := ptcache.New(8)
+	s := cfl.New(f.Lowered.Graph, cfl.Config{Cache: cache})
+	s.PointsTo(f.S1, pag.EmptyContext) // warm
+	steps, ok := s.Explain(f.S1, pag.EmptyContext, f.O16)
+	if !ok || len(steps) < 3 {
+		t.Fatalf("Explain with warm cache: %v %v", steps, ok)
+	}
+}

@@ -1,0 +1,173 @@
+// Package randprog generates small random (but always valid) mini-Java
+// programs for property-based testing. Unlike javagen — which builds
+// realistic benchmark-shaped programs — randprog aims for structural
+// variety: random type hierarchies (possibly recursive), random call graphs
+// (possibly recursive, later collapsed by the frontend), random field
+// traffic, globals, and dead code, to shake out solver corner cases.
+package randprog
+
+import (
+	"fmt"
+	"math/rand"
+
+	"parcfl/internal/frontend"
+	"parcfl/internal/pag"
+)
+
+// Limits bounds generation so property tests stay fast.
+type Limits struct {
+	MaxTypes   int // >= 1; type 0 is always a plain reference "Object"
+	MaxGlobals int
+	MaxMethods int // >= 1
+	MaxLocals  int // per method, >= 2
+	MaxStmts   int // per method
+	MaxFields  int // per type
+	// NoCalls suppresses call statements. On call-free programs
+	// context-sensitivity is vacuous, so the CFL answer must equal
+	// Andersen's exactly — a completeness oracle for tests.
+	NoCalls bool
+}
+
+// DefaultLimits returns small bounds suitable for quick.Check iterations.
+func DefaultLimits() Limits {
+	return Limits{MaxTypes: 6, MaxGlobals: 3, MaxMethods: 7, MaxLocals: 6, MaxStmts: 10, MaxFields: 3}
+}
+
+// Generate builds a random valid program from the seed. The program always
+// validates and lowers successfully; allocation statements guarantee at
+// least some non-empty points-to sets.
+func Generate(seed int64, lim Limits) *frontend.Program {
+	rng := rand.New(rand.NewSource(seed))
+	p := &frontend.Program{}
+
+	// Types: type 0 is Object; others are reference types with random
+	// reference fields (possibly recursive: field types chosen over the
+	// full range, including not-yet-defined ones).
+	nTypes := 1 + rng.Intn(lim.MaxTypes)
+	nextField := pag.FieldID(1)
+	for t := 0; t < nTypes; t++ {
+		ty := frontend.Type{Name: fmt.Sprintf("T%d", t), Ref: true}
+		if t > 0 {
+			for f := 0; f < rng.Intn(lim.MaxFields+1); f++ {
+				ty.Fields = append(ty.Fields, frontend.Field{
+					Name: fmt.Sprintf("f%d", nextField),
+					ID:   nextField,
+					Type: pag.TypeID(rng.Intn(nTypes)),
+				})
+				nextField++
+			}
+		}
+		p.Types = append(p.Types, ty)
+	}
+	anyField := func() pag.FieldID {
+		// Pick a field that exists somewhere, or the collapsed array
+		// field as a fallback (loads/stores on absent fields are legal —
+		// they just never match).
+		var ids []pag.FieldID
+		for _, t := range p.Types {
+			for _, f := range t.Fields {
+				ids = append(ids, f.ID)
+			}
+		}
+		if len(ids) == 0 || rng.Intn(8) == 0 {
+			return pag.ArrField
+		}
+		return ids[rng.Intn(len(ids))]
+	}
+
+	for gi := 0; gi < rng.Intn(lim.MaxGlobals+1); gi++ {
+		p.Globals = append(p.Globals, frontend.GlobalVar{
+			Name: fmt.Sprintf("G%d", gi),
+			Type: pag.TypeID(rng.Intn(nTypes)),
+		})
+	}
+
+	// Method signatures first (so calls can reference any method,
+	// including recursively).
+	nMethods := 1 + rng.Intn(lim.MaxMethods)
+	type sig struct{ params, ret int }
+	sigs := make([]sig, nMethods)
+	for mi := 0; mi < nMethods; mi++ {
+		nLocals := 2 + rng.Intn(lim.MaxLocals-1)
+		m := frontend.Method{
+			Name:        fmt.Sprintf("m%d", mi),
+			Application: rng.Intn(4) != 0, // most methods are queried
+		}
+		for li := 0; li < nLocals; li++ {
+			m.Locals = append(m.Locals, frontend.LocalVar{
+				Name: fmt.Sprintf("v%d", li),
+				Type: pag.TypeID(rng.Intn(nTypes)),
+			})
+		}
+		nParams := rng.Intn(3)
+		if nParams > nLocals {
+			nParams = nLocals
+		}
+		for pi := 0; pi < nParams; pi++ {
+			m.Params = append(m.Params, pi)
+		}
+		m.Ret = -1
+		if rng.Intn(2) == 0 {
+			m.Ret = nLocals - 1
+		}
+		sigs[mi] = sig{params: nParams, ret: m.Ret}
+		p.Methods = append(p.Methods, m)
+	}
+
+	// Bodies.
+	for mi := 0; mi < nMethods; mi++ {
+		m := &p.Methods[mi]
+		nLocals := len(m.Locals)
+		local := func() frontend.VarRef { return frontend.Local(rng.Intn(nLocals)) }
+		varRef := func() frontend.VarRef {
+			if len(p.Globals) > 0 && rng.Intn(5) == 0 {
+				return frontend.Global(rng.Intn(len(p.Globals)))
+			}
+			return local()
+		}
+		// Guarantee at least one allocation per method so traversals
+		// find objects.
+		m.Body = append(m.Body, frontend.Stmt{
+			Kind: frontend.StAlloc, Dst: local(), Type: pag.TypeID(rng.Intn(nTypes)),
+		})
+		kinds := 6
+		if lim.NoCalls {
+			kinds = 4
+		}
+		for s := 0; s < rng.Intn(lim.MaxStmts+1); s++ {
+			switch rng.Intn(kinds) {
+			case 0:
+				m.Body = append(m.Body, frontend.Stmt{
+					Kind: frontend.StAlloc, Dst: local(), Type: pag.TypeID(rng.Intn(nTypes)),
+				})
+			case 1:
+				m.Body = append(m.Body, frontend.Stmt{
+					Kind: frontend.StAssign, Dst: varRef(), Src: varRef(),
+				})
+			case 2:
+				m.Body = append(m.Body, frontend.Stmt{
+					Kind: frontend.StLoad, Dst: varRef(), Base: varRef(), Field: anyField(),
+				})
+			case 3:
+				m.Body = append(m.Body, frontend.Stmt{
+					Kind: frontend.StStore, Base: varRef(), Src: varRef(), Field: anyField(),
+				})
+			case 4, 5:
+				callee := rng.Intn(nMethods)
+				cs := sigs[callee]
+				args := make([]frontend.VarRef, cs.params)
+				for i := range args {
+					args[i] = local() // params must be locals
+				}
+				dst := frontend.NoVar
+				if cs.ret >= 0 && rng.Intn(2) == 0 {
+					dst = local()
+				}
+				m.Body = append(m.Body, frontend.Stmt{
+					Kind: frontend.StCall, Callee: callee, Args: args, Dst: dst,
+				})
+			}
+		}
+	}
+	return p
+}

@@ -1,0 +1,80 @@
+package randprog
+
+import (
+	"testing"
+
+	"parcfl/internal/frontend"
+)
+
+func TestAlwaysValid(t *testing.T) {
+	lim := DefaultLimits()
+	for seed := int64(0); seed < 200; seed++ {
+		p := Generate(seed, lim)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if _, err := frontend.Lower(p); err != nil {
+			t.Fatalf("seed %d: lowering: %v", seed, err)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Generate(42, DefaultLimits())
+	b := Generate(42, DefaultLimits())
+	if len(a.Methods) != len(b.Methods) || len(a.Types) != len(b.Types) {
+		t.Fatal("same seed produced different programs")
+	}
+	for i := range a.Methods {
+		if len(a.Methods[i].Body) != len(b.Methods[i].Body) {
+			t.Fatalf("method %d body differs", i)
+		}
+	}
+}
+
+func TestNoCallsLimit(t *testing.T) {
+	lim := DefaultLimits()
+	lim.NoCalls = true
+	for seed := int64(0); seed < 50; seed++ {
+		p := Generate(seed, lim)
+		for mi := range p.Methods {
+			for _, s := range p.Methods[mi].Body {
+				if s.Kind == frontend.StCall {
+					t.Fatalf("seed %d: NoCalls program contains a call", seed)
+				}
+			}
+		}
+	}
+}
+
+func TestEveryMethodAllocates(t *testing.T) {
+	p := Generate(7, DefaultLimits())
+	for mi := range p.Methods {
+		hasAlloc := false
+		for _, s := range p.Methods[mi].Body {
+			if s.Kind == frontend.StAlloc {
+				hasAlloc = true
+			}
+		}
+		if !hasAlloc {
+			t.Fatalf("method %d has no allocation", mi)
+		}
+	}
+}
+
+func TestMostMethodsAreApplication(t *testing.T) {
+	app := 0
+	total := 0
+	for seed := int64(0); seed < 30; seed++ {
+		p := Generate(seed, DefaultLimits())
+		for mi := range p.Methods {
+			total++
+			if p.Methods[mi].Application {
+				app++
+			}
+		}
+	}
+	if app*2 < total {
+		t.Fatalf("only %d/%d methods are application (expect majority)", app, total)
+	}
+}

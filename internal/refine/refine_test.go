@@ -1,0 +1,179 @@
+package refine
+
+import (
+	"testing"
+
+	"parcfl/internal/andersen"
+	"parcfl/internal/cfl"
+	"parcfl/internal/frontend"
+	"parcfl/internal/pag"
+	"parcfl/internal/randprog"
+	"parcfl/internal/share"
+)
+
+func fig2(t *testing.T) *frontend.Fig2 {
+	t.Helper()
+	f, err := frontend.BuildFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestApproximatedPassConflates: with every field approximated, s1 sees
+// both o16 and o20 (any store of arr reaches any load of arr) — the cheap
+// over-approximation refinement starts from.
+func TestApproximatedPassConflates(t *testing.T) {
+	f := fig2(t)
+	s := cfl.New(f.Lowered.Graph, cfl.Config{Approx: &cfl.Approx{}})
+	r := s.PointsTo(f.S1, pag.EmptyContext)
+	if r.Aborted {
+		t.Fatal("aborted")
+	}
+	objs := map[pag.NodeID]bool{}
+	for _, o := range r.Objects() {
+		objs[o] = true
+	}
+	if !objs[f.O16] || !objs[f.O20] {
+		t.Fatalf("approximated pass should conflate: got %v", r.Objects())
+	}
+	if len(r.ApproxFields) == 0 {
+		t.Fatal("no approximate matches reported")
+	}
+}
+
+// TestRefinementRecoversPrecision: the refinement loop on Fig. 2 must end
+// with the precise answer s1 -> {o16}.
+func TestRefinementRecoversPrecision(t *testing.T) {
+	f := fig2(t)
+	s := New(f.Lowered.Graph, Config{})
+	out := s.PointsTo(f.S1, pag.EmptyContext)
+	if !out.Converged {
+		t.Fatalf("did not converge: %+v passes=%d", out, out.Passes)
+	}
+	got := out.Final.Objects()
+	if len(got) != 1 || got[0] != f.O16 {
+		t.Fatalf("refined answer = %v, want [o16]", got)
+	}
+	if out.Passes < 2 {
+		t.Fatalf("expected at least one refinement pass, got %d", out.Passes)
+	}
+	if len(out.PreciseFields) == 0 {
+		t.Fatal("no fields refined")
+	}
+}
+
+// TestSatisfiedStopsEarly: a client satisfied by the absence of a specific
+// object can stop before full precision. Querying v1 (whose approximate
+// answer is already exact) must converge in one pass.
+func TestSatisfiedStopsEarly(t *testing.T) {
+	f := fig2(t)
+	s := New(f.Lowered.Graph, Config{
+		Satisfied: func(r cfl.Result) bool { return len(r.Objects()) <= 1 },
+	})
+	out := s.PointsTo(f.V1, pag.EmptyContext)
+	if !out.Converged || out.Passes != 1 {
+		t.Fatalf("v1 should satisfy immediately: %+v", out)
+	}
+	got := out.Final.Objects()
+	if len(got) != 1 || got[0] != f.O15 {
+		t.Fatalf("v1 = %v", got)
+	}
+}
+
+// TestMaxPassesBounds: a one-pass limit returns the approximated answer,
+// unconverged.
+func TestMaxPassesBounds(t *testing.T) {
+	f := fig2(t)
+	s := New(f.Lowered.Graph, Config{MaxPasses: 1})
+	out := s.PointsTo(f.S1, pag.EmptyContext)
+	if out.Passes != 1 {
+		t.Fatalf("passes = %d", out.Passes)
+	}
+	if out.Converged {
+		t.Fatal("one bounded pass with remaining approximations reported convergence")
+	}
+	if len(out.Final.Objects()) < 2 {
+		t.Fatalf("pass-1 answer should still be approximate: %v", out.Final.Objects())
+	}
+}
+
+// TestRefinementSoundness: on random programs, every pass's answer contains
+// the fully precise answer, and the final converged answer equals the
+// direct precise query.
+func TestRefinementSoundness(t *testing.T) {
+	for seed := int64(300); seed < 330; seed++ {
+		p := randprog.Generate(seed, randprog.DefaultLimits())
+		lo, err := frontend.Lower(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := cfl.New(lo.Graph, cfl.Config{})
+		ref := New(lo.Graph, Config{})
+		for _, v := range lo.AppQueryVars {
+			want := map[pag.NodeID]bool{}
+			for _, o := range exact.PointsTo(v, pag.EmptyContext).Objects() {
+				want[o] = true
+			}
+			out := ref.PointsTo(v, pag.EmptyContext)
+			if !out.Converged {
+				t.Fatalf("seed %d: not converged", seed)
+			}
+			got := map[pag.NodeID]bool{}
+			for _, o := range out.Final.Objects() {
+				got[o] = true
+			}
+			if len(got) != len(want) {
+				t.Fatalf("seed %d %s: refined %v vs exact %v", seed, lo.Graph.Node(v).Name, got, want)
+			}
+			for o := range want {
+				if !got[o] {
+					t.Fatalf("seed %d %s: refined answer missing %v", seed, lo.Graph.Node(v).Name, o)
+				}
+			}
+		}
+	}
+}
+
+// TestApproximationIsOverApproximation: on random programs, the fully
+// approximated pass is a superset of Andersen's answer projected to the
+// same variable (approximation must never lose facts).
+func TestApproximationIsOverApproximation(t *testing.T) {
+	for seed := int64(400); seed < 430; seed++ {
+		p := randprog.Generate(seed, randprog.DefaultLimits())
+		lo, err := frontend.Lower(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		and := andersen.Analyze(lo.Graph)
+		approx := cfl.New(lo.Graph, cfl.Config{Approx: &cfl.Approx{}})
+		for _, v := range lo.AppQueryVars {
+			got := map[pag.NodeID]bool{}
+			for _, o := range approx.PointsTo(v, pag.EmptyContext).Objects() {
+				got[o] = true
+			}
+			for _, o := range and.PointsTo(v) {
+				if !got[o] {
+					t.Fatalf("seed %d: approximate pass lost %s -> %s",
+						seed, lo.Graph.Node(v).Name, lo.Graph.Node(o).Name)
+				}
+			}
+		}
+	}
+}
+
+// TestShareApproxIncompatible: combining sharing with approximation panics
+// (jmp entries recorded under different approximation policies would be
+// unsound to exchange).
+func TestShareApproxIncompatible(t *testing.T) {
+	f := fig2(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	cfl.New(f.Lowered.Graph, cfl.Config{
+		Approx: &cfl.Approx{},
+		Share:  share.NewStore(share.DefaultConfig()),
+	})
+}

@@ -1,0 +1,217 @@
+// Package repl implements the interactive query shell behind cmd/parcfl:
+// demand queries (pts/flows/alias/explain) issued line by line over a loaded
+// program, the workflow of an IDE or debugging client.
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"parcfl/internal/cfl"
+	"parcfl/internal/frontend"
+	"parcfl/internal/pag"
+	"parcfl/internal/ptcache"
+	"parcfl/internal/share"
+)
+
+// Shell holds one interactive session's state.
+type Shell struct {
+	lo     *frontend.Lowered
+	solver *cfl.Solver
+	budget int
+	out    *bufio.Writer
+
+	byName map[string]pag.NodeID
+}
+
+// New creates a shell over a lowered program. Queries run with the given
+// budget and with data sharing and result caching enabled (the session is
+// long-lived, so the caches pay off across commands).
+func New(lo *frontend.Lowered, budget int, out io.Writer) *Shell {
+	sh := &Shell{
+		lo: lo,
+		solver: cfl.New(lo.Graph, cfl.Config{
+			Budget: budget,
+			Share:  share.NewStore(share.DefaultConfig()),
+			Cache:  ptcache.New(64),
+		}),
+		budget: budget,
+		out:    bufio.NewWriter(out),
+		byName: map[string]pag.NodeID{},
+	}
+	for id := 0; id < lo.Graph.NumNodes(); id++ {
+		sh.byName[lo.Graph.Node(pag.NodeID(id)).Name] = pag.NodeID(id)
+	}
+	return sh
+}
+
+// Banner prints the session header.
+func (sh *Shell) Banner() {
+	fmt.Fprintf(sh.out, "loaded: %d nodes, %d edges, %d queryable locals; type `help`\n",
+		sh.lo.Graph.NumNodes(), sh.lo.Graph.NumEdges(), len(sh.lo.AppQueryVars))
+	sh.out.Flush()
+}
+
+// Run reads commands from in until EOF or quit.
+func (sh *Shell) Run(in io.Reader) {
+	sc := bufio.NewScanner(in)
+	for {
+		fmt.Fprint(sh.out, "> ")
+		sh.out.Flush()
+		if !sc.Scan() {
+			fmt.Fprintln(sh.out)
+			sh.out.Flush()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			sh.out.Flush()
+			return
+		}
+		sh.Execute(line)
+		sh.out.Flush()
+	}
+}
+
+func (sh *Shell) node(name string) (pag.NodeID, bool) {
+	id, ok := sh.byName[name]
+	if !ok {
+		fmt.Fprintf(sh.out, "unknown node %q (try `vars` or `objs`)\n", name)
+	}
+	return id, ok
+}
+
+func (sh *Shell) printSet(prefix string, r cfl.Result) {
+	status := ""
+	if r.Aborted {
+		status = " [out of budget — partial]"
+	}
+	fmt.Fprintf(sh.out, "%s{", prefix)
+	for i, o := range r.Objects() {
+		if i > 0 {
+			fmt.Fprint(sh.out, ", ")
+		}
+		fmt.Fprint(sh.out, sh.lo.Graph.Node(o).Name)
+	}
+	fmt.Fprintf(sh.out, "}  (%d steps%s)\n", r.Steps, status)
+}
+
+// Execute runs a single command line.
+func (sh *Shell) Execute(line string) {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "help":
+		fmt.Fprint(sh.out, `commands:
+  pts <var>             points-to set of a variable
+  flows <obj>           variables an allocation site flows to
+  alias <var> <var>     may-alias check
+  explain <var> <obj>   why does var point to obj?
+  vars [substr]         list queryable variables (filtered)
+  objs [substr]         list allocation sites (filtered)
+  stats                 graph and session statistics
+  quit
+`)
+	case "pts":
+		if len(args) != 1 {
+			fmt.Fprintln(sh.out, "usage: pts <var>")
+			return
+		}
+		if v, ok := sh.node(args[0]); ok {
+			sh.printSet(fmt.Sprintf("pts(%s) = ", args[0]), sh.solver.PointsTo(v, pag.EmptyContext))
+		}
+	case "flows":
+		if len(args) != 1 {
+			fmt.Fprintln(sh.out, "usage: flows <obj>")
+			return
+		}
+		if o, ok := sh.node(args[0]); ok {
+			r := sh.solver.FlowsTo(o, pag.EmptyContext)
+			fmt.Fprintf(sh.out, "flowsTo(%s) = {", args[0])
+			seen := map[pag.NodeID]bool{}
+			first := true
+			for _, nc := range r.PointsTo {
+				if seen[nc.Node] {
+					continue
+				}
+				seen[nc.Node] = true
+				if !first {
+					fmt.Fprint(sh.out, ", ")
+				}
+				first = false
+				fmt.Fprint(sh.out, sh.lo.Graph.Node(nc.Node).Name)
+			}
+			fmt.Fprintf(sh.out, "}  (%d steps)\n", r.Steps)
+		}
+	case "alias":
+		if len(args) != 2 {
+			fmt.Fprintln(sh.out, "usage: alias <var> <var>")
+			return
+		}
+		a, ok1 := sh.node(args[0])
+		b, ok2 := sh.node(args[1])
+		if ok1 && ok2 {
+			al, exact := sh.solver.Alias(a, b, pag.EmptyContext)
+			note := ""
+			if !exact {
+				note = " (budget-bounded; may-alias over-approximation)"
+			}
+			fmt.Fprintf(sh.out, "alias(%s, %s) = %v%s\n", args[0], args[1], al, note)
+		}
+	case "explain":
+		if len(args) != 2 {
+			fmt.Fprintln(sh.out, "usage: explain <var> <obj>")
+			return
+		}
+		v, ok1 := sh.node(args[0])
+		o, ok2 := sh.node(args[1])
+		if !ok1 || !ok2 {
+			return
+		}
+		steps, ok := sh.solver.Explain(v, pag.EmptyContext, o)
+		if !ok {
+			fmt.Fprintf(sh.out, "%s does not point to %s\n", args[0], args[1])
+			return
+		}
+		for i, st := range steps {
+			arrow := ""
+			if i > 0 {
+				arrow = fmt.Sprintf("  <-%s- ", st.Edge)
+			}
+			fmt.Fprintf(sh.out, "%s%s%s\n", strings.Repeat(" ", i), arrow, sh.lo.Graph.Node(st.Node).Name)
+		}
+	case "vars", "objs":
+		substr := ""
+		if len(args) > 0 {
+			substr = args[0]
+		}
+		count := 0
+		for id := 0; id < sh.lo.Graph.NumNodes() && count < 40; id++ {
+			n := sh.lo.Graph.Node(pag.NodeID(id))
+			isVar := n.Kind.IsVariable()
+			if (cmd == "vars") != isVar {
+				continue
+			}
+			if n.Kind == pag.KindUnfinished || !strings.Contains(n.Name, substr) {
+				continue
+			}
+			fmt.Fprintln(sh.out, " ", n.Name)
+			count++
+		}
+		if count == 40 {
+			fmt.Fprintln(sh.out, "  ... (filter with a substring)")
+		}
+	case "stats":
+		g := sh.lo.Graph
+		fmt.Fprintf(sh.out, "graph: %d nodes, %d edges, %d fields, %d call sites\n",
+			g.NumNodes(), g.NumEdges(), len(g.Fields()), g.NumCallSites())
+		fmt.Fprintf(sh.out, "budget: %d steps/query\n", sh.budget)
+	default:
+		fmt.Fprintf(sh.out, "unknown command %q (try `help`)\n", cmd)
+	}
+}

@@ -1,0 +1,122 @@
+package repl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"parcfl/internal/frontend"
+)
+
+func fig2Shell(t *testing.T) (*Shell, *bytes.Buffer, *frontend.Fig2) {
+	t.Helper()
+	f, err := frontend.BuildFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	return New(f.Lowered, 75000, &buf), &buf, f
+}
+
+func TestPtsCommand(t *testing.T) {
+	sh, buf, f := fig2Shell(t)
+	name := f.Lowered.Graph.Node(f.S1).Name
+	sh.Execute("pts " + name)
+	sh.out.Flush()
+	out := buf.String()
+	if !strings.Contains(out, "pts("+name+") = {") || !strings.Contains(out, "steps") {
+		t.Fatalf("output: %q", out)
+	}
+	// Exactly one object in the set.
+	if strings.Count(out, "o@") != 1 {
+		t.Fatalf("pts(s1) output should contain exactly one allocation: %q", out)
+	}
+}
+
+func TestFlowsCommand(t *testing.T) {
+	sh, buf, f := fig2Shell(t)
+	objName := f.Lowered.Graph.Node(f.O16).Name
+	sh.Execute("flows " + objName)
+	sh.out.Flush()
+	if !strings.Contains(buf.String(), "flowsTo("+objName+") = {") {
+		t.Fatalf("output: %q", buf.String())
+	}
+}
+
+func TestAliasCommand(t *testing.T) {
+	sh, buf, f := fig2Shell(t)
+	a := f.Lowered.Graph.Node(f.ThisVector).Name
+	b := f.Lowered.Graph.Node(f.ThisGet).Name
+	sh.Execute("alias " + a + " " + b)
+	sh.out.Flush()
+	if !strings.Contains(buf.String(), "= true") {
+		t.Fatalf("output: %q", buf.String())
+	}
+}
+
+func TestExplainCommand(t *testing.T) {
+	sh, buf, f := fig2Shell(t)
+	v := f.Lowered.Graph.Node(f.S1).Name
+	o := f.Lowered.Graph.Node(f.O16).Name
+	sh.Execute("explain " + v + " " + o)
+	sh.out.Flush()
+	out := buf.String()
+	if !strings.Contains(out, "<-new-") {
+		t.Fatalf("explain output missing allocation hop: %q", out)
+	}
+	// Negative case.
+	buf.Reset()
+	sh.Execute("explain " + v + " " + f.Lowered.Graph.Node(f.O20).Name)
+	sh.out.Flush()
+	if !strings.Contains(buf.String(), "does not point to") {
+		t.Fatalf("output: %q", buf.String())
+	}
+}
+
+func TestVarsObjsStatsHelp(t *testing.T) {
+	sh, buf, _ := fig2Shell(t)
+	sh.Execute("vars main")
+	sh.Execute("objs o@")
+	sh.Execute("stats")
+	sh.Execute("help")
+	sh.out.Flush()
+	out := buf.String()
+	for _, want := range []string{"main.v1", "o@main:0", "graph:", "commands:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestUnknownInputs(t *testing.T) {
+	sh, buf, _ := fig2Shell(t)
+	sh.Execute("pts nosuchvar")
+	sh.Execute("frobnicate")
+	sh.Execute("pts")
+	sh.out.Flush()
+	out := buf.String()
+	for _, want := range []string{"unknown node", "unknown command", "usage: pts"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestRunLoop(t *testing.T) {
+	sh, buf, f := fig2Shell(t)
+	name := f.Lowered.Graph.Node(f.V1).Name
+	in := strings.NewReader("\npts " + name + "\nquit\npts " + name + "\n")
+	sh.Run(in)
+	out := buf.String()
+	if strings.Count(out, "pts("+name+")") != 1 {
+		t.Fatalf("quit did not stop the loop: %q", out)
+	}
+}
+
+func TestRunEOF(t *testing.T) {
+	sh, buf, _ := fig2Shell(t)
+	sh.Run(strings.NewReader("stats\n"))
+	if !strings.Contains(buf.String(), "graph:") {
+		t.Fatalf("output: %q", buf.String())
+	}
+}

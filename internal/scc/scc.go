@@ -1,0 +1,83 @@
+// Package scc provides strongly-connected-component decomposition, used to
+// collapse recursion cycles in the call graph (frontend), "modulo recursion"
+// type levels (frontend), and connection-distance computation over direct
+// edges (sched).
+package scc
+
+// Compute returns a component index for every node of the directed graph
+// with nodes 0..n-1 and successor function succ. Components are numbered in
+// reverse topological order: every successor of a component has a smaller
+// component index. The implementation is Tarjan's algorithm with an explicit
+// stack, safe for very deep graphs.
+func Compute(n int, succ func(int) []int) (comp []int, numComp int) {
+	const unvisited = -1
+	comp = make([]int, n)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int
+	next := 0
+
+	type frame struct {
+		v  int
+		ei int
+	}
+	var dfs []frame
+
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		dfs = append(dfs[:0], frame{v: root})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(dfs) > 0 {
+			f := &dfs[len(dfs)-1]
+			ss := succ(f.v)
+			if f.ei < len(ss) {
+				w := ss[f.ei]
+				f.ei++
+				if index[w] == unvisited {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					dfs = append(dfs, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = numComp
+					if w == v {
+						break
+					}
+				}
+				numComp++
+			}
+			dfs = dfs[:len(dfs)-1]
+			if len(dfs) > 0 {
+				p := dfs[len(dfs)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	return comp, numComp
+}

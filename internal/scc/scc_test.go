@@ -1,0 +1,110 @@
+package scc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSingleNode(t *testing.T) {
+	comp, n := Compute(1, func(int) []int { return nil })
+	if n != 1 || comp[0] != 0 {
+		t.Fatalf("comp=%v n=%d", comp, n)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	comp, n := Compute(0, func(int) []int { return nil })
+	if n != 0 || len(comp) != 0 {
+		t.Fatalf("comp=%v n=%d", comp, n)
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	comp, n := Compute(2, func(v int) []int {
+		if v == 0 {
+			return []int{0, 1}
+		}
+		return nil
+	})
+	if n != 2 || comp[0] == comp[1] {
+		t.Fatalf("comp=%v n=%d", comp, n)
+	}
+}
+
+func TestReverseTopologicalNumbering(t *testing.T) {
+	// 0 -> 1 -> 2: sink gets the smallest component number.
+	comp, n := Compute(3, func(v int) []int {
+		if v < 2 {
+			return []int{v + 1}
+		}
+		return nil
+	})
+	if n != 3 {
+		t.Fatalf("n=%d", n)
+	}
+	if !(comp[2] < comp[1] && comp[1] < comp[0]) {
+		t.Fatalf("not reverse-topological: %v", comp)
+	}
+}
+
+func TestBigCycle(t *testing.T) {
+	const n = 5000
+	comp, nc := Compute(n, func(v int) []int { return []int{(v + 1) % n} })
+	if nc != 1 {
+		t.Fatalf("cycle split into %d components", nc)
+	}
+	for _, c := range comp {
+		if c != 0 {
+			t.Fatal("cycle members differ")
+		}
+	}
+}
+
+// TestRandomGraphInvariants: components partition nodes; mutual
+// reachability within a component (checked by a reference DFS on small
+// graphs).
+func TestRandomGraphInvariants(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		adj := make([][]int, n)
+		for v := 0; v < n; v++ {
+			for e := 0; e < rng.Intn(4); e++ {
+				adj[v] = append(adj[v], rng.Intn(n))
+			}
+		}
+		comp, nc := Compute(n, func(v int) []int { return adj[v] })
+
+		// Partition sanity.
+		for _, c := range comp {
+			if c < 0 || c >= nc {
+				t.Fatalf("seed %d: component out of range", seed)
+			}
+		}
+
+		// Reference reachability.
+		reach := make([][]bool, n)
+		for v := 0; v < n; v++ {
+			reach[v] = make([]bool, n)
+			stack := []int{v}
+			for len(stack) > 0 {
+				u := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if reach[v][u] {
+					continue
+				}
+				reach[v][u] = true
+				stack = append(stack, adj[u]...)
+			}
+		}
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				same := comp[a] == comp[b]
+				mutual := reach[a][b] && reach[b][a]
+				if same != mutual {
+					t.Fatalf("seed %d: nodes %d,%d: same-comp=%v mutual=%v", seed, a, b, same, mutual)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package sched implements the query-scheduling scheme of Section III-C.
+// Given a batch of points-to queries, it:
+//
+//  1. groups query variables by connected components of the "direct"
+//     relation (Eq. 5: assignl | assigng | param_i | ret_i edges — loads and
+//     stores excluded, since they induce no variable-to-variable
+//     reachability);
+//  2. orders variables within a group by connection distance (CD) — the
+//     length of the longest direct path through the variable, modulo
+//     recursion — shortest first;
+//  3. orders groups by dependence depth (DD) — 1/L(t) over the group's
+//     minimum, where L(t) is the type level of Section III-C2 — ascending,
+//     so groups of deeply-nested types (small DD) are issued first;
+//  4. rebalances groups to the mean size M: larger groups are split,
+//     adjacent smaller groups merged (Section III-C2, load balance).
+//
+// The result is an ordered list of query groups; the parallel engine hands
+// one group at a time to each worker, reducing work-list synchronisation
+// while maximising the early terminations enabled by data sharing.
+package sched
+
+import (
+	"math"
+	"sort"
+
+	"parcfl/internal/pag"
+	"parcfl/internal/scc"
+)
+
+// Plan is an ordered partition of a query batch.
+type Plan struct {
+	// Groups lists query groups in issue order. Concatenated, they are a
+	// permutation of the original query batch (duplicates removed).
+	Groups [][]pag.NodeID
+	// AvgGroupSize is the mean group size M before rebalancing — the Sg
+	// statistic of Table I.
+	AvgGroupSize float64
+	// NumComponents is the number of direct-relation components touched
+	// by the batch (before split/merge).
+	NumComponents int
+}
+
+// Queries returns the scheduled flat order.
+func (p *Plan) Queries() []pag.NodeID {
+	var out []pag.NodeID
+	for _, g := range p.Groups {
+		out = append(out, g...)
+	}
+	return out
+}
+
+// Schedule builds a plan for the query batch over graph g. typeLevels maps
+// pag.TypeID to the L(t) level (see frontend.TypeLevels); it may be nil, in
+// which case all dependence depths are equal and only grouping and CD
+// ordering apply. Duplicate query variables are dropped.
+func Schedule(g *pag.Graph, queries []pag.NodeID, typeLevels []int) *Plan {
+	n := g.NumNodes()
+
+	// --- 1. Connected components of the direct relation (undirected). ---
+	uf := newUnionFind(n)
+	for x := 0; x < n; x++ {
+		for _, he := range g.In(pag.NodeID(x)) {
+			if he.Kind.IsDirect() {
+				uf.union(x, int(he.Other))
+			}
+		}
+	}
+
+	// Dedup queries, bucket them per component.
+	seen := make(map[pag.NodeID]struct{}, len(queries))
+	byComp := make(map[int][]pag.NodeID)
+	for _, v := range queries {
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		byComp[uf.find(int(v))] = append(byComp[uf.find(int(v))], v)
+	}
+
+	// --- 2. Connection distances, computed once over the whole graph. ---
+	cd := connectionDistances(g)
+
+	// --- 3. Dependence depths. ---
+	dd := func(v pag.NodeID) float64 {
+		if typeLevels == nil {
+			return 1
+		}
+		t := g.Node(v).Type
+		if t == pag.UntypedType || int(t) >= len(typeLevels) || typeLevels[t] <= 0 {
+			return math.Inf(1)
+		}
+		return 1 / float64(typeLevels[t])
+	}
+
+	type group struct {
+		vars []pag.NodeID
+		dd   float64
+		min  pag.NodeID // deterministic tie-break
+	}
+	groups := make([]group, 0, len(byComp))
+	for _, vars := range byComp {
+		// CD ascending within the group, node id tie-break.
+		sort.Slice(vars, func(i, j int) bool {
+			if cd[vars[i]] != cd[vars[j]] {
+				return cd[vars[i]] < cd[vars[j]]
+			}
+			return vars[i] < vars[j]
+		})
+		gd := math.Inf(1)
+		mn := vars[0]
+		for _, v := range vars {
+			if d := dd(v); d < gd {
+				gd = d
+			}
+			if v < mn {
+				mn = v
+			}
+		}
+		groups = append(groups, group{vars: vars, dd: gd, min: mn})
+	}
+	// DD ascending across groups (deep types first).
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].dd != groups[j].dd {
+			return groups[i].dd < groups[j].dd
+		}
+		return groups[i].min < groups[j].min
+	})
+
+	plan := &Plan{NumComponents: len(groups)}
+	if len(groups) == 0 {
+		return plan
+	}
+	total := 0
+	for _, gr := range groups {
+		total += len(gr.vars)
+	}
+	m := int(math.Ceil(float64(total) / float64(len(groups))))
+	if m < 1 {
+		m = 1
+	}
+	plan.AvgGroupSize = float64(total) / float64(len(groups))
+
+	// --- 4. Split/merge to roughly M variables per group. ---
+	var cur []pag.NodeID
+	for _, gr := range groups {
+		vs := gr.vars
+		for len(vs) > 0 {
+			take := m - len(cur)
+			if take > len(vs) {
+				take = len(vs)
+			}
+			cur = append(cur, vs[:take]...)
+			vs = vs[take:]
+			if len(cur) >= m {
+				plan.Groups = append(plan.Groups, cur)
+				cur = nil
+			}
+		}
+	}
+	if len(cur) > 0 {
+		plan.Groups = append(plan.Groups, cur)
+	}
+	return plan
+}
+
+// connectionDistances returns, per node, the length (in nodes) of the
+// longest direct-relation path through it, with cycles collapsed ("modulo
+// recursion"): each SCC of the directed direct-edge subgraph is weighted by
+// its size, and the distance of a node is the weight of the heaviest
+// source-to-sink chain through its component.
+func connectionDistances(g *pag.Graph) []int {
+	n := g.NumNodes()
+	succ := make([][]int, n) // direction of value flow: src -> dst
+	for x := 0; x < n; x++ {
+		for _, he := range g.In(pag.NodeID(x)) {
+			if he.Kind.IsDirect() {
+				succ[he.Other] = append(succ[he.Other], x)
+			}
+		}
+	}
+	comp, numComp := scc.Compute(n, func(v int) []int { return succ[v] })
+
+	weight := make([]int, numComp)
+	for v := 0; v < n; v++ {
+		weight[comp[v]]++
+	}
+	// Condensed edges; components are in reverse topological order
+	// (successors have smaller indexes).
+	csucc := make(map[int]map[int]struct{})
+	for v := 0; v < n; v++ {
+		for _, w := range succ[v] {
+			if comp[v] != comp[w] {
+				if csucc[comp[v]] == nil {
+					csucc[comp[v]] = make(map[int]struct{})
+				}
+				csucc[comp[v]][comp[w]] = struct{}{}
+			}
+		}
+	}
+	// down[c]: heaviest chain starting at c going along csucc (ascending
+	// pass works because successors have smaller component numbers).
+	down := make([]int, numComp)
+	for c := 0; c < numComp; c++ {
+		best := 0
+		for s := range csucc[c] {
+			if down[s] > best {
+				best = down[s]
+			}
+		}
+		down[c] = weight[c] + best
+	}
+	// up[c]: heaviest chain ending at c. Predecessor components have
+	// larger indexes, so a descending pass relaxes each component's
+	// successors after the component itself is final.
+	up := make([]int, numComp)
+	for c := range up {
+		up[c] = weight[c]
+	}
+	for c := numComp - 1; c >= 0; c-- {
+		for s := range csucc[c] {
+			if cand := up[c] + weight[s]; cand > up[s] {
+				up[s] = cand
+			}
+		}
+	}
+	out := make([]int, n)
+	for v := 0; v < n; v++ {
+		c := comp[v]
+		out[v] = up[c] + down[c] - weight[c]
+	}
+	return out
+}
+
+// unionFind is a standard disjoint-set with path halving and union by size.
+type unionFind struct {
+	parent []int32
+	size   []int32
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int32, n), size: make([]int32, n)}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+func (u *unionFind) find(x int) int {
+	for int(u.parent[x]) != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = int(u.parent[x])
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = int32(ra)
+	u.size[ra] += u.size[rb]
+}

@@ -1,0 +1,257 @@
+// Package share implements the data-sharing scheme of Section III-B: paths
+// discovered while answering one query are recorded as jmp shortcut edges so
+// that subsequent queries (in any thread) take the shortcut instead of
+// re-traversing the same paths.
+//
+// Conceptually the scheme rewrites the PAG (Fig. 4 adds jmp edges and the
+// special unfinished node O); physically the graph stays immutable and the
+// jmp edges live in this concurrent store, keyed by (direction, node,
+// context) — the (x, c) key of Algorithm 2, plus a direction bit because we
+// share both the PointsTo (backward) and the FlowsTo (forward) expansions.
+//
+// Two kinds of entries exist, mirroring Fig. 3:
+//
+//   - Finished: the alias expansion at (x, c) completed in s steps and
+//     reached the recorded targets. A later query charges s steps to its
+//     budget (keeping budget accounting aligned with an unshared run) and
+//     takes the targets directly.
+//   - Unfinished: a query ran out of budget s steps after entering (x, c).
+//     A later query whose remaining budget is below s terminates early
+//     instead of burning its budget on a traversal that cannot finish.
+//
+// Insertion is put-if-absent, as in the paper's ConcurrentHashMap usage: of
+// two racing threads exactly one wins. The selective-insertion optimisation
+// of Section IV-A is applied here: finished entries are recorded only when
+// s >= TauF and unfinished ones only when s >= TauU, suppressing the flood
+// of short, low-value shortcuts whose synchronisation cost exceeds their
+// benefit (evaluated in Fig. 7).
+package share
+
+import (
+	"sync/atomic"
+
+	"parcfl/internal/concurrent"
+	"parcfl/internal/pag"
+)
+
+// Direction distinguishes the two mutually inverse traversals that both
+// benefit from sharing.
+type Direction uint8
+
+const (
+	// Backward is the PointsTo direction (variable to objects).
+	Backward Direction = iota
+	// Forward is the FlowsTo direction (object to variables).
+	Forward
+)
+
+// Key identifies one shared expansion: the (x, c) of Algorithm 2 plus the
+// traversal direction.
+type Key struct {
+	Dir  Direction
+	Node pag.NodeID
+	Ctx  pag.Context
+}
+
+// Entry is the value recorded for a key.
+type Entry struct {
+	// Unfinished marks a Fig. 3(b) entry (out-of-budget marker); S is
+	// then the minimum budget needed at this point. Otherwise the entry
+	// is a Fig. 3(a) finished expansion: S is the step cost and Targets
+	// the reached (node, context) pairs.
+	Unfinished bool
+	S          int
+	Targets    []pag.NodeCtx
+	// epoch is the store epoch the entry was recorded under; entries
+	// from earlier epochs are invisible to Lookup and are replaced on
+	// the next Put (incremental invalidation — see BumpEpoch).
+	epoch int64
+}
+
+// HistBuckets is the number of power-of-two histogram buckets kept for
+// Fig. 7 (2^0 .. 2^16+).
+const HistBuckets = 17
+
+// Config tunes a Store.
+type Config struct {
+	// TauF suppresses finished entries cheaper than this many steps
+	// (paper default 100).
+	TauF int
+	// TauU suppresses unfinished entries cheaper than this many steps
+	// (paper default 10000).
+	TauU int
+	// Shards is the lock-stripe count (rounded up to a power of two).
+	Shards int
+}
+
+// DefaultConfig returns the paper's settings (Section IV-A).
+func DefaultConfig() Config {
+	return Config{TauF: 100, TauU: 10000, Shards: 64}
+}
+
+// Store holds the jmp edges discovered so far, shared by all
+// query-processing goroutines of one analysis run.
+type Store struct {
+	cfg Config
+	m   *concurrent.Map[Key, *Entry]
+
+	epoch                atomic.Int64
+	finishedAdded        atomic.Int64
+	unfinishedAdded      atomic.Int64
+	finishedSuppressed   atomic.Int64
+	unfinishedSuppressed atomic.Int64
+	insertLost           atomic.Int64
+
+	histFinished   [HistBuckets]atomic.Int64
+	histUnfinished [HistBuckets]atomic.Int64
+}
+
+// NewStore creates an empty jmp-edge store.
+func NewStore(cfg Config) *Store {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 64
+	}
+	return &Store{
+		cfg: cfg,
+		m: concurrent.NewMap[Key, *Entry](cfg.Shards, func(k Key) uint64 {
+			h := concurrent.HashSeed
+			h = concurrent.HashUint64(h, uint64(k.Dir))
+			h = concurrent.HashUint64(h, uint64(k.Node))
+			return concurrent.HashBytes(h, k.Ctx.Key())
+		}),
+	}
+}
+
+// Config returns the store's configuration.
+func (st *Store) Config() Config { return st.cfg }
+
+// Lookup returns the entry for k, if one has been recorded in the current
+// epoch. Entries from earlier epochs (invalidated by BumpEpoch) are treated
+// as absent.
+func (st *Store) Lookup(k Key) (*Entry, bool) {
+	e, ok := st.m.Get(k)
+	if !ok || e.epoch != st.epoch.Load() {
+		return nil, false
+	}
+	return e, true
+}
+
+// BumpEpoch lazily invalidates every recorded entry: graph edits that can
+// add value-flow paths make recorded expansions incomplete, so incremental
+// clients advance the epoch instead of rebuilding the store. Stale entries
+// are replaced in place the next time their key is recorded.
+func (st *Store) BumpEpoch() {
+	st.epoch.Add(1)
+}
+
+// Epoch returns the current invalidation epoch.
+func (st *Store) Epoch() int64 { return st.epoch.Load() }
+
+// Bucket maps a step count to its Fig. 7 histogram bucket: bucket i holds
+// counts with 2^i <= s < 2^(i+1), the last bucket absorbing everything
+// larger.
+func Bucket(s int) int {
+	if s < 1 {
+		s = 1
+	}
+	b := 0
+	for s > 1 && b < HistBuckets-1 {
+		s >>= 1
+		b++
+	}
+	return b
+}
+
+// PutFinished records a completed expansion of cost s reaching targets. It
+// reports whether the entry was inserted (false when suppressed by TauF or
+// when another thread won the race). The targets slice is retained; callers
+// must not reuse it.
+func (st *Store) PutFinished(k Key, s int, targets []pag.NodeCtx) bool {
+	if s < st.cfg.TauF {
+		st.finishedSuppressed.Add(1)
+		return false
+	}
+	inserted := st.putCurrent(k, &Entry{S: s, Targets: targets, epoch: st.epoch.Load()})
+	if inserted {
+		st.finishedAdded.Add(1)
+		st.histFinished[Bucket(s)].Add(1)
+	} else {
+		st.insertLost.Add(1)
+	}
+	return inserted
+}
+
+// PutUnfinished records an out-of-budget marker: any traversal entering k
+// needs at least s remaining budget. It reports whether the entry was
+// inserted.
+func (st *Store) PutUnfinished(k Key, s int) bool {
+	if s < st.cfg.TauU {
+		st.unfinishedSuppressed.Add(1)
+		return false
+	}
+	inserted := st.putCurrent(k, &Entry{Unfinished: true, S: s, epoch: st.epoch.Load()})
+	if inserted {
+		st.unfinishedAdded.Add(1)
+		st.histUnfinished[Bucket(s)].Add(1)
+	} else {
+		st.insertLost.Add(1)
+	}
+	return inserted
+}
+
+// putCurrent inserts e unless the key already holds a current-epoch entry;
+// stale entries are replaced.
+func (st *Store) putCurrent(k Key, e *Entry) bool {
+	for {
+		existing, inserted := st.m.PutIfAbsent(k, e)
+		if inserted {
+			return true
+		}
+		if existing.epoch == e.epoch {
+			return false
+		}
+		// Stale entry: replace it. Replace is a compare-and-swap on the
+		// pointer; on contention, retry the whole sequence.
+		if st.m.Replace(k, existing, e) {
+			return true
+		}
+	}
+}
+
+// Stats is a snapshot of the store's counters.
+type Stats struct {
+	// FinishedAdded and UnfinishedAdded count inserted entries; their sum
+	// is the #Jumps column of Table I.
+	FinishedAdded   int64
+	UnfinishedAdded int64
+	// FinishedSuppressed / UnfinishedSuppressed count entries dropped by
+	// the TauF / TauU thresholds.
+	FinishedSuppressed   int64
+	UnfinishedSuppressed int64
+	// InsertLost counts put-if-absent races lost to another thread.
+	InsertLost int64
+	// HistFinished / HistUnfinished bucket inserted entries by steps
+	// saved (Fig. 7).
+	HistFinished   [HistBuckets]int64
+	HistUnfinished [HistBuckets]int64
+}
+
+// NumJumps returns the total number of jmp edges recorded (Table I #Jumps).
+func (st *Store) NumJumps() int64 {
+	return st.finishedAdded.Load() + st.unfinishedAdded.Load()
+}
+
+// Snapshot returns the current counters.
+func (st *Store) Snapshot() Stats {
+	var s Stats
+	s.FinishedAdded = st.finishedAdded.Load()
+	s.UnfinishedAdded = st.unfinishedAdded.Load()
+	s.FinishedSuppressed = st.finishedSuppressed.Load()
+	s.UnfinishedSuppressed = st.unfinishedSuppressed.Load()
+	s.InsertLost = st.insertLost.Load()
+	for i := 0; i < HistBuckets; i++ {
+		s.HistFinished[i] = st.histFinished[i].Load()
+		s.HistUnfinished[i] = st.histUnfinished[i].Load()
+	}
+	return s
+}

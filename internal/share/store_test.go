@@ -1,0 +1,160 @@
+package share
+
+import (
+	"sync"
+	"testing"
+
+	"parcfl/internal/pag"
+)
+
+func zeroTau() Config { return Config{TauF: 0, TauU: 0, Shards: 8} }
+
+func TestBucket(t *testing.T) {
+	cases := []struct{ s, want int }{
+		{-5, 0}, {0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3},
+		{1 << 10, 10}, {(1 << 16) - 1, 15}, {1 << 16, 16}, {1 << 20, 16},
+	}
+	for _, c := range cases {
+		if got := Bucket(c.s); got != c.want {
+			t.Errorf("Bucket(%d) = %d, want %d", c.s, got, c.want)
+		}
+	}
+}
+
+func TestPutFinishedAndLookup(t *testing.T) {
+	st := NewStore(zeroTau())
+	k := Key{Dir: Backward, Node: 3, Ctx: pag.EmptyContext.Push(7)}
+	targets := []pag.NodeCtx{{Node: 9, Ctx: pag.EmptyContext}}
+	if !st.PutFinished(k, 150, targets) {
+		t.Fatal("first PutFinished failed")
+	}
+	e, ok := st.Lookup(k)
+	if !ok || e.Unfinished || e.S != 150 || len(e.Targets) != 1 || e.Targets[0].Node != 9 {
+		t.Fatalf("Lookup = %+v, %v", e, ok)
+	}
+	// Second insert loses (put-if-absent).
+	if st.PutFinished(k, 999, nil) {
+		t.Fatal("second PutFinished won")
+	}
+	e, _ = st.Lookup(k)
+	if e.S != 150 {
+		t.Fatalf("entry overwritten: %+v", e)
+	}
+	s := st.Snapshot()
+	if s.FinishedAdded != 1 || s.InsertLost != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPutUnfinished(t *testing.T) {
+	st := NewStore(zeroTau())
+	k := Key{Dir: Forward, Node: 1, Ctx: pag.EmptyContext}
+	if !st.PutUnfinished(k, 5000) {
+		t.Fatal("PutUnfinished failed")
+	}
+	e, ok := st.Lookup(k)
+	if !ok || !e.Unfinished || e.S != 5000 {
+		t.Fatalf("Lookup = %+v, %v", e, ok)
+	}
+	// A finished insert for the same key must lose: one entry per key.
+	if st.PutFinished(k, 200, nil) {
+		t.Fatal("finished insert displaced unfinished entry")
+	}
+	if st.NumJumps() != 1 {
+		t.Fatalf("NumJumps = %d", st.NumJumps())
+	}
+}
+
+func TestTauSuppression(t *testing.T) {
+	st := NewStore(Config{TauF: 100, TauU: 10000, Shards: 8})
+	kf := Key{Dir: Backward, Node: 1}
+	if st.PutFinished(kf, 99, nil) {
+		t.Fatal("finished below TauF inserted")
+	}
+	if _, ok := st.Lookup(kf); ok {
+		t.Fatal("suppressed entry is visible")
+	}
+	if !st.PutFinished(kf, 100, nil) {
+		t.Fatal("finished at TauF rejected")
+	}
+	ku := Key{Dir: Backward, Node: 2}
+	if st.PutUnfinished(ku, 9999) {
+		t.Fatal("unfinished below TauU inserted")
+	}
+	if !st.PutUnfinished(ku, 10000) {
+		t.Fatal("unfinished at TauU rejected")
+	}
+	s := st.Snapshot()
+	if s.FinishedSuppressed != 1 || s.UnfinishedSuppressed != 1 {
+		t.Fatalf("suppression stats = %+v", s)
+	}
+}
+
+func TestDirectionAndContextDisambiguateKeys(t *testing.T) {
+	st := NewStore(zeroTau())
+	c1 := pag.EmptyContext.Push(1)
+	k1 := Key{Dir: Backward, Node: 5, Ctx: c1}
+	k2 := Key{Dir: Forward, Node: 5, Ctx: c1}
+	k3 := Key{Dir: Backward, Node: 5, Ctx: pag.EmptyContext}
+	st.PutFinished(k1, 10, nil)
+	st.PutUnfinished(k2, 20)
+	st.PutFinished(k3, 30, nil)
+	e1, _ := st.Lookup(k1)
+	e2, _ := st.Lookup(k2)
+	e3, _ := st.Lookup(k3)
+	if e1.S != 10 || e2.S != 20 || !e2.Unfinished || e3.S != 30 {
+		t.Fatalf("keys collided: %+v %+v %+v", e1, e2, e3)
+	}
+}
+
+func TestHistograms(t *testing.T) {
+	st := NewStore(zeroTau())
+	for i, s := range []int{1, 2, 4, 4, 1 << 16} {
+		st.PutFinished(Key{Node: pag.NodeID(i)}, s, nil)
+	}
+	st.PutUnfinished(Key{Node: 100}, 1<<12)
+	snap := st.Snapshot()
+	if snap.HistFinished[0] != 1 || snap.HistFinished[1] != 1 || snap.HistFinished[2] != 2 || snap.HistFinished[16] != 1 {
+		t.Fatalf("finished hist = %v", snap.HistFinished)
+	}
+	if snap.HistUnfinished[12] != 1 {
+		t.Fatalf("unfinished hist = %v", snap.HistUnfinished)
+	}
+}
+
+// Racing inserts on one key: exactly one insertion succeeds, and every
+// thread subsequently observes the same entry. Run with -race.
+func TestStoreConcurrentInserts(t *testing.T) {
+	st := NewStore(zeroTau())
+	k := Key{Dir: Backward, Node: 42, Ctx: pag.EmptyContext.Push(3)}
+	const workers = 8
+	wins := make([]bool, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wins[w] = st.PutFinished(k, 100+w, []pag.NodeCtx{{Node: pag.NodeID(w)}})
+		}(w)
+	}
+	wg.Wait()
+	nwins := 0
+	for _, w := range wins {
+		if w {
+			nwins++
+		}
+	}
+	if nwins != 1 {
+		t.Fatalf("%d inserts won, want 1", nwins)
+	}
+	if st.NumJumps() != 1 {
+		t.Fatalf("NumJumps = %d", st.NumJumps())
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	c := DefaultConfig()
+	if c.TauF != 100 || c.TauU != 10000 {
+		t.Fatalf("DefaultConfig = %+v, want paper's tauF=100 tauU=10000", c)
+	}
+}

@@ -1,0 +1,161 @@
+// Package summary implements a method-summarisation pre-analysis in the
+// spirit of the summary-based schemes the paper surveys ([17] Shang/Xie/Xue
+// CGO'12, [26] Yan/Xu/Rountev ISSTA'11): "Summary-based schemes avoid
+// redundant graph traversals by reusing the method-local points-to
+// relations", reported to achieve up to 3X sequential speedups.
+//
+// The implemented summary is the simplest profitable one: *trivial
+// forwarders* — methods whose body is exactly one call passing their own
+// parameters through (wrapper chains, delegation layers) — are summarised
+// by retargeting their call sites at the forwarded-to method. Every
+// collapsed forwarder removes a param/ret parenthesis pair from all
+// traversals through it, shortening flowsTo paths without changing the
+// flowsTo relation itself (the matched parentheses were semantically
+// transparent).
+package summary
+
+import (
+	"parcfl/internal/frontend"
+)
+
+// Stats reports what the transform did.
+type Stats struct {
+	// Forwarders is the number of trivial forwarding methods detected.
+	Forwarders int
+	// CallsRetargeted is the number of call statements redirected past a
+	// forwarder (counting each hop of a collapsed chain).
+	CallsRetargeted int
+}
+
+// forwarder describes method m's body: a single call to target with m's
+// parameters permuted by argMap (target arg i receives m's param argMap[i]),
+// forwarding the return value iff retFwd.
+type forwarder struct {
+	target int
+	argMap []int
+	retFwd bool
+}
+
+// detect returns m's forwarder description, if m is a trivial forwarder.
+func detect(p *frontend.Program, mi int) (forwarder, bool) {
+	m := &p.Methods[mi]
+	if len(m.Body) != 1 || m.Body[0].Kind != frontend.StCall {
+		return forwarder{}, false
+	}
+	call := m.Body[0]
+	if call.Callee == mi {
+		return forwarder{}, false // self-loop
+	}
+	// Param slot -> position in m.Params.
+	paramPos := make(map[int]int, len(m.Params))
+	for i, slot := range m.Params {
+		paramPos[slot] = i
+	}
+	fw := forwarder{target: call.Callee}
+	for _, a := range call.Args {
+		if a.Global || a.IsNoVar() {
+			return forwarder{}, false
+		}
+		pos, isParam := paramPos[a.Index]
+		if !isParam {
+			return forwarder{}, false // forwards a non-parameter local
+		}
+		fw.argMap = append(fw.argMap, pos)
+	}
+	switch {
+	case call.Dst.IsNoVar() && m.Ret == -1:
+		fw.retFwd = false
+	case !call.Dst.IsNoVar() && !call.Dst.Global && m.Ret == call.Dst.Index:
+		fw.retFwd = true
+	default:
+		return forwarder{}, false
+	}
+	return fw, true
+}
+
+// Transform rewrites every call to a trivial forwarder so it targets the
+// forwarded-to method directly, collapsing forwarder chains. The input
+// program is modified in place and also returned. Forwarder bodies are left
+// intact (they become dead unless still referenced); analysis results on
+// queried variables outside the forwarders are unchanged, only cheaper to
+// compute.
+func Transform(p *frontend.Program) (*frontend.Program, Stats) {
+	var st Stats
+	fws := make(map[int]forwarder)
+	for mi := range p.Methods {
+		if fw, ok := detect(p, mi); ok {
+			fws[mi] = fw
+			st.Forwarders++
+		}
+	}
+	if len(fws) == 0 {
+		return p, st
+	}
+
+	// resolve follows forwarder chains, composing argument permutations,
+	// with cycle protection.
+	type resolved struct {
+		target int
+		argMap []int
+		retFwd bool
+		hops   int
+	}
+	resolve := func(start int) resolved {
+		cur := resolved{target: start, retFwd: true}
+		// Identity argMap sized to the start method's param count.
+		cur.argMap = make([]int, len(p.Methods[start].Params))
+		for i := range cur.argMap {
+			cur.argMap[i] = i
+		}
+		seen := map[int]bool{start: true}
+		for {
+			fw, isFw := fws[cur.target]
+			if !isFw || seen[fw.target] {
+				return cur
+			}
+			seen[fw.target] = true
+			// Compose: new arg i comes from fw.argMap[i], which indexes
+			// cur's args.
+			next := make([]int, len(fw.argMap))
+			for i, j := range fw.argMap {
+				next[i] = cur.argMap[j]
+			}
+			cur = resolved{
+				target: fw.target,
+				argMap: next,
+				retFwd: cur.retFwd && fw.retFwd,
+				hops:   cur.hops + 1,
+			}
+		}
+	}
+
+	for mi := range p.Methods {
+		m := &p.Methods[mi]
+		for si := range m.Body {
+			s := &m.Body[si]
+			if s.Kind != frontend.StCall {
+				continue
+			}
+			if _, isFw := fws[s.Callee]; !isFw {
+				continue
+			}
+			r := resolve(s.Callee)
+			if r.target == s.Callee {
+				continue
+			}
+			// A call expecting a result can only skip past forwarders
+			// that all forward the return value.
+			if !s.Dst.IsNoVar() && !r.retFwd {
+				continue
+			}
+			newArgs := make([]frontend.VarRef, len(r.argMap))
+			for i, j := range r.argMap {
+				newArgs[i] = s.Args[j]
+			}
+			s.Callee = r.target
+			s.Args = newArgs
+			st.CallsRetargeted += r.hops
+		}
+	}
+	return p, st
+}

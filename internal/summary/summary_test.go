@@ -1,0 +1,241 @@
+package summary
+
+import (
+	"sort"
+	"testing"
+
+	"parcfl/internal/cfl"
+	"parcfl/internal/frontend"
+	"parcfl/internal/javagen"
+	"parcfl/internal/pag"
+)
+
+// chainProgram builds: base(x) { return x }, w1(x) { return base(x) },
+// w2(x) { return w1(x) }, main { a = new; r = w2(a) }.
+func chainProgram() *frontend.Program {
+	obj := pag.TypeID(0)
+	mk := func(name string, callee int) frontend.Method {
+		return frontend.Method{
+			Name:   name,
+			Locals: []frontend.LocalVar{{Name: "x", Type: obj}, {Name: "r", Type: obj}},
+			Params: []int{0}, Ret: 1,
+			Body: []frontend.Stmt{
+				{Kind: frontend.StCall, Callee: callee, Args: []frontend.VarRef{frontend.Local(0)}, Dst: frontend.Local(1)},
+			},
+		}
+	}
+	return &frontend.Program{
+		Types: []frontend.Type{{Name: "Object", Ref: true}},
+		Methods: []frontend.Method{
+			{ // 0: base(x) { return x } — not a forwarder (no call)
+				Name:   "base",
+				Locals: []frontend.LocalVar{{Name: "x", Type: obj}},
+				Params: []int{0}, Ret: 0,
+				Body: nil,
+			},
+			mk("w1", 0), // 1
+			mk("w2", 1), // 2
+			{ // 3: main
+				Name:   "main",
+				Locals: []frontend.LocalVar{{Name: "a", Type: obj}, {Name: "r", Type: obj}},
+				Ret:    -1, Application: true,
+				Body: []frontend.Stmt{
+					{Kind: frontend.StAlloc, Dst: frontend.Local(0), Type: obj},
+					{Kind: frontend.StCall, Callee: 2, Args: []frontend.VarRef{frontend.Local(0)}, Dst: frontend.Local(1)},
+				},
+			},
+		},
+	}
+}
+
+func TestForwarderChainCollapse(t *testing.T) {
+	p := chainProgram()
+	_, st := Transform(p)
+	if st.Forwarders != 2 {
+		t.Fatalf("forwarders = %d, want 2 (w1, w2)", st.Forwarders)
+	}
+	// main's call hops past both wrappers straight to base.
+	if got := p.Methods[3].Body[1].Callee; got != 0 {
+		t.Fatalf("main's call targets method %d, want base (0)", got)
+	}
+	if st.CallsRetargeted < 2 {
+		t.Fatalf("CallsRetargeted = %d", st.CallsRetargeted)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultsPreservedAndCheaper(t *testing.T) {
+	orig := chainProgram()
+	loOrig, err := frontend.Lower(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := loOrig.LocalNode[3][1]
+	sOrig := cfl.New(loOrig.Graph, cfl.Config{})
+	resOrig := sOrig.PointsTo(r, pag.EmptyContext)
+
+	xform := chainProgram()
+	Transform(xform)
+	loX, err := frontend.Lower(xform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sX := cfl.New(loX.Graph, cfl.Config{})
+	resX := sX.PointsTo(loX.LocalNode[3][1], pag.EmptyContext)
+
+	if len(resOrig.Objects()) != 1 || len(resX.Objects()) != 1 {
+		t.Fatalf("objects: %v vs %v", resOrig.Objects(), resX.Objects())
+	}
+	if resX.Steps >= resOrig.Steps {
+		t.Fatalf("summarised query not cheaper: %d vs %d steps", resX.Steps, resOrig.Steps)
+	}
+}
+
+// TestJavagenEquivalence: summarising a generated benchmark preserves every
+// queried answer (projected to objects identified by name, since lowering
+// the transformed program renumbers nothing — methods and locals are
+// unchanged) while reducing total steps.
+func TestJavagenEquivalence(t *testing.T) {
+	params := javagen.Params{
+		Name: "sumtest", Seed: 5, Containers: 3, CallDepth: 4,
+		PayloadClasses: 3, PayloadFieldDepth: 3, AppMethods: 8, OpsPerApp: 10,
+		Globals: 2, AppCallFanout: 1, HubFields: 1,
+	}
+	build := func(transform bool) (*frontend.Lowered, int64) {
+		prg, err := javagen.Generate(params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if transform {
+			_, st := Transform(prg)
+			if st.Forwarders == 0 {
+				t.Fatal("no forwarders found in wrapper-chain benchmark")
+			}
+		}
+		lo, err := frontend.Lower(prg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := cfl.New(lo.Graph, cfl.Config{})
+		var steps int64
+		for _, v := range lo.AppQueryVars {
+			r := s.PointsTo(v, pag.EmptyContext)
+			steps += int64(r.Steps)
+		}
+		return lo, steps
+	}
+	loA, stepsA := build(false)
+	loB, stepsB := build(true)
+
+	// Same local slots exist in both lowerings; compare per-variable
+	// object-name sets.
+	sA := cfl.New(loA.Graph, cfl.Config{})
+	sB := cfl.New(loB.Graph, cfl.Config{})
+	names := func(lo *frontend.Lowered, s *cfl.Solver, v pag.NodeID) []string {
+		var out []string
+		for _, o := range s.PointsTo(v, pag.EmptyContext).Objects() {
+			out = append(out, lo.Graph.Node(o).Name)
+		}
+		sort.Strings(out)
+		return out
+	}
+	if len(loA.AppQueryVars) != len(loB.AppQueryVars) {
+		t.Fatal("query census changed")
+	}
+	for i := range loA.AppQueryVars {
+		a := names(loA, sA, loA.AppQueryVars[i])
+		b := names(loB, sB, loB.AppQueryVars[i])
+		if len(a) != len(b) {
+			t.Fatalf("var %d: %v vs %v", i, a, b)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("var %d: %v vs %v", i, a, b)
+			}
+		}
+	}
+	if stepsB >= stepsA {
+		t.Fatalf("summarisation did not reduce steps: %d vs %d", stepsB, stepsA)
+	}
+	t.Logf("steps: %d -> %d (%.1f%% saved)", stepsA, stepsB, 100*float64(stepsA-stepsB)/float64(stepsA))
+}
+
+func TestNonForwardersUntouched(t *testing.T) {
+	obj := pag.TypeID(0)
+	p := &frontend.Program{
+		Types: []frontend.Type{{Name: "Object", Ref: true}},
+		Methods: []frontend.Method{
+			{ // 0: two statements — not a forwarder
+				Name:   "notfw",
+				Locals: []frontend.LocalVar{{Name: "x", Type: obj}, {Name: "y", Type: obj}},
+				Params: []int{0}, Ret: 1,
+				Body: []frontend.Stmt{
+					{Kind: frontend.StAssign, Dst: frontend.Local(1), Src: frontend.Local(0)},
+					{Kind: frontend.StAssign, Dst: frontend.Local(1), Src: frontend.Local(0)},
+				},
+			},
+			{ // 1: forwards a non-param local — not a forwarder
+				Name:   "notfw2",
+				Locals: []frontend.LocalVar{{Name: "x", Type: obj}, {Name: "t", Type: obj}},
+				Params: []int{0}, Ret: -1,
+				Body: []frontend.Stmt{
+					{Kind: frontend.StCall, Callee: 0, Args: []frontend.VarRef{frontend.Local(1)}, Dst: frontend.NoVar},
+				},
+			},
+		},
+	}
+	_, st := Transform(p)
+	if st.Forwarders != 0 || st.CallsRetargeted != 0 {
+		t.Fatalf("stats = %+v, want zero", st)
+	}
+}
+
+func TestSelfRecursiveForwarderSkipped(t *testing.T) {
+	obj := pag.TypeID(0)
+	p := &frontend.Program{
+		Types: []frontend.Type{{Name: "Object", Ref: true}},
+		Methods: []frontend.Method{
+			{
+				Name:   "rec",
+				Locals: []frontend.LocalVar{{Name: "x", Type: obj}},
+				Params: []int{0}, Ret: -1,
+				Body: []frontend.Stmt{
+					{Kind: frontend.StCall, Callee: 0, Args: []frontend.VarRef{frontend.Local(0)}, Dst: frontend.NoVar},
+				},
+			},
+		},
+	}
+	_, st := Transform(p)
+	if st.Forwarders != 0 {
+		t.Fatalf("self-recursive method detected as forwarder")
+	}
+}
+
+func TestMutualForwarderCycle(t *testing.T) {
+	obj := pag.TypeID(0)
+	mk := func(name string, callee int) frontend.Method {
+		return frontend.Method{
+			Name:   name,
+			Locals: []frontend.LocalVar{{Name: "x", Type: obj}},
+			Params: []int{0}, Ret: -1,
+			Body: []frontend.Stmt{
+				{Kind: frontend.StCall, Callee: callee, Args: []frontend.VarRef{frontend.Local(0)}, Dst: frontend.NoVar},
+			},
+		}
+	}
+	p := &frontend.Program{
+		Types:   []frontend.Type{{Name: "Object", Ref: true}},
+		Methods: []frontend.Method{mk("a", 1), mk("b", 0)},
+	}
+	// Both are forwarders in a cycle; resolution must terminate and
+	// produce a valid program.
+	_, st := Transform(p)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Forwarders != 2 {
+		t.Fatalf("forwarders = %d", st.Forwarders)
+	}
+}

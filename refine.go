@@ -1,0 +1,38 @@
+package parcfl
+
+import (
+	"parcfl/internal/cfl"
+	"parcfl/internal/refine"
+)
+
+// RefineOptions configures refinement-based queries (the Sridharan-Bodik
+// configuration the paper contrasts with its general-purpose one).
+type RefineOptions struct {
+	// BudgetPerPass is the traversal budget for each pass (0 = unbounded).
+	BudgetPerPass int
+	// MaxPasses bounds refinement iterations; 0 iterates to convergence.
+	MaxPasses int
+	// Satisfied, if non-nil, stops refinement as soon as a pass's answer
+	// satisfies the client (e.g. proves a cast safe).
+	Satisfied func(Result) bool
+}
+
+// RefineResult is the outcome of a refinement query.
+type RefineResult = refine.Result
+
+// PointsToRefined answers a points-to query by iterative refinement: the
+// first pass matches all fields regularly (cheap, over-approximate), and
+// subsequent passes make the fields the answer depended on precise, until
+// the client is satisfied or the answer is fully precise. Clients with weak
+// needs (cast checking, "does this ever point to X") often finish on the
+// cheap early passes.
+func (a *Analyzer) PointsToRefined(v NodeID, ctx Context, o RefineOptions) RefineResult {
+	cfg := refine.Config{
+		BudgetPerPass: o.BudgetPerPass,
+		MaxPasses:     o.MaxPasses,
+	}
+	if o.Satisfied != nil {
+		cfg.Satisfied = func(r cfl.Result) bool { return o.Satisfied(r) }
+	}
+	return refine.New(a.lo.Graph, cfg).PointsTo(v, ctx)
+}

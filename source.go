@@ -1,0 +1,57 @@
+package parcfl
+
+import (
+	"parcfl/internal/gofront"
+	"parcfl/internal/mjlang"
+	"parcfl/internal/summary"
+)
+
+// ParseProgram parses mini-Java source text into a Program. The language is
+// a tiny Java-like notation covering exactly what the PAG models: reference
+// types with fields, globals, statically dispatched functions, allocation,
+// assignment, field load/store, and the collapsed array pseudo-field `arr`.
+// See examples/quickstart-src for a complete program.
+//
+//	type Vector { elems: Object[]; }
+//	func get(this: Vector): Object application {
+//	    var t: Object[] = this.elems;
+//	    var r: Object = t.arr;
+//	    return r;
+//	}
+//
+// Errors are positioned (line:column).
+func ParseProgram(src string) (*Program, error) {
+	return mjlang.Parse(src)
+}
+
+// SummaryStats reports what Summarize did.
+type SummaryStats = summary.Stats
+
+// Summarize applies the method-summarisation pre-analysis (in the spirit of
+// the summary-based schemes the paper surveys): calls to trivial forwarding
+// methods — wrappers whose body is a single pass-through call — are
+// retargeted at the forwarded-to method, shortening every traversal through
+// them without changing any points-to answer. Apply before NewAnalyzer:
+//
+//	stats := parcfl.Summarize(prog)
+//	a, err := parcfl.NewAnalyzer(prog)
+func Summarize(p *Program) SummaryStats {
+	_, st := summary.Transform(p)
+	return st
+}
+
+// ParseGoProgram lowers Go source text (a single file, subset documented in
+// internal/gofront) onto the analysis IR, so points-to/alias/flows-to
+// queries can be answered about Go code:
+//
+//	prog, err := parcfl.ParseGoProgram(src)
+//	a, err := parcfl.NewAnalyzer(prog)
+//
+// The subset covers struct types, package-level vars, plain functions,
+// composite-literal and new/make allocations, field and index accesses,
+// append, and if/for/range control flow (flattened; the analysis is
+// flow-insensitive). Unsupported constructs are rejected with positioned
+// errors.
+func ParseGoProgram(src string) (*Program, error) {
+	return gofront.Parse(src)
+}
