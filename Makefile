@@ -1,0 +1,30 @@
+# Development targets. `make check` is the gate a change must pass before
+# it ships: build, vet, the full test suite, and the race detector over the
+# concurrency-heavy packages.
+
+GO ?= go
+
+.PHONY: check build vet test race bench-json clean
+
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The packages whose correctness depends on lock-free/striped-lock
+# discipline; everything else is single-threaded or covered transitively.
+race:
+	$(GO) test -race ./internal/concurrent ./internal/share ./internal/engine
+
+# Regenerate the benchmark-trajectory artifact (BENCH_runs.json).
+bench-json:
+	$(GO) run ./cmd/experiments -exp bench -json -scale 0.01 -threads 8
+
+clean:
+	$(GO) clean ./...

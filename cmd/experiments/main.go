@@ -6,6 +6,7 @@
 //	experiments -exp all
 //	experiments -exp fig6 -scale 0.01 -threads 16
 //	experiments -exp table1 -bench tomcat,_202_jess
+//	experiments -exp bench -json            # also writes BENCH_runs.json
 package main
 
 import (
@@ -23,6 +24,8 @@ func main() {
 	budget := flag.Int("budget", 75000, "per-query step budget B")
 	threads := flag.Int("threads", 16, "maximum worker count")
 	bench := flag.String("bench", "", "comma-separated benchmark names (default: all 20)")
+	jsonOn := flag.Bool("json", false, "write the machine-readable report (bench experiment)")
+	jsonOut := flag.String("json-out", "BENCH_runs.json", "path for the -json report")
 	flag.Parse()
 
 	opts := experiments.Options{
@@ -33,6 +36,9 @@ func main() {
 	}
 	if *bench != "" {
 		opts.Benchmarks = strings.Split(*bench, ",")
+	}
+	if *jsonOn {
+		opts.JSONPath = *jsonOut
 	}
 	if err := experiments.ByName(*exp, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

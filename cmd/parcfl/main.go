@@ -23,6 +23,7 @@ import (
 	"parcfl/internal/gofront"
 	"parcfl/internal/javagen"
 	"parcfl/internal/mjlang"
+	"parcfl/internal/obs"
 	"parcfl/internal/repl"
 )
 
@@ -32,6 +33,7 @@ func main() {
 	bench := flag.String("bench", "", "benchmark preset name")
 	scale := flag.Float64("scale", 0.005, "generation scale for -bench")
 	budget := flag.Int("budget", 75000, "per-query step budget")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/pprof and /debug/obs on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	var prg *frontend.Program
@@ -69,6 +71,16 @@ func main() {
 	}
 
 	sh := repl.New(lo, *budget, os.Stdout)
+	if *debugAddr != "" {
+		sink := obs.New(obs.Config{TraceCap: 1 << 16})
+		_, addr, err := obs.ServeDebug(*debugAddr, sink)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "parcfl:", err)
+			os.Exit(1)
+		}
+		sh.SetObs(sink)
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/\n", addr)
+	}
 	sh.Banner()
 	sh.Run(os.Stdin)
 }

@@ -22,6 +22,7 @@ import (
 	"parcfl/internal/frontend"
 	"parcfl/internal/javagen"
 	"parcfl/internal/mjlang"
+	"parcfl/internal/obs"
 	"parcfl/internal/pag"
 )
 
@@ -34,6 +35,7 @@ func main() {
 	threads := flag.Int("threads", 16, "worker count")
 	budget := flag.Int("budget", 75000, "per-query step budget (0 = unbounded)")
 	top := flag.Int("top", 0, "print the N queries with the largest points-to sets")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/pprof and /debug/obs on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	var g *pag.Graph
@@ -101,8 +103,18 @@ func main() {
 		fail(fmt.Errorf("unknown mode %q (want seq|naive|d|dq)", *mode))
 	}
 
+	var sink *obs.Sink
+	if *debugAddr != "" {
+		sink = obs.New(obs.Config{Workers: *threads, TraceCap: 1 << 16})
+		_, addr, err := obs.ServeDebug(*debugAddr, sink)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/\n", addr)
+	}
+
 	res, st := engine.Run(g, queries, engine.Config{
-		Mode: m, Threads: *threads, Budget: *budget, TypeLevels: levels,
+		Mode: m, Threads: *threads, Budget: *budget, TypeLevels: levels, Obs: sink,
 	})
 
 	fmt.Printf("strategy:            %s x%d\n", st.Mode, st.Threads)

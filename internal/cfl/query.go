@@ -358,27 +358,30 @@ func (q *query) expandDirect(c *comp, it pag.NodeCtx) {
 			// flowsTo set.
 			q.grow(c, it)
 		}
+		// All forward pushes go through pushEdge so parent provenance is
+		// recorded for witness queries, exactly as in the backward branch
+		// (Explain/ExplainFlows reconstruct paths from it).
 		for _, he := range q.g.Out(it.Node) {
 			switch he.Kind {
 			case pag.EdgeNew:
 				// o -new-> l: the object starts flowing at l.
-				c.push(pag.NodeCtx{Node: he.Other, Ctx: it.Ctx})
+				q.pushEdge(c, pag.NodeCtx{Node: he.Other, Ctx: it.Ctx}, it, edgeLabel(he.Kind, he.Label))
 			case pag.EdgeAssignLocal:
-				c.push(pag.NodeCtx{Node: he.Other, Ctx: it.Ctx})
+				q.pushEdge(c, pag.NodeCtx{Node: he.Other, Ctx: it.Ctx}, it, edgeLabel(he.Kind, he.Label))
 			case pag.EdgeAssignGlobal:
-				c.push(pag.NodeCtx{Node: he.Other, Ctx: pag.EmptyContext})
+				q.pushEdge(c, pag.NodeCtx{Node: he.Other, Ctx: pag.EmptyContext}, it, edgeLabel(he.Kind, he.Label))
 			case pag.EdgeParam:
 				// Moving actual -> formal enters the callee: push
 				// (k-limited when configured).
-				c.push(pag.NodeCtx{Node: he.Other, Ctx: it.Ctx.PushK(pag.CallSiteID(he.Label), q.s.cfg.ContextK)})
+				q.pushEdge(c, pag.NodeCtx{Node: he.Other, Ctx: it.Ctx.PushK(pag.CallSiteID(he.Label), q.s.cfg.ContextK)}, it, edgeLabel(he.Kind, he.Label))
 			case pag.EdgeRet:
 				// Moving callee return -> receiver exits the callee:
 				// pop a matching site, or continue on empty.
 				i := pag.CallSiteID(he.Label)
 				if it.Ctx.Empty() {
-					c.push(pag.NodeCtx{Node: he.Other, Ctx: pag.EmptyContext})
+					q.pushEdge(c, pag.NodeCtx{Node: he.Other, Ctx: pag.EmptyContext}, it, edgeLabel(he.Kind, he.Label))
 				} else if it.Ctx.Top() == i {
-					c.push(pag.NodeCtx{Node: he.Other, Ctx: it.Ctx.Pop()})
+					q.pushEdge(c, pag.NodeCtx{Node: he.Other, Ctx: it.Ctx.Pop()}, it, edgeLabel(he.Kind, he.Label))
 				}
 			}
 		}

@@ -96,6 +96,67 @@ func (s *Solver) Explain(v pag.NodeID, ctx pag.Context, obj pag.NodeID) ([]Witne
 	return steps, true
 }
 
+// ExplainFlows answers the forward question "why does object o (under ctx)
+// flow to variable v?" with a chain of traversal steps from the allocation
+// site to the variable. It is the mirror of Explain: the flows-to fact for a
+// variable is the traversal item itself, so its parent chain leads straight
+// back to the object root. Heap hops (a store matched against a load on an
+// aliased base) are summarised as single "heap" steps. Returns ok=false if
+// o does not flow to v (or the query ran out of budget first).
+func (s *Solver) ExplainFlows(o pag.NodeID, ctx pag.Context, v pag.NodeID) ([]WitnessStep, bool) {
+	q := newQuery(s)
+	q.wit = true
+
+	root := compKey{kind: kindFls, node: o, ctx: ctx}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, isAbort := r.(budgetAbort); !isAbort {
+					panic(r)
+				}
+			}
+		}()
+		q.run(root)
+		q.drainDirty()
+	}()
+	c, ok := q.comps[root]
+	if !ok {
+		return nil, false
+	}
+
+	// Find a fact for v, deterministically (insertion order).
+	var fact pag.NodeCtx
+	found := false
+	for _, nc := range c.order {
+		if nc.Node == v {
+			fact = nc
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, false
+	}
+
+	// Walk parents from the fact back to the object root.
+	var rev []WitnessStep
+	cur := fact
+	for {
+		info, has := c.parent[cur]
+		if !has {
+			rev = append(rev, WitnessStep{Node: cur.Node, Ctx: cur.Ctx, Edge: "query"})
+			break
+		}
+		rev = append(rev, WitnessStep{Node: cur.Node, Ctx: cur.Ctx, Edge: info.label})
+		cur = info.from
+	}
+	steps := make([]WitnessStep, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		steps = append(steps, rev[i])
+	}
+	return steps, true
+}
+
 // edgeLabel renders an edge kind with its call-site for param/ret.
 func edgeLabel(k pag.EdgeKind, label pag.Label) string {
 	switch k {

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"parcfl/internal/cfl"
+	"parcfl/internal/obs"
 	"parcfl/internal/pag"
 	"parcfl/internal/ptcache"
 	"parcfl/internal/sched"
@@ -84,6 +85,11 @@ type Config struct {
 	ResultCache bool
 	// ContextK k-limits call strings (0 = unlimited, the paper's setting).
 	ContextK int
+	// Obs, when non-nil, receives run metrics, trace events and per-worker
+	// timelines (see internal/obs). A nil sink costs nothing: every hook is
+	// a nil check. Stores and caches created by Run are attached to it;
+	// a caller-provided Store keeps whatever sink it already has.
+	Obs *obs.Sink
 }
 
 func (c Config) threads() int {
@@ -186,11 +192,40 @@ func (s *Stats) RS() float64 {
 	return float64(s.StepsSaved) / float64(w)
 }
 
+// dedup returns the batch with duplicate variables removed, keeping first
+// occurrences in order. The original slice is returned untouched when it has
+// no duplicates.
+func dedup(queries []pag.NodeID) []pag.NodeID {
+	seen := make(map[pag.NodeID]struct{}, len(queries))
+	for i, v := range queries {
+		if _, dup := seen[v]; dup {
+			// First duplicate found: copy the unique prefix and filter
+			// the rest.
+			out := append([]pag.NodeID(nil), queries[:i]...)
+			for _, w := range queries[i:] {
+				if _, d := seen[w]; d {
+					continue
+				}
+				seen[w] = struct{}{}
+				out = append(out, w)
+			}
+			return out
+		}
+		seen[v] = struct{}{}
+	}
+	return queries
+}
+
 // Run executes the query batch and returns per-query results in processing
-// order together with aggregate statistics.
+// order together with aggregate statistics. Duplicate query variables are
+// answered once: the batch is deduplicated up front (first occurrences kept
+// in order) in every mode, so Stats.Queries, step totals and result slices
+// are comparable across Seq/Naive/D/DQ regardless of batch duplicates.
 func Run(g *pag.Graph, queries []pag.NodeID, cfg Config) ([]QueryResult, Stats) {
 	threads := cfg.threads()
 	stats := Stats{Mode: cfg.Mode, Threads: threads}
+	sink := cfg.Obs
+	queries = dedup(queries)
 
 	var store *share.Store
 	if cfg.sharing() {
@@ -204,18 +239,20 @@ func Run(g *pag.Graph, queries []pag.NodeID, cfg Config) ([]QueryResult, Stats) 
 				sc.TauU = max(cfg.TauU, 0)
 			}
 			store = share.NewStore(sc)
+			store.SetObs(sink)
 		}
 	}
 
 	var cache *ptcache.Cache
 	if cfg.ResultCache {
 		cache = ptcache.New(64)
+		cache.SetObs(sink)
 	}
 
 	// Build the work units.
 	var units [][]pag.NodeID
 	if cfg.Mode == DQ {
-		plan := sched.Schedule(g, queries, cfg.TypeLevels)
+		plan := sched.ScheduleObs(g, queries, cfg.TypeLevels, sink)
 		units = plan.Groups
 		stats.AvgGroupSize = plan.AvgGroupSize
 		stats.NumGroups = len(plan.Groups)
@@ -225,6 +262,8 @@ func Run(g *pag.Graph, queries []pag.NodeID, cfg Config) ([]QueryResult, Stats) 
 			units[i] = []pag.NodeID{q}
 		}
 	}
+	sink.SetGauge(obs.GaugeWorkers, int64(threads))
+	sink.SetGauge(obs.GaugeUnits, int64(len(units)))
 	total := 0
 	for _, u := range units {
 		total += len(u)
@@ -247,12 +286,25 @@ func Run(g *pag.Graph, queries []pag.NodeID, cfg Config) ([]QueryResult, Stats) 
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			sink.WorkerStarted(w)
+			// Accumulate per-worker tallies in locals and store them once
+			// at exit: the walked slice's adjacent entries live on shared
+			// cache lines, so per-query writes from all workers would
+			// false-share them for the whole run.
+			var local obs.WorkerStats
+			defer func() {
+				walked[w] = local.Walked
+				sink.WorkerStopped(w, local)
+			}()
 			solver := cfl.New(g, cfl.Config{Budget: cfg.Budget, Share: store, Cache: cache, ContextK: cfg.ContextK})
 			for {
 				u := int(cursor.Add(1)) - 1
 				if u >= len(units) {
 					return
 				}
+				sink.Trace(obs.EvUnitClaim, int32(w), int64(u), int64(len(units[u])))
+				sink.Add(obs.CtrUnitsClaimed, 1)
+				local.Units++
 				out := results[offsets[u]:offsets[u+1]]
 				for i, v := range units[u] {
 					r := solver.PointsTo(v, pag.EmptyContext)
@@ -266,7 +318,26 @@ func Run(g *pag.Graph, queries []pag.NodeID, cfg Config) ([]QueryResult, Stats) 
 						JumpsTaken:      r.JumpsTaken,
 						StepsSaved:      r.StepsSaved,
 					}
-					walked[w] += int64(r.Steps - r.StepsSaved)
+					qw := int64(r.Steps - r.StepsSaved)
+					local.Walked += qw
+					local.Steps += int64(r.Steps)
+					local.Queries++
+					if sink.Enabled() {
+						sink.Add(obs.CtrQueries, 1)
+						sink.Add(obs.CtrStepsWalked, qw)
+						sink.Add(obs.CtrStepsSaved, int64(r.StepsSaved))
+						sink.Add(obs.CtrJumpsTaken, int64(r.JumpsTaken))
+						steps := int64(r.Steps)
+						if r.Aborted {
+							sink.Add(obs.CtrQueriesAborted, 1)
+							steps = -steps
+							if r.EarlyTerminated {
+								sink.Add(obs.CtrEarlyTerms, 1)
+								sink.Trace(obs.EvEarlyTerm, int32(w), int64(v), int64(r.Steps))
+							}
+						}
+						sink.Trace(obs.EvQueryDone, int32(w), int64(v), steps)
+					}
 				}
 			}
 		}(w)
@@ -274,6 +345,7 @@ func Run(g *pag.Graph, queries []pag.NodeID, cfg Config) ([]QueryResult, Stats) 
 	wg.Wait()
 	stats.WalkedPerWorker = walked
 	stats.Wall = time.Since(start)
+	sink.Time(obs.TmRun, stats.Wall)
 
 	for i := range results {
 		r := &results[i]

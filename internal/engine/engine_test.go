@@ -9,7 +9,7 @@ import (
 	"parcfl/internal/pag"
 )
 
-func genBench(t *testing.T) *frontend.Lowered {
+func genBench(t testing.TB) *frontend.Lowered {
 	t.Helper()
 	prg, err := javagen.Generate(javagen.Params{
 		Name: "enginetest", Seed: 11, Containers: 3, CallDepth: 3,
@@ -162,6 +162,75 @@ func TestModeString(t *testing.T) {
 	for m, w := range names {
 		if m.String() != w {
 			t.Errorf("%d.String() = %q, want %q", m, m.String(), w)
+		}
+	}
+}
+
+// TestDuplicateQueriesUniformAcrossModes: a duplicate-heavy batch must be
+// deduplicated the same way in every mode (regression: only DQ dropped
+// duplicates, via sched.Schedule, making Stats.Queries and result slices
+// incomparable across modes).
+func TestDuplicateQueriesUniformAcrossModes(t *testing.T) {
+	lo := genBench(t)
+	base := lo.AppQueryVars
+	if len(base) < 4 {
+		t.Fatal("benchmark too small")
+	}
+	// Triple every query and sprinkle extra repeats of the first few.
+	batch := make([]pag.NodeID, 0, 3*len(base)+8)
+	for _, v := range base {
+		batch = append(batch, v, v, v)
+	}
+	batch = append(batch, base[0], base[1], base[0], base[2], base[3], base[0], base[1], base[2])
+	unique := len(base)
+
+	var ref map[pag.NodeID][]pag.NodeID
+	for _, cfg := range []Config{
+		{Mode: Seq},
+		{Mode: Naive, Threads: 3},
+		{Mode: D, Threads: 3, TauF: 1, TauU: 1},
+		{Mode: DQ, Threads: 3, TauF: 1, TauU: 1, TypeLevels: lo.TypeLevels},
+	} {
+		res, st := Run(lo.Graph, batch, cfg)
+		if st.Queries != unique {
+			t.Fatalf("%v: Stats.Queries = %d, want %d unique (batch of %d)",
+				cfg.Mode, st.Queries, unique, len(batch))
+		}
+		if len(res) != unique {
+			t.Fatalf("%v: %d results, want %d", cfg.Mode, len(res), unique)
+		}
+		seen := make(map[pag.NodeID]bool, len(res))
+		for _, r := range res {
+			if seen[r.Var] {
+				t.Fatalf("%v: variable %d answered twice", cfg.Mode, r.Var)
+			}
+			seen[r.Var] = true
+		}
+		m := resultMap(res)
+		if ref == nil {
+			ref = m
+		} else {
+			sameResults(t, cfg.Mode.String(), ref, m)
+			sameResults(t, cfg.Mode.String(), m, ref)
+		}
+	}
+}
+
+// TestDedupKeepsFirstOccurrenceOrder: deduplication must preserve the
+// original processing order of first occurrences (Seq results are in batch
+// order).
+func TestDedupKeepsFirstOccurrenceOrder(t *testing.T) {
+	lo := genBench(t)
+	base := lo.AppQueryVars
+	batch := []pag.NodeID{base[2], base[0], base[2], base[1], base[0]}
+	res, _ := Run(lo.Graph, batch, Config{Mode: Seq})
+	want := []pag.NodeID{base[2], base[0], base[1]}
+	if len(res) != len(want) {
+		t.Fatalf("got %d results, want %d", len(res), len(want))
+	}
+	for i, r := range res {
+		if r.Var != want[i] {
+			t.Fatalf("result %d is var %d, want %d", i, r.Var, want[i])
 		}
 	}
 }

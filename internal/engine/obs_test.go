@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"testing"
+
+	"parcfl/internal/obs"
+	"parcfl/internal/pag"
+)
+
+// TestRunWithObsSink: a run with a sink attached must mirror its Stats into
+// the sink's counters, fill per-worker timelines, and record trace events
+// from every wired subsystem (engine, sched, share).
+func TestRunWithObsSink(t *testing.T) {
+	lo := genBench(t)
+	sink := obs.New(obs.Config{Workers: 3, TraceCap: 1 << 14})
+	_, st := Run(lo.Graph, lo.AppQueryVars, Config{
+		Mode: DQ, Threads: 3, TauF: 1, TauU: 1, TypeLevels: lo.TypeLevels,
+		ResultCache: true, Obs: sink,
+	})
+
+	if got := sink.Counter(obs.CtrQueries); got != int64(st.Queries) {
+		t.Fatalf("CtrQueries = %d, stats say %d", got, st.Queries)
+	}
+	if got := sink.Counter(obs.CtrStepsWalked); got != st.StepsWalked() {
+		t.Fatalf("CtrStepsWalked = %d, stats say %d", got, st.StepsWalked())
+	}
+	if got := sink.Counter(obs.CtrStepsSaved); got != st.StepsSaved {
+		t.Fatalf("CtrStepsSaved = %d, stats say %d", got, st.StepsSaved)
+	}
+	if got := sink.Counter(obs.CtrJumpsTaken); got != st.JumpsTaken {
+		t.Fatalf("CtrJumpsTaken = %d, stats say %d", got, st.JumpsTaken)
+	}
+	if got := sink.Counter(obs.CtrJmpFinishedIns); got != st.Share.FinishedAdded {
+		t.Fatalf("CtrJmpFinishedIns = %d, stats say %d", got, st.Share.FinishedAdded)
+	}
+	if got := sink.Counter(obs.CtrCacheHits); got != st.Cache.Hits {
+		t.Fatalf("CtrCacheHits = %d, stats say %d", got, st.Cache.Hits)
+	}
+	if sink.Gauge(obs.GaugeWorkers) != 3 {
+		t.Fatalf("GaugeWorkers = %d", sink.Gauge(obs.GaugeWorkers))
+	}
+
+	// Per-worker timelines must cover the whole batch and agree with the
+	// walked-steps stats.
+	var queries, walked int64
+	for w, ws := range sink.Workers() {
+		if ws.StopNS < ws.StartNS {
+			t.Fatalf("worker %d timeline inverted: %+v", w, ws)
+		}
+		queries += ws.Queries
+		walked += ws.Walked
+		if ws.Walked != st.WalkedPerWorker[w] {
+			t.Fatalf("worker %d: timeline walked %d != stats %d", w, ws.Walked, st.WalkedPerWorker[w])
+		}
+	}
+	if queries != int64(st.Queries) || walked != st.StepsWalked() {
+		t.Fatalf("timelines: %d queries / %d walked, stats %d / %d",
+			queries, walked, st.Queries, st.StepsWalked())
+	}
+
+	// The schedule and run timers fired; the trace has events of the
+	// expected kinds.
+	if sink.Timer(obs.TmSchedule).Count != 1 || sink.Timer(obs.TmRun).Count != 1 {
+		t.Fatalf("timers: %+v %+v", sink.Timer(obs.TmSchedule), sink.Timer(obs.TmRun))
+	}
+	kinds := map[obs.EventKind]int{}
+	for _, e := range sink.Snapshot().Trace {
+		kinds[e.Kind]++
+	}
+	for _, want := range []obs.EventKind{
+		obs.EvWorkerStart, obs.EvWorkerStop, obs.EvUnitClaim,
+		obs.EvQueryDone, obs.EvSchedPlan, obs.EvJmpInsert,
+	} {
+		if kinds[want] == 0 {
+			t.Fatalf("no %v events in trace (kinds: %v)", want, kinds)
+		}
+	}
+}
+
+// TestRunObsMatchesNilObs: attaching a sink must not change analysis
+// results. (Step totals in parallel sharing modes vary with scheduling
+// timing, sink or not, so only the answers are compared.)
+func TestRunObsMatchesNilObs(t *testing.T) {
+	lo := genBench(t)
+	cfg := Config{Mode: D, Threads: 2, TauF: 1, TauU: 1}
+	resA, stA := Run(lo.Graph, lo.AppQueryVars, cfg)
+	cfg.Obs = obs.New(obs.Config{Workers: 2, TraceCap: 256})
+	resB, stB := Run(lo.Graph, lo.AppQueryVars, cfg)
+	if stA.Queries != stB.Queries || stA.Completed != stB.Completed {
+		t.Fatalf("batch shape diverges with sink: %+v vs %+v", stA, stB)
+	}
+	sameResults(t, "obs", resultMap(resA), resultMap(resB))
+	sameResults(t, "obs", resultMap(resB), resultMap(resA))
+}
+
+// TestNilSinkQueryLoopNoAllocs: the per-query observability hooks must not
+// allocate when the sink is nil — the acceptance bar for leaving the hooks
+// unconditionally in the hot loop.
+func TestNilSinkQueryLoopNoAllocs(t *testing.T) {
+	var sink *obs.Sink
+	var local obs.WorkerStats
+	allocs := testing.AllocsPerRun(1000, func() {
+		// The exact hook sequence the worker loop runs per unit + query.
+		sink.Trace(obs.EvUnitClaim, 0, 1, 1)
+		sink.Add(obs.CtrUnitsClaimed, 1)
+		local.Units++
+		local.Walked += 10
+		local.Steps += 12
+		local.Queries++
+		if sink.Enabled() {
+			t.Fatal("nil sink enabled")
+		}
+		sink.Trace(obs.EvQueryDone, 0, 1, 12)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-sink hot loop allocated %.1f per query, want 0", allocs)
+	}
+}
+
+func benchLowered(b *testing.B) ([]pag.NodeID, *pag.Graph, []int) {
+	b.Helper()
+	lo := genBench(b)
+	return lo.AppQueryVars, lo.Graph, lo.TypeLevels
+}
+
+// BenchmarkRunNilObs measures the engine loop with observability disabled —
+// the baseline every obs-enabled number is compared against. Allocations
+// are reported per batch.
+func BenchmarkRunNilObs(b *testing.B) {
+	queries, g, levels := benchLowered(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(g, queries, Config{Mode: DQ, Threads: 4, TauF: 1, TauU: 1, TypeLevels: levels})
+	}
+}
+
+// BenchmarkRunWithObs is the same batch with a live sink and tracing, for
+// measuring the enabled-path overhead.
+func BenchmarkRunWithObs(b *testing.B) {
+	queries, g, levels := benchLowered(b)
+	sink := obs.New(obs.Config{Workers: 4, TraceCap: 1 << 12})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(g, queries, Config{Mode: DQ, Threads: 4, TauF: 1, TauU: 1, TypeLevels: levels, Obs: sink})
+	}
+}

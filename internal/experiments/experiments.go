@@ -47,6 +47,9 @@ type Options struct {
 	Benchmarks []string
 	// Out receives the report (default os.Stdout set by the caller).
 	Out io.Writer
+	// JSONPath, when set, makes JSON-emitting experiments (currently only
+	// "bench") write their machine-readable report to this file.
+	JSONPath string
 }
 
 func (o Options) withDefaults() Options {
@@ -519,7 +522,7 @@ func All(opts Options) error {
 
 // Names lists the available experiment names in paper order.
 func Names() []string {
-	return []string{"table1", "fig6", "fig7", "fig8", "table2", "ablation", "memory", "summaries", "intraquery", "refinement", "caching", "all"}
+	return []string{"table1", "fig6", "fig7", "fig8", "table2", "ablation", "memory", "summaries", "intraquery", "refinement", "caching", "bench", "all"}
 }
 
 // ByName dispatches an experiment by name.
@@ -547,6 +550,8 @@ func ByName(name string, opts Options) error {
 		return Refinement(opts)
 	case "caching":
 		return Caching(opts)
+	case "bench":
+		return BenchTrajectory(opts)
 	case "all":
 		return All(opts)
 	}

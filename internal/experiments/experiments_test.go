@@ -150,7 +150,7 @@ func TestByName(t *testing.T) {
 	if err := ByName("table2", tinyOpts(&buf)); err != nil {
 		t.Fatal(err)
 	}
-	if len(Names()) != 12 {
+	if len(Names()) != 13 {
 		t.Fatalf("Names() = %v", Names())
 	}
 }

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler exposing the standard debug surface:
+//
+//	/debug/vars     — expvar (cmdline, memstats, and anything published)
+//	/debug/pprof/   — net/http/pprof profiles
+//	/debug/obs      — JSON Snapshot of the given sink (nil sink → zero snapshot)
+//
+// A dedicated mux is used so callers never pollute http.DefaultServeMux.
+func Handler(sink *Sink) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(sink.Snapshot())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("parcfl debug endpoint\n\n/debug/vars\n/debug/pprof/\n/debug/obs\n"))
+	})
+	return mux
+}
+
+// ServeDebug starts the debug HTTP endpoint on addr (e.g. "localhost:6060";
+// use ":0" for an ephemeral port) serving Handler(sink) in a background
+// goroutine. It returns the server and the bound address; callers shut it
+// down with srv.Close.
+func ServeDebug(addr string, sink *Sink) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: Handler(sink)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr(), nil
+}

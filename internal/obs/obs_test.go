@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSinkIsSafeAndFree(t *testing.T) {
+	var s *Sink
+	if s.Enabled() || s.Tracing() {
+		t.Fatal("nil sink reports enabled")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Add(CtrQueries, 1)
+		s.SetGauge(GaugeWorkers, 4)
+		s.Time(TmRun, time.Millisecond)
+		s.Trace(EvQueryDone, 0, 1, 2)
+		s.WorkerStarted(0)
+		s.WorkerStopped(0, WorkerStats{Queries: 1})
+		_ = s.Counter(CtrQueries)
+		_ = s.Gauge(GaugeWorkers)
+		_ = s.Timer(TmRun)
+		_ = s.Now()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil sink allocated %.1f per run, want 0", allocs)
+	}
+	snap := s.Snapshot()
+	if snap.Counters != nil || snap.Trace != nil {
+		t.Fatalf("nil snapshot not zero: %+v", snap)
+	}
+}
+
+func TestCountersGaugesTimers(t *testing.T) {
+	s := New(Config{})
+	s.Add(CtrQueries, 3)
+	s.Add(CtrQueries, 2)
+	s.Add(CtrStepsWalked, 100)
+	if got := s.Counter(CtrQueries); got != 5 {
+		t.Fatalf("CtrQueries = %d, want 5", got)
+	}
+	s.SetGauge(GaugeUnits, 7)
+	if got := s.Gauge(GaugeUnits); got != 7 {
+		t.Fatalf("GaugeUnits = %d, want 7", got)
+	}
+	s.Time(TmSchedule, 2*time.Millisecond)
+	s.Time(TmSchedule, 3*time.Millisecond)
+	ts := s.Timer(TmSchedule)
+	if ts.Count != 2 || ts.TotalNS != int64(5*time.Millisecond) {
+		t.Fatalf("TmSchedule = %+v", ts)
+	}
+}
+
+func TestTraceRingBoundsAndOrder(t *testing.T) {
+	s := New(Config{TraceCap: 4})
+	if !s.Tracing() {
+		t.Fatal("tracing not enabled")
+	}
+	for i := 0; i < 10; i++ {
+		s.Trace(EvUnitClaim, 0, int64(i), 0)
+	}
+	snap := s.Snapshot()
+	if len(snap.Trace) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(snap.Trace))
+	}
+	if snap.TraceDropped != 6 {
+		t.Fatalf("dropped = %d, want 6", snap.TraceDropped)
+	}
+	for i, e := range snap.Trace {
+		if e.A != int64(6+i) {
+			t.Fatalf("event %d: A = %d, want %d (oldest-first)", i, e.A, 6+i)
+		}
+	}
+}
+
+func TestWorkerTimelines(t *testing.T) {
+	s := New(Config{Workers: 2, TraceCap: 16})
+	s.WorkerStarted(0)
+	s.WorkerStarted(1)
+	s.WorkerStopped(1, WorkerStats{Units: 2, Queries: 9, Steps: 100, Walked: 80})
+	ws := s.Workers()
+	if len(ws) != 2 {
+		t.Fatalf("workers = %d, want 2", len(ws))
+	}
+	if ws[1].Queries != 9 || ws[1].Walked != 80 {
+		t.Fatalf("worker 1 = %+v", ws[1])
+	}
+	if ws[1].StopNS < ws[1].StartNS {
+		t.Fatalf("worker 1 stopped before it started: %+v", ws[1])
+	}
+	// Out-of-range ids must not panic.
+	s.WorkerStarted(5)
+	s.WorkerStopped(-1, WorkerStats{})
+}
+
+func TestSinkConcurrent(t *testing.T) {
+	s := New(Config{Workers: 8, TraceCap: 64})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s.WorkerStarted(w)
+			for i := 0; i < 500; i++ {
+				s.Add(CtrQueries, 1)
+				s.Trace(EvQueryDone, int32(w), int64(i), 1)
+			}
+			s.WorkerStopped(w, WorkerStats{Queries: 500})
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Counter(CtrQueries); got != 4000 {
+		t.Fatalf("CtrQueries = %d, want 4000", got)
+	}
+	snap := s.Snapshot()
+	if len(snap.Trace) != 64 {
+		t.Fatalf("trace kept %d, want 64", len(snap.Trace))
+	}
+}
+
+func TestNamesCoverAllIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for c := CounterID(0); c < NumCounters; c++ {
+		n := c.String()
+		if n == "" || n == "counter_unknown" || seen[n] {
+			t.Fatalf("bad counter name %q for %d", n, c)
+		}
+		seen[n] = true
+	}
+	for k := EventKind(0); k < NumEventKinds; k++ {
+		if k.String() == "event_unknown" {
+			t.Fatalf("unnamed event kind %d", k)
+		}
+	}
+	for g := GaugeID(0); g < NumGauges; g++ {
+		if g.String() == "gauge_unknown" {
+			t.Fatalf("unnamed gauge %d", g)
+		}
+	}
+	for tm := TimerID(0); tm < NumTimers; tm++ {
+		if tm.String() == "timer_unknown" {
+			t.Fatalf("unnamed timer %d", tm)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	s := New(Config{Workers: 1, TraceCap: 8})
+	s.Add(CtrCacheHits, 2)
+	s.Trace(EvCacheHit, NoWorker, 42, 0)
+	data, err := json.Marshal(s.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["cache_hits"] != 2 || len(back.Trace) != 1 || back.Trace[0].A != 42 {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	s := New(Config{TraceCap: 8})
+	s.Add(CtrQueries, 11)
+	srv, addr, err := ServeDebug("127.0.0.1:0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for _, path := range []string{"/debug/vars", "/debug/pprof/", "/debug/obs", "/"} {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/obs", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["queries"] != 11 {
+		t.Fatalf("debug endpoint counters = %v", snap.Counters)
+	}
+}

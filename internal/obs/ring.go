@@ -1,0 +1,104 @@
+package obs
+
+import "sync"
+
+// EventKind identifies one trace event type.
+type EventKind uint8
+
+const (
+	// EvWorkerStart: a worker goroutine started. Worker = id.
+	EvWorkerStart EventKind = iota
+	// EvWorkerStop: a worker exited. A = queries processed, B = steps walked.
+	EvWorkerStop
+	// EvUnitClaim: a worker claimed a work unit. A = unit index, B = size.
+	EvUnitClaim
+	// EvQueryDone: one query finished. A = query variable, B = steps
+	// consumed (negative when the query aborted).
+	EvQueryDone
+	// EvJmpInsert: a jmp edge entered the store. A = node, B = step cost
+	// (negative for unfinished markers).
+	EvJmpInsert
+	// EvJmpTake: a finished jmp shortcut was taken. A = node, B = steps saved.
+	EvJmpTake
+	// EvEarlyTerm: a query early-terminated on an unfinished jmp entry.
+	// A = node, B = required budget.
+	EvEarlyTerm
+	// EvCacheHit / EvCacheMiss: result-cache lookup outcome. A = node.
+	EvCacheHit
+	EvCacheMiss
+	// EvSchedPlan: a schedule was built. A = groups, B = build ns.
+	EvSchedPlan
+
+	// NumEventKinds is the number of defined event kinds.
+	NumEventKinds
+)
+
+var eventNames = [NumEventKinds]string{
+	"worker_start", "worker_stop", "unit_claim", "query_done",
+	"jmp_insert", "jmp_take", "early_term", "cache_hit", "cache_miss",
+	"sched_plan",
+}
+
+// String returns the event kind's snake_case name.
+func (k EventKind) String() string {
+	if int(k) < len(eventNames) {
+		return eventNames[k]
+	}
+	return "event_unknown"
+}
+
+// NoWorker is the Worker value for events not attributable to an engine
+// worker goroutine (e.g. store insertions observed outside the worker loop).
+const NoWorker int32 = -1
+
+// Event is one fixed-size trace record. A and B are kind-specific payloads
+// (see the EventKind docs); T is nanoseconds since sink creation.
+type Event struct {
+	Kind   EventKind `json:"kind"`
+	Worker int32     `json:"worker"`
+	T      int64     `json:"t_ns"`
+	A      int64     `json:"a"`
+	B      int64     `json:"b"`
+}
+
+// ring is a bounded trace buffer: the newest cap events win, older ones are
+// overwritten. A single mutex keeps it race-free; tracing is opt-in, so the
+// lock is never touched on the disabled path.
+type ring struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events ever put
+}
+
+func newRing(capacity int) *ring {
+	return &ring{buf: make([]Event, capacity)}
+}
+
+func (r *ring) put(e Event) {
+	r.mu.Lock()
+	r.buf[r.next%uint64(len(r.buf))] = e
+	r.next++
+	r.mu.Unlock()
+}
+
+// snapshot returns the retained events oldest-first plus the number of
+// events that have been overwritten.
+func (r *ring) snapshot() ([]Event, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	size := uint64(len(r.buf))
+	var dropped uint64
+	start := uint64(0)
+	count := n
+	if n > size {
+		dropped = n - size
+		start = n % size
+		count = size
+	}
+	out := make([]Event, 0, count)
+	for i := uint64(0); i < count; i++ {
+		out = append(out, r.buf[(start+i)%size])
+	}
+	return out, dropped
+}

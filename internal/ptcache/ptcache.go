@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"parcfl/internal/concurrent"
+	"parcfl/internal/obs"
 	"parcfl/internal/pag"
 )
 
@@ -46,6 +47,9 @@ type entry struct {
 type Cache struct {
 	m     *concurrent.Map[Key, *entry]
 	epoch atomic.Int64
+	// sink receives observability events; nil disables (the default). Set
+	// once via SetObs before the cache is shared between goroutines.
+	sink *obs.Sink
 
 	hits      atomic.Int64
 	misses    atomic.Int64
@@ -67,15 +71,23 @@ func New(shards int) *Cache {
 	}
 }
 
+// SetObs attaches an observability sink (nil-safe). Call before the cache is
+// shared between goroutines; hits and misses are traced into it.
+func (c *Cache) SetObs(sink *obs.Sink) { c.sink = sink }
+
 // Get returns the cached exact result set for k, if present in the current
 // epoch. The returned slice must not be modified.
 func (c *Cache) Get(k Key) ([]pag.NodeCtx, bool) {
 	e, ok := c.m.Get(k)
 	if !ok || e.epoch != c.epoch.Load() {
 		c.misses.Add(1)
+		c.sink.Add(obs.CtrCacheMisses, 1)
+		c.sink.Trace(obs.EvCacheMiss, obs.NoWorker, int64(k.Node), 0)
 		return nil, false
 	}
 	c.hits.Add(1)
+	c.sink.Add(obs.CtrCacheHits, 1)
+	c.sink.Trace(obs.EvCacheHit, obs.NoWorker, int64(k.Node), 0)
 	return e.set, true
 }
 
@@ -106,15 +118,36 @@ func (c *Cache) BumpEpoch() { c.epoch.Add(1) }
 // Stats is a snapshot of the cache counters.
 type Stats struct {
 	Hits, Misses, Published int64
-	Entries                 int
+	// Entries counts live entries only: entries recorded under an earlier
+	// epoch are invisible to Get and are excluded here too.
+	Entries int
 }
 
-// Snapshot returns the current counters.
+// HitRate returns Hits/(Hits+Misses) (0 when no lookups happened).
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Snapshot returns the current counters. Entries is computed by scanning the
+// map and counting only current-epoch entries — epoch-invalidated ones stay
+// physically present until their key is republished, but reporting them as
+// live would overstate the cache after every BumpEpoch.
 func (c *Cache) Snapshot() Stats {
+	ep := c.epoch.Load()
+	live := 0
+	c.m.Range(func(_ Key, e *entry) bool {
+		if e.epoch == ep {
+			live++
+		}
+		return true
+	})
 	return Stats{
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
 		Published: c.published.Load(),
-		Entries:   c.m.Len(),
+		Entries:   live,
 	}
 }

@@ -46,6 +46,33 @@ func TestEpochInvalidation(t *testing.T) {
 	}
 }
 
+// TestSnapshotEntriesAcrossEpochBump: Snapshot().Entries must count live
+// (current-epoch) entries only (regression: it used the map's physical
+// length, which still includes every epoch-invalidated entry until its key
+// happens to be republished).
+func TestSnapshotEntriesAcrossEpochBump(t *testing.T) {
+	c := ptcache.New(4)
+	for i := 0; i < 10; i++ {
+		c.Put(ptcache.Key{Node: pag.NodeID(i)}, []pag.NodeCtx{{Node: 100}})
+	}
+	if st := c.Snapshot(); st.Entries != 10 {
+		t.Fatalf("before bump: Entries = %d, want 10", st.Entries)
+	}
+
+	c.BumpEpoch()
+	if st := c.Snapshot(); st.Entries != 0 {
+		t.Fatalf("after bump: Entries = %d, want 0 (stale entries are invisible to Get)", st.Entries)
+	}
+
+	// Republishing a subset makes exactly that subset live again.
+	for i := 0; i < 3; i++ {
+		c.Put(ptcache.Key{Node: pag.NodeID(i)}, []pag.NodeCtx{{Node: 200}})
+	}
+	if st := c.Snapshot(); st.Entries != 3 {
+		t.Fatalf("after republish: Entries = %d, want 3", st.Entries)
+	}
+}
+
 // TestCachePreservesResults: queries with a shared cache return exactly the
 // uncached answers, and repeat queries hit.
 func TestCachePreservesResults(t *testing.T) {

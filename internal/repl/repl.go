@@ -11,6 +11,7 @@ import (
 
 	"parcfl/internal/cfl"
 	"parcfl/internal/frontend"
+	"parcfl/internal/obs"
 	"parcfl/internal/pag"
 	"parcfl/internal/ptcache"
 	"parcfl/internal/share"
@@ -20,6 +21,8 @@ import (
 type Shell struct {
 	lo     *frontend.Lowered
 	solver *cfl.Solver
+	store  *share.Store
+	cache  *ptcache.Cache
 	budget int
 	out    *bufio.Writer
 
@@ -30,13 +33,17 @@ type Shell struct {
 // budget and with data sharing and result caching enabled (the session is
 // long-lived, so the caches pay off across commands).
 func New(lo *frontend.Lowered, budget int, out io.Writer) *Shell {
+	store := share.NewStore(share.DefaultConfig())
+	cache := ptcache.New(64)
 	sh := &Shell{
 		lo: lo,
 		solver: cfl.New(lo.Graph, cfl.Config{
 			Budget: budget,
-			Share:  share.NewStore(share.DefaultConfig()),
-			Cache:  ptcache.New(64),
+			Share:  store,
+			Cache:  cache,
 		}),
+		store:  store,
+		cache:  cache,
 		budget: budget,
 		out:    bufio.NewWriter(out),
 		byName: map[string]pag.NodeID{},
@@ -45,6 +52,14 @@ func New(lo *frontend.Lowered, budget int, out io.Writer) *Shell {
 		sh.byName[lo.Graph.Node(pag.NodeID(id)).Name] = pag.NodeID(id)
 	}
 	return sh
+}
+
+// SetObs attaches an observability sink (nil-safe) to the session's jmp
+// store and result cache, so a debug endpoint can watch jmp insertions and
+// cache hit-rates live. Call before issuing queries.
+func (sh *Shell) SetObs(sink *obs.Sink) {
+	sh.store.SetObs(sink)
+	sh.cache.SetObs(sink)
 }
 
 // Banner prints the session header.

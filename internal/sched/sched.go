@@ -22,7 +22,9 @@ package sched
 import (
 	"math"
 	"sort"
+	"time"
 
+	"parcfl/internal/obs"
 	"parcfl/internal/pag"
 	"parcfl/internal/scc"
 )
@@ -54,6 +56,26 @@ func (p *Plan) Queries() []pag.NodeID {
 // which case all dependence depths are equal and only grouping and CD
 // ordering apply. Duplicate query variables are dropped.
 func Schedule(g *pag.Graph, queries []pag.NodeID, typeLevels []int) *Plan {
+	return ScheduleObs(g, queries, typeLevels, nil)
+}
+
+// ScheduleObs is Schedule with an observability sink: plan construction is
+// timed into obs.TmSchedule and summarised as an obs.EvSchedPlan trace
+// event. A nil sink costs nothing.
+func ScheduleObs(g *pag.Graph, queries []pag.NodeID, typeLevels []int, sink *obs.Sink) *Plan {
+	if !sink.Enabled() {
+		return schedule(g, queries, typeLevels)
+	}
+	t0 := time.Now()
+	plan := schedule(g, queries, typeLevels)
+	d := time.Since(t0)
+	sink.Time(obs.TmSchedule, d)
+	sink.SetGauge(obs.GaugeUnits, int64(len(plan.Groups)))
+	sink.Trace(obs.EvSchedPlan, obs.NoWorker, int64(len(plan.Groups)), int64(d))
+	return plan
+}
+
+func schedule(g *pag.Graph, queries []pag.NodeID, typeLevels []int) *Plan {
 	n := g.NumNodes()
 
 	// --- 1. Connected components of the direct relation (undirected). ---

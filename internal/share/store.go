@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 
 	"parcfl/internal/concurrent"
+	"parcfl/internal/obs"
 	"parcfl/internal/pag"
 )
 
@@ -94,6 +95,9 @@ func DefaultConfig() Config {
 type Store struct {
 	cfg Config
 	m   *concurrent.Map[Key, *Entry]
+	// sink receives observability events; nil disables (the default). Set
+	// once via SetObs before the store is shared between goroutines.
+	sink *obs.Sink
 
 	epoch                atomic.Int64
 	finishedAdded        atomic.Int64
@@ -101,6 +105,8 @@ type Store struct {
 	finishedSuppressed   atomic.Int64
 	unfinishedSuppressed atomic.Int64
 	insertLost           atomic.Int64
+	lookups              atomic.Int64
+	lookupHits           atomic.Int64
 
 	histFinished   [HistBuckets]atomic.Int64
 	histUnfinished [HistBuckets]atomic.Int64
@@ -125,13 +131,22 @@ func NewStore(cfg Config) *Store {
 // Config returns the store's configuration.
 func (st *Store) Config() Config { return st.cfg }
 
+// SetObs attaches an observability sink (nil-safe). Call before the store is
+// shared between goroutines; insertions and shortcut hits are traced into it.
+func (st *Store) SetObs(sink *obs.Sink) { st.sink = sink }
+
 // Lookup returns the entry for k, if one has been recorded in the current
 // epoch. Entries from earlier epochs (invalidated by BumpEpoch) are treated
 // as absent.
 func (st *Store) Lookup(k Key) (*Entry, bool) {
+	st.lookups.Add(1)
 	e, ok := st.m.Get(k)
 	if !ok || e.epoch != st.epoch.Load() {
 		return nil, false
+	}
+	st.lookupHits.Add(1)
+	if !e.Unfinished {
+		st.sink.Trace(obs.EvJmpTake, obs.NoWorker, int64(k.Node), int64(e.S))
 	}
 	return e, true
 }
@@ -175,6 +190,8 @@ func (st *Store) PutFinished(k Key, s int, targets []pag.NodeCtx) bool {
 	if inserted {
 		st.finishedAdded.Add(1)
 		st.histFinished[Bucket(s)].Add(1)
+		st.sink.Add(obs.CtrJmpFinishedIns, 1)
+		st.sink.Trace(obs.EvJmpInsert, obs.NoWorker, int64(k.Node), int64(s))
 	} else {
 		st.insertLost.Add(1)
 	}
@@ -193,6 +210,8 @@ func (st *Store) PutUnfinished(k Key, s int) bool {
 	if inserted {
 		st.unfinishedAdded.Add(1)
 		st.histUnfinished[Bucket(s)].Add(1)
+		st.sink.Add(obs.CtrJmpUnfinishedIns, 1)
+		st.sink.Trace(obs.EvJmpInsert, obs.NoWorker, int64(k.Node), -int64(s))
 	} else {
 		st.insertLost.Add(1)
 	}
@@ -230,10 +249,23 @@ type Stats struct {
 	UnfinishedSuppressed int64
 	// InsertLost counts put-if-absent races lost to another thread.
 	InsertLost int64
+	// Lookups counts Lookup calls; LookupHits the ones that found a
+	// current-epoch entry. Their ratio is the shortcut hit-rate — the
+	// tunable signal behind the TauF/TauU thresholds.
+	Lookups    int64
+	LookupHits int64
 	// HistFinished / HistUnfinished bucket inserted entries by steps
 	// saved (Fig. 7).
 	HistFinished   [HistBuckets]int64
 	HistUnfinished [HistBuckets]int64
+}
+
+// HitRate returns LookupHits/Lookups (0 when no lookups happened).
+func (s Stats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.LookupHits) / float64(s.Lookups)
 }
 
 // NumJumps returns the total number of jmp edges recorded (Table I #Jumps).
@@ -249,6 +281,8 @@ func (st *Store) Snapshot() Stats {
 	s.FinishedSuppressed = st.finishedSuppressed.Load()
 	s.UnfinishedSuppressed = st.unfinishedSuppressed.Load()
 	s.InsertLost = st.insertLost.Load()
+	s.Lookups = st.lookups.Load()
+	s.LookupHits = st.lookupHits.Load()
 	for i := 0; i < HistBuckets; i++ {
 		s.HistFinished[i] = st.histFinished[i].Load()
 		s.HistUnfinished[i] = st.histUnfinished[i].Load()

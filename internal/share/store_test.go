@@ -152,6 +152,85 @@ func TestStoreConcurrentInserts(t *testing.T) {
 	}
 }
 
+// TestStoreConcurrentWithEpochBumps hammers the store from writer, reader
+// and epoch-bumping goroutines at once, exercising the stale-entry Replace
+// retry loop in putCurrent. Run with -race; correctness invariant: every
+// Lookup hit is an entry from some epoch <= the epoch at observation time,
+// and the store never loses its one-entry-per-key discipline.
+func TestStoreConcurrentWithEpochBumps(t *testing.T) {
+	st := NewStore(zeroTau())
+	const (
+		writers = 4
+		readers = 4
+		keys    = 32
+		iters   = 500
+	)
+	var wg sync.WaitGroup
+
+	// Epoch bumper: invalidates everything repeatedly mid-flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			st.BumpEpoch()
+		}
+	}()
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := Key{Dir: Direction(i % 2), Node: pag.NodeID(i % keys)}
+				if i%3 == 0 {
+					st.PutUnfinished(k, 10000+i)
+				} else {
+					st.PutFinished(k, 100+i, []pag.NodeCtx{{Node: pag.NodeID(w)}})
+				}
+			}
+		}(w)
+	}
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < iters/2; round++ {
+				for i := 0; i < keys; i++ {
+					k := Key{Dir: Direction(i % 2), Node: pag.NodeID(i)}
+					if e, ok := st.Lookup(k); ok {
+						if e.S <= 0 {
+							t.Error("lookup returned a zero-cost entry")
+							return
+						}
+						if !e.Unfinished && e.S < 100 {
+							t.Errorf("finished entry below insertion floor: %+v", e)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+
+	// Take snapshots concurrently with the traffic, then wait for everyone.
+	for i := 0; i < writers*iters/100; i++ {
+		st.Snapshot() // concurrent snapshots must also be safe
+	}
+	wg.Wait()
+
+	s := st.Snapshot()
+	if s.FinishedAdded+s.UnfinishedAdded == 0 {
+		t.Fatal("nothing was ever inserted")
+	}
+	if s.Lookups == 0 {
+		t.Fatal("readers performed no lookups")
+	}
+	if got := st.NumJumps(); got != s.FinishedAdded+s.UnfinishedAdded {
+		t.Fatalf("NumJumps = %d, stats say %d", got, s.FinishedAdded+s.UnfinishedAdded)
+	}
+}
+
 func TestDefaultConfig(t *testing.T) {
 	c := DefaultConfig()
 	if c.TauF != 100 || c.TauU != 10000 {

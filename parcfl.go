@@ -261,3 +261,10 @@ type WitnessStep = cfl.WitnessStep
 func (a *Analyzer) Explain(v NodeID, ctx Context, obj NodeID, o QueryOptions) ([]WitnessStep, bool) {
 	return a.solver(o).Explain(v, ctx, obj)
 }
+
+// ExplainFlows is the forward mirror of Explain: "why does obj (under ctx)
+// flow to v?" as the chain of hops from the allocation site to the
+// variable. Returns ok=false if the fact does not hold.
+func (a *Analyzer) ExplainFlows(obj NodeID, ctx Context, v NodeID, o QueryOptions) ([]WitnessStep, bool) {
+	return a.solver(o).ExplainFlows(obj, ctx, v)
+}
