@@ -33,7 +33,8 @@ func main() {
 	bench := flag.String("bench", "", "benchmark preset name")
 	scale := flag.Float64("scale", 0.005, "generation scale for -bench")
 	budget := flag.Int("budget", 75000, "per-query step budget")
-	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/pprof and /debug/obs on this address (e.g. localhost:6060)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/pprof, /debug/obs and /metrics on this address (e.g. localhost:6060)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file of the session on exit (load in ui.perfetto.dev or chrome://tracing)")
 	flag.Parse()
 
 	var prg *frontend.Program
@@ -71,16 +72,29 @@ func main() {
 	}
 
 	sh := repl.New(lo, *budget, os.Stdout)
-	if *debugAddr != "" {
-		sink := obs.New(obs.Config{TraceCap: 1 << 16})
-		_, addr, err := obs.ServeDebug(*debugAddr, sink)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "parcfl:", err)
-			os.Exit(1)
+	if *debugAddr != "" || *traceOut != "" {
+		cfg := obs.Config{Workers: 1, TraceCap: 1 << 16}
+		if *traceOut != "" {
+			cfg.SpanCap = 1 << 16
+		}
+		sink := obs.New(cfg)
+		if *debugAddr != "" {
+			_, addr, err := obs.ServeDebug(*debugAddr, sink)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "parcfl:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/\n", addr)
 		}
 		sh.SetObs(sink)
-		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/\n", addr)
 	}
 	sh.Banner()
 	sh.Run(os.Stdin)
+	if *traceOut != "" {
+		if err := obs.WriteTraceFile(*traceOut, sh.Obs()); err != nil {
+			fmt.Fprintln(os.Stderr, "parcfl:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (load in ui.perfetto.dev or chrome://tracing)\n", *traceOut)
+	}
 }

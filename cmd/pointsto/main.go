@@ -35,7 +35,8 @@ func main() {
 	threads := flag.Int("threads", 16, "worker count")
 	budget := flag.Int("budget", 75000, "per-query step budget (0 = unbounded)")
 	top := flag.Int("top", 0, "print the N queries with the largest points-to sets")
-	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/pprof and /debug/obs on this address (e.g. localhost:6060)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/pprof, /debug/obs and /metrics on this address (e.g. localhost:6060)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file of the run (load in ui.perfetto.dev or chrome://tracing)")
 	flag.Parse()
 
 	var g *pag.Graph
@@ -104,18 +105,31 @@ func main() {
 	}
 
 	var sink *obs.Sink
-	if *debugAddr != "" {
-		sink = obs.New(obs.Config{Workers: *threads, TraceCap: 1 << 16})
-		_, addr, err := obs.ServeDebug(*debugAddr, sink)
-		if err != nil {
-			fail(err)
+	if *debugAddr != "" || *traceOut != "" {
+		cfg := obs.Config{Workers: *threads, TraceCap: 1 << 16}
+		if *traceOut != "" {
+			cfg.SpanCap = 1 << 16
 		}
-		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/\n", addr)
+		sink = obs.New(cfg)
+		if *debugAddr != "" {
+			_, addr, err := obs.ServeDebug(*debugAddr, sink)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/\n", addr)
+		}
 	}
 
 	res, st := engine.Run(g, queries, engine.Config{
 		Mode: m, Threads: *threads, Budget: *budget, TypeLevels: levels, Obs: sink,
 	})
+
+	if *traceOut != "" {
+		if err := obs.WriteTraceFile(*traceOut, sink); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (load in ui.perfetto.dev or chrome://tracing)\n", *traceOut)
+	}
 
 	fmt.Printf("strategy:            %s x%d\n", st.Mode, st.Threads)
 	fmt.Printf("graph:               %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())

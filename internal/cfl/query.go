@@ -1,6 +1,7 @@
 package cfl
 
 import (
+	"parcfl/internal/obs"
 	"parcfl/internal/pag"
 	"parcfl/internal/ptcache"
 	"parcfl/internal/share"
@@ -299,7 +300,23 @@ func (q *query) outOfBudget(bdg int, earlyTermination bool) {
 // order; first scans charge a budget step and expand the direct (non-heap)
 // edges, and every scan re-runs the heap expansion (reachable) so results
 // that grew since the last scan are picked up.
+//
+// With span tracing on, every scan becomes one span (SpCompPts/SpCompFls:
+// node, context depth, steps consumed) on the solver's worker track. The
+// close is deferred so a budget abort unwinding through the scan still
+// records the span with the steps consumed up to the abort.
 func (q *query) eval(c *comp) {
+	if sink := q.s.cfg.Obs; sink.SpanTracing() && !q.recording {
+		t0 := sink.SpanStart()
+		s0 := q.steps
+		kind := obs.SpCompPts
+		if c.key.kind == kindFls {
+			kind = obs.SpCompFls
+		}
+		defer func() {
+			sink.Span(kind, q.s.cfg.Worker, t0, int64(c.key.node), int64(q.steps-s0), int64(c.key.ctx.Depth()))
+		}()
+	}
 	for i := 0; i < len(c.vlist); i++ {
 		it := c.vlist[i]
 		q.step()

@@ -1,6 +1,7 @@
 package cfl
 
 import (
+	"parcfl/internal/obs"
 	"parcfl/internal/pag"
 	"parcfl/internal/share"
 )
@@ -35,6 +36,7 @@ func (q *query) reachable(owner *comp, it pag.NodeCtx) []pag.NodeCtx {
 				// steps past this point; if we cannot afford s either,
 				// terminate early instead of burning the budget.
 				if b := q.s.cfg.Budget; !q.recording && b > 0 && b-q.steps < e.S {
+					q.s.cfg.Obs.SpanInstant(obs.SpEarlyTerm, q.s.cfg.Worker, int64(it.Node), int64(e.S))
 					q.outOfBudget(e.S, true)
 				}
 				// Enough budget remains: fall through to a full
@@ -51,6 +53,7 @@ func (q *query) reachable(owner *comp, it pag.NodeCtx) []pag.NodeCtx {
 						q.steps += e.S
 						q.jumpsTaken++
 						q.stepsSaved += e.S
+						q.s.cfg.Obs.SpanInstant(obs.SpJmpTake, q.s.cfg.Worker, int64(it.Node), int64(e.S))
 					}
 				}
 				return e.Targets

@@ -36,6 +36,7 @@
 package cfl
 
 import (
+	"parcfl/internal/obs"
 	"parcfl/internal/pag"
 	"parcfl/internal/ptcache"
 	"parcfl/internal/share"
@@ -85,6 +86,14 @@ type Config struct {
 	// unlimited (the paper's configuration — it relies on recursion
 	// collapsing instead).
 	ContextK int
+	// Obs, when non-nil with span tracing enabled, receives a span per
+	// memoised traversal scan (direction, node, context depth, steps
+	// consumed) and instant events for jmp shortcuts taken and early
+	// terminations. A nil sink costs one pointer check per hook.
+	Obs *obs.Sink
+	// Worker attributes this solver's spans to an engine worker track;
+	// use obs.NoWorker for solvers running outside a worker pool.
+	Worker int32
 }
 
 // Solver answers points-to and flows-to queries on one frozen PAG. A Solver

@@ -279,6 +279,7 @@ func Run(g *pag.Graph, queries []pag.NodeID, cfg Config) ([]QueryResult, Stats) 
 	results := make([]QueryResult, total)
 
 	start := time.Now()
+	runT0 := sink.SpanStart()
 	walked := make([]int64, threads)
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
@@ -296,17 +297,24 @@ func Run(g *pag.Graph, queries []pag.NodeID, cfg Config) ([]QueryResult, Stats) 
 				walked[w] = local.Walked
 				sink.WorkerStopped(w, local)
 			}()
-			solver := cfl.New(g, cfl.Config{Budget: cfg.Budget, Share: store, Cache: cache, ContextK: cfg.ContextK})
+			solver := cfl.New(g, cfl.Config{
+				Budget: cfg.Budget, Share: store, Cache: cache, ContextK: cfg.ContextK,
+				Obs: sink, Worker: int32(w),
+			})
 			for {
 				u := int(cursor.Add(1)) - 1
 				if u >= len(units) {
 					return
 				}
+				unitT0 := sink.SpanStart()
 				sink.Trace(obs.EvUnitClaim, int32(w), int64(u), int64(len(units[u])))
 				sink.Add(obs.CtrUnitsClaimed, 1)
 				local.Units++
 				out := results[offsets[u]:offsets[u+1]]
 				for i, v := range units[u] {
+					// sink.Now is the per-query clock for both the latency
+					// histogram and the query span (0 when the sink is nil).
+					qT0 := sink.Now()
 					r := solver.PointsTo(v, pag.EmptyContext)
 					out[i] = QueryResult{
 						Var:             v,
@@ -327,6 +335,8 @@ func Run(g *pag.Graph, queries []pag.NodeID, cfg Config) ([]QueryResult, Stats) 
 						sink.Add(obs.CtrStepsWalked, qw)
 						sink.Add(obs.CtrStepsSaved, int64(r.StepsSaved))
 						sink.Add(obs.CtrJumpsTaken, int64(r.JumpsTaken))
+						sink.Observe(obs.HistQueryNS, sink.Now()-qT0)
+						sink.Observe(obs.HistQuerySteps, int64(r.Steps))
 						steps := int64(r.Steps)
 						if r.Aborted {
 							sink.Add(obs.CtrQueriesAborted, 1)
@@ -337,8 +347,10 @@ func Run(g *pag.Graph, queries []pag.NodeID, cfg Config) ([]QueryResult, Stats) 
 							}
 						}
 						sink.Trace(obs.EvQueryDone, int32(w), int64(v), steps)
+						sink.Span(obs.SpQuery, int32(w), qT0, int64(v), steps, int64(r.JumpsTaken))
 					}
 				}
+				sink.Span(obs.SpUnit, int32(w), unitT0, int64(u), int64(len(units[u])), 0)
 			}
 		}(w)
 	}
@@ -346,6 +358,7 @@ func Run(g *pag.Graph, queries []pag.NodeID, cfg Config) ([]QueryResult, Stats) 
 	stats.WalkedPerWorker = walked
 	stats.Wall = time.Since(start)
 	sink.Time(obs.TmRun, stats.Wall)
+	sink.Span(obs.SpRun, obs.NoWorker, runT0, int64(total), int64(len(units)), 0)
 
 	for i := range results {
 		r := &results[i]

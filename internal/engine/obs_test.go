@@ -77,6 +77,91 @@ func TestRunWithObsSink(t *testing.T) {
 	}
 }
 
+// TestRunSpanTracing: with span tracing on, a run records one SpQuery span
+// per query on its worker's track, per-worker and per-unit parents, exactly
+// one SpRun root, the scheduler phases, and per-query latency/steps
+// histograms — the structure the trace-event exporter renders.
+func TestRunSpanTracing(t *testing.T) {
+	lo := genBench(t)
+	const threads = 3
+	sink := obs.New(obs.Config{Workers: threads, TraceCap: 256, SpanCap: 1 << 16})
+	_, st := Run(lo.Graph, lo.AppQueryVars, Config{
+		Mode: DQ, Threads: threads, TauF: 1, TauU: 1, TypeLevels: lo.TypeLevels, Obs: sink,
+	})
+
+	spans, dropped := sink.Spans()
+	if dropped != 0 {
+		t.Fatalf("%d spans dropped with a %d cap", dropped, 1<<16)
+	}
+	byKind := map[obs.SpanKind]int{}
+	queryWorkers := map[int32]bool{}
+	for _, sp := range spans {
+		byKind[sp.Kind]++
+		if sp.Dur < 0 {
+			t.Fatalf("negative duration: %+v", sp)
+		}
+		if sp.Kind.Instant() && sp.Dur != 0 {
+			t.Fatalf("instant with duration: %+v", sp)
+		}
+		if sp.Kind == obs.SpQuery {
+			if sp.Worker < 0 || sp.Worker >= threads {
+				t.Fatalf("query span off any worker track: %+v", sp)
+			}
+			queryWorkers[sp.Worker] = true
+		}
+	}
+	if byKind[obs.SpQuery] != st.Queries {
+		t.Fatalf("%d query spans for %d queries", byKind[obs.SpQuery], st.Queries)
+	}
+	if byKind[obs.SpRun] != 1 {
+		t.Fatalf("%d run spans, want 1", byKind[obs.SpRun])
+	}
+	if byKind[obs.SpWorker] != threads {
+		t.Fatalf("%d worker spans, want %d", byKind[obs.SpWorker], threads)
+	}
+	if byKind[obs.SpUnit] != st.NumGroups {
+		t.Fatalf("%d unit spans for %d groups", byKind[obs.SpUnit], st.NumGroups)
+	}
+	if byKind[obs.SpCompPts] == 0 {
+		t.Fatal("no comp_pts traversal spans")
+	}
+	for _, want := range []obs.SpanKind{obs.SpSchedule, obs.SpSchedGroup, obs.SpSchedOrder, obs.SpSchedBalance} {
+		if byKind[want] != 1 {
+			t.Fatalf("%d %v spans, want 1 (kinds: %v)", byKind[want], want, byKind)
+		}
+	}
+	if st.Share.FinishedAdded > 0 && byKind[obs.SpJmpInsert] == 0 {
+		t.Fatal("jmp insertions happened but no SpJmpInsert instants")
+	}
+
+	lat := sink.Hist(obs.HistQueryNS)
+	steps := sink.Hist(obs.HistQuerySteps)
+	if lat.Count != int64(st.Queries) || steps.Count != int64(st.Queries) {
+		t.Fatalf("histograms observed %d/%d queries, stats say %d", lat.Count, steps.Count, st.Queries)
+	}
+	if steps.Sum != st.TotalSteps {
+		t.Fatalf("steps histogram sum %d != stats total %d", steps.Sum, st.TotalSteps)
+	}
+
+	// The exported trace has one thread per worker that ran queries, plus
+	// the shared engine track.
+	tf := obs.TraceEvents(sink)
+	tids := map[int64]bool{}
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph != "M" {
+			tids[ev.Tid] = true
+		}
+	}
+	if !tids[1] {
+		t.Fatal("no events on the shared engine track")
+	}
+	for w := range queryWorkers {
+		if !tids[2+int64(w)] {
+			t.Fatalf("worker %d ran queries but has no trace thread", w)
+		}
+	}
+}
+
 // TestRunObsMatchesNilObs: attaching a sink must not change analysis
 // results. (Step totals in parallel sharing modes vary with scheduling
 // timing, sink or not, so only the answers are compared.)
@@ -103,6 +188,8 @@ func TestNilSinkQueryLoopNoAllocs(t *testing.T) {
 		// The exact hook sequence the worker loop runs per unit + query.
 		sink.Trace(obs.EvUnitClaim, 0, 1, 1)
 		sink.Add(obs.CtrUnitsClaimed, 1)
+		unitT0 := sink.SpanStart()
+		qT0 := sink.Now()
 		local.Units++
 		local.Walked += 10
 		local.Steps += 12
@@ -111,6 +198,10 @@ func TestNilSinkQueryLoopNoAllocs(t *testing.T) {
 			t.Fatal("nil sink enabled")
 		}
 		sink.Trace(obs.EvQueryDone, 0, 1, 12)
+		sink.Observe(obs.HistQueryNS, sink.Now()-qT0)
+		sink.Observe(obs.HistQuerySteps, 12)
+		sink.Span(obs.SpQuery, 0, qT0, 1, 12, 0)
+		sink.Span(obs.SpUnit, 0, unitT0, 1, 1, 0)
 	})
 	if allocs != 0 {
 		t.Fatalf("nil-sink hot loop allocated %.1f per query, want 0", allocs)

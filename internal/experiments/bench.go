@@ -10,10 +10,16 @@ import (
 	"parcfl/internal/engine"
 )
 
-// BenchSchema identifies the BENCH_runs.json layout; bump on breaking
+// BenchSchema identifies the layout of one bench report; bump on breaking
 // changes so downstream trajectory tooling can reject files it does not
 // understand.
 const BenchSchema = "parcfl-bench/v1"
+
+// BenchHistorySchema identifies the BENCH_runs.json root: an append-only
+// list of labelled reports, so successive runs accumulate a trajectory
+// instead of clobbering each other. Legacy v1 files holding a single bare
+// report are read transparently (wrapped as the first history entry).
+const BenchHistorySchema = "parcfl-bench-history/v1"
 
 // benchDefaults are the presets the bench experiment runs when none are
 // named: the three smallest members of the suite, so the full 3 benchmarks
@@ -62,7 +68,8 @@ type BenchRun struct {
 	AvgGroupSize float64 `json:"avg_group_size"`
 }
 
-// BenchReport is the root object of BENCH_runs.json.
+// BenchReport is one labelled grid of bench runs — one entry of the
+// BENCH_runs.json history.
 type BenchReport struct {
 	Schema    string  `json:"schema"`
 	Generated string  `json:"generated"` // RFC 3339
@@ -71,7 +78,90 @@ type BenchReport struct {
 	Budget    int     `json:"budget"`
 	Threads   int     `json:"threads"`
 
+	// Label names the run (e.g. "baseline", "pr-12", "ci-smoke"); a
+	// re-run with the same non-empty label replaces the earlier entry in
+	// the history instead of appending a duplicate.
+	Label string `json:"label,omitempty"`
+	// GitRev is the source revision the binary was built from, when known.
+	GitRev string `json:"git_rev,omitempty"`
+
 	Runs []BenchRun `json:"runs"`
+}
+
+// BenchHistory is the root object of BENCH_runs.json: the accumulated
+// reports across runs.
+type BenchHistory struct {
+	Schema  string        `json:"schema"`
+	Reports []BenchReport `json:"reports"`
+}
+
+// Add merges rep into the history: an entry with the same non-empty label
+// is replaced in place (a re-run supersedes it); otherwise rep is appended.
+func (h *BenchHistory) Add(rep BenchReport) {
+	if rep.Label != "" {
+		for i := range h.Reports {
+			if h.Reports[i].Label == rep.Label {
+				h.Reports[i] = rep
+				return
+			}
+		}
+	}
+	h.Reports = append(h.Reports, rep)
+}
+
+// LoadBenchHistory reads an existing BENCH_runs.json. A missing file yields
+// an empty history; a legacy single-report file (schema parcfl-bench/v1 at
+// the root) is wrapped as the history's first entry.
+func LoadBenchHistory(path string) (*BenchHistory, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &BenchHistory{Schema: BenchHistorySchema}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	switch probe.Schema {
+	case BenchHistorySchema:
+		var h BenchHistory
+		if err := json.Unmarshal(data, &h); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &h, nil
+	case BenchSchema:
+		var rep BenchReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &BenchHistory{Schema: BenchHistorySchema, Reports: []BenchReport{rep}}, nil
+	default:
+		return nil, fmt.Errorf("%s: unknown schema %q", path, probe.Schema)
+	}
+}
+
+// WriteBenchHistory merges rep into the history at path (creating it if
+// absent) and writes the result back as indented JSON. It returns the
+// resulting history size.
+func WriteBenchHistory(path string, rep BenchReport) (int, error) {
+	h, err := LoadBenchHistory(path)
+	if err != nil {
+		return 0, err
+	}
+	h.Add(rep)
+	data, err := json.MarshalIndent(h, "", "  ")
+	if err != nil {
+		return 0, err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return 0, err
+	}
+	return len(h.Reports), nil
 }
 
 // benchRunFrom flattens engine stats into one grid cell.
@@ -136,6 +226,8 @@ func BenchGrid(opts Options) (*BenchReport, error) {
 		Scale:     opts.Scale,
 		Budget:    opts.Budget,
 		Threads:   opts.Threads,
+		Label:     opts.Label,
+		GitRev:    opts.GitRev,
 	}
 	for _, pr := range presets {
 		b, err := PrepareBench(pr, opts.Scale)
@@ -183,15 +275,12 @@ func BenchTrajectory(opts Options) error {
 			100*r.ShareHitRate, 100*r.CacheHitRate)
 	}
 	if opts.JSONPath != "" {
-		data, err := json.MarshalIndent(rep, "", "  ")
+		n, err := WriteBenchHistory(opts.JSONPath, *rep)
 		if err != nil {
 			return err
 		}
-		data = append(data, '\n')
-		if err := os.WriteFile(opts.JSONPath, data, 0o644); err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "\nwrote %s (%s, %d runs)\n", opts.JSONPath, rep.Schema, len(rep.Runs))
+		fmt.Fprintf(w, "\nwrote %s (%s, %d runs, %d reports in history)\n",
+			opts.JSONPath, rep.Schema, len(rep.Runs), n)
 	}
 	return nil
 }

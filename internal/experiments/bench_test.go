@@ -92,30 +92,100 @@ func TestBenchReportJSONRoundTrip(t *testing.T) {
 	}
 }
 
-// TestBenchWritesJSONFile: the Bench experiment honours Options.JSONPath and
-// the file it writes parses back under the current schema.
+// TestBenchWritesJSONFile: the Bench experiment honours Options.JSONPath;
+// the file it writes is a history that parses back under the current schema
+// and accumulates across runs instead of clobbering.
 func TestBenchWritesJSONFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_runs.json")
 	var out bytes.Buffer
 	err := BenchTrajectory(Options{
 		Scale: 0.002, Threads: 2, Benchmarks: []string{"_200_check"},
-		Out: &out, JSONPath: path,
+		Out: &out, JSONPath: path, Label: "first", GitRev: "abc1234",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(path)
+	h, err := LoadBenchHistory(path)
 	if err != nil {
-		t.Fatal(err)
-	}
-	var rep BenchReport
-	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("artifact does not parse: %v", err)
 	}
+	if h.Schema != BenchHistorySchema || len(h.Reports) != 1 {
+		t.Fatalf("artifact = schema %q, %d reports", h.Schema, len(h.Reports))
+	}
+	rep := h.Reports[0]
 	if rep.Schema != BenchSchema || len(rep.Runs) != 5 {
-		t.Fatalf("artifact = schema %q, %d runs", rep.Schema, len(rep.Runs))
+		t.Fatalf("report = schema %q, %d runs", rep.Schema, len(rep.Runs))
+	}
+	if rep.Label != "first" || rep.GitRev != "abc1234" {
+		t.Fatalf("report stamp = label %q rev %q", rep.Label, rep.GitRev)
 	}
 	if !bytes.Contains(out.Bytes(), []byte("wrote")) {
 		t.Fatalf("no confirmation line in output: %s", out.String())
+	}
+
+	// A second run with a different label appends; re-running an existing
+	// label replaces its entry, keeping the history at two reports.
+	for _, label := range []string{"second", "second"} {
+		err = BenchTrajectory(Options{
+			Scale: 0.002, Threads: 2, Benchmarks: []string{"_200_check"},
+			Out: &out, JSONPath: path, Label: label,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, err = LoadBenchHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Reports) != 2 {
+		t.Fatalf("history has %d reports, want 2 (append then replace)", len(h.Reports))
+	}
+	if h.Reports[0].Label != "first" || h.Reports[1].Label != "second" {
+		t.Fatalf("history labels = %q, %q", h.Reports[0].Label, h.Reports[1].Label)
+	}
+}
+
+// TestBenchHistoryLegacyAndMerge: a legacy v1 single-report file loads as a
+// one-entry history, and unlabelled reports always append.
+func TestBenchHistoryLegacyAndMerge(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_runs.json")
+	legacy := BenchReport{Schema: BenchSchema, Generated: "2026-01-02T03:04:05Z", Scale: 0.01}
+	data, err := json.MarshalIndent(legacy, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h, err := LoadBenchHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Schema != BenchHistorySchema || len(h.Reports) != 1 || h.Reports[0].Generated != legacy.Generated {
+		t.Fatalf("legacy wrap = %+v", h)
+	}
+
+	// Unlabelled reports append (no label to match on).
+	if _, err := WriteBenchHistory(path, BenchReport{Schema: BenchSchema}); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := WriteBenchHistory(path, BenchReport{Schema: BenchSchema}); err != nil || n != 3 {
+		t.Fatalf("unlabelled merge: n=%d err=%v, want 3 reports", n, err)
+	}
+
+	// A missing file is an empty history, not an error.
+	empty, err := LoadBenchHistory(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil || len(empty.Reports) != 0 {
+		t.Fatalf("missing file: %+v, %v", empty, err)
+	}
+
+	// Garbage schemas are rejected.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"nope/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBenchHistory(bad); err == nil {
+		t.Fatal("unknown schema accepted")
 	}
 }

@@ -24,6 +24,7 @@ package incremental
 
 import (
 	"parcfl/internal/cfl"
+	"parcfl/internal/obs"
 	"parcfl/internal/pag"
 	"parcfl/internal/ptcache"
 	"parcfl/internal/share"
@@ -35,6 +36,7 @@ type Analyzer struct {
 	store  *share.Store
 	cache  *ptcache.Cache
 	budget int
+	sink   *obs.Sink
 
 	// edit statistics
 	grew, shrank int
@@ -50,6 +52,10 @@ type Config struct {
 	// ResultCache additionally maintains a cross-query result cache with
 	// the same epoch discipline.
 	ResultCache bool
+	// Obs receives counters (inc_edits_grow, inc_edits_shrink,
+	// inc_resolves) and — with span tracing on — one SpIncUpdate span per
+	// Apply. Nil disables.
+	Obs *obs.Sink
 }
 
 // New wraps a frozen graph for incremental analysis.
@@ -60,10 +66,12 @@ func New(g *pag.Graph, cfg Config) *Analyzer {
 	st := cfg.Store
 	if st == nil {
 		st = share.NewStore(share.DefaultConfig())
+		st.SetObs(cfg.Obs)
 	}
-	a := &Analyzer{g: g, store: st, budget: cfg.Budget}
+	a := &Analyzer{g: g, store: st, budget: cfg.Budget, sink: cfg.Obs}
 	if cfg.ResultCache {
 		a.cache = ptcache.New(64)
+		a.cache.SetObs(cfg.Obs)
 	}
 	return a
 }
@@ -91,6 +99,7 @@ func (e *Edit) Grows() bool {
 // Apply performs the edit and returns the IDs of any added nodes (in order).
 // The analyzer must not be queried concurrently with Apply.
 func (a *Analyzer) Apply(e Edit) []pag.NodeID {
+	editT0 := a.sink.SpanStart()
 	a.g.BeginUpdate()
 	ids := make([]pag.NodeID, 0, len(e.AddNodes))
 	for _, n := range e.AddNodes {
@@ -112,23 +121,31 @@ func (a *Analyzer) Apply(e Edit) []pag.NodeID {
 			a.cache.BumpEpoch()
 		}
 		a.grew++
+		a.sink.Add(obs.CtrIncEditsGrow, 1)
 	} else {
 		// Pure removals: stale entries only over-approximate. Keep them
 		// (the incremental win: prior work remains usable).
 		a.shrank++
+		a.sink.Add(obs.CtrIncEditsShrink, 1)
 	}
+	a.sink.Span(obs.SpIncUpdate, obs.NoWorker, editT0,
+		int64(len(e.AddNodes)+len(e.AddEdges)), int64(len(e.RemoveEdges)), 0)
 	return ids
 }
 
 // Solver returns a fresh demand solver sharing the persistent store.
 // Solvers are single-goroutine; create one per worker.
 func (a *Analyzer) Solver() *cfl.Solver {
-	return cfl.New(a.g, cfl.Config{Budget: a.budget, Share: a.store, Cache: a.cache})
+	return cfl.New(a.g, cfl.Config{
+		Budget: a.budget, Share: a.store, Cache: a.cache,
+		Obs: a.sink, Worker: obs.NoWorker,
+	})
 }
 
 // PointsTo runs one query against the current graph with the persistent
 // store.
 func (a *Analyzer) PointsTo(v pag.NodeID, ctx pag.Context) cfl.Result {
+	a.sink.Add(obs.CtrIncResolves, 1)
 	return a.Solver().PointsTo(v, ctx)
 }
 

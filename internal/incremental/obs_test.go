@@ -1,0 +1,46 @@
+package incremental
+
+import (
+	"testing"
+
+	"parcfl/internal/obs"
+	"parcfl/internal/pag"
+)
+
+// TestIncrementalObsWiring: edits and re-solves feed the sink's counters and
+// span buffers.
+func TestIncrementalObsWiring(t *testing.T) {
+	g, ids := buildBase(t)
+	sink := obs.New(obs.Config{SpanCap: 64})
+	ia := New(g, Config{Obs: sink})
+
+	ia.PointsTo(ids["d"], pag.EmptyContext)
+	ia.Apply(Edit{AddEdges: []pag.Edge{
+		{Dst: ids["b"], Src: ids["o1"], Kind: pag.EdgeNew},
+	}})
+	ia.Apply(Edit{RemoveEdges: []pag.Edge{
+		{Dst: ids["b"], Src: ids["o1"], Kind: pag.EdgeNew},
+	}})
+	ia.PointsTo(ids["d"], pag.EmptyContext)
+
+	if got := sink.Counter(obs.CtrIncResolves); got != 2 {
+		t.Fatalf("CtrIncResolves = %d, want 2", got)
+	}
+	if sink.Counter(obs.CtrIncEditsGrow) != 1 || sink.Counter(obs.CtrIncEditsShrink) != 1 {
+		t.Fatalf("edit counters: grow=%d shrink=%d",
+			sink.Counter(obs.CtrIncEditsGrow), sink.Counter(obs.CtrIncEditsShrink))
+	}
+	spans, _ := sink.Spans()
+	updates := 0
+	for _, sp := range spans {
+		if sp.Kind == obs.SpIncUpdate {
+			updates++
+			if sp.Dur < 0 {
+				t.Fatalf("negative duration: %+v", sp)
+			}
+		}
+	}
+	if updates != 2 {
+		t.Fatalf("%d SpIncUpdate spans, want 2", updates)
+	}
+}

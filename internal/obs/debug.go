@@ -13,10 +13,16 @@ import (
 //	/debug/vars     — expvar (cmdline, memstats, and anything published)
 //	/debug/pprof/   — net/http/pprof profiles
 //	/debug/obs      — JSON Snapshot of the given sink (nil sink → zero snapshot)
+//	/metrics        — Prometheus text exposition (counters, gauges, timers,
+//	                  latency histograms)
 //
 // A dedicated mux is used so callers never pollute http.DefaultServeMux.
 func Handler(sink *Sink) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteProm(w, sink)
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -31,7 +37,7 @@ func Handler(sink *Sink) http.Handler {
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("parcfl debug endpoint\n\n/debug/vars\n/debug/pprof/\n/debug/obs\n"))
+		_, _ = w.Write([]byte("parcfl debug endpoint\n\n/debug/vars\n/debug/pprof/\n/debug/obs\n/metrics\n"))
 	})
 	return mux
 }

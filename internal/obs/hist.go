@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// HistID names one log-bucketed latency/size histogram.
+type HistID uint8
+
+const (
+	// HistQueryNS buckets per-query wall time in nanoseconds.
+	HistQueryNS HistID = iota
+	// HistQuerySteps buckets per-query budget steps consumed.
+	HistQuerySteps
+
+	// NumHists is the number of defined histograms.
+	NumHists
+)
+
+var histNames = [NumHists]string{"query_latency_ns", "query_steps"}
+
+var histHelp = [NumHists]string{
+	"Per-query wall time in nanoseconds.",
+	"Per-query budget steps consumed (including shortcut charges).",
+}
+
+// String returns the histogram's snake_case name.
+func (h HistID) String() string {
+	if int(h) < len(histNames) {
+		return histNames[h]
+	}
+	return "hist_unknown"
+}
+
+// NumHistBuckets is the number of finite histogram buckets. Bucket i counts
+// observations v with HistBucketBound(i-1) < v <= HistBucketBound(i) — i.e.
+// upper bounds are successive powers of two, 2^0 .. 2^(NumHistBuckets-1),
+// inclusive, matching Prometheus `le` semantics. 2^38 ns is ≈ 4.6 minutes,
+// comfortably above any single query; larger observations still count
+// toward Count and Sum (the +Inf bucket at export time).
+const NumHistBuckets = 39
+
+// HistBucketBound returns bucket i's inclusive upper bound, 2^i.
+func HistBucketBound(i int) int64 { return 1 << uint(i) }
+
+// histBucket maps an observation to its bucket index: the smallest i with
+// v <= 2^i. Values beyond the last finite bound return NumHistBuckets
+// (the implicit +Inf bucket).
+func histBucket(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(v - 1))
+	if b > NumHistBuckets-1 {
+		return NumHistBuckets
+	}
+	return b
+}
+
+// hist is one histogram's storage: per-bucket counts plus count and sum,
+// all atomics so any worker may observe concurrently.
+type hist struct {
+	count, sum atomic.Int64
+	buckets    [NumHistBuckets]atomic.Int64
+}
+
+// Observe records one observation of value v (clamped at 0) into histogram
+// h. Nil-safe and allocation-free; a handful of atomic adds when live.
+func (s *Sink) Observe(h HistID, v int64) {
+	if s == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	hs := &s.hists[h]
+	hs.count.Add(1)
+	hs.sum.Add(v)
+	if b := histBucket(v); b < NumHistBuckets {
+		hs.buckets[b].Add(1)
+	}
+}
+
+// HistSnapshot is one histogram's state at a point in time. Buckets are
+// per-bucket (non-cumulative) counts; Count includes observations beyond
+// the last finite bound, so Count - sum(Buckets) is the +Inf bucket.
+type HistSnapshot struct {
+	Count   int64                 `json:"count"`
+	Sum     int64                 `json:"sum"`
+	Buckets [NumHistBuckets]int64 `json:"buckets"`
+}
+
+// Merge returns the element-wise sum of two snapshots (e.g. the same
+// histogram sampled from several sinks).
+func (a HistSnapshot) Merge(b HistSnapshot) HistSnapshot {
+	out := HistSnapshot{Count: a.Count + b.Count, Sum: a.Sum + b.Sum}
+	for i := range out.Buckets {
+		out.Buckets[i] = a.Buckets[i] + b.Buckets[i]
+	}
+	return out
+}
+
+// Hist reads histogram h (zero value on a nil sink).
+func (s *Sink) Hist(h HistID) HistSnapshot {
+	if s == nil {
+		return HistSnapshot{}
+	}
+	hs := &s.hists[h]
+	out := HistSnapshot{Count: hs.count.Load(), Sum: hs.sum.Load()}
+	for i := range out.Buckets {
+		out.Buckets[i] = hs.buckets[i].Load()
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package obs
+
+import "testing"
+
+// TestHistBucketBoundaries pins the inclusive power-of-two bucket mapping:
+// bucket i is the smallest with v <= 2^i, matching the Prometheus `le`
+// labels WriteProm emits.
+func TestHistBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0}, {1, 0}, // le="1"
+		{2, 1},         // le="2"
+		{3, 2}, {4, 2}, // le="4"
+		{5, 3}, {8, 3}, // le="8"
+		{9, 4}, {16, 4}, // le="16"
+		{1 << 20, 20},   // exact bound lands in its own bucket
+		{1<<20 + 1, 21}, // one past the bound spills to the next
+		{1 << (NumHistBuckets - 1), NumHistBuckets - 1}, // last finite bucket
+		{1<<(NumHistBuckets-1) + 1, NumHistBuckets},     // +Inf
+		{int64(1) << 62, NumHistBuckets},                // way past the top
+	}
+	for _, c := range cases {
+		if got := histBucket(c.v); got != c.want {
+			t.Fatalf("histBucket(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	for i := 0; i < NumHistBuckets; i++ {
+		bound := HistBucketBound(i)
+		if got := histBucket(bound); got != i {
+			t.Fatalf("bound %d (2^%d) lands in bucket %d, want %d", bound, i, got, i)
+		}
+		if i > 0 {
+			if got := histBucket(bound/2 + 1); got != i {
+				t.Fatalf("first value of bucket %d lands in %d", i, got)
+			}
+		}
+	}
+}
+
+// TestObserveAndSnapshot: observations land in the right buckets, negatives
+// clamp to zero, and overflow values count toward Count/Sum only.
+func TestObserveAndSnapshot(t *testing.T) {
+	s := New(Config{})
+	s.Observe(HistQueryNS, 1)
+	s.Observe(HistQueryNS, 3)
+	s.Observe(HistQueryNS, 4)
+	s.Observe(HistQueryNS, -7) // clamped to 0 -> bucket 0
+	huge := int64(1) << 50     // beyond the last finite bound
+	s.Observe(HistQueryNS, huge)
+
+	hs := s.Hist(HistQueryNS)
+	if hs.Count != 5 {
+		t.Fatalf("count = %d, want 5", hs.Count)
+	}
+	if want := int64(1+3+4) + huge; hs.Sum != want {
+		t.Fatalf("sum = %d, want %d", hs.Sum, want)
+	}
+	if hs.Buckets[0] != 2 || hs.Buckets[2] != 2 {
+		t.Fatalf("buckets = %v", hs.Buckets[:4])
+	}
+	var inBuckets int64
+	for _, b := range hs.Buckets {
+		inBuckets += b
+	}
+	if inBuckets != 4 {
+		t.Fatalf("finite buckets hold %d, want 4 (one observation is +Inf)", inBuckets)
+	}
+
+	// The untouched histogram stays zero and is omitted from snapshots.
+	if z := s.Hist(HistQuerySteps); z.Count != 0 || z.Sum != 0 {
+		t.Fatalf("untouched hist = %+v", z)
+	}
+	snap := s.Snapshot()
+	if _, ok := snap.Hists[HistQuerySteps.String()]; ok {
+		t.Fatal("empty histogram exported in snapshot")
+	}
+	if got := snap.Hists[HistQueryNS.String()]; got.Count != 5 {
+		t.Fatalf("snapshot hist = %+v", got)
+	}
+}
+
+// TestHistMerge: Merge is element-wise addition.
+func TestHistMerge(t *testing.T) {
+	a := HistSnapshot{Count: 3, Sum: 10}
+	a.Buckets[0] = 2
+	a.Buckets[5] = 1
+	b := HistSnapshot{Count: 2, Sum: 7}
+	b.Buckets[5] = 2
+	m := a.Merge(b)
+	if m.Count != 5 || m.Sum != 17 || m.Buckets[0] != 2 || m.Buckets[5] != 3 {
+		t.Fatalf("merge = %+v", m)
+	}
+}

@@ -46,6 +46,16 @@ const (
 	CtrCacheMisses
 	// CtrUnitsClaimed counts work units claimed off the shared cursor.
 	CtrUnitsClaimed
+	// CtrRefineQueries / CtrRefinePasses count refinement-based queries
+	// and the refinement iterations they ran.
+	CtrRefineQueries
+	CtrRefinePasses
+	// CtrIncEditsGrow / CtrIncEditsShrink count incremental graph edits
+	// by class (growing edits invalidate caches, shrinking ones do not).
+	CtrIncEditsGrow
+	CtrIncEditsShrink
+	// CtrIncResolves counts incremental re-solve queries.
+	CtrIncResolves
 
 	// NumCounters is the number of defined counters.
 	NumCounters
@@ -56,6 +66,8 @@ var counterNames = [NumCounters]string{
 	"steps_walked", "steps_saved", "jumps_taken",
 	"jmp_finished_inserted", "jmp_unfinished_inserted",
 	"cache_hits", "cache_misses", "units_claimed",
+	"refine_queries", "refine_passes",
+	"inc_edits_grow", "inc_edits_shrink", "inc_resolves",
 }
 
 // String returns the counter's snake_case name.
@@ -147,6 +159,10 @@ type Config struct {
 	// TraceCap is the trace ring capacity in events; 0 disables tracing
 	// (counters, gauges, timers and timelines still work).
 	TraceCap int
+	// SpanCap, when positive, attaches span buffers at creation: one
+	// shared track plus one per worker, each bounded at SpanCap spans
+	// (see EnableSpans). 0 leaves span tracing off.
+	SpanCap int
 }
 
 // Sink collects observations. The zero value is not usable; create with
@@ -156,8 +172,10 @@ type Sink struct {
 	counters [NumCounters]paddedCounter
 	gauges   [NumGauges]atomic.Int64
 	timers   [NumTimers]struct{ n, ns atomic.Int64 }
+	hists    [NumHists]hist
 	workers  []WorkerStats
 	ring     *ring
+	spans    atomic.Pointer[spanRegion]
 }
 
 // New creates a sink.
@@ -168,6 +186,9 @@ func New(cfg Config) *Sink {
 	}
 	if cfg.TraceCap > 0 {
 		s.ring = newRing(cfg.TraceCap)
+	}
+	if cfg.SpanCap > 0 {
+		s.spans.Store(newSpanRegion(cfg.Workers, cfg.SpanCap))
 	}
 	return s
 }
@@ -261,7 +282,8 @@ func (s *Sink) WorkerStarted(w int) {
 
 // WorkerStopped stores worker w's accumulated stats (a single write at
 // worker exit — producers accumulate locally, avoiding cross-worker cache
-// traffic during the run) and traces EvWorkerStop.
+// traffic during the run) and traces EvWorkerStop. With span tracing on,
+// the worker's whole run becomes an SpWorker span on its track.
 func (s *Sink) WorkerStopped(w int, st WorkerStats) {
 	if s == nil {
 		return
@@ -271,6 +293,7 @@ func (s *Sink) WorkerStopped(w int, st WorkerStats) {
 		s.workers[w] = st
 		s.workers[w].StartNS = start
 		s.workers[w].StopNS = s.sinceNS()
+		s.Span(SpWorker, int32(w), start, st.Units, st.Queries, st.Walked)
 	}
 	s.Trace(EvWorkerStop, int32(w), st.Queries, st.Walked)
 }
@@ -289,13 +312,14 @@ func (s *Sink) Workers() []WorkerStats {
 // (counters are read one by one; exactness across counters is not needed
 // for reporting).
 type Snapshot struct {
-	UptimeNS     int64                 `json:"uptime_ns"`
-	Counters     map[string]int64      `json:"counters"`
-	Gauges       map[string]int64      `json:"gauges"`
-	Timers       map[string]TimerStats `json:"timers"`
-	Workers      []WorkerStats         `json:"workers,omitempty"`
-	Trace        []Event               `json:"trace,omitempty"`
-	TraceDropped uint64                `json:"trace_dropped"`
+	UptimeNS     int64                   `json:"uptime_ns"`
+	Counters     map[string]int64        `json:"counters"`
+	Gauges       map[string]int64        `json:"gauges"`
+	Timers       map[string]TimerStats   `json:"timers"`
+	Hists        map[string]HistSnapshot `json:"hists,omitempty"`
+	Workers      []WorkerStats           `json:"workers,omitempty"`
+	Trace        []Event                 `json:"trace,omitempty"`
+	TraceDropped uint64                  `json:"trace_dropped"`
 }
 
 // Snapshot captures the sink's current state (zero value on nil).
@@ -318,6 +342,14 @@ func (s *Sink) Snapshot() Snapshot {
 	}
 	for t := TimerID(0); t < NumTimers; t++ {
 		snap.Timers[t.String()] = s.Timer(t)
+	}
+	for h := HistID(0); h < NumHists; h++ {
+		if hs := s.Hist(h); hs.Count > 0 {
+			if snap.Hists == nil {
+				snap.Hists = make(map[string]HistSnapshot, NumHists)
+			}
+			snap.Hists[h.String()] = hs
+		}
 	}
 	if s.ring != nil {
 		snap.Trace, snap.TraceDropped = s.ring.snapshot()

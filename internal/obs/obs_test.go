@@ -3,7 +3,9 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -25,6 +27,14 @@ func TestNilSinkIsSafeAndFree(t *testing.T) {
 		_ = s.Gauge(GaugeWorkers)
 		_ = s.Timer(TmRun)
 		_ = s.Now()
+		// Span and histogram hooks share the same contract.
+		if s.SpanTracing() {
+			t.Fatal("nil sink span-tracing")
+		}
+		t0 := s.SpanStart()
+		s.Span(SpQuery, 0, t0, 1, 2, 3)
+		s.SpanInstant(SpJmpTake, 0, 1, 2)
+		s.Observe(HistQueryNS, 12345)
 	})
 	if allocs != 0 {
 		t.Fatalf("nil sink allocated %.1f per run, want 0", allocs)
@@ -32,6 +42,27 @@ func TestNilSinkIsSafeAndFree(t *testing.T) {
 	snap := s.Snapshot()
 	if snap.Counters != nil || snap.Trace != nil {
 		t.Fatalf("nil snapshot not zero: %+v", snap)
+	}
+	if spans, dropped := s.Spans(); spans != nil || dropped != 0 {
+		t.Fatalf("nil sink has spans: %v %d", spans, dropped)
+	}
+}
+
+// TestLiveSinkSpansOffNoAllocs: a live sink whose span region is disabled
+// (no SpanCap, no EnableSpans) must also keep the span hooks allocation-free
+// — the common production configuration.
+func TestLiveSinkSpansOffNoAllocs(t *testing.T) {
+	s := New(Config{})
+	allocs := testing.AllocsPerRun(1000, func() {
+		if s.SpanTracing() {
+			t.Fatal("spans on without SpanCap")
+		}
+		t0 := s.SpanStart()
+		s.Span(SpQuery, 0, t0, 1, 2, 3)
+		s.SpanInstant(SpEarlyTerm, 0, 1, 2)
+	})
+	if allocs != 0 {
+		t.Fatalf("spans-off sink allocated %.1f per run, want 0", allocs)
 	}
 }
 
@@ -174,7 +205,9 @@ func TestServeDebug(t *testing.T) {
 	}
 	defer srv.Close()
 
-	for _, path := range []string{"/debug/vars", "/debug/pprof/", "/debug/obs", "/"} {
+	s.Observe(HistQueryNS, 500)
+
+	for _, path := range []string{"/debug/vars", "/debug/pprof/", "/debug/obs", "/metrics", "/"} {
 		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)
@@ -196,5 +229,28 @@ func TestServeDebug(t *testing.T) {
 	}
 	if snap.Counters["queries"] != 11 {
 		t.Fatalf("debug endpoint counters = %v", snap.Counters)
+	}
+
+	// /metrics serves Prometheus text with the histogram series present.
+	mresp, err := http.Get(fmt.Sprintf("http://%s/metrics", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content-type = %q", ct)
+	}
+	body, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"parcfl_queries_total 11",
+		"# TYPE parcfl_query_latency_ns histogram",
+		`parcfl_query_latency_ns_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
 	}
 }

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// Prometheus text exposition of a Sink: every counter becomes a
+// `parcfl_<name>_total` counter, every gauge a `parcfl_<name>` gauge,
+// every timer a `_count`/`_ns_total` counter pair, and every log-bucketed
+// histogram a native Prometheus histogram with power-of-two `le` bounds.
+// The format is the text exposition format v0.0.4 (the one every
+// Prometheus scraper and promtool understand).
+
+var counterHelp = [NumCounters]string{
+	"Queries completed or aborted.",
+	"Queries that ran out of budget.",
+	"Aborts triggered by unfinished jmp entries.",
+	"Budget steps actually traversed.",
+	"Budget steps satisfied by jmp shortcuts.",
+	"Finished jmp shortcuts taken.",
+	"Finished jmp store insertions.",
+	"Unfinished jmp store insertions.",
+	"Result-cache hits.",
+	"Result-cache misses.",
+	"Work units claimed off the shared cursor.",
+	"Refinement-based queries answered.",
+	"Refinement passes executed.",
+	"Incremental edits that can grow value-flow paths.",
+	"Incremental edits that only remove paths.",
+	"Incremental re-solve queries.",
+}
+
+var gaugeHelp = [NumGauges]string{
+	"Worker count of the current/last run.",
+	"Scheduled work units of the current run.",
+	"Sharing epoch of the attached stores.",
+}
+
+var timerHelp = [NumTimers]string{
+	"sched.Schedule plan construction.",
+	"Whole engine.Run batches.",
+}
+
+// WriteProm writes the sink's state in Prometheus text exposition format.
+// A nil sink writes only a marker comment (all series absent), which is
+// still a valid scrape body.
+func WriteProm(w io.Writer, s *Sink) error {
+	bw := &errWriter{w: w}
+	bw.printf("# parcfl metrics\n")
+	if s == nil {
+		return bw.err
+	}
+
+	for c := CounterID(0); c < NumCounters; c++ {
+		name := "parcfl_" + c.String() + "_total"
+		bw.printf("# HELP %s %s\n", name, counterHelp[c])
+		bw.printf("# TYPE %s counter\n", name)
+		bw.printf("%s %d\n", name, s.Counter(c))
+	}
+	for g := GaugeID(0); g < NumGauges; g++ {
+		name := "parcfl_" + g.String()
+		bw.printf("# HELP %s %s\n", name, gaugeHelp[g])
+		bw.printf("# TYPE %s gauge\n", name)
+		bw.printf("%s %d\n", name, s.Gauge(g))
+	}
+	{
+		name := "parcfl_uptime_seconds"
+		bw.printf("# HELP %s Seconds since the sink was created.\n", name)
+		bw.printf("# TYPE %s gauge\n", name)
+		bw.printf("%s %g\n", name, float64(s.Now())/1e9)
+	}
+	for t := TimerID(0); t < NumTimers; t++ {
+		ts := s.Timer(t)
+		base := "parcfl_timer_" + t.String()
+		bw.printf("# HELP %s_count Timed observations: %s\n", base, timerHelp[t])
+		bw.printf("# TYPE %s_count counter\n", base)
+		bw.printf("%s_count %d\n", base, ts.Count)
+		bw.printf("# HELP %s_ns_total Total nanoseconds: %s\n", base, timerHelp[t])
+		bw.printf("# TYPE %s_ns_total counter\n", base)
+		bw.printf("%s_ns_total %d\n", base, ts.TotalNS)
+	}
+	for h := HistID(0); h < NumHists; h++ {
+		hs := s.Hist(h)
+		name := "parcfl_" + h.String()
+		bw.printf("# HELP %s %s\n", name, histHelp[h])
+		bw.printf("# TYPE %s histogram\n", name)
+		cum := int64(0)
+		for i := 0; i < NumHistBuckets; i++ {
+			cum += hs.Buckets[i]
+			bw.printf("%s_bucket{le=\"%d\"} %d\n", name, HistBucketBound(i), cum)
+		}
+		bw.printf("%s_bucket{le=\"+Inf\"} %d\n", name, hs.Count)
+		bw.printf("%s_sum %d\n", name, hs.Sum)
+		bw.printf("%s_count %d\n", name, hs.Count)
+	}
+	return bw.err
+}
+
+// errWriter latches the first write error so the exposition loop stays
+// uncluttered.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bytes"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var promSampleRe = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z0-9_]+="[^"]*"(,[a-zA-Z0-9_]+="[^"]*")*\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]Inf|NaN)$`)
+
+// TestWritePromParses: every non-comment line is a well-formed sample, every
+// series has HELP and TYPE lines, and no (name, labels) pair repeats — the
+// invariants a Prometheus scraper enforces.
+func TestWritePromParses(t *testing.T) {
+	s := New(Config{Workers: 2})
+	s.Add(CtrQueries, 42)
+	s.SetGauge(GaugeWorkers, 2)
+	s.Observe(HistQueryNS, 1500)
+	s.Observe(HistQueryNS, 3_000_000)
+	s.Observe(HistQuerySteps, 77)
+
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	typed := map[string]string{} // metric family -> type
+	helped := map[string]bool{}
+	seen := map[string]bool{} // full series key
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			f := strings.Fields(line)
+			if len(f) < 4 {
+				t.Fatalf("malformed HELP line: %q", line)
+			}
+			helped[f[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			if _, dup := typed[f[2]]; dup {
+				t.Fatalf("duplicate TYPE for %s", f[2])
+			}
+			typed[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable sample line: %q", line)
+		}
+		series := m[1] + m[2]
+		if seen[series] {
+			t.Fatalf("duplicate series %q", series)
+		}
+		seen[series] = true
+	}
+
+	// Spot-check key series and their declared types.
+	if typed["parcfl_queries_total"] != "counter" || !helped["parcfl_queries_total"] {
+		t.Fatalf("parcfl_queries_total missing or mistyped: %v", typed["parcfl_queries_total"])
+	}
+	if typed["parcfl_workers"] != "gauge" {
+		t.Fatalf("parcfl_workers type = %q", typed["parcfl_workers"])
+	}
+	if typed["parcfl_query_latency_ns"] != "histogram" {
+		t.Fatalf("parcfl_query_latency_ns type = %q", typed["parcfl_query_latency_ns"])
+	}
+	if !strings.Contains(out, "parcfl_queries_total 42\n") {
+		t.Fatalf("counter value missing:\n%s", out)
+	}
+	if !strings.Contains(out, `parcfl_query_latency_ns_bucket{le="+Inf"} 2`) {
+		t.Fatalf("+Inf bucket wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "parcfl_query_latency_ns_count 2\n") ||
+		!strings.Contains(out, "parcfl_query_latency_ns_sum 3001500\n") {
+		t.Fatalf("histogram sum/count wrong:\n%s", out)
+	}
+}
+
+// TestWritePromHistogramCumulative: bucket counts are monotonically
+// non-decreasing in le and end at the observation count.
+func TestWritePromHistogramCumulative(t *testing.T) {
+	s := New(Config{})
+	for _, v := range []int64{1, 2, 2, 500, 70_000, 1 << 45} {
+		s.Observe(HistQuerySteps, v)
+	}
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`parcfl_query_steps_bucket\{le="([^"]+)"\} ([0-9]+)`)
+	prev := int64(-1)
+	var last int64
+	n := 0
+	for _, m := range re.FindAllStringSubmatch(buf.String(), -1) {
+		c, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c < prev {
+			t.Fatalf("bucket le=%s count %d < previous %d (not cumulative)", m[1], c, prev)
+		}
+		prev = c
+		last = c
+		n++
+	}
+	if n != NumHistBuckets+1 {
+		t.Fatalf("%d bucket lines, want %d", n, NumHistBuckets+1)
+	}
+	if last != 6 {
+		t.Fatalf("+Inf bucket = %d, want 6", last)
+	}
+}
+
+// TestWritePromNilSink: a nil sink still yields a valid (comment-only)
+// scrape body.
+func TestWritePromNilSink(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if !strings.HasPrefix(line, "#") {
+			t.Fatalf("nil sink emitted a sample: %q", line)
+		}
+	}
+}
+
+// TestHelpTablesCover: every counter/gauge/timer/hist has a help string, so
+// new IDs cannot silently ship without documentation.
+func TestHelpTablesCover(t *testing.T) {
+	for c := CounterID(0); c < NumCounters; c++ {
+		if counterHelp[c] == "" {
+			t.Fatalf("counter %v has no help text", c)
+		}
+	}
+	for g := GaugeID(0); g < NumGauges; g++ {
+		if gaugeHelp[g] == "" {
+			t.Fatalf("gauge %v has no help text", g)
+		}
+	}
+	for tm := TimerID(0); tm < NumTimers; tm++ {
+		if timerHelp[tm] == "" {
+			t.Fatalf("timer %v has no help text", tm)
+		}
+	}
+	for h := HistID(0); h < NumHists; h++ {
+		if histHelp[h] == "" {
+			t.Fatalf("hist %v has no help text", h)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestSpanEnableDisable: span hooks no-op until EnableSpans, record while
+// enabled, and DisableSpans hands the spans back exactly once.
+func TestSpanEnableDisable(t *testing.T) {
+	s := New(Config{})
+	if s.SpanTracing() {
+		t.Fatal("spans on by default")
+	}
+	s.Span(SpQuery, 0, 0, 1, 2, 3) // before enable: dropped
+	s.EnableSpans(2, 16)
+	if !s.SpanTracing() {
+		t.Fatal("EnableSpans did not enable")
+	}
+	t0 := s.SpanStart()
+	s.Span(SpQuery, 0, t0, 7, 8, 9)
+	s.SpanInstant(SpJmpTake, 1, 10, 11)
+	spans, dropped := s.DisableSpans()
+	if s.SpanTracing() {
+		t.Fatal("DisableSpans did not disable")
+	}
+	if len(spans) != 2 || dropped != 0 {
+		t.Fatalf("got %d spans, %d dropped", len(spans), dropped)
+	}
+	for _, sp := range spans {
+		if sp.Dur < 0 || sp.T < 0 {
+			t.Fatalf("negative time in %+v", sp)
+		}
+	}
+	if again, _ := s.Spans(); again != nil {
+		t.Fatalf("spans still readable after disable: %v", again)
+	}
+	// SpanCap in Config pre-enables the region.
+	s2 := New(Config{Workers: 1, SpanCap: 8})
+	if !s2.SpanTracing() {
+		t.Fatal("SpanCap did not enable spans")
+	}
+}
+
+// TestSpanBufferLimit: each track is bounded at capPerTrack; overflow drops
+// and is counted rather than growing without bound.
+func TestSpanBufferLimit(t *testing.T) {
+	s := New(Config{})
+	s.EnableSpans(1, 4)
+	for i := 0; i < 10; i++ {
+		s.SpanInstant(SpJmpTake, 0, int64(i), 0)
+	}
+	// The shared track has its own independent limit.
+	for i := 0; i < 6; i++ {
+		s.SpanInstant(SpJmpInsert, NoWorker, int64(i), 0)
+	}
+	spans, dropped := s.Spans()
+	if len(spans) != 8 || dropped != 8 {
+		t.Fatalf("got %d spans, %d dropped; want 8 kept, 8 dropped", len(spans), dropped)
+	}
+}
+
+// TestSpanWorkerRouting: out-of-range worker ids and NoWorker land on the
+// shared track instead of panicking, and concurrent shared-track writers are
+// safe.
+func TestSpanWorkerRouting(t *testing.T) {
+	s := New(Config{})
+	s.EnableSpans(2, 1024)
+	s.SpanInstant(SpJmpInsert, NoWorker, 1, 0)
+	s.SpanInstant(SpJmpInsert, 99, 2, 0) // out of range -> shared track
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				s.SpanInstant(SpJmpInsert, NoWorker, int64(j), 0)
+			}
+		}()
+	}
+	wg.Wait()
+	spans, dropped := s.Spans()
+	if len(spans) != 2+8*50 || dropped != 0 {
+		t.Fatalf("got %d spans, %d dropped", len(spans), dropped)
+	}
+}
+
+// TestSpansSorted: Spans merges tracks into start-time order, ties broken
+// longer-first so parents precede their children.
+func TestSpansSorted(t *testing.T) {
+	r := newSpanRegion(2, 100)
+	r.put(1, Span{Kind: SpQuery, T: 50, Dur: 10})
+	r.put(0, Span{Kind: SpUnit, T: 50, Dur: 200})
+	r.put(NoWorker, Span{Kind: SpRun, T: 10, Dur: 500})
+	r.put(1, Span{Kind: SpCompPts, T: 55, Dur: 2})
+	spans, _ := collectSpans(r)
+	if len(spans) != 4 {
+		t.Fatalf("%d spans", len(spans))
+	}
+	if spans[0].Kind != SpRun || spans[1].Kind != SpUnit || spans[2].Kind != SpQuery || spans[3].Kind != SpCompPts {
+		t.Fatalf("order: %v %v %v %v", spans[0].Kind, spans[1].Kind, spans[2].Kind, spans[3].Kind)
+	}
+}
+
+// TestTraceEventsRoundTrip: the exported trace survives encoding/json, maps
+// workers to distinct threads, marks instants as ph=i, and never emits a
+// negative timestamp or duration.
+func TestTraceEventsRoundTrip(t *testing.T) {
+	s := New(Config{Workers: 2, SpanCap: 64})
+	rt0 := s.SpanStart()
+	q0 := s.SpanStart()
+	s.Span(SpQuery, 0, q0, 4, 120, 1)
+	s.SpanInstant(SpJmpTake, 1, 9, 30)
+	s.Span(SpRun, NoWorker, rt0, 1, 1, 0)
+
+	data, err := json.Marshal(TraceEvents(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TraceFile
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("trace JSON does not round-trip: %v", err)
+	}
+
+	byPh := map[string]int{}
+	tids := map[int64]bool{}
+	threadNames := map[int64]string{}
+	for _, ev := range back.TraceEvents {
+		byPh[ev.Ph]++
+		if ev.Ts < 0 || ev.Dur < 0 {
+			t.Fatalf("negative time in %+v", ev)
+		}
+		if ev.Pid != tracePid {
+			t.Fatalf("pid = %d", ev.Pid)
+		}
+		if ev.Ph == "M" {
+			if ev.Name == "thread_name" {
+				threadNames[ev.Tid] = ev.Args["name"].(string)
+			}
+			continue
+		}
+		tids[ev.Tid] = true
+		if ev.Ph == "i" && ev.S != "t" {
+			t.Fatalf("instant without thread scope: %+v", ev)
+		}
+	}
+	if byPh["X"] != 2 || byPh["i"] != 1 {
+		t.Fatalf("phases: %v", byPh)
+	}
+	// NoWorker -> engine tid 1; workers 0 and 1 -> tids 2 and 3.
+	for tid, name := range map[int64]string{1: "engine", 2: "worker 0", 3: "worker 1"} {
+		if !tids[tid] {
+			t.Fatalf("no events on tid %d (have %v)", tid, tids)
+		}
+		if threadNames[tid] != name {
+			t.Fatalf("tid %d named %q, want %q", tid, threadNames[tid], name)
+		}
+	}
+
+	// The query span kept its named args.
+	for _, ev := range back.TraceEvents {
+		if ev.Name == "query" {
+			if ev.Args["var"] != float64(4) || ev.Args["steps"] != float64(120) {
+				t.Fatalf("query args = %v", ev.Args)
+			}
+		}
+	}
+}
+
+// TestWriteTraceFile: the -trace-out path writes a parseable file even for
+// an empty or nil sink (traceEvents must be [] not null).
+func TestWriteTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := WriteTraceFile(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatal(err)
+	}
+	if tf.TraceEvents == nil {
+		t.Fatal("traceEvents is null, want []")
+	}
+}

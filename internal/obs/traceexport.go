@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"strconv"
+)
+
+// Chrome trace-event JSON export of the recorded spans, loadable in
+// Perfetto (https://ui.perfetto.dev) and chrome://tracing. Each worker
+// goroutine maps to one trace "thread": tid 1 is the shared "engine" track
+// (batch/schedule phases, store insertions), tid 2+w is worker w. Spans
+// become "complete" (ph=X) events — the viewers nest them by time
+// containment, reproducing the query → traversal call structure — and
+// instants become thread-scoped ph=i markers.
+
+// TraceEvent is one exported trace-event record. Timestamps and durations
+// are microseconds, per the trace-event spec.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceFile is the root object of the exported JSON ("JSON Object Format"
+// of the trace-event spec).
+type TraceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	// SpansDropped reports spans lost to full buffers (extra keys are
+	// allowed and preserved by the viewers).
+	SpansDropped int64 `json:"parcflSpansDropped"`
+}
+
+const tracePid = 1
+
+// spanArgNames maps each span kind's A/B/C payloads to argument names; an
+// empty name omits the argument.
+var spanArgNames = [NumSpanKinds][3]string{
+	SpRun:          {"queries", "units", ""},
+	SpWorker:       {"units", "queries", "steps_walked"},
+	SpUnit:         {"unit", "size", ""},
+	SpQuery:        {"var", "steps", "jumps_taken"},
+	SpCompPts:      {"node", "steps", "ctx_depth"},
+	SpCompFls:      {"node", "steps", "ctx_depth"},
+	SpSchedule:     {"groups", "", ""},
+	SpSchedGroup:   {"components", "", ""},
+	SpSchedOrder:   {"groups", "", ""},
+	SpSchedBalance: {"groups", "", ""},
+	SpRefinePass:   {"var", "pass", "approx_fields"},
+	SpIncUpdate:    {"edges_added", "edges_removed", ""},
+	SpJmpTake:      {"node", "steps_saved", ""},
+	SpEarlyTerm:    {"node", "required_budget", ""},
+	SpJmpInsert:    {"node", "cost", ""},
+}
+
+func spanTid(worker int32) int64 {
+	if worker < 0 {
+		return 1 // shared "engine" track
+	}
+	return 2 + int64(worker)
+}
+
+// TraceEvents converts the sink's recorded spans (see Spans) into
+// trace-event records, metadata included. Call it quiesced, like Spans.
+func TraceEvents(s *Sink) TraceFile {
+	spans, dropped := s.Spans()
+	tf := TraceFile{DisplayTimeUnit: "ms", SpansDropped: dropped}
+	// Name the process and every thread that has events.
+	tids := map[int64]bool{}
+	for _, sp := range spans {
+		tids[spanTid(sp.Worker)] = true
+	}
+	tf.TraceEvents = append(tf.TraceEvents, TraceEvent{
+		Name: "process_name", Ph: "M", Pid: tracePid, Tid: 1,
+		Args: map[string]any{"name": "parcfl"},
+	})
+	for _, sp := range spans {
+		tid := spanTid(sp.Worker)
+		if tids[tid] {
+			tids[tid] = false
+			name := "engine"
+			if sp.Worker >= 0 {
+				name = "worker " + strconv.Itoa(int(sp.Worker))
+			}
+			tf.TraceEvents = append(tf.TraceEvents, TraceEvent{
+				Name: "thread_name", Ph: "M", Pid: tracePid, Tid: tid,
+				Args: map[string]any{"name": name},
+			})
+		}
+		ev := TraceEvent{
+			Name: sp.Kind.String(),
+			Cat:  "parcfl",
+			Pid:  tracePid,
+			Tid:  tid,
+			Ts:   float64(sp.T) / 1e3,
+		}
+		if sp.Kind.Instant() {
+			ev.Ph = "i"
+			ev.S = "t"
+		} else {
+			ev.Ph = "X"
+			if sp.Dur > 0 {
+				ev.Dur = float64(sp.Dur) / 1e3
+			}
+		}
+		names := spanArgNames[sp.Kind]
+		vals := [3]int64{sp.A, sp.B, sp.C}
+		for i, n := range names {
+			if n == "" {
+				continue
+			}
+			if ev.Args == nil {
+				ev.Args = make(map[string]any, 3)
+			}
+			ev.Args[n] = vals[i]
+		}
+		tf.TraceEvents = append(tf.TraceEvents, ev)
+	}
+	if tf.TraceEvents == nil {
+		tf.TraceEvents = []TraceEvent{}
+	}
+	return tf
+}
+
+// WriteTraceEvents writes the sink's spans as Chrome trace-event JSON.
+func WriteTraceEvents(w io.Writer, s *Sink) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(TraceEvents(s))
+}
+
+// WriteTraceFile writes the sink's spans as Chrome trace-event JSON to
+// path, creating or truncating it.
+func WriteTraceFile(path string, s *Sink) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTraceEvents(f, s); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

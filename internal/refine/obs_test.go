@@ -1,0 +1,33 @@
+package refine
+
+import (
+	"testing"
+
+	"parcfl/internal/frontend"
+	"parcfl/internal/obs"
+	"parcfl/internal/pag"
+)
+
+func TestRefineObsWiring(t *testing.T) {
+	f, err := frontend.BuildFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := obs.New(obs.Config{SpanCap: 64})
+	s := New(f.Lowered.Graph, Config{Obs: sink})
+	s.PointsTo(f.S1, pag.EmptyContext)
+	if sink.Counter(obs.CtrRefineQueries) != 1 || sink.Counter(obs.CtrRefinePasses) == 0 {
+		t.Fatalf("counters: q=%d p=%d", sink.Counter(obs.CtrRefineQueries), sink.Counter(obs.CtrRefinePasses))
+	}
+	spans, _ := sink.Spans()
+	found := false
+	for _, sp := range spans {
+		if sp.Kind == obs.SpRefinePass {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no SpRefinePass span")
+	}
+
+}

@@ -15,6 +15,7 @@ package refine
 
 import (
 	"parcfl/internal/cfl"
+	"parcfl/internal/obs"
 	"parcfl/internal/pag"
 )
 
@@ -32,6 +33,9 @@ type Config struct {
 	// singleton set, or the absence of a particular object). A nil
 	// callback refines until the answer stops changing.
 	Satisfied func(cfl.Result) bool
+	// Obs receives counters (refine_queries, refine_passes) and — with
+	// span tracing on — one SpRefinePass span per pass. Nil disables.
+	Obs *obs.Sink
 }
 
 // Solver runs refinement-based points-to queries.
@@ -74,15 +78,21 @@ func (s *Solver) PointsTo(v pag.NodeID, ctx pag.Context) Result {
 	precise := map[pag.FieldID]bool{}
 	var out Result
 
+	sink := s.cfg.Obs
 	for pass := 0; s.cfg.MaxPasses == 0 || pass < s.cfg.MaxPasses; pass++ {
+		passT0 := sink.SpanStart()
 		solver := cfl.New(s.g, cfl.Config{
 			Budget: s.cfg.BudgetPerPass,
 			Approx: &cfl.Approx{Precise: precise},
+			Obs:    sink,
+			Worker: obs.NoWorker,
 		})
 		r := solver.PointsTo(v, ctx)
 		out.Final = r
 		out.Passes = pass + 1
 		out.TotalSteps += r.Steps
+		sink.Add(obs.CtrRefinePasses, 1)
+		sink.Span(obs.SpRefinePass, obs.NoWorker, passT0, int64(v), int64(pass), int64(len(r.ApproxFields)))
 
 		if s.cfg.Satisfied != nil && s.cfg.Satisfied(r) {
 			out.Converged = true
@@ -98,6 +108,7 @@ func (s *Solver) PointsTo(v pag.NodeID, ctx pag.Context) Result {
 		}
 	}
 
+	sink.Add(obs.CtrRefineQueries, 1)
 	for f := range precise {
 		out.PreciseFields = append(out.PreciseFields, f)
 	}

@@ -27,6 +27,12 @@ type Shell struct {
 	out    *bufio.Writer
 
 	byName map[string]pag.NodeID
+
+	// sink receives counters, histograms and spans; nil until SetObs or the
+	// first `trace on`. traceFile is the pending span-trace destination set
+	// by `trace on <file>`, flushed by `trace off` or session end.
+	sink      *obs.Sink
+	traceFile string
 }
 
 // New creates a shell over a lowered program. Queries run with the given
@@ -55,12 +61,25 @@ func New(lo *frontend.Lowered, budget int, out io.Writer) *Shell {
 }
 
 // SetObs attaches an observability sink (nil-safe) to the session's jmp
-// store and result cache, so a debug endpoint can watch jmp insertions and
-// cache hit-rates live. Call before issuing queries.
+// store, result cache and solver, so a debug endpoint can watch jmp
+// insertions, cache hit-rates, query latency histograms and (when span
+// tracing is enabled) per-traversal spans live. The solver is rebuilt so
+// spans attribute to worker 0; the jmp store and result cache carry over.
 func (sh *Shell) SetObs(sink *obs.Sink) {
+	sh.sink = sink
 	sh.store.SetObs(sink)
 	sh.cache.SetObs(sink)
+	sh.solver = cfl.New(sh.lo.Graph, cfl.Config{
+		Budget: sh.budget,
+		Share:  sh.store,
+		Cache:  sh.cache,
+		Obs:    sink,
+		Worker: 0,
+	})
 }
+
+// Obs returns the attached observability sink (nil when none was set).
+func (sh *Shell) Obs() *obs.Sink { return sh.sink }
 
 // Banner prints the session header.
 func (sh *Shell) Banner() {
@@ -77,6 +96,7 @@ func (sh *Shell) Run(in io.Reader) {
 		sh.out.Flush()
 		if !sc.Scan() {
 			fmt.Fprintln(sh.out)
+			sh.flushTrace()
 			sh.out.Flush()
 			return
 		}
@@ -85,12 +105,51 @@ func (sh *Shell) Run(in io.Reader) {
 			continue
 		}
 		if line == "quit" || line == "exit" {
+			sh.flushTrace()
 			sh.out.Flush()
 			return
 		}
 		sh.Execute(line)
 		sh.out.Flush()
 	}
+}
+
+// traceCmd implements `trace on <file>` / `trace off`. Tracing can start and
+// stop repeatedly within one session; each `trace off` (or session end with
+// tracing active) writes the spans collected since the matching `trace on`.
+func (sh *Shell) traceCmd(args []string) {
+	switch {
+	case len(args) == 2 && args[0] == "on":
+		if sh.sink == nil {
+			sh.SetObs(obs.New(obs.Config{Workers: 1, TraceCap: 1 << 16}))
+		}
+		sh.sink.EnableSpans(1, 1<<16)
+		sh.traceFile = args[1]
+		fmt.Fprintf(sh.out, "tracing to %s (stop with `trace off` or quit)\n", sh.traceFile)
+	case len(args) == 1 && args[0] == "off":
+		if sh.traceFile == "" {
+			fmt.Fprintln(sh.out, "tracing is not on")
+			return
+		}
+		sh.flushTrace()
+	default:
+		fmt.Fprintln(sh.out, "usage: trace on <file> | trace off")
+	}
+}
+
+// flushTrace writes and clears the pending trace file, if any.
+func (sh *Shell) flushTrace() {
+	if sh.traceFile == "" || sh.sink == nil {
+		return
+	}
+	file := sh.traceFile
+	sh.traceFile = ""
+	if err := obs.WriteTraceFile(file, sh.sink); err != nil {
+		fmt.Fprintf(sh.out, "trace: %v\n", err)
+	} else {
+		fmt.Fprintf(sh.out, "trace written to %s (load in ui.perfetto.dev or chrome://tracing)\n", file)
+	}
+	sh.sink.DisableSpans()
 }
 
 func (sh *Shell) node(name string) (pag.NodeID, bool) {
@@ -130,15 +189,26 @@ func (sh *Shell) Execute(line string) {
   vars [substr]         list queryable variables (filtered)
   objs [substr]         list allocation sites (filtered)
   stats                 graph and session statistics
+  trace on <file>       start span tracing; write Chrome trace JSON to file
+  trace off             stop tracing and write the pending trace file
   quit
 `)
+	case "trace":
+		sh.traceCmd(args)
 	case "pts":
 		if len(args) != 1 {
 			fmt.Fprintln(sh.out, "usage: pts <var>")
 			return
 		}
 		if v, ok := sh.node(args[0]); ok {
-			sh.printSet(fmt.Sprintf("pts(%s) = ", args[0]), sh.solver.PointsTo(v, pag.EmptyContext))
+			t0 := sh.sink.Now()
+			r := sh.solver.PointsTo(v, pag.EmptyContext)
+			if sh.sink.Enabled() {
+				sh.sink.Observe(obs.HistQueryNS, sh.sink.Now()-t0)
+				sh.sink.Observe(obs.HistQuerySteps, int64(r.Steps))
+				sh.sink.Span(obs.SpQuery, 0, t0, int64(v), int64(r.Steps), int64(r.JumpsTaken))
+			}
+			sh.printSet(fmt.Sprintf("pts(%s) = ", args[0]), r)
 		}
 	case "flows":
 		if len(args) != 1 {

@@ -2,6 +2,9 @@ package repl
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -118,5 +121,80 @@ func TestRunEOF(t *testing.T) {
 	sh.Run(strings.NewReader("stats\n"))
 	if !strings.Contains(buf.String(), "graph:") {
 		t.Fatalf("output: %q", buf.String())
+	}
+}
+
+// TestTraceCommand: `trace on <file>` records query spans and `trace off`
+// writes a parseable Chrome trace-event file.
+func TestTraceCommand(t *testing.T) {
+	sh, buf, f := fig2Shell(t)
+	name := f.Lowered.Graph.Node(f.S1).Name
+	path := filepath.Join(t.TempDir(), "trace.json")
+
+	sh.Execute("trace on " + path)
+	sh.Execute("pts " + name)
+	sh.Execute("trace off")
+	sh.out.Flush()
+
+	if !strings.Contains(buf.String(), "trace written to "+path) {
+		t.Fatalf("no confirmation: %q", buf.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	queries := 0
+	for _, ev := range tf.TraceEvents {
+		if ev.Dur < 0 {
+			t.Fatalf("negative duration: %+v", ev)
+		}
+		if ev.Name == "query" {
+			queries++
+		}
+	}
+	if queries != 1 {
+		t.Fatalf("%d query spans, want 1", queries)
+	}
+	if sh.Obs().SpanTracing() {
+		t.Fatal("trace off left spans enabled")
+	}
+}
+
+// TestTraceCommandErrors: bad arguments and a stray `trace off` are
+// reported, not fatal.
+func TestTraceCommandErrors(t *testing.T) {
+	sh, buf, _ := fig2Shell(t)
+	sh.Execute("trace")
+	sh.Execute("trace off")
+	sh.Execute("trace on")
+	sh.out.Flush()
+	out := buf.String()
+	if strings.Count(out, "usage: trace") != 2 || !strings.Contains(out, "tracing is not on") {
+		t.Fatalf("output: %q", out)
+	}
+}
+
+// TestTraceFlushOnQuit: quitting with tracing active still writes the file.
+func TestTraceFlushOnQuit(t *testing.T) {
+	sh, _, f := fig2Shell(t)
+	name := f.Lowered.Graph.Node(f.S1).Name
+	path := filepath.Join(t.TempDir(), "trace.json")
+	sh.Run(strings.NewReader("trace on " + path + "\npts " + name + "\nquit\n"))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("quit did not flush the trace: %v", err)
+	}
+	if !strings.Contains(string(data), `"query"`) {
+		t.Fatalf("flushed trace has no query span: %s", data)
 	}
 }

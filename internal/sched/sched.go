@@ -60,25 +60,30 @@ func Schedule(g *pag.Graph, queries []pag.NodeID, typeLevels []int) *Plan {
 }
 
 // ScheduleObs is Schedule with an observability sink: plan construction is
-// timed into obs.TmSchedule and summarised as an obs.EvSchedPlan trace
-// event. A nil sink costs nothing.
+// timed into obs.TmSchedule, summarised as an obs.EvSchedPlan trace event,
+// and (with span tracing on) broken into phase spans — grouping, CD/DD
+// ordering, rebalancing — under one SpSchedule parent on the shared engine
+// track. A nil sink costs nothing.
 func ScheduleObs(g *pag.Graph, queries []pag.NodeID, typeLevels []int, sink *obs.Sink) *Plan {
 	if !sink.Enabled() {
-		return schedule(g, queries, typeLevels)
+		return schedule(g, queries, typeLevels, nil)
 	}
 	t0 := time.Now()
-	plan := schedule(g, queries, typeLevels)
+	st0 := sink.SpanStart()
+	plan := schedule(g, queries, typeLevels, sink)
 	d := time.Since(t0)
 	sink.Time(obs.TmSchedule, d)
 	sink.SetGauge(obs.GaugeUnits, int64(len(plan.Groups)))
 	sink.Trace(obs.EvSchedPlan, obs.NoWorker, int64(len(plan.Groups)), int64(d))
+	sink.Span(obs.SpSchedule, obs.NoWorker, st0, int64(len(plan.Groups)), 0, 0)
 	return plan
 }
 
-func schedule(g *pag.Graph, queries []pag.NodeID, typeLevels []int) *Plan {
+func schedule(g *pag.Graph, queries []pag.NodeID, typeLevels []int, sink *obs.Sink) *Plan {
 	n := g.NumNodes()
 
 	// --- 1. Connected components of the direct relation (undirected). ---
+	groupT0 := sink.SpanStart()
 	uf := newUnionFind(n)
 	for x := 0; x < n; x++ {
 		for _, he := range g.In(pag.NodeID(x)) {
@@ -98,8 +103,10 @@ func schedule(g *pag.Graph, queries []pag.NodeID, typeLevels []int) *Plan {
 		seen[v] = struct{}{}
 		byComp[uf.find(int(v))] = append(byComp[uf.find(int(v))], v)
 	}
+	sink.Span(obs.SpSchedGroup, obs.NoWorker, groupT0, int64(len(byComp)), 0, 0)
 
 	// --- 2. Connection distances, computed once over the whole graph. ---
+	orderT0 := sink.SpanStart()
 	cd := connectionDistances(g)
 
 	// --- 3. Dependence depths. ---
@@ -147,6 +154,7 @@ func schedule(g *pag.Graph, queries []pag.NodeID, typeLevels []int) *Plan {
 		}
 		return groups[i].min < groups[j].min
 	})
+	sink.Span(obs.SpSchedOrder, obs.NoWorker, orderT0, int64(len(groups)), 0, 0)
 
 	plan := &Plan{NumComponents: len(groups)}
 	if len(groups) == 0 {
@@ -163,6 +171,7 @@ func schedule(g *pag.Graph, queries []pag.NodeID, typeLevels []int) *Plan {
 	plan.AvgGroupSize = float64(total) / float64(len(groups))
 
 	// --- 4. Split/merge to roughly M variables per group. ---
+	balanceT0 := sink.SpanStart()
 	var cur []pag.NodeID
 	for _, gr := range groups {
 		vs := gr.vars
@@ -182,6 +191,7 @@ func schedule(g *pag.Graph, queries []pag.NodeID, typeLevels []int) *Plan {
 	if len(cur) > 0 {
 		plan.Groups = append(plan.Groups, cur)
 	}
+	sink.Span(obs.SpSchedBalance, obs.NoWorker, balanceT0, int64(len(plan.Groups)), 0, 0)
 	return plan
 }
 

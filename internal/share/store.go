@@ -192,6 +192,7 @@ func (st *Store) PutFinished(k Key, s int, targets []pag.NodeCtx) bool {
 		st.histFinished[Bucket(s)].Add(1)
 		st.sink.Add(obs.CtrJmpFinishedIns, 1)
 		st.sink.Trace(obs.EvJmpInsert, obs.NoWorker, int64(k.Node), int64(s))
+		st.sink.SpanInstant(obs.SpJmpInsert, obs.NoWorker, int64(k.Node), int64(s))
 	} else {
 		st.insertLost.Add(1)
 	}
@@ -212,6 +213,7 @@ func (st *Store) PutUnfinished(k Key, s int) bool {
 		st.histUnfinished[Bucket(s)].Add(1)
 		st.sink.Add(obs.CtrJmpUnfinishedIns, 1)
 		st.sink.Trace(obs.EvJmpInsert, obs.NoWorker, int64(k.Node), -int64(s))
+		st.sink.SpanInstant(obs.SpJmpInsert, obs.NoWorker, int64(k.Node), -int64(s))
 	} else {
 		st.insertLost.Add(1)
 	}
