@@ -1,0 +1,75 @@
+// Command benchdiff is the bench regression gate: it compares two labelled
+// reports of a BENCH_runs.json history (see cmd/experiments -json) against
+// percentage thresholds, prints a delta table, and exits non-zero when the
+// head report regressed — wall time up, or the sharing counters
+// (steps_saved, jumps_taken, early_terminations) down.
+//
+// Usage:
+//
+//	benchdiff -base ci-baseline -head ci
+//	benchdiff -file BENCH_runs.json -base baseline -head pr-7 -wall-pct 10
+//	benchdiff -base ci-baseline -head ci -wall-pct 0   # counters only
+//
+// Exit status: 0 when no gate fails, 1 on regression, 2 on usage or I/O
+// errors. Wall time is host-bound — when base and head come from different
+// machines, disable or loosen the wall gate (-wall-pct 0 / a large value)
+// and let the deterministic counters carry the comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"parcfl/internal/experiments"
+)
+
+func main() {
+	def := experiments.DefaultDiffOptions()
+	file := flag.String("file", "BENCH_runs.json", "bench history file")
+	base := flag.String("base", "", "label of the baseline report")
+	head := flag.String("head", "", "label of the candidate report")
+	wallPct := flag.Float64("wall-pct", def.WallPct,
+		"fail when wall_ns grows more than this percent (0 disables the wall gate)")
+	countPct := flag.Float64("count-pct", def.CountPct,
+		"fail when steps_saved/jumps_taken/early_terminations drop more than this percent (0 disables)")
+	minCount := flag.Int64("min-count", def.MinCount,
+		"ignore counter drops whose baseline value is below this floor")
+	minWall := flag.Duration("min-wall", time.Duration(def.MinWallNS),
+		"ignore wall regressions whose baseline ran shorter than this")
+	flag.Parse()
+
+	if *base == "" || *head == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: need -base and -head labels")
+		flag.Usage()
+		os.Exit(2)
+	}
+	hist, err := experiments.LoadBenchHistory(*file)
+	if err != nil {
+		fail(err)
+	}
+	baseRep, err := experiments.ReportByLabel(hist, *base)
+	if err != nil {
+		fail(err)
+	}
+	headRep, err := experiments.ReportByLabel(hist, *head)
+	if err != nil {
+		fail(err)
+	}
+	d := experiments.DiffReports(baseRep, headRep, experiments.DiffOptions{
+		WallPct:   *wallPct,
+		CountPct:  *countPct,
+		MinCount:  *minCount,
+		MinWallNS: int64(*minWall),
+	})
+	d.WriteTable(os.Stdout)
+	if d.Regressions > 0 {
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}

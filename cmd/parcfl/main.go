@@ -17,7 +17,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
 
 	"parcfl/internal/frontend"
 	"parcfl/internal/gofront"
@@ -33,8 +39,9 @@ func main() {
 	bench := flag.String("bench", "", "benchmark preset name")
 	scale := flag.Float64("scale", 0.005, "generation scale for -bench")
 	budget := flag.Int("budget", 75000, "per-query step budget")
-	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/pprof, /debug/obs and /metrics on this address (e.g. localhost:6060)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/pprof, /debug/obs, /debug/timeseries and /metrics on this address (e.g. localhost:6060)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file of the session on exit (load in ui.perfetto.dev or chrome://tracing)")
+	sample := flag.Duration("sample", 0, "flight-recorder sampling interval, e.g. 50ms (0 = off; toggle later with the `record` command)")
 	flag.Parse()
 
 	var prg *frontend.Program
@@ -72,14 +79,23 @@ func main() {
 	}
 
 	sh := repl.New(lo, *budget, os.Stdout)
-	if *debugAddr != "" || *traceOut != "" {
+	var sink *obs.Sink
+	var rec *obs.Recorder
+	var srv *http.Server
+	if *debugAddr != "" || *traceOut != "" || *sample > 0 {
 		cfg := obs.Config{Workers: 1, TraceCap: 1 << 16}
 		if *traceOut != "" {
 			cfg.SpanCap = 1 << 16
 		}
-		sink := obs.New(cfg)
+		sink = obs.New(cfg)
+		if *sample > 0 {
+			rec = obs.NewRecorder(sink, obs.RecorderConfig{Interval: *sample})
+			sink.AttachRecorder(rec)
+			rec.Start()
+		}
 		if *debugAddr != "" {
-			_, addr, err := obs.ServeDebug(*debugAddr, sink)
+			var addr net.Addr
+			srv, addr, err = obs.ServeDebug(*debugAddr, sink)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "parcfl:", err)
 				os.Exit(1)
@@ -88,13 +104,35 @@ func main() {
 		}
 		sh.SetObs(sink)
 	}
+	// cleanup quiesces observability exactly once — at normal session end
+	// or on SIGINT/SIGTERM: stop the sampler (final point), write the
+	// pending trace (the repl's `record` command may have attached a
+	// recorder after startup, so re-read it from the sink), and gracefully
+	// shut down the debug server rather than leaking its goroutine.
+	var cleanupOnce sync.Once
+	cleanup := func() {
+		cleanupOnce.Do(func() {
+			rec.Stop()
+			sh.Obs().FlightRecorder().Stop()
+			if *traceOut != "" {
+				if err := obs.WriteTraceFile(*traceOut, sh.Obs()); err != nil {
+					fmt.Fprintln(os.Stderr, "parcfl:", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "trace written to %s (load in ui.perfetto.dev or chrome://tracing)\n", *traceOut)
+				}
+			}
+			obs.ShutdownDebug(srv, 2*time.Second)
+		})
+	}
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		cleanup()
+		os.Exit(1)
+	}()
+
 	sh.Banner()
 	sh.Run(os.Stdin)
-	if *traceOut != "" {
-		if err := obs.WriteTraceFile(*traceOut, sh.Obs()); err != nil {
-			fmt.Fprintln(os.Stderr, "parcfl:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "trace written to %s (load in ui.perfetto.dev or chrome://tracing)\n", *traceOut)
-	}
+	cleanup()
 }

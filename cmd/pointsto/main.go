@@ -14,9 +14,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"sync"
+	"syscall"
+	"time"
 
 	"parcfl/internal/engine"
 	"parcfl/internal/frontend"
@@ -35,9 +41,62 @@ func main() {
 	threads := flag.Int("threads", 16, "worker count")
 	budget := flag.Int("budget", 75000, "per-query step budget (0 = unbounded)")
 	top := flag.Int("top", 0, "print the N queries with the largest points-to sets")
-	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/pprof, /debug/obs and /metrics on this address (e.g. localhost:6060)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/pprof, /debug/obs, /debug/timeseries and /metrics on this address (e.g. localhost:6060)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file of the run (load in ui.perfetto.dev or chrome://tracing)")
+	sample := flag.Duration("sample", 0, "flight-recorder sampling interval, e.g. 50ms (0 = off; series go to /debug/timeseries, /metrics and -trace-out counter tracks)")
 	flag.Parse()
+
+	// Observability is set up before the graph is built so the flight
+	// recorder's history covers generation and lowering, not just the run.
+	var sink *obs.Sink
+	var rec *obs.Recorder
+	var srv *http.Server
+	if *debugAddr != "" || *traceOut != "" || *sample > 0 {
+		cfg := obs.Config{Workers: *threads, TraceCap: 1 << 16}
+		if *traceOut != "" {
+			cfg.SpanCap = 1 << 16
+		}
+		sink = obs.New(cfg)
+		if *sample > 0 {
+			rec = obs.NewRecorder(sink, obs.RecorderConfig{Interval: *sample})
+			sink.AttachRecorder(rec)
+			rec.Start()
+		}
+		if *debugAddr != "" {
+			var addr net.Addr
+			var err error
+			srv, addr, err = obs.ServeDebug(*debugAddr, sink)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/\n", addr)
+		}
+	}
+	// cleanup quiesces observability exactly once — on the normal exit path
+	// below or on SIGINT/SIGTERM — stopping the sampler (which takes a
+	// final point), flushing the trace file, and gracefully shutting down
+	// the debug server instead of leaking its goroutine.
+	var cleanupOnce sync.Once
+	cleanup := func() {
+		cleanupOnce.Do(func() {
+			rec.Stop()
+			if *traceOut != "" {
+				if err := obs.WriteTraceFile(*traceOut, sink); err != nil {
+					fmt.Fprintln(os.Stderr, "pointsto:", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "trace written to %s (load in ui.perfetto.dev or chrome://tracing)\n", *traceOut)
+				}
+			}
+			obs.ShutdownDebug(srv, 2*time.Second)
+		})
+	}
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		cleanup()
+		os.Exit(1)
+	}()
 
 	var g *pag.Graph
 	var queries []pag.NodeID
@@ -104,32 +163,10 @@ func main() {
 		fail(fmt.Errorf("unknown mode %q (want seq|naive|d|dq)", *mode))
 	}
 
-	var sink *obs.Sink
-	if *debugAddr != "" || *traceOut != "" {
-		cfg := obs.Config{Workers: *threads, TraceCap: 1 << 16}
-		if *traceOut != "" {
-			cfg.SpanCap = 1 << 16
-		}
-		sink = obs.New(cfg)
-		if *debugAddr != "" {
-			_, addr, err := obs.ServeDebug(*debugAddr, sink)
-			if err != nil {
-				fail(err)
-			}
-			fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/\n", addr)
-		}
-	}
-
 	res, st := engine.Run(g, queries, engine.Config{
 		Mode: m, Threads: *threads, Budget: *budget, TypeLevels: levels, Obs: sink,
 	})
-
-	if *traceOut != "" {
-		if err := obs.WriteTraceFile(*traceOut, sink); err != nil {
-			fail(err)
-		}
-		fmt.Fprintf(os.Stderr, "trace written to %s (load in ui.perfetto.dev or chrome://tracing)\n", *traceOut)
-	}
+	cleanup()
 
 	fmt.Printf("strategy:            %s x%d\n", st.Mode, st.Threads)
 	fmt.Printf("graph:               %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())

@@ -264,6 +264,8 @@ func Run(g *pag.Graph, queries []pag.NodeID, cfg Config) ([]QueryResult, Stats) 
 	}
 	sink.SetGauge(obs.GaugeWorkers, int64(threads))
 	sink.SetGauge(obs.GaugeUnits, int64(len(units)))
+	sink.SetGauge(obs.GaugeWorklistDepth, int64(len(units)))
+	sink.SetGauge(obs.GaugeInflight, 0)
 	total := 0
 	for _, u := range units {
 		total += len(u)
@@ -309,13 +311,19 @@ func Run(g *pag.Graph, queries []pag.NodeID, cfg Config) ([]QueryResult, Stats) 
 				unitT0 := sink.SpanStart()
 				sink.Trace(obs.EvUnitClaim, int32(w), int64(u), int64(len(units[u])))
 				sink.Add(obs.CtrUnitsClaimed, 1)
+				// Racing workers may write depths slightly out of order;
+				// the gauge is a sampling target for the flight recorder's
+				// drain-rate view, not an exact queue length.
+				sink.SetGauge(obs.GaugeWorklistDepth, int64(len(units)-u-1))
 				local.Units++
 				out := results[offsets[u]:offsets[u+1]]
 				for i, v := range units[u] {
 					// sink.Now is the per-query clock for both the latency
 					// histogram and the query span (0 when the sink is nil).
 					qT0 := sink.Now()
+					sink.AddGauge(obs.GaugeInflight, 1)
 					r := solver.PointsTo(v, pag.EmptyContext)
+					sink.AddGauge(obs.GaugeInflight, -1)
 					out[i] = QueryResult{
 						Var:             v,
 						Objects:         r.Objects(),

@@ -237,3 +237,46 @@ func BenchmarkRunWithObs(b *testing.B) {
 		Run(g, queries, Config{Mode: DQ, Threads: 4, TauF: 1, TauU: 1, TypeLevels: levels, Obs: sink})
 	}
 }
+
+// TestRunDrainsFlightRecorderGauges: the scheduler gauges the flight
+// recorder samples must land at their quiesced values once a run finishes —
+// worklist drained, no queries in flight, share sizes matching stats.
+func TestRunDrainsFlightRecorderGauges(t *testing.T) {
+	lo := genBench(t)
+	sink := obs.New(obs.Config{Workers: 2})
+	_, st := Run(lo.Graph, lo.AppQueryVars, Config{
+		Mode: DQ, Threads: 2, TauF: 1, TauU: 1, TypeLevels: lo.TypeLevels, Obs: sink,
+	})
+
+	if got := sink.Gauge(obs.GaugeWorklistDepth); got != 0 {
+		t.Errorf("worklist_depth after run = %d, want 0", got)
+	}
+	if got := sink.Gauge(obs.GaugeInflight); got != 0 {
+		t.Errorf("inflight_queries after run = %d, want 0", got)
+	}
+	if got := sink.Gauge(obs.GaugeSchedComponents); got <= 0 {
+		t.Errorf("sched_components = %d, want > 0", got)
+	}
+	wantShare := st.Share.FinishedAdded + st.Share.UnfinishedAdded
+	gotShare := sink.Gauge(obs.GaugeShareFinished) + sink.Gauge(obs.GaugeShareUnfinished)
+	if gotShare != wantShare {
+		t.Errorf("share size gauges = %d, stats added %d", gotShare, wantShare)
+	}
+	if hw := sink.Gauge(obs.GaugeShareHighWater); hw != wantShare {
+		t.Errorf("share high-water gauge = %d, want %d", hw, wantShare)
+	}
+	if got := sink.Counter(obs.CtrShareLookups); got != st.Share.Lookups {
+		t.Errorf("share_lookups counter = %d, stats say %d", got, st.Share.Lookups)
+	}
+	if got := sink.Counter(obs.CtrShareHits); got != st.Share.LookupHits {
+		t.Errorf("share_hits counter = %d, stats say %d", got, st.Share.LookupHits)
+	}
+
+	// A recorder attached to the same sink picks those values up.
+	rec := obs.NewRecorder(sink, obs.RecorderConfig{Cap: 4})
+	rec.SampleOnce()
+	ts := rec.Snapshot()
+	if i := ts.Index("share_high_water"); i < 0 || ts.Points[0].V[i] != float64(wantShare) {
+		t.Errorf("recorder share_high_water sample wrong (idx %d)", i)
+	}
+}

@@ -77,6 +77,12 @@ type BenchReport struct {
 	Scale     float64 `json:"scale"`
 	Budget    int     `json:"budget"`
 	Threads   int     `json:"threads"`
+	// GoMaxProcs and NumCPU pin down the parallelism the host actually
+	// offered: when Threads > NumCPU the workers time-share cores and
+	// wall_speedup systematically underestimates parallel scaling (the
+	// modeled_speedup column is the hardware-independent number).
+	GoMaxProcs int `json:"go_max_procs"`
+	NumCPU     int `json:"num_cpu"`
 
 	// Label names the run (e.g. "baseline", "pr-12", "ci-smoke"); a
 	// re-run with the same non-empty label replaces the earlier entry in
@@ -220,14 +226,16 @@ func BenchGrid(opts Options) (*BenchReport, error) {
 	}
 
 	rep := &BenchReport{
-		Schema:    BenchSchema,
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		Host:      fmt.Sprintf("%s/%s %d cores", runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
-		Scale:     opts.Scale,
-		Budget:    opts.Budget,
-		Threads:   opts.Threads,
-		Label:     opts.Label,
-		GitRev:    opts.GitRev,
+		Schema:     BenchSchema,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Host:       fmt.Sprintf("%s/%s %d cores", runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
+		Scale:      opts.Scale,
+		Budget:     opts.Budget,
+		Threads:    opts.Threads,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Label:      opts.Label,
+		GitRev:     opts.GitRev,
 	}
 	for _, pr := range presets {
 		b, err := PrepareBench(pr, opts.Scale)
@@ -266,6 +274,10 @@ func BenchTrajectory(opts Options) error {
 	w := opts.Out
 	fmt.Fprintf(w, "Bench trajectory: %d runs (scale=%.4g, B=%d, %d threads)\n",
 		len(rep.Runs), rep.Scale, rep.Budget, rep.Threads)
+	if rep.Threads > rep.NumCPU {
+		fmt.Fprintf(w, "warning: %d threads on %d cores — workers are time-sharing, so wallX underestimates parallel scaling; read the modeled column instead\n",
+			rep.Threads, rep.NumCPU)
+	}
 	fmt.Fprintf(w, "%-14s %-16s %10s %8s %8s %8s %8s %9s %9s\n",
 		"Benchmark", "Mode", "wall", "queries", "aborted", "modeled", "wallX", "shareHit", "cacheHit")
 	for _, r := range rep.Runs {

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// diffRun builds one grid cell with healthy counter values well above the
+// default noise floors.
+func diffRun(bench, mode string, wallNS int64) BenchRun {
+	return BenchRun{
+		Bench: bench, Mode: mode, Threads: 4,
+		WallNS:            wallNS,
+		Queries:           200,
+		EarlyTerminations: 120,
+		StepsSaved:        10_000,
+		JumpsTaken:        800,
+	}
+}
+
+func diffReport(label string, runs ...BenchRun) *BenchReport {
+	return &BenchReport{Schema: BenchSchema, Label: label, Runs: runs}
+}
+
+func findCell(t *testing.T, d *Diff, bench, mode, metric string) DiffCell {
+	t.Helper()
+	for _, c := range d.Cells {
+		if c.Bench == bench && c.Mode == mode && c.Metric == metric {
+			return c
+		}
+	}
+	t.Fatalf("no cell %s/%s/%s in %+v", bench, mode, metric, d.Cells)
+	return DiffCell{}
+}
+
+func TestDiffWallRegressionThreshold(t *testing.T) {
+	base := diffReport("base", diffRun("b1", "dq", 10*int64(time.Millisecond)))
+
+	// +25% wall trips the default 20% gate.
+	head := diffReport("head", diffRun("b1", "dq", 12_500_000))
+	d := DiffReports(base, head, DefaultDiffOptions())
+	c := findCell(t, d, "b1", "dq", "wall_ns")
+	if !c.Regression || d.Regressions != 1 {
+		t.Fatalf("+25%% wall not flagged: cell=%+v regressions=%d", c, d.Regressions)
+	}
+
+	// +10% does not.
+	head = diffReport("head", diffRun("b1", "dq", 11_000_000))
+	d = DiffReports(base, head, DefaultDiffOptions())
+	if c := findCell(t, d, "b1", "dq", "wall_ns"); c.Regression {
+		t.Fatalf("+10%% wall flagged: %+v", c)
+	}
+	if d.Regressions != 0 {
+		t.Fatalf("regressions = %d, want 0", d.Regressions)
+	}
+
+	// -wall-pct 0 disables the gate even for a 3x slowdown.
+	head = diffReport("head", diffRun("b1", "dq", 30_000_000))
+	opt := DefaultDiffOptions()
+	opt.WallPct = 0
+	d = DiffReports(base, head, opt)
+	c = findCell(t, d, "b1", "dq", "wall_ns")
+	if c.Regression || !c.Skipped {
+		t.Fatalf("disabled wall gate still fired: %+v", c)
+	}
+}
+
+func TestDiffWallNoiseFloor(t *testing.T) {
+	// Baseline under MinWallNS (1ms default): even a 10x slowdown is noise.
+	base := diffReport("base", diffRun("b1", "dq", 100_000))
+	head := diffReport("head", diffRun("b1", "dq", 1_000_000))
+	d := DiffReports(base, head, DefaultDiffOptions())
+	c := findCell(t, d, "b1", "dq", "wall_ns")
+	if c.Regression || !c.Skipped || c.Note != "below noise floor" {
+		t.Fatalf("sub-floor wall cell not skipped: %+v", c)
+	}
+}
+
+func TestDiffCounterDropRegression(t *testing.T) {
+	base := diffReport("base", diffRun("b1", "dq", 10_000_000))
+	headRun := diffRun("b1", "dq", 10_000_000)
+	headRun.StepsSaved = 4_000 // -60% trips the default 50% drop gate
+	head := diffReport("head", headRun)
+	d := DiffReports(base, head, DefaultDiffOptions())
+	if c := findCell(t, d, "b1", "dq", "steps_saved"); !c.Regression {
+		t.Fatalf("-60%% steps_saved not flagged: %+v", c)
+	}
+	// Counters moving UP never fail.
+	headRun.StepsSaved = 50_000
+	d = DiffReports(base, diffReport("head", headRun), DefaultDiffOptions())
+	if c := findCell(t, d, "b1", "dq", "steps_saved"); c.Regression {
+		t.Fatalf("counter growth flagged: %+v", c)
+	}
+}
+
+func TestDiffCounterNoiseFloor(t *testing.T) {
+	baseRun := diffRun("b1", "dq", 10_000_000)
+	baseRun.JumpsTaken = 20 // below MinCount=50
+	headRun := diffRun("b1", "dq", 10_000_000)
+	headRun.JumpsTaken = 2 // -90%, but the baseline is noise
+	d := DiffReports(diffReport("base", baseRun), diffReport("head", headRun), DefaultDiffOptions())
+	c := findCell(t, d, "b1", "dq", "jumps_taken")
+	if c.Regression || !c.Skipped || c.Note != "below noise floor" {
+		t.Fatalf("sub-floor counter cell not skipped: %+v", c)
+	}
+}
+
+func TestDiffQueryCensusMismatchIncomparable(t *testing.T) {
+	base := diffReport("base", diffRun("b1", "dq", 10_000_000))
+	headRun := diffRun("b1", "dq", 100_000_000) // would regress everything...
+	headRun.Queries = 999                       // ...but the workload changed
+	headRun.StepsSaved = 0
+	d := DiffReports(base, diffReport("head", headRun), DefaultDiffOptions())
+	if d.Regressions != 0 {
+		t.Fatalf("incomparable cell gated: %d regressions", d.Regressions)
+	}
+	if len(d.Incomparable) != 1 || !strings.Contains(d.Incomparable[0], "b1/dq") {
+		t.Fatalf("incomparable not reported: %v", d.Incomparable)
+	}
+	for _, c := range d.Cells {
+		if !c.Skipped || c.Note != "query census changed" {
+			t.Fatalf("cell not marked incomparable: %+v", c)
+		}
+	}
+}
+
+func TestDiffMissingHeadCell(t *testing.T) {
+	base := diffReport("base",
+		diffRun("b1", "dq", 10_000_000), diffRun("b2", "seq", 10_000_000))
+	head := diffReport("head", diffRun("b1", "dq", 10_000_000))
+	d := DiffReports(base, head, DefaultDiffOptions())
+	if len(d.MissingHead) != 1 || d.MissingHead[0] != "b2/seq" {
+		t.Fatalf("missing cell not reported: %v", d.MissingHead)
+	}
+	if d.Regressions != 0 {
+		t.Fatalf("missing cell counted as regression")
+	}
+}
+
+func TestDiffTableVerdicts(t *testing.T) {
+	base := diffReport("base", diffRun("b1", "dq", 10_000_000))
+	head := diffReport("head", diffRun("b1", "dq", 20_000_000))
+	d := DiffReports(base, head, DefaultDiffOptions())
+	var sb strings.Builder
+	d.WriteTable(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "FAIL: 1 regression(s)") {
+		t.Fatalf("table missing failure verdict:\n%s", out)
+	}
+	d = DiffReports(base, diffReport("head", diffRun("b1", "dq", 10_000_000)), DefaultDiffOptions())
+	sb.Reset()
+	d.WriteTable(&sb)
+	if !strings.Contains(sb.String(), "PASS: no regressions") {
+		t.Fatalf("table missing pass verdict:\n%s", sb.String())
+	}
+}
+
+func TestReportByLabel(t *testing.T) {
+	h := &BenchHistory{Schema: BenchHistorySchema, Reports: []BenchReport{
+		{Schema: BenchSchema, Label: "ci-baseline"},
+		{Schema: BenchSchema, Label: "ci"},
+	}}
+	rep, err := ReportByLabel(h, "ci")
+	if err != nil || rep.Label != "ci" {
+		t.Fatalf("lookup failed: %v %v", rep, err)
+	}
+	_, err = ReportByLabel(h, "nope")
+	if err == nil {
+		t.Fatal("missing label did not error")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "ci-baseline") || !strings.Contains(msg, "ci") {
+		t.Fatalf("error does not list available labels: %v", err)
+	}
+}
+
+// TestDiffAgainstWrittenHistory exercises the full benchdiff pipeline the CLI
+// uses: write two labelled reports into a history file, load it back, look
+// both up, and diff — a synthetic >=20%% wall regression must gate.
+func TestDiffAgainstWrittenHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_runs.json")
+	if _, err := WriteBenchHistory(path, *diffReport("ci-baseline", diffRun("b1", "dq", 10_000_000))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteBenchHistory(path, *diffReport("ci", diffRun("b1", "dq", 12_500_000))); err != nil {
+		t.Fatal(err)
+	}
+	h, err := LoadBenchHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := ReportByLabel(h, "ci-baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err := ReportByLabel(h, "ci")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DiffReports(base, head, DefaultDiffOptions())
+	if d.Regressions == 0 {
+		t.Fatal("synthetic +25% wall regression passed the gate")
+	}
+}

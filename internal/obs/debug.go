@@ -1,20 +1,24 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // Handler returns an http.Handler exposing the standard debug surface:
 //
-//	/debug/vars     — expvar (cmdline, memstats, and anything published)
-//	/debug/pprof/   — net/http/pprof profiles
-//	/debug/obs      — JSON Snapshot of the given sink (nil sink → zero snapshot)
-//	/metrics        — Prometheus text exposition (counters, gauges, timers,
-//	                  latency histograms)
+//	/debug/vars       — expvar (cmdline, memstats, and anything published)
+//	/debug/pprof/     — net/http/pprof profiles
+//	/debug/obs        — JSON Snapshot of the given sink (nil sink → zero snapshot)
+//	/debug/timeseries — flight-recorder history (obs.TimeSeries JSON; empty
+//	                    when no recorder is attached)
+//	/metrics          — Prometheus text exposition (counters, gauges, timers,
+//	                    latency histograms, flight-recorder last sample)
 //
 // A dedicated mux is used so callers never pollute http.DefaultServeMux.
 func Handler(sink *Sink) http.Handler {
@@ -35,9 +39,15 @@ func Handler(sink *Sink) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(sink.Snapshot())
 	})
+	mux.HandleFunc("/debug/timeseries", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(sink.FlightRecorder().Snapshot())
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("parcfl debug endpoint\n\n/debug/vars\n/debug/pprof/\n/debug/obs\n/metrics\n"))
+		_, _ = w.Write([]byte("parcfl debug endpoint\n\n/debug/vars\n/debug/pprof/\n/debug/obs\n/debug/timeseries\n/metrics\n"))
 	})
 	return mux
 }
@@ -45,7 +55,8 @@ func Handler(sink *Sink) http.Handler {
 // ServeDebug starts the debug HTTP endpoint on addr (e.g. "localhost:6060";
 // use ":0" for an ephemeral port) serving Handler(sink) in a background
 // goroutine. It returns the server and the bound address; callers shut it
-// down with srv.Close.
+// down gracefully with ShutdownDebug (or srv.Close to abort in-flight
+// requests).
 func ServeDebug(addr string, sink *Sink) (*http.Server, net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -54,4 +65,16 @@ func ServeDebug(addr string, sink *Sink) (*http.Server, net.Addr, error) {
 	srv := &http.Server{Handler: Handler(sink)}
 	go func() { _ = srv.Serve(ln) }()
 	return srv, ln.Addr(), nil
+}
+
+// ShutdownDebug gracefully shuts down a server started by ServeDebug:
+// the listener closes immediately, in-flight requests get up to timeout to
+// finish. A nil srv is a no-op, so callers can defer it unconditionally.
+func ShutdownDebug(srv *http.Server, timeout time.Duration) {
+	if srv == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
 }

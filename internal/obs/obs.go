@@ -56,6 +56,11 @@ const (
 	CtrIncEditsShrink
 	// CtrIncResolves counts incremental re-solve queries.
 	CtrIncResolves
+	// CtrShareLookups / CtrShareHits count jmp store lookups and the
+	// subset that found a current-epoch entry; their ratio is the
+	// shortcut hit-rate behind the TauF/TauU thresholds.
+	CtrShareLookups
+	CtrShareHits
 
 	// NumCounters is the number of defined counters.
 	NumCounters
@@ -68,6 +73,7 @@ var counterNames = [NumCounters]string{
 	"cache_hits", "cache_misses", "units_claimed",
 	"refine_queries", "refine_passes",
 	"inc_edits_grow", "inc_edits_shrink", "inc_resolves",
+	"share_lookups", "share_hits",
 }
 
 // String returns the counter's snake_case name.
@@ -88,12 +94,34 @@ const (
 	GaugeUnits
 	// GaugeEpoch is the sharing epoch of the attached stores.
 	GaugeEpoch
+	// GaugeWorklistDepth is the number of scheduled work units not yet
+	// claimed by any worker (drains from GaugeUnits to 0 over a run).
+	GaugeWorklistDepth
+	// GaugeInflight is the number of queries currently being solved across
+	// all workers (each worker solves at most one at a time).
+	GaugeInflight
+	// GaugeShareFinished / GaugeShareUnfinished are the jmp store's
+	// current-epoch entry counts by kind.
+	GaugeShareFinished
+	GaugeShareUnfinished
+	// GaugeShareHighWater is the largest total jmp store size ever seen.
+	GaugeShareHighWater
+	// GaugePtcacheEntries is the result cache's published-entry count.
+	GaugePtcacheEntries
+	// GaugeSchedComponents is the number of direct-relation components the
+	// last schedule touched.
+	GaugeSchedComponents
 
 	// NumGauges is the number of defined gauges.
 	NumGauges
 )
 
-var gaugeNames = [NumGauges]string{"workers", "units", "epoch"}
+var gaugeNames = [NumGauges]string{
+	"workers", "units", "epoch",
+	"worklist_depth", "inflight_queries",
+	"share_finished_size", "share_unfinished_size", "share_high_water",
+	"ptcache_entries", "sched_components",
+}
 
 // String returns the gauge's snake_case name.
 func (g GaugeID) String() string {
@@ -176,6 +204,7 @@ type Sink struct {
 	workers  []WorkerStats
 	ring     *ring
 	spans    atomic.Pointer[spanRegion]
+	recorder atomic.Pointer[Recorder]
 }
 
 // New creates a sink.
@@ -235,12 +264,40 @@ func (s *Sink) SetGauge(g GaugeID, v int64) {
 	s.gauges[g].Store(v)
 }
 
+// AddGauge adjusts gauge g by delta atomically (for gauges that track a
+// level, like in-flight queries, rather than a last-written value).
+func (s *Sink) AddGauge(g GaugeID, delta int64) {
+	if s == nil {
+		return
+	}
+	s.gauges[g].Add(delta)
+}
+
 // Gauge reads gauge g.
 func (s *Sink) Gauge(g GaugeID) int64 {
 	if s == nil {
 		return 0
 	}
 	return s.gauges[g].Load()
+}
+
+// AttachRecorder attaches r as the sink's flight recorder, replacing any
+// previous one. Consumers (the debug endpoint, the Prometheus exposition,
+// the trace-event export) discover it through FlightRecorder.
+func (s *Sink) AttachRecorder(r *Recorder) {
+	if s == nil {
+		return
+	}
+	s.recorder.Store(r)
+}
+
+// FlightRecorder returns the attached flight recorder (nil when none is
+// attached, or on a nil sink).
+func (s *Sink) FlightRecorder() *Recorder {
+	if s == nil {
+		return nil
+	}
+	return s.recorder.Load()
 }
 
 // Time records one observation of duration d under timer t.

@@ -29,12 +29,21 @@ var counterHelp = [NumCounters]string{
 	"Incremental edits that can grow value-flow paths.",
 	"Incremental edits that only remove paths.",
 	"Incremental re-solve queries.",
+	"Jmp store lookups.",
+	"Jmp store lookups that found a current-epoch entry.",
 }
 
 var gaugeHelp = [NumGauges]string{
 	"Worker count of the current/last run.",
 	"Scheduled work units of the current run.",
 	"Sharing epoch of the attached stores.",
+	"Scheduled work units not yet claimed.",
+	"Queries currently being solved across all workers.",
+	"Current-epoch finished jmp entries.",
+	"Current-epoch unfinished jmp entries.",
+	"Largest total jmp store size ever seen.",
+	"Published result-cache entries.",
+	"Direct-relation components touched by the last schedule.",
 }
 
 var timerHelp = [NumTimers]string{
@@ -93,6 +102,17 @@ func WriteProm(w io.Writer, s *Sink) error {
 		bw.printf("%s_bucket{le=\"+Inf\"} %d\n", name, hs.Count)
 		bw.printf("%s_sum %d\n", name, hs.Sum)
 		bw.printf("%s_count %d\n", name, hs.Count)
+	}
+	// The flight recorder's newest sample, one gauge per series under the
+	// parcfl_fr_ prefix (fr = flight recorder) so runtime series never
+	// collide with the engine counter/gauge names above.
+	if names, vals, ok := s.FlightRecorder().Last(); ok {
+		for i, n := range names {
+			name := "parcfl_fr_" + n
+			bw.printf("# HELP %s Flight-recorder series %s (last sample).\n", name, n)
+			bw.printf("# TYPE %s gauge\n", name)
+			bw.printf("%s %g\n", name, vals[i])
+		}
 	}
 	return bw.err
 }

@@ -1,0 +1,500 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// The flight recorder is the sink's time dimension: where counters and
+// spans answer "how much" and "what happened", the recorder answers "when
+// did it change shape". A background goroutine samples, at a fixed interval,
+// (a) Go runtime state via runtime/metrics — heap bytes, GC pauses,
+// goroutine count, scheduler latency — and (b) the engine gauges and
+// counters producers maintain in the sink — worklist depth, in-flight
+// queries, jmp store sizes and hit ratio, cache entries, cumulative
+// early-termination and abort counts — into a bounded ring of timestamped
+// points. That is exactly the view the paper's Figs. 6–8 need but a single
+// end-of-run snapshot cannot give: worklist drain rate, jmp-store growth
+// versus hit rate (the τF/τU trade-off of Fig. 7), and early-termination
+// bursts all evolve during a run.
+//
+// The recorder is off by default and pull-based: producers never know it
+// exists (they keep writing the same nil-checked atomic gauges), so the
+// engine's hot paths stay zero-alloc whether or not a recorder is attached.
+// Consumers read it three ways: the /debug/timeseries JSON endpoint, the
+// latest point as Prometheus gauges on /metrics, and Perfetto counter
+// tracks merged into the trace-event export so time-series and spans render
+// on one timeline.
+
+// DefaultSampleInterval is the sampling period used when RecorderConfig
+// leaves Interval zero.
+const DefaultSampleInterval = 50 * time.Millisecond
+
+// DefaultRecorderCap is the point-ring capacity used when RecorderConfig
+// leaves Cap zero. At the default interval it holds ~3.4 minutes of
+// history; older points are overwritten (and counted as dropped).
+const DefaultRecorderCap = 4096
+
+// RecorderConfig sizes a Recorder.
+type RecorderConfig struct {
+	// Interval is the sampling period (0 = DefaultSampleInterval).
+	Interval time.Duration
+	// Cap bounds the point ring (0 = DefaultRecorderCap).
+	Cap int
+}
+
+// runtimeSeries maps recorder series to runtime/metrics samples. Histogram
+// metrics are reduced to one number per tick (an approximate total or
+// quantile); a metric missing from the running toolchain reads as 0.
+var runtimeSeries = []struct {
+	series string
+	metric string
+}{
+	{"heap_bytes", "/memory/classes/heap/objects:bytes"},
+	{"goroutines", "/sched/goroutines:goroutines"},
+	{"gc_cycles", "/gc/cycles/total:gc-cycles"},
+	{"gc_pause_ns_total", "/sched/pauses/total/gc:seconds"},
+	{"sched_latency_p99_ns", "/sched/latencies:seconds"},
+}
+
+// recordedCounters are the sink counters sampled as cumulative series.
+var recordedCounters = []CounterID{
+	CtrQueries, CtrQueriesAborted, CtrEarlyTerms,
+	CtrStepsWalked, CtrStepsSaved, CtrJumpsTaken,
+	CtrJmpFinishedIns, CtrJmpUnfinishedIns,
+	CtrCacheHits, CtrCacheMisses,
+	CtrShareLookups, CtrShareHits,
+}
+
+// source is one custom registered series.
+type source struct {
+	name string
+	fn   func() float64
+}
+
+// Recorder is the continuous flight recorder. Create with NewRecorder,
+// attach to a sink with Sink.AttachRecorder, start the sampler goroutine
+// with Start and stop it with Stop. All methods are safe on a nil
+// *Recorder, matching the rest of the package.
+type Recorder struct {
+	sink     *Sink
+	interval time.Duration
+	capacity int
+	start0   time.Time
+
+	// mu guards everything below: the series layout (frozen on first
+	// sample), the ring, and the lifecycle flags. Sampling takes it too,
+	// so Snapshot sees whole points.
+	mu      sync.Mutex
+	custom  []source
+	frozen  bool
+	running bool
+	stopped bool
+
+	names     []string
+	rtSamples []metrics.Sample
+	scratch   []float64
+	ring      *tsRing
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewRecorder creates a flight recorder sampling sink (which may be nil:
+// only the runtime and custom series are recorded then).
+func NewRecorder(sink *Sink, cfg RecorderConfig) *Recorder {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultSampleInterval
+	}
+	if cfg.Cap <= 0 {
+		cfg.Cap = DefaultRecorderCap
+	}
+	return &Recorder{
+		sink:     sink,
+		interval: cfg.Interval,
+		capacity: cfg.Cap,
+		start0:   time.Now(),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Interval returns the sampling period (0 on nil).
+func (r *Recorder) Interval() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return r.interval
+}
+
+// Register adds a custom series sampled by calling fn once per tick. It
+// must be called before the first sample; later calls are ignored (the
+// series layout is frozen so ring points stay fixed-width).
+func (r *Recorder) Register(name string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.frozen {
+		return
+	}
+	r.custom = append(r.custom, source{name: name, fn: fn})
+}
+
+// freeze builds the series layout and preallocates the ring and scratch
+// space; from here on, steady-state sampling does not allocate. Callers
+// hold mu.
+func (r *Recorder) freeze() {
+	if r.frozen {
+		return
+	}
+	r.frozen = true
+	n := len(runtimeSeries) + len(r.custom)
+	if r.sink != nil {
+		n += int(NumGauges) + len(recordedCounters) + 2
+	}
+	names := make([]string, 0, n)
+	r.rtSamples = make([]metrics.Sample, len(runtimeSeries))
+	for i, rs := range runtimeSeries {
+		r.rtSamples[i].Name = rs.metric
+		names = append(names, rs.series)
+	}
+	if r.sink != nil {
+		for g := GaugeID(0); g < NumGauges; g++ {
+			names = append(names, g.String())
+		}
+		for _, c := range recordedCounters {
+			names = append(names, c.String())
+		}
+		names = append(names, "share_hit_ratio", "cache_hit_ratio")
+	}
+	for _, src := range r.custom {
+		names = append(names, src.name)
+	}
+	r.names = names
+	r.scratch = make([]float64, len(names))
+	r.ring = newTSRing(r.capacity, len(names))
+	// Warm the runtime/metrics buffers so the first locked sample reuses
+	// them instead of allocating histograms.
+	metrics.Read(r.rtSamples)
+}
+
+// Start freezes the series layout, takes an immediate first sample, and
+// launches the background sampler goroutine. Starting twice, or after Stop,
+// is a no-op.
+func (r *Recorder) Start() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.running || r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.running = true
+	r.freeze()
+	r.sampleLocked()
+	r.mu.Unlock()
+	go r.loop()
+}
+
+// Running reports whether the sampler goroutine is live.
+func (r *Recorder) Running() bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.running
+}
+
+// Stop takes one final sample, stops the sampler goroutine and waits for it
+// to exit. The recorded history stays readable (Snapshot, exports); a
+// stopped recorder cannot be restarted — create a fresh one instead.
+func (r *Recorder) Stop() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if !r.running {
+		if !r.stopped {
+			r.stopped = true
+		}
+		r.mu.Unlock()
+		return
+	}
+	r.running = false
+	r.stopped = true
+	r.mu.Unlock()
+	close(r.stop)
+	<-r.done
+}
+
+func (r *Recorder) loop() {
+	defer close(r.done)
+	t := time.NewTicker(r.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			r.SampleOnce() // final point, so even sub-interval runs record their end state
+			return
+		case <-t.C:
+			r.SampleOnce()
+		}
+	}
+}
+
+// SampleOnce takes one sample immediately. It is what the background loop
+// calls each tick, exported so tests and callers driving their own cadence
+// can sample without the goroutine. The first call freezes the series
+// layout; steady-state calls are allocation-free.
+func (r *Recorder) SampleOnce() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.freeze()
+	r.sampleLocked()
+	r.mu.Unlock()
+}
+
+// sampleLocked appends one point. Callers hold mu.
+func (r *Recorder) sampleLocked() {
+	vals := r.scratch
+	i := 0
+	metrics.Read(r.rtSamples)
+	for j, rs := range runtimeSeries {
+		vals[i] = runtimeValue(rs.series, r.rtSamples[j].Value)
+		i++
+	}
+	if s := r.sink; s != nil {
+		for g := GaugeID(0); g < NumGauges; g++ {
+			vals[i] = float64(s.Gauge(g))
+			i++
+		}
+		for _, c := range recordedCounters {
+			vals[i] = float64(s.Counter(c))
+			i++
+		}
+		vals[i] = ratio(s.Counter(CtrShareHits), s.Counter(CtrShareLookups))
+		i++
+		vals[i] = ratio(s.Counter(CtrCacheHits), s.Counter(CtrCacheHits)+s.Counter(CtrCacheMisses))
+		i++
+	}
+	for _, src := range r.custom {
+		vals[i] = src.fn()
+		i++
+	}
+	for k, v := range vals {
+		// JSON cannot carry NaN/Inf; a broken series samples as 0.
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			vals[k] = 0
+		}
+	}
+	r.ring.put(r.now(), vals)
+}
+
+// now returns the sample timestamp: sink-relative when a sink is attached,
+// so points share the clock of trace events and spans (one Perfetto
+// timeline); recorder-relative otherwise.
+func (r *Recorder) now() int64 {
+	if r.sink != nil {
+		return r.sink.Now()
+	}
+	return int64(time.Since(r.start0))
+}
+
+func ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// runtimeValue reduces one runtime/metrics value to a float64 series point.
+func runtimeValue(series string, v metrics.Value) float64 {
+	switch v.Kind() {
+	case metrics.KindUint64:
+		return float64(v.Uint64())
+	case metrics.KindFloat64:
+		return v.Float64()
+	case metrics.KindFloat64Histogram:
+		h := v.Float64Histogram()
+		if series == "sched_latency_p99_ns" {
+			return 1e9 * histQuantile(h, 0.99)
+		}
+		return 1e9 * histApproxSum(h)
+	default:
+		// KindBad: the metric does not exist in this toolchain.
+		return 0
+	}
+}
+
+// histApproxSum estimates a Float64Histogram's total as Σ count × bucket
+// midpoint (runtime/metrics histograms expose no exact sum). Infinite edge
+// buckets collapse to their finite boundary.
+func histApproxSum(h *metrics.Float64Histogram) float64 {
+	var sum float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		if math.IsInf(lo, -1) {
+			lo = hi
+		}
+		if math.IsInf(hi, 1) {
+			hi = lo
+		}
+		sum += float64(c) * (lo + hi) / 2
+	}
+	return sum
+}
+
+// histQuantile returns the upper bound of the bucket holding the q-quantile
+// observation (0 on an empty histogram).
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > target {
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, 1) {
+				hi = h.Buckets[i]
+			}
+			if math.IsInf(hi, -1) {
+				return 0
+			}
+			return hi
+		}
+	}
+	return 0
+}
+
+// TimePoint is one recorded sample: a timestamp plus one value per series,
+// aligned with TimeSeries.Series.
+type TimePoint struct {
+	TNS int64     `json:"t_ns"`
+	V   []float64 `json:"v"`
+}
+
+// TimeSeries is the recorder's history: the series layout plus the retained
+// points oldest-first. Dropped counts points overwritten by the bounded
+// ring. This is the /debug/timeseries schema.
+type TimeSeries struct {
+	IntervalNS int64       `json:"interval_ns"`
+	Series     []string    `json:"series"`
+	Points     []TimePoint `json:"points"`
+	Dropped    uint64      `json:"dropped"`
+}
+
+// Len returns the number of retained points.
+func (ts TimeSeries) Len() int { return len(ts.Points) }
+
+// Index returns the position of the named series, or -1.
+func (ts TimeSeries) Index(name string) int {
+	for i, n := range ts.Series {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Snapshot copies the recorded history (zero value on nil or before the
+// first sample). Safe to call while the sampler is running.
+func (r *Recorder) Snapshot() TimeSeries {
+	if r == nil {
+		return TimeSeries{Series: []string{}, Points: []TimePoint{}}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ts := TimeSeries{
+		IntervalNS: int64(r.interval),
+		Series:     append([]string{}, r.names...),
+		Points:     []TimePoint{},
+	}
+	if r.ring != nil {
+		ts.Points, ts.Dropped = r.ring.snapshot()
+	}
+	return ts
+}
+
+// Last returns the most recent sample's values aligned with the series
+// names, or ok=false when nothing has been recorded yet.
+func (r *Recorder) Last() (names []string, vals []float64, ok bool) {
+	if r == nil {
+		return nil, nil, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ring == nil || r.ring.next == 0 {
+		return nil, nil, false
+	}
+	p := r.ring.points[(r.ring.next-1)%uint64(len(r.ring.points))]
+	return r.names, append([]float64{}, p.V...), true
+}
+
+// tsRing is the bounded point ring. Points reuse one preallocated backing
+// array of values, so steady-state sampling writes in place; external
+// synchronisation (Recorder.mu) keeps it race-free.
+type tsRing struct {
+	nser   int
+	points []TimePoint
+	next   uint64 // total points ever put
+}
+
+func newTSRing(capacity, nser int) *tsRing {
+	r := &tsRing{nser: nser, points: make([]TimePoint, capacity)}
+	backing := make([]float64, capacity*nser)
+	for i := range r.points {
+		r.points[i].V = backing[i*nser : (i+1)*nser : (i+1)*nser]
+	}
+	return r
+}
+
+// put overwrites the oldest slot with a copy of vals.
+func (r *tsRing) put(tns int64, vals []float64) {
+	p := &r.points[r.next%uint64(len(r.points))]
+	p.TNS = tns
+	copy(p.V, vals)
+	r.next++
+}
+
+// snapshot deep-copies the retained points oldest-first and reports how
+// many older points have been overwritten.
+func (r *tsRing) snapshot() ([]TimePoint, uint64) {
+	size := uint64(len(r.points))
+	n := r.next
+	var dropped uint64
+	start, count := uint64(0), n
+	if n > size {
+		dropped = n - size
+		start = n % size
+		count = size
+	}
+	out := make([]TimePoint, 0, count)
+	backing := make([]float64, int(count)*r.nser)
+	for i := uint64(0); i < count; i++ {
+		p := r.points[(start+i)%size]
+		v := backing[int(i)*r.nser : (int(i)+1)*r.nser : (int(i)+1)*r.nser]
+		copy(v, p.V)
+		out = append(out, TimePoint{TNS: p.TNS, V: v})
+	}
+	return out, dropped
+}

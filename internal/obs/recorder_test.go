@@ -1,0 +1,332 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestRecorderRingBoundsAndOrder(t *testing.T) {
+	s := New(Config{})
+	r := NewRecorder(s, RecorderConfig{Cap: 4})
+	for i := 0; i < 7; i++ {
+		s.SetGauge(GaugeUnits, int64(i))
+		r.SampleOnce()
+	}
+	ts := r.Snapshot()
+	if len(ts.Points) != 4 {
+		t.Fatalf("ring kept %d points, want 4", len(ts.Points))
+	}
+	if ts.Dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", ts.Dropped)
+	}
+	ui := ts.Index("units")
+	if ui < 0 {
+		t.Fatalf("no units series in %v", ts.Series)
+	}
+	// Newest 4 samples survive, oldest-first: gauge values 3,4,5,6.
+	for i, p := range ts.Points {
+		if got, want := p.V[ui], float64(i+3); got != want {
+			t.Errorf("point %d units = %g, want %g", i, got, want)
+		}
+		if i > 0 && p.TNS < ts.Points[i-1].TNS {
+			t.Errorf("timestamps out of order: %d after %d", p.TNS, ts.Points[i-1].TNS)
+		}
+	}
+	if len(ts.Points[0].V) != len(ts.Series) {
+		t.Fatalf("point width %d != series count %d", len(ts.Points[0].V), len(ts.Series))
+	}
+}
+
+func TestRecorderSeriesValues(t *testing.T) {
+	s := New(Config{})
+	s.Add(CtrQueries, 42)
+	s.Add(CtrShareLookups, 10)
+	s.Add(CtrShareHits, 4)
+	s.SetGauge(GaugeWorklistDepth, 17)
+	r := NewRecorder(s, RecorderConfig{Cap: 8})
+	r.SampleOnce()
+	ts := r.Snapshot()
+	if ts.Len() != 1 {
+		t.Fatalf("got %d points, want 1", ts.Len())
+	}
+	p := ts.Points[0]
+	get := func(name string) float64 {
+		i := ts.Index(name)
+		if i < 0 {
+			t.Fatalf("series %q missing from %v", name, ts.Series)
+		}
+		return p.V[i]
+	}
+	if got := get("queries"); got != 42 {
+		t.Errorf("queries = %g, want 42", got)
+	}
+	if got := get("worklist_depth"); got != 17 {
+		t.Errorf("worklist_depth = %g, want 17", got)
+	}
+	if got := get("share_hit_ratio"); got != 0.4 {
+		t.Errorf("share_hit_ratio = %g, want 0.4", got)
+	}
+	if got := get("heap_bytes"); got <= 0 {
+		t.Errorf("heap_bytes = %g, want > 0", got)
+	}
+	if got := get("goroutines"); got < 1 {
+		t.Errorf("goroutines = %g, want >= 1", got)
+	}
+}
+
+func TestRecorderCustomSource(t *testing.T) {
+	r := NewRecorder(nil, RecorderConfig{Cap: 2})
+	v := 7.0
+	r.Register("custom_depth", func() float64 { return v })
+	r.SampleOnce()
+	v = 9.0
+	r.SampleOnce()
+	// Registration after the first sample must not change the layout.
+	r.Register("too_late", func() float64 { return 1 })
+	r.SampleOnce()
+	ts := r.Snapshot()
+	if i := ts.Index("too_late"); i >= 0 {
+		t.Fatal("late registration extended the frozen series layout")
+	}
+	ci := ts.Index("custom_depth")
+	if ci < 0 {
+		t.Fatalf("custom series missing from %v", ts.Series)
+	}
+	if got := ts.Points[0].V[ci]; got != 9 {
+		t.Errorf("oldest retained custom sample = %g, want 9", got)
+	}
+}
+
+// TestRecorderOffIsFreeAndNilSafe: with no recorder attached nothing about
+// the producer side changes — gauge updates on a sink without a recorder
+// stay allocation-free, and every method of a nil *Recorder is a safe no-op.
+func TestRecorderOffIsFreeAndNilSafe(t *testing.T) {
+	s := New(Config{})
+	if s.FlightRecorder() != nil {
+		t.Fatal("fresh sink has a recorder")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.SetGauge(GaugeWorklistDepth, 3)
+		s.AddGauge(GaugeInflight, 1)
+		s.AddGauge(GaugeInflight, -1)
+		s.Add(CtrShareLookups, 1)
+		_ = s.FlightRecorder()
+	})
+	if allocs != 0 {
+		t.Fatalf("recorder-off producer path allocated %.1f per run, want 0", allocs)
+	}
+	var r *Recorder
+	allocs = testing.AllocsPerRun(100, func() {
+		r.SampleOnce()
+		r.Start()
+		r.Stop()
+		r.Register("x", func() float64 { return 0 })
+		_, _, _ = r.Last()
+		_ = r.Running()
+		_ = r.Interval()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil recorder allocated %.1f per run, want 0", allocs)
+	}
+	if ts := r.Snapshot(); len(ts.Series) != 0 || len(ts.Points) != 0 {
+		t.Fatalf("nil recorder snapshot not empty: %+v", ts)
+	}
+	var nilSink *Sink
+	nilSink.AttachRecorder(NewRecorder(nil, RecorderConfig{}))
+	if nilSink.FlightRecorder() != nil {
+		t.Fatal("nil sink returned a recorder")
+	}
+}
+
+// TestRecorderSteadyStateSamplingNoAllocs: after the layout freezes, each
+// tick writes into the preallocated ring in place.
+func TestRecorderSteadyStateSamplingNoAllocs(t *testing.T) {
+	s := New(Config{})
+	r := NewRecorder(s, RecorderConfig{Cap: 64})
+	for i := 0; i < 8; i++ {
+		r.SampleOnce() // warm up runtime/metrics histogram buffers
+	}
+	allocs := testing.AllocsPerRun(200, func() { r.SampleOnce() })
+	if allocs != 0 {
+		t.Fatalf("steady-state sampling allocated %.1f per run, want 0", allocs)
+	}
+}
+
+func TestRecorderStartStopLifecycle(t *testing.T) {
+	s := New(Config{})
+	r := NewRecorder(s, RecorderConfig{Interval: time.Millisecond, Cap: 1024})
+	r.Start()
+	if !r.Running() {
+		t.Fatal("recorder not running after Start")
+	}
+	r.Start() // idempotent
+	time.Sleep(20 * time.Millisecond)
+	r.Stop()
+	if r.Running() {
+		t.Fatal("recorder still running after Stop")
+	}
+	r.Stop()  // idempotent
+	r.Start() // stopped recorders do not restart
+	if r.Running() {
+		t.Fatal("stopped recorder restarted")
+	}
+	ts := r.Snapshot()
+	// Start samples immediately and Stop samples once more, so even a
+	// sub-interval life records >= 2 points; 20ms at 1ms gives many more.
+	if ts.Len() < 2 {
+		t.Fatalf("got %d points, want >= 2", ts.Len())
+	}
+	for i := 1; i < ts.Len(); i++ {
+		if ts.Points[i].TNS < ts.Points[i-1].TNS {
+			t.Fatalf("point %d timestamp regressed", i)
+		}
+	}
+}
+
+func TestRecorderDefaults(t *testing.T) {
+	r := NewRecorder(nil, RecorderConfig{})
+	if r.Interval() != DefaultSampleInterval {
+		t.Errorf("interval = %v, want %v", r.Interval(), DefaultSampleInterval)
+	}
+	r.SampleOnce()
+	if ts := r.Snapshot(); ts.IntervalNS != int64(DefaultSampleInterval) {
+		t.Errorf("snapshot interval_ns = %d", ts.IntervalNS)
+	}
+}
+
+func TestTimeseriesEndpoint(t *testing.T) {
+	s := New(Config{})
+	r := NewRecorder(s, RecorderConfig{Cap: 16})
+	s.AttachRecorder(r)
+	s.Add(CtrQueries, 5)
+	r.SampleOnce()
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/timeseries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ts TimeSeries
+	if err := json.NewDecoder(resp.Body).Decode(&ts); err != nil {
+		t.Fatalf("bad timeseries JSON: %v", err)
+	}
+	if len(ts.Series) == 0 || len(ts.Points) == 0 {
+		t.Fatalf("empty timeseries: %d series, %d points", len(ts.Series), len(ts.Points))
+	}
+	qi := ts.Index("queries")
+	if qi < 0 || ts.Points[0].V[qi] != 5 {
+		t.Fatalf("queries series not served: %v", ts.Series)
+	}
+	// Without a recorder the endpoint still serves valid (empty) JSON.
+	bare := httptest.NewServer(Handler(New(Config{})))
+	defer bare.Close()
+	resp2, err := http.Get(bare.URL + "/debug/timeseries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var empty TimeSeries
+	if err := json.NewDecoder(resp2.Body).Decode(&empty); err != nil {
+		t.Fatalf("bad empty timeseries JSON: %v", err)
+	}
+	if len(empty.Points) != 0 {
+		t.Fatalf("recorder-less endpoint served points: %+v", empty)
+	}
+}
+
+// TestTraceExportCounterTracks: the trace-event export merges recorder
+// points as ph=C counter events that survive a JSON round trip, one track
+// per series, on the same clock as the spans.
+func TestTraceExportCounterTracks(t *testing.T) {
+	s := New(Config{Workers: 1, SpanCap: 64})
+	t0 := s.SpanStart()
+	s.Span(SpQuery, 0, t0, 1, 2, 3)
+	r := NewRecorder(s, RecorderConfig{Cap: 16})
+	s.AttachRecorder(r)
+	s.Add(CtrQueries, 1)
+	r.SampleOnce()
+	s.Add(CtrQueries, 1)
+	r.SampleOnce()
+
+	data, err := json.Marshal(TraceEvents(s))
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	tracks := map[string]int{}
+	spans := 0
+	for _, e := range tf.TraceEvents {
+		switch e.Ph {
+		case "C":
+			if _, ok := e.Args["value"].(float64); !ok {
+				t.Fatalf("counter %q has no numeric value: %v", e.Name, e.Args)
+			}
+			tracks[e.Name]++
+		case "X":
+			spans++
+		}
+	}
+	if len(tracks) < 3 {
+		t.Fatalf("got %d counter tracks, want >= 3: %v", len(tracks), tracks)
+	}
+	if spans == 0 {
+		t.Fatal("span events missing alongside counter tracks")
+	}
+	if tracks["queries"] != 2 {
+		t.Fatalf("queries track has %d points, want 2", tracks["queries"])
+	}
+}
+
+// TestPromIncludesRecorderLastSample: /metrics exposes the newest point
+// under the parcfl_fr_ prefix.
+func TestPromIncludesRecorderLastSample(t *testing.T) {
+	s := New(Config{})
+	r := NewRecorder(s, RecorderConfig{Cap: 4})
+	s.AttachRecorder(r)
+	s.SetGauge(GaugeWorklistDepth, 11)
+	r.SampleOnce()
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	want := "parcfl_fr_worklist_depth 11"
+	if !containsLine(string(body), want) {
+		t.Fatalf("metrics missing %q:\n%s", want, body)
+	}
+}
+
+func containsLine(body, line string) bool {
+	for len(body) > 0 {
+		i := 0
+		for i < len(body) && body[i] != '\n' {
+			i++
+		}
+		if body[:i] == line {
+			return true
+		}
+		if i == len(body) {
+			break
+		}
+		body = body[i+1:]
+	}
+	return false
+}

@@ -69,7 +69,9 @@ func spanTid(worker int32) int64 {
 }
 
 // TraceEvents converts the sink's recorded spans (see Spans) into
-// trace-event records, metadata included. Call it quiesced, like Spans.
+// trace-event records, metadata included, and merges the attached flight
+// recorder's history as counter tracks (ph=C) on the same clock — spans and
+// time-series render on one Perfetto timeline. Call it quiesced, like Spans.
 func TraceEvents(s *Sink) TraceFile {
 	spans, dropped := s.Spans()
 	tf := TraceFile{DisplayTimeUnit: "ms", SpansDropped: dropped}
@@ -123,6 +125,19 @@ func TraceEvents(s *Sink) TraceFile {
 			ev.Args[n] = vals[i]
 		}
 		tf.TraceEvents = append(tf.TraceEvents, ev)
+	}
+	if rec := s.FlightRecorder(); rec != nil {
+		ts := rec.Snapshot()
+		for _, p := range ts.Points {
+			for i, name := range ts.Series {
+				tf.TraceEvents = append(tf.TraceEvents, TraceEvent{
+					Name: name, Cat: "parcfl-fr", Ph: "C",
+					Pid: tracePid,
+					Ts:  float64(p.TNS) / 1e3,
+					Args: map[string]any{"value": p.V[i]},
+				})
+			}
+		}
 	}
 	if tf.TraceEvents == nil {
 		tf.TraceEvents = []TraceEvent{}

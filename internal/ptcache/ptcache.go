@@ -98,14 +98,14 @@ func (c *Cache) Put(k Key, set []pag.NodeCtx) {
 	for {
 		existing, inserted := c.m.PutIfAbsent(k, &entry{set: set, epoch: ep})
 		if inserted {
-			c.published.Add(1)
+			c.sink.SetGauge(obs.GaugePtcacheEntries, c.published.Add(1))
 			return
 		}
 		if existing.epoch == ep {
 			return
 		}
 		if c.m.Replace(k, existing, &entry{set: set, epoch: ep}) {
-			c.published.Add(1)
+			c.sink.SetGauge(obs.GaugePtcacheEntries, c.published.Add(1))
 			return
 		}
 	}

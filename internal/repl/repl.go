@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"parcfl/internal/cfl"
 	"parcfl/internal/frontend"
@@ -137,6 +138,48 @@ func (sh *Shell) traceCmd(args []string) {
 	}
 }
 
+// recordCmd implements `record on [interval]` / `record off`: the session's
+// flight recorder (see obs.Recorder). The recorder stays attached to the
+// sink after `record off`, so a later trace export still merges its history
+// as Perfetto counter tracks; `record on` again replaces it with a fresh one.
+func (sh *Shell) recordCmd(args []string) {
+	switch {
+	case len(args) >= 1 && args[0] == "on":
+		iv := obs.DefaultSampleInterval
+		if len(args) == 2 {
+			d, err := time.ParseDuration(args[1])
+			if err != nil || d <= 0 {
+				fmt.Fprintf(sh.out, "bad interval %q (want e.g. 50ms)\n", args[1])
+				return
+			}
+			iv = d
+		}
+		if sh.sink == nil {
+			sh.SetObs(obs.New(obs.Config{Workers: 1, TraceCap: 1 << 16}))
+		}
+		if rec := sh.sink.FlightRecorder(); rec.Running() {
+			fmt.Fprintf(sh.out, "already recording (every %v); `record off` first\n", rec.Interval())
+			return
+		}
+		rec := obs.NewRecorder(sh.sink, obs.RecorderConfig{Interval: iv})
+		sh.sink.AttachRecorder(rec)
+		rec.Start()
+		fmt.Fprintf(sh.out, "flight recorder on (sampling every %v; watch /debug/timeseries, stop with `record off`)\n", iv)
+	case len(args) == 1 && args[0] == "off":
+		rec := sh.sink.FlightRecorder()
+		if rec == nil {
+			fmt.Fprintln(sh.out, "flight recorder is not on")
+			return
+		}
+		rec.Stop()
+		ts := rec.Snapshot()
+		fmt.Fprintf(sh.out, "flight recorder off: %d points x %d series (%d overwritten)\n",
+			len(ts.Points), len(ts.Series), ts.Dropped)
+	default:
+		fmt.Fprintln(sh.out, "usage: record on [interval] | record off")
+	}
+}
+
 // flushTrace writes and clears the pending trace file, if any.
 func (sh *Shell) flushTrace() {
 	if sh.traceFile == "" || sh.sink == nil {
@@ -191,10 +234,14 @@ func (sh *Shell) Execute(line string) {
   stats                 graph and session statistics
   trace on <file>       start span tracing; write Chrome trace JSON to file
   trace off             stop tracing and write the pending trace file
+  record on [interval]  start the flight recorder (default 50ms sampling)
+  record off            stop the flight recorder
   quit
 `)
 	case "trace":
 		sh.traceCmd(args)
+	case "record":
+		sh.recordCmd(args)
 	case "pts":
 		if len(args) != 1 {
 			fmt.Fprintln(sh.out, "usage: pts <var>")
@@ -296,6 +343,15 @@ func (sh *Shell) Execute(line string) {
 		fmt.Fprintf(sh.out, "graph: %d nodes, %d edges, %d fields, %d call sites\n",
 			g.NumNodes(), g.NumEdges(), len(g.Fields()), g.NumCallSites())
 		fmt.Fprintf(sh.out, "budget: %d steps/query\n", sh.budget)
+		if rec := sh.sink.FlightRecorder(); rec != nil {
+			ts := rec.Snapshot()
+			state := "stopped"
+			if rec.Running() {
+				state = fmt.Sprintf("sampling every %v", rec.Interval())
+			}
+			fmt.Fprintf(sh.out, "flight recorder: %s, %d points x %d series\n",
+				state, len(ts.Points), len(ts.Series))
+		}
 	default:
 		fmt.Fprintf(sh.out, "unknown command %q (try `help`)\n", cmd)
 	}

@@ -74,6 +74,7 @@ func ScheduleObs(g *pag.Graph, queries []pag.NodeID, typeLevels []int, sink *obs
 	d := time.Since(t0)
 	sink.Time(obs.TmSchedule, d)
 	sink.SetGauge(obs.GaugeUnits, int64(len(plan.Groups)))
+	sink.SetGauge(obs.GaugeSchedComponents, int64(plan.NumComponents))
 	sink.Trace(obs.EvSchedPlan, obs.NoWorker, int64(len(plan.Groups)), int64(d))
 	sink.Span(obs.SpSchedule, obs.NoWorker, st0, int64(len(plan.Groups)), 0, 0)
 	return plan

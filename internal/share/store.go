@@ -108,6 +108,13 @@ type Store struct {
 	lookups              atomic.Int64
 	lookupHits           atomic.Int64
 
+	// curFinished/curUnfinished count the entries visible in the current
+	// epoch (reset by BumpEpoch); highWater is the largest total ever
+	// seen — the store's peak footprint across the whole run.
+	curFinished   atomic.Int64
+	curUnfinished atomic.Int64
+	highWater     atomic.Int64
+
 	histFinished   [HistBuckets]atomic.Int64
 	histUnfinished [HistBuckets]atomic.Int64
 }
@@ -140,11 +147,13 @@ func (st *Store) SetObs(sink *obs.Sink) { st.sink = sink }
 // as absent.
 func (st *Store) Lookup(k Key) (*Entry, bool) {
 	st.lookups.Add(1)
+	st.sink.Add(obs.CtrShareLookups, 1)
 	e, ok := st.m.Get(k)
 	if !ok || e.epoch != st.epoch.Load() {
 		return nil, false
 	}
 	st.lookupHits.Add(1)
+	st.sink.Add(obs.CtrShareHits, 1)
 	if !e.Unfinished {
 		st.sink.Trace(obs.EvJmpTake, obs.NoWorker, int64(k.Node), int64(e.S))
 	}
@@ -154,9 +163,41 @@ func (st *Store) Lookup(k Key) (*Entry, bool) {
 // BumpEpoch lazily invalidates every recorded entry: graph edits that can
 // add value-flow paths make recorded expansions incomplete, so incremental
 // clients advance the epoch instead of rebuilding the store. Stale entries
-// are replaced in place the next time their key is recorded.
+// are replaced in place the next time their key is recorded. Callers
+// quiesce producers first (as the incremental layer does), so resetting the
+// size gauges alongside the epoch is not racy in practice.
 func (st *Store) BumpEpoch() {
 	st.epoch.Add(1)
+	st.curFinished.Store(0)
+	st.curUnfinished.Store(0)
+	st.sink.SetGauge(obs.GaugeShareFinished, 0)
+	st.sink.SetGauge(obs.GaugeShareUnfinished, 0)
+}
+
+// noteInsert maintains the current-epoch size gauges and the high-water
+// mark after a successful insertion.
+func (st *Store) noteInsert(unfinished bool) {
+	var f, u int64
+	if unfinished {
+		u = st.curUnfinished.Add(1)
+		f = st.curFinished.Load()
+		st.sink.SetGauge(obs.GaugeShareUnfinished, u)
+	} else {
+		f = st.curFinished.Add(1)
+		u = st.curUnfinished.Load()
+		st.sink.SetGauge(obs.GaugeShareFinished, f)
+	}
+	total := f + u
+	for {
+		h := st.highWater.Load()
+		if total <= h {
+			break
+		}
+		if st.highWater.CompareAndSwap(h, total) {
+			st.sink.SetGauge(obs.GaugeShareHighWater, total)
+			break
+		}
+	}
 }
 
 // Epoch returns the current invalidation epoch.
@@ -189,6 +230,7 @@ func (st *Store) PutFinished(k Key, s int, targets []pag.NodeCtx) bool {
 	inserted := st.putCurrent(k, &Entry{S: s, Targets: targets, epoch: st.epoch.Load()})
 	if inserted {
 		st.finishedAdded.Add(1)
+		st.noteInsert(false)
 		st.histFinished[Bucket(s)].Add(1)
 		st.sink.Add(obs.CtrJmpFinishedIns, 1)
 		st.sink.Trace(obs.EvJmpInsert, obs.NoWorker, int64(k.Node), int64(s))
@@ -210,6 +252,7 @@ func (st *Store) PutUnfinished(k Key, s int) bool {
 	inserted := st.putCurrent(k, &Entry{Unfinished: true, S: s, epoch: st.epoch.Load()})
 	if inserted {
 		st.unfinishedAdded.Add(1)
+		st.noteInsert(true)
 		st.histUnfinished[Bucket(s)].Add(1)
 		st.sink.Add(obs.CtrJmpUnfinishedIns, 1)
 		st.sink.Trace(obs.EvJmpInsert, obs.NoWorker, int64(k.Node), -int64(s))
@@ -256,6 +299,11 @@ type Stats struct {
 	// tunable signal behind the TauF/TauU thresholds.
 	Lookups    int64
 	LookupHits int64
+	// CurFinished/CurUnfinished are the entry counts visible in the
+	// current epoch; HighWater is the largest total ever seen.
+	CurFinished   int64
+	CurUnfinished int64
+	HighWater     int64
 	// HistFinished / HistUnfinished bucket inserted entries by steps
 	// saved (Fig. 7).
 	HistFinished   [HistBuckets]int64
@@ -285,6 +333,9 @@ func (st *Store) Snapshot() Stats {
 	s.InsertLost = st.insertLost.Load()
 	s.Lookups = st.lookups.Load()
 	s.LookupHits = st.lookupHits.Load()
+	s.CurFinished = st.curFinished.Load()
+	s.CurUnfinished = st.curUnfinished.Load()
+	s.HighWater = st.highWater.Load()
 	for i := 0; i < HistBuckets; i++ {
 		s.HistFinished[i] = st.histFinished[i].Load()
 		s.HistUnfinished[i] = st.histUnfinished[i].Load()

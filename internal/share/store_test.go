@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"parcfl/internal/obs"
 	"parcfl/internal/pag"
 )
 
@@ -235,5 +236,70 @@ func TestDefaultConfig(t *testing.T) {
 	c := DefaultConfig()
 	if c.TauF != 100 || c.TauU != 10000 {
 		t.Fatalf("DefaultConfig = %+v, want paper's tauF=100 tauU=10000", c)
+	}
+}
+
+func TestSizeGaugesAndHighWater(t *testing.T) {
+	st := NewStore(zeroTau())
+	sink := obs.New(obs.Config{})
+	st.SetObs(sink)
+
+	for i := 0; i < 3; i++ {
+		if !st.PutFinished(Key{Dir: Forward, Node: pag.NodeID(i)}, 100, nil) {
+			t.Fatalf("PutFinished %d failed", i)
+		}
+	}
+	if !st.PutUnfinished(Key{Dir: Backward, Node: 50}, 5000) {
+		t.Fatal("PutUnfinished failed")
+	}
+	// A losing insert must not move the gauges.
+	st.PutFinished(Key{Dir: Forward, Node: 0}, 999, nil)
+
+	if got := sink.Gauge(obs.GaugeShareFinished); got != 3 {
+		t.Errorf("finished gauge = %d, want 3", got)
+	}
+	if got := sink.Gauge(obs.GaugeShareUnfinished); got != 1 {
+		t.Errorf("unfinished gauge = %d, want 1", got)
+	}
+	if got := sink.Gauge(obs.GaugeShareHighWater); got != 4 {
+		t.Errorf("high-water gauge = %d, want 4", got)
+	}
+	s := st.Snapshot()
+	if s.CurFinished != 3 || s.CurUnfinished != 1 || s.HighWater != 4 {
+		t.Fatalf("stats = {cur %d/%d hw %d}, want {3/1 4}", s.CurFinished, s.CurUnfinished, s.HighWater)
+	}
+
+	// An epoch bump empties the visible store but the high-water mark is
+	// the lifetime peak and must survive.
+	st.BumpEpoch()
+	if got := sink.Gauge(obs.GaugeShareFinished); got != 0 {
+		t.Errorf("finished gauge after bump = %d, want 0", got)
+	}
+	if got := sink.Gauge(obs.GaugeShareHighWater); got != 4 {
+		t.Errorf("high-water gauge after bump = %d, want 4", got)
+	}
+	// Refilling past the old peak raises it again.
+	for i := 0; i < 5; i++ {
+		st.PutFinished(Key{Dir: Forward, Node: pag.NodeID(100 + i)}, 100, nil)
+	}
+	if got := st.Snapshot().HighWater; got != 5 {
+		t.Errorf("high-water after refill = %d, want 5", got)
+	}
+}
+
+func TestLookupHitCounters(t *testing.T) {
+	st := NewStore(zeroTau())
+	sink := obs.New(obs.Config{})
+	st.SetObs(sink)
+	k := Key{Dir: Forward, Node: 7}
+	st.PutFinished(k, 100, nil)
+	st.Lookup(k)                           // hit
+	st.Lookup(Key{Dir: Forward, Node: 8})  // miss
+	st.Lookup(Key{Dir: Backward, Node: 7}) // miss (direction differs)
+	if got := sink.Counter(obs.CtrShareLookups); got != 3 {
+		t.Errorf("share_lookups = %d, want 3", got)
+	}
+	if got := sink.Counter(obs.CtrShareHits); got != 1 {
+		t.Errorf("share_hits = %d, want 1", got)
 	}
 }
