@@ -17,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +39,7 @@ func main() {
 		"ignore counter drops whose baseline value is below this floor")
 	minWall := flag.Duration("min-wall", time.Duration(def.MinWallNS),
 		"ignore wall regressions whose baseline ran shorter than this")
+	jsonOut := flag.String("json", "", "also write the diff report as JSON to this file (written before the exit code is decided, so CI can upload it on failure)")
 	flag.Parse()
 
 	if *base == "" || *head == "" {
@@ -64,9 +66,28 @@ func main() {
 		MinWallNS: int64(*minWall),
 	})
 	d.WriteTable(os.Stdout)
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, d); err != nil {
+			fail(err)
+		}
+	}
 	if d.Regressions > 0 {
 		os.Exit(1)
 	}
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(v)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func fail(err error) {

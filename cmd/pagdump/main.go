@@ -26,6 +26,7 @@ func main() {
 	srcFile := flag.String("src", "", "mini-Java source file")
 	scale := flag.Float64("scale", 0.01, "generation scale for -bench")
 	dot := flag.Bool("dot", false, "emit Graphviz DOT")
+	showUnfinished := flag.Bool("show-unfinished", false, "with -dot, draw the special O (unfinished) node")
 	edges := flag.Bool("edges", false, "emit a textual edge listing")
 	stats := flag.Bool("stats", true, "emit summary statistics")
 	flag.Parse()
@@ -76,7 +77,8 @@ func main() {
 
 	switch {
 	case *dot:
-		if err := g.WriteDOT(os.Stdout); err != nil {
+		opt := pag.DOTOptions{ShowUnfinished: *showUnfinished}
+		if err := g.WriteDOTOpts(os.Stdout, opt); err != nil {
 			fail(err)
 		}
 	case *edges:

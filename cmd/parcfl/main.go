@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -25,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"parcfl/internal/autopsy"
 	"parcfl/internal/frontend"
 	"parcfl/internal/gofront"
 	"parcfl/internal/javagen"
@@ -42,6 +44,8 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/pprof, /debug/obs, /debug/timeseries and /metrics on this address (e.g. localhost:6060)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file of the session on exit (load in ui.perfetto.dev or chrome://tracing)")
 	sample := flag.Duration("sample", 0, "flight-recorder sampling interval, e.g. 50ms (0 = off; toggle later with the `record` command)")
+	heatOut := flag.String("heat-out", "", "write the session's PAG heat profile (budget attribution) as JSON on exit")
+	autopsyOut := flag.String("autopsy-out", "", "write autopsy reports for the session's aborted queries as JSON on exit")
 	flag.Parse()
 
 	var prg *frontend.Program
@@ -121,6 +125,27 @@ func main() {
 					fmt.Fprintf(os.Stderr, "trace written to %s (load in ui.perfetto.dev or chrome://tracing)\n", *traceOut)
 				}
 			}
+			if *heatOut != "" {
+				if err := writeJSON(*heatOut, sh.Heat().Heat()); err != nil {
+					fmt.Fprintln(os.Stderr, "parcfl:", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "heat profile written to %s\n", *heatOut)
+				}
+			}
+			if *autopsyOut != "" {
+				reports, dropped := sh.Heat().Autopsies()
+				payload := struct {
+					Schema  string            `json:"schema"`
+					Budget  int               `json:"budget"`
+					Dropped int               `json:"dropped,omitempty"`
+					Reports []*autopsy.Report `json:"reports"`
+				}{Schema: "parcfl-autopsy-batch/v1", Budget: *budget, Dropped: dropped, Reports: reports}
+				if err := writeJSON(*autopsyOut, payload); err != nil {
+					fmt.Fprintln(os.Stderr, "parcfl:", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "%d autopsy report(s) written to %s\n", len(reports), *autopsyOut)
+				}
+			}
 			obs.ShutdownDebug(srv, 2*time.Second)
 		})
 	}
@@ -135,4 +160,18 @@ func main() {
 	sh.Banner()
 	sh.Run(os.Stdin)
 	cleanup()
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(v)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

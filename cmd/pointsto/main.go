@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -24,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"parcfl/internal/autopsy"
 	"parcfl/internal/engine"
 	"parcfl/internal/frontend"
 	"parcfl/internal/javagen"
@@ -44,6 +46,9 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/pprof, /debug/obs, /debug/timeseries and /metrics on this address (e.g. localhost:6060)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file of the run (load in ui.perfetto.dev or chrome://tracing)")
 	sample := flag.Duration("sample", 0, "flight-recorder sampling interval, e.g. 50ms (0 = off; series go to /debug/timeseries, /metrics and -trace-out counter tracks)")
+	heatOut := flag.String("heat-out", "", "write the run's PAG heat profile (budget attribution) as JSON to this file")
+	autopsyOut := flag.String("autopsy-out", "", "write autopsy reports for aborted/early-terminated queries as JSON to this file")
+	heatDot := flag.String("heat-dot", "", "write the PAG with heat shading as Graphviz DOT to this file")
 	flag.Parse()
 
 	// Observability is set up before the graph is built so the flight
@@ -163,9 +168,51 @@ func main() {
 		fail(fmt.Errorf("unknown mode %q (want seq|naive|d|dq)", *mode))
 	}
 
+	// The heat collector exists only when a heat/autopsy output was asked
+	// for: profiling every query otherwise costs allocations for nothing.
+	var col *autopsy.Collector
+	if *heatOut != "" || *autopsyOut != "" || *heatDot != "" {
+		col = autopsy.NewCollector(g, *budget)
+		sink.AttachHeat(col)
+	}
+
 	res, st := engine.Run(g, queries, engine.Config{
 		Mode: m, Threads: *threads, Budget: *budget, TypeLevels: levels, Obs: sink,
+		Heat: col,
 	})
+	if *heatOut != "" {
+		if err := writeJSON(*heatOut, col.Heat()); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "heat profile written to %s\n", *heatOut)
+	}
+	if *autopsyOut != "" {
+		reports, dropped := col.Autopsies()
+		payload := struct {
+			Schema  string            `json:"schema"`
+			Budget  int               `json:"budget"`
+			Dropped int               `json:"dropped,omitempty"`
+			Reports []*autopsy.Report `json:"reports"`
+		}{Schema: "parcfl-autopsy-batch/v1", Budget: *budget, Dropped: dropped, Reports: reports}
+		if err := writeJSON(*autopsyOut, payload); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "%d autopsy report(s) written to %s\n", len(reports), *autopsyOut)
+	}
+	if *heatDot != "" {
+		f, err := os.Create(*heatDot)
+		if err != nil {
+			fail(err)
+		}
+		err = g.WriteDOTOpts(f, col.DOTOptions(nil))
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "heat overlay written to %s\n", *heatDot)
+	}
 	cleanup()
 
 	fmt.Printf("strategy:            %s x%d\n", st.Mode, st.Threads)
@@ -199,6 +246,20 @@ func main() {
 			fmt.Printf("  %-40s |pts|=%d steps=%d%s\n", g.Node(r.Var).Name, len(r.Objects), r.Steps, status)
 		}
 	}
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(v)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func fail(err error) {

@@ -1,0 +1,522 @@
+// Package autopsy turns the per-query budget attributions produced by
+// internal/cfl (Config.Profile → Result.Prof) into analysis-semantic
+// diagnostics:
+//
+//   - a batch-wide PAG heat profile (Collector/Heat): which nodes, fields
+//     and heap-access sites the step budget was actually spent on, jmp
+//     hit/miss statistics per store entry, early-termination trigger sites
+//     with their recorded s values, and hot direct-relation components;
+//   - structured post-mortems for aborted or early-terminated queries
+//     (Report): the partial frontier, the dominant fields, the unfinished
+//     jmp edge that fired and how far the remaining budget fell short.
+//
+// The collector follows the internal/obs contract: a nil *Collector is a
+// valid, allocation-free no-op receiver, so the engine hot path pays one
+// pointer check when profiling is off. It also implements obs.HeatSource,
+// so attaching it to a sink surfaces the profile on /debug/heat and as
+// parcfl_heat_* gauges on /metrics.
+package autopsy
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"parcfl/internal/cfl"
+	"parcfl/internal/obs"
+	"parcfl/internal/pag"
+	"parcfl/internal/sched"
+	"parcfl/internal/share"
+)
+
+// HeatSchema identifies the Heat JSON layout; bump on breaking changes.
+const HeatSchema = "parcfl-heat/v1"
+
+// Collector aggregates query attributions into a batch heat profile. One
+// collector serves a whole run; Record is safe to call from many workers.
+type Collector struct {
+	g      *pag.Graph
+	budget int
+
+	// TopK bounds the per-category rows materialised by Heat (the sums
+	// are always over everything). MaxAutopsies bounds retained abort
+	// reports; further aborts are counted, not kept. Set before the run
+	// starts; defaults 50 and 256.
+	TopK         int
+	MaxAutopsies int
+
+	mu               sync.Mutex
+	queries          int
+	completed        int
+	aborted          int
+	earlyTerminated  int
+	totalSteps       int64
+	attributedSteps  int64
+	traversalSteps   int64
+	matchSteps       int64
+	approxSteps      int64
+	jmpSteps         int64
+	cacheSteps       int64
+	nodes            map[pag.NodeID]int64
+	sites            map[cfl.SiteKey]int64
+	approxSites      map[cfl.SiteKey]int64
+	fields           map[pag.FieldID]int64
+	jmp              map[share.Key]*jmpStat
+	units            map[int]*unitStat
+	autopsies        []*Report
+	autopsiesDropped int
+}
+
+// jmpStat is the per-store-entry hit/miss ledger.
+type jmpStat struct {
+	takes        int64
+	stepsCharged int64
+	expands      int64
+	ets          int64
+	etS          int // recorded s of the entry when it fired an ET
+}
+
+type unitStat struct {
+	queries int
+	steps   int64
+}
+
+// NewCollector creates a collector for one run over g (used to name nodes
+// and aggregate components; may be nil for graph-less use). budget is the
+// per-query step budget, echoed into autopsy reports.
+func NewCollector(g *pag.Graph, budget int) *Collector {
+	return &Collector{
+		g:            g,
+		budget:       budget,
+		TopK:         50,
+		MaxAutopsies: 256,
+		nodes:        make(map[pag.NodeID]int64),
+		sites:        make(map[cfl.SiteKey]int64),
+		approxSites:  make(map[cfl.SiteKey]int64),
+		fields:       make(map[pag.FieldID]int64),
+		jmp:          make(map[share.Key]*jmpStat),
+		units:        make(map[int]*unitStat),
+	}
+}
+
+// Record folds one query result into the profile. Nil-safe and
+// allocation-free on a nil collector or a result without attribution, so
+// the call can sit unconditionally in the engine's worker loop.
+func (c *Collector) Record(r *cfl.Result) {
+	if c == nil || r == nil || r.Prof == nil {
+		return
+	}
+	p := r.Prof
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.queries++
+	switch {
+	case r.EarlyTerminated:
+		c.earlyTerminated++
+	case r.Aborted:
+		c.aborted++
+	default:
+		c.completed++
+	}
+	c.totalSteps += int64(r.Steps)
+	c.attributedSteps += p.Sum()
+	c.cacheSteps += p.CacheSteps
+	for _, n := range p.Nodes {
+		c.traversalSteps += n.Steps
+		c.nodes[n.Node] += n.Steps
+	}
+	for _, s := range p.Sites {
+		if s.Approx {
+			c.approxSteps += s.Steps
+			c.approxSites[s.Site] += s.Steps
+		} else {
+			c.matchSteps += s.Steps
+			c.sites[s.Site] += s.Steps
+		}
+		c.fields[s.Site.Field] += s.Steps
+	}
+	for _, j := range p.Jumps {
+		c.jmpSteps += int64(j.S)
+		st := c.jmpStat(j.Key)
+		st.takes++
+		st.stepsCharged += int64(j.S)
+	}
+	for _, e := range p.Expansions {
+		c.jmpStat(e.Key).expands++
+	}
+	if p.ET != nil {
+		st := c.jmpStat(p.ET.Key)
+		st.ets++
+		st.etS = p.ET.S
+	}
+	if r.Aborted {
+		if len(c.autopsies) < c.MaxAutopsies {
+			c.autopsies = append(c.autopsies, FromResult(c.g, c.budget, r))
+		} else {
+			c.autopsiesDropped++
+		}
+	}
+}
+
+func (c *Collector) jmpStat(k share.Key) *jmpStat {
+	st, ok := c.jmp[k]
+	if !ok {
+		st = &jmpStat{}
+		c.jmp[k] = st
+	}
+	return st
+}
+
+// RecordUnit books one scheduled work unit's totals (the engine calls this
+// once per unit per worker). Nil-safe.
+func (c *Collector) RecordUnit(unit, queries int, steps int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	u, ok := c.units[unit]
+	if !ok {
+		u = &unitStat{}
+		c.units[unit] = u
+	}
+	u.queries += queries
+	u.steps += steps
+}
+
+// Autopsies returns the retained abort reports (in record order) and the
+// count of aborts dropped past MaxAutopsies. Nil-safe.
+func (c *Collector) Autopsies() ([]*Report, int) {
+	if c == nil {
+		return nil, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Report, len(c.autopsies))
+	copy(out, c.autopsies)
+	return out, c.autopsiesDropped
+}
+
+// Budget returns the per-query budget the collector was created with.
+func (c *Collector) Budget() int {
+	if c == nil {
+		return 0
+	}
+	return c.budget
+}
+
+// NodeHeat is one row of the per-node step ranking.
+type NodeHeat struct {
+	Node  pag.NodeID `json:"node"`
+	Name  string     `json:"name,omitempty"`
+	Steps int64      `json:"steps"`
+	// Share is this node's fraction of all attributed steps.
+	Share float64 `json:"share"`
+}
+
+// SiteHeat is one row of the per-heap-access-site ranking: alias-matching
+// steps booked while resolving field Field at node Node.
+type SiteHeat struct {
+	Node   pag.NodeID  `json:"node"`
+	Name   string      `json:"name,omitempty"`
+	Field  pag.FieldID `json:"field"`
+	Steps  int64       `json:"steps"`
+	Approx bool        `json:"approx,omitempty"`
+}
+
+// FieldHeat aggregates matching steps per field across all sites.
+type FieldHeat struct {
+	Field pag.FieldID `json:"field"`
+	Label string      `json:"label"`
+	Steps int64       `json:"steps"`
+}
+
+// JmpHeat is the hit/miss ledger of one jmp store entry.
+type JmpHeat struct {
+	Node pag.NodeID `json:"node"`
+	Name string     `json:"name,omitempty"`
+	Dir  string     `json:"dir"`
+	Ctx  string     `json:"ctx,omitempty"`
+	// Takes counts shortcut hits; StepsCharged their summed budget cost.
+	// Expands counts full expansions at the same key (jmp misses — before
+	// the entry existed, or past an affordable unfinished marker). ETs
+	// counts early terminations the entry fired, with S its recorded cost
+	// at that point.
+	Takes        int64 `json:"takes"`
+	StepsCharged int64 `json:"steps_charged"`
+	Expands      int64 `json:"expands"`
+	ETs          int64 `json:"ets,omitempty"`
+	S            int   `json:"s,omitempty"`
+}
+
+// UnitHeat is one scheduled work unit's totals.
+type UnitHeat struct {
+	Unit    int   `json:"unit"`
+	Queries int   `json:"queries"`
+	Steps   int64 `json:"steps"`
+}
+
+// ComponentHeat aggregates node heat over one direct-relation component
+// (the partition sched.Schedule groups queries by), naming the hottest
+// subgraphs of the PAG.
+type ComponentHeat struct {
+	// Component is the canonical node id from sched.ComponentMap.
+	Component int32 `json:"component"`
+	// Hottest names the component's hottest node.
+	Hottest string  `json:"hottest,omitempty"`
+	Nodes   int     `json:"nodes"`
+	Steps   int64   `json:"steps"`
+	Share   float64 `json:"share"`
+}
+
+// Heat is the aggregated PAG heat profile — the /debug/heat and -heat-out
+// payload. TotalSteps and AttributedSteps are whole-run sums; the
+// conservation invariant makes them equal, and CI asserts it.
+type Heat struct {
+	Schema  string `json:"schema"`
+	Queries int    `json:"queries"`
+
+	Completed       int `json:"completed"`
+	Aborted         int `json:"aborted"`
+	EarlyTerminated int `json:"early_terminated"`
+
+	TotalSteps      int64 `json:"total_steps"`
+	AttributedSteps int64 `json:"attributed_steps"`
+
+	TraversalSteps int64 `json:"traversal_steps"`
+	MatchSteps     int64 `json:"match_steps"`
+	ApproxSteps    int64 `json:"approx_steps"`
+	JmpSteps       int64 `json:"jmp_steps"`
+	CacheSteps     int64 `json:"cache_steps"`
+
+	// TopK echoes the row cap the rankings below were built with (the
+	// sums above are never capped).
+	TopK int `json:"top_k"`
+
+	Nodes      []NodeHeat      `json:"nodes,omitempty"`
+	Sites      []SiteHeat      `json:"sites,omitempty"`
+	Fields     []FieldHeat     `json:"fields,omitempty"`
+	Jmp        []JmpHeat       `json:"jmp,omitempty"`
+	Units      []UnitHeat      `json:"units,omitempty"`
+	Components []ComponentHeat `json:"components,omitempty"`
+
+	// AutopsiesRetained/Dropped summarise the abort reports held by the
+	// collector (exported separately via Autopsies).
+	AutopsiesRetained int `json:"autopsies_retained"`
+	AutopsiesDropped  int `json:"autopsies_dropped,omitempty"`
+}
+
+// Heat snapshots the profile. Nil-safe (returns nil).
+func (c *Collector) Heat() *Heat {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	h := &Heat{
+		Schema:            HeatSchema,
+		Queries:           c.queries,
+		Completed:         c.completed,
+		Aborted:           c.aborted,
+		EarlyTerminated:   c.earlyTerminated,
+		TotalSteps:        c.totalSteps,
+		AttributedSteps:   c.attributedSteps,
+		TraversalSteps:    c.traversalSteps,
+		MatchSteps:        c.matchSteps,
+		ApproxSteps:       c.approxSteps,
+		JmpSteps:          c.jmpSteps,
+		CacheSteps:        c.cacheSteps,
+		TopK:              c.TopK,
+		AutopsiesRetained: len(c.autopsies),
+		AutopsiesDropped:  c.autopsiesDropped,
+	}
+	denom := float64(c.attributedSteps)
+	if denom == 0 {
+		denom = 1
+	}
+
+	for n, steps := range c.nodes {
+		h.Nodes = append(h.Nodes, NodeHeat{Node: n, Name: c.nodeName(n), Steps: steps, Share: float64(steps) / denom})
+	}
+	sort.Slice(h.Nodes, func(i, j int) bool {
+		if h.Nodes[i].Steps != h.Nodes[j].Steps {
+			return h.Nodes[i].Steps > h.Nodes[j].Steps
+		}
+		return h.Nodes[i].Node < h.Nodes[j].Node
+	})
+	h.Nodes = capRows(h.Nodes, c.TopK)
+
+	for k, steps := range c.sites {
+		h.Sites = append(h.Sites, SiteHeat{Node: k.Node, Name: c.nodeName(k.Node), Field: k.Field, Steps: steps})
+	}
+	for k, steps := range c.approxSites {
+		h.Sites = append(h.Sites, SiteHeat{Node: k.Node, Name: c.nodeName(k.Node), Field: k.Field, Steps: steps, Approx: true})
+	}
+	sort.Slice(h.Sites, func(i, j int) bool {
+		if h.Sites[i].Steps != h.Sites[j].Steps {
+			return h.Sites[i].Steps > h.Sites[j].Steps
+		}
+		if h.Sites[i].Node != h.Sites[j].Node {
+			return h.Sites[i].Node < h.Sites[j].Node
+		}
+		return h.Sites[i].Field < h.Sites[j].Field
+	})
+	h.Sites = capRows(h.Sites, c.TopK)
+
+	for f, steps := range c.fields {
+		h.Fields = append(h.Fields, FieldHeat{Field: f, Label: fmt.Sprintf("f%d", f), Steps: steps})
+	}
+	sort.Slice(h.Fields, func(i, j int) bool {
+		if h.Fields[i].Steps != h.Fields[j].Steps {
+			return h.Fields[i].Steps > h.Fields[j].Steps
+		}
+		return h.Fields[i].Field < h.Fields[j].Field
+	})
+	h.Fields = capRows(h.Fields, c.TopK)
+
+	for k, st := range c.jmp {
+		h.Jmp = append(h.Jmp, JmpHeat{
+			Node: k.Node, Name: c.nodeName(k.Node), Dir: dirString(k.Dir), Ctx: k.Ctx.String(),
+			Takes: st.takes, StepsCharged: st.stepsCharged, Expands: st.expands,
+			ETs: st.ets, S: st.etS,
+		})
+	}
+	sort.Slice(h.Jmp, func(i, j int) bool {
+		si, sj := h.Jmp[i], h.Jmp[j]
+		wi, wj := si.StepsCharged+si.ETs, sj.StepsCharged+sj.ETs
+		if wi != wj {
+			return wi > wj
+		}
+		if si.Node != sj.Node {
+			return si.Node < sj.Node
+		}
+		return si.Ctx < sj.Ctx
+	})
+	h.Jmp = capRows(h.Jmp, c.TopK)
+
+	for u, st := range c.units {
+		h.Units = append(h.Units, UnitHeat{Unit: u, Queries: st.queries, Steps: st.steps})
+	}
+	sort.Slice(h.Units, func(i, j int) bool {
+		if h.Units[i].Steps != h.Units[j].Steps {
+			return h.Units[i].Steps > h.Units[j].Steps
+		}
+		return h.Units[i].Unit < h.Units[j].Unit
+	})
+	h.Units = capRows(h.Units, c.TopK)
+
+	h.Components = c.componentHeat(denom)
+	return h
+}
+
+// componentHeat folds node heat into direct-relation components via
+// sched.ComponentMap. Called with c.mu held.
+func (c *Collector) componentHeat(denom float64) []ComponentHeat {
+	if c.g == nil || len(c.nodes) == 0 {
+		return nil
+	}
+	cm := sched.ComponentMap(c.g)
+	type agg struct {
+		steps   int64
+		nodes   int
+		hotNode pag.NodeID
+		hotHeat int64
+	}
+	byComp := make(map[int32]*agg)
+	for n, steps := range c.nodes {
+		if int(n) >= len(cm) {
+			continue
+		}
+		a, ok := byComp[cm[n]]
+		if !ok {
+			a = &agg{}
+			byComp[cm[n]] = a
+		}
+		a.steps += steps
+		a.nodes++
+		if steps > a.hotHeat || (steps == a.hotHeat && n < a.hotNode) {
+			a.hotHeat, a.hotNode = steps, n
+		}
+	}
+	out := make([]ComponentHeat, 0, len(byComp))
+	for comp, a := range byComp {
+		out = append(out, ComponentHeat{
+			Component: comp, Hottest: c.nodeName(a.hotNode),
+			Nodes: a.nodes, Steps: a.steps, Share: float64(a.steps) / denom,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Steps != out[j].Steps {
+			return out[i].Steps > out[j].Steps
+		}
+		return out[i].Component < out[j].Component
+	})
+	return capRows(out, c.TopK)
+}
+
+func capRows[T any](rows []T, k int) []T {
+	if k > 0 && len(rows) > k {
+		return rows[:k]
+	}
+	return rows
+}
+
+func (c *Collector) nodeName(n pag.NodeID) string {
+	if c.g == nil || int(n) >= c.g.NumNodes() {
+		return ""
+	}
+	return c.g.Node(n).Name
+}
+
+func dirString(d share.Direction) string {
+	if d == share.Forward {
+		return "fls"
+	}
+	return "pts"
+}
+
+// HeatSnapshot implements obs.HeatSource for /debug/heat.
+func (c *Collector) HeatSnapshot() any { return c.Heat() }
+
+// HeatTop implements obs.HeatSource: the k hottest rows per series, grouped
+// by series, for the parcfl_heat_* gauge families.
+func (c *Collector) HeatTop(k int) []obs.HeatSample {
+	h := c.Heat()
+	if h == nil {
+		return nil
+	}
+	var out []obs.HeatSample
+	for i, n := range h.Nodes {
+		if i >= k {
+			break
+		}
+		label := n.Name
+		if label == "" {
+			label = fmt.Sprintf("n%d", n.Node)
+		}
+		out = append(out, obs.HeatSample{Series: "node_steps", LabelKey: "node", Label: label, Value: n.Steps})
+	}
+	for i, f := range h.Fields {
+		if i >= k {
+			break
+		}
+		out = append(out, obs.HeatSample{Series: "field_steps", LabelKey: "field", Label: f.Label, Value: f.Steps})
+	}
+	ets := 0
+	for _, j := range h.Jmp {
+		if j.ETs == 0 {
+			continue
+		}
+		if ets >= k {
+			break
+		}
+		label := j.Name
+		if label == "" {
+			label = fmt.Sprintf("n%d", j.Node)
+		}
+		out = append(out, obs.HeatSample{Series: "et_triggers", LabelKey: "node", Label: label, Value: j.ETs})
+		ets++
+	}
+	return out
+}

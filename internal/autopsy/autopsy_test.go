@@ -1,0 +1,363 @@
+package autopsy_test
+
+import (
+	"strings"
+	"testing"
+
+	"parcfl/internal/autopsy"
+	"parcfl/internal/cfl"
+	"parcfl/internal/frontend"
+	"parcfl/internal/obs"
+	"parcfl/internal/pag"
+	"parcfl/internal/share"
+)
+
+func fig2(t *testing.T) *frontend.Fig2 {
+	t.Helper()
+	f, err := frontend.BuildFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestNilCollectorIsSafeAndFree: the engine calls Record/RecordUnit
+// unconditionally, so a nil collector must be a no-op with zero
+// allocations (the internal/obs nil-sink contract).
+func TestNilCollectorIsSafeAndFree(t *testing.T) {
+	var c *autopsy.Collector
+	r := &cfl.Result{Steps: 7, Prof: &cfl.Attribution{CacheSteps: 7}}
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Record(r)
+		c.RecordUnit(3, 2, 100)
+		if c.Heat() != nil {
+			t.Fatal("nil collector returned a heat profile")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("nil collector hooks allocated %.1f per run, want 0", allocs)
+	}
+	if reps, dropped := c.Autopsies(); reps != nil || dropped != 0 {
+		t.Fatal("nil collector retained autopsies")
+	}
+}
+
+// TestRecordSkipsUnprofiledResults: a result without attribution (Profile
+// off) must not be counted — mixing attributed and unattributed queries
+// would break the Heat conservation surface.
+func TestRecordSkipsUnprofiledResults(t *testing.T) {
+	c := autopsy.NewCollector(nil, 0)
+	c.Record(nil)
+	c.Record(&cfl.Result{Steps: 50})
+	h := c.Heat()
+	if h.Queries != 0 || h.TotalSteps != 0 {
+		t.Fatalf("unprofiled results were counted: %+v", h)
+	}
+}
+
+// TestHeatAggregation: fold the whole fig2 query batch in and check the
+// batch-level conservation invariant plus the ranking surfaces.
+func TestHeatAggregation(t *testing.T) {
+	f := fig2(t)
+	g := f.Lowered.Graph
+	s := cfl.New(g, cfl.Config{Profile: true})
+	c := autopsy.NewCollector(g, 0)
+
+	queries := 0
+	for _, v := range f.Lowered.AppQueryVars {
+		r := s.PointsTo(v, pag.EmptyContext)
+		c.Record(&r)
+		queries++
+	}
+	rf := s.FlowsTo(f.O16, pag.EmptyContext)
+	c.Record(&rf)
+	queries++
+	c.RecordUnit(0, queries, 123)
+
+	h := c.Heat()
+	if h.Schema != autopsy.HeatSchema {
+		t.Fatalf("schema = %q", h.Schema)
+	}
+	if h.Queries != queries || h.Completed != queries {
+		t.Fatalf("queries = %d/%d completed, want %d", h.Queries, h.Completed, queries)
+	}
+	if h.TotalSteps == 0 {
+		t.Fatal("no steps recorded")
+	}
+	// The conservation invariant, batch-wide.
+	if h.AttributedSteps != h.TotalSteps {
+		t.Fatalf("attributed %d != total %d", h.AttributedSteps, h.TotalSteps)
+	}
+	// The category split must cover the attribution exactly.
+	if sum := h.TraversalSteps + h.MatchSteps + h.ApproxSteps + h.JmpSteps + h.CacheSteps; sum != h.AttributedSteps {
+		t.Fatalf("category sum %d != attributed %d", sum, h.AttributedSteps)
+	}
+	if len(h.Nodes) == 0 || len(h.Fields) == 0 {
+		t.Fatal("empty node/field rankings")
+	}
+	for i := 1; i < len(h.Nodes); i++ {
+		if h.Nodes[i].Steps > h.Nodes[i-1].Steps {
+			t.Fatal("node ranking not sorted by descending steps")
+		}
+	}
+	if h.Nodes[0].Name == "" {
+		t.Fatal("hottest node has no name despite graph attached")
+	}
+	if len(h.Components) == 0 {
+		t.Fatal("no component rollup despite graph attached")
+	}
+	if len(h.Units) != 1 || h.Units[0].Queries != queries || h.Units[0].Steps != 123 {
+		t.Fatalf("unit rollup = %+v", h.Units)
+	}
+}
+
+// TestHeatTopK: the row cap applies to rankings, never to the sums.
+func TestHeatTopK(t *testing.T) {
+	f := fig2(t)
+	g := f.Lowered.Graph
+	s := cfl.New(g, cfl.Config{Profile: true})
+	c := autopsy.NewCollector(g, 0)
+	c.TopK = 2
+	for _, v := range f.Lowered.AppQueryVars {
+		r := s.PointsTo(v, pag.EmptyContext)
+		c.Record(&r)
+	}
+	h := c.Heat()
+	if len(h.Nodes) != 2 {
+		t.Fatalf("TopK=2 kept %d node rows", len(h.Nodes))
+	}
+	if h.AttributedSteps != h.TotalSteps {
+		t.Fatal("capping rows disturbed the conservation sums")
+	}
+}
+
+// TestAutopsyReportAborted: an aborted query yields a retained report with
+// a partial frontier and conserved attribution.
+func TestAutopsyReportAborted(t *testing.T) {
+	f := fig2(t)
+	g := f.Lowered.Graph
+	st := share.NewStore(share.Config{TauF: 1, TauU: 1, Shards: 8})
+	s := cfl.New(g, cfl.Config{Budget: 12, Share: st, Profile: true})
+	c := autopsy.NewCollector(g, 12)
+
+	r := s.PointsTo(f.S1, pag.EmptyContext)
+	if !r.Aborted {
+		t.Skip("budget 12 unexpectedly sufficient; adjust test budget")
+	}
+	c.Record(&r)
+
+	reps, dropped := c.Autopsies()
+	if len(reps) != 1 || dropped != 0 {
+		t.Fatalf("retained %d reports (%d dropped), want 1", len(reps), dropped)
+	}
+	rep := reps[0]
+	if rep.Schema != autopsy.ReportSchema {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if rep.Outcome != autopsy.OutcomeAborted {
+		t.Fatalf("outcome = %q", rep.Outcome)
+	}
+	if rep.AttributedSteps != int64(rep.Steps) {
+		t.Fatalf("report not conserved: attributed %d, steps %d", rep.AttributedSteps, rep.Steps)
+	}
+	if rep.Budget != 12 {
+		t.Fatalf("budget = %d", rep.Budget)
+	}
+	if len(rep.Frontier) == 0 {
+		t.Fatal("aborted report has no frontier")
+	}
+	if rep.Name != g.Node(f.S1).Name {
+		t.Fatalf("report names %q, want %q", rep.Name, g.Node(f.S1).Name)
+	}
+
+	h := c.Heat()
+	if h.Aborted != 1 || h.AutopsiesRetained != 1 {
+		t.Fatalf("heat abort counts: %+v", h)
+	}
+	if h.AttributedSteps != h.TotalSteps {
+		t.Fatal("aborted query broke batch conservation")
+	}
+}
+
+// TestAutopsyReportET is the acceptance-criterion surface at the autopsy
+// level: an early-terminated query's report must name the unfinished jmp
+// edge, its recorded s, and the budget shortfall.
+func TestAutopsyReportET(t *testing.T) {
+	f := fig2(t)
+	g := f.Lowered.Graph
+	st := share.NewStore(share.Config{TauF: 1, TauU: 1, Shards: 8})
+
+	tight := cfl.New(g, cfl.Config{Budget: 12, Share: st, Profile: true})
+	r1 := tight.PointsTo(f.S1, pag.EmptyContext)
+	if !r1.Aborted {
+		t.Skip("budget 12 unexpectedly sufficient; adjust test budget")
+	}
+
+	tighter := cfl.New(g, cfl.Config{Budget: 11, Share: st, Profile: true})
+	r2 := tighter.PointsTo(f.S1, pag.EmptyContext)
+	if !r2.EarlyTerminated {
+		t.Fatal("second query did not early-terminate")
+	}
+
+	rep := autopsy.FromResult(g, 11, &r2)
+	if rep.Outcome != autopsy.OutcomeEarlyTerminated {
+		t.Fatalf("outcome = %q", rep.Outcome)
+	}
+	j := rep.UnfinishedJmp
+	if j == nil {
+		t.Fatal("ET report names no unfinished jmp")
+	}
+	et := r2.Prof.ET
+	if j.Node != et.Key.Node || j.S != et.S || j.Remaining != et.Remaining {
+		t.Fatalf("report jmp %+v does not match attribution %+v", j, et)
+	}
+	if rep.ShortfallSteps != et.S-et.Remaining || rep.ShortfallSteps <= 0 {
+		t.Fatalf("shortfall = %d, want %d", rep.ShortfallSteps, et.S-et.Remaining)
+	}
+
+	var sb strings.Builder
+	if err := rep.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"early-terminated", "unfinished jmp", "recorded s=", "short "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+	// Record into a collector: ET queries count as ET, and the jmp ledger
+	// books the trigger.
+	c := autopsy.NewCollector(g, 11)
+	c.Record(&r2)
+	h := c.Heat()
+	if h.EarlyTerminated != 1 {
+		t.Fatalf("heat ET count = %d", h.EarlyTerminated)
+	}
+	foundET := false
+	for _, jm := range h.Jmp {
+		if jm.ETs > 0 {
+			foundET = true
+			if jm.S != et.S {
+				t.Fatalf("jmp ledger S = %d, want %d", jm.S, et.S)
+			}
+		}
+	}
+	if !foundET {
+		t.Fatal("jmp ledger has no ET trigger row")
+	}
+}
+
+// TestMaxAutopsies: aborts past the cap are counted, not retained.
+func TestMaxAutopsies(t *testing.T) {
+	f := fig2(t)
+	g := f.Lowered.Graph
+	s := cfl.New(g, cfl.Config{Budget: 3, Profile: true})
+	c := autopsy.NewCollector(g, 3)
+	c.MaxAutopsies = 1
+	for i := 0; i < 3; i++ {
+		r := s.PointsTo(f.S1, pag.EmptyContext)
+		if !r.Aborted {
+			t.Skip("budget 3 unexpectedly sufficient")
+		}
+		c.Record(&r)
+	}
+	reps, dropped := c.Autopsies()
+	if len(reps) != 1 || dropped != 2 {
+		t.Fatalf("retained %d dropped %d, want 1/2", len(reps), dropped)
+	}
+}
+
+// TestHeatSource: the obs.HeatSource view groups samples by series (the
+// contract the Prometheus exposition relies on) and honours k.
+func TestHeatSource(t *testing.T) {
+	f := fig2(t)
+	g := f.Lowered.Graph
+	s := cfl.New(g, cfl.Config{Profile: true})
+	c := autopsy.NewCollector(g, 0)
+	for _, v := range f.Lowered.AppQueryVars {
+		r := s.PointsTo(v, pag.EmptyContext)
+		c.Record(&r)
+	}
+	var _ obs.HeatSource = c
+
+	samples := c.HeatTop(3)
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	seen := map[string]bool{}
+	var last string
+	perSeries := map[string]int{}
+	for _, smp := range samples {
+		if smp.Series != last {
+			if seen[smp.Series] {
+				t.Fatalf("series %q not contiguous", smp.Series)
+			}
+			seen[smp.Series] = true
+			last = smp.Series
+		}
+		perSeries[smp.Series]++
+		if smp.Label == "" || smp.LabelKey == "" {
+			t.Fatalf("unlabelled sample %+v", smp)
+		}
+	}
+	for series, n := range perSeries {
+		if n > 3 {
+			t.Fatalf("series %q has %d samples, want <= 3", series, n)
+		}
+	}
+	if !seen["node_steps"] || !seen["field_steps"] {
+		t.Fatalf("missing expected series: %v", perSeries)
+	}
+}
+
+// TestDOTBridge: the collector + store render as a heat/jmp overlay.
+func TestDOTBridge(t *testing.T) {
+	f := fig2(t)
+	g := f.Lowered.Graph
+	st := share.NewStore(share.Config{TauF: 1, TauU: 1, Shards: 8})
+	s := cfl.New(g, cfl.Config{Budget: 12, Share: st, Profile: true})
+	c := autopsy.NewCollector(g, 12)
+	r := s.PointsTo(f.S1, pag.EmptyContext)
+	if !r.Aborted {
+		t.Skip("budget 12 unexpectedly sufficient")
+	}
+	c.Record(&r)
+
+	opt := c.DOTOptions(st)
+	if len(opt.Heat) == 0 {
+		t.Fatal("no heat in DOT options")
+	}
+	if len(opt.JmpEdges) == 0 {
+		t.Fatal("no jmp edges despite recorded unfinished markers")
+	}
+	hasUnfinished := false
+	for _, e := range opt.JmpEdges {
+		if e.Unfinished {
+			hasUnfinished = true
+		}
+	}
+	if !hasUnfinished {
+		t.Fatal("store holds unfinished entries but no unfinished edge rendered")
+	}
+	var sb strings.Builder
+	if err := g.WriteDOTOpts(&sb, opt); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "fillcolor=\"#ff") {
+		t.Fatal("DOT output has no heat shading")
+	}
+	if !strings.Contains(out, "jmp(") || !strings.Contains(out, "color=red") {
+		t.Fatal("DOT output has no unfinished jmp overlay")
+	}
+
+	// A nil collector still renders the store overlay.
+	var nc *autopsy.Collector
+	opt2 := nc.DOTOptions(st)
+	if len(opt2.Heat) != 0 || len(opt2.JmpEdges) == 0 {
+		t.Fatalf("nil-collector options: %+v", opt2)
+	}
+	if e := autopsy.JmpEdges(nil); e != nil {
+		t.Fatal("nil store produced edges")
+	}
+}

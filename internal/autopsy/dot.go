@@ -1,0 +1,81 @@
+package autopsy
+
+import (
+	"sort"
+
+	"parcfl/internal/pag"
+	"parcfl/internal/share"
+)
+
+// DOTOptions builds a pag.DOTOptions rendering the collector's heat
+// profile over the graph: nodes shaded by attributed traversal steps, and
+// — when st is non-nil — the current-epoch jmp store overlaid as dashed
+// edges (finished entries blue to each distinct target, unfinished entries
+// red into the O node). Use with g.WriteDOTOpts for the `heat dot` repl
+// command and pointsto -heat-dot. Nil-safe: a nil collector yields only
+// the store overlay (or a zero options value).
+func (c *Collector) DOTOptions(st *share.Store) pag.DOTOptions {
+	var opt pag.DOTOptions
+	if c != nil {
+		c.mu.Lock()
+		if len(c.nodes) > 0 {
+			opt.Heat = make(map[pag.NodeID]int64, len(c.nodes))
+			for n, steps := range c.nodes {
+				opt.Heat[n] = steps
+			}
+		}
+		c.mu.Unlock()
+	}
+	opt.JmpEdges = JmpEdges(st)
+	return opt
+}
+
+// JmpEdges flattens the store's current-epoch entries into DOT overlay
+// edges: one edge per distinct (source, target) pair of a finished entry,
+// one unfinished edge per unfinished entry. Deterministically ordered.
+// Nil-safe (nil store → nil).
+func JmpEdges(st *share.Store) []pag.DOTJmpEdge {
+	if st == nil {
+		return nil
+	}
+	type pair struct{ from, to pag.NodeID }
+	finished := make(map[pair]int)
+	var unfinished []pag.DOTJmpEdge
+	st.ForEach(func(k share.Key, e share.Entry) bool {
+		if e.Unfinished {
+			unfinished = append(unfinished, pag.DOTJmpEdge{From: k.Node, S: e.S, Unfinished: true})
+			return true
+		}
+		seen := make(map[pag.NodeID]bool, len(e.Targets))
+		for _, t := range e.Targets {
+			if seen[t.Node] {
+				continue
+			}
+			seen[t.Node] = true
+			p := pair{from: k.Node, to: t.Node}
+			if e.S > finished[p] {
+				finished[p] = e.S
+			}
+		}
+		return true
+	})
+	out := make([]pag.DOTJmpEdge, 0, len(finished)+len(unfinished))
+	for p, s := range finished {
+		out = append(out, pag.DOTJmpEdge{From: p.from, To: p.to, S: s})
+	}
+	out = append(out, unfinished...)
+	sort.Slice(out, func(i, j int) bool {
+		ei, ej := out[i], out[j]
+		if ei.Unfinished != ej.Unfinished {
+			return !ei.Unfinished // finished edges first
+		}
+		if ei.From != ej.From {
+			return ei.From < ej.From
+		}
+		if ei.To != ej.To {
+			return ei.To < ej.To
+		}
+		return ei.S < ej.S
+	})
+	return out
+}

@@ -1,0 +1,269 @@
+package autopsy
+
+import (
+	"fmt"
+	"io"
+
+	"parcfl/internal/cfl"
+	"parcfl/internal/pag"
+)
+
+// ReportSchema identifies the Report JSON layout; bump on breaking changes.
+const ReportSchema = "parcfl-autopsy/v1"
+
+// Outcome values for a Report.
+const (
+	OutcomeCompleted       = "completed"
+	OutcomeAborted         = "aborted"
+	OutcomeEarlyTerminated = "early-terminated"
+)
+
+// JmpRef names one jmp store entry in human terms: the PAG node, its
+// name, the traversal direction and calling context.
+type JmpRef struct {
+	Node pag.NodeID `json:"node"`
+	Name string     `json:"name,omitempty"`
+	Dir  string     `json:"dir"`
+	Ctx  string     `json:"ctx"`
+	// S is the entry's recorded step cost; for an early termination,
+	// Remaining is the budget left when the edge was met (the shortfall
+	// is S - Remaining).
+	S         int `json:"s"`
+	Remaining int `json:"remaining,omitempty"`
+}
+
+// FrameRef is one alias expansion still open at abort time, with the steps
+// spent since it started.
+type FrameRef struct {
+	JmpRef
+	Steps int `json:"steps"`
+}
+
+// FieldRef is one field's share of the query's matching steps.
+type FieldRef struct {
+	Field pag.FieldID `json:"field"`
+	Label string      `json:"label"`
+	Steps int64       `json:"steps"`
+}
+
+// NodeRef is one node's share of the query's traversal steps.
+type NodeRef struct {
+	Node  pag.NodeID `json:"node"`
+	Name  string     `json:"name,omitempty"`
+	Steps int64      `json:"steps"`
+}
+
+// Report is the structured post-mortem of one query — what the repl's
+// `autopsy` command prints and what -autopsy-out serialises. Built from a
+// Result solved with Config.Profile on.
+type Report struct {
+	Schema string `json:"schema"`
+
+	Node pag.NodeID `json:"node"`
+	Name string     `json:"name,omitempty"`
+	Ctx  string     `json:"ctx"`
+
+	// Outcome is completed, aborted, or early-terminated.
+	Outcome string `json:"outcome"`
+
+	Steps  int `json:"steps"`
+	Budget int `json:"budget,omitempty"`
+	// AttributedSteps is the attribution sum; conservation makes it equal
+	// Steps.
+	AttributedSteps int64 `json:"attributed_steps"`
+
+	TraversalSteps int64 `json:"traversal_steps"`
+	MatchSteps     int64 `json:"match_steps"`
+	ApproxSteps    int64 `json:"approx_steps,omitempty"`
+	JmpSteps       int64 `json:"jmp_steps"`
+	CacheSteps     int64 `json:"cache_steps"`
+
+	// Results is the size of the (possibly partial) answer set.
+	Results int `json:"results"`
+
+	// UnfinishedJmp names the unfinished store entry that fired the early
+	// termination (nil unless Outcome is early-terminated). For an ET the
+	// shortfall is UnfinishedJmp.S - UnfinishedJmp.Remaining: the minimum
+	// extra budget the recorded expansion would have needed.
+	UnfinishedJmp  *JmpRef `json:"unfinished_jmp,omitempty"`
+	ShortfallSteps int     `json:"shortfall_steps,omitempty"`
+
+	// Frontier lists the alias expansions still open at abort time,
+	// outermost first — the partial work the budget cut off.
+	Frontier []FrameRef `json:"frontier,omitempty"`
+
+	// TopNodes / TopFields are the dominant step consumers, descending.
+	TopNodes  []NodeRef  `json:"top_nodes,omitempty"`
+	TopFields []FieldRef `json:"top_fields,omitempty"`
+
+	// JumpsTaken / StepsSaved echo the result's jmp shortcut usage.
+	JumpsTaken int `json:"jumps_taken,omitempty"`
+	StepsSaved int `json:"steps_saved,omitempty"`
+}
+
+// reportTopK bounds the per-report node/field rankings.
+const reportTopK = 8
+
+// FromResult builds a Report for r. Returns nil if r is nil or carries no
+// attribution (Config.Profile was off). g may be nil (names are omitted);
+// budget 0 means unbudgeted.
+func FromResult(g *pag.Graph, budget int, r *cfl.Result) *Report {
+	if r == nil || r.Prof == nil {
+		return nil
+	}
+	p := r.Prof
+	rep := &Report{
+		Schema:          ReportSchema,
+		Node:            r.Node,
+		Name:            nodeName(g, r.Node),
+		Ctx:             r.Ctx.String(),
+		Outcome:         outcome(r),
+		Steps:           r.Steps,
+		Budget:          budget,
+		AttributedSteps: p.Sum(),
+		TraversalSteps:  p.TraversalSteps(),
+		MatchSteps:      p.MatchSteps(),
+		ApproxSteps:     p.ApproxSteps(),
+		JmpSteps:        p.JmpSteps(),
+		CacheSteps:      p.CacheSteps,
+		Results:         len(r.PointsTo),
+		JumpsTaken:      r.JumpsTaken,
+		StepsSaved:      r.StepsSaved,
+	}
+	if p.ET != nil {
+		rep.UnfinishedJmp = &JmpRef{
+			Node: p.ET.Key.Node, Name: nodeName(g, p.ET.Key.Node),
+			Dir: dirString(p.ET.Key.Dir), Ctx: p.ET.Key.Ctx.String(),
+			S: p.ET.S, Remaining: p.ET.Remaining,
+		}
+		rep.ShortfallSteps = p.ET.S - p.ET.Remaining
+	}
+	for _, f := range p.Frontier {
+		rep.Frontier = append(rep.Frontier, FrameRef{
+			JmpRef: JmpRef{
+				Node: f.Key.Node, Name: nodeName(g, f.Key.Node),
+				Dir: dirString(f.Key.Dir), Ctx: f.Key.Ctx.String(),
+			},
+			Steps: f.Steps,
+		})
+	}
+	for i, n := range p.Nodes {
+		if i >= reportTopK {
+			break
+		}
+		rep.TopNodes = append(rep.TopNodes, NodeRef{Node: n.Node, Name: nodeName(g, n.Node), Steps: n.Steps})
+	}
+	// Sites are already sorted by descending steps; fold into fields
+	// preserving first-seen (hottest-site) order.
+	fieldSteps := make(map[pag.FieldID]int64)
+	var fieldOrder []pag.FieldID
+	for _, s := range p.Sites {
+		if _, ok := fieldSteps[s.Site.Field]; !ok {
+			fieldOrder = append(fieldOrder, s.Site.Field)
+		}
+		fieldSteps[s.Site.Field] += s.Steps
+	}
+	for i, f := range fieldOrder {
+		if i >= reportTopK {
+			break
+		}
+		rep.TopFields = append(rep.TopFields, FieldRef{Field: f, Label: fmt.Sprintf("f%d", f), Steps: fieldSteps[f]})
+	}
+	return rep
+}
+
+func outcome(r *cfl.Result) string {
+	switch {
+	case r.EarlyTerminated:
+		return OutcomeEarlyTerminated
+	case r.Aborted:
+		return OutcomeAborted
+	default:
+		return OutcomeCompleted
+	}
+}
+
+func nodeName(g *pag.Graph, n pag.NodeID) string {
+	if g == nil || int(n) >= g.NumNodes() {
+		return ""
+	}
+	return g.Node(n).Name
+}
+
+func (r *JmpRef) label() string {
+	name := r.Name
+	if name == "" {
+		name = fmt.Sprintf("n%d", r.Node)
+	}
+	return fmt.Sprintf("%s(%s, %s)", r.Dir, name, r.Ctx)
+}
+
+// WriteText renders the report for a terminal — the repl's `autopsy`
+// output.
+func (r *Report) WriteText(w io.Writer) error {
+	ew := &errWriter{w: w}
+	name := r.Name
+	if name == "" {
+		name = fmt.Sprintf("n%d", r.Node)
+	}
+	ew.printf("query     %s @ %s\n", name, r.Ctx)
+	ew.printf("outcome   %s\n", r.Outcome)
+	if r.Budget > 0 {
+		ew.printf("steps     %d of budget %d (attributed %d)\n", r.Steps, r.Budget, r.AttributedSteps)
+	} else {
+		ew.printf("steps     %d (attributed %d)\n", r.Steps, r.AttributedSteps)
+	}
+	ew.printf("breakdown traversal=%d match=%d", r.TraversalSteps, r.MatchSteps)
+	if r.ApproxSteps > 0 {
+		ew.printf(" approx=%d", r.ApproxSteps)
+	}
+	ew.printf(" jmp=%d cache=%d\n", r.JmpSteps, r.CacheSteps)
+	ew.printf("results   %d", r.Results)
+	if r.Outcome != OutcomeCompleted {
+		ew.printf(" (partial)")
+	}
+	ew.printf("\n")
+	if r.JumpsTaken > 0 {
+		ew.printf("jmp       %d shortcuts taken, %d steps saved\n", r.JumpsTaken, r.StepsSaved)
+	}
+	if j := r.UnfinishedJmp; j != nil {
+		ew.printf("et        unfinished jmp at %s: recorded s=%d, budget left %d (short %d steps)\n",
+			j.label(), j.S, j.Remaining, r.ShortfallSteps)
+	}
+	if len(r.Frontier) > 0 {
+		ew.printf("frontier  %d open expansion(s) at abort:\n", len(r.Frontier))
+		for _, f := range r.Frontier {
+			ew.printf("  %-40s %d steps in\n", f.label(), f.Steps)
+		}
+	}
+	if len(r.TopNodes) > 0 {
+		ew.printf("hot nodes\n")
+		for _, n := range r.TopNodes {
+			nm := n.Name
+			if nm == "" {
+				nm = fmt.Sprintf("n%d", n.Node)
+			}
+			ew.printf("  %-40s %d steps\n", nm, n.Steps)
+		}
+	}
+	if len(r.TopFields) > 0 {
+		ew.printf("hot fields\n")
+		for _, f := range r.TopFields {
+			ew.printf("  %-40s %d steps\n", f.Label, f.Steps)
+		}
+	}
+	return ew.err
+}
+
+// errWriter latches the first write error.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -1,0 +1,253 @@
+package cfl
+
+import (
+	"sort"
+
+	"parcfl/internal/pag"
+	"parcfl/internal/share"
+)
+
+// Budget attribution: when Config.Profile is set, every step the budget
+// machinery charges is also booked against the analysis-semantic event that
+// consumed it — the traversal scan of a (node, context) item, the alias
+// matching performed under a ld(f)/st(f) site, an approximate field match,
+// a finished jmp shortcut's recorded cost, or a result-cache hit. The sum
+// of a query's attribution equals its Result.Steps exactly (the
+// conservation invariant); internal/autopsy aggregates attributions across
+// a batch into the PAG heat profile.
+
+// SiteKey identifies one heap-access matching site: the node whose ld(f)
+// (backward) or st(f) (forward) edges were being matched, and the field.
+type SiteKey struct {
+	Node  pag.NodeID
+	Field pag.FieldID
+}
+
+// NodeSteps is the traversal cost booked at one PAG node: one step per scan
+// of a (node, context) item in the eval loop, summed over contexts and
+// rescans.
+type NodeSteps struct {
+	Node  pag.NodeID
+	Steps int64
+}
+
+// SiteSteps is the alias-matching cost booked at one (site, field) pair:
+// steps charged while examining alias-set and flows-to elements under that
+// field (Approx true when the field was matched regularly instead).
+type SiteSteps struct {
+	Site   SiteKey
+	Steps  int64
+	Approx bool
+}
+
+// JmpCharge is one finished jmp shortcut taken, with the recorded cost
+// charged to the budget. The same store entry may appear once per consulting
+// computation (the charge is deduplicated per computation, not per query).
+type JmpCharge struct {
+	Key share.Key
+	S   int
+}
+
+// Expansion is one full alias expansion this query performed at a
+// shareable site — a jmp "miss": either no store entry existed or the entry
+// was unfinished but affordable. Cost is the maximum observed step cost.
+type Expansion struct {
+	Key  share.Key
+	Cost int
+}
+
+// ETRecord names the unfinished jmp edge that fired an early termination:
+// its recorded cost s, and the budget remaining when the edge was met
+// (the shortfall is S - Remaining).
+type ETRecord struct {
+	Key       share.Key
+	S         int
+	Remaining int
+}
+
+// FrameRecord is one alias expansion still open when the query aborted —
+// the partial frontier. Steps counts the steps spent since the expansion
+// started.
+type FrameRecord struct {
+	Key   share.Key
+	Steps int
+}
+
+// Attribution is the per-query budget breakdown, attached to Result.Prof
+// when Config.Profile is set. Nodes and Sites are sorted by descending
+// steps (ties by node, then field) so the dominant consumers lead.
+type Attribution struct {
+	Nodes      []NodeSteps
+	Sites      []SiteSteps
+	Jumps      []JmpCharge
+	CacheSteps int64
+	Expansions []Expansion
+	// ET is non-nil iff the query early-terminated.
+	ET *ETRecord
+	// Frontier holds the expansions open at abort time (empty for
+	// completed queries).
+	Frontier []FrameRecord
+}
+
+// Sum returns the total attributed steps. The conservation invariant is
+// Sum() == int64(Result.Steps) for every query, completed or aborted.
+func (a *Attribution) Sum() int64 {
+	if a == nil {
+		return 0
+	}
+	total := a.CacheSteps
+	for _, n := range a.Nodes {
+		total += n.Steps
+	}
+	for _, s := range a.Sites {
+		total += s.Steps
+	}
+	for _, j := range a.Jumps {
+		total += int64(j.S)
+	}
+	return total
+}
+
+// TraversalSteps returns the steps booked to eval-loop item scans.
+func (a *Attribution) TraversalSteps() int64 {
+	if a == nil {
+		return 0
+	}
+	var total int64
+	for _, n := range a.Nodes {
+		total += n.Steps
+	}
+	return total
+}
+
+// MatchSteps returns the steps booked to alias matching (precise sites
+// only; approx=false entries).
+func (a *Attribution) MatchSteps() int64 {
+	if a == nil {
+		return 0
+	}
+	var total int64
+	for _, s := range a.Sites {
+		if !s.Approx {
+			total += s.Steps
+		}
+	}
+	return total
+}
+
+// ApproxSteps returns the steps booked to regular (approximate) field
+// matching.
+func (a *Attribution) ApproxSteps() int64 {
+	if a == nil {
+		return 0
+	}
+	var total int64
+	for _, s := range a.Sites {
+		if s.Approx {
+			total += s.Steps
+		}
+	}
+	return total
+}
+
+// JmpSteps returns the steps charged for finished jmp shortcuts taken.
+func (a *Attribution) JmpSteps() int64 {
+	if a == nil {
+		return 0
+	}
+	var total int64
+	for _, j := range a.Jumps {
+		total += int64(j.S)
+	}
+	return total
+}
+
+// queryProf accumulates attribution during a query. It exists only when
+// profiling is on; every hook site guards on the nil pointer so the off
+// path costs a single comparison and no allocation.
+type queryProf struct {
+	nodes    map[pag.NodeID]int64
+	sites    map[SiteKey]int64
+	approx   map[SiteKey]int64
+	jumps    []JmpCharge
+	cache    int64
+	et       *ETRecord
+	frontier []FrameRecord
+}
+
+func newQueryProf() *queryProf {
+	return &queryProf{
+		nodes: make(map[pag.NodeID]int64),
+		sites: make(map[SiteKey]int64),
+	}
+}
+
+// site books one alias-matching step under (n, f).
+func (p *queryProf) site(n pag.NodeID, f pag.FieldID) {
+	p.sites[SiteKey{Node: n, Field: f}]++
+}
+
+// approxSite books one approximate-matching step under (n, f).
+func (p *queryProf) approxSite(n pag.NodeID, f pag.FieldID) {
+	if p.approx == nil {
+		p.approx = make(map[SiteKey]int64)
+	}
+	p.approx[SiteKey{Node: n, Field: f}]++
+}
+
+// snapshot materialises the accumulated attribution as a sorted, immutable
+// Attribution. Called once per query from fill — before recordCandidates,
+// so recording-mode bookkeeping never appears.
+func (p *queryProf) snapshot(q *query) *Attribution {
+	a := &Attribution{
+		CacheSteps: p.cache,
+		Jumps:      p.jumps,
+		ET:         p.et,
+		Frontier:   p.frontier,
+	}
+	a.Nodes = make([]NodeSteps, 0, len(p.nodes))
+	for n, s := range p.nodes {
+		a.Nodes = append(a.Nodes, NodeSteps{Node: n, Steps: s})
+	}
+	sort.Slice(a.Nodes, func(i, j int) bool {
+		if a.Nodes[i].Steps != a.Nodes[j].Steps {
+			return a.Nodes[i].Steps > a.Nodes[j].Steps
+		}
+		return a.Nodes[i].Node < a.Nodes[j].Node
+	})
+	a.Sites = make([]SiteSteps, 0, len(p.sites)+len(p.approx))
+	for k, s := range p.sites {
+		a.Sites = append(a.Sites, SiteSteps{Site: k, Steps: s})
+	}
+	for k, s := range p.approx {
+		a.Sites = append(a.Sites, SiteSteps{Site: k, Steps: s, Approx: true})
+	}
+	sort.Slice(a.Sites, func(i, j int) bool {
+		si, sj := a.Sites[i], a.Sites[j]
+		if si.Steps != sj.Steps {
+			return si.Steps > sj.Steps
+		}
+		if si.Site.Node != sj.Site.Node {
+			return si.Site.Node < sj.Site.Node
+		}
+		return si.Site.Field < sj.Site.Field
+	})
+	a.Expansions = make([]Expansion, 0, len(q.candidates))
+	for k, cost := range q.candidates {
+		a.Expansions = append(a.Expansions, Expansion{Key: k, Cost: cost})
+	}
+	sort.Slice(a.Expansions, func(i, j int) bool {
+		ei, ej := a.Expansions[i], a.Expansions[j]
+		if ei.Cost != ej.Cost {
+			return ei.Cost > ej.Cost
+		}
+		if ei.Key.Node != ej.Key.Node {
+			return ei.Key.Node < ej.Key.Node
+		}
+		if ei.Key.Dir != ej.Key.Dir {
+			return ei.Key.Dir < ej.Key.Dir
+		}
+		return ei.Key.Ctx.Key() < ej.Key.Ctx.Key()
+	})
+	return a
+}

@@ -1,0 +1,216 @@
+package cfl
+
+import (
+	"testing"
+
+	"parcfl/internal/pag"
+	"parcfl/internal/ptcache"
+	"parcfl/internal/share"
+)
+
+// checkConserved asserts the conservation invariant on one result: the
+// summed attribution equals Result.Steps exactly.
+func checkConserved(t *testing.T, name string, r Result) {
+	t.Helper()
+	if r.Prof == nil {
+		t.Fatalf("%s: Profile on but Prof nil", name)
+	}
+	if got, want := r.Prof.Sum(), int64(r.Steps); got != want {
+		t.Fatalf("%s: attribution sums to %d, Result.Steps = %d (traversal=%d match=%d approx=%d jmp=%d cache=%d)",
+			name, got, want, r.Prof.TraversalSteps(), r.Prof.MatchSteps(),
+			r.Prof.ApproxSteps(), r.Prof.JmpSteps(), r.Prof.CacheSteps)
+	}
+}
+
+// TestProfileOff: without Config.Profile, results carry no attribution and
+// step counts are unchanged.
+func TestProfileOff(t *testing.T) {
+	f := fig2(t)
+	plain := New(f.Lowered.Graph, Config{})
+	prof := New(f.Lowered.Graph, Config{Profile: true})
+	for _, v := range f.Lowered.AppQueryVars {
+		a := plain.PointsTo(v, pag.EmptyContext)
+		b := prof.PointsTo(v, pag.EmptyContext)
+		if a.Prof != nil {
+			t.Fatal("Prof set without Profile")
+		}
+		if b.Prof == nil {
+			t.Fatal("Prof nil with Profile on")
+		}
+		if a.Steps != b.Steps {
+			t.Fatalf("profiling changed step count: %d vs %d", a.Steps, b.Steps)
+		}
+	}
+}
+
+// TestProfileConservationFig2 checks the invariant on completed queries in
+// both directions, and that traversal steps dominate a precise run.
+func TestProfileConservationFig2(t *testing.T) {
+	f := fig2(t)
+	s := New(f.Lowered.Graph, Config{Profile: true})
+	for _, v := range f.Lowered.AppQueryVars {
+		r := s.PointsTo(v, pag.EmptyContext)
+		checkConserved(t, f.Lowered.Graph.Node(v).Name, r)
+		if r.Prof.TraversalSteps() == 0 {
+			t.Fatalf("%s: no traversal steps attributed", f.Lowered.Graph.Node(v).Name)
+		}
+	}
+	r := s.FlowsTo(f.O16, pag.EmptyContext)
+	checkConserved(t, "flows(o16)", r)
+}
+
+// TestProfileConservationAborted: a query that runs out of budget must still
+// conserve, and its attribution must carry the partial frontier.
+func TestProfileConservationAborted(t *testing.T) {
+	f := fig2(t)
+	st := share.NewStore(share.Config{TauF: 1, TauU: 1, Shards: 8})
+	s := New(f.Lowered.Graph, Config{Budget: 12, Share: st, Profile: true})
+	r := s.PointsTo(f.S1, pag.EmptyContext)
+	if !r.Aborted {
+		t.Skip("budget 12 unexpectedly sufficient; adjust test budget")
+	}
+	checkConserved(t, "s1@12", r)
+	if r.Prof.ET != nil {
+		t.Fatal("plain exhaustion recorded an ETRecord")
+	}
+	if len(r.Prof.Frontier) == 0 {
+		t.Fatal("aborted query has no partial frontier (but recorded unfinished markers)")
+	}
+	for _, fr := range r.Prof.Frontier {
+		if fr.Steps < 0 || fr.Steps > r.Steps {
+			t.Fatalf("frontier frame steps %d out of range [0,%d]", fr.Steps, r.Steps)
+		}
+	}
+}
+
+// TestProfileEarlyTerminationNamesJmp is the acceptance-criterion test: an
+// ET query's attribution must name the unfinished jmp edge that fired and
+// its recorded cost s, built on the TestEarlyTermination fixture.
+func TestProfileEarlyTerminationNamesJmp(t *testing.T) {
+	f := fig2(t)
+	st := share.NewStore(share.Config{TauF: 1, TauU: 1, Shards: 8})
+
+	// First query aborts at budget 12, recording unfinished markers.
+	tight := New(f.Lowered.Graph, Config{Budget: 12, Share: st, Profile: true})
+	r1 := tight.PointsTo(f.S1, pag.EmptyContext)
+	if !r1.Aborted {
+		t.Skip("budget 12 unexpectedly sufficient; adjust test budget")
+	}
+	checkConserved(t, "recorder", r1)
+
+	// Second query at budget 11 hits an unfinished marker and ETs.
+	tighter := New(f.Lowered.Graph, Config{Budget: 11, Share: st, Profile: true})
+	r2 := tighter.PointsTo(f.S1, pag.EmptyContext)
+	if !r2.EarlyTerminated {
+		t.Fatal("second query did not early-terminate")
+	}
+	checkConserved(t, "et", r2)
+	et := r2.Prof.ET
+	if et == nil {
+		t.Fatal("ET query carries no ETRecord")
+	}
+	// The record must name an edge the store actually holds, with the
+	// store's recorded s and a true shortfall.
+	e, ok := st.Lookup(et.Key)
+	if !ok || !e.Unfinished {
+		t.Fatalf("ETRecord names key %+v, which is not an unfinished store entry", et.Key)
+	}
+	if et.S != e.S {
+		t.Fatalf("ETRecord.S = %d, store entry S = %d", et.S, e.S)
+	}
+	if et.Remaining >= et.S {
+		t.Fatalf("no shortfall: remaining %d >= s %d", et.Remaining, et.S)
+	}
+	if et.Remaining != 11-r2.Steps {
+		t.Fatalf("Remaining = %d, want budget-steps = %d", et.Remaining, 11-r2.Steps)
+	}
+}
+
+// TestProfileJmpCharges: shortcut charges must appear in the attribution
+// and sum to StepsSaved.
+func TestProfileJmpCharges(t *testing.T) {
+	f := fig2(t)
+	st := share.NewStore(share.Config{TauF: 1, TauU: 1, Shards: 8})
+	s := New(f.Lowered.Graph, Config{Share: st, Profile: true})
+	first := s.PointsTo(f.S1, pag.EmptyContext)
+	checkConserved(t, "first", first)
+	if len(first.Prof.Expansions) == 0 {
+		t.Fatal("first pass performed no shareable expansions")
+	}
+	second := s.PointsTo(f.S1, pag.EmptyContext)
+	checkConserved(t, "second", second)
+	if len(second.Prof.Jumps) == 0 {
+		t.Fatal("second pass took no shortcuts")
+	}
+	if got := second.Prof.JmpSteps(); got != int64(second.StepsSaved) {
+		t.Fatalf("jmp charges sum to %d, StepsSaved = %d", got, second.StepsSaved)
+	}
+	if second.JumpsTaken != len(second.Prof.Jumps) {
+		t.Fatalf("JumpsTaken = %d but %d charges attributed", second.JumpsTaken, len(second.Prof.Jumps))
+	}
+}
+
+// TestProfileCacheHits: result-cache hits are attributed to CacheSteps and
+// conserve.
+func TestProfileCacheHits(t *testing.T) {
+	f := fig2(t)
+	pc := ptcache.New(8)
+	s := New(f.Lowered.Graph, Config{Cache: pc, Profile: true})
+	first := s.PointsTo(f.S1, pag.EmptyContext)
+	checkConserved(t, "cold", first)
+	second := s.PointsTo(f.S1, pag.EmptyContext)
+	checkConserved(t, "warm", second)
+	if second.Prof.CacheSteps == 0 {
+		t.Fatal("warm query hit no cached computations")
+	}
+}
+
+// TestProfileApprox: approximate field matching is attributed to its
+// (site, field) pairs and conserves.
+func TestProfileApprox(t *testing.T) {
+	f := fig2(t)
+	s := New(f.Lowered.Graph, Config{Approx: &Approx{}, Profile: true})
+	r := s.PointsTo(f.S1, pag.EmptyContext)
+	checkConserved(t, "approx", r)
+	if len(r.ApproxFields) == 0 {
+		t.Skip("query used no approximated fields")
+	}
+	if r.Prof.ApproxSteps() == 0 {
+		t.Fatal("approximate matching attributed no steps")
+	}
+	found := false
+	for _, site := range r.Prof.Sites {
+		if site.Approx {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no site marked Approx")
+	}
+}
+
+// TestProfileDeterminism: the attribution itself must be deterministic run
+// to run (sorted slices, stable step counts).
+func TestProfileDeterminism(t *testing.T) {
+	f := fig2(t)
+	s := New(f.Lowered.Graph, Config{Profile: true})
+	base := s.PointsTo(f.S1, pag.EmptyContext)
+	for i := 0; i < 3; i++ {
+		r := s.PointsTo(f.S1, pag.EmptyContext)
+		if len(r.Prof.Nodes) != len(base.Prof.Nodes) {
+			t.Fatalf("run %d: node attribution size changed", i)
+		}
+		for j := range r.Prof.Nodes {
+			if r.Prof.Nodes[j] != base.Prof.Nodes[j] {
+				t.Fatalf("run %d: node attribution changed at %d: %+v vs %+v",
+					i, j, r.Prof.Nodes[j], base.Prof.Nodes[j])
+			}
+		}
+		for j := range r.Prof.Sites {
+			if r.Prof.Sites[j] != base.Prof.Sites[j] {
+				t.Fatalf("run %d: site attribution changed at %d", i, j)
+			}
+		}
+	}
+}

@@ -132,16 +132,24 @@ type query struct {
 	recording bool
 	// wit enables witness recording (see Explain).
 	wit bool
+	// prof accumulates budget attribution (nil unless Config.Profile);
+	// every hook site guards on the pointer so the off path costs one
+	// comparison.
+	prof *queryProf
 }
 
 func newQuery(s *Solver) *query {
-	return &query{
+	q := &query{
 		s:          s,
 		g:          s.g,
 		comps:      make(map[compKey]*comp),
 		candidates: make(map[share.Key]int),
 		approxUsed: make(map[pag.FieldID]struct{}),
 	}
+	if s.cfg.Profile {
+		q.prof = newQueryProf()
+	}
+	return q
 }
 
 // resolve returns the computation for k, creating it if needed; created
@@ -168,7 +176,12 @@ func (q *query) run(k compKey) *comp {
 				dependents: make(map[*comp]struct{}),
 			}
 			q.comps[k] = c
-			q.step() // a cache hit costs one traversal step
+			// A cache hit costs one traversal step. Attribute before
+			// charging so the step is booked even if it trips the budget.
+			if p := q.prof; p != nil && !q.recording {
+				p.cache++
+			}
+			q.step()
 			return c
 		}
 	}
@@ -283,6 +296,15 @@ func (q *query) step() {
 // bdg is 0 for plain budget exhaustion, or the unfinished-jmp cost s when an
 // early termination fires (Algorithm 2 line 3).
 func (q *query) outOfBudget(bdg int, earlyTermination bool) {
+	// Snapshot the partial frontier — every expansion still open — for the
+	// autopsy before unwinding; fill reads it from the prof in the abort
+	// recovery path.
+	if p := q.prof; p != nil {
+		p.frontier = make([]FrameRecord, len(q.frames))
+		for i, f := range q.frames {
+			p.frontier[i] = FrameRecord{Key: f.key, Steps: q.steps - f.s0}
+		}
+	}
 	if st := q.s.cfg.Share; st != nil {
 		b := q.s.cfg.Budget
 		for _, f := range q.frames {
@@ -319,6 +341,9 @@ func (q *query) eval(c *comp) {
 	}
 	for i := 0; i < len(c.vlist); i++ {
 		it := c.vlist[i]
+		if p := q.prof; p != nil && !q.recording {
+			p.nodes[it.Node]++
+		}
 		q.step()
 		if _, done := c.stepped[it]; !done {
 			c.stepped[it] = struct{}{}

@@ -36,6 +36,9 @@ func (q *query) reachable(owner *comp, it pag.NodeCtx) []pag.NodeCtx {
 				// steps past this point; if we cannot afford s either,
 				// terminate early instead of burning the budget.
 				if b := q.s.cfg.Budget; !q.recording && b > 0 && b-q.steps < e.S {
+					if p := q.prof; p != nil {
+						p.et = &ETRecord{Key: key, S: e.S, Remaining: b - q.steps}
+					}
 					q.s.cfg.Obs.SpanInstant(obs.SpEarlyTerm, q.s.cfg.Worker, int64(it.Node), int64(e.S))
 					q.outOfBudget(e.S, true)
 				}
@@ -50,6 +53,9 @@ func (q *query) reachable(owner *comp, it pag.NodeCtx) []pag.NodeCtx {
 				if !q.recording {
 					if _, done := owner.charged[key]; !done {
 						owner.charged[key] = struct{}{}
+						if p := q.prof; p != nil {
+							p.jumps = append(p.jumps, JmpCharge{Key: key, S: e.S})
+						}
 						q.steps += e.S
 						q.jumpsTaken++
 						q.stepsSaved += e.S
@@ -113,7 +119,7 @@ func (q *query) expandHeap(kind compKind, owner *comp, it pag.NodeCtx) []pag.Nod
 			}
 			f := pag.FieldID(he.Label)
 			if !q.s.cfg.Approx.precise(f) {
-				rch = q.approxMatchLoad(rch, f)
+				rch = q.approxMatchLoad(rch, it.Node, f)
 				continue
 			}
 			p := he.Other
@@ -127,6 +133,9 @@ func (q *query) expandHeap(kind compKind, owner *comp, it pag.NodeCtx) []pag.Nod
 				// Algorithm 1 these elements are produced by recursive
 				// PointsTo/FlowsTo traversals that each charge steps, so
 				// the budget must bound this matching work too.
+				if pr := q.prof; pr != nil && !q.recording {
+					pr.site(it.Node, f)
+				}
 				q.step()
 				flsC := q.run(compKey{kind: kindFls, node: oc.Node, ctx: oc.Ctx})
 				if owner != nil {
@@ -134,6 +143,9 @@ func (q *query) expandHeap(kind compKind, owner *comp, it pag.NodeCtx) []pag.Nod
 				}
 				for j := 0; j < len(flsC.order); j++ {
 					vc := flsC.order[j]
+					if pr := q.prof; pr != nil && !q.recording {
+						pr.site(it.Node, f)
+					}
 					q.step()
 					// vc.Node aliases p; match stores vc.Node.f = y.
 					for _, she := range q.g.In(vc.Node) {
@@ -154,7 +166,7 @@ func (q *query) expandHeap(kind compKind, owner *comp, it pag.NodeCtx) []pag.Nod
 			}
 			f := pag.FieldID(he.Label)
 			if !q.s.cfg.Approx.precise(f) {
-				rch = q.approxMatchStore(rch, f)
+				rch = q.approxMatchStore(rch, it.Node, f)
 				continue
 			}
 			base := he.Other
@@ -164,6 +176,9 @@ func (q *query) expandHeap(kind compKind, owner *comp, it pag.NodeCtx) []pag.Nod
 			}
 			for i := 0; i < len(ptsC.order); i++ {
 				oc := ptsC.order[i]
+				if pr := q.prof; pr != nil && !q.recording {
+					pr.site(it.Node, f)
+				}
 				q.step()
 				flsC := q.run(compKey{kind: kindFls, node: oc.Node, ctx: oc.Ctx})
 				if owner != nil {
@@ -171,6 +186,9 @@ func (q *query) expandHeap(kind compKind, owner *comp, it pag.NodeCtx) []pag.Nod
 				}
 				for j := 0; j < len(flsC.order); j++ {
 					vc := flsC.order[j]
+					if pr := q.prof; pr != nil && !q.recording {
+						pr.site(it.Node, f)
+					}
 					q.step()
 					// vc.Node aliases base; match loads x = vc.Node.f.
 					for _, lhe := range q.g.Out(vc.Node) {
@@ -195,25 +213,31 @@ func (q *query) noteApprox(f pag.FieldID) {
 }
 
 // approxMatchLoad is the regularly-approximated backward match for a load
-// of field f: every store q'.f = y in the program is assumed to reach it.
-// Targets continue with the empty context (the over-approximating choice:
-// an empty context permits any subsequent matching). Each examined store
-// costs one step so approximation still consumes budget in proportion to
-// fan-in.
-func (q *query) approxMatchLoad(rch []pag.NodeCtx, f pag.FieldID) []pag.NodeCtx {
+// of field f at node n: every store q'.f = y in the program is assumed to
+// reach it. Targets continue with the empty context (the over-approximating
+// choice: an empty context permits any subsequent matching). Each examined
+// store costs one step so approximation still consumes budget in proportion
+// to fan-in.
+func (q *query) approxMatchLoad(rch []pag.NodeCtx, n pag.NodeID, f pag.FieldID) []pag.NodeCtx {
 	q.noteApprox(f)
 	for _, st := range q.g.StoresOf(f) {
+		if p := q.prof; p != nil && !q.recording {
+			p.approxSite(n, f)
+		}
 		q.step()
 		rch = append(rch, pag.NodeCtx{Node: st.Val, Ctx: pag.EmptyContext})
 	}
 	return rch
 }
 
-// approxMatchStore is the forward mirror: a store of field f is assumed to
-// flow into every load of f.
-func (q *query) approxMatchStore(rch []pag.NodeCtx, f pag.FieldID) []pag.NodeCtx {
+// approxMatchStore is the forward mirror: a store of field f at node n is
+// assumed to flow into every load of f.
+func (q *query) approxMatchStore(rch []pag.NodeCtx, n pag.NodeID, f pag.FieldID) []pag.NodeCtx {
 	q.noteApprox(f)
 	for _, ld := range q.g.LoadsOf(f) {
+		if p := q.prof; p != nil && !q.recording {
+			p.approxSite(n, f)
+		}
 		q.step()
 		rch = append(rch, pag.NodeCtx{Node: ld.Dst, Ctx: pag.EmptyContext})
 	}

@@ -91,6 +91,10 @@ type Config struct {
 	// consumed) and instant events for jmp shortcuts taken and early
 	// terminations. A nil sink costs one pointer check per hook.
 	Obs *obs.Sink
+	// Profile enables per-query budget attribution: every Result carries a
+	// Prof breakdown whose summed steps equal Result.Steps exactly. Off,
+	// the hooks cost one nil check each and allocate nothing.
+	Profile bool
 	// Worker attributes this solver's spans to an engine worker track;
 	// use obs.NoWorker for solvers running outside a worker pool.
 	Worker int32
@@ -149,6 +153,9 @@ type Result struct {
 	// under an Approx policy; refinement clients use it to decide what
 	// to make precise next.
 	ApproxFields []pag.FieldID
+	// Prof is the per-step budget attribution (nil unless Config.Profile).
+	// Prof.Sum() == int64(Steps) — the conservation invariant.
+	Prof *Attribution
 }
 
 // Objects projects the result set onto allocation sites, dropping contexts
@@ -240,4 +247,10 @@ func (s *Solver) fill(res *Result, q *query, root compKey) {
 	res.JumpsTaken = q.jumpsTaken
 	res.StepsSaved = q.stepsSaved
 	res.ApproxFields = append([]pag.FieldID(nil), q.approxOrder...)
+	// Snapshot the attribution here — before recordCandidates runs — so
+	// recording-mode bookkeeping never leaks into the breakdown and the
+	// conservation invariant (Prof.Sum() == Steps) holds exactly.
+	if q.prof != nil {
+		res.Prof = q.prof.snapshot(q)
+	}
 }

@@ -55,6 +55,12 @@ func (s *Solver) Explain(v pag.NodeID, ctx pag.Context, obj pag.NodeID) ([]Witne
 		q.run(compKey{kind: kindPts, node: v, ctx: ctx})
 		q.drainDirty()
 	}()
+	// An aborted witness query (plain exhaustion or early termination)
+	// yields no explanation: its traversal stopped mid-derivation, so any
+	// parent chain found below could be a fragment of an invalid path.
+	if aborted {
+		return nil, false
+	}
 	root, ok := q.comps[compKey{kind: kindPts, node: v, ctx: ctx}]
 	if !ok {
 		return nil, false
@@ -71,7 +77,6 @@ func (s *Solver) Explain(v pag.NodeID, ctx pag.Context, obj pag.NodeID) ([]Witne
 		}
 	}
 	if !found {
-		_ = aborted
 		return nil, false
 	}
 
@@ -108,17 +113,24 @@ func (s *Solver) ExplainFlows(o pag.NodeID, ctx pag.Context, v pag.NodeID) ([]Wi
 	q.wit = true
 
 	root := compKey{kind: kindFls, node: o, ctx: ctx}
+	aborted := false
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
 				if _, isAbort := r.(budgetAbort); !isAbort {
 					panic(r)
 				}
+				aborted = true
 			}
 		}()
 		q.run(root)
 		q.drainDirty()
 	}()
+	// Same contract as Explain: an aborted traversal never yields a
+	// (possibly partial) witness path.
+	if aborted {
+		return nil, false
+	}
 	c, ok := q.comps[root]
 	if !ok {
 		return nil, false

@@ -7,6 +7,7 @@ import (
 	"parcfl/internal/frontend"
 	"parcfl/internal/pag"
 	"parcfl/internal/randprog"
+	"parcfl/internal/share"
 )
 
 func TestExplainFig2(t *testing.T) {
@@ -188,5 +189,55 @@ func TestWitnessStepString(t *testing.T) {
 	w := WitnessStep{Node: 7, Ctx: pag.EmptyContext.Push(3), Edge: "assignl"}
 	if got := w.String(); !strings.Contains(got, "assignl") || !strings.Contains(got, "7") {
 		t.Fatalf("String = %q", got)
+	}
+}
+
+// TestExplainAbortedQuery: a witness query that runs out of budget must
+// return ok=false — never a partial path — even for a fact the full
+// analysis would derive.
+func TestExplainAbortedQuery(t *testing.T) {
+	f := fig2(t)
+	s := New(f.Lowered.Graph, Config{Budget: 3})
+	// Sanity: the underlying query really does abort at this budget.
+	if r := s.PointsTo(f.S1, pag.EmptyContext); !r.Aborted {
+		t.Skip("budget 3 unexpectedly sufficient; adjust test budget")
+	}
+	if steps, ok := s.Explain(f.S1, pag.EmptyContext, f.O16); ok {
+		t.Fatalf("aborted Explain returned a witness: %v", steps)
+	}
+	if steps, ok := s.ExplainFlows(f.O16, pag.EmptyContext, f.S1); ok {
+		t.Fatalf("aborted ExplainFlows returned a witness: %v", steps)
+	}
+}
+
+// TestExplainEarlyTerminatedQuery: an early-terminated witness query (budget
+// insufficient for an unfinished jmp marker) must also return ok=false.
+func TestExplainEarlyTerminatedQuery(t *testing.T) {
+	f := fig2(t)
+	st := share.NewStore(share.Config{TauF: 1, TauU: 1, Shards: 8})
+	// Populate unfinished markers exactly as in TestEarlyTermination.
+	tight := New(f.Lowered.Graph, Config{Budget: 12, Share: st})
+	if r := tight.PointsTo(f.S1, pag.EmptyContext); !r.Aborted {
+		t.Skip("budget 12 unexpectedly sufficient; adjust test budget")
+	}
+	tighter := New(f.Lowered.Graph, Config{Budget: 11, Share: st})
+	if r := tighter.PointsTo(f.S1, pag.EmptyContext); !r.EarlyTerminated {
+		t.Skip("budget 11 did not early-terminate; adjust test budget")
+	}
+	if steps, ok := tighter.Explain(f.S1, pag.EmptyContext, f.O16); ok {
+		t.Fatalf("early-terminated Explain returned a witness: %v", steps)
+	}
+}
+
+// TestExplainSucceedsWithGenerousBudget: the aborted-query guard must not
+// suppress witnesses when the budget suffices.
+func TestExplainSucceedsWithGenerousBudget(t *testing.T) {
+	f := fig2(t)
+	s := New(f.Lowered.Graph, Config{Budget: 100000})
+	if _, ok := s.Explain(f.S1, pag.EmptyContext, f.O16); !ok {
+		t.Fatal("budgeted Explain found no witness for a real fact")
+	}
+	if _, ok := s.ExplainFlows(f.O16, pag.EmptyContext, f.S1); !ok {
+		t.Fatal("budgeted ExplainFlows found no witness for a real fact")
 	}
 }

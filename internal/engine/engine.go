@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"parcfl/internal/autopsy"
 	"parcfl/internal/cfl"
 	"parcfl/internal/obs"
 	"parcfl/internal/pag"
@@ -90,6 +91,15 @@ type Config struct {
 	// a nil check. Stores and caches created by Run are attached to it;
 	// a caller-provided Store keeps whatever sink it already has.
 	Obs *obs.Sink
+	// Profile turns on per-query budget attribution: every QueryResult
+	// carries a Prof breakdown whose summed steps equal Steps exactly
+	// (see cfl.Config.Profile). Off, the solver hooks cost one nil check.
+	Profile bool
+	// Heat, when non-nil, aggregates every query's attribution into a
+	// batch PAG heat profile and retains autopsy reports for aborted
+	// queries (see internal/autopsy). Implies Profile. A nil collector
+	// costs nothing.
+	Heat *autopsy.Collector
 }
 
 func (c Config) threads() int {
@@ -117,6 +127,9 @@ type QueryResult struct {
 	Steps           int
 	JumpsTaken      int
 	StepsSaved      int
+	// Prof is the budget attribution (nil unless Config.Profile or
+	// Config.Heat is set). Its Sum() equals Steps exactly.
+	Prof *cfl.Attribution
 }
 
 // Stats aggregates a batch run.
@@ -302,6 +315,7 @@ func Run(g *pag.Graph, queries []pag.NodeID, cfg Config) ([]QueryResult, Stats) 
 			solver := cfl.New(g, cfl.Config{
 				Budget: cfg.Budget, Share: store, Cache: cache, ContextK: cfg.ContextK,
 				Obs: sink, Worker: int32(w),
+				Profile: cfg.Profile || cfg.Heat != nil,
 			})
 			for {
 				u := int(cursor.Add(1)) - 1
@@ -317,6 +331,7 @@ func Run(g *pag.Graph, queries []pag.NodeID, cfg Config) ([]QueryResult, Stats) 
 				sink.SetGauge(obs.GaugeWorklistDepth, int64(len(units)-u-1))
 				local.Units++
 				out := results[offsets[u]:offsets[u+1]]
+				var unitSteps int64
 				for i, v := range units[u] {
 					// sink.Now is the per-query clock for both the latency
 					// histogram and the query span (0 when the sink is nil).
@@ -333,7 +348,10 @@ func Run(g *pag.Graph, queries []pag.NodeID, cfg Config) ([]QueryResult, Stats) 
 						Steps:           r.Steps,
 						JumpsTaken:      r.JumpsTaken,
 						StepsSaved:      r.StepsSaved,
+						Prof:            r.Prof,
 					}
+					cfg.Heat.Record(&r)
+					unitSteps += int64(r.Steps)
 					qw := int64(r.Steps - r.StepsSaved)
 					local.Walked += qw
 					local.Steps += int64(r.Steps)
@@ -358,6 +376,7 @@ func Run(g *pag.Graph, queries []pag.NodeID, cfg Config) ([]QueryResult, Stats) 
 						sink.Span(obs.SpQuery, int32(w), qT0, int64(v), steps, int64(r.JumpsTaken))
 					}
 				}
+				cfg.Heat.RecordUnit(u, len(units[u]), unitSteps)
 				sink.Span(obs.SpUnit, int32(w), unitT0, int64(u), int64(len(units[u])), 0)
 			}
 		}(w)

@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"testing"
+
+	"parcfl/internal/autopsy"
+)
+
+// TestBatchConservation is the bench-grid conservation test: across every
+// mode, with and without budgets tight enough to abort and early-terminate
+// queries, and with the result cache on, each query's attribution must sum
+// exactly to its Steps, and the batch heat profile must attribute every
+// step of Stats.TotalSteps.
+func TestBatchConservation(t *testing.T) {
+	lo := genBench(t)
+	queries := lo.AppQueryVars
+
+	grid := []struct {
+		name string
+		cfg  Config
+	}{
+		{"seq", Config{Mode: Seq}},
+		{"naive-4", Config{Mode: Naive, Threads: 4}},
+		{"d-4", Config{Mode: D, Threads: 4, TauF: 1, TauU: 1}},
+		{"dq-4", Config{Mode: DQ, Threads: 4, TauF: 1, TauU: 1, TypeLevels: lo.TypeLevels}},
+		{"dq-4-cache", Config{Mode: DQ, Threads: 4, TauF: 1, TauU: 1, TypeLevels: lo.TypeLevels, ResultCache: true}},
+		// Tight budgets force aborts; with sharing on, recorded unfinished
+		// markers then force early terminations too.
+		{"seq-b60", Config{Mode: Seq, Budget: 60}},
+		{"d-4-b60", Config{Mode: D, Threads: 4, Budget: 60, TauF: 1, TauU: 1}},
+		{"dq-4-b60", Config{Mode: DQ, Threads: 4, Budget: 60, TauF: 1, TauU: 1, TypeLevels: lo.TypeLevels}},
+		{"dq-4-b60-cache", Config{Mode: DQ, Threads: 4, Budget: 60, TauF: 1, TauU: 1, TypeLevels: lo.TypeLevels, ResultCache: true}},
+	}
+
+	sawAbort, sawET := false, false
+	for _, tc := range grid {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			col := autopsy.NewCollector(lo.Graph, tc.cfg.Budget)
+			tc.cfg.Heat = col
+			res, stats := Run(lo.Graph, queries, tc.cfg)
+
+			var attributed int64
+			for _, r := range res {
+				if r.Prof == nil {
+					t.Fatalf("var %d: no attribution with Heat set", r.Var)
+				}
+				if got := r.Prof.Sum(); got != int64(r.Steps) {
+					t.Fatalf("var %d: attribution sums to %d, Steps = %d", r.Var, got, r.Steps)
+				}
+				attributed += r.Prof.Sum()
+				if r.Aborted {
+					sawAbort = true
+				}
+				if r.EarlyTerminated {
+					sawET = true
+					if r.Prof.ET == nil {
+						t.Fatalf("var %d: early-terminated but no ETRecord", r.Var)
+					}
+				}
+			}
+			if attributed != stats.TotalSteps {
+				t.Fatalf("batch attribution %d != Stats.TotalSteps %d", attributed, stats.TotalSteps)
+			}
+
+			h := col.Heat()
+			if h.Queries != stats.Queries {
+				t.Fatalf("heat saw %d queries, stats %d", h.Queries, stats.Queries)
+			}
+			if h.TotalSteps != stats.TotalSteps {
+				t.Fatalf("heat total %d != stats total %d", h.TotalSteps, stats.TotalSteps)
+			}
+			if h.AttributedSteps != h.TotalSteps {
+				t.Fatalf("heat attributed %d != total %d (conservation)", h.AttributedSteps, h.TotalSteps)
+			}
+			if h.Aborted+h.EarlyTerminated != stats.Aborted {
+				t.Fatalf("heat aborts %d+%d != stats %d", h.Aborted, h.EarlyTerminated, stats.Aborted)
+			}
+			if h.EarlyTerminated != stats.EarlyTerminations {
+				t.Fatalf("heat ETs %d != stats %d", h.EarlyTerminated, stats.EarlyTerminations)
+			}
+			if tc.cfg.Mode == DQ && len(h.Units) == 0 {
+				t.Fatal("DQ run recorded no unit heat")
+			}
+		})
+	}
+	if !sawAbort {
+		t.Fatal("grid never aborted a query; tighten the test budget")
+	}
+	if !sawET {
+		t.Fatal("grid never early-terminated a query; tighten the test budget")
+	}
+}
+
+// TestProfileOffByDefault: without Profile or Heat, results carry no
+// attribution (the hooks stay dormant).
+func TestProfileOffByDefault(t *testing.T) {
+	lo := genBench(t)
+	res, _ := Run(lo.Graph, lo.AppQueryVars[:4], Config{Mode: Seq})
+	for _, r := range res {
+		if r.Prof != nil {
+			t.Fatalf("var %d: attribution present with profiling off", r.Var)
+		}
+	}
+}
+
+// TestProfileWithoutHeat: Profile alone attaches per-query attributions
+// without needing a collector.
+func TestProfileWithoutHeat(t *testing.T) {
+	lo := genBench(t)
+	res, stats := Run(lo.Graph, lo.AppQueryVars[:4], Config{Mode: Seq, Profile: true})
+	var sum int64
+	for _, r := range res {
+		if r.Prof == nil {
+			t.Fatalf("var %d: no attribution with Profile set", r.Var)
+		}
+		sum += r.Prof.Sum()
+	}
+	if sum != stats.TotalSteps {
+		t.Fatalf("attributed %d != total %d", sum, stats.TotalSteps)
+	}
+}

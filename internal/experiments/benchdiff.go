@@ -62,8 +62,13 @@ type DiffCell struct {
 	Note    string `json:"note,omitempty"`
 }
 
+// DiffSchema identifies the Diff JSON layout (benchdiff -json); bump on
+// breaking changes.
+const DiffSchema = "parcfl-benchdiff/v1"
+
 // Diff is the outcome of comparing two reports.
 type Diff struct {
+	Schema    string     `json:"schema"`
 	BaseLabel string     `json:"base_label"`
 	HeadLabel string     `json:"head_label"`
 	Cells     []DiffCell `json:"cells"`
@@ -102,7 +107,7 @@ type cellKey struct{ bench, mode string }
 // (benchmark, mode); head-only cells are ignored, base-only cells reported
 // as missing.
 func DiffReports(base, head *BenchReport, opt DiffOptions) *Diff {
-	d := &Diff{BaseLabel: base.Label, HeadLabel: head.Label}
+	d := &Diff{Schema: DiffSchema, BaseLabel: base.Label, HeadLabel: head.Label}
 	headIdx := make(map[cellKey]*BenchRun, len(head.Runs))
 	for i := range head.Runs {
 		r := &head.Runs[i]

@@ -17,8 +17,11 @@ import (
 //	/debug/obs        — JSON Snapshot of the given sink (nil sink → zero snapshot)
 //	/debug/timeseries — flight-recorder history (obs.TimeSeries JSON; empty
 //	                    when no recorder is attached)
+//	/debug/heat       — PAG heat profile from the attached HeatSource (JSON;
+//	                    an empty object when none is attached)
 //	/metrics          — Prometheus text exposition (counters, gauges, timers,
-//	                    latency histograms, flight-recorder last sample)
+//	                    latency histograms, flight-recorder last sample, heat
+//	                    top-k gauges)
 //
 // A dedicated mux is used so callers never pollute http.DefaultServeMux.
 func Handler(sink *Sink) http.Handler {
@@ -45,9 +48,19 @@ func Handler(sink *Sink) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(sink.FlightRecorder().Snapshot())
 	})
+	mux.HandleFunc("/debug/heat", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if h := sink.Heat(); h != nil {
+			_ = enc.Encode(h.HeatSnapshot())
+			return
+		}
+		_, _ = w.Write([]byte("{}\n"))
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("parcfl debug endpoint\n\n/debug/vars\n/debug/pprof/\n/debug/obs\n/debug/timeseries\n/metrics\n"))
+		_, _ = w.Write([]byte("parcfl debug endpoint\n\n/debug/vars\n/debug/pprof/\n/debug/obs\n/debug/timeseries\n/debug/heat\n/metrics\n"))
 	})
 	return mux
 }

@@ -1,0 +1,56 @@
+package obs
+
+// Heat-profile attachment. The PAG heat profile itself is built by
+// internal/autopsy (which depends on the analysis packages and therefore
+// cannot be imported from here); the sink only holds a handle to it so the
+// debug endpoint and the Prometheus exposition can surface whatever
+// collector the run attached. The contract mirrors the flight recorder:
+// attach once, discover through the sink, every path nil-safe.
+
+// HeatSample is one top-k datum exported to /metrics: a labelled value in a
+// named series (e.g. series "node_steps", label "main.s1", value 4821).
+type HeatSample struct {
+	// Series names the metric family suffix; it is emitted as
+	// parcfl_heat_<series>.
+	Series string
+	// LabelKey/Label form the sample's identifying label pair (e.g.
+	// node="main.s1" or field="f3").
+	LabelKey string
+	Label    string
+	Value    int64
+}
+
+// HeatSource is implemented by heat-profile collectors (see
+// internal/autopsy). HeatSnapshot returns the full profile as a
+// JSON-encodable value for /debug/heat; HeatTop returns the k
+// highest-valued samples per series for the parcfl_heat_* gauges.
+type HeatSource interface {
+	HeatSnapshot() any
+	HeatTop(k int) []HeatSample
+}
+
+// heatBox wraps the interface value so it can live in an atomic.Pointer
+// (storing interfaces with differing concrete types directly in an
+// atomic.Value panics).
+type heatBox struct{ src HeatSource }
+
+// AttachHeat attaches h as the sink's heat source, replacing any previous
+// one. Consumers (the debug endpoint, the Prometheus exposition) discover
+// it through HeatSource. Nil-safe on both receiver and argument.
+func (s *Sink) AttachHeat(h HeatSource) {
+	if s == nil {
+		return
+	}
+	s.heat.Store(&heatBox{src: h})
+}
+
+// Heat returns the attached heat source, or nil.
+func (s *Sink) Heat() HeatSource {
+	if s == nil {
+		return nil
+	}
+	if b := s.heat.Load(); b != nil {
+		return b.src
+	}
+	return nil
+}

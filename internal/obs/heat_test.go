@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// fakeHeat is a minimal HeatSource for endpoint/exposition tests.
+type fakeHeat struct{}
+
+func (fakeHeat) HeatSnapshot() any {
+	return map[string]any{"schema": "test-heat/v1", "total_steps": 42}
+}
+
+func (fakeHeat) HeatTop(k int) []HeatSample {
+	return []HeatSample{
+		{Series: "node_steps", LabelKey: "node", Label: "main.s1", Value: 30},
+		{Series: "node_steps", LabelKey: "node", Label: "main.s2", Value: 12},
+		{Series: "field_steps", LabelKey: "field", Label: "f3", Value: 9},
+	}
+}
+
+// TestNilSinkHeatIsSafeAndFree extends the nil-sink contract to the heat
+// attachment: attach/read on a nil sink must be no-ops with zero
+// allocations.
+func TestNilSinkHeatIsSafeAndFree(t *testing.T) {
+	var s *Sink
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.AttachHeat(fakeHeat{})
+		if s.Heat() != nil {
+			t.Fatal("nil sink returned a heat source")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("nil sink heat hooks allocated %.1f per run, want 0", allocs)
+	}
+}
+
+// TestAttachHeat: a live sink round-trips the attached source, and a nil
+// attachment detaches cleanly.
+func TestAttachHeat(t *testing.T) {
+	s := New(Config{})
+	if s.Heat() != nil {
+		t.Fatal("fresh sink has a heat source")
+	}
+	s.AttachHeat(fakeHeat{})
+	if s.Heat() == nil {
+		t.Fatal("attached heat source not returned")
+	}
+	s.AttachHeat(nil)
+	if s.Heat() != nil {
+		t.Fatal("nil attachment did not detach")
+	}
+}
+
+// TestDebugHeatEndpoint: /debug/heat serves the snapshot JSON when a source
+// is attached, and an empty object otherwise; /metrics gains the
+// parcfl_heat_* gauges.
+func TestDebugHeatEndpoint(t *testing.T) {
+	s := New(Config{})
+	srv, addr, err := ServeDebug("127.0.0.1:0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if body := get("/debug/heat"); strings.TrimSpace(body) != "{}" {
+		t.Fatalf("detached /debug/heat = %q, want {}", body)
+	}
+	s.AttachHeat(fakeHeat{})
+	if body := get("/debug/heat"); !strings.Contains(body, "test-heat/v1") {
+		t.Fatalf("/debug/heat missing snapshot: %q", body)
+	}
+	metrics := get("/metrics")
+	for _, line := range []string{
+		`parcfl_heat_node_steps{node="main.s1"} 30`,
+		`parcfl_heat_node_steps{node="main.s2"} 12`,
+		`parcfl_heat_field_steps{field="f3"} 9`,
+		"# TYPE parcfl_heat_node_steps gauge",
+	} {
+		if !strings.Contains(metrics, line) {
+			t.Fatalf("/metrics missing %q", line)
+		}
+	}
+	// The index page advertises the endpoint.
+	if !strings.Contains(get("/"), "/debug/heat") {
+		t.Fatal("index page does not list /debug/heat")
+	}
+}

@@ -205,6 +205,7 @@ type Sink struct {
 	ring     *ring
 	spans    atomic.Pointer[spanRegion]
 	recorder atomic.Pointer[Recorder]
+	heat     atomic.Pointer[heatBox]
 }
 
 // New creates a sink.

@@ -114,8 +114,28 @@ func WriteProm(w io.Writer, s *Sink) error {
 			bw.printf("%s %g\n", name, vals[i])
 		}
 	}
+	// Top-k rows of the attached heat profile, one labelled gauge family
+	// per series under the parcfl_heat_ prefix (analysis-semantic step
+	// attribution; see internal/autopsy).
+	if h := s.Heat(); h != nil {
+		samples := h.HeatTop(promHeatTopK)
+		var lastSeries string
+		for _, smp := range samples {
+			name := "parcfl_heat_" + smp.Series
+			if smp.Series != lastSeries {
+				bw.printf("# HELP %s Heat-profile series %s (top %d).\n", name, smp.Series, promHeatTopK)
+				bw.printf("# TYPE %s gauge\n", name)
+				lastSeries = smp.Series
+			}
+			bw.printf("%s{%s=%q} %d\n", name, smp.LabelKey, smp.Label, smp.Value)
+		}
+	}
 	return bw.err
 }
+
+// promHeatTopK bounds the heat rows exported per series on /metrics: the
+// full profile stays on /debug/heat, the scrape surface stays small.
+const promHeatTopK = 10
 
 // errWriter latches the first write error so the exposition loop stays
 // uncluttered.

@@ -6,12 +6,61 @@ import (
 	"io"
 )
 
+// DOTJmpEdge is one jmp shortcut edge to overlay on the rendering (the
+// store rewrite of Fig. 4 made visible). A finished edge points at the
+// expansion's target; an unfinished edge points at the special O node
+// (To is ignored). S is the recorded step cost, shown in the label.
+type DOTJmpEdge struct {
+	From       NodeID
+	To         NodeID
+	S          int
+	Unfinished bool
+}
+
+// DOTOptions controls WriteDOTOpts. The zero value reproduces WriteDOT's
+// classic output byte for byte.
+type DOTOptions struct {
+	// ShowUnfinished draws the special O node (dashed octagon) even when
+	// no unfinished jmp edge forces it.
+	ShowUnfinished bool
+	// JmpEdges overlays jmp shortcut edges: finished ones dashed blue to
+	// their target, unfinished ones dashed red into the O node (which is
+	// then drawn regardless of ShowUnfinished), each labelled jmp(s).
+	JmpEdges []DOTJmpEdge
+	// Heat shades nodes by step count relative to the hottest node
+	// (white through red) and appends the count to the label — the
+	// heat-overlay mode used by the autopsy layer. Nodes absent from the
+	// map keep the plain rendering.
+	Heat map[NodeID]int64
+}
+
 // WriteDOT renders the graph in Graphviz DOT format for inspection:
 // variables as ellipses, globals as double ellipses, objects as boxes,
 // edges labelled with their kind (and field/call-site where applicable).
 // Intended for small graphs (examples, paper figures); large benchmarks are
 // better explored with the query tools.
 func (g *Graph) WriteDOT(w io.Writer) error {
+	return g.WriteDOTOpts(w, DOTOptions{})
+}
+
+// WriteDOTOpts is WriteDOT with rendering options: unfinished-node
+// markers, jmp-edge overlays and heat shading. A zero DOTOptions matches
+// WriteDOT exactly.
+func (g *Graph) WriteDOTOpts(w io.Writer, opt DOTOptions) error {
+	showO := opt.ShowUnfinished
+	for _, je := range opt.JmpEdges {
+		if je.Unfinished {
+			showO = true
+			break
+		}
+	}
+	var maxHeat int64
+	for _, s := range opt.Heat {
+		if s > maxHeat {
+			maxHeat = s
+		}
+	}
+
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, "digraph pag {")
 	fmt.Fprintln(bw, "  rankdir=BT;")
@@ -25,7 +74,19 @@ func (g *Graph) WriteDOT(w io.Writer) error {
 		case KindGlobal:
 			shape = "doublecircle"
 		case KindUnfinished:
-			continue // the O node has no drawn edges
+			if !showO {
+				continue // the O node has no drawn edges
+			}
+			fmt.Fprintf(bw, "  n%d [label=%q shape=octagon style=dashed];\n", i, n.Name)
+			continue
+		}
+		if steps := opt.Heat[NodeID(i)]; steps > 0 && maxHeat > 0 {
+			// Linear white-to-red ramp on the green/blue channels; the
+			// hottest node is full red, a one-step node near white.
+			ch := 255 - int(float64(steps)/float64(maxHeat)*200)
+			fmt.Fprintf(bw, "  n%d [label=%q shape=%s style=filled fillcolor=\"#ff%02x%02x\"];\n",
+				i, fmt.Sprintf("%s\n%d steps", n.Name, steps), shape, ch, ch)
+			continue
 		}
 		fmt.Fprintf(bw, "  n%d [label=%q shape=%s];\n", i, n.Name, shape)
 	}
@@ -44,6 +105,14 @@ func (g *Graph) WriteDOT(w io.Writer) error {
 			}
 			fmt.Fprintf(bw, "  n%d -> n%d [label=%q%s];\n", he.Other, dst, label, style)
 		}
+	}
+	for _, je := range opt.JmpEdges {
+		to, color := je.To, "blue"
+		if je.Unfinished {
+			to, color = g.Unfinished(), "red"
+		}
+		fmt.Fprintf(bw, "  n%d -> n%d [label=%q style=dashed color=%s];\n",
+			je.From, to, fmt.Sprintf("jmp(%d)", je.S), color)
 	}
 	fmt.Fprintln(bw, "}")
 	return bw.Flush()

@@ -2,6 +2,7 @@ package pag
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -32,5 +33,82 @@ func TestWriteDOT(t *testing.T) {
 	// The O node is not drawn.
 	if strings.Contains(out, `label="O"`) {
 		t.Fatal("O node drawn")
+	}
+}
+
+// TestWriteDOTOptsDefaultIdentical: a zero DOTOptions must reproduce the
+// classic WriteDOT output byte for byte.
+func TestWriteDOTOptsDefaultIdentical(t *testing.T) {
+	g := NewGraph()
+	o := g.AddObject("o1", 0)
+	a := g.AddLocal("a", 0, 0)
+	g.AddEdge(Edge{Dst: a, Src: o, Kind: EdgeNew})
+	g.AddEdge(Edge{Dst: a, Src: a, Kind: EdgeLoad, Label: 3})
+	g.Freeze()
+
+	var classic, opts bytes.Buffer
+	if err := g.WriteDOT(&classic); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteDOTOpts(&opts, DOTOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if classic.String() != opts.String() {
+		t.Fatalf("zero options diverge from WriteDOT:\n%s\n----\n%s", classic.String(), opts.String())
+	}
+}
+
+func TestWriteDOTOptsOverlays(t *testing.T) {
+	g := NewGraph()
+	o := g.AddObject("o1", 0)
+	a := g.AddLocal("a", 0, 0)
+	b := g.AddLocal("b", 0, 0)
+	g.AddEdge(Edge{Dst: a, Src: o, Kind: EdgeNew})
+	g.AddEdge(Edge{Dst: b, Src: a, Kind: EdgeAssignLocal})
+	g.Freeze()
+
+	var buf bytes.Buffer
+	err := g.WriteDOTOpts(&buf, DOTOptions{
+		JmpEdges: []DOTJmpEdge{
+			{From: a, To: b, S: 120},
+			{From: b, S: 75, Unfinished: true},
+		},
+		Heat: map[NodeID]int64{a: 40, b: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`label="jmp(120)" style=dashed color=blue`,
+		`label="jmp(75)" style=dashed color=red`,
+		`label="O" shape=octagon style=dashed`, // forced by the unfinished edge
+		`style=filled fillcolor="#ff3737"`,     // hottest node: full ramp
+		"40 steps",
+		"10 steps",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("overlay output missing %q:\n%s", want, out)
+		}
+	}
+	// The unfinished jmp edge targets the O node.
+	var jmpTo NodeID = g.Unfinished()
+	if !strings.Contains(out, fmt.Sprintf("n%d -> n%d [label=\"jmp(75)\"", b, jmpTo)) {
+		t.Fatalf("unfinished jmp edge does not target O:\n%s", out)
+	}
+}
+
+// TestWriteDOTOptsShowUnfinished: ShowUnfinished draws the O node even with
+// no jmp edges.
+func TestWriteDOTOptsShowUnfinished(t *testing.T) {
+	g := NewGraph()
+	g.AddLocal("a", 0, 0)
+	g.Freeze()
+	var buf bytes.Buffer
+	if err := g.WriteDOTOpts(&buf, DOTOptions{ShowUnfinished: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `label="O" shape=octagon`) {
+		t.Fatalf("O node not drawn with ShowUnfinished:\n%s", buf.String())
 	}
 }

@@ -7,9 +7,12 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"os"
+	"strconv"
 	"strings"
 	"time"
 
+	"parcfl/internal/autopsy"
 	"parcfl/internal/cfl"
 	"parcfl/internal/frontend"
 	"parcfl/internal/obs"
@@ -29,6 +32,12 @@ type Shell struct {
 
 	byName map[string]pag.NodeID
 
+	// heat aggregates every query's budget attribution (the session solver
+	// always profiles); last remembers the most recent result per node so
+	// `autopsy` can dissect it without re-solving.
+	heat *autopsy.Collector
+	last map[pag.NodeID]cfl.Result
+
 	// sink receives counters, histograms and spans; nil until SetObs or the
 	// first `trace on`. traceFile is the pending span-trace destination set
 	// by `trace on <file>`, flushed by `trace off` or session end.
@@ -45,15 +54,18 @@ func New(lo *frontend.Lowered, budget int, out io.Writer) *Shell {
 	sh := &Shell{
 		lo: lo,
 		solver: cfl.New(lo.Graph, cfl.Config{
-			Budget: budget,
-			Share:  store,
-			Cache:  cache,
+			Budget:  budget,
+			Share:   store,
+			Cache:   cache,
+			Profile: true,
 		}),
 		store:  store,
 		cache:  cache,
 		budget: budget,
 		out:    bufio.NewWriter(out),
 		byName: map[string]pag.NodeID{},
+		heat:   autopsy.NewCollector(lo.Graph, budget),
+		last:   map[pag.NodeID]cfl.Result{},
 	}
 	for id := 0; id < lo.Graph.NumNodes(); id++ {
 		sh.byName[lo.Graph.Node(pag.NodeID(id)).Name] = pag.NodeID(id)
@@ -70,17 +82,23 @@ func (sh *Shell) SetObs(sink *obs.Sink) {
 	sh.sink = sink
 	sh.store.SetObs(sink)
 	sh.cache.SetObs(sink)
+	sink.AttachHeat(sh.heat)
 	sh.solver = cfl.New(sh.lo.Graph, cfl.Config{
-		Budget: sh.budget,
-		Share:  sh.store,
-		Cache:  sh.cache,
-		Obs:    sink,
-		Worker: 0,
+		Budget:  sh.budget,
+		Share:   sh.store,
+		Cache:   sh.cache,
+		Obs:     sink,
+		Worker:  0,
+		Profile: true,
 	})
 }
 
 // Obs returns the attached observability sink (nil when none was set).
 func (sh *Shell) Obs() *obs.Sink { return sh.sink }
+
+// Heat returns the session's autopsy collector (always non-nil); cmd/parcfl
+// serialises it on exit for -heat-out/-autopsy-out.
+func (sh *Shell) Heat() *autopsy.Collector { return sh.heat }
 
 // Banner prints the session header.
 func (sh *Shell) Banner() {
@@ -180,6 +198,110 @@ func (sh *Shell) recordCmd(args []string) {
 	}
 }
 
+// autopsyCmd implements `autopsy <var>`: a structured budget post-mortem of
+// the most recent query on that node (re-solving if none was issued yet) —
+// outcome, step breakdown, the unfinished jmp that fired an early
+// termination, the partial frontier, and the dominant nodes and fields.
+func (sh *Shell) autopsyCmd(args []string) {
+	if len(args) != 1 {
+		fmt.Fprintln(sh.out, "usage: autopsy <var>")
+		return
+	}
+	v, ok := sh.node(args[0])
+	if !ok {
+		return
+	}
+	r, seen := sh.last[v]
+	if !seen {
+		r = sh.solver.PointsTo(v, pag.EmptyContext)
+		sh.record(r)
+	}
+	rep := autopsy.FromResult(sh.lo.Graph, sh.budget, &r)
+	if rep == nil {
+		fmt.Fprintln(sh.out, "no attribution recorded for this query")
+		return
+	}
+	if err := rep.WriteText(sh.out); err != nil {
+		fmt.Fprintf(sh.out, "autopsy: %v\n", err)
+	}
+}
+
+// heatCmd implements `heat [top-k]` and `heat dot <file>` over the session's
+// accumulated budget attribution.
+func (sh *Shell) heatCmd(args []string) {
+	if len(args) == 2 && args[0] == "dot" {
+		f, err := os.Create(args[1])
+		if err != nil {
+			fmt.Fprintf(sh.out, "heat dot: %v\n", err)
+			return
+		}
+		err = sh.lo.Graph.WriteDOTOpts(f, sh.heat.DOTOptions(sh.store))
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(sh.out, "heat dot: %v\n", err)
+			return
+		}
+		fmt.Fprintf(sh.out, "heat overlay written to %s\n", args[1])
+		return
+	}
+	k := 10
+	if len(args) == 1 {
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n <= 0 {
+			fmt.Fprintln(sh.out, "usage: heat [top-k] | heat dot <file>")
+			return
+		}
+		k = n
+	} else if len(args) > 1 {
+		fmt.Fprintln(sh.out, "usage: heat [top-k] | heat dot <file>")
+		return
+	}
+	h := sh.heat.Heat()
+	if h.Queries == 0 {
+		fmt.Fprintln(sh.out, "no queries profiled yet (run pts/flows first)")
+		return
+	}
+	fmt.Fprintf(sh.out, "queries   %d (%d completed, %d aborted, %d early-terminated)\n",
+		h.Queries, h.Completed, h.Aborted, h.EarlyTerminated)
+	fmt.Fprintf(sh.out, "steps     %d total, %d attributed\n", h.TotalSteps, h.AttributedSteps)
+	fmt.Fprintf(sh.out, "breakdown traversal=%d match=%d approx=%d jmp=%d cache=%d\n",
+		h.TraversalSteps, h.MatchSteps, h.ApproxSteps, h.JmpSteps, h.CacheSteps)
+	if len(h.Nodes) > 0 {
+		fmt.Fprintln(sh.out, "hot nodes")
+		for i, n := range h.Nodes {
+			if i >= k {
+				break
+			}
+			fmt.Fprintf(sh.out, "  %-40s %8d steps  %5.1f%%\n", n.Name, n.Steps, n.Share*100)
+		}
+	}
+	if len(h.Fields) > 0 {
+		fmt.Fprintln(sh.out, "hot fields")
+		for i, f := range h.Fields {
+			if i >= k {
+				break
+			}
+			fmt.Fprintf(sh.out, "  %-40s %8d steps\n", f.Label, f.Steps)
+		}
+	}
+	if len(h.Jmp) > 0 {
+		fmt.Fprintln(sh.out, "jmp store")
+		for i, j := range h.Jmp {
+			if i >= k {
+				break
+			}
+			fmt.Fprintf(sh.out, "  %s(%s, %s): %d takes (%d steps), %d expands",
+				j.Dir, j.Name, j.Ctx, j.Takes, j.StepsCharged, j.Expands)
+			if j.ETs > 0 {
+				fmt.Fprintf(sh.out, ", %d ETs (s=%d)", j.ETs, j.S)
+			}
+			fmt.Fprintln(sh.out)
+		}
+	}
+}
+
 // flushTrace writes and clears the pending trace file, if any.
 func (sh *Shell) flushTrace() {
 	if sh.traceFile == "" || sh.sink == nil {
@@ -193,6 +315,13 @@ func (sh *Shell) flushTrace() {
 		fmt.Fprintf(sh.out, "trace written to %s (load in ui.perfetto.dev or chrome://tracing)\n", file)
 	}
 	sh.sink.DisableSpans()
+}
+
+// record folds a query result into the session heat profile and remembers
+// it for `autopsy`.
+func (sh *Shell) record(r cfl.Result) {
+	sh.heat.Record(&r)
+	sh.last[r.Node] = r
 }
 
 func (sh *Shell) node(name string) (pag.NodeID, bool) {
@@ -229,6 +358,10 @@ func (sh *Shell) Execute(line string) {
   flows <obj>           variables an allocation site flows to
   alias <var> <var>     may-alias check
   explain <var> <obj>   why does var point to obj?
+  explainflows <obj> <var>  why does obj flow to var?
+  autopsy <var>         budget post-mortem of the last query on var
+  heat [top-k]          session PAG heat profile (budget attribution)
+  heat dot <file>       write the PAG with heat/jmp overlays as DOT
   vars [substr]         list queryable variables (filtered)
   objs [substr]         list allocation sites (filtered)
   stats                 graph and session statistics
@@ -255,7 +388,11 @@ func (sh *Shell) Execute(line string) {
 				sh.sink.Observe(obs.HistQuerySteps, int64(r.Steps))
 				sh.sink.Span(obs.SpQuery, 0, t0, int64(v), int64(r.Steps), int64(r.JumpsTaken))
 			}
+			sh.record(r)
 			sh.printSet(fmt.Sprintf("pts(%s) = ", args[0]), r)
+			if r.Aborted {
+				fmt.Fprintf(sh.out, "(dissect with `autopsy %s`)\n", args[0])
+			}
 		}
 	case "flows":
 		if len(args) != 1 {
@@ -264,6 +401,7 @@ func (sh *Shell) Execute(line string) {
 		}
 		if o, ok := sh.node(args[0]); ok {
 			r := sh.solver.FlowsTo(o, pag.EmptyContext)
+			sh.record(r)
 			fmt.Fprintf(sh.out, "flowsTo(%s) = {", args[0])
 			seen := map[pag.NodeID]bool{}
 			first := true
@@ -317,6 +455,32 @@ func (sh *Shell) Execute(line string) {
 			}
 			fmt.Fprintf(sh.out, "%s%s%s\n", strings.Repeat(" ", i), arrow, sh.lo.Graph.Node(st.Node).Name)
 		}
+	case "explainflows":
+		if len(args) != 2 {
+			fmt.Fprintln(sh.out, "usage: explainflows <obj> <var>")
+			return
+		}
+		o, ok1 := sh.node(args[0])
+		v, ok2 := sh.node(args[1])
+		if !ok1 || !ok2 {
+			return
+		}
+		steps, ok := sh.solver.ExplainFlows(o, pag.EmptyContext, v)
+		if !ok {
+			fmt.Fprintf(sh.out, "%s does not flow to %s\n", args[0], args[1])
+			return
+		}
+		for i, st := range steps {
+			arrow := ""
+			if i > 0 {
+				arrow = fmt.Sprintf("  -%s-> ", st.Edge)
+			}
+			fmt.Fprintf(sh.out, "%s%s%s\n", strings.Repeat(" ", i), arrow, sh.lo.Graph.Node(st.Node).Name)
+		}
+	case "autopsy":
+		sh.autopsyCmd(args)
+	case "heat":
+		sh.heatCmd(args)
 	case "vars", "objs":
 		substr := ""
 		if len(args) > 0 {

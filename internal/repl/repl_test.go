@@ -198,3 +198,155 @@ func TestTraceFlushOnQuit(t *testing.T) {
 		t.Fatalf("flushed trace has no query span: %s", data)
 	}
 }
+
+func TestExplainFlowsCommand(t *testing.T) {
+	sh, buf, f := fig2Shell(t)
+	objName := f.Lowered.Graph.Node(f.O16).Name
+	varName := f.Lowered.Graph.Node(f.S1).Name
+	sh.Execute("explainflows " + objName + " " + varName)
+	sh.out.Flush()
+	out := buf.String()
+	if !strings.Contains(out, objName) || !strings.Contains(out, varName) {
+		t.Fatalf("witness missing endpoints: %q", out)
+	}
+	if !strings.Contains(out, "->") {
+		t.Fatalf("witness has no forward edges: %q", out)
+	}
+
+	// A pair with no flow reports cleanly.
+	buf.Reset()
+	otherVar := f.Lowered.Graph.Node(f.S2).Name
+	sh.Execute("explainflows " + objName + " " + otherVar)
+	sh.out.Flush()
+	if !strings.Contains(buf.String(), "does not flow to") {
+		t.Fatalf("output: %q", buf.String())
+	}
+
+	// Usage and unknown-node errors match explain's handling.
+	buf.Reset()
+	sh.Execute("explainflows " + objName)
+	sh.out.Flush()
+	if !strings.Contains(buf.String(), "usage: explainflows <obj> <var>") {
+		t.Fatalf("output: %q", buf.String())
+	}
+	buf.Reset()
+	sh.Execute("explainflows nosuch " + varName)
+	sh.out.Flush()
+	if !strings.Contains(buf.String(), "unknown node") {
+		t.Fatalf("output: %q", buf.String())
+	}
+}
+
+func TestAutopsyCommand(t *testing.T) {
+	sh, buf, f := fig2Shell(t)
+	name := f.Lowered.Graph.Node(f.S1).Name
+	sh.Execute("pts " + name)
+	buf.Reset()
+	sh.Execute("autopsy " + name)
+	sh.out.Flush()
+	out := buf.String()
+	for _, want := range []string{"query", name, "outcome", "completed", "breakdown", "traversal="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("autopsy output missing %q: %q", want, out)
+		}
+	}
+
+	// Without a prior query the command solves on demand.
+	buf.Reset()
+	other := f.Lowered.Graph.Node(f.S2).Name
+	sh.Execute("autopsy " + other)
+	sh.out.Flush()
+	if !strings.Contains(buf.String(), "outcome") {
+		t.Fatalf("on-demand autopsy output: %q", buf.String())
+	}
+
+	buf.Reset()
+	sh.Execute("autopsy")
+	sh.out.Flush()
+	if !strings.Contains(buf.String(), "usage: autopsy <var>") {
+		t.Fatalf("output: %q", buf.String())
+	}
+}
+
+// TestAutopsyAborted: with a starvation budget the autopsy names the
+// shortfall surface — aborted outcome and (with sharing) a frontier.
+func TestAutopsyAborted(t *testing.T) {
+	f, err := frontend.BuildFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sh := New(f.Lowered, 12, &buf)
+	name := f.Lowered.Graph.Node(f.S1).Name
+	sh.Execute("pts " + name)
+	out := buf.String()
+	if !strings.Contains(out, "partial") {
+		t.Skip("budget 12 unexpectedly sufficient; adjust test budget")
+	}
+	if !strings.Contains(out, "autopsy "+name) {
+		t.Fatalf("aborted pts does not point at autopsy: %q", out)
+	}
+	buf.Reset()
+	sh.Execute("autopsy " + name)
+	sh.out.Flush()
+	out = buf.String()
+	if !strings.Contains(out, "aborted") && !strings.Contains(out, "early-terminated") {
+		t.Fatalf("autopsy of aborted query: %q", out)
+	}
+	if !strings.Contains(out, "of budget 12") {
+		t.Fatalf("autopsy does not show the budget: %q", out)
+	}
+}
+
+func TestHeatCommand(t *testing.T) {
+	sh, buf, f := fig2Shell(t)
+	buf.Reset()
+	sh.Execute("heat")
+	sh.out.Flush()
+	if !strings.Contains(buf.String(), "no queries profiled yet") {
+		t.Fatalf("empty-session heat: %q", buf.String())
+	}
+
+	sh.Execute("pts " + f.Lowered.Graph.Node(f.S1).Name)
+	sh.Execute("flows " + f.Lowered.Graph.Node(f.O16).Name)
+	buf.Reset()
+	sh.Execute("heat 3")
+	sh.out.Flush()
+	out := buf.String()
+	for _, want := range []string{"queries   2", "hot nodes", "hot fields", "breakdown"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("heat output missing %q: %q", want, out)
+		}
+	}
+	// total == attributed (conservation), both rendered on the steps line.
+	h := sh.heat.Heat()
+	if h.TotalSteps != h.AttributedSteps {
+		t.Fatalf("session heat not conserved: %+v", h)
+	}
+
+	buf.Reset()
+	sh.Execute("heat nope")
+	sh.out.Flush()
+	if !strings.Contains(buf.String(), "usage: heat") {
+		t.Fatalf("output: %q", buf.String())
+	}
+}
+
+func TestHeatDotCommand(t *testing.T) {
+	sh, buf, f := fig2Shell(t)
+	sh.Execute("pts " + f.Lowered.Graph.Node(f.S1).Name)
+	path := filepath.Join(t.TempDir(), "heat.dot")
+	buf.Reset()
+	sh.Execute("heat dot " + path)
+	sh.out.Flush()
+	if !strings.Contains(buf.String(), "heat overlay written to") {
+		t.Fatalf("output: %q", buf.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph pag") || !strings.Contains(string(data), "fillcolor=\"#ff") {
+		t.Fatalf("dot file lacks heat overlay:\n%s", data)
+	}
+}

@@ -81,18 +81,9 @@ func ScheduleObs(g *pag.Graph, queries []pag.NodeID, typeLevels []int, sink *obs
 }
 
 func schedule(g *pag.Graph, queries []pag.NodeID, typeLevels []int, sink *obs.Sink) *Plan {
-	n := g.NumNodes()
-
 	// --- 1. Connected components of the direct relation (undirected). ---
 	groupT0 := sink.SpanStart()
-	uf := newUnionFind(n)
-	for x := 0; x < n; x++ {
-		for _, he := range g.In(pag.NodeID(x)) {
-			if he.Kind.IsDirect() {
-				uf.union(x, int(he.Other))
-			}
-		}
-	}
+	uf := directUnionFind(g)
 
 	// Dedup queries, bucket them per component.
 	seen := make(map[pag.NodeID]struct{}, len(queries))
@@ -194,6 +185,35 @@ func schedule(g *pag.Graph, queries []pag.NodeID, typeLevels []int, sink *obs.Si
 	}
 	sink.Span(obs.SpSchedBalance, obs.NoWorker, balanceT0, int64(len(plan.Groups)), 0, 0)
 	return plan
+}
+
+// directUnionFind builds the disjoint-set of the undirected direct relation
+// (Eq. 5) over all of g's nodes — the grouping structure of step 1.
+func directUnionFind(g *pag.Graph) *unionFind {
+	n := g.NumNodes()
+	uf := newUnionFind(n)
+	for x := 0; x < n; x++ {
+		for _, he := range g.In(pag.NodeID(x)) {
+			if he.Kind.IsDirect() {
+				uf.union(x, int(he.Other))
+			}
+		}
+	}
+	return uf
+}
+
+// ComponentMap returns, for every node, the canonical id (a representative
+// node index) of its direct-relation connected component — the same
+// partition Schedule groups queries by. Consumers outside the scheduler use
+// it to aggregate per-node data into per-subgraph rollups; the heat
+// profiler folds node step counts into hot-component totals with it.
+func ComponentMap(g *pag.Graph) []int32 {
+	uf := directUnionFind(g)
+	out := make([]int32, g.NumNodes())
+	for v := range out {
+		out[v] = int32(uf.find(v))
+	}
+	return out
 }
 
 // connectionDistances returns, per node, the length (in nodes) of the

@@ -238,3 +238,20 @@ func TestUnionFind(t *testing.T) {
 		t.Fatal("self union broke singleton")
 	}
 }
+
+func TestComponentMap(t *testing.T) {
+	g, ids := chainGraph(t)
+	cm := ComponentMap(g)
+	if len(cm) != g.NumNodes() {
+		t.Fatalf("ComponentMap length %d, want %d", len(cm), g.NumNodes())
+	}
+	// a, b, c share a component; d, e, f are singletons (loads don't
+	// connect), so the partition matches Schedule's grouping.
+	if cm[ids["a"]] != cm[ids["b"]] || cm[ids["b"]] != cm[ids["c"]] {
+		t.Fatalf("a/b/c split across components: %d %d %d", cm[ids["a"]], cm[ids["b"]], cm[ids["c"]])
+	}
+	distinct := map[int32]bool{cm[ids["a"]]: true, cm[ids["d"]]: true, cm[ids["e"]]: true, cm[ids["f"]]: true}
+	if len(distinct) != 4 {
+		t.Fatalf("expected 4 distinct components, got %d", len(distinct))
+	}
+}

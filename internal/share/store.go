@@ -318,6 +318,21 @@ func (s Stats) HitRate() float64 {
 	return float64(s.LookupHits) / float64(s.Lookups)
 }
 
+// ForEach calls f for every entry visible in the current epoch, stopping
+// early if f returns false. Iteration order is unspecified. Intended for
+// offline consumers — heat overlays, autopsy reports, dumps; entries
+// inserted concurrently may or may not be observed, and f runs under a
+// shard lock so it must not call back into the store.
+func (st *Store) ForEach(f func(Key, Entry) bool) {
+	ep := st.epoch.Load()
+	st.m.Range(func(k Key, e *Entry) bool {
+		if e.epoch != ep {
+			return true
+		}
+		return f(k, *e)
+	})
+}
+
 // NumJumps returns the total number of jmp edges recorded (Table I #Jumps).
 func (st *Store) NumJumps() int64 {
 	return st.finishedAdded.Load() + st.unfinishedAdded.Load()

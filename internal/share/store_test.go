@@ -303,3 +303,41 @@ func TestLookupHitCounters(t *testing.T) {
 		t.Errorf("share_hits = %d, want 1", got)
 	}
 }
+
+func TestForEach(t *testing.T) {
+	st := NewStore(zeroTau())
+	kf := Key{Dir: Backward, Node: 1, Ctx: pag.EmptyContext}
+	ku := Key{Dir: Forward, Node: 2, Ctx: pag.EmptyContext}
+	st.PutFinished(kf, 100, []pag.NodeCtx{{Node: 9, Ctx: pag.EmptyContext}})
+	st.PutUnfinished(ku, 200)
+
+	got := map[Key]Entry{}
+	st.ForEach(func(k Key, e Entry) bool {
+		got[k] = e
+		return true
+	})
+	if len(got) != 2 {
+		t.Fatalf("ForEach visited %d entries, want 2", len(got))
+	}
+	if e := got[kf]; e.Unfinished || e.S != 100 || len(e.Targets) != 1 {
+		t.Fatalf("finished entry = %+v", e)
+	}
+	if e := got[ku]; !e.Unfinished || e.S != 200 {
+		t.Fatalf("unfinished entry = %+v", e)
+	}
+
+	// Early stop.
+	n := 0
+	st.ForEach(func(Key, Entry) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early-stopping ForEach visited %d entries, want 1", n)
+	}
+
+	// Entries from a stale epoch are invisible.
+	st.BumpEpoch()
+	n = 0
+	st.ForEach(func(Key, Entry) bool { n++; return true })
+	if n != 0 {
+		t.Fatalf("ForEach visited %d stale entries, want 0", n)
+	}
+}
