@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench-json clean
+.PHONY: check build vet test race bench-json serve-smoke clean
 
 check: build vet test race
 
@@ -20,11 +20,16 @@ test:
 # The packages whose correctness depends on lock-free/striped-lock
 # discipline; everything else is single-threaded or covered transitively.
 race:
-	$(GO) test -race ./internal/concurrent ./internal/share ./internal/engine
+	$(GO) test -race ./internal/concurrent ./internal/share ./internal/engine ./internal/server
 
 # Regenerate the benchmark-trajectory artifact (BENCH_runs.json).
 bench-json:
 	$(GO) run ./cmd/experiments -exp bench -json -scale 0.01 -threads 8
+
+# End-to-end daemon smoke: boot parcfld, query it cold, snapshot, restart
+# warm, assert identical results and live parcfl_server_* metrics.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,217 @@
+// Command parcfld is the resident pointer-analysis daemon: load a program
+// (or a warm snapshot of one), then answer points-to queries over HTTP for
+// as long as the process lives, letting the jmp-edge store and result cache
+// compound across requests.
+//
+//	$ parcfld -bench avrora -snapshot warm.pag -addr localhost:7070
+//	$ parcflq -addr localhost:7070 main.s1
+//
+// On SIGINT/SIGTERM the daemon stops admission, answers every request it
+// had accepted, saves a final snapshot (when -snapshot is set) and exits.
+// Restarting against the same -snapshot warm-starts: the accumulated jump
+// edges make the same queries cheaper than the first run paid.
+//
+// The obs debug mux (/metrics, /debug/pprof, /debug/obs, ...) is mounted on
+// the service address itself, so one port serves queries and scrapes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"parcfl/internal/engine"
+	"parcfl/internal/frontend"
+	"parcfl/internal/gofront"
+	"parcfl/internal/javagen"
+	"parcfl/internal/mjlang"
+	"parcfl/internal/obs"
+	"parcfl/internal/server"
+	"parcfl/internal/snapshot"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "parcfld:", err)
+	os.Exit(1)
+}
+
+func parseMode(s string) (engine.Mode, error) {
+	switch strings.ToLower(s) {
+	case "naive":
+		return engine.Naive, nil
+	case "d":
+		return engine.D, nil
+	case "dq":
+		return engine.DQ, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (want naive|d|dq)", s)
+	}
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:7070", "serve the /v1 query API (and /metrics, /debug/*) on this address")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using -addr localhost:0)")
+	srcFile := flag.String("src", "", "mini-Java source file (.mj)")
+	goFile := flag.String("go", "", "Go source file")
+	bench := flag.String("bench", "", "benchmark preset name")
+	scale := flag.Float64("scale", 0.005, "generation scale for -bench")
+	snapPath := flag.String("snapshot", "", "snapshot path: warm-start from it when it exists, save to it on shutdown and every -autosave")
+	autosave := flag.Duration("autosave", 0, "autosave interval for -snapshot (0 = only on shutdown)")
+	mode := flag.String("mode", "dq", "engine mode (naive|d|dq)")
+	threads := flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+	budget := flag.Int("budget", 75000, "per-query step budget (0 = unbounded)")
+	contextK := flag.Int("context-k", 0, "k-limit for call strings (0 = unlimited)")
+	cache := flag.Bool("cache", true, "memoise whole result sets across queries (ptcache)")
+	queue := flag.Int("queue", 0, "admission queue depth in distinct variables (0 = 1024)")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "how long to wait for concurrent queries to coalesce into one batch")
+	batchMax := flag.Int("batch-max", 0, "max distinct variables per engine batch (0 = 256)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+	flag.Parse()
+
+	m, err := parseMode(*mode)
+	if err != nil {
+		fail(err)
+	}
+
+	sink := obs.New(obs.Config{Workers: max(*threads, 1), TraceCap: 1 << 14})
+	cfg := server.Config{
+		Mode: m, Threads: *threads, Budget: *budget, ContextK: *contextK,
+		ResultCache: *cache, BatchWindow: *batchWindow, MaxBatch: *batchMax,
+		QueueDepth: *queue, Obs: sink,
+	}
+
+	// Warm start beats cold load: an existing snapshot carries the graph
+	// plus every jump edge and cached result earlier runs paid for.
+	var srv *server.Server
+	if *snapPath != "" {
+		if snap, err := snapshot.Load(*snapPath); err == nil {
+			srv = server.NewFromSnapshot(snap, cfg)
+			fmt.Printf("parcfld: warm start from %s (%d nodes, store epoch %d, saved %s)\n",
+				*snapPath, snap.Graph.NumNodes(), storeEpoch(snap),
+				time.Unix(0, snap.Meta.CreatedUnixNano).Format(time.RFC3339))
+		} else if !errors.Is(err, os.ErrNotExist) {
+			fail(err)
+		}
+	}
+	if srv == nil {
+		lo := load(*srcFile, *goFile, *bench, *scale)
+		cfg.TypeLevels = lo.TypeLevels
+		cfg.QueryVars = lo.AppQueryVars
+		srv = server.New(lo.Graph, cfg)
+		fmt.Printf("parcfld: cold start (%d nodes, %d query vars)\n",
+			lo.Graph.NumNodes(), len(lo.AppQueryVars))
+	}
+
+	handler := server.NewHandler(srv, server.HandlerConfig{
+		SnapshotPath:   *snapPath,
+		DefaultTimeout: *timeout,
+		Fallback:       obs.Handler(sink),
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("parcfld: serving on http://%s\n", ln.Addr())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fail(err)
+		}
+	}
+	httpSrv := &http.Server{Handler: handler}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fail(err)
+		}
+	}()
+
+	stopAutosave := make(chan struct{})
+	if *snapPath != "" && *autosave > 0 {
+		go func() {
+			t := time.NewTicker(*autosave)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if err := srv.SaveSnapshot(*snapPath, "autosave"); err != nil {
+						fmt.Fprintln(os.Stderr, "parcfld: autosave:", err)
+					}
+				case <-stopAutosave:
+					return
+				}
+			}
+		}()
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	<-sigs
+	fmt.Println("parcfld: draining...")
+	close(stopAutosave)
+
+	// Stop accepting HTTP first, then drain the solver: every admitted
+	// request gets its answer before the final snapshot is cut.
+	ctx, cancel := context.WithTimeout(context.Background(), 2**timeout)
+	defer cancel()
+	_ = httpSrv.Shutdown(ctx)
+	srv.Close()
+	if *snapPath != "" {
+		if err := srv.SaveSnapshot(*snapPath, "shutdown"); err != nil {
+			fmt.Fprintln(os.Stderr, "parcfld: final snapshot:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("parcfld: snapshot saved to %s\n", *snapPath)
+	}
+	st := srv.Stats()
+	fmt.Printf("parcfld: served %d requests (%d coalesced, %d batches, %d jumps taken)\n",
+		st.Requests, st.Coalesced, st.Batches, st.JumpsTaken)
+}
+
+func load(srcFile, goFile, bench string, scale float64) *frontend.Lowered {
+	var prg *frontend.Program
+	var err error
+	switch {
+	case srcFile != "":
+		var data []byte
+		data, err = os.ReadFile(srcFile)
+		if err == nil {
+			prg, err = mjlang.Parse(string(data))
+		}
+	case goFile != "":
+		var data []byte
+		data, err = os.ReadFile(goFile)
+		if err == nil {
+			prg, err = gofront.Parse(string(data))
+		}
+	case bench != "":
+		var pr javagen.Preset
+		pr, err = javagen.PresetByName(bench)
+		if err == nil {
+			prg, err = javagen.Generate(pr.Params(scale))
+		}
+	default:
+		err = fmt.Errorf("need -src, -go, -bench or an existing -snapshot")
+	}
+	if err != nil {
+		fail(err)
+	}
+	lo, err := frontend.Lower(prg)
+	if err != nil {
+		fail(err)
+	}
+	return lo
+}
+
+func storeEpoch(s *snapshot.Snapshot) int64 {
+	if s.Store == nil {
+		return 0
+	}
+	return s.Store.Epoch()
+}

@@ -1,0 +1,122 @@
+// Command parcflq is the thin client for a running parcfld daemon.
+//
+//	$ parcflq -addr localhost:7070 main.s1 main.s2   # query (batched)
+//	$ parcflq -addr localhost:7070 -list 10          # show queryable vars
+//	$ parcflq -addr localhost:7070 -stats            # service stats
+//	$ parcflq -addr localhost:7070 -save warm.pag    # trigger a snapshot
+//
+// With -json, query results print as the daemon's wire JSON (one reply
+// object), which is what scripts should parse.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"parcfl/internal/server"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "parcflq:", err)
+	os.Exit(1)
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:7070", "parcfld address (host:port or full URL)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline")
+	stats := flag.Bool("stats", false, "print service stats and exit")
+	list := flag.Int("list", 0, "list up to N queryable variables and exit (0 = off, negative = all)")
+	save := flag.String("save", "", "trigger a snapshot save (empty string with -save= uses the daemon's configured path)")
+	asJSON := flag.Bool("json", false, "print raw JSON instead of the human format")
+	flag.Parse()
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	cl := server.NewClient(base, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout+5*time.Second)
+	defer cancel()
+
+	saveSet := false
+	flag.Visit(func(f *flag.Flag) { saveSet = saveSet || f.Name == "save" })
+
+	switch {
+	case *stats:
+		st, err := cl.Stats(ctx)
+		if err != nil {
+			fail(err)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(st)
+			return
+		}
+		fmt.Printf("requests   %d (coalesced %d, rejected %d, timeouts %d)\n",
+			st.Requests, st.Coalesced, st.Rejected, st.Timeouts)
+		fmt.Printf("batches    %d (queries solved %d, aborted %d)\n",
+			st.Batches, st.Queries, st.Aborted)
+		fmt.Printf("steps      %d total, %d saved by jmp shortcuts, %d jumps taken\n",
+			st.TotalSteps, st.StepsSaved, st.JumpsTaken)
+		fmt.Printf("store      epoch %d, %d finished + %d unfinished jmp entries\n",
+			st.StoreEpoch, st.Share.FinishedAdded, st.Share.UnfinishedAdded)
+		fmt.Printf("cache      %d hits, %d misses\n", st.Cache.Hits, st.Cache.Misses)
+		fmt.Printf("engine     %.3fs busy over %.1fs uptime\n",
+			float64(st.EngineNS)/1e9, float64(st.UptimeNS)/1e9)
+		return
+
+	case *list != 0:
+		vars, err := cl.Vars(ctx)
+		if err != nil {
+			fail(err)
+		}
+		n := len(vars)
+		if *list > 0 && *list < n {
+			n = *list
+		}
+		for _, v := range vars[:n] {
+			fmt.Println(v)
+		}
+		if n < len(vars) {
+			fmt.Printf("... and %d more\n", len(vars)-n)
+		}
+		return
+
+	case saveSet:
+		path, err := cl.SaveSnapshot(ctx, *save)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("snapshot saved to", path)
+		return
+	}
+
+	vars := flag.Args()
+	if len(vars) == 0 {
+		fail(fmt.Errorf("nothing to do: give variables to query, or -stats/-list/-save"))
+	}
+	results, err := cl.Query(ctx, vars, *timeout)
+	if err != nil {
+		fail(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(server.QueryReply{Results: results})
+		return
+	}
+	for _, r := range results {
+		status := ""
+		if r.Aborted {
+			status = " (aborted: out of budget)"
+		}
+		fmt.Printf("%s -> {%s} (%d contexts, %d steps)%s\n",
+			r.Var, strings.Join(r.Objects, ", "), r.Contexts, r.Steps, status)
+	}
+}

@@ -84,6 +84,10 @@ type Config struct {
 	// across queries and workers (the "ad-hoc caching" extension; see
 	// internal/ptcache). Works with any mode.
 	ResultCache bool
+	// Cache lets the caller share a pre-populated result cache across
+	// runs, like Store; implies ResultCache. Normally nil, in which case
+	// ResultCache creates a fresh one per run.
+	Cache *ptcache.Cache
 	// ContextK k-limits call strings (0 = unlimited, the paper's setting).
 	ContextK int
 	// Obs, when non-nil, receives run metrics, trace events and per-worker
@@ -229,6 +233,25 @@ func dedup(queries []pag.NodeID) []pag.NodeID {
 	return queries
 }
 
+// RunMapped is Run plus the query→result dedup mapping: mapping[i] is the
+// index into the returned results of the original batch's i-th query.
+// Duplicate batch positions map to the one shared result, and DQ's
+// scheduler-imposed processing order is resolved here — callers that fan one
+// coalesced computation back out to many waiters (the resident server) index
+// straight through the mapping instead of re-sorting results by NodeID.
+func RunMapped(g *pag.Graph, queries []pag.NodeID, cfg Config) ([]QueryResult, []int, Stats) {
+	results, stats := Run(g, queries, cfg)
+	byVar := make(map[pag.NodeID]int, len(results))
+	for i := range results {
+		byVar[results[i].Var] = i
+	}
+	mapping := make([]int, len(queries))
+	for i, q := range queries {
+		mapping[i] = byVar[q]
+	}
+	return results, mapping, stats
+}
+
 // Run executes the query batch and returns per-query results in processing
 // order together with aggregate statistics. Duplicate query variables are
 // answered once: the batch is deduplicated up front (first occurrences kept
@@ -256,8 +279,8 @@ func Run(g *pag.Graph, queries []pag.NodeID, cfg Config) ([]QueryResult, Stats) 
 		}
 	}
 
-	var cache *ptcache.Cache
-	if cfg.ResultCache {
+	cache := cfg.Cache
+	if cache == nil && cfg.ResultCache {
 		cache = ptcache.New(64)
 		cache.SetObs(sink)
 	}

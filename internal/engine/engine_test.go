@@ -249,3 +249,36 @@ func TestBudgetPressureProducesETs(t *testing.T) {
 		t.Fatal("aborted queries recorded no unfinished jmp edges")
 	}
 }
+
+// TestRunMapped: the mapping must send every input position — including
+// duplicates — to the result computed for its variable, with the result
+// slice still deduplicated.
+func TestRunMapped(t *testing.T) {
+	lo := genBench(t)
+	base := lo.AppQueryVars
+	if len(base) < 4 {
+		t.Fatalf("bench produced only %d query vars", len(base))
+	}
+	// Interleave duplicates: first four vars, then three repeats.
+	queries := append(append([]pag.NodeID{}, base[:4]...), base[0], base[2], base[0])
+	results, mapping, stats := RunMapped(lo.Graph, queries, Config{Mode: Seq})
+	if len(results) != 4 || stats.Queries != 4 {
+		t.Fatalf("expected 4 deduplicated results, got %d (stats.Queries=%d)",
+			len(results), stats.Queries)
+	}
+	if len(mapping) != len(queries) {
+		t.Fatalf("mapping length %d, want %d", len(mapping), len(queries))
+	}
+	for i, q := range queries {
+		j := mapping[i]
+		if j < 0 || j >= len(results) {
+			t.Fatalf("position %d mapped out of range: %d", i, j)
+		}
+		if results[j].Var != q {
+			t.Fatalf("position %d (var %d) mapped to result for var %d", i, q, results[j].Var)
+		}
+	}
+	if mapping[0] != mapping[4] || mapping[0] != mapping[6] || mapping[2] != mapping[5] {
+		t.Fatalf("duplicate positions did not coalesce: %v", mapping)
+	}
+}

@@ -66,6 +66,13 @@ type BenchRun struct {
 	// Schedule shape (DQ only; zero otherwise).
 	NumGroups    int     `json:"num_groups"`
 	AvgGroupSize float64 `json:"avg_group_size"`
+
+	// Serving throughput (Serve-* rows only; zero otherwise): request
+	// rate and latency percentiles of the census replayed against a
+	// resident server (see internal/server).
+	QPS   float64 `json:"qps,omitempty"`
+	P50NS int64   `json:"p50_ns,omitempty"`
+	P99NS int64   `json:"p99_ns,omitempty"`
 }
 
 // BenchReport is one labelled grid of bench runs — one entry of the
@@ -257,6 +264,14 @@ func BenchGrid(opts Options) (*BenchReport, error) {
 		cr := benchRunFrom(pr.Name, cached, seq)
 		cr.Mode = cached.Mode.String() + "+cache"
 		rep.Runs = append(rep.Runs, cr)
+		// Serving rows: the census replayed against a resident server,
+		// cold and then warm through the snapshot codec, so benchdiff
+		// gates daemon throughput and the warm-start win.
+		serve, err := ServeRows(b, opts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Runs = append(rep.Runs, serve...)
 	}
 	return rep, nil
 }

@@ -21,11 +21,12 @@ func TestBenchGridSmall(t *testing.T) {
 	if rep.Schema != BenchSchema {
 		t.Fatalf("schema = %q", rep.Schema)
 	}
-	// 4 modes + the DQ+cache row.
-	if len(rep.Runs) != 5 {
-		t.Fatalf("%d runs, want 5", len(rep.Runs))
+	// 4 modes + the DQ+cache row + the Serve-cold/Serve-warm rows.
+	if len(rep.Runs) != 7 {
+		t.Fatalf("%d runs, want 7", len(rep.Runs))
 	}
-	wantModes := []string{"SeqCFL", "ParCFL-naive", "ParCFL-D", "ParCFL-DQ", "ParCFL-DQ+cache"}
+	wantModes := []string{"SeqCFL", "ParCFL-naive", "ParCFL-D", "ParCFL-DQ",
+		"ParCFL-DQ+cache", "Serve-cold", "Serve-warm"}
 	queries := rep.Runs[0].Queries
 	for i, r := range rep.Runs {
 		if r.Mode != wantModes[i] {
@@ -34,12 +35,25 @@ func TestBenchGridSmall(t *testing.T) {
 		if r.Bench != "_200_check" || r.WallNS <= 0 || r.Queries == 0 {
 			t.Fatalf("run %d malformed: %+v", i, r)
 		}
-		if r.Queries != queries {
+		serving := i >= 5
+		if !serving && r.Queries != queries {
 			t.Fatalf("run %d: %d queries, Seq saw %d", i, r.Queries, queries)
 		}
 		if r.StepsWalked != r.TotalSteps-r.StepsSaved {
 			t.Fatalf("run %d: walked %d != total %d - saved %d", i, r.StepsWalked, r.TotalSteps, r.StepsSaved)
 		}
+		if serving && (r.QPS <= 0 || r.P50NS <= 0 || r.P99NS < r.P50NS) {
+			t.Fatalf("serving run %d has no throughput shape: %+v", i, r)
+		}
+	}
+	cold, warm := rep.Runs[5], rep.Runs[6]
+	if warm.StepsWalked >= cold.StepsWalked {
+		t.Fatalf("warm serve walked %d steps, cold walked %d — no snapshot reuse win",
+			warm.StepsWalked, cold.StepsWalked)
+	}
+	if warm.CacheHitRate <= cold.CacheHitRate {
+		t.Fatalf("warm serve cache hit-rate %.3f not above cold %.3f",
+			warm.CacheHitRate, cold.CacheHitRate)
 	}
 	seq := rep.Runs[0]
 	if seq.ModeledSpeedup != 1 || seq.WallSpeedup != 1 {
@@ -113,7 +127,7 @@ func TestBenchWritesJSONFile(t *testing.T) {
 		t.Fatalf("artifact = schema %q, %d reports", h.Schema, len(h.Reports))
 	}
 	rep := h.Reports[0]
-	if rep.Schema != BenchSchema || len(rep.Runs) != 5 {
+	if rep.Schema != BenchSchema || len(rep.Runs) != 7 {
 		t.Fatalf("report = schema %q, %d runs", rep.Schema, len(rep.Runs))
 	}
 	if rep.Label != "first" || rep.GitRev != "abc1234" {

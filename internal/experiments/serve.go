@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"parcfl/internal/server"
+	"parcfl/internal/snapshot"
+)
+
+// Serving-throughput rows of the bench trajectory: the query census is
+// replayed against a resident server from concurrent clients, once cold
+// (fresh jmp store) and once warm (state round-tripped through the
+// snapshot codec, exactly what a daemon restart does). The warm row must
+// show the jmp reuse win — more steps satisfied by shortcuts, fewer steps
+// walked — and benchdiff gates the wall/qps of both rows across commits.
+
+// serveClients is how many concurrent callers replay the census; small
+// enough that micro-batching (not raw thread count) is what's measured.
+const serveClients = 8
+
+// serveRun replays the census against a resident server built either cold
+// (warmFrom nil) or from a snapshot, and returns the flattened row plus a
+// snapshot of the post-run state (codec round trip included, so a warm run
+// exercises exactly the daemon-restart path).
+func serveRun(b *Bench, mode string, warmFrom *snapshot.Snapshot, opts Options) (BenchRun, *snapshot.Snapshot, error) {
+	cfg := server.Config{
+		Threads: opts.Threads, Budget: opts.Budget,
+		TypeLevels: b.Lowered.TypeLevels, QueryVars: b.Lowered.AppQueryVars,
+		ResultCache: true,
+		// A short window keeps the bench fast while still coalescing the
+		// concurrent clients into multi-query batches.
+		BatchWindow: 200 * time.Microsecond,
+	}
+	var srv *server.Server
+	if warmFrom != nil {
+		srv = server.NewFromSnapshot(warmFrom, cfg)
+	} else {
+		srv = server.New(b.Lowered.Graph, cfg)
+	}
+
+	queries := b.Queries
+	latencies := make([]time.Duration, len(queries))
+	var firstErr error
+	var errMu sync.Mutex
+	var wg sync.WaitGroup
+	idx := make(chan int, len(queries))
+	for i := range queries {
+		idx <- i
+	}
+	close(idx)
+
+	start := time.Now()
+	for c := 0; c < serveClients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				t0 := time.Now()
+				_, err := srv.Query(context.Background(), queries[i])
+				latencies[i] = time.Since(t0)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("serve %s: query %d: %w", mode, queries[i], err)
+					}
+					errMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	st := srv.Stats()
+	var buf bytes.Buffer
+	err := snapshot.Write(&buf, srv.Snapshot("bench"))
+	srv.Close()
+	if err == nil && firstErr != nil {
+		err = firstErr
+	}
+	if err != nil {
+		return BenchRun{}, nil, err
+	}
+	snap, err := snapshot.Read(&buf)
+	if err != nil {
+		return BenchRun{}, nil, err
+	}
+
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pct := func(p float64) int64 {
+		if len(sorted) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i].Nanoseconds()
+	}
+
+	row := BenchRun{
+		Bench:   b.Preset.Name,
+		Mode:    mode,
+		Threads: opts.Threads,
+
+		WallNS: wall.Nanoseconds(),
+
+		Queries:   int(st.Queries),
+		Completed: int(st.Completed),
+		Aborted:   int(st.Aborted),
+
+		TotalSteps:  st.TotalSteps,
+		StepsWalked: st.TotalSteps - st.StepsSaved,
+		StepsSaved:  st.StepsSaved,
+		JumpsTaken:  st.JumpsTaken,
+
+		ShareFinished:   st.Share.FinishedAdded,
+		ShareUnfinished: st.Share.UnfinishedAdded,
+		ShareLookups:    st.Share.Lookups,
+		ShareHits:       st.Share.LookupHits,
+		ShareHitRate:    st.Share.HitRate(),
+
+		CacheHits:    st.Cache.Hits,
+		CacheMisses:  st.Cache.Misses,
+		CacheHitRate: st.Cache.HitRate(),
+
+		QPS:   float64(len(queries)) / wall.Seconds(),
+		P50NS: pct(0.50),
+		P99NS: pct(0.99),
+	}
+	return row, snap, nil
+}
+
+// ServeRows produces the Serve-cold and Serve-warm rows for one prepared
+// benchmark.
+func ServeRows(b *Bench, opts Options) ([]BenchRun, error) {
+	cold, snap, err := serveRun(b, "Serve-cold", nil, opts)
+	if err != nil {
+		return nil, err
+	}
+	warm, _, err := serveRun(b, "Serve-warm", snap, opts)
+	if err != nil {
+		return nil, err
+	}
+	return []BenchRun{cold, warm}, nil
+}

@@ -13,16 +13,31 @@ const (
 	HistQueryNS HistID = iota
 	// HistQuerySteps buckets per-query budget steps consumed.
 	HistQuerySteps
+	// HistServerBatchSize buckets unique query variables per dispatched
+	// server batch.
+	HistServerBatchSize
+	// HistServerWaitNS buckets admission-to-dispatch queue wait per server
+	// request in nanoseconds.
+	HistServerWaitNS
+	// HistServerLatencyNS buckets admission-to-reply latency per server
+	// request in nanoseconds.
+	HistServerLatencyNS
 
 	// NumHists is the number of defined histograms.
 	NumHists
 )
 
-var histNames = [NumHists]string{"query_latency_ns", "query_steps"}
+var histNames = [NumHists]string{
+	"query_latency_ns", "query_steps",
+	"server_batch_size", "server_wait_ns", "server_latency_ns",
+}
 
 var histHelp = [NumHists]string{
 	"Per-query wall time in nanoseconds.",
 	"Per-query budget steps consumed (including shortcut charges).",
+	"Unique query variables per dispatched server batch.",
+	"Admission-to-dispatch queue wait per server request in nanoseconds.",
+	"Admission-to-reply latency per server request in nanoseconds.",
 }
 
 // String returns the histogram's snake_case name.

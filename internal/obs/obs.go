@@ -61,6 +61,20 @@ const (
 	// shortcut hit-rate behind the TauF/TauU thresholds.
 	CtrShareLookups
 	CtrShareHits
+	// CtrServerRequests counts query requests admitted by the resident
+	// server (see internal/server).
+	CtrServerRequests
+	// CtrServerCoalesced counts admitted requests answered by another
+	// request's computation (in-flight or same-batch dedup).
+	CtrServerCoalesced
+	// CtrServerRejected counts requests refused by admission control
+	// (bounded queue full or server draining).
+	CtrServerRejected
+	// CtrServerTimeouts counts requests whose deadline expired before
+	// their batch was answered.
+	CtrServerTimeouts
+	// CtrServerBatches counts coalesced engine.Run batches dispatched.
+	CtrServerBatches
 
 	// NumCounters is the number of defined counters.
 	NumCounters
@@ -74,6 +88,8 @@ var counterNames = [NumCounters]string{
 	"refine_queries", "refine_passes",
 	"inc_edits_grow", "inc_edits_shrink", "inc_resolves",
 	"share_lookups", "share_hits",
+	"server_requests", "server_coalesced", "server_rejected",
+	"server_timeouts", "server_batches",
 }
 
 // String returns the counter's snake_case name.
@@ -111,6 +127,12 @@ const (
 	// GaugeSchedComponents is the number of direct-relation components the
 	// last schedule touched.
 	GaugeSchedComponents
+	// GaugeServerQueueDepth is the number of admitted server requests
+	// waiting to be dispatched in a batch.
+	GaugeServerQueueDepth
+	// GaugeServerInflight is the number of unique query variables currently
+	// being computed by dispatched server batches.
+	GaugeServerInflight
 
 	// NumGauges is the number of defined gauges.
 	NumGauges
@@ -121,6 +143,7 @@ var gaugeNames = [NumGauges]string{
 	"worklist_depth", "inflight_queries",
 	"share_finished_size", "share_unfinished_size", "share_high_water",
 	"ptcache_entries", "sched_components",
+	"server_queue_depth", "server_inflight",
 }
 
 // String returns the gauge's snake_case name.

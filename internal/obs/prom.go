@@ -31,6 +31,11 @@ var counterHelp = [NumCounters]string{
 	"Incremental re-solve queries.",
 	"Jmp store lookups.",
 	"Jmp store lookups that found a current-epoch entry.",
+	"Query requests admitted by the resident server.",
+	"Admitted requests answered by another request's computation.",
+	"Requests refused by admission control.",
+	"Requests whose deadline expired before their batch was answered.",
+	"Coalesced engine batches dispatched by the server.",
 }
 
 var gaugeHelp = [NumGauges]string{
@@ -44,6 +49,8 @@ var gaugeHelp = [NumGauges]string{
 	"Largest total jmp store size ever seen.",
 	"Published result-cache entries.",
 	"Direct-relation components touched by the last schedule.",
+	"Admitted server requests waiting to be dispatched.",
+	"Unique query variables in dispatched server batches.",
 }
 
 var timerHelp = [NumTimers]string{

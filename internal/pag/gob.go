@@ -1,0 +1,104 @@
+package pag
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Binary (gob) graph codec, used by internal/snapshot to persist a resident
+// service's PAG. Unlike the JSON form (WriteJSON/ReadJSON, which flattens to
+// an edge list and so only fixes per-destination adjacency order), the gob
+// form serialises both adjacency lists verbatim: a decoded graph traverses
+// its edges in exactly the order the original did. That is what makes a
+// warm-started server's answers byte-identical to the resident run's — the
+// solver's first-seen result ordering depends on adjacency order.
+
+// gobGraph is the wire form. The unfinished node O is serialised in place at
+// its real index (it may not be the last node on graphs that saw incremental
+// edits), so no index shifting is needed on either side.
+type gobGraph struct {
+	Nodes      []Node
+	In         [][]HalfEdge
+	Out        [][]HalfEdge
+	Unfinished NodeID
+}
+
+// WriteGob serialises the frozen graph in binary form.
+func (g *Graph) WriteGob(w io.Writer) error {
+	if !g.frozen {
+		return fmt.Errorf("pag: WriteGob on unfrozen graph")
+	}
+	bw := bufio.NewWriter(w)
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(gobGraph{Nodes: g.nodes, In: g.in, Out: g.out, Unfinished: g.unfinished}); err != nil {
+		return fmt.Errorf("pag: encoding graph: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadGob deserialises a graph written by WriteGob and returns it frozen.
+// The decoded graph is observationally identical to the one serialised:
+// same nodes, same adjacency orders, same per-field indexes.
+func ReadGob(r io.Reader) (*Graph, error) {
+	var jg gobGraph
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&jg); err != nil {
+		return nil, fmt.Errorf("pag: decoding graph: %w", err)
+	}
+	n := len(jg.Nodes)
+	if len(jg.In) != n || len(jg.Out) != n {
+		return nil, fmt.Errorf("pag: adjacency size mismatch (%d nodes, %d in, %d out)", n, len(jg.In), len(jg.Out))
+	}
+	if int(jg.Unfinished) >= n || jg.Nodes[jg.Unfinished].Kind != KindUnfinished {
+		return nil, fmt.Errorf("pag: serialised graph has no unfinished node at %d", jg.Unfinished)
+	}
+	g := NewGraph()
+	g.nodes = jg.Nodes
+	g.in = jg.In
+	g.out = jg.Out
+	g.unfinished = jg.Unfinished
+	// Rebuild the derived indexes from the in lists (destination-major, the
+	// same per-destination order AddEdge would have produced); Freeze sorts
+	// the per-field indexes with the same comparators the original graph
+	// used, so they come out identical.
+	inEdges, outEdges := 0, 0
+	for dst := range g.in {
+		for _, he := range g.in[dst] {
+			if int(he.Other) >= n {
+				return nil, fmt.Errorf("pag: edge references unknown node (%d <- %d)", dst, he.Other)
+			}
+			switch he.Kind {
+			case EdgeStore:
+				f := FieldID(he.Label)
+				g.storesByField[f] = append(g.storesByField[f], StoreSite{Base: NodeID(dst), Val: he.Other})
+				if f > g.fieldMax {
+					g.fieldMax = f
+				}
+			case EdgeLoad:
+				f := FieldID(he.Label)
+				g.loadsByField[f] = append(g.loadsByField[f], LoadSite{Base: he.Other, Dst: NodeID(dst)})
+				if f > g.fieldMax {
+					g.fieldMax = f
+				}
+			case EdgeParam, EdgeRet:
+				g.callSites[CallSiteID(he.Label)] = struct{}{}
+			}
+			inEdges++
+		}
+	}
+	for src := range g.out {
+		for _, he := range g.out[src] {
+			if int(he.Other) >= n {
+				return nil, fmt.Errorf("pag: edge references unknown node (%d -> %d)", src, he.Other)
+			}
+			outEdges++
+		}
+	}
+	if inEdges != outEdges {
+		return nil, fmt.Errorf("pag: adjacency lists disagree (%d in, %d out edges)", inEdges, outEdges)
+	}
+	g.numEdges = inEdges
+	g.Freeze()
+	return g, nil
+}

@@ -115,6 +115,42 @@ func (c *Cache) Put(k Key, set []pag.NodeCtx) {
 // add value-flow paths).
 func (c *Cache) BumpEpoch() { c.epoch.Add(1) }
 
+// Epoch returns the current epoch.
+func (c *Cache) Epoch() int64 { return c.epoch.Load() }
+
+// Exported is the serialisable form of one cache entry (see
+// internal/snapshot). Set is shared with the live entry and must be treated
+// as immutable.
+type Exported struct {
+	Key Key
+	Set []pag.NodeCtx
+}
+
+// Export returns the cache's current epoch and every entry visible in it.
+// Stale-epoch entries are dropped — a snapshot never resurrects them.
+func (c *Cache) Export() (epoch int64, entries []Exported) {
+	epoch = c.epoch.Load()
+	c.m.Range(func(k Key, e *entry) bool {
+		if e.epoch == epoch {
+			entries = append(entries, Exported{Key: k, Set: e.set})
+		}
+		return true
+	})
+	return epoch, entries
+}
+
+// Import warm-loads exported entries and restores the epoch. Intended for a
+// fresh, quiescent cache (snapshot restore).
+func (c *Cache) Import(epoch int64, entries []Exported) {
+	c.epoch.Store(epoch)
+	for _, x := range entries {
+		e := &entry{set: x.Set, epoch: epoch}
+		if _, inserted := c.m.PutIfAbsent(x.Key, e); inserted {
+			c.sink.SetGauge(obs.GaugePtcacheEntries, c.published.Add(1))
+		}
+	}
+}
+
 // Stats is a snapshot of the cache counters.
 type Stats struct {
 	Hits, Misses, Published int64

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client speaks the daemon's /v1 JSON API. It is a thin convenience over
+// net/http — safe for concurrent use, no state beyond the base URL.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient targets a daemon at base (e.g. "http://localhost:7070"). A nil
+// hc uses http.DefaultClient.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	return &Client{base: base, hc: hc}
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorReply
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("server: %s (%s)", e.Error, resp.Status)
+		}
+		return fmt.Errorf("server: %s", resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Query answers a batch of variables by name (positional results). A zero
+// timeout uses the server default.
+func (c *Client) Query(ctx context.Context, vars []string, timeout time.Duration) ([]VarResult, error) {
+	spec := QuerySpec{Vars: vars, TimeoutMS: timeout.Milliseconds()}
+	var reply QueryReply
+	if err := c.do(ctx, http.MethodPost, "/v1/query", &spec, &reply); err != nil {
+		return nil, err
+	}
+	if len(reply.Results) != len(vars) {
+		return nil, fmt.Errorf("server: %d results for %d vars", len(reply.Results), len(vars))
+	}
+	return reply.Results, nil
+}
+
+// Stats fetches the cumulative service stats.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var s Stats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &s)
+	return s, err
+}
+
+// SaveSnapshot asks the daemon to persist its warm state; an empty path
+// uses the daemon's configured destination. Returns where it landed.
+func (c *Client) SaveSnapshot(ctx context.Context, path string) (string, error) {
+	var reply SnapshotReply
+	err := c.do(ctx, http.MethodPost, "/v1/snapshot", &SnapshotSpec{Path: path}, &reply)
+	return reply.Path, err
+}
+
+// Vars lists the daemon's application query variables by name.
+func (c *Client) Vars(ctx context.Context) ([]string, error) {
+	var reply VarsReply
+	if err := c.do(ctx, http.MethodGet, "/v1/vars", nil, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Vars, nil
+}

@@ -1,0 +1,242 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"parcfl/internal/engine"
+	"parcfl/internal/pag"
+)
+
+// HTTP/JSON surface of the resident server. Variables travel by name
+// ("v3main") with decimal node IDs accepted as a fallback; objects come
+// back as names. The wire types live here and in the client package-side
+// functions below so cmd/parcflq and tests share one schema.
+
+// QuerySpec is the body of POST /v1/query: one variable or a batch.
+type QuerySpec struct {
+	// Var queries a single variable; Vars a batch. Exactly one of the two
+	// should be set.
+	Var  string   `json:"var,omitempty"`
+	Vars []string `json:"vars,omitempty"`
+	// TimeoutMS bounds the wait server-side (0 means the server default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// VarResult is one variable's answer on the wire.
+type VarResult struct {
+	Var      string   `json:"var"`
+	Objects  []string `json:"objects"`
+	Contexts int      `json:"contexts"`
+	Aborted  bool     `json:"aborted,omitempty"`
+	Steps    int      `json:"steps"`
+}
+
+// QueryReply is the body of a /v1/query response.
+type QueryReply struct {
+	Results []VarResult `json:"results"`
+}
+
+// SnapshotSpec is the body of POST /v1/snapshot.
+type SnapshotSpec struct {
+	// Path overrides the daemon's configured snapshot path when set.
+	Path string `json:"path,omitempty"`
+}
+
+// SnapshotReply reports where the snapshot landed.
+type SnapshotReply struct {
+	Path string `json:"path"`
+}
+
+// VarsReply is the body of GET /v1/vars.
+type VarsReply struct {
+	Vars []string `json:"vars"`
+}
+
+type errorReply struct {
+	Error string `json:"error"`
+}
+
+// HandlerConfig wires the HTTP surface.
+type HandlerConfig struct {
+	// SnapshotPath is the default destination for /v1/snapshot (required
+	// for that endpoint unless the request carries a path).
+	SnapshotPath string
+	// DefaultTimeout bounds queries that do not set timeout_ms (0 means
+	// 30s).
+	DefaultTimeout time.Duration
+	// Fallback, when non-nil, serves any path the API does not claim
+	// (e.g. obs.Handler for /metrics and /debug/*).
+	Fallback http.Handler
+}
+
+func (c HandlerConfig) timeout() time.Duration {
+	if c.DefaultTimeout <= 0 {
+		return 30 * time.Second
+	}
+	return c.DefaultTimeout
+}
+
+// apiHandler binds a Server to the HTTP surface.
+type apiHandler struct {
+	srv    *Server
+	cfg    HandlerConfig
+	byName map[string]pag.NodeID
+}
+
+// NewHandler returns the daemon's HTTP handler: /v1/query, /v1/stats,
+// /v1/snapshot and /v1/vars, with everything else delegated to
+// cfg.Fallback.
+func NewHandler(srv *Server, cfg HandlerConfig) http.Handler {
+	h := &apiHandler{srv: srv, cfg: cfg, byName: make(map[string]pag.NodeID)}
+	g := srv.Graph()
+	// First-name-wins matches the repl's lookup table; names are unique
+	// for query variables in practice.
+	for id := 0; id < g.NumNodes(); id++ {
+		if name := g.Node(pag.NodeID(id)).Name; name != "" {
+			if _, ok := h.byName[name]; !ok {
+				h.byName[name] = pag.NodeID(id)
+			}
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", h.handleQuery)
+	mux.HandleFunc("/v1/stats", h.handleStats)
+	mux.HandleFunc("/v1/snapshot", h.handleSnapshot)
+	mux.HandleFunc("/v1/vars", h.handleVars)
+	if cfg.Fallback != nil {
+		mux.Handle("/", cfg.Fallback)
+	}
+	return mux
+}
+
+func (h *apiHandler) resolve(name string) (pag.NodeID, bool) {
+	if id, ok := h.byName[name]; ok {
+		return id, true
+	}
+	if n, err := strconv.Atoi(name); err == nil && n >= 0 && n < h.srv.Graph().NumNodes() {
+		return pag.NodeID(n), true
+	}
+	return 0, false
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorReply{Error: err.Error()})
+}
+
+func (h *apiHandler) toWire(r engine.QueryResult) VarResult {
+	g := h.srv.Graph()
+	objs := make([]string, len(r.Objects))
+	for i, o := range r.Objects {
+		objs[i] = g.Node(o).Name
+	}
+	return VarResult{
+		Var: g.Node(r.Var).Name, Objects: objs, Contexts: r.Contexts,
+		Aborted: r.Aborted, Steps: r.Steps,
+	}
+}
+
+func (h *apiHandler) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var spec QuerySpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	names := spec.Vars
+	if spec.Var != "" {
+		names = append([]string{spec.Var}, names...)
+	}
+	if len(names) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("no var(s) given"))
+		return
+	}
+	vars := make([]pag.NodeID, len(names))
+	for i, name := range names {
+		id, ok := h.resolve(name)
+		if !ok {
+			writeErr(w, http.StatusNotFound, errors.New("unknown variable "+name))
+			return
+		}
+		vars[i] = id
+	}
+	timeout := h.cfg.timeout()
+	if spec.TimeoutMS > 0 {
+		timeout = time.Duration(spec.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	results, err := h.srv.QueryBatch(ctx, vars)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			status = http.StatusGatewayTimeout
+		case errors.Is(err, ErrOverloaded):
+			status = http.StatusTooManyRequests
+		case errors.Is(err, ErrClosed):
+			status = http.StatusServiceUnavailable
+		}
+		writeErr(w, status, err)
+		return
+	}
+	reply := QueryReply{Results: make([]VarResult, len(results))}
+	for i, res := range results {
+		reply.Results[i] = h.toWire(res)
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+func (h *apiHandler) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.srv.Stats())
+}
+
+func (h *apiHandler) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var spec SnapshotSpec
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	path := spec.Path
+	if path == "" {
+		path = h.cfg.SnapshotPath
+	}
+	if path == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("no snapshot path configured"))
+		return
+	}
+	if err := h.srv.SaveSnapshot(path, "api"); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotReply{Path: path})
+}
+
+func (h *apiHandler) handleVars(w http.ResponseWriter, r *http.Request) {
+	g := h.srv.Graph()
+	meta := h.srv.Meta()
+	names := make([]string, 0, len(meta.QueryVars))
+	for _, v := range meta.QueryVars {
+		names = append(names, g.Node(v).Name)
+	}
+	writeJSON(w, http.StatusOK, VarsReply{Vars: names})
+}

@@ -1,0 +1,469 @@
+// Package server turns the batch engine into a long-lived query service.
+//
+// The paper's engine answers one batch and exits; every invocation re-pays
+// PAG loading and jmp-edge warm-up. A resident Server instead keeps the
+// frozen graph, the shared jmp store and the cross-query result cache alive
+// between requests, so the data sharing of Algorithm 2 compounds across the
+// whole process lifetime (and, via internal/snapshot, across restarts).
+//
+// # Micro-batching
+//
+// The engine's scheduling win (sched.Schedule grouping queries whose
+// traversals overlap) only exists when queries arrive as a batch, but a
+// service receives them one at a time. The micro-batcher recovers the
+// batch: an admitted request parks in a pending map keyed by query
+// variable, and a single dispatcher goroutine waits one batch window for
+// stragglers before handing every distinct pending variable to engine.Run
+// as one sched-ordered batch. Concurrent requests for the same variable
+// coalesce onto one computation — both while queued and while already in
+// flight — and every waiter gets the one result.
+//
+// # Admission control and drain
+//
+// Admission is bounded: at most QueueDepth distinct variables may be
+// pending; beyond that Query fails fast with ErrOverloaded rather than
+// letting latency grow without bound. Each waiter honours its context, so a
+// deadline expiry returns promptly (the batch still completes and feeds any
+// other waiters; nothing leaks — replies go into buffered channels). Close
+// stops admission, lets the dispatcher finish every admitted request, and
+// only then returns: a drained server has answered everything it accepted.
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parcfl/internal/engine"
+	"parcfl/internal/obs"
+	"parcfl/internal/pag"
+	"parcfl/internal/ptcache"
+	"parcfl/internal/share"
+	"parcfl/internal/snapshot"
+)
+
+// Errors returned by Query.
+var (
+	// ErrClosed reports admission after Close.
+	ErrClosed = errors.New("server: closed")
+	// ErrOverloaded reports admission-control rejection (queue full).
+	ErrOverloaded = errors.New("server: overloaded")
+	// ErrUnknownVar reports a query for a node the graph does not have.
+	ErrUnknownVar = errors.New("server: unknown variable")
+)
+
+// Config tunes the resident service. The zero value serves: DQ mode,
+// GOMAXPROCS workers, paper-default thresholds, a 2ms batch window and a
+// 1024-variable queue.
+type Config struct {
+	// Mode is the engine mode; zero value Seq is almost never what a
+	// service wants, so New defaults it to DQ.
+	Mode    engine.Mode
+	Threads int
+	// Budget is the per-query step budget (0 disables).
+	Budget int
+	// TauF/TauU select jmp insertion thresholds (0 = paper defaults).
+	TauF, TauU int
+	// TypeLevels feeds DQ scheduling; nil degrades the heuristic, not
+	// correctness.
+	TypeLevels []int
+	// QueryVars is the application query census, published via Meta (and
+	// /v1/vars). Ignored when NewFromSnapshot already carries one.
+	QueryVars []pag.NodeID
+	// ContextK k-limits call strings.
+	ContextK int
+	// ResultCache additionally memoises whole result sets across queries.
+	ResultCache bool
+	// BatchWindow is how long the dispatcher waits after the first pending
+	// request for more to coalesce. 0 means 2ms; negative means dispatch
+	// immediately (useful in tests).
+	BatchWindow time.Duration
+	// MaxBatch caps distinct variables per engine.Run (0 means 256).
+	MaxBatch int
+	// QueueDepth caps distinct pending variables (0 means 1024).
+	QueueDepth int
+	// Obs receives server and engine metrics (nil disables, as usual).
+	Obs *obs.Sink
+}
+
+func (c Config) window() time.Duration {
+	if c.BatchWindow == 0 {
+		return 2 * time.Millisecond
+	}
+	if c.BatchWindow < 0 {
+		return 0
+	}
+	return c.BatchWindow
+}
+
+func (c Config) maxBatch() int {
+	if c.MaxBatch <= 0 {
+		return 256
+	}
+	return c.MaxBatch
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth <= 0 {
+		return 1024
+	}
+	return c.QueueDepth
+}
+
+// waiter is one admitted request: a buffered reply slot (the dispatcher's
+// send never blocks, so an abandoned waiter cannot leak a goroutine) plus
+// its admission time for wait/latency attribution.
+type waiter struct {
+	reply    chan engine.QueryResult
+	admitted time.Time
+}
+
+// Stats is the service-level cumulative view served by /v1/stats.
+type Stats struct {
+	// Requests/Coalesced/Rejected/Timeouts/Batches mirror the obs
+	// counters; see their help strings.
+	Requests  int64 `json:"requests"`
+	Coalesced int64 `json:"coalesced"`
+	Rejected  int64 `json:"rejected"`
+	Timeouts  int64 `json:"timeouts"`
+	Batches   int64 `json:"batches"`
+	// Queries is the distinct variables the engine actually solved.
+	Queries   int64 `json:"queries"`
+	Completed int64 `json:"completed"`
+	Aborted   int64 `json:"aborted"`
+	// TotalSteps/StepsSaved/JumpsTaken accumulate engine.Stats across all
+	// dispatched batches.
+	TotalSteps int64 `json:"total_steps"`
+	StepsSaved int64 `json:"steps_saved"`
+	JumpsTaken int64 `json:"jumps_taken"`
+	// EngineNS is wall time spent inside engine.Run.
+	EngineNS int64 `json:"engine_ns"`
+	// Share/Cache are the live stores' counters (not per-batch deltas).
+	Share share.Stats   `json:"share"`
+	Cache ptcache.Stats `json:"cache"`
+	// StoreEpoch is the jmp store's current epoch.
+	StoreEpoch int64 `json:"store_epoch"`
+	// Uptime of the server in nanoseconds.
+	UptimeNS int64 `json:"uptime_ns"`
+}
+
+// Server is the resident solver. Create with New or NewFromSnapshot; all
+// methods are safe for concurrent use.
+type Server struct {
+	cfg   Config
+	graph *pag.Graph
+	store *share.Store
+	cache *ptcache.Cache
+	meta  snapshot.Meta
+	sink  *obs.Sink
+	start time.Time
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signals the dispatcher: work pending or closing
+	pending  map[pag.NodeID][]waiter
+	order    []pag.NodeID // FIFO over distinct pending variables
+	inflight map[pag.NodeID][]waiter
+	closed   bool
+	done     chan struct{} // dispatcher exited
+
+	stats struct {
+		requests, coalesced, rejected, batches int64
+		// timeouts is atomic: recorded on waiter goroutines outside the
+		// server lock.
+		timeouts                           atomic.Int64
+		queries, completed, aborted        int64
+		totalSteps, stepsSaved, jumpsTaken int64
+		engineNS                           int64
+	}
+}
+
+// New builds a resident server around a frozen graph, creating a fresh jmp
+// store (for sharing modes) and, if configured, a fresh result cache.
+func New(g *pag.Graph, cfg Config) *Server {
+	return newServer(g, nil, nil, snapshot.Meta{TypeLevels: cfg.TypeLevels}, cfg)
+}
+
+// NewFromSnapshot builds a resident server around warm-loaded state: the
+// snapshot's graph, jmp store and result cache are used directly, and its
+// Meta fills any Config fields the caller left zero (TypeLevels, Budget,
+// ContextK) so a warm start replays the settings the state was recorded
+// under.
+func NewFromSnapshot(s *snapshot.Snapshot, cfg Config) *Server {
+	if cfg.TypeLevels == nil {
+		cfg.TypeLevels = s.Meta.TypeLevels
+	}
+	if cfg.Budget == 0 {
+		cfg.Budget = s.Meta.Budget
+	}
+	if cfg.ContextK == 0 {
+		cfg.ContextK = s.Meta.ContextK
+	}
+	return newServer(s.Graph, s.Store, s.Cache, s.Meta, cfg)
+}
+
+func newServer(g *pag.Graph, store *share.Store, cache *ptcache.Cache, meta snapshot.Meta, cfg Config) *Server {
+	if cfg.Mode == engine.Seq {
+		cfg.Mode = engine.DQ
+	}
+	sharing := cfg.Mode == engine.D || cfg.Mode == engine.DQ
+	if store == nil && sharing {
+		sc := share.DefaultConfig()
+		if cfg.TauF != 0 {
+			sc.TauF = max(cfg.TauF, 0)
+		}
+		if cfg.TauU != 0 {
+			sc.TauU = max(cfg.TauU, 0)
+		}
+		store = share.NewStore(sc)
+	}
+	if store != nil {
+		store.SetObs(cfg.Obs)
+	}
+	if cache == nil && cfg.ResultCache {
+		cache = ptcache.New(64)
+	}
+	if cache != nil {
+		cache.SetObs(cfg.Obs)
+	}
+	meta.TypeLevels = cfg.TypeLevels
+	meta.Budget = cfg.Budget
+	meta.ContextK = cfg.ContextK
+	if len(meta.QueryVars) == 0 {
+		meta.QueryVars = cfg.QueryVars
+	}
+	s := &Server{
+		cfg: cfg, graph: g, store: store, cache: cache, meta: meta,
+		sink: cfg.Obs, start: time.Now(),
+		pending:  make(map[pag.NodeID][]waiter),
+		inflight: make(map[pag.NodeID][]waiter),
+		done:     make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	go s.dispatch()
+	return s
+}
+
+// Graph returns the resident frozen graph (read-only by convention).
+func (s *Server) Graph() *pag.Graph { return s.graph }
+
+// Meta returns the serving metadata (query census, type levels, settings).
+func (s *Server) Meta() snapshot.Meta { return s.meta }
+
+// Query answers one points-to query, waiting until the coalesced batch that
+// contains it completes or ctx expires. A ctx expiry returns ctx.Err()
+// promptly and cleanly: the computation still completes and feeds any other
+// waiters on the same variable.
+func (s *Server) Query(ctx context.Context, v pag.NodeID) (engine.QueryResult, error) {
+	if v < 0 || int(v) >= s.graph.NumNodes() {
+		return engine.QueryResult{}, ErrUnknownVar
+	}
+	w := waiter{reply: make(chan engine.QueryResult, 1), admitted: time.Now()}
+
+	s.mu.Lock()
+	switch {
+	case s.closed:
+		s.stats.rejected++
+		s.mu.Unlock()
+		s.sink.Add(obs.CtrServerRejected, 1)
+		return engine.QueryResult{}, ErrClosed
+	case len(s.inflight[v]) > 0:
+		// Already being computed: ride the in-flight batch.
+		s.inflight[v] = append(s.inflight[v], w)
+		s.stats.requests++
+		s.stats.coalesced++
+		s.mu.Unlock()
+		s.sink.Add(obs.CtrServerRequests, 1)
+		s.sink.Add(obs.CtrServerCoalesced, 1)
+	case len(s.pending[v]) > 0:
+		// Already queued: join the pending entry.
+		s.pending[v] = append(s.pending[v], w)
+		s.stats.requests++
+		s.stats.coalesced++
+		s.mu.Unlock()
+		s.sink.Add(obs.CtrServerRequests, 1)
+		s.sink.Add(obs.CtrServerCoalesced, 1)
+	case len(s.order) >= s.cfg.queueDepth():
+		s.stats.rejected++
+		s.mu.Unlock()
+		s.sink.Add(obs.CtrServerRejected, 1)
+		return engine.QueryResult{}, ErrOverloaded
+	default:
+		s.pending[v] = []waiter{w}
+		s.order = append(s.order, v)
+		s.stats.requests++
+		depth := int64(len(s.order))
+		s.cond.Signal()
+		s.mu.Unlock()
+		s.sink.Add(obs.CtrServerRequests, 1)
+		s.sink.SetGauge(obs.GaugeServerQueueDepth, depth)
+	}
+
+	select {
+	case r := <-w.reply:
+		s.sink.Observe(obs.HistServerLatencyNS, time.Since(w.admitted).Nanoseconds())
+		return r, nil
+	case <-ctx.Done():
+		s.stats.timeouts.Add(1)
+		s.sink.Add(obs.CtrServerTimeouts, 1)
+		return engine.QueryResult{}, ctx.Err()
+	}
+}
+
+// QueryBatch answers several variables, admitting all of them up front (so
+// they coalesce into the same dispatch) and waiting for every answer.
+// Results are positional: out[i] answers vars[i]. The first admission or
+// wait error aborts the call.
+func (s *Server) QueryBatch(ctx context.Context, vars []pag.NodeID) ([]engine.QueryResult, error) {
+	out := make([]engine.QueryResult, len(vars))
+	errs := make([]error, len(vars))
+	var wg sync.WaitGroup
+	for i, v := range vars {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i], errs[i] = s.Query(ctx, v)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// dispatch is the micro-batcher: one goroutine that turns the pending map
+// into sched-ordered engine batches.
+func (s *Server) dispatch() {
+	defer close(s.done)
+	for {
+		s.mu.Lock()
+		for len(s.order) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.order) == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+
+		// Batch window: let concurrent arrivals pile up so the scheduler
+		// has a real batch to group. Skipped when closing — drain fast.
+		if w := s.cfg.window(); w > 0 {
+			s.mu.Lock()
+			closing := s.closed
+			s.mu.Unlock()
+			if !closing {
+				time.Sleep(w)
+			}
+		}
+
+		// Claim up to maxBatch distinct variables FIFO, moving their
+		// waiter lists pending→inflight so late arrivals for the same
+		// variables attach to this computation.
+		s.mu.Lock()
+		n := min(len(s.order), s.cfg.maxBatch())
+		batch := make([]pag.NodeID, n)
+		copy(batch, s.order[:n])
+		s.order = s.order[n:]
+		dispatched := time.Now()
+		for _, v := range batch {
+			s.inflight[v] = s.pending[v]
+			delete(s.pending, v)
+		}
+		s.stats.batches++
+		depth := int64(len(s.order))
+		s.mu.Unlock()
+
+		s.sink.Add(obs.CtrServerBatches, 1)
+		s.sink.SetGauge(obs.GaugeServerQueueDepth, depth)
+		s.sink.SetGauge(obs.GaugeServerInflight, int64(n))
+		s.sink.Observe(obs.HistServerBatchSize, int64(n))
+
+		results, mapping, stats := engine.RunMapped(s.graph, batch, engine.Config{
+			Mode: s.cfg.Mode, Threads: s.cfg.Threads, Budget: s.cfg.Budget,
+			TauF: s.cfg.TauF, TauU: s.cfg.TauU, TypeLevels: s.cfg.TypeLevels,
+			Store: s.store, Cache: s.cache, ResultCache: s.cache != nil,
+			ContextK: s.cfg.ContextK, Obs: s.sink,
+		})
+
+		// Fan out, then retire the in-flight entries. Replies are buffered
+		// size-1 channels with exactly one send each: never blocks, even
+		// for waiters that already gave up.
+		s.mu.Lock()
+		for i, v := range batch {
+			r := results[mapping[i]]
+			for _, w := range s.inflight[v] {
+				s.sink.Observe(obs.HistServerWaitNS, dispatched.Sub(w.admitted).Nanoseconds())
+				w.reply <- r
+			}
+			delete(s.inflight, v)
+		}
+		s.stats.queries += int64(stats.Queries)
+		s.stats.completed += int64(stats.Completed)
+		s.stats.aborted += int64(stats.Aborted)
+		s.stats.totalSteps += stats.TotalSteps
+		s.stats.stepsSaved += stats.StepsSaved
+		s.stats.jumpsTaken += stats.JumpsTaken
+		s.stats.engineNS += stats.Wall.Nanoseconds()
+		s.mu.Unlock()
+		s.sink.SetGauge(obs.GaugeServerInflight, 0)
+	}
+}
+
+// Close stops admission and drains: every request admitted before Close
+// gets its answer before Close returns. Idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	wasClosed := s.closed
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if !wasClosed {
+		<-s.done
+		return
+	}
+	<-s.done
+}
+
+// Stats returns the cumulative service view.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	out := Stats{
+		Requests: s.stats.requests, Coalesced: s.stats.coalesced,
+		Rejected: s.stats.rejected, Batches: s.stats.batches,
+		Queries: s.stats.queries, Completed: s.stats.completed,
+		Aborted: s.stats.aborted, TotalSteps: s.stats.totalSteps,
+		StepsSaved: s.stats.stepsSaved, JumpsTaken: s.stats.jumpsTaken,
+		EngineNS: s.stats.engineNS,
+	}
+	s.mu.Unlock()
+	out.Timeouts = s.stats.timeouts.Load()
+	out.UptimeNS = time.Since(s.start).Nanoseconds()
+	if s.store != nil {
+		out.Share = s.store.Snapshot()
+		out.StoreEpoch = s.store.Epoch()
+	}
+	if s.cache != nil {
+		out.Cache = s.cache.Snapshot()
+	}
+	return out
+}
+
+// Snapshot captures the resident state for persistence. Taken live: entries
+// inserted by a batch racing the save may or may not be included, which is
+// safe (they are pure accelerators).
+func (s *Server) Snapshot(label string) *snapshot.Snapshot {
+	meta := s.meta
+	meta.Label = label
+	meta.CreatedUnixNano = time.Now().UnixNano()
+	return &snapshot.Snapshot{Graph: s.graph, Store: s.store, Cache: s.cache, Meta: meta}
+}
+
+// SaveSnapshot atomically persists the resident state to path.
+func (s *Server) SaveSnapshot(path, label string) error {
+	return snapshot.Save(path, s.Snapshot(label))
+}

@@ -333,6 +333,56 @@ func (st *Store) ForEach(f func(Key, Entry) bool) {
 	})
 }
 
+// Exported is the serialisable form of one jmp entry, flattened for
+// persistence (see internal/snapshot). Targets is shared with the live
+// entry; exported entries must be treated as immutable.
+type Exported struct {
+	Key        Key
+	Unfinished bool
+	S          int
+	Targets    []pag.NodeCtx
+}
+
+// Export returns the store's current epoch and every entry visible in it,
+// for persistence. Stale-epoch entries are dropped here — they are already
+// invisible to Lookup, so a snapshot never resurrects them. Entries inserted
+// concurrently with the export may or may not be included (same contract as
+// ForEach); exporting a quiescent store is exact.
+func (st *Store) Export() (epoch int64, entries []Exported) {
+	epoch = st.epoch.Load()
+	st.ForEach(func(k Key, e Entry) bool {
+		entries = append(entries, Exported{Key: k, Unfinished: e.Unfinished, S: e.S, Targets: e.Targets})
+		return true
+	})
+	return epoch, entries
+}
+
+// Import warm-loads exported entries into the store and restores the epoch,
+// so a reloaded store resumes exactly where the exporting one left off —
+// same Epoch(), same visible entries. Intended for a fresh, quiescent store
+// (snapshot restore); entries bypass the TauF/TauU thresholds (they already
+// passed them when first recorded) but maintain the size gauges, insertion
+// counters and Fig. 7 histograms like live insertions do.
+func (st *Store) Import(epoch int64, entries []Exported) {
+	st.epoch.Store(epoch)
+	st.sink.SetGauge(obs.GaugeEpoch, epoch)
+	for _, x := range entries {
+		e := &Entry{Unfinished: x.Unfinished, S: x.S, Targets: x.Targets, epoch: epoch}
+		if !st.putCurrent(x.Key, e) {
+			st.insertLost.Add(1)
+			continue
+		}
+		st.noteInsert(x.Unfinished)
+		if x.Unfinished {
+			st.unfinishedAdded.Add(1)
+			st.histUnfinished[Bucket(x.S)].Add(1)
+		} else {
+			st.finishedAdded.Add(1)
+			st.histFinished[Bucket(x.S)].Add(1)
+		}
+	}
+}
+
 // NumJumps returns the total number of jmp edges recorded (Table I #Jumps).
 func (st *Store) NumJumps() int64 {
 	return st.finishedAdded.Load() + st.unfinishedAdded.Load()
