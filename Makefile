@@ -19,8 +19,10 @@ test:
 
 # The packages whose correctness depends on lock-free/striped-lock
 # discipline; everything else is single-threaded or covered transitively.
+# internal/kernel rides along because its Prep is shared read-only across
+# worker goroutines — the race detector proves no traversal mutates it.
 race:
-	$(GO) test -race ./internal/concurrent ./internal/share ./internal/engine ./internal/server
+	$(GO) test -race ./internal/concurrent ./internal/share ./internal/engine ./internal/server ./internal/kernel
 
 # Regenerate the benchmark-trajectory artifact (BENCH_runs.json).
 bench-json:

@@ -14,6 +14,11 @@
 // errors. Wall time is host-bound — when base and head come from different
 // machines, disable or loosen the wall gate (-wall-pct 0 / a large value)
 // and let the deterministic counters carry the comparison.
+//
+// Cells present only in head (a benchmark or mode added since the baseline
+// was recorded, e.g. a kernel-on row) are listed as "new in head (ungated)"
+// and never fail the gate; they start being gated once a baseline containing
+// them is recorded.
 package main
 
 import (

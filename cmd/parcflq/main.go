@@ -33,6 +33,7 @@ func main() {
 	list := flag.Int("list", 0, "list up to N queryable variables and exit (0 = off, negative = all)")
 	save := flag.String("save", "", "trigger a snapshot save (empty string with -save= uses the daemon's configured path)")
 	asJSON := flag.Bool("json", false, "print raw JSON instead of the human format")
+	retries := flag.Int("retries", 0, "retry overloaded (429) responses up to N extra times with jittered backoff")
 	flag.Parse()
 
 	base := *addr
@@ -40,6 +41,9 @@ func main() {
 		base = "http://" + base
 	}
 	cl := server.NewClient(base, nil)
+	if *retries > 0 {
+		cl = cl.WithRetry(server.RetryPolicy{MaxAttempts: 1 + *retries})
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout+5*time.Second)
 	defer cancel()
 

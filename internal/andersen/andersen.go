@@ -16,7 +16,7 @@ import (
 type Result struct {
 	g       *pag.Graph
 	objs    []pag.NodeID // dense object numbering
-	pts     []bitset     // per solver node
+	pts     []Bitset     // per solver node
 	numVars int
 }
 
@@ -27,7 +27,7 @@ func (r *Result) PointsTo(v pag.NodeID) []pag.NodeID {
 		return nil
 	}
 	var out []pag.NodeID
-	r.pts[v].forEach(func(oi int) {
+	r.pts[v].ForEach(func(oi int) {
 		out = append(out, r.objs[oi])
 	})
 	return out
@@ -47,7 +47,7 @@ func (r *Result) Alias(a, b pag.NodeID) bool {
 	if int(a) >= r.numVars || int(b) >= r.numVars {
 		return false
 	}
-	return r.pts[a].intersects(r.pts[b])
+	return r.pts[a].Intersects(r.pts[b])
 }
 
 // NumObjects returns the number of allocation sites.
@@ -69,7 +69,7 @@ type analyzer struct {
 	oidx map[pag.NodeID]int
 
 	succ   [][]int32 // inclusion (copy) edges
-	pts    []bitset
+	pts    []Bitset
 	loads  [][]access // per node: loads with this base
 	stores [][]access // per node: stores with this base
 
@@ -88,7 +88,7 @@ func Analyze(g *pag.Graph) *Result {
 		g:         g,
 		oidx:      make(map[pag.NodeID]int),
 		succ:      make([][]int32, n),
-		pts:       make([]bitset, n),
+		pts:       make([]Bitset, n),
 		loads:     make([][]access, n),
 		stores:    make([][]access, n),
 		fieldNode: make(map[fieldKey]int),
@@ -110,7 +110,7 @@ func Analyze(g *pag.Graph) *Result {
 			switch he.Kind {
 			case pag.EdgeNew:
 				oi := a.oidx[he.Other]
-				if a.pts[id].set(oi) {
+				if a.pts[id].Set(oi) {
 					a.push(id)
 				}
 			case pag.EdgeAssignLocal, pag.EdgeAssignGlobal, pag.EdgeParam, pag.EdgeRet:
@@ -126,7 +126,7 @@ func Analyze(g *pag.Graph) *Result {
 	}
 	// Ensure seeded nodes propagate even to already-added successors.
 	for id := 0; id < n; id++ {
-		if !a.pts[id].empty() {
+		if !a.pts[id].Empty() {
 			a.push(id)
 		}
 	}
@@ -157,7 +157,7 @@ func (a *analyzer) node(oi int, f pag.FieldID) int {
 	id := len(a.succ)
 	a.fieldNode[k] = id
 	a.succ = append(a.succ, nil)
-	a.pts = append(a.pts, bitset{})
+	a.pts = append(a.pts, Bitset{})
 	a.loads = append(a.loads, nil)
 	a.stores = append(a.stores, nil)
 	a.inW = append(a.inW, false)
@@ -173,7 +173,7 @@ func (a *analyzer) addEdge(src, dst int) {
 		}
 	}
 	a.succ[src] = append(a.succ[src], int32(dst))
-	if a.pts[dst].orChanged(a.pts[src]) {
+	if a.pts[dst].OrChanged(a.pts[src]) {
 		a.push(dst)
 	}
 }
@@ -187,19 +187,19 @@ func (a *analyzer) solve() {
 		// Resolve deferred heap constraints against the current set.
 		if n < len(a.loads) {
 			for _, ld := range a.loads[n] {
-				a.pts[n].forEach(func(oi int) {
+				a.pts[n].ForEach(func(oi int) {
 					a.addEdge(a.node(oi, ld.field), ld.other)
 				})
 			}
 			for _, st := range a.stores[n] {
-				a.pts[n].forEach(func(oi int) {
+				a.pts[n].ForEach(func(oi int) {
 					a.addEdge(st.other, a.node(oi, st.field))
 				})
 			}
 		}
 		// Propagate along inclusion edges.
 		for _, s := range a.succ[n] {
-			if a.pts[s].orChanged(a.pts[n]) {
+			if a.pts[s].OrChanged(a.pts[n]) {
 				a.push(int(s))
 			}
 		}

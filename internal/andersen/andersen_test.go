@@ -10,40 +10,40 @@ import (
 )
 
 func TestBitset(t *testing.T) {
-	var b bitset
-	if !b.empty() {
+	var b Bitset
+	if !b.Empty() {
 		t.Fatal("fresh bitset not empty")
 	}
-	if !b.set(3) || b.set(3) {
+	if !b.Set(3) || b.Set(3) {
 		t.Fatal("set(3) semantics wrong")
 	}
-	if !b.set(200) {
+	if !b.Set(200) {
 		t.Fatal("set(200) failed")
 	}
-	if !b.has(3) || !b.has(200) || b.has(4) || b.has(1000) {
+	if !b.Has(3) || !b.Has(200) || b.Has(4) || b.Has(1000) {
 		t.Fatal("has wrong")
 	}
-	if b.count() != 2 {
-		t.Fatalf("count = %d", b.count())
+	if b.Count() != 2 {
+		t.Fatalf("count = %d", b.Count())
 	}
-	var c bitset
-	c.set(64)
-	if !c.orChanged(b) {
+	var c Bitset
+	c.Set(64)
+	if !c.OrChanged(b) {
 		t.Fatal("orChanged should report growth")
 	}
-	if c.orChanged(b) {
+	if c.OrChanged(b) {
 		t.Fatal("second or should be a no-op")
 	}
-	if !c.intersects(b) {
+	if !c.Intersects(b) {
 		t.Fatal("intersects false negative")
 	}
-	var d bitset
-	d.set(65)
-	if d.intersects(b) {
+	var d Bitset
+	d.Set(65)
+	if d.Intersects(b) {
 		t.Fatal("intersects false positive")
 	}
 	var got []int
-	c.forEach(func(i int) { got = append(got, i) })
+	c.ForEach(func(i int) { got = append(got, i) })
 	want := []int{3, 64, 200}
 	if len(got) != len(want) {
 		t.Fatalf("forEach = %v", got)

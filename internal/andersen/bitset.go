@@ -1,89 +1,11 @@
 package andersen
 
-import "math/bits"
+import "parcfl/internal/bitset"
 
-// bitset is a growable dense bitset over object indexes.
-type bitset struct {
-	words []uint64
-}
+// Bitset is the dense points-to set representation of the Andersen solver;
+// the implementation lives in internal/bitset, shared with the kernel
+// traversal mode.
+type Bitset = bitset.Bitset
 
-func (b *bitset) empty() bool {
-	for _, w := range b.words {
-		if w != 0 {
-			return false
-		}
-	}
-	return true
-}
-
-// set sets bit i, reporting whether it was previously clear.
-func (b *bitset) set(i int) bool {
-	w := i >> 6
-	for w >= len(b.words) {
-		b.words = append(b.words, 0)
-	}
-	mask := uint64(1) << uint(i&63)
-	if b.words[w]&mask != 0 {
-		return false
-	}
-	b.words[w] |= mask
-	return true
-}
-
-// has reports whether bit i is set.
-func (b *bitset) has(i int) bool {
-	w := i >> 6
-	if w >= len(b.words) {
-		return false
-	}
-	return b.words[w]&(uint64(1)<<uint(i&63)) != 0
-}
-
-// orChanged ors o into b, reporting whether b grew.
-func (b *bitset) orChanged(o bitset) bool {
-	changed := false
-	for len(b.words) < len(o.words) {
-		b.words = append(b.words, 0)
-	}
-	for i, w := range o.words {
-		if nw := b.words[i] | w; nw != b.words[i] {
-			b.words[i] = nw
-			changed = true
-		}
-	}
-	return changed
-}
-
-// intersects reports whether b and o share a set bit.
-func (b *bitset) intersects(o bitset) bool {
-	n := len(b.words)
-	if len(o.words) < n {
-		n = len(o.words)
-	}
-	for i := 0; i < n; i++ {
-		if b.words[i]&o.words[i] != 0 {
-			return true
-		}
-	}
-	return false
-}
-
-// count returns the number of set bits.
-func (b *bitset) count() int {
-	n := 0
-	for _, w := range b.words {
-		n += bits.OnesCount64(w)
-	}
-	return n
-}
-
-// forEach calls f with each set bit index, ascending.
-func (b *bitset) forEach(f func(int)) {
-	for wi, w := range b.words {
-		for w != 0 {
-			i := bits.TrailingZeros64(w)
-			f(wi<<6 + i)
-			w &^= 1 << uint(i)
-		}
-	}
-}
+// BitsetFromWords re-exports bitset.BitsetFromWords.
+func BitsetFromWords(words []uint64) Bitset { return bitset.FromWords(words) }

@@ -1,0 +1,43 @@
+package cfl
+
+import (
+	"testing"
+
+	"parcfl/internal/kernel"
+	"parcfl/internal/pag"
+)
+
+// TestKernelModeAllocsBelowMapMode pins the kernel's allocation win: the
+// bitset frontier (slot-interned planes over slab-backed words, bump-pooled
+// comps) must allocate strictly less per query than the NodeCtx-keyed map
+// traversal on the same workload. This is the contract the bench grid's
+// allocs_per_op column reports; a regression here means the pools stopped
+// being pools.
+func TestKernelModeAllocsBelowMapMode(t *testing.T) {
+	lo := lowerRandom(t, 3)
+	prep := kernel.Build(lo.Graph)
+	plain := New(lo.Graph, Config{Budget: 75000})
+	kern := New(lo.Graph, Config{Budget: 75000, Kernel: prep})
+	vars := lo.AppQueryVars
+	if len(vars) == 0 {
+		t.Skip("no query vars in random program")
+	}
+
+	run := func(s *Solver) float64 {
+		return testing.AllocsPerRun(10, func() {
+			for _, v := range vars {
+				s.PointsTo(v, pag.EmptyContext)
+			}
+		})
+	}
+	// Warm both solvers once so one-time growth (slot tables, pool chunks)
+	// does not count against either side.
+	run(plain)
+	run(kern)
+	plainAllocs, kernAllocs := run(plain), run(kern)
+
+	if kernAllocs >= plainAllocs {
+		t.Fatalf("kernel mode allocates %.0f/run, map mode %.0f/run — kernel should be below",
+			kernAllocs, plainAllocs)
+	}
+}

@@ -1,6 +1,8 @@
 package cfl
 
 import (
+	"parcfl/internal/bitset"
+	"parcfl/internal/kernel"
 	"parcfl/internal/obs"
 	"parcfl/internal/pag"
 	"parcfl/internal/ptcache"
@@ -48,7 +50,7 @@ type comp struct {
 	order []pag.NodeCtx
 
 	// dependents are computations that consulted this one and must be
-	// re-evaluated when the set grows.
+	// re-evaluated when the set grows (allocated on first dependency).
 	dependents map[*comp]struct{}
 
 	// visited/vlist are the traversal frontier: every (node, ctx) pair
@@ -60,8 +62,25 @@ type comp struct {
 	// expansion) already happened.
 	stepped map[pag.NodeCtx]struct{}
 	// charged marks jmp shortcuts whose step cost was already added, so
-	// rescans do not charge twice.
+	// rescans do not charge twice (allocated on first charge).
 	charged map[share.Key]struct{}
+
+	// kern switches the three membership structures above (set, visited,
+	// stepped) from NodeCtx-keyed maps to per-context bitsets over
+	// query-local slot indexes (see query.kidx). root holds the bit-plane
+	// triple of the first context this computation touches — most
+	// computations only ever see a handful — and others carries the rest
+	// (linear-scanned; context fan-out per computation is small);
+	// lastCtx/last cache the previous lookup. order/vlist/charged and the
+	// witness tables are unchanged: the traversal is identical, only set
+	// membership is dense.
+	kern    bool
+	rootOK  bool
+	rootCtx pag.Context
+	root    kctx
+	others  []ctxPlane
+	lastCtx pag.Context
+	last    *kctx
 
 	// parent and objSrc are witness-recording tables (allocated only when
 	// the query runs with witnesses enabled): parent maps each traversal
@@ -72,7 +91,120 @@ type comp struct {
 	objSrc map[pag.NodeCtx]pag.NodeCtx
 }
 
-func (c *comp) add(nc pag.NodeCtx) bool {
+// kctx is the kernel-mode membership plane for one context: the same three
+// sets comp keeps as maps, as bitsets over query-local slot indexes.
+type kctx struct {
+	set, visited, stepped kernel.Bitset
+}
+
+// ctxPlane pairs a non-root context with its bit-plane triple.
+type ctxPlane struct {
+	ctx pag.Context
+	k   *kctx
+}
+
+// kidx interns node n into the current query's slot space: the first touch
+// of a node assigns the next sequential index, so the bit planes below span
+// only the nodes this query actually visits, in first-touch order — not the
+// whole graph. The tables live on the Solver (sized once, to the node
+// count) and are invalidated wholesale between queries by bumping the
+// generation stamp.
+func (q *query) kidx(n pag.NodeID) int {
+	s := q.s
+	if s.kgen[n] != s.kq {
+		s.kgen[n] = s.kq
+		s.kslot[n] = s.knext
+		s.knext++
+	}
+	return int(s.kslot[n])
+}
+
+// newComp hands out a zeroed comp from the query's bump pool.
+func (q *query) newComp() *comp {
+	if len(q.compPool) == 0 {
+		q.compPool = make([]comp, 64)
+	}
+	c := &q.compPool[0]
+	q.compPool = q.compPool[1:]
+	return c
+}
+
+// allocKctx hands out a kctx from the query's bump pool (one real
+// allocation per chunk of 128; pointers into the chunk keep it alive).
+func (q *query) allocKctx() *kctx {
+	if len(q.kctxPool) == 0 {
+		q.kctxPool = make([]kctx, 128)
+	}
+	k := &q.kctxPool[0]
+	q.kctxPool = q.kctxPool[1:]
+	return k
+}
+
+// newPlanes backs a fresh bit-plane triple with words carved from the
+// query's slab pool, each plane pre-sized to the query's current slot count
+// — a computation created mid-query immediately holds planes wide enough
+// for every slot interned so far, so regrowth is rare, and thousands of
+// plane allocations collapse into a few pool refills. A plane that does
+// outgrow its carved capacity reallocates independently (the carve is
+// capacity-limited), never clobbering its slab neighbours.
+func (q *query) newPlanes(k *kctx) {
+	w := int(q.s.knext)>>6 + 1
+	if len(q.slabPool) < 3*w {
+		n := 4096
+		if 3*w > n {
+			n = 3 * w
+		}
+		q.slabPool = make([]uint64, n)
+	}
+	slab := q.slabPool[:3*w]
+	q.slabPool = q.slabPool[3*w:]
+	k.set = bitset.FromWords(slab[0:w:w])
+	k.visited = bitset.FromWords(slab[w : 2*w : 2*w])
+	k.stepped = bitset.FromWords(slab[2*w : 3*w : 3*w])
+}
+
+// bits returns c's kernel-mode bit-plane for ctx, creating it on first use.
+// The first context is stored inline and the rest are linear-scanned — a
+// map would cost an allocation and a string hash per lookup for fan-outs
+// that are nearly always in the single digits.
+func (q *query) bits(c *comp, ctx pag.Context) *kctx {
+	if c.last != nil && c.lastCtx == ctx {
+		return c.last
+	}
+	var k *kctx
+	switch {
+	case !c.rootOK:
+		c.rootOK, c.rootCtx = true, ctx
+		k = &c.root
+		q.newPlanes(k)
+	case c.rootCtx == ctx:
+		k = &c.root
+	default:
+		for _, p := range c.others {
+			if p.ctx == ctx {
+				k = p.k
+				break
+			}
+		}
+		if k == nil {
+			k = q.allocKctx()
+			q.newPlanes(k)
+			c.others = append(c.others, ctxPlane{ctx: ctx, k: k})
+		}
+	}
+	c.lastCtx, c.last = ctx, k
+	return k
+}
+
+// addResult adds nc to c's result set, reporting whether it was new.
+func (q *query) addResult(c *comp, nc pag.NodeCtx) bool {
+	if c.kern {
+		if !q.bits(c, nc.Ctx).set.Set(q.kidx(nc.Node)) {
+			return false
+		}
+		c.order = append(c.order, nc)
+		return true
+	}
 	if _, ok := c.set[nc]; ok {
 		return false
 	}
@@ -81,12 +213,41 @@ func (c *comp) add(nc pag.NodeCtx) bool {
 	return true
 }
 
-func (c *comp) push(nc pag.NodeCtx) {
+// pushItem enqueues nc on c's frontier unless already visited.
+func (q *query) pushItem(c *comp, nc pag.NodeCtx) {
+	if c.kern {
+		if q.bits(c, nc.Ctx).visited.Set(q.kidx(nc.Node)) {
+			c.vlist = append(c.vlist, nc)
+		}
+		return
+	}
 	if _, ok := c.visited[nc]; ok {
 		return
 	}
 	c.visited[nc] = struct{}{}
 	c.vlist = append(c.vlist, nc)
+}
+
+// seenItem reports whether nc has ever been enqueued on c's frontier.
+func (q *query) seenItem(c *comp, nc pag.NodeCtx) bool {
+	if c.kern {
+		return q.bits(c, nc.Ctx).visited.Has(q.kidx(nc.Node))
+	}
+	_, ok := c.visited[nc]
+	return ok
+}
+
+// firstScan marks nc's first full scan (budget step + direct-edge
+// expansion), reporting whether this call was that first scan.
+func (q *query) firstScan(c *comp, nc pag.NodeCtx) bool {
+	if c.kern {
+		return q.bits(c, nc.Ctx).stepped.Set(q.kidx(nc.Node))
+	}
+	if _, done := c.stepped[nc]; done {
+		return false
+	}
+	c.stepped[nc] = struct{}{}
+	return true
 }
 
 // frame is an in-progress alias expansion, the query-local S of
@@ -132,6 +293,11 @@ type query struct {
 	recording bool
 	// wit enables witness recording (see Explain).
 	wit bool
+	// kctxPool/slabPool/compPool are kernel-mode bump pools (see
+	// allocKctx/newPlanes/newComp); nil and unused in map mode.
+	kctxPool []kctx
+	slabPool []uint64
+	compPool []comp
 	// prof accumulates budget attribution (nil unless Config.Profile);
 	// every hook site guards on the pointer so the off path costs one
 	// comparison.
@@ -148,6 +314,12 @@ func newQuery(s *Solver) *query {
 	}
 	if s.cfg.Profile {
 		q.prof = newQueryProf()
+	}
+	if s.cfg.Kernel != nil {
+		// New query generation: every slot assignment of the previous
+		// query is invalidated by the stamp bump, no clearing needed.
+		s.kq++
+		s.knext = 0
 	}
 	return q
 }
@@ -169,11 +341,10 @@ func (q *query) run(k compKey) *comp {
 		}
 		if set, ok := pc.Get(ck); ok {
 			c := &comp{
-				key:        k,
-				state:      compDone,
-				cached:     true,
-				order:      set,
-				dependents: make(map[*comp]struct{}),
+				key:    k,
+				state:  compDone,
+				cached: true,
+				order:  set,
 			}
 			q.comps[k] = c
 			// A cache hit costs one traversal step. Attribute before
@@ -185,21 +356,27 @@ func (q *query) run(k compKey) *comp {
 			return c
 		}
 	}
-	c := &comp{
-		key:        k,
-		state:      compRunning,
-		set:        make(map[pag.NodeCtx]struct{}),
-		dependents: make(map[*comp]struct{}),
-		visited:    make(map[pag.NodeCtx]struct{}),
-		stepped:    make(map[pag.NodeCtx]struct{}),
-		charged:    make(map[share.Key]struct{}),
+	var c *comp
+	if q.s.cfg.Kernel != nil {
+		c = q.newComp()
+		c.key = k
+		c.state = compRunning
+		c.kern = true
+	} else {
+		c = &comp{
+			key:     k,
+			state:   compRunning,
+			set:     make(map[pag.NodeCtx]struct{}),
+			visited: make(map[pag.NodeCtx]struct{}),
+			stepped: make(map[pag.NodeCtx]struct{}),
+		}
 	}
 	if q.wit {
 		c.parent = make(map[pag.NodeCtx]parentInfo)
 		c.objSrc = make(map[pag.NodeCtx]pag.NodeCtx)
 	}
 	q.comps[k] = c
-	c.push(pag.NodeCtx{Node: k.node, Ctx: k.ctx})
+	q.pushItem(c, pag.NodeCtx{Node: k.node, Ctx: k.ctx})
 	q.eval(c)
 	c.state = compDone
 	return c
@@ -230,12 +407,15 @@ func (q *query) publishCache() {
 // computation like pts(p) for `p = p.next` consults its own partial result,
 // and growing it later must trigger a rescan of the consulting expansion.
 func (q *query) depend(dep, consumer *comp) {
+	if dep.dependents == nil {
+		dep.dependents = make(map[*comp]struct{})
+	}
 	dep.dependents[consumer] = struct{}{}
 }
 
 // grow adds nc to c's result set, dirtying dependents on growth.
 func (q *query) grow(c *comp, nc pag.NodeCtx) {
-	if !c.add(nc) {
+	if !q.addResult(c, nc) {
 		return
 	}
 	for d := range c.dependents {
@@ -247,11 +427,58 @@ func (q *query) grow(c *comp, nc pag.NodeCtx) {
 // described by label, recording provenance when witnesses are enabled.
 func (q *query) pushEdge(c *comp, nc, from pag.NodeCtx, label string) {
 	if q.wit {
-		if _, seen := c.visited[nc]; !seen {
+		if !q.seenItem(c, nc) {
 			c.parent[nc] = parentInfo{from: from, label: label}
 		}
 	}
-	c.push(nc)
+	q.pushItem(c, nc)
+}
+
+// pushEdgeK is pushEdgeHE for a push that stays on an already-resolved
+// kernel plane k (the pushed item's context equals the plane's context):
+// the membership test hits k's bitsets directly instead of re-resolving the
+// plane through bits. Callers in map mode pass k == nil and fall through to
+// the generic path.
+func (q *query) pushEdgeK(c *comp, k *kctx, nc, from pag.NodeCtx, he pag.HalfEdge) {
+	if k == nil {
+		q.pushEdgeHE(c, nc, from, he)
+		return
+	}
+	i := q.kidx(nc.Node)
+	if q.wit && !k.visited.Has(i) {
+		c.parent[nc] = parentInfo{from: from, label: edgeLabel(he.Kind, he.Label)}
+	}
+	if k.visited.Set(i) {
+		c.vlist = append(c.vlist, nc)
+	}
+}
+
+// growK is grow for a result that stays on an already-resolved kernel
+// plane k; see pushEdgeK.
+func (q *query) growK(c *comp, k *kctx, nc pag.NodeCtx) {
+	if k == nil {
+		q.grow(c, nc)
+		return
+	}
+	if !k.set.Set(q.kidx(nc.Node)) {
+		return
+	}
+	c.order = append(c.order, nc)
+	for d := range c.dependents {
+		q.markDirty(d)
+	}
+}
+
+// pushEdgeHE is pushEdge for a PAG half-edge: the label string is rendered
+// only on the witness path — formatting it eagerly for every edge push was
+// a double-digit share of solver CPU on witness-less batch runs.
+func (q *query) pushEdgeHE(c *comp, nc, from pag.NodeCtx, he pag.HalfEdge) {
+	if q.wit {
+		if !q.seenItem(c, nc) {
+			c.parent[nc] = parentInfo{from: from, label: edgeLabel(he.Kind, he.Label)}
+		}
+	}
+	q.pushItem(c, nc)
 }
 
 // markDirty queues c for re-evaluation. A computation that is still running
@@ -345,9 +572,16 @@ func (q *query) eval(c *comp) {
 			p.nodes[it.Node]++
 		}
 		q.step()
-		if _, done := c.stepped[it]; !done {
-			c.stepped[it] = struct{}{}
-			q.expandDirect(c, it)
+		if c.kern {
+			// Resolve the plane for it.Ctx once: expandDirect's pushes that
+			// keep the item's context reuse it, skipping the context compare
+			// in bits (the dominant cost of the kernel hot loop otherwise).
+			k := q.bits(c, it.Ctx)
+			if k.stepped.Set(q.kidx(it.Node)) {
+				q.expandDirect(c, k, it)
+			}
+		} else if q.firstScan(c, it) {
+			q.expandDirect(c, nil, it)
 		}
 		for _, r := range q.reachable(c, it) {
 			q.pushEdge(c, r, it, "heap")
@@ -355,13 +589,62 @@ func (q *query) eval(c *comp) {
 	}
 }
 
+// Edge-slice selection: in kernel mode the loops below walk the Prep's
+// filtered CSR rows instead of the graph's mixed-kind adjacency lists. The
+// kernel rows preserve per-node edge order and only drop edges the loop
+// bodies skip anyway (their kind filters stay in place, passing trivially),
+// so both modes traverse identically.
+
+func (q *query) dirIn(n pag.NodeID) []pag.HalfEdge {
+	if k := q.s.cfg.Kernel; k != nil {
+		return k.DirIn(n)
+	}
+	return q.g.In(n)
+}
+
+func (q *query) dirOut(n pag.NodeID) []pag.HalfEdge {
+	if k := q.s.cfg.Kernel; k != nil {
+		return k.DirOut(n)
+	}
+	return q.g.Out(n)
+}
+
+func (q *query) loadsIn(n pag.NodeID) []pag.HalfEdge {
+	if k := q.s.cfg.Kernel; k != nil {
+		return k.LoadIn(n)
+	}
+	return q.g.In(n)
+}
+
+func (q *query) storesOut(n pag.NodeID) []pag.HalfEdge {
+	if k := q.s.cfg.Kernel; k != nil {
+		return k.StoreOut(n)
+	}
+	return q.g.Out(n)
+}
+
+func (q *query) storesIn(n pag.NodeID) []pag.HalfEdge {
+	if k := q.s.cfg.Kernel; k != nil {
+		return k.StoreIn(n)
+	}
+	return q.g.In(n)
+}
+
+func (q *query) loadsOut(n pag.NodeID) []pag.HalfEdge {
+	if k := q.s.cfg.Kernel; k != nil {
+		return k.LoadOut(n)
+	}
+	return q.g.Out(n)
+}
+
 // expandDirect traverses the new/assign/param/ret edges at item it,
 // implementing lines 7–15 of Algorithm 1 (backward) and their mirror image
-// (forward).
-func (q *query) expandDirect(c *comp, it pag.NodeCtx) {
+// (forward). In kernel mode the caller passes it.Ctx's resolved plane k
+// (nil in map mode): pushes that keep the item's context use it directly.
+func (q *query) expandDirect(c *comp, k *kctx, it pag.NodeCtx) {
 	switch c.key.kind {
 	case kindPts:
-		for _, he := range q.g.In(it.Node) {
+		for _, he := range q.dirIn(it.Node) {
 			switch he.Kind {
 			case pag.EdgeNew:
 				// x <-new- o: o (under the current context) is in
@@ -372,58 +655,58 @@ func (q *query) expandDirect(c *comp, it pag.NodeCtx) {
 						c.objSrc[fact] = it
 					}
 				}
-				q.grow(c, fact)
+				q.growK(c, k, fact)
 			case pag.EdgeAssignLocal:
-				q.pushEdge(c, pag.NodeCtx{Node: he.Other, Ctx: it.Ctx}, it, edgeLabel(he.Kind, he.Label))
+				q.pushEdgeK(c, k, pag.NodeCtx{Node: he.Other, Ctx: it.Ctx}, it, he)
 			case pag.EdgeAssignGlobal:
 				// Globals are context-insensitive: clear the context.
-				q.pushEdge(c, pag.NodeCtx{Node: he.Other, Ctx: pag.EmptyContext}, it, edgeLabel(he.Kind, he.Label))
+				q.pushEdgeHE(c, pag.NodeCtx{Node: he.Other, Ctx: pag.EmptyContext}, it, he)
 			case pag.EdgeParam:
 				// Moving formal -> actual exits the callee at site i:
 				// pop a matching site, or continue unbalanced on an
 				// empty context.
 				i := pag.CallSiteID(he.Label)
 				if it.Ctx.Empty() {
-					q.pushEdge(c, pag.NodeCtx{Node: he.Other, Ctx: pag.EmptyContext}, it, edgeLabel(he.Kind, he.Label))
+					q.pushEdgeHE(c, pag.NodeCtx{Node: he.Other, Ctx: pag.EmptyContext}, it, he)
 				} else if it.Ctx.Top() == i {
-					q.pushEdge(c, pag.NodeCtx{Node: he.Other, Ctx: it.Ctx.Pop()}, it, edgeLabel(he.Kind, he.Label))
+					q.pushEdgeHE(c, pag.NodeCtx{Node: he.Other, Ctx: it.Ctx.Pop()}, it, he)
 				}
 			case pag.EdgeRet:
 				// Moving receiver -> callee return enters the callee
 				// at site i: push (k-limited when configured).
-				q.pushEdge(c, pag.NodeCtx{Node: he.Other, Ctx: it.Ctx.PushK(pag.CallSiteID(he.Label), q.s.cfg.ContextK)}, it, edgeLabel(he.Kind, he.Label))
+				q.pushEdgeHE(c, pag.NodeCtx{Node: he.Other, Ctx: it.Ctx.PushK(pag.CallSiteID(he.Label), q.s.cfg.ContextK)}, it, he)
 			}
 		}
 	case kindFls:
 		if q.g.Node(it.Node).Kind.IsVariable() {
 			// Every variable reached forward is an element of the
 			// flowsTo set.
-			q.grow(c, it)
+			q.growK(c, k, it)
 		}
 		// All forward pushes go through pushEdge so parent provenance is
 		// recorded for witness queries, exactly as in the backward branch
 		// (Explain/ExplainFlows reconstruct paths from it).
-		for _, he := range q.g.Out(it.Node) {
+		for _, he := range q.dirOut(it.Node) {
 			switch he.Kind {
 			case pag.EdgeNew:
 				// o -new-> l: the object starts flowing at l.
-				q.pushEdge(c, pag.NodeCtx{Node: he.Other, Ctx: it.Ctx}, it, edgeLabel(he.Kind, he.Label))
+				q.pushEdgeK(c, k, pag.NodeCtx{Node: he.Other, Ctx: it.Ctx}, it, he)
 			case pag.EdgeAssignLocal:
-				q.pushEdge(c, pag.NodeCtx{Node: he.Other, Ctx: it.Ctx}, it, edgeLabel(he.Kind, he.Label))
+				q.pushEdgeK(c, k, pag.NodeCtx{Node: he.Other, Ctx: it.Ctx}, it, he)
 			case pag.EdgeAssignGlobal:
-				q.pushEdge(c, pag.NodeCtx{Node: he.Other, Ctx: pag.EmptyContext}, it, edgeLabel(he.Kind, he.Label))
+				q.pushEdgeHE(c, pag.NodeCtx{Node: he.Other, Ctx: pag.EmptyContext}, it, he)
 			case pag.EdgeParam:
 				// Moving actual -> formal enters the callee: push
 				// (k-limited when configured).
-				q.pushEdge(c, pag.NodeCtx{Node: he.Other, Ctx: it.Ctx.PushK(pag.CallSiteID(he.Label), q.s.cfg.ContextK)}, it, edgeLabel(he.Kind, he.Label))
+				q.pushEdgeHE(c, pag.NodeCtx{Node: he.Other, Ctx: it.Ctx.PushK(pag.CallSiteID(he.Label), q.s.cfg.ContextK)}, it, he)
 			case pag.EdgeRet:
 				// Moving callee return -> receiver exits the callee:
 				// pop a matching site, or continue on empty.
 				i := pag.CallSiteID(he.Label)
 				if it.Ctx.Empty() {
-					q.pushEdge(c, pag.NodeCtx{Node: he.Other, Ctx: pag.EmptyContext}, it, edgeLabel(he.Kind, he.Label))
+					q.pushEdgeHE(c, pag.NodeCtx{Node: he.Other, Ctx: pag.EmptyContext}, it, he)
 				} else if it.Ctx.Top() == i {
-					q.pushEdge(c, pag.NodeCtx{Node: he.Other, Ctx: it.Ctx.Pop()}, it, edgeLabel(he.Kind, he.Label))
+					q.pushEdgeHE(c, pag.NodeCtx{Node: he.Other, Ctx: it.Ctx.Pop()}, it, he)
 				}
 			}
 		}

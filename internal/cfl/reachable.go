@@ -52,6 +52,9 @@ func (q *query) reachable(owner *comp, it pag.NodeCtx) []pag.NodeCtx {
 				// exactly as in the paper.
 				if !q.recording {
 					if _, done := owner.charged[key]; !done {
+						if owner.charged == nil {
+							owner.charged = make(map[share.Key]struct{})
+						}
 						owner.charged[key] = struct{}{}
 						if p := q.prof; p != nil {
 							p.jumps = append(p.jumps, JmpCharge{Key: key, S: e.S})
@@ -88,6 +91,12 @@ func (q *query) reachable(owner *comp, it pag.NodeCtx) []pag.NodeCtx {
 // store forward), so reachable can skip the sharing machinery on the vast
 // majority of nodes.
 func (q *query) hasHeapEdges(kind compKind, n pag.NodeID) bool {
+	if k := q.s.cfg.Kernel; k != nil {
+		if kind == kindPts {
+			return k.HasLoadIn(n)
+		}
+		return k.HasStoreOut(n)
+	}
 	if kind == kindPts {
 		for _, he := range q.g.In(n) {
 			if he.Kind == pag.EdgeLoad {
@@ -113,7 +122,7 @@ func (q *query) expandHeap(kind compKind, owner *comp, it pag.NodeCtx) []pag.Nod
 	case kindPts:
 		// it.Node is x with loads x = p.f: anything stored into field f
 		// of an object p points to is reachable.
-		for _, he := range q.g.In(it.Node) {
+		for _, he := range q.loadsIn(it.Node) {
 			if he.Kind != pag.EdgeLoad {
 				continue
 			}
@@ -148,7 +157,7 @@ func (q *query) expandHeap(kind compKind, owner *comp, it pag.NodeCtx) []pag.Nod
 					}
 					q.step()
 					// vc.Node aliases p; match stores vc.Node.f = y.
-					for _, she := range q.g.In(vc.Node) {
+					for _, she := range q.storesIn(vc.Node) {
 						if she.Kind == pag.EdgeStore && pag.FieldID(she.Label) == f {
 							rch = append(rch, pag.NodeCtx{Node: she.Other, Ctx: vc.Ctx})
 						}
@@ -160,7 +169,7 @@ func (q *query) expandHeap(kind compKind, owner *comp, it pag.NodeCtx) []pag.Nod
 		// it.Node is y with stores q'.f = y: the value flows into field
 		// f of every object q' points to, and out of every load on an
 		// alias of q'.
-		for _, he := range q.g.Out(it.Node) {
+		for _, he := range q.storesOut(it.Node) {
 			if he.Kind != pag.EdgeStore {
 				continue
 			}
@@ -191,7 +200,7 @@ func (q *query) expandHeap(kind compKind, owner *comp, it pag.NodeCtx) []pag.Nod
 					}
 					q.step()
 					// vc.Node aliases base; match loads x = vc.Node.f.
-					for _, lhe := range q.g.Out(vc.Node) {
+					for _, lhe := range q.loadsOut(vc.Node) {
 						if lhe.Kind == pag.EdgeLoad && pag.FieldID(lhe.Label) == f {
 							rch = append(rch, pag.NodeCtx{Node: lhe.Other, Ctx: vc.Ctx})
 						}
@@ -201,6 +210,24 @@ func (q *query) expandHeap(kind compKind, owner *comp, it pag.NodeCtx) []pag.Nod
 		}
 	}
 	return rch
+}
+
+// fieldStores/fieldLoads select the program-wide per-field site index: the
+// Prep's CSR rows (slice-indexed) in kernel mode, the graph's maps otherwise.
+// Both hold the same sites in the same frozen order.
+
+func (q *query) fieldStores(f pag.FieldID) []pag.StoreSite {
+	if k := q.s.cfg.Kernel; k != nil {
+		return k.StoresOf(f)
+	}
+	return q.g.StoresOf(f)
+}
+
+func (q *query) fieldLoads(f pag.FieldID) []pag.LoadSite {
+	if k := q.s.cfg.Kernel; k != nil {
+		return k.LoadsOf(f)
+	}
+	return q.g.LoadsOf(f)
 }
 
 // noteApprox records that field f was matched approximately.
@@ -220,7 +247,7 @@ func (q *query) noteApprox(f pag.FieldID) {
 // to fan-in.
 func (q *query) approxMatchLoad(rch []pag.NodeCtx, n pag.NodeID, f pag.FieldID) []pag.NodeCtx {
 	q.noteApprox(f)
-	for _, st := range q.g.StoresOf(f) {
+	for _, st := range q.fieldStores(f) {
 		if p := q.prof; p != nil && !q.recording {
 			p.approxSite(n, f)
 		}
@@ -234,7 +261,7 @@ func (q *query) approxMatchLoad(rch []pag.NodeCtx, n pag.NodeID, f pag.FieldID) 
 // assumed to flow into every load of f.
 func (q *query) approxMatchStore(rch []pag.NodeCtx, n pag.NodeID, f pag.FieldID) []pag.NodeCtx {
 	q.noteApprox(f)
-	for _, ld := range q.g.LoadsOf(f) {
+	for _, ld := range q.fieldLoads(f) {
 		if p := q.prof; p != nil && !q.recording {
 			p.approxSite(n, f)
 		}

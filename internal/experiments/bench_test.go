@@ -21,12 +21,14 @@ func TestBenchGridSmall(t *testing.T) {
 	if rep.Schema != BenchSchema {
 		t.Fatalf("schema = %q", rep.Schema)
 	}
-	// 4 modes + the DQ+cache row + the Serve-cold/Serve-warm rows.
-	if len(rep.Runs) != 7 {
-		t.Fatalf("%d runs, want 7", len(rep.Runs))
+	// 4 modes + the DQ+cache row + the Serve-cold/Serve-warm rows + the
+	// traversal-kernel off/on pair.
+	if len(rep.Runs) != 9 {
+		t.Fatalf("%d runs, want 9", len(rep.Runs))
 	}
 	wantModes := []string{"SeqCFL", "ParCFL-naive", "ParCFL-D", "ParCFL-DQ",
-		"ParCFL-DQ+cache", "Serve-cold", "Serve-warm"}
+		"ParCFL-DQ+cache", "Serve-cold", "Serve-warm",
+		"seq+kernel-off", "seq+kernel-on"}
 	queries := rep.Runs[0].Queries
 	for i, r := range rep.Runs {
 		if r.Mode != wantModes[i] {
@@ -35,7 +37,7 @@ func TestBenchGridSmall(t *testing.T) {
 		if r.Bench != "_200_check" || r.WallNS <= 0 || r.Queries == 0 {
 			t.Fatalf("run %d malformed: %+v", i, r)
 		}
-		serving := i >= 5
+		serving := i == 5 || i == 6
 		if !serving && r.Queries != queries {
 			t.Fatalf("run %d: %d queries, Seq saw %d", i, r.Queries, queries)
 		}
@@ -64,6 +66,17 @@ func TestBenchGridSmall(t *testing.T) {
 	}
 	if c := rep.Runs[4]; c.CacheHits+c.CacheMisses == 0 {
 		t.Fatalf("cache row has no cache activity: %+v", c)
+	}
+	koff, kon := rep.Runs[7], rep.Runs[8]
+	if koff.TotalSteps != kon.TotalSteps {
+		t.Fatalf("kernel rows diverge: off %d steps, on %d", koff.TotalSteps, kon.TotalSteps)
+	}
+	if koff.StepsPerSec <= 0 || kon.StepsPerSec <= 0 {
+		t.Fatalf("kernel rows missing throughput: off %+v on %+v", koff, kon)
+	}
+	if kon.AllocsPerOp >= koff.AllocsPerOp {
+		t.Fatalf("kernel-on allocates %d/op, off %d/op — no allocation win",
+			kon.AllocsPerOp, koff.AllocsPerOp)
 	}
 }
 
@@ -127,7 +140,7 @@ func TestBenchWritesJSONFile(t *testing.T) {
 		t.Fatalf("artifact = schema %q, %d reports", h.Schema, len(h.Reports))
 	}
 	rep := h.Reports[0]
-	if rep.Schema != BenchSchema || len(rep.Runs) != 7 {
+	if rep.Schema != BenchSchema || len(rep.Runs) != 9 {
 		t.Fatalf("report = schema %q, %d runs", rep.Schema, len(rep.Runs))
 	}
 	if rep.Label != "first" || rep.GitRev != "abc1234" {

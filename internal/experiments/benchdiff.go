@@ -78,6 +78,11 @@ type Diff struct {
 	// MissingHead lists bench/mode cells present in base but absent from
 	// head (reported, not failed: the suite may legitimately shrink).
 	MissingHead []string `json:"missing_head,omitempty"`
+	// NewHead lists bench/mode cells present in head but absent from base:
+	// freshly added benchmarks or modes (e.g. a kernel-on row landing before
+	// the baseline is re-recorded). They have nothing to gate against, so
+	// they are reported as new and ungated rather than treated as an error.
+	NewHead []string `json:"new_head,omitempty"`
 	// Incomparable lists cells whose query census differs between the two
 	// reports — their metrics are shown but not gated, since a changed
 	// workload invalidates the comparison.
@@ -104,14 +109,25 @@ func ReportByLabel(h *BenchHistory, label string) (*BenchReport, error) {
 type cellKey struct{ bench, mode string }
 
 // DiffReports compares head against base cell by cell. Cells are matched by
-// (benchmark, mode); head-only cells are ignored, base-only cells reported
-// as missing.
+// (benchmark, mode); head-only cells are reported as new (ungated),
+// base-only cells as missing.
 func DiffReports(base, head *BenchReport, opt DiffOptions) *Diff {
 	d := &Diff{Schema: DiffSchema, BaseLabel: base.Label, HeadLabel: head.Label}
 	headIdx := make(map[cellKey]*BenchRun, len(head.Runs))
+	baseIdx := make(map[cellKey]bool, len(base.Runs))
 	for i := range head.Runs {
 		r := &head.Runs[i]
 		headIdx[cellKey{r.Bench, r.Mode}] = r
+	}
+	for i := range base.Runs {
+		b := &base.Runs[i]
+		baseIdx[cellKey{b.Bench, b.Mode}] = true
+	}
+	for i := range head.Runs {
+		r := &head.Runs[i]
+		if !baseIdx[cellKey{r.Bench, r.Mode}] {
+			d.NewHead = append(d.NewHead, r.Bench+"/"+r.Mode)
+		}
 	}
 	for i := range base.Runs {
 		b := &base.Runs[i]
@@ -206,6 +222,9 @@ func (d *Diff) WriteTable(w io.Writer) {
 	}
 	for _, m := range d.MissingHead {
 		fmt.Fprintf(w, "missing in head: %s\n", m)
+	}
+	for _, m := range d.NewHead {
+		fmt.Fprintf(w, "new in head (ungated): %s\n", m)
 	}
 	for _, m := range d.Incomparable {
 		fmt.Fprintf(w, "incomparable (not gated): %s\n", m)

@@ -203,3 +203,30 @@ func TestDiffAgainstWrittenHistory(t *testing.T) {
 		t.Fatal("synthetic +25% wall regression passed the gate")
 	}
 }
+
+// TestDiffNewHeadCell: cells present only in head (a freshly added bench or
+// mode) are reported as new and ungated, never as a regression.
+func TestDiffNewHeadCell(t *testing.T) {
+	base := diffReport("base", diffRun("b1", "dq", 10*int64(time.Millisecond)))
+	head := diffReport("head",
+		diffRun("b1", "dq", 10*int64(time.Millisecond)),
+		diffRun("b1", "dq+kernel", 6*int64(time.Millisecond)),
+		diffRun("b2", "dq", 4*int64(time.Millisecond)),
+	)
+	d := DiffReports(base, head, DefaultDiffOptions())
+	if d.Regressions != 0 {
+		t.Fatalf("new head cells produced %d regressions", d.Regressions)
+	}
+	want := []string{"b1/dq+kernel", "b2/dq"}
+	if len(d.NewHead) != len(want) || d.NewHead[0] != want[0] || d.NewHead[1] != want[1] {
+		t.Fatalf("NewHead = %v, want %v", d.NewHead, want)
+	}
+	var sb strings.Builder
+	d.WriteTable(&sb)
+	if !strings.Contains(sb.String(), "new in head (ungated): b1/dq+kernel") {
+		t.Fatalf("table missing new-in-head line:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "PASS") {
+		t.Fatalf("table did not pass:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+
+	"parcfl/internal/engine"
+	"parcfl/internal/kernel"
+)
+
+// Kernel-on/off rows: the same sequential census run twice — once over the
+// graph's adjacency lists with NodeCtx-keyed maps, once over the
+// preprocessed dense form (internal/kernel) — so the trajectory records
+// whether the kernel's layout actually buys throughput and allocation
+// savings on this host. The kernel build itself runs outside the timed
+// region (it is a once-per-graph cost a resident service pays at startup,
+// not per query), and the two runs' results are asserted deep-equal
+// including step counts: a kernel that answered anything differently would
+// make its rows meaningless, so divergence is an error, not a footnote.
+
+// kernelRun executes the census sequentially and measures engine wall time
+// plus the heap allocation delta across the run.
+func kernelRun(b *Bench, budget int, prep *kernel.Prep) ([]engine.QueryResult, engine.Stats, int64) {
+	var before, after runtime.MemStats
+	runtime.GC() // settle the heap so Mallocs deltas compare runs, not GC timing
+	runtime.ReadMemStats(&before)
+	results, st := engine.Run(b.Lowered.Graph, b.Queries, engine.Config{
+		Mode: engine.Seq, Threads: 1, Budget: budget,
+		TypeLevels: b.Lowered.TypeLevels, Kernel: prep,
+	})
+	runtime.ReadMemStats(&after)
+	return results, st, int64(after.Mallocs - before.Mallocs)
+}
+
+func kernelRowFrom(bench, mode string, st engine.Stats, mallocs int64, queries int) BenchRun {
+	r := benchRunFrom(bench, st, st)
+	r.Mode = mode
+	if st.Wall > 0 {
+		r.StepsPerSec = float64(st.TotalSteps) / st.Wall.Seconds()
+	}
+	if queries > 0 {
+		r.AllocsPerOp = mallocs / int64(queries)
+	}
+	return r
+}
+
+// KernelRows runs the kernel-off/kernel-on pair for one prepared benchmark
+// and returns the two grid rows. It errors if the two runs disagree on any
+// result — the kernel's contract is byte-identical traversal.
+func KernelRows(b *Bench, opts Options) ([]BenchRun, error) {
+	opts = opts.withDefaults()
+	off, offSt, offMallocs := kernelRun(b, opts.Budget, nil)
+
+	prep := kernel.Build(b.Lowered.Graph) // offline, outside both timed regions
+	on, onSt, onMallocs := kernelRun(b, opts.Budget, prep)
+
+	if !reflect.DeepEqual(off, on) {
+		return nil, fmt.Errorf("kernel rows for %s: kernel-on results diverge from kernel-off", b.Preset.Name)
+	}
+	if offSt.TotalSteps != onSt.TotalSteps {
+		return nil, fmt.Errorf("kernel rows for %s: step counts diverge (%d off, %d on)",
+			b.Preset.Name, offSt.TotalSteps, onSt.TotalSteps)
+	}
+	return []BenchRun{
+		kernelRowFrom(b.Preset.Name, "seq+kernel-off", offSt, offMallocs, len(b.Queries)),
+		kernelRowFrom(b.Preset.Name, "seq+kernel-on", onSt, onMallocs, len(b.Queries)),
+	}, nil
+}

@@ -1,0 +1,397 @@
+// Package kernel is the offline PAG preprocessing pass behind the solver's
+// dense traversal mode ("kernel mode").
+//
+// The demand-driven walk of internal/cfl is, by construction, a
+// node-at-a-time traversal over pointer-heavy adjacency structures: every
+// visited (node, context) item costs a map insertion keyed by a composite
+// struct, and every edge expansion re-scans a mixed-kind adjacency slice
+// behind two levels of indirection. On the graphs the paper's benchmarks
+// generate, nearly all solver time goes into that machinery rather than into
+// the CFL matching itself — the same observation that drives the
+// matrix/strong-component formulations of whole-program solvers (PAGMatrix's
+// SC reduction; the component-parallel framing of on-demand data-flow
+// analysis).
+//
+// Build collapses strongly connected components of the direct relation
+// (assignl/assigng/param/ret — Eq. (5) of the paper, computed with
+// internal/scc), renumbers nodes into dense kernel IDs with SCC members
+// contiguous, and flattens adjacency into CSR-style arrays partitioned by
+// edge kind: the direct edges each traversal direction walks, the load/store
+// edges the alias expansion matches (per node and, program-wide, per field).
+// jmp edges deliberately stay out of the static form: they are
+// epoch-mutable runtime state owned by the share store, and a frozen copy
+// would go stale on the first recorded edge.
+//
+// # The collapsed↔original ID contract
+//
+// Kernel IDs exist only inside a traversal's visited/result bitsets; every
+// fact, witness step, profile entry, share key and cache key carries
+// original pag.NodeIDs, obtained through the Orig/Dense mapping at the
+// set-membership boundary. Consumers (witness reconstruction, autopsy heat
+// profiles, ExplainFlows, the HTTP API) therefore see original nodes
+// without any translation of their own — the mapping is total, bijective,
+// and frozen at Build time. Component metadata (CompOf/Members/Rep) names
+// the collapsed structure for diagnostics and for sizing: members of one
+// component hold contiguous kernel IDs, so the bitsets a cyclic traversal
+// touches share cache lines instead of hashing to scattered buckets.
+package kernel
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"parcfl/internal/bitset"
+	"parcfl/internal/pag"
+	"parcfl/internal/scc"
+)
+
+// Bitset is the dense visited/result-set primitive of kernel mode, shared
+// with the Andersen solver (see internal/bitset). The zero value is an
+// empty set that grows on demand.
+type Bitset = bitset.Bitset
+
+// Prep is the preprocessed, immutable form of one frozen PAG: the SCC
+// collapse of its direct relation, the dense renumbering derived from it,
+// and CSR adjacency arrays per edge kind. A Prep is read-only after Build
+// and safe for any number of concurrent traversals; it is valid only for
+// the exact graph it was built from (see Matches).
+type Prep struct {
+	numNodes int
+	numEdges int
+
+	// comp maps an original node to its component in the SCC collapse of
+	// the direct relation; components are numbered in reverse topological
+	// order by internal/scc (every direct successor has a smaller index).
+	comp    []int32
+	numComp int
+	// members/memOff list each component's original nodes (CSR, ascending
+	// original ID); rep is the first member, the component representative.
+	members []pag.NodeID
+	memOff  []int32
+	rep     []pag.NodeID
+
+	// dense/orig is the bijective renumbering: components laid out in
+	// descending component index — the backward (points-to) direction
+	// traverses direct predecessors, which have larger component indexes,
+	// so the region a query's bitsets span starts near its root's ID —
+	// with each component's members contiguous.
+	dense []int32
+	orig  []pag.NodeID
+
+	// CSR adjacency, indexed by kernel ID, each row preserving the original
+	// graph's per-node edge order (which is what keeps kernel-mode
+	// traversal byte-identical to the node-at-a-time walk):
+	//   dirIn/dirOut    — new + direct edges (everything expandDirect walks)
+	//   loadIn/storeOut — the heap-access edges an alias expansion starts at
+	//   storeIn/loadOut — the heap-access edges it matches against
+	dirIn, dirOut    []pag.HalfEdge
+	dirInOff         []int32
+	dirOutOff        []int32
+	loadIn, storeOut []pag.HalfEdge
+	loadInOff        []int32
+	storeOutOff      []int32
+	storeIn, loadOut []pag.HalfEdge
+	storeInOff       []int32
+	loadOutOff       []int32
+
+	// Program-wide per-field site CSR (the StoresOf/LoadsOf indexes in
+	// dense form), rows in the graph's frozen (sorted) site order.
+	fieldStores   []pag.StoreSite
+	storeFieldOff []int32
+	fieldLoads    []pag.LoadSite
+	loadFieldOff  []int32
+
+	// hasLoadIn/hasStoreOut answer hasHeapEdges in O(1): bit d set iff the
+	// node with kernel ID d has an incoming load / outgoing store edge.
+	hasLoadIn   Bitset
+	hasStoreOut Bitset
+}
+
+// Build preprocesses a frozen graph. The pass is deterministic: the same
+// graph always yields the same Prep (which is what lets snapshots persist
+// it and equivalence tests compare against it).
+func Build(g *pag.Graph) *Prep {
+	if !g.Frozen() {
+		panic("kernel: Build over unfrozen graph")
+	}
+	n := g.NumNodes()
+	p := &Prep{numNodes: n, numEdges: g.NumEdges()}
+
+	// SCC collapse over the direct relation (out-edges restricted to
+	// EdgeKind.IsDirect).
+	direct := make([][]int, n)
+	for v := 0; v < n; v++ {
+		for _, he := range g.Out(pag.NodeID(v)) {
+			if he.Kind.IsDirect() {
+				direct[v] = append(direct[v], int(he.Other))
+			}
+		}
+	}
+	comp, numComp := scc.Compute(n, func(v int) []int { return direct[v] })
+	p.numComp = numComp
+	p.comp = make([]int32, n)
+	for v, c := range comp {
+		p.comp[v] = int32(c)
+	}
+
+	// Members CSR: counting sort by component, ascending original ID within
+	// each (range over v ascending preserves it).
+	p.memOff = make([]int32, numComp+1)
+	for _, c := range comp {
+		p.memOff[c+1]++
+	}
+	for c := 0; c < numComp; c++ {
+		p.memOff[c+1] += p.memOff[c]
+	}
+	p.members = make([]pag.NodeID, n)
+	fill := make([]int32, numComp)
+	for v := 0; v < n; v++ {
+		c := comp[v]
+		p.members[p.memOff[c]+fill[c]] = pag.NodeID(v)
+		fill[c]++
+	}
+	p.rep = make([]pag.NodeID, numComp)
+	for c := 0; c < numComp; c++ {
+		p.rep[c] = p.members[p.memOff[c]]
+	}
+
+	// Dense renumbering: components in descending index, members contiguous.
+	p.dense = make([]int32, n)
+	p.orig = make([]pag.NodeID, n)
+	next := int32(0)
+	for c := numComp - 1; c >= 0; c-- {
+		for _, v := range p.Members(c) {
+			p.dense[v] = next
+			p.orig[next] = v
+			next++
+		}
+	}
+
+	// CSR adjacency per kind, rows indexed by kernel ID.
+	p.dirIn, p.dirInOff = buildCSR(p, g.In, func(k pag.EdgeKind) bool { return k != pag.EdgeLoad && k != pag.EdgeStore })
+	p.dirOut, p.dirOutOff = buildCSR(p, g.Out, func(k pag.EdgeKind) bool { return k != pag.EdgeLoad && k != pag.EdgeStore })
+	p.loadIn, p.loadInOff = buildCSR(p, g.In, func(k pag.EdgeKind) bool { return k == pag.EdgeLoad })
+	p.storeOut, p.storeOutOff = buildCSR(p, g.Out, func(k pag.EdgeKind) bool { return k == pag.EdgeStore })
+	p.storeIn, p.storeInOff = buildCSR(p, g.In, func(k pag.EdgeKind) bool { return k == pag.EdgeStore })
+	p.loadOut, p.loadOutOff = buildCSR(p, g.Out, func(k pag.EdgeKind) bool { return k == pag.EdgeLoad })
+
+	for d := 0; d < n; d++ {
+		if p.loadInOff[d+1] > p.loadInOff[d] {
+			p.hasLoadIn.Set(d)
+		}
+		if p.storeOutOff[d+1] > p.storeOutOff[d] {
+			p.hasStoreOut.Set(d)
+		}
+	}
+
+	// Per-field site CSR over field IDs 0..fieldMax.
+	fields := g.Fields()
+	maxF := pag.FieldID(0)
+	for _, f := range fields {
+		if f > maxF {
+			maxF = f
+		}
+	}
+	p.storeFieldOff = make([]int32, int(maxF)+2)
+	p.loadFieldOff = make([]int32, int(maxF)+2)
+	for f := pag.FieldID(0); f <= maxF; f++ {
+		p.fieldStores = append(p.fieldStores, g.StoresOf(f)...)
+		p.storeFieldOff[f+1] = int32(len(p.fieldStores))
+		p.fieldLoads = append(p.fieldLoads, g.LoadsOf(f)...)
+		p.loadFieldOff[f+1] = int32(len(p.fieldLoads))
+	}
+	return p
+}
+
+// buildCSR flattens the kept edges of every node into one slice with
+// per-kernel-ID row offsets, preserving per-node edge order.
+func buildCSR(p *Prep, adj func(pag.NodeID) []pag.HalfEdge, keep func(pag.EdgeKind) bool) ([]pag.HalfEdge, []int32) {
+	off := make([]int32, p.numNodes+1)
+	total := 0
+	for d := 0; d < p.numNodes; d++ {
+		for _, he := range adj(p.orig[d]) {
+			if keep(he.Kind) {
+				total++
+			}
+		}
+		off[d+1] = int32(total)
+	}
+	flat := make([]pag.HalfEdge, 0, total)
+	for d := 0; d < p.numNodes; d++ {
+		for _, he := range adj(p.orig[d]) {
+			if keep(he.Kind) {
+				flat = append(flat, he)
+			}
+		}
+	}
+	return flat, off
+}
+
+// NumNodes returns the node count of the graph the Prep was built from.
+func (p *Prep) NumNodes() int { return p.numNodes }
+
+// NumEdges returns the edge count of the graph the Prep was built from.
+func (p *Prep) NumEdges() int { return p.numEdges }
+
+// NumComps returns the number of components in the direct-relation collapse.
+func (p *Prep) NumComps() int { return p.numComp }
+
+// CompOf returns the component index of original node v.
+func (p *Prep) CompOf(v pag.NodeID) int { return int(p.comp[v]) }
+
+// Members returns component c's original nodes, ascending. Read-only.
+func (p *Prep) Members(c int) []pag.NodeID {
+	return p.members[p.memOff[c]:p.memOff[c+1]]
+}
+
+// Rep returns component c's representative (its lowest original node ID).
+func (p *Prep) Rep(c int) pag.NodeID { return p.rep[c] }
+
+// Dense maps an original node ID to its kernel ID.
+func (p *Prep) Dense(v pag.NodeID) int { return int(p.dense[v]) }
+
+// Orig maps a kernel ID back to the original node ID (the inverse of Dense).
+func (p *Prep) Orig(d int) pag.NodeID { return p.orig[d] }
+
+// DirIn returns original node v's incoming new/direct edges (everything the
+// backward expansion walks), in original adjacency order. Read-only.
+func (p *Prep) DirIn(v pag.NodeID) []pag.HalfEdge {
+	d := p.dense[v]
+	return p.dirIn[p.dirInOff[d]:p.dirInOff[d+1]]
+}
+
+// DirOut returns v's outgoing new/direct edges, in original adjacency order.
+func (p *Prep) DirOut(v pag.NodeID) []pag.HalfEdge {
+	d := p.dense[v]
+	return p.dirOut[p.dirOutOff[d]:p.dirOutOff[d+1]]
+}
+
+// LoadIn returns v's incoming load edges (Other = base, Label = field).
+func (p *Prep) LoadIn(v pag.NodeID) []pag.HalfEdge {
+	d := p.dense[v]
+	return p.loadIn[p.loadInOff[d]:p.loadInOff[d+1]]
+}
+
+// StoreOut returns v's outgoing store edges (Other = base, Label = field).
+func (p *Prep) StoreOut(v pag.NodeID) []pag.HalfEdge {
+	d := p.dense[v]
+	return p.storeOut[p.storeOutOff[d]:p.storeOutOff[d+1]]
+}
+
+// StoreIn returns v's incoming store edges (Other = stored value).
+func (p *Prep) StoreIn(v pag.NodeID) []pag.HalfEdge {
+	d := p.dense[v]
+	return p.storeIn[p.storeInOff[d]:p.storeInOff[d+1]]
+}
+
+// LoadOut returns v's outgoing load edges (Other = loaded-into variable).
+func (p *Prep) LoadOut(v pag.NodeID) []pag.HalfEdge {
+	d := p.dense[v]
+	return p.loadOut[p.loadOutOff[d]:p.loadOutOff[d+1]]
+}
+
+// HasLoadIn reports whether v has any incoming load edge (the backward
+// hasHeapEdges test), in O(1).
+func (p *Prep) HasLoadIn(v pag.NodeID) bool { return p.hasLoadIn.Has(int(p.dense[v])) }
+
+// HasStoreOut reports whether v has any outgoing store edge (the forward
+// hasHeapEdges test), in O(1).
+func (p *Prep) HasStoreOut(v pag.NodeID) bool { return p.hasStoreOut.Has(int(p.dense[v])) }
+
+// StoresOf returns every store site of field f, program-wide, in the
+// graph's frozen site order.
+func (p *Prep) StoresOf(f pag.FieldID) []pag.StoreSite {
+	if int(f)+1 >= len(p.storeFieldOff) {
+		return nil
+	}
+	return p.fieldStores[p.storeFieldOff[f]:p.storeFieldOff[f+1]]
+}
+
+// LoadsOf returns every load site of field f, program-wide.
+func (p *Prep) LoadsOf(f pag.FieldID) []pag.LoadSite {
+	if int(f)+1 >= len(p.loadFieldOff) {
+		return nil
+	}
+	return p.fieldLoads[p.loadFieldOff[f]:p.loadFieldOff[f+1]]
+}
+
+// Matches verifies the Prep was built from a graph shaped like g (node and
+// edge counts). It cannot prove edge-level identity cheaply; callers that
+// load a Prep from a snapshot pair it with the graph from the same file.
+func (p *Prep) Matches(g *pag.Graph) error {
+	if p.numNodes != g.NumNodes() || p.numEdges != g.NumEdges() {
+		return fmt.Errorf("kernel: prep built for %d nodes/%d edges, graph has %d/%d",
+			p.numNodes, p.numEdges, g.NumNodes(), g.NumEdges())
+	}
+	return nil
+}
+
+// wirePrep is the gob form of a Prep (exported fields only).
+type wirePrep struct {
+	NumNodes, NumEdges, NumComp int
+
+	Comp    []int32
+	Members []pag.NodeID
+	MemOff  []int32
+	Rep     []pag.NodeID
+	Dense   []int32
+	Orig    []pag.NodeID
+
+	DirIn, DirOut, LoadIn, StoreOut, StoreIn, LoadOut                   []pag.HalfEdge
+	DirInOff, DirOutOff, LoadInOff, StoreOutOff, StoreInOff, LoadOutOff []int32
+
+	FieldStores   []pag.StoreSite
+	StoreFieldOff []int32
+	FieldLoads    []pag.LoadSite
+	LoadFieldOff  []int32
+
+	HasLoadIn, HasStoreOut []uint64
+}
+
+// WriteGob serialises the Prep (used by internal/snapshot so a warm-started
+// daemon skips the Build pass).
+func (p *Prep) WriteGob(w io.Writer) error {
+	wp := wirePrep{
+		NumNodes: p.numNodes, NumEdges: p.numEdges, NumComp: p.numComp,
+		Comp: p.comp, Members: p.members, MemOff: p.memOff, Rep: p.rep,
+		Dense: p.dense, Orig: p.orig,
+		DirIn: p.dirIn, DirOut: p.dirOut, LoadIn: p.loadIn,
+		StoreOut: p.storeOut, StoreIn: p.storeIn, LoadOut: p.loadOut,
+		DirInOff: p.dirInOff, DirOutOff: p.dirOutOff, LoadInOff: p.loadInOff,
+		StoreOutOff: p.storeOutOff, StoreInOff: p.storeInOff, LoadOutOff: p.loadOutOff,
+		FieldStores: p.fieldStores, StoreFieldOff: p.storeFieldOff,
+		FieldLoads: p.fieldLoads, LoadFieldOff: p.loadFieldOff,
+		HasLoadIn: p.hasLoadIn.Words(), HasStoreOut: p.hasStoreOut.Words(),
+	}
+	if err := gob.NewEncoder(w).Encode(&wp); err != nil {
+		return fmt.Errorf("kernel: encoding prep: %w", err)
+	}
+	return nil
+}
+
+// ReadGob deserialises a Prep written by WriteGob.
+func ReadGob(r io.Reader) (*Prep, error) {
+	var wp wirePrep
+	if err := gob.NewDecoder(r).Decode(&wp); err != nil {
+		return nil, fmt.Errorf("kernel: decoding prep: %w", err)
+	}
+	if len(wp.Dense) != wp.NumNodes || len(wp.Orig) != wp.NumNodes || len(wp.Comp) != wp.NumNodes {
+		return nil, fmt.Errorf("kernel: malformed prep: %d nodes but %d/%d/%d mapping entries",
+			wp.NumNodes, len(wp.Dense), len(wp.Orig), len(wp.Comp))
+	}
+	p := &Prep{
+		numNodes: wp.NumNodes, numEdges: wp.NumEdges, numComp: wp.NumComp,
+		comp: wp.Comp, members: wp.Members, memOff: wp.MemOff, rep: wp.Rep,
+		dense: wp.Dense, orig: wp.Orig,
+		dirIn: wp.DirIn, dirOut: wp.DirOut, loadIn: wp.LoadIn,
+		storeOut: wp.StoreOut, storeIn: wp.StoreIn, loadOut: wp.LoadOut,
+		dirInOff: wp.DirInOff, dirOutOff: wp.DirOutOff, loadInOff: wp.LoadInOff,
+		storeOutOff: wp.StoreOutOff, storeInOff: wp.StoreInOff, loadOutOff: wp.LoadOutOff,
+		fieldStores: wp.FieldStores, storeFieldOff: wp.StoreFieldOff,
+		fieldLoads: wp.FieldLoads, loadFieldOff: wp.LoadFieldOff,
+		hasLoadIn:   bitset.FromWords(wp.HasLoadIn),
+		hasStoreOut: bitset.FromWords(wp.HasStoreOut),
+	}
+	return p, nil
+}

@@ -1,0 +1,224 @@
+package kernel
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"parcfl/internal/pag"
+)
+
+// testGraph builds a small frozen graph with a direct-edge cycle, heap
+// accesses on two fields, and call edges.
+func testGraph(t *testing.T) *pag.Graph {
+	t.Helper()
+	g := pag.NewGraph()
+	o1 := g.AddObject("o1", 1)
+	o2 := g.AddObject("o2", 1)
+	a := g.AddLocal("a", 1, 0)
+	b := g.AddLocal("b", 1, 0)
+	c := g.AddLocal("c", 1, 0)
+	x := g.AddLocal("x", 1, 0)
+	y := g.AddLocal("y", 1, 0)
+	gl := g.AddGlobal("gl", 1)
+	g.AddEdge(pag.Edge{Dst: a, Src: o1, Kind: pag.EdgeNew})
+	g.AddEdge(pag.Edge{Dst: b, Src: o2, Kind: pag.EdgeNew})
+	// Direct cycle a -> b -> c -> a.
+	g.AddEdge(pag.Edge{Dst: b, Src: a, Kind: pag.EdgeAssignLocal})
+	g.AddEdge(pag.Edge{Dst: c, Src: b, Kind: pag.EdgeAssignLocal})
+	g.AddEdge(pag.Edge{Dst: a, Src: c, Kind: pag.EdgeAssignLocal})
+	g.AddEdge(pag.Edge{Dst: gl, Src: c, Kind: pag.EdgeAssignGlobal})
+	// Heap accesses: store a.f1 = x, load y = a.f1, store b.f2 = x.
+	g.AddEdge(pag.Edge{Dst: a, Src: x, Kind: pag.EdgeStore, Label: 1})
+	g.AddEdge(pag.Edge{Dst: y, Src: a, Kind: pag.EdgeLoad, Label: 1})
+	g.AddEdge(pag.Edge{Dst: b, Src: x, Kind: pag.EdgeStore, Label: 2})
+	// Call edges x -> y at site 7.
+	g.AddEdge(pag.Edge{Dst: y, Src: x, Kind: pag.EdgeParam, Label: 7})
+	g.AddEdge(pag.Edge{Dst: x, Src: y, Kind: pag.EdgeRet, Label: 7})
+	g.Freeze()
+	return g
+}
+
+func TestBuildInvariants(t *testing.T) {
+	g := testGraph(t)
+	p := Build(g)
+	n := g.NumNodes()
+
+	if p.NumNodes() != n || p.NumEdges() != g.NumEdges() {
+		t.Fatalf("counts: got %d/%d, want %d/%d", p.NumNodes(), p.NumEdges(), n, g.NumEdges())
+	}
+
+	// Dense/orig is a bijection.
+	seen := make(map[int]bool, n)
+	for v := 0; v < n; v++ {
+		d := p.Dense(pag.NodeID(v))
+		if d < 0 || d >= n || seen[d] {
+			t.Fatalf("dense(%d) = %d: out of range or duplicate", v, d)
+		}
+		seen[d] = true
+		if p.Orig(d) != pag.NodeID(v) {
+			t.Fatalf("orig(dense(%d)) = %d", v, p.Orig(d))
+		}
+	}
+
+	// Component membership is consistent and kernel IDs of one component
+	// are contiguous.
+	for c := 0; c < p.NumComps(); c++ {
+		mem := p.Members(c)
+		if len(mem) == 0 {
+			t.Fatalf("component %d empty", c)
+		}
+		if p.Rep(c) != mem[0] {
+			t.Fatalf("rep(%d) = %d, want first member %d", c, p.Rep(c), mem[0])
+		}
+		base := p.Dense(mem[0])
+		for i, v := range mem {
+			if p.CompOf(v) != c {
+				t.Fatalf("CompOf(%d) = %d, want %d", v, p.CompOf(v), c)
+			}
+			if p.Dense(v) != base+i {
+				t.Fatalf("members of comp %d not contiguous in kernel IDs", c)
+			}
+		}
+	}
+
+	// The direct-edge cycle a,b,c (nodes 2,3,4) is one component.
+	if p.CompOf(2) != p.CompOf(3) || p.CompOf(3) != p.CompOf(4) {
+		t.Fatalf("cycle nodes in distinct components: %d %d %d", p.CompOf(2), p.CompOf(3), p.CompOf(4))
+	}
+
+	// Reverse-topological numbering over cross-component direct edges.
+	for v := 0; v < n; v++ {
+		for _, he := range g.Out(pag.NodeID(v)) {
+			if he.Kind.IsDirect() && p.CompOf(pag.NodeID(v)) != p.CompOf(he.Other) {
+				if p.CompOf(he.Other) >= p.CompOf(pag.NodeID(v)) {
+					t.Fatalf("direct edge %d->%d violates reverse-topo numbering (%d >= %d)",
+						v, he.Other, p.CompOf(he.Other), p.CompOf(pag.NodeID(v)))
+				}
+			}
+		}
+	}
+
+	// CSR rows equal the graph's adjacency filtered by kind, in order.
+	filter := func(hes []pag.HalfEdge, keep func(pag.EdgeKind) bool) []pag.HalfEdge {
+		var out []pag.HalfEdge
+		for _, he := range hes {
+			if keep(he.Kind) {
+				out = append(out, he)
+			}
+		}
+		return out
+	}
+	isDir := func(k pag.EdgeKind) bool { return k != pag.EdgeLoad && k != pag.EdgeStore }
+	isLoad := func(k pag.EdgeKind) bool { return k == pag.EdgeLoad }
+	isStore := func(k pag.EdgeKind) bool { return k == pag.EdgeStore }
+	for v := 0; v < n; v++ {
+		id := pag.NodeID(v)
+		rows := []struct {
+			name string
+			got  []pag.HalfEdge
+			want []pag.HalfEdge
+		}{
+			{"DirIn", p.DirIn(id), filter(g.In(id), isDir)},
+			{"DirOut", p.DirOut(id), filter(g.Out(id), isDir)},
+			{"LoadIn", p.LoadIn(id), filter(g.In(id), isLoad)},
+			{"StoreOut", p.StoreOut(id), filter(g.Out(id), isStore)},
+			{"StoreIn", p.StoreIn(id), filter(g.In(id), isStore)},
+			{"LoadOut", p.LoadOut(id), filter(g.Out(id), isLoad)},
+		}
+		for _, r := range rows {
+			if len(r.got) != len(r.want) {
+				t.Fatalf("%s(%d): %d edges, want %d", r.name, v, len(r.got), len(r.want))
+			}
+			for i := range r.got {
+				if r.got[i] != r.want[i] {
+					t.Fatalf("%s(%d)[%d] = %+v, want %+v", r.name, v, i, r.got[i], r.want[i])
+				}
+			}
+		}
+		if p.HasLoadIn(id) != (len(filter(g.In(id), isLoad)) > 0) {
+			t.Fatalf("HasLoadIn(%d) wrong", v)
+		}
+		if p.HasStoreOut(id) != (len(filter(g.Out(id), isStore)) > 0) {
+			t.Fatalf("HasStoreOut(%d) wrong", v)
+		}
+	}
+
+	// Per-field site CSR equals the graph's frozen indexes (empty and nil
+	// rows are interchangeable).
+	for _, f := range []pag.FieldID{0, 1, 2, 3} {
+		gotS, wantS := p.StoresOf(f), g.StoresOf(f)
+		if len(gotS) != len(wantS) {
+			t.Fatalf("StoresOf(%d): %+v vs %+v", f, gotS, wantS)
+		}
+		for i := range gotS {
+			if gotS[i] != wantS[i] {
+				t.Fatalf("StoresOf(%d)[%d]: %+v vs %+v", f, i, gotS[i], wantS[i])
+			}
+		}
+		gotL, wantL := p.LoadsOf(f), g.LoadsOf(f)
+		if len(gotL) != len(wantL) {
+			t.Fatalf("LoadsOf(%d): %+v vs %+v", f, gotL, wantL)
+		}
+		for i := range gotL {
+			if gotL[i] != wantL[i] {
+				t.Fatalf("LoadsOf(%d)[%d]: %+v vs %+v", f, i, gotL[i], wantL[i])
+			}
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	g := testGraph(t)
+	a, b := Build(g), Build(g)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two Builds of the same graph differ")
+	}
+}
+
+func TestMatches(t *testing.T) {
+	g := testGraph(t)
+	p := Build(g)
+	if err := p.Matches(g); err != nil {
+		t.Fatalf("Matches on own graph: %v", err)
+	}
+	other := pag.NewGraph()
+	other.AddLocal("solo", 1, 0)
+	other.Freeze()
+	if err := p.Matches(other); err == nil {
+		t.Fatal("Matches accepted a different graph")
+	}
+}
+
+func TestGobRoundTrip(t *testing.T) {
+	g := testGraph(t)
+	p := Build(g)
+	var buf bytes.Buffer
+	if err := p.WriteGob(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadGob(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, q) {
+		t.Fatal("gob round trip changed the prep")
+	}
+	if err := q.Matches(g); err != nil {
+		t.Fatalf("round-tripped prep no longer matches graph: %v", err)
+	}
+}
+
+func TestReadGobRejectsMalformed(t *testing.T) {
+	g := testGraph(t)
+	p := Build(g)
+	var buf bytes.Buffer
+	if err := p.WriteGob(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncated stream must error, not yield a half-filled prep.
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadGob(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("ReadGob accepted a truncated stream")
+	}
+}

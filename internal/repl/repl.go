@@ -15,6 +15,7 @@ import (
 	"parcfl/internal/autopsy"
 	"parcfl/internal/cfl"
 	"parcfl/internal/frontend"
+	"parcfl/internal/kernel"
 	"parcfl/internal/obs"
 	"parcfl/internal/pag"
 	"parcfl/internal/ptcache"
@@ -27,6 +28,7 @@ type Shell struct {
 	solver *cfl.Solver
 	store  *share.Store
 	cache  *ptcache.Cache
+	kern   *kernel.Prep // nil unless UseKernel was called
 	budget int
 	out    *bufio.Writer
 
@@ -52,13 +54,7 @@ func New(lo *frontend.Lowered, budget int, out io.Writer) *Shell {
 	store := share.NewStore(share.DefaultConfig())
 	cache := ptcache.New(64)
 	sh := &Shell{
-		lo: lo,
-		solver: cfl.New(lo.Graph, cfl.Config{
-			Budget:  budget,
-			Share:   store,
-			Cache:   cache,
-			Profile: true,
-		}),
+		lo:     lo,
 		store:  store,
 		cache:  cache,
 		budget: budget,
@@ -67,10 +63,34 @@ func New(lo *frontend.Lowered, budget int, out io.Writer) *Shell {
 		heat:   autopsy.NewCollector(lo.Graph, budget),
 		last:   map[pag.NodeID]cfl.Result{},
 	}
+	sh.rebuildSolver()
 	for id := 0; id < lo.Graph.NumNodes(); id++ {
 		sh.byName[lo.Graph.Node(pag.NodeID(id)).Name] = pag.NodeID(id)
 	}
 	return sh
+}
+
+// rebuildSolver recreates the session solver from the current store, cache,
+// sink and kernel prep (solvers are stateless between queries, so a rebuild
+// never loses warm state — that lives in the store and cache).
+func (sh *Shell) rebuildSolver() {
+	sh.solver = cfl.New(sh.lo.Graph, cfl.Config{
+		Budget:  sh.budget,
+		Share:   sh.store,
+		Cache:   sh.cache,
+		Kernel:  sh.kern,
+		Obs:     sh.sink,
+		Worker:  0,
+		Profile: true,
+	})
+}
+
+// UseKernel switches the session onto the preprocessed traversal kernel
+// (internal/kernel), building it once here. Answers are identical either
+// way; only the traversal's data layout (and throughput) changes.
+func (sh *Shell) UseKernel() {
+	sh.kern = kernel.Build(sh.lo.Graph)
+	sh.rebuildSolver()
 }
 
 // SetObs attaches an observability sink (nil-safe) to the session's jmp
@@ -83,14 +103,7 @@ func (sh *Shell) SetObs(sink *obs.Sink) {
 	sh.store.SetObs(sink)
 	sh.cache.SetObs(sink)
 	sink.AttachHeat(sh.heat)
-	sh.solver = cfl.New(sh.lo.Graph, cfl.Config{
-		Budget:  sh.budget,
-		Share:   sh.store,
-		Cache:   sh.cache,
-		Obs:     sink,
-		Worker:  0,
-		Profile: true,
-	})
+	sh.rebuildSolver()
 }
 
 // Obs returns the attached observability sink (nil when none was set).

@@ -22,9 +22,14 @@ func Compute(n int, succ func(int) []int) (comp []int, numComp int) {
 	var stack []int
 	next := 0
 
+	// Each frame caches its successor slice: succ is called exactly once per
+	// node, when the frame is pushed. Re-fetching it on every edge visit
+	// (the previous behaviour) made the walk O(deg²) per node for succ
+	// functions that materialise their slice.
 	type frame struct {
 		v  int
 		ei int
+		ss []int
 	}
 	var dfs []frame
 
@@ -32,7 +37,7 @@ func Compute(n int, succ func(int) []int) (comp []int, numComp int) {
 		if index[root] != unvisited {
 			continue
 		}
-		dfs = append(dfs[:0], frame{v: root})
+		dfs = append(dfs[:0], frame{v: root, ss: succ(root)})
 		index[root] = next
 		low[root] = next
 		next++
@@ -41,9 +46,8 @@ func Compute(n int, succ func(int) []int) (comp []int, numComp int) {
 
 		for len(dfs) > 0 {
 			f := &dfs[len(dfs)-1]
-			ss := succ(f.v)
-			if f.ei < len(ss) {
-				w := ss[f.ei]
+			if f.ei < len(f.ss) {
+				w := f.ss[f.ei]
 				f.ei++
 				if index[w] == unvisited {
 					index[w] = next
@@ -51,7 +55,7 @@ func Compute(n int, succ func(int) []int) (comp []int, numComp int) {
 					next++
 					stack = append(stack, w)
 					onStack[w] = true
-					dfs = append(dfs, frame{v: w})
+					dfs = append(dfs, frame{v: w, ss: succ(w)})
 				} else if onStack[w] && index[w] < low[f.v] {
 					low[f.v] = index[w]
 				}

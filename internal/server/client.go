@@ -4,21 +4,85 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"time"
 )
 
+// OverloadedError reports a 429 from the daemon: admission control rejected
+// the request because the pending-variable queue was full. It carries the
+// server's Retry-After hint and unwraps to ErrOverloaded, so callers can
+// test errors.Is(err, server.ErrOverloaded) without depending on this type.
+type OverloadedError struct {
+	// RetryAfter is the server's back-off hint (0 when none was sent).
+	RetryAfter time.Duration
+	msg        string
+}
+
+func (e *OverloadedError) Error() string { return e.msg }
+
+// Unwrap makes errors.Is(err, ErrOverloaded) hold.
+func (e *OverloadedError) Unwrap() error { return ErrOverloaded }
+
+// RetryPolicy is the client's opt-in handling of overload rejections: a
+// bounded, jittered exponential back-off that honours the server's
+// Retry-After hint and never sleeps past the request context's deadline.
+// Only ErrOverloaded responses are retried — queries are read-only, so a
+// repeat is always safe, but other failures (timeouts, unknown variables,
+// daemon shutdown) are not transient in the same way.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (values below 2 disable retrying).
+	MaxAttempts int
+	// BaseDelay is the first back-off, doubled each further attempt
+	// (0 means 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the back-off growth (0 means 2s).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) base() time.Duration {
+	if p.BaseDelay <= 0 {
+		return 50 * time.Millisecond
+	}
+	return p.BaseDelay
+}
+
+func (p RetryPolicy) cap() time.Duration {
+	if p.MaxDelay <= 0 {
+		return 2 * time.Second
+	}
+	return p.MaxDelay
+}
+
+// delay computes the back-off before attempt i+1 (i counts completed
+// attempts, so the first retry sees i == 0): the doubled base, capped, with
+// full jitter on the upper half so synchronised clients spread out.
+func (p RetryPolicy) delay(i int) time.Duration {
+	d := p.base() << uint(i)
+	if d <= 0 || d > p.cap() { // <= 0 catches shift overflow
+		d = p.cap()
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
 // Client speaks the daemon's /v1 JSON API. It is a thin convenience over
-// net/http — safe for concurrent use, no state beyond the base URL.
+// net/http — safe for concurrent use, no state beyond the base URL and
+// retry policy.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
 }
 
 // NewClient targets a daemon at base (e.g. "http://localhost:7070"). A nil
-// hc uses http.DefaultClient.
+// hc uses http.DefaultClient. The returned client does not retry; see
+// WithRetry.
 func NewClient(base string, hc *http.Client) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
@@ -29,7 +93,40 @@ func NewClient(base string, hc *http.Client) *Client {
 	return &Client{base: base, hc: hc}
 }
 
+// WithRetry returns a copy of the client that retries overload rejections
+// under the given policy. The receiver is unchanged.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	nc := *c
+	nc.retry = p
+	return &nc
+}
+
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, in, out)
+		var oe *OverloadedError
+		if err == nil || !errors.As(err, &oe) || attempt+1 >= c.retry.MaxAttempts {
+			return err
+		}
+		delay := c.retry.delay(attempt)
+		if oe.RetryAfter > delay {
+			delay = oe.RetryAfter
+		}
+		// Sleeping past the caller's deadline would just convert an
+		// actionable "overloaded" into a vague context error; give up with
+		// the real cause instead.
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) < delay {
+			return err
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		b, err := json.Marshal(in)
@@ -52,10 +149,18 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		var e errorReply
+		msg := resp.Status
 		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("server: %s (%s)", e.Error, resp.Status)
+			msg = fmt.Sprintf("%s (%s)", e.Error, resp.Status)
 		}
-		return fmt.Errorf("server: %s", resp.Status)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			oe := &OverloadedError{msg: "server: " + msg}
+			if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+				oe.RetryAfter = time.Duration(secs) * time.Second
+			}
+			return oe
+		}
+		return fmt.Errorf("server: %s", msg)
 	}
 	if out == nil {
 		return nil

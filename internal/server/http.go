@@ -69,6 +69,11 @@ type HandlerConfig struct {
 	// DefaultTimeout bounds queries that do not set timeout_ms (0 means
 	// 30s).
 	DefaultTimeout time.Duration
+	// RetryAfter is the back-off hint sent with 429 responses (Retry-After
+	// header, whole seconds, rounded up; 0 means 1s). One batch window is
+	// usually enough for the queue to drain, so the default is deliberately
+	// short.
+	RetryAfter time.Duration
 	// Fallback, when non-nil, serves any path the API does not claim
 	// (e.g. obs.Handler for /metrics and /debug/*).
 	Fallback http.Handler
@@ -79,6 +84,21 @@ func (c HandlerConfig) timeout() time.Duration {
 		return 30 * time.Second
 	}
 	return c.DefaultTimeout
+}
+
+// retryAfterSeconds renders the 429 hint as the integer seconds the header
+// requires, never below 1 (a "Retry-After: 0" invites an immediate retry
+// storm from naive clients).
+func (c HandlerConfig) retryAfterSeconds() int {
+	d := c.RetryAfter
+	if d <= 0 {
+		d = time.Second
+	}
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
 }
 
 // apiHandler binds a Server to the HTTP surface.
@@ -187,6 +207,9 @@ func (h *apiHandler) handleQuery(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusGatewayTimeout
 		case errors.Is(err, ErrOverloaded):
 			status = http.StatusTooManyRequests
+			// Admission rejections are transient (the queue drains on the
+			// next batch); tell well-behaved clients when to come back.
+			w.Header().Set("Retry-After", strconv.Itoa(h.cfg.retryAfterSeconds()))
 		case errors.Is(err, ErrClosed):
 			status = http.StatusServiceUnavailable
 		}

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"parcfl/internal/engine"
+	"parcfl/internal/kernel"
 	"parcfl/internal/obs"
 	"parcfl/internal/pag"
 	"parcfl/internal/ptcache"
@@ -84,6 +85,11 @@ type Config struct {
 	MaxBatch int
 	// QueueDepth caps distinct pending variables (0 means 1024).
 	QueueDepth int
+	// Kernel enables the preprocessed traversal kernel (internal/kernel):
+	// New builds the Prep once at startup; NewFromSnapshot reuses a persisted
+	// Prep when the snapshot carries one (and is auto-enabled by it).
+	// Results are identical either way — the kernel only changes data layout.
+	Kernel bool
 	// Obs receives server and engine metrics (nil disables, as usual).
 	Obs *obs.Sink
 }
@@ -152,13 +158,14 @@ type Stats struct {
 // Server is the resident solver. Create with New or NewFromSnapshot; all
 // methods are safe for concurrent use.
 type Server struct {
-	cfg   Config
-	graph *pag.Graph
-	store *share.Store
-	cache *ptcache.Cache
-	meta  snapshot.Meta
-	sink  *obs.Sink
-	start time.Time
+	cfg    Config
+	graph  *pag.Graph
+	store  *share.Store
+	cache  *ptcache.Cache
+	kernel *kernel.Prep // nil unless kernel mode is enabled
+	meta   snapshot.Meta
+	sink   *obs.Sink
+	start  time.Time
 
 	mu       sync.Mutex
 	cond     *sync.Cond // signals the dispatcher: work pending or closing
@@ -180,16 +187,18 @@ type Server struct {
 }
 
 // New builds a resident server around a frozen graph, creating a fresh jmp
-// store (for sharing modes) and, if configured, a fresh result cache.
+// store (for sharing modes) and, if configured, a fresh result cache and a
+// freshly built traversal kernel.
 func New(g *pag.Graph, cfg Config) *Server {
-	return newServer(g, nil, nil, snapshot.Meta{TypeLevels: cfg.TypeLevels}, cfg)
+	return newServer(g, nil, nil, nil, snapshot.Meta{TypeLevels: cfg.TypeLevels}, cfg)
 }
 
 // NewFromSnapshot builds a resident server around warm-loaded state: the
 // snapshot's graph, jmp store and result cache are used directly, and its
 // Meta fills any Config fields the caller left zero (TypeLevels, Budget,
 // ContextK) so a warm start replays the settings the state was recorded
-// under.
+// under. A persisted kernel Prep is reused (skipping the offline build) and
+// auto-enables kernel mode.
 func NewFromSnapshot(s *snapshot.Snapshot, cfg Config) *Server {
 	if cfg.TypeLevels == nil {
 		cfg.TypeLevels = s.Meta.TypeLevels
@@ -200,10 +209,16 @@ func NewFromSnapshot(s *snapshot.Snapshot, cfg Config) *Server {
 	if cfg.ContextK == 0 {
 		cfg.ContextK = s.Meta.ContextK
 	}
-	return newServer(s.Graph, s.Store, s.Cache, s.Meta, cfg)
+	if s.Kernel != nil {
+		cfg.Kernel = true
+	}
+	return newServer(s.Graph, s.Store, s.Cache, s.Kernel, s.Meta, cfg)
 }
 
-func newServer(g *pag.Graph, store *share.Store, cache *ptcache.Cache, meta snapshot.Meta, cfg Config) *Server {
+func newServer(g *pag.Graph, store *share.Store, cache *ptcache.Cache, prep *kernel.Prep, meta snapshot.Meta, cfg Config) *Server {
+	if cfg.Kernel && prep == nil {
+		prep = kernel.Build(g)
+	}
 	if cfg.Mode == engine.Seq {
 		cfg.Mode = engine.DQ
 	}
@@ -234,7 +249,7 @@ func newServer(g *pag.Graph, store *share.Store, cache *ptcache.Cache, meta snap
 		meta.QueryVars = cfg.QueryVars
 	}
 	s := &Server{
-		cfg: cfg, graph: g, store: store, cache: cache, meta: meta,
+		cfg: cfg, graph: g, store: store, cache: cache, kernel: prep, meta: meta,
 		sink: cfg.Obs, start: time.Now(),
 		pending:  make(map[pag.NodeID][]waiter),
 		inflight: make(map[pag.NodeID][]waiter),
@@ -387,7 +402,7 @@ func (s *Server) dispatch() {
 			Mode: s.cfg.Mode, Threads: s.cfg.Threads, Budget: s.cfg.Budget,
 			TauF: s.cfg.TauF, TauU: s.cfg.TauU, TypeLevels: s.cfg.TypeLevels,
 			Store: s.store, Cache: s.cache, ResultCache: s.cache != nil,
-			ContextK: s.cfg.ContextK, Obs: s.sink,
+			ContextK: s.cfg.ContextK, Kernel: s.kernel, Obs: s.sink,
 		})
 
 		// Fan out, then retire the in-flight entries. Replies are buffered
@@ -460,7 +475,7 @@ func (s *Server) Snapshot(label string) *snapshot.Snapshot {
 	meta := s.meta
 	meta.Label = label
 	meta.CreatedUnixNano = time.Now().UnixNano()
-	return &snapshot.Snapshot{Graph: s.graph, Store: s.store, Cache: s.cache, Meta: meta}
+	return &snapshot.Snapshot{Graph: s.graph, Store: s.store, Cache: s.cache, Kernel: s.kernel, Meta: meta}
 }
 
 // SaveSnapshot atomically persists the resident state to path.

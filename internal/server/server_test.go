@@ -3,9 +3,11 @@ package server
 import (
 	"context"
 	"errors"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -287,5 +289,137 @@ func TestHTTPRoundTrip(t *testing.T) {
 
 	if _, err := cl.Query(ctx, []string{"no-such-var"}, time.Second); err == nil {
 		t.Fatal("unknown var accepted")
+	}
+}
+
+// TestKernelServerAnswersMatch: a kernel-mode server serves exactly what the
+// plain server serves (the kernel is a data-layout change, not a semantic
+// one), and its snapshot carries the Prep so a warm start skips the build
+// and auto-enables kernel mode.
+func TestKernelServerAnswersMatch(t *testing.T) {
+	lo := genBench(t)
+	queries := lo.AppQueryVars[:4]
+
+	plain := New(lo.Graph, Config{Threads: 1, TypeLevels: lo.TypeLevels, BatchWindow: -1})
+	kern := New(lo.Graph, Config{Threads: 1, TypeLevels: lo.TypeLevels, BatchWindow: -1, Kernel: true})
+	defer plain.Close()
+	for _, v := range queries {
+		want, err1 := plain.Query(context.Background(), v)
+		got, err2 := kern.Query(context.Background(), v)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("query %d: %v / %v", v, err1, err2)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("var %d: kernel served %+v, plain %+v", v, got, want)
+		}
+	}
+
+	snap := kern.Snapshot("test")
+	kern.Close()
+	if snap.Kernel == nil {
+		t.Fatal("kernel server snapshot lost the prep")
+	}
+	warm := NewFromSnapshot(snap, Config{Threads: 1, BatchWindow: -1})
+	defer warm.Close()
+	if warm.kernel == nil {
+		t.Fatal("warm start from kernel snapshot did not auto-enable kernel mode")
+	}
+	if _, err := warm.Query(context.Background(), queries[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOverloadedHTTP: an admission rejection surfaces as 429 with a
+// Retry-After hint, and the client reports it as a typed OverloadedError
+// that unwraps to ErrOverloaded.
+func TestOverloadedHTTP(t *testing.T) {
+	lo := genBench(t)
+	queries := lo.AppQueryVars
+	if len(queries) < 3 {
+		t.Skip("bench too small")
+	}
+	srv := New(lo.Graph, Config{
+		Threads: 1, TypeLevels: lo.TypeLevels,
+		BatchWindow: time.Second, QueueDepth: 1,
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(NewHandler(srv, HandlerConfig{RetryAfter: 3 * time.Second}))
+	defer ts.Close()
+	cl := NewClient(ts.URL, ts.Client())
+	g := srv.Graph()
+
+	// Park one query so the depth-1 queue is full, then hit the API with a
+	// different variable.
+	go func() { _, _ = srv.Query(context.Background(), queries[0]) }()
+	deadline := time.Now().Add(time.Second)
+	for srv.Stats().Requests < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("background query never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	_, err := cl.Query(context.Background(), []string{g.Node(queries[1]).Name}, time.Second)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overloaded daemon returned %v, want ErrOverloaded", err)
+	}
+	var oe *OverloadedError
+	if !errors.As(err, &oe) {
+		t.Fatalf("overloaded daemon returned %T, want *OverloadedError", err)
+	}
+	if oe.RetryAfter != 3*time.Second {
+		t.Fatalf("RetryAfter %v, want 3s (handler hint)", oe.RetryAfter)
+	}
+}
+
+// TestClientRetriesOverload: WithRetry retries 429s under the policy and
+// succeeds when the server recovers; the deadline is respected.
+func TestClientRetriesOverload(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) < 3 {
+			w.Header().Set("Retry-After", "0") // parsed as no hint; policy delay applies
+			writeErr(w, http.StatusTooManyRequests, ErrOverloaded)
+			return
+		}
+		writeJSON(w, http.StatusOK, QueryReply{Results: []VarResult{{Var: "v"}}})
+	}))
+	defer ts.Close()
+
+	cl := NewClient(ts.URL, ts.Client()).WithRetry(RetryPolicy{
+		MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond,
+	})
+	res, err := cl.Query(context.Background(), []string{"v"}, time.Second)
+	if err != nil {
+		t.Fatalf("retrying client failed: %v (after %d attempts)", err, hits.Load())
+	}
+	if len(res) != 1 || hits.Load() != 3 {
+		t.Fatalf("got %d results after %d attempts, want 1 after 3", len(res), hits.Load())
+	}
+
+	// Exhausted attempts surface the overload error, not a context error.
+	hits.Store(-1000)
+	cl2 := cl.WithRetry(RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond})
+	if _, err := cl2.Query(context.Background(), []string{"v"}, time.Second); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("exhausted retries returned %v, want ErrOverloaded", err)
+	}
+
+	// A deadline shorter than the server's Retry-After hint gives up
+	// immediately with the overload error instead of sleeping into expiry.
+	hits.Store(-1000)
+	ts2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		writeErr(w, http.StatusTooManyRequests, ErrOverloaded)
+	}))
+	defer ts2.Close()
+	cl3 := NewClient(ts2.URL, ts2.Client()).WithRetry(RetryPolicy{MaxAttempts: 5})
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := cl3.Query(ctx, []string{"v"}, time.Second); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("deadline-bounded retry returned %v, want ErrOverloaded", err)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("client slept past its deadline before giving up")
 	}
 }
