@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench-json serve-smoke clean
+.PHONY: check build vet test race bench-json serve-smoke soak-smoke clean
 
 check: build vet test race
 
@@ -32,6 +32,12 @@ bench-json:
 # warm, assert identical results and live parcfl_server_* metrics.
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# Load-and-observability smoke: soak a warm-started traced daemon with
+# parcflload, assert a clean parcfl-soak/v1 report, nonzero parcfl_slo_*
+# gauges, and a request lane in the shutdown trace matching its timings.
+soak-smoke:
+	bash scripts/soak_smoke.sh
 
 clean:
 	$(GO) clean ./...

@@ -1,8 +1,11 @@
 // Command benchdiff is the bench regression gate: it compares two labelled
 // reports of a BENCH_runs.json history (see cmd/experiments -json) against
 // percentage thresholds, prints a delta table, and exits non-zero when the
-// head report regressed — wall time up, or the sharing counters
-// (steps_saved, jumps_taken, early_terminations) down.
+// head report regressed — wall time up, the sharing counters (steps_saved,
+// jumps_taken, early_terminations) down, or serving throughput (qps) down.
+// Soak rows also carry informational phase-share drift cells (basis points
+// of the request's end-to-end time) that localise a regression to admit,
+// queue-wait, solve or fan-out without gating on it.
 //
 // Usage:
 //
@@ -44,6 +47,10 @@ func main() {
 		"ignore counter drops whose baseline value is below this floor")
 	minWall := flag.Duration("min-wall", time.Duration(def.MinWallNS),
 		"ignore wall regressions whose baseline ran shorter than this")
+	qpsPct := flag.Float64("qps-pct", def.QPSPct,
+		"fail when a serving cell's qps drops more than this percent (0 disables the qps gate)")
+	minQPS := flag.Float64("min-qps", def.MinQPS,
+		"ignore qps drops whose baseline rate is below this floor")
 	jsonOut := flag.String("json", "", "also write the diff report as JSON to this file (written before the exit code is decided, so CI can upload it on failure)")
 	flag.Parse()
 
@@ -69,6 +76,8 @@ func main() {
 		CountPct:  *countPct,
 		MinCount:  *minCount,
 		MinWallNS: int64(*minWall),
+		QPSPct:    *qpsPct,
+		MinQPS:    *minQPS,
 	})
 	d.WriteTable(os.Stdout)
 	if *jsonOut != "" {

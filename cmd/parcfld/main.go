@@ -75,6 +75,12 @@ func main() {
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "how long to wait for concurrent queries to coalesce into one batch")
 	batchMax := flag.Int("batch-max", 0, "max distinct variables per engine batch (0 = 256)")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event (Perfetto) file of request/batch/solver spans on shutdown")
+	spanCap := flag.Int("span-cap", 1<<16, "max spans per track for -trace-out")
+	slowLog := flag.Duration("slow-log", 0, "log queries slower than this with their phase breakdown (0 = off)")
+	sloAvail := flag.Float64("slo-availability", 0.999, "availability objective for /debug/slo and parcfl_slo_* gauges")
+	sloLatObj := flag.Float64("slo-latency-objective", 0.99, "fraction of successes that must meet -slo-latency-target")
+	sloLatTarget := flag.Duration("slo-latency-target", 50*time.Millisecond, "latency SLI threshold")
 	flag.Parse()
 
 	m, err := parseMode(*mode)
@@ -83,6 +89,14 @@ func main() {
 	}
 
 	sink := obs.New(obs.Config{Workers: max(*threads, 1), TraceCap: 1 << 14})
+	if *traceOut != "" {
+		sink.EnableSpans(max(*threads, 1), *spanCap)
+	}
+	sink.AttachSLO(obs.NewSLO(obs.SLOConfig{
+		AvailabilityObjective: *sloAvail,
+		LatencyObjective:      *sloLatObj,
+		LatencyTargetNS:       sloLatTarget.Nanoseconds(),
+	}))
 	cfg := server.Config{
 		Mode: m, Threads: *threads, Budget: *budget, ContextK: *contextK,
 		ResultCache: *cache, BatchWindow: *batchWindow, MaxBatch: *batchMax,
@@ -114,6 +128,7 @@ func main() {
 	handler := server.NewHandler(srv, server.HandlerConfig{
 		SnapshotPath:   *snapPath,
 		DefaultTimeout: *timeout,
+		SlowLog:        *slowLog,
 		Fallback:       obs.Handler(sink),
 	})
 	ln, err := net.Listen("tcp", *addr)
@@ -163,6 +178,15 @@ func main() {
 	defer cancel()
 	_ = httpSrv.Shutdown(ctx)
 	srv.Close()
+	// The server is drained and the dispatcher has exited: every span is
+	// final, so the trace flush below never races a producer.
+	if *traceOut != "" {
+		if err := obs.WriteTraceFile(*traceOut, sink); err != nil {
+			fmt.Fprintln(os.Stderr, "parcfld: trace:", err)
+		} else {
+			fmt.Printf("parcfld: trace written to %s\n", *traceOut)
+		}
+	}
 	if *snapPath != "" {
 		if err := srv.SaveSnapshot(*snapPath, "shutdown"); err != nil {
 			fmt.Fprintln(os.Stderr, "parcfld: final snapshot:", err)

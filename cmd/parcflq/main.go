@@ -11,6 +11,8 @@ package main
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,6 +22,17 @@ import (
 
 	"parcfl/internal/server"
 )
+
+// mintRequestID makes a short client-side request ID, sent as the
+// X-Parcfl-Request-Id header so the daemon's logs, trace lanes and reply
+// all carry it. 8 random bytes is plenty for correlating a CLI session.
+func mintRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("q-%d", time.Now().UnixNano())
+	}
+	return "q-" + hex.EncodeToString(b[:])
+}
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "parcflq:", err)
@@ -34,6 +47,8 @@ func main() {
 	save := flag.String("save", "", "trigger a snapshot save (empty string with -save= uses the daemon's configured path)")
 	asJSON := flag.Bool("json", false, "print raw JSON instead of the human format")
 	retries := flag.Int("retries", 0, "retry overloaded (429) responses up to N extra times with jittered backoff")
+	verbose := flag.Bool("v", false, "print the request ID and per-phase timing breakdown with each answer")
+	rid := flag.String("request-id", "", "send this request ID instead of minting one")
 	flag.Parse()
 
 	base := *addr
@@ -105,22 +120,41 @@ func main() {
 	if len(vars) == 0 {
 		fail(fmt.Errorf("nothing to do: give variables to query, or -stats/-list/-save"))
 	}
-	results, err := cl.Query(ctx, vars, *timeout)
+	id := *rid
+	if id == "" {
+		id = mintRequestID()
+	}
+	reply, err := cl.QueryRequest(ctx, id, vars, *timeout)
 	if err != nil {
 		fail(err)
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(server.QueryReply{Results: results})
+		_ = enc.Encode(reply)
 		return
 	}
-	for _, r := range results {
+	for _, r := range reply.Results {
 		status := ""
 		if r.Aborted {
 			status = " (aborted: out of budget)"
 		}
 		fmt.Printf("%s -> {%s} (%d contexts, %d steps)%s\n",
 			r.Var, strings.Join(r.Objects, ", "), r.Contexts, r.Steps, status)
+		if *verbose && r.Timings != nil {
+			t := r.Timings
+			co := ""
+			if t.Coalesced {
+				co = fmt.Sprintf(" coalesced-onto=%d", t.Primary)
+			}
+			fmt.Printf("  seq=%d batch=%d%s total=%s = admit %s + queue %s + solve %s + fanout %s (+ marshal %s)\n",
+				t.Seq, t.Batch, co, time.Duration(t.TotalNS),
+				time.Duration(t.AdmitNS), time.Duration(t.QueueWaitNS),
+				time.Duration(t.SolveNS), time.Duration(t.FanoutNS),
+				time.Duration(t.MarshalNS))
+		}
+	}
+	if *verbose {
+		fmt.Printf("request-id %s\n", reply.RequestID)
 	}
 }

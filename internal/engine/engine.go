@@ -110,6 +110,11 @@ type Config struct {
 	// queries (see internal/autopsy). Implies Profile. A nil collector
 	// costs nothing.
 	Heat *autopsy.Collector
+	// Tag is an opaque caller-supplied batch identifier carried into the
+	// run's SpRun span (its third payload), letting trace consumers join
+	// an engine batch back to whoever dispatched it — the resident server
+	// stamps its batch sequence number here. Zero means untagged.
+	Tag int64
 }
 
 func (c Config) threads() int {
@@ -415,7 +420,7 @@ func Run(g *pag.Graph, queries []pag.NodeID, cfg Config) ([]QueryResult, Stats) 
 	stats.WalkedPerWorker = walked
 	stats.Wall = time.Since(start)
 	sink.Time(obs.TmRun, stats.Wall)
-	sink.Span(obs.SpRun, obs.NoWorker, runT0, int64(total), int64(len(units)), 0)
+	sink.Span(obs.SpRun, obs.NoWorker, runT0, int64(total), int64(len(units)), cfg.Tag)
 
 	for i := range results {
 		r := &results[i]

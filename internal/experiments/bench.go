@@ -74,6 +74,19 @@ type BenchRun struct {
 	P50NS int64   `json:"p50_ns,omitempty"`
 	P99NS int64   `json:"p99_ns,omitempty"`
 
+	// Open-loop soak metrics (Serve-soak row only; zero otherwise): the
+	// census soaked at a fixed Poisson arrival rate against a warm server.
+	// The share columns attribute the summed request time to the server's
+	// lifecycle phases — drift here localises a regression (queueing vs
+	// solving vs fan-out) before the aggregate numbers move.
+	TargetQPS    float64 `json:"target_qps,omitempty"`
+	P999NS       int64   `json:"p999_ns,omitempty"`
+	OverloadRate float64 `json:"overload_rate,omitempty"`
+	AdmitShare   float64 `json:"admit_share,omitempty"`
+	QueueShare   float64 `json:"queue_share,omitempty"`
+	SolveShare   float64 `json:"solve_share,omitempty"`
+	FanoutShare  float64 `json:"fanout_share,omitempty"`
+
 	// Traversal-kernel throughput (kernel-on/off rows only; zero
 	// otherwise): budget steps retired per second of engine wall time, and
 	// heap allocations per query (runtime.MemStats.Mallocs delta over the

@@ -21,13 +21,13 @@ func TestBenchGridSmall(t *testing.T) {
 	if rep.Schema != BenchSchema {
 		t.Fatalf("schema = %q", rep.Schema)
 	}
-	// 4 modes + the DQ+cache row + the Serve-cold/Serve-warm rows + the
-	// traversal-kernel off/on pair.
-	if len(rep.Runs) != 9 {
-		t.Fatalf("%d runs, want 9", len(rep.Runs))
+	// 4 modes + the DQ+cache row + the Serve-cold/Serve-warm/Serve-soak
+	// rows + the traversal-kernel off/on pair.
+	if len(rep.Runs) != 10 {
+		t.Fatalf("%d runs, want 10", len(rep.Runs))
 	}
 	wantModes := []string{"SeqCFL", "ParCFL-naive", "ParCFL-D", "ParCFL-DQ",
-		"ParCFL-DQ+cache", "Serve-cold", "Serve-warm",
+		"ParCFL-DQ+cache", "Serve-cold", "Serve-warm", "Serve-soak",
 		"seq+kernel-off", "seq+kernel-on"}
 	queries := rep.Runs[0].Queries
 	for i, r := range rep.Runs {
@@ -37,7 +37,7 @@ func TestBenchGridSmall(t *testing.T) {
 		if r.Bench != "_200_check" || r.WallNS <= 0 || r.Queries == 0 {
 			t.Fatalf("run %d malformed: %+v", i, r)
 		}
-		serving := i == 5 || i == 6
+		serving := i >= 5 && i <= 7
 		if !serving && r.Queries != queries {
 			t.Fatalf("run %d: %d queries, Seq saw %d", i, r.Queries, queries)
 		}
@@ -47,6 +47,16 @@ func TestBenchGridSmall(t *testing.T) {
 		if serving && (r.QPS <= 0 || r.P50NS <= 0 || r.P99NS < r.P50NS) {
 			t.Fatalf("serving run %d has no throughput shape: %+v", i, r)
 		}
+	}
+	soak := rep.Runs[7]
+	if soak.TargetQPS <= 0 || soak.P999NS < soak.P99NS || soak.Completed == 0 {
+		t.Fatalf("soak row malformed: %+v", soak)
+	}
+	if shares := soak.AdmitShare + soak.QueueShare + soak.SolveShare + soak.FanoutShare; shares < 0.99 || shares > 1.01 {
+		t.Fatalf("soak phase shares sum to %.4f, want 1: %+v", shares, soak)
+	}
+	if soak.OverloadRate > 0.01 {
+		t.Fatalf("soak overloaded %.2f%% of requests at a sub-saturation rate", 100*soak.OverloadRate)
 	}
 	cold, warm := rep.Runs[5], rep.Runs[6]
 	if warm.StepsWalked >= cold.StepsWalked {
@@ -67,7 +77,7 @@ func TestBenchGridSmall(t *testing.T) {
 	if c := rep.Runs[4]; c.CacheHits+c.CacheMisses == 0 {
 		t.Fatalf("cache row has no cache activity: %+v", c)
 	}
-	koff, kon := rep.Runs[7], rep.Runs[8]
+	koff, kon := rep.Runs[8], rep.Runs[9]
 	if koff.TotalSteps != kon.TotalSteps {
 		t.Fatalf("kernel rows diverge: off %d steps, on %d", koff.TotalSteps, kon.TotalSteps)
 	}
@@ -140,7 +150,7 @@ func TestBenchWritesJSONFile(t *testing.T) {
 		t.Fatalf("artifact = schema %q, %d reports", h.Schema, len(h.Reports))
 	}
 	rep := h.Reports[0]
-	if rep.Schema != BenchSchema || len(rep.Runs) != 9 {
+	if rep.Schema != BenchSchema || len(rep.Runs) != 10 {
 		t.Fatalf("report = schema %q, %d runs", rep.Schema, len(rep.Runs))
 	}
 	if rep.Label != "first" || rep.GitRev != "abc1234" {

@@ -32,16 +32,27 @@ type DiffOptions struct {
 	// MinWallNS is the wall gate's noise floor: cells whose baseline ran
 	// shorter than this are skipped.
 	MinWallNS int64
+	// QPSPct fails a serving cell (Serve-*) whose qps dropped by more than
+	// this percent below the baseline. qps is higher-is-better — the
+	// opposite gating direction from wall_ns, same as the sharing counters.
+	// <= 0 disables the qps gate.
+	QPSPct float64
+	// MinQPS is the qps gate's noise floor: baselines below this rate are
+	// too small for a relative drop to mean anything.
+	MinQPS float64
 }
 
 // DefaultDiffOptions returns the thresholds benchdiff ships with: 20% wall
-// growth, 50% counter drop, counters under 50 and walls under 1ms ignored.
+// growth, 50% counter drop, 50% qps drop; counters under 50, walls under
+// 1ms and rates under 20 qps ignored.
 func DefaultDiffOptions() DiffOptions {
 	return DiffOptions{
 		WallPct:   20,
 		CountPct:  50,
 		MinCount:  50,
 		MinWallNS: int64(time.Millisecond),
+		QPSPct:    50,
+		MinQPS:    20,
 	}
 }
 
@@ -146,6 +157,19 @@ func DiffReports(base, head *BenchReport, opt DiffOptions) *Diff {
 		d.add(diffCount(b, h, "jumps_taken", b.JumpsTaken, h.JumpsTaken, opt, comparable))
 		d.add(diffCount(b, h, "early_terminations",
 			int64(b.EarlyTerminations), int64(h.EarlyTerminations), opt, comparable))
+		// Serving cells additionally carry a throughput gate (direction
+		// opposite to wall) and, for soak rows, informational phase-share
+		// drift so a localised shift (queueing vs solving) is visible in the
+		// diff before it moves the aggregate numbers.
+		if b.QPS > 0 && h.QPS > 0 {
+			d.add(diffQPS(b, h, opt, comparable))
+		}
+		if b.TargetQPS > 0 && h.TargetQPS > 0 {
+			d.add(diffShare(b, h, "admit_share_bp", b.AdmitShare, h.AdmitShare, comparable))
+			d.add(diffShare(b, h, "queue_share_bp", b.QueueShare, h.QueueShare, comparable))
+			d.add(diffShare(b, h, "solve_share_bp", b.SolveShare, h.SolveShare, comparable))
+			d.add(diffShare(b, h, "fanout_share_bp", b.FanoutShare, h.FanoutShare, comparable))
+		}
 	}
 	return d
 }
@@ -199,6 +223,45 @@ func diffCount(b, h *BenchRun, metric string, base, head int64, opt DiffOptions,
 		c.Skipped, c.Note = true, "below noise floor"
 	default:
 		c.Regression = c.DeltaPct < -opt.CountPct
+	}
+	return c
+}
+
+// diffQPS gates serving throughput, reported in milli-qps so the int64 cell
+// keeps three decimals. qps is higher-is-better: a drop beyond QPSPct is
+// the regression, growth never fails.
+func diffQPS(b, h *BenchRun, opt DiffOptions, comparable bool) DiffCell {
+	c := DiffCell{
+		Bench: b.Bench, Mode: b.Mode, Metric: "qps_milli",
+		Base: int64(b.QPS * 1000), Head: int64(h.QPS * 1000),
+	}
+	c.DeltaPct = deltaPct(c.Base, c.Head)
+	switch {
+	case !comparable:
+		c.Skipped, c.Note = true, "query census changed"
+	case opt.QPSPct <= 0:
+		c.Skipped, c.Note = true, "qps gate disabled"
+	case b.QPS < opt.MinQPS:
+		c.Skipped, c.Note = true, "below noise floor"
+	default:
+		c.Regression = c.DeltaPct < -opt.QPSPct
+	}
+	return c
+}
+
+// diffShare reports phase-share drift in basis points (1/100 of a percent of
+// the request's end-to-end time). Shares are a diagnostic — where the time
+// went, not how much — so these cells are always informational: never gated,
+// present in the table and the -json diff to localise a wall/qps regression.
+func diffShare(b, h *BenchRun, metric string, base, head float64, comparable bool) DiffCell {
+	c := DiffCell{
+		Bench: b.Bench, Mode: b.Mode, Metric: metric,
+		Base: int64(base*10_000 + 0.5), Head: int64(head*10_000 + 0.5),
+		Skipped: true, Note: "informational",
+	}
+	c.DeltaPct = deltaPct(c.Base, c.Head)
+	if !comparable {
+		c.Note = "query census changed"
 	}
 	return c
 }

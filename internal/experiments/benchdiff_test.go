@@ -107,6 +107,76 @@ func TestDiffCounterNoiseFloor(t *testing.T) {
 	}
 }
 
+// soakRunCell builds a Serve-soak grid cell.
+func soakRunCell(qps float64) BenchRun {
+	r := diffRun("b1", "Serve-soak", 1_200_000_000)
+	r.QPS = qps
+	r.TargetQPS = qps
+	r.AdmitShare, r.QueueShare, r.SolveShare, r.FanoutShare = 0.05, 0.30, 0.60, 0.05
+	return r
+}
+
+// TestDiffQPSDirection: qps is higher-is-better — a drop fails, growth never
+// does, and the direction is independent of the wall gate on the same cell.
+func TestDiffQPSDirection(t *testing.T) {
+	base := diffReport("base", soakRunCell(1000))
+
+	// -60% qps trips the default 50% drop gate.
+	d := DiffReports(base, diffReport("head", soakRunCell(400)), DefaultDiffOptions())
+	if c := findCell(t, d, "b1", "Serve-soak", "qps_milli"); !c.Regression {
+		t.Fatalf("-60%% qps not flagged: %+v", c)
+	}
+	// +60% qps is an improvement, not a regression.
+	d = DiffReports(base, diffReport("head", soakRunCell(1600)), DefaultDiffOptions())
+	if c := findCell(t, d, "b1", "Serve-soak", "qps_milli"); c.Regression {
+		t.Fatalf("qps growth flagged: %+v", c)
+	}
+	// Sub-floor baselines are noise.
+	d = DiffReports(diffReport("base", soakRunCell(10)), diffReport("head", soakRunCell(1)), DefaultDiffOptions())
+	if c := findCell(t, d, "b1", "Serve-soak", "qps_milli"); c.Regression || !c.Skipped || c.Note != "below noise floor" {
+		t.Fatalf("sub-floor qps cell not skipped: %+v", c)
+	}
+	// -qps-pct 0 disables the gate.
+	opt := DefaultDiffOptions()
+	opt.QPSPct = 0
+	d = DiffReports(base, diffReport("head", soakRunCell(1)), opt)
+	if c := findCell(t, d, "b1", "Serve-soak", "qps_milli"); c.Regression || !c.Skipped {
+		t.Fatalf("disabled qps gate still fired: %+v", c)
+	}
+}
+
+// TestDiffPhaseShareInformational: soak rows carry phase-share drift cells
+// in basis points that never gate, whatever the drift.
+func TestDiffPhaseShareInformational(t *testing.T) {
+	base := diffReport("base", soakRunCell(1000))
+	headRun := soakRunCell(1000)
+	headRun.QueueShare, headRun.SolveShare = 0.60, 0.30 // queueing exploded
+	d := DiffReports(base, diffReport("head", headRun), DefaultDiffOptions())
+	if d.Regressions != 0 {
+		t.Fatalf("informational share drift gated: %d regressions", d.Regressions)
+	}
+	c := findCell(t, d, "b1", "Serve-soak", "queue_share_bp")
+	if !c.Skipped || c.Note != "informational" {
+		t.Fatalf("share cell not informational: %+v", c)
+	}
+	if c.Base != 3000 || c.Head != 6000 {
+		t.Fatalf("share drift in bp = %d -> %d, want 3000 -> 6000", c.Base, c.Head)
+	}
+	for _, m := range []string{"admit_share_bp", "solve_share_bp", "fanout_share_bp"} {
+		findCell(t, d, "b1", "Serve-soak", m)
+	}
+	// Non-soak serving rows get the qps cell but no share cells.
+	warm := diffRun("b1", "Serve-warm", 10_000_000)
+	warm.QPS = 500
+	d = DiffReports(diffReport("base", warm), diffReport("head", warm), DefaultDiffOptions())
+	findCell(t, d, "b1", "Serve-warm", "qps_milli")
+	for _, c := range d.Cells {
+		if strings.HasSuffix(c.Metric, "_share_bp") {
+			t.Fatalf("non-soak row grew share cells: %+v", c)
+		}
+	}
+}
+
 func TestDiffQueryCensusMismatchIncomparable(t *testing.T) {
 	base := diffReport("base", diffRun("b1", "dq", 10_000_000))
 	headRun := diffRun("b1", "dq", 100_000_000) // would regress everything...

@@ -134,16 +134,22 @@ func serveRun(b *Bench, mode string, warmFrom *snapshot.Snapshot, opts Options) 
 	return row, snap, nil
 }
 
-// ServeRows produces the Serve-cold and Serve-warm rows for one prepared
-// benchmark.
+// ServeRows produces the Serve-cold, Serve-warm and Serve-soak rows for one
+// prepared benchmark: the closed-loop census replays (cold, then warm
+// through the snapshot codec) plus an open-loop Poisson soak of the warm
+// state at a rate derived from the warm throughput (see SoakRow).
 func ServeRows(b *Bench, opts Options) ([]BenchRun, error) {
 	cold, snap, err := serveRun(b, "Serve-cold", nil, opts)
 	if err != nil {
 		return nil, err
 	}
-	warm, _, err := serveRun(b, "Serve-warm", snap, opts)
+	warm, warmSnap, err := serveRun(b, "Serve-warm", snap, opts)
 	if err != nil {
 		return nil, err
 	}
-	return []BenchRun{cold, warm}, nil
+	soak, err := SoakRow(b, warmSnap, warm.QPS, opts)
+	if err != nil {
+		return nil, err
+	}
+	return []BenchRun{cold, warm, soak}, nil
 }

@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"parcfl/internal/server"
+	"parcfl/internal/snapshot"
+)
+
+// Open-loop soak harness. The serve rows replay the census as fast as the
+// server will take it (closed loop: a slow server slows the clients down,
+// hiding queueing). A soak instead fires requests at a fixed Poisson rate
+// regardless of how the server is doing — the open-loop shape that exposes
+// queue growth, overload shedding and tail latency inflation — and reports
+// a machine-readable summary suitable for gating.
+
+// SoakSchema identifies the layout of one soak report; bump on breaking
+// changes.
+const SoakSchema = "parcfl-soak/v1"
+
+// SoakOptions configures one open-loop run.
+type SoakOptions struct {
+	// Rate is the target arrival rate in requests/second (Poisson spaced;
+	// 0 means 100).
+	Rate float64
+	// Duration is how long arrivals keep coming (0 means 1s). In-flight
+	// requests are drained after the last arrival.
+	Duration time.Duration
+	// MaxInflight bounds concurrently outstanding requests; an arrival that
+	// would exceed it is shed client-side and counted, preserving the open
+	// loop without unbounded goroutine growth (0 means 64).
+	MaxInflight int
+	// Seed makes the arrival process and variable choice reproducible.
+	Seed int64
+	// Timeout is the per-request deadline (0 means 5s).
+	Timeout time.Duration
+	// Retry re-sends a request once after an overload rejection, honouring
+	// the server's Retry-After hint (capped at 100ms so a soak never parks).
+	Retry bool
+}
+
+func (o SoakOptions) withDefaults() SoakOptions {
+	if o.Rate <= 0 {
+		o.Rate = 100
+	}
+	if o.Duration <= 0 {
+		o.Duration = time.Second
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 64
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Second
+	}
+	return o
+}
+
+// SoakPhases aggregates the server-reported per-request phase breakdown
+// over every successful request: where the time went, as totals and as
+// shares of the summed end-to-end time.
+type SoakPhases struct {
+	AdmitNS     int64 `json:"admit_ns"`
+	QueueWaitNS int64 `json:"queue_wait_ns"`
+	SolveNS     int64 `json:"solve_ns"`
+	FanoutNS    int64 `json:"fanout_ns"`
+	MarshalNS   int64 `json:"marshal_ns,omitempty"`
+
+	AdmitShare  float64 `json:"admit_share"`
+	QueueShare  float64 `json:"queue_share"`
+	SolveShare  float64 `json:"solve_share"`
+	FanoutShare float64 `json:"fanout_share"`
+}
+
+// SoakReport is the machine-readable result of one open-loop run.
+type SoakReport struct {
+	Schema     string  `json:"schema"`
+	TargetQPS  float64 `json:"target_qps"`
+	DurationNS int64   `json:"duration_ns"`
+
+	Sent       int64 `json:"sent"`
+	Shed       int64 `json:"shed"`
+	Succeeded  int64 `json:"succeeded"`
+	Overloaded int64 `json:"overloaded"`
+	Deadlined  int64 `json:"deadlined"`
+	Errored    int64 `json:"errored"`
+	Retried    int64 `json:"retried"`
+
+	// QPS is the achieved success throughput; the rates are fractions of
+	// Sent.
+	QPS          float64 `json:"qps"`
+	OverloadRate float64 `json:"overload_rate"`
+	RetryRate    float64 `json:"retry_rate"`
+
+	// Client-observed latency of successful requests.
+	MeanNS int64 `json:"mean_ns"`
+	P50NS  int64 `json:"p50_ns"`
+	P99NS  int64 `json:"p99_ns"`
+	P999NS int64 `json:"p999_ns"`
+
+	Phases SoakPhases `json:"phases"`
+}
+
+// RunSoak fires Poisson-spaced requests at do for the configured duration
+// and aggregates the outcomes. numVars is the size of the variable universe;
+// each arrival carries a uniformly chosen index in [0, numVars). do performs
+// one request and returns the server's phase timings (zero value when the
+// transport does not carry them) — RunSoak classifies its error into
+// success / overload / deadline / other.
+func RunSoak(opts SoakOptions, numVars int, do func(ctx context.Context, varIdx int) (server.Timings, error)) SoakReport {
+	opts = opts.withDefaults()
+	rep := SoakReport{
+		Schema:    SoakSchema,
+		TargetQPS: opts.Rate,
+	}
+	if numVars <= 0 {
+		return rep
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	sem := make(chan struct{}, opts.MaxInflight)
+	var mu sync.Mutex
+	var latencies []int64
+	var wg sync.WaitGroup
+
+	fire := func(idx int) {
+		defer wg.Done()
+		defer func() { <-sem }()
+		ctx, cancel := context.WithTimeout(context.Background(), opts.Timeout)
+		defer cancel()
+		t0 := time.Now()
+		tm, err := do(ctx, idx)
+		if err != nil && opts.Retry && errors.Is(err, server.ErrOverloaded) {
+			delay := 10 * time.Millisecond
+			var oe *server.OverloadedError
+			if errors.As(err, &oe) && oe.RetryAfter > 0 {
+				delay = oe.RetryAfter
+			}
+			if delay > 100*time.Millisecond {
+				delay = 100 * time.Millisecond
+			}
+			select {
+			case <-time.After(delay):
+				mu.Lock()
+				rep.Retried++
+				mu.Unlock()
+				tm, err = do(ctx, idx)
+			case <-ctx.Done():
+			}
+		}
+		lat := time.Since(t0).Nanoseconds()
+		mu.Lock()
+		defer mu.Unlock()
+		switch {
+		case err == nil:
+			rep.Succeeded++
+			latencies = append(latencies, lat)
+			rep.Phases.AdmitNS += tm.AdmitNS
+			rep.Phases.QueueWaitNS += tm.QueueWaitNS
+			rep.Phases.SolveNS += tm.SolveNS
+			rep.Phases.FanoutNS += tm.FanoutNS
+			rep.Phases.MarshalNS += tm.MarshalNS
+		case errors.Is(err, server.ErrOverloaded), errors.Is(err, server.ErrClosed):
+			rep.Overloaded++
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			rep.Deadlined++
+		default:
+			rep.Errored++
+		}
+	}
+
+	// Absolute-time pacing: the next arrival is start plus the accumulated
+	// exponential gaps, so a slow iteration never shifts the whole schedule
+	// (that would close the loop).
+	start := time.Now()
+	next := time.Duration(0)
+	for {
+		next += time.Duration(rng.ExpFloat64() / opts.Rate * float64(time.Second))
+		if next > opts.Duration {
+			break
+		}
+		if d := time.Until(start.Add(next)); d > 0 {
+			time.Sleep(d)
+		}
+		idx := rng.Intn(numVars)
+		select {
+		case sem <- struct{}{}:
+			rep.Sent++
+			wg.Add(1)
+			go fire(idx)
+		default:
+			rep.Shed++
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	rep.DurationNS = elapsed.Nanoseconds()
+
+	if rep.Sent > 0 {
+		rep.OverloadRate = float64(rep.Overloaded) / float64(rep.Sent)
+		rep.RetryRate = float64(rep.Retried) / float64(rep.Sent)
+	}
+	if elapsed > 0 {
+		rep.QPS = float64(rep.Succeeded) / elapsed.Seconds()
+	}
+	if n := len(latencies); n > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		var sum int64
+		for _, l := range latencies {
+			sum += l
+		}
+		rep.MeanNS = sum / int64(n)
+		pct := func(p float64) int64 { return latencies[int(p*float64(n-1))] }
+		rep.P50NS = pct(0.50)
+		rep.P99NS = pct(0.99)
+		rep.P999NS = pct(0.999)
+	}
+	if tot := rep.Phases.AdmitNS + rep.Phases.QueueWaitNS + rep.Phases.SolveNS + rep.Phases.FanoutNS; tot > 0 {
+		rep.Phases.AdmitShare = float64(rep.Phases.AdmitNS) / float64(tot)
+		rep.Phases.QueueShare = float64(rep.Phases.QueueWaitNS) / float64(tot)
+		rep.Phases.SolveShare = float64(rep.Phases.SolveNS) / float64(tot)
+		rep.Phases.FanoutShare = float64(rep.Phases.FanoutNS) / float64(tot)
+	}
+	return rep
+}
+
+// soakRate picks the Serve-soak arrival rate from the warm closed-loop
+// throughput: well under saturation (the soak gates steady-state phase
+// shares and tail latency, not the overload cliff), bounded so tiny or huge
+// benches still produce a meaningful, cheap run.
+func soakRate(warmQPS float64) float64 {
+	r := 0.6 * warmQPS
+	if r < 50 {
+		r = 50
+	}
+	if r > 2000 {
+		r = 2000
+	}
+	return r
+}
+
+// SoakRow runs an open-loop soak against a warm server (restored from snap,
+// exactly what the resident daemon serves after a restart) and flattens the
+// report into one bench grid row. Queries is pinned to the census size — the
+// run's identity for benchdiff comparability — while Completed records how
+// many soak requests actually succeeded.
+func SoakRow(b *Bench, snap *snapshot.Snapshot, warmQPS float64, opts Options) (BenchRun, error) {
+	srv := server.NewFromSnapshot(snap, server.Config{
+		Threads: opts.Threads, Budget: opts.Budget,
+		QueryVars: b.Lowered.AppQueryVars, ResultCache: true,
+		BatchWindow: 200 * time.Microsecond,
+	})
+	defer srv.Close()
+
+	queries := b.Queries
+	rep := RunSoak(SoakOptions{
+		Rate:     soakRate(warmQPS),
+		Duration: 1200 * time.Millisecond,
+		Seed:     42,
+		Retry:    true,
+	}, len(queries), func(ctx context.Context, i int) (server.Timings, error) {
+		a, err := srv.QueryRequest(ctx, queries[i])
+		return a.Timings, err
+	})
+	if rep.Errored > 0 {
+		return BenchRun{}, fmt.Errorf("soak %s: %d hard errors (first-class failures, not shedding)",
+			b.Preset.Name, rep.Errored)
+	}
+
+	st := srv.Stats()
+	return BenchRun{
+		Bench:   b.Preset.Name,
+		Mode:    "Serve-soak",
+		Threads: opts.Threads,
+
+		WallNS: rep.DurationNS,
+
+		Queries:   len(queries),
+		Completed: int(rep.Succeeded),
+
+		CacheHits:    st.Cache.Hits,
+		CacheMisses:  st.Cache.Misses,
+		CacheHitRate: st.Cache.HitRate(),
+
+		QPS:    rep.QPS,
+		P50NS:  rep.P50NS,
+		P99NS:  rep.P99NS,
+		P999NS: rep.P999NS,
+
+		TargetQPS:    rep.TargetQPS,
+		OverloadRate: rep.OverloadRate,
+		AdmitShare:   rep.Phases.AdmitShare,
+		QueueShare:   rep.Phases.QueueShare,
+		SolveShare:   rep.Phases.SolveShare,
+		FanoutShare:  rep.Phases.FanoutShare,
+	}, nil
+}

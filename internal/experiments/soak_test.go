@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"parcfl/internal/server"
+)
+
+// TestRunSoakShape: a healthy target yields a well-formed report — every
+// arrival sent and succeeded, ordered percentiles, phase shares that
+// partition the attributed time.
+func TestRunSoakShape(t *testing.T) {
+	var calls atomic.Int64
+	rep := RunSoak(SoakOptions{Rate: 400, Duration: 250 * time.Millisecond, Seed: 7},
+		8, func(ctx context.Context, idx int) (server.Timings, error) {
+			if idx < 0 || idx >= 8 {
+				t.Errorf("var index %d out of range", idx)
+			}
+			calls.Add(1)
+			return server.Timings{
+				AdmitNS: 100, QueueWaitNS: 300, SolveNS: 500, FanoutNS: 100,
+				TotalNS: 1000,
+			}, nil
+		})
+	if rep.Schema != SoakSchema {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if rep.Sent == 0 || rep.Sent != calls.Load() || rep.Succeeded != rep.Sent {
+		t.Fatalf("sent=%d succeeded=%d calls=%d", rep.Sent, rep.Succeeded, calls.Load())
+	}
+	if rep.Shed != 0 || rep.Overloaded != 0 || rep.Deadlined != 0 || rep.Errored != 0 {
+		t.Fatalf("healthy soak reported failures: %+v", rep)
+	}
+	if rep.QPS <= 0 || rep.P50NS <= 0 || rep.P99NS < rep.P50NS || rep.P999NS < rep.P99NS {
+		t.Fatalf("latency shape: %+v", rep)
+	}
+	// Fixed timings: shares are exactly the per-request fractions.
+	ph := rep.Phases
+	if ph.AdmitShare != 0.1 || ph.QueueShare != 0.3 || ph.SolveShare != 0.5 || ph.FanoutShare != 0.1 {
+		t.Fatalf("phase shares: %+v", ph)
+	}
+}
+
+// TestRunSoakDeterministicArrivals: same seed, same arrival count and
+// variable draw — the property that makes soak diffs meaningful. The
+// inflight cap is set far above the arrival count so scheduling jitter can
+// never shed (shedding would make the count timing-dependent).
+func TestRunSoakDeterministicArrivals(t *testing.T) {
+	run := func() (int64, [5]int64) {
+		var hist [5]atomic.Int64
+		rep := RunSoak(SoakOptions{Rate: 300, Duration: 150 * time.Millisecond, Seed: 11, MaxInflight: 1024},
+			5, func(ctx context.Context, idx int) (server.Timings, error) {
+				hist[idx].Add(1)
+				return server.Timings{}, nil
+			})
+		var out [5]int64
+		for i := range hist {
+			out[i] = hist[i].Load()
+		}
+		return rep.Sent, out
+	}
+	n1, h1 := run()
+	n2, h2 := run()
+	if n1 == 0 || n1 != n2 {
+		t.Fatalf("arrival counts differ: %d vs %d", n1, n2)
+	}
+	if h1 != h2 {
+		t.Fatalf("variable draws diverged: %v vs %v", h1, h2)
+	}
+}
+
+// TestRunSoakClassification: overloads are classified, retried once when
+// asked, and never pollute the success latency set; deadline and hard
+// errors land in their own buckets.
+func TestRunSoakClassification(t *testing.T) {
+	var calls atomic.Int64
+	rep := RunSoak(SoakOptions{Rate: 200, Duration: 200 * time.Millisecond, Seed: 3, Retry: true},
+		4, func(ctx context.Context, idx int) (server.Timings, error) {
+			switch calls.Add(1) % 4 {
+			case 1:
+				return server.Timings{}, &server.OverloadedError{RetryAfter: time.Millisecond}
+			case 2:
+				return server.Timings{}, context.DeadlineExceeded
+			case 3:
+				return server.Timings{}, errors.New("boom")
+			}
+			return server.Timings{SolveNS: 10, TotalNS: 10}, nil
+		})
+	if rep.Retried == 0 {
+		t.Fatalf("no retries despite overloads: %+v", rep)
+	}
+	if rep.Deadlined == 0 || rep.Errored == 0 || rep.Succeeded == 0 {
+		t.Fatalf("classification: %+v", rep)
+	}
+	if rep.Sent != rep.Succeeded+rep.Overloaded+rep.Deadlined+rep.Errored {
+		t.Fatalf("outcomes do not partition sent: %+v", rep)
+	}
+	if rep.RetryRate <= 0 {
+		t.Fatalf("retry rate = %g", rep.RetryRate)
+	}
+}
+
+// TestRunSoakShedsAtInflightCap: with the target wedged, the open loop
+// sheds arrivals client-side instead of queueing unboundedly.
+func TestRunSoakShedsAtInflightCap(t *testing.T) {
+	block := make(chan struct{})
+	rep := RunSoak(SoakOptions{Rate: 500, Duration: 150 * time.Millisecond, Seed: 5,
+		MaxInflight: 2, Timeout: 50 * time.Millisecond},
+		1, func(ctx context.Context, idx int) (server.Timings, error) {
+			select {
+			case <-block:
+			case <-ctx.Done():
+			}
+			return server.Timings{}, ctx.Err()
+		})
+	close(block)
+	if rep.Shed == 0 {
+		t.Fatalf("wedged target shed nothing: %+v", rep)
+	}
+	if rep.Sent > 0 && rep.Deadlined == 0 {
+		t.Fatalf("wedged target produced no deadline outcomes: %+v", rep)
+	}
+}

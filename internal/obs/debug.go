@@ -19,6 +19,8 @@ import (
 //	                    when no recorder is attached)
 //	/debug/heat       — PAG heat profile from the attached HeatSource (JSON;
 //	                    an empty object when none is attached)
+//	/debug/slo        — rolling SLO windows with burn rates (obs.SLOSnapshot
+//	                    JSON; zero-valued when no tracker is attached)
 //	/metrics          — Prometheus text exposition (counters, gauges, timers,
 //	                    latency histograms, flight-recorder last sample, heat
 //	                    top-k gauges)
@@ -58,9 +60,15 @@ func Handler(sink *Sink) http.Handler {
 		}
 		_, _ = w.Write([]byte("{}\n"))
 	})
+	mux.HandleFunc("/debug/slo", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(sink.SLO().Snapshot())
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("parcfl debug endpoint\n\n/debug/vars\n/debug/pprof/\n/debug/obs\n/debug/timeseries\n/debug/heat\n/metrics\n"))
+		_, _ = w.Write([]byte("parcfl debug endpoint\n\n/debug/vars\n/debug/pprof/\n/debug/obs\n/debug/timeseries\n/debug/heat\n/debug/slo\n/metrics\n"))
 	})
 	return mux
 }

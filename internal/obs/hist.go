@@ -48,29 +48,59 @@ func (h HistID) String() string {
 	return "hist_unknown"
 }
 
-// NumHistBuckets is the number of finite histogram buckets. Bucket i counts
-// observations v with HistBucketBound(i-1) < v <= HistBucketBound(i) — i.e.
-// upper bounds are successive powers of two, 2^0 .. 2^(NumHistBuckets-1),
-// inclusive, matching Prometheus `le` semantics. 2^38 ns is ≈ 4.6 minutes,
-// comfortably above any single query; larger observations still count
-// toward Count and Sum (the +Inf bucket at export time).
-const NumHistBuckets = 39
+// Bucket layout. Pure power-of-two buckets give at most one bucket per
+// octave, which is far too coarse for warm-snapshot serve latencies: a
+// daemon answering most requests between 1µs and 4µs would pile every
+// observation into two buckets and report p50 == p99. Buckets therefore
+// stay exact powers of two up to 2^histSubOctaveStart, and above that each
+// octave (2^k, 2^(k+1)] splits into histSubBuckets equal-width sub-buckets
+// (~19% relative resolution at 4 per octave). The top finite bound stays
+// 2^histTopPow ns ≈ 4.6 minutes; larger observations still count toward
+// Count and Sum (the +Inf bucket at export time).
+const (
+	histSubOctaveStart = 10 // last pure power-of-two bucket bound: 2^10
+	histSubBuckets     = 4  // sub-buckets per octave above that
+	histTopPow         = 38 // last finite bound: 2^38
+)
 
-// HistBucketBound returns bucket i's inclusive upper bound, 2^i.
-func HistBucketBound(i int) int64 { return 1 << uint(i) }
+// NumHistBuckets is the number of finite histogram buckets: bucket i counts
+// observations v with HistBucketBound(i-1) < v <= HistBucketBound(i),
+// matching Prometheus `le` semantics. 11 power-of-two buckets (2^0..2^10)
+// plus 4 sub-buckets for each of the 28 octaves up to 2^38.
+const NumHistBuckets = histSubOctaveStart + 1 + (histTopPow-histSubOctaveStart)*histSubBuckets
+
+// HistBucketBound returns bucket i's inclusive upper bound: 2^i for
+// i <= histSubOctaveStart, then histSubBuckets evenly spaced bounds per
+// octave ending at 2^histTopPow.
+func HistBucketBound(i int) int64 {
+	if i <= histSubOctaveStart {
+		return 1 << uint(i)
+	}
+	j := i - histSubOctaveStart - 1
+	k := histSubOctaveStart + j/histSubBuckets
+	sub := j % histSubBuckets
+	// Bounds within (2^k, 2^(k+1)]: 2^k * (5/4, 6/4, 7/4, 8/4).
+	return (int64(1) << uint(k)) / histSubBuckets * int64(histSubBuckets+1+sub)
+}
 
 // histBucket maps an observation to its bucket index: the smallest i with
-// v <= 2^i. Values beyond the last finite bound return NumHistBuckets
-// (the implicit +Inf bucket).
+// v <= HistBucketBound(i). Values beyond the last finite bound return
+// NumHistBuckets (the implicit +Inf bucket).
 func histBucket(v int64) int {
 	if v <= 1 {
 		return 0
 	}
-	b := bits.Len64(uint64(v - 1))
-	if b > NumHistBuckets-1 {
+	b := bits.Len64(uint64(v - 1)) // smallest b with v <= 2^b
+	if b <= histSubOctaveStart {
+		return b
+	}
+	if b > histTopPow {
 		return NumHistBuckets
 	}
-	return b
+	k := b - 1                 // v lies in (2^k, 2^(k+1)]
+	w := int64(1) << uint(k-2) // sub-bucket width 2^k / histSubBuckets
+	sub := (v - 1 - (int64(1) << uint(k))) / w
+	return histSubOctaveStart + 1 + (k-histSubOctaveStart)*histSubBuckets + int(sub)
 }
 
 // hist is one histogram's storage: per-bucket counts plus count and sum,
@@ -114,6 +144,40 @@ func (a HistSnapshot) Merge(b HistSnapshot) HistSnapshot {
 		out.Buckets[i] = a.Buckets[i] + b.Buckets[i]
 	}
 	return out
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) of the recorded
+// distribution by locating the bucket containing the rank and linearly
+// interpolating within it. Observations beyond the last finite bound are
+// reported as that bound. Returns 0 on an empty histogram.
+func (h HistSnapshot) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum int64
+	for i := 0; i < NumHistBuckets; i++ {
+		c := h.Buckets[i]
+		if c == 0 {
+			continue
+		}
+		if float64(cum)+float64(c) >= rank {
+			var lo int64
+			if i > 0 {
+				lo = HistBucketBound(i - 1)
+			}
+			hi := HistBucketBound(i)
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + int64(frac*float64(hi-lo)+0.5)
+		}
+		cum += c
+	}
+	return HistBucketBound(NumHistBuckets - 1)
 }
 
 // Hist reads histogram h (zero value on a nil sink).

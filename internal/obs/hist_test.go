@@ -2,9 +2,10 @@ package obs
 
 import "testing"
 
-// TestHistBucketBoundaries pins the inclusive power-of-two bucket mapping:
-// bucket i is the smallest with v <= 2^i, matching the Prometheus `le`
-// labels WriteProm emits.
+// TestHistBucketBoundaries pins the bucket mapping: exact powers of two up
+// to 2^histSubOctaveStart, then histSubBuckets equal-width sub-buckets per
+// octave up to 2^histTopPow, inclusive upper bounds matching the
+// Prometheus `le` labels WriteProm emits.
 func TestHistBucketBoundaries(t *testing.T) {
 	cases := []struct {
 		v    int64
@@ -15,27 +16,75 @@ func TestHistBucketBoundaries(t *testing.T) {
 		{3, 2}, {4, 2}, // le="4"
 		{5, 3}, {8, 3}, // le="8"
 		{9, 4}, {16, 4}, // le="16"
-		{1 << 20, 20},   // exact bound lands in its own bucket
-		{1<<20 + 1, 21}, // one past the bound spills to the next
-		{1 << (NumHistBuckets - 1), NumHistBuckets - 1}, // last finite bucket
-		{1<<(NumHistBuckets-1) + 1, NumHistBuckets},     // +Inf
-		{int64(1) << 62, NumHistBuckets},                // way past the top
+		{1024, 10},             // last pure power-of-two bucket
+		{1025, 11}, {1280, 11}, // first sub-bucket: le="1280"
+		{1281, 12}, {1536, 12}, // le="1536"
+		{2047, 14}, {2048, 14}, // octave top: le="2048"
+		{2049, 15}, {2560, 15}, // next octave's first sub-bucket
+		{1 << histTopPow, NumHistBuckets - 1}, // last finite bucket
+		{1<<histTopPow + 1, NumHistBuckets},   // +Inf
+		{int64(1) << 62, NumHistBuckets},      // way past the top
 	}
 	for _, c := range cases {
 		if got := histBucket(c.v); got != c.want {
 			t.Fatalf("histBucket(%d) = %d, want %d", c.v, got, c.want)
 		}
 	}
+	prev := int64(0)
 	for i := 0; i < NumHistBuckets; i++ {
 		bound := HistBucketBound(i)
+		if bound <= prev {
+			t.Fatalf("bounds not strictly increasing: bound(%d)=%d after %d", i, bound, prev)
+		}
 		if got := histBucket(bound); got != i {
-			t.Fatalf("bound %d (2^%d) lands in bucket %d, want %d", bound, i, got, i)
+			t.Fatalf("bound %d lands in bucket %d, want %d", bound, got, i)
 		}
-		if i > 0 {
-			if got := histBucket(bound/2 + 1); got != i {
-				t.Fatalf("first value of bucket %d lands in %d", i, got)
-			}
+		if got := histBucket(prev + 1); got != i {
+			t.Fatalf("first value of bucket %d (%d) lands in %d", i, prev+1, got)
 		}
+		prev = bound
+	}
+	if top := HistBucketBound(NumHistBuckets - 1); top != 1<<histTopPow {
+		t.Fatalf("top finite bound = %d, want 2^%d", top, histTopPow)
+	}
+}
+
+// TestHistQuantileOrdering is the serve-latency floor regression test: a
+// latency population spread inside a single power-of-two octave (here
+// 2–3.9ms, all within (2^21, 2^22]) must still resolve p50 < p99. Under
+// the old one-bucket-per-octave layout every observation collapsed into
+// one bucket and the daemon reported p50 == p99 on warm snapshots.
+func TestHistQuantileOrdering(t *testing.T) {
+	s := New(Config{})
+	const ms = int64(1e6)
+	for i := int64(0); i < 1000; i++ {
+		// 90% between 2.0 and 2.6ms, a 10% tail up to 3.9ms.
+		v := 2*ms + (i%10)*60_000
+		if i%10 == 9 {
+			v = 3*ms + (i%100)*9_000
+		}
+		s.Observe(HistServerLatencyNS, v)
+	}
+	hs := s.Hist(HistServerLatencyNS)
+	p50 := hs.Quantile(0.50)
+	p99 := hs.Quantile(0.99)
+	if !(p50 < p99) {
+		t.Fatalf("p50 = %d, p99 = %d: want p50 < p99", p50, p99)
+	}
+	if p50 < 2*ms || p50 > 3*ms {
+		t.Fatalf("p50 = %d out of plausible range", p50)
+	}
+	if p99 < 3*ms || p99 > 4500*1000 {
+		t.Fatalf("p99 = %d out of plausible range", p99)
+	}
+	// Quantiles are monotone in q.
+	last := int64(-1)
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		v := hs.Quantile(q)
+		if v < last {
+			t.Fatalf("Quantile(%g) = %d < previous %d", q, v, last)
+		}
+		last = v
 	}
 }
 

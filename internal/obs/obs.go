@@ -229,6 +229,7 @@ type Sink struct {
 	spans    atomic.Pointer[spanRegion]
 	recorder atomic.Pointer[Recorder]
 	heat     atomic.Pointer[heatBox]
+	slo      atomic.Pointer[SLO]
 }
 
 // New creates a sink.

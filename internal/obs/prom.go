@@ -110,6 +110,44 @@ func WriteProm(w io.Writer, s *Sink) error {
 		bw.printf("%s_sum %d\n", name, hs.Sum)
 		bw.printf("%s_count %d\n", name, hs.Count)
 	}
+	// SLO state, when a tracker is attached: outcome counts by class plus
+	// per-window availability/latency attainment and burn rates. Window
+	// lengths become a label so both 5m and 1h series scrape side by side.
+	if slo := s.SLO(); slo != nil {
+		snap := slo.Snapshot()
+		bw.printf("# HELP parcfl_slo_requests_total Requests accounted by the SLO tracker, by outcome class (longest window).\n")
+		bw.printf("# TYPE parcfl_slo_requests_total counter\n")
+		if n := len(snap.Windows); n > 0 {
+			longest := snap.Windows[n-1]
+			for c := SLOClass(0); c < NumSLOClasses; c++ {
+				bw.printf("parcfl_slo_requests_total{class=%q} %d\n", c.String(), longest.Classes[c.String()])
+			}
+		}
+		bw.printf("# HELP parcfl_slo_availability_objective Availability objective (fraction).\n")
+		bw.printf("# TYPE parcfl_slo_availability_objective gauge\n")
+		bw.printf("parcfl_slo_availability_objective %g\n", snap.AvailabilityObjective)
+		bw.printf("# HELP parcfl_slo_latency_objective Latency objective (fraction within target).\n")
+		bw.printf("# TYPE parcfl_slo_latency_objective gauge\n")
+		bw.printf("parcfl_slo_latency_objective %g\n", snap.LatencyObjective)
+		bw.printf("# HELP parcfl_slo_latency_target_ns Latency SLI threshold in nanoseconds.\n")
+		bw.printf("# TYPE parcfl_slo_latency_target_ns gauge\n")
+		bw.printf("parcfl_slo_latency_target_ns %d\n", snap.LatencyTargetNS)
+		for _, fam := range []struct {
+			name, help string
+			val        func(SLOWindow) float64
+		}{
+			{"parcfl_slo_availability", "Rolling availability SLI (success+overload over total).", func(w SLOWindow) float64 { return w.Availability }},
+			{"parcfl_slo_avail_burn_rate", "Availability error-budget burn rate ((1-SLI)/(1-objective)).", func(w SLOWindow) float64 { return w.AvailBurnRate }},
+			{"parcfl_slo_latency_attainment", "Rolling fraction of successes within the latency target.", func(w SLOWindow) float64 { return w.LatencyAttainment }},
+			{"parcfl_slo_latency_burn_rate", "Latency error-budget burn rate ((1-SLI)/(1-objective)).", func(w SLOWindow) float64 { return w.LatencyBurnRate }},
+		} {
+			bw.printf("# HELP %s %s\n", fam.name, fam.help)
+			bw.printf("# TYPE %s gauge\n", fam.name)
+			for _, w := range snap.Windows {
+				bw.printf("%s{window=\"%ds\"} %g\n", fam.name, w.WindowSec, fam.val(w))
+			}
+		}
+	}
 	// The flight recorder's newest sample, one gauge per series under the
 	// parcfl_fr_ prefix (fr = flight recorder) so runtime series never
 	// collide with the engine counter/gauge names above.

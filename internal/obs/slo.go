@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SLOClass classifies one served request's outcome for SLO accounting.
+//
+// The availability SLI counts ClassSuccess and ClassOverload as "good":
+// an overload rejection is the server protecting itself as designed, and
+// counting it against availability would make load shedding look like an
+// outage. Deadline misses and internal errors are "bad". The latency SLI
+// is computed over successful requests only.
+type SLOClass uint8
+
+const (
+	// ClassSuccess: the request got its answer.
+	ClassSuccess SLOClass = iota
+	// ClassOverload: rejected by admission control (ErrOverloaded / 429).
+	ClassOverload
+	// ClassDeadline: the request's deadline expired before its answer.
+	ClassDeadline
+	// ClassError: any other failure (bad input, marshal error, solver bug).
+	ClassError
+
+	// NumSLOClasses is the number of defined outcome classes.
+	NumSLOClasses
+)
+
+var sloClassNames = [NumSLOClasses]string{"success", "overload", "deadline", "error"}
+
+// String returns the class's lowercase name.
+func (c SLOClass) String() string {
+	if int(c) < len(sloClassNames) {
+		return sloClassNames[c]
+	}
+	return "class_unknown"
+}
+
+// SLOConfig configures an SLO tracker.
+type SLOConfig struct {
+	// AvailabilityObjective is the target fraction of non-bad requests,
+	// e.g. 0.999. Defaults to 0.999; clamped to [0, 0.9999999].
+	AvailabilityObjective float64
+	// LatencyObjective is the target fraction of successful requests
+	// answered within LatencyTargetNS, e.g. 0.99. Defaults to 0.99.
+	LatencyObjective float64
+	// LatencyTargetNS is the latency threshold for the latency SLI.
+	// Defaults to 50ms.
+	LatencyTargetNS int64
+	// Windows are the rolling windows to report, longest last. Defaults
+	// to {5m, 1h}. Each must be a positive whole number of seconds.
+	Windows []time.Duration
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+// sloBucket accumulates one wall-clock second of outcomes.
+type sloBucket struct {
+	unix    int64 // second this bucket covers; 0 = never used
+	classes [NumSLOClasses]int64
+	slow    int64 // successes above LatencyTargetNS
+	sumNS   int64 // latency sum over successes
+}
+
+// SLO tracks request outcomes against availability and latency objectives
+// over rolling windows, with burn-rate computation. It keeps one bucket per
+// second in a ring sized to the longest window; Record is a mutex-guarded
+// handful of adds, cheap relative to the HTTP request it accounts for.
+// All methods are nil-safe.
+type SLO struct {
+	cfg SLOConfig
+
+	mu   sync.Mutex
+	ring []sloBucket
+}
+
+// NewSLO builds an SLO tracker, applying config defaults.
+func NewSLO(cfg SLOConfig) *SLO {
+	if cfg.AvailabilityObjective <= 0 {
+		cfg.AvailabilityObjective = 0.999
+	}
+	if cfg.AvailabilityObjective > 0.9999999 {
+		cfg.AvailabilityObjective = 0.9999999
+	}
+	if cfg.LatencyObjective <= 0 {
+		cfg.LatencyObjective = 0.99
+	}
+	if cfg.LatencyObjective > 0.9999999 {
+		cfg.LatencyObjective = 0.9999999
+	}
+	if cfg.LatencyTargetNS <= 0 {
+		cfg.LatencyTargetNS = 50 * int64(time.Millisecond)
+	}
+	if len(cfg.Windows) == 0 {
+		cfg.Windows = []time.Duration{5 * time.Minute, time.Hour}
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	maxSec := int64(1)
+	for _, w := range cfg.Windows {
+		if s := int64(w / time.Second); s > maxSec {
+			maxSec = s
+		}
+	}
+	return &SLO{cfg: cfg, ring: make([]sloBucket, maxSec)}
+}
+
+// Record accounts one request outcome. latencyNS is the request's
+// admission-to-reply latency; it feeds the latency SLI only for
+// ClassSuccess. Nil-safe.
+func (s *SLO) Record(class SLOClass, latencyNS int64) {
+	if s == nil || class >= NumSLOClasses {
+		return
+	}
+	sec := s.cfg.now().Unix()
+	s.mu.Lock()
+	b := &s.ring[sec%int64(len(s.ring))]
+	if b.unix != sec {
+		*b = sloBucket{unix: sec}
+	}
+	b.classes[class]++
+	if class == ClassSuccess {
+		b.sumNS += latencyNS
+		if latencyNS > s.cfg.LatencyTargetNS {
+			b.slow++
+		}
+	}
+	s.mu.Unlock()
+}
+
+// SLOWindow is one rolling window's state in an SLOSnapshot.
+type SLOWindow struct {
+	WindowSec int64            `json:"window_sec"`
+	Total     int64            `json:"total"`
+	Classes   map[string]int64 `json:"classes"`
+
+	// Availability is good/total over the window (1 when empty):
+	// good = success + overload (shedding is not an outage).
+	Availability float64 `json:"availability"`
+	// AvailBurnRate is (1-Availability)/(1-objective): 1.0 burns the error
+	// budget exactly at the sustainable rate, >1 exhausts it early.
+	AvailBurnRate float64 `json:"avail_burn_rate"`
+
+	// LatencyAttainment is the fraction of successes within the latency
+	// target (1 when there were no successes).
+	LatencyAttainment float64 `json:"latency_attainment"`
+	// LatencyBurnRate is (1-LatencyAttainment)/(1-objective).
+	LatencyBurnRate float64 `json:"latency_burn_rate"`
+	// MeanLatencyNS is the mean success latency over the window.
+	MeanLatencyNS int64 `json:"mean_latency_ns"`
+}
+
+// SLOSnapshot is the tracker's state at a point in time.
+type SLOSnapshot struct {
+	Schema                string      `json:"schema"`
+	AvailabilityObjective float64     `json:"availability_objective"`
+	LatencyObjective      float64     `json:"latency_objective"`
+	LatencyTargetNS       int64       `json:"latency_target_ns"`
+	Windows               []SLOWindow `json:"windows"`
+}
+
+// SLOSchema identifies the /debug/slo JSON layout.
+const SLOSchema = "parcfl-slo/v1"
+
+// Snapshot summarises every configured window. Nil-safe (zero value).
+func (s *SLO) Snapshot() SLOSnapshot {
+	if s == nil {
+		return SLOSnapshot{Schema: SLOSchema}
+	}
+	out := SLOSnapshot{
+		Schema:                SLOSchema,
+		AvailabilityObjective: s.cfg.AvailabilityObjective,
+		LatencyObjective:      s.cfg.LatencyObjective,
+		LatencyTargetNS:       s.cfg.LatencyTargetNS,
+	}
+	now := s.cfg.now().Unix()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, wd := range s.cfg.Windows {
+		sec := int64(wd / time.Second)
+		w := SLOWindow{WindowSec: sec, Classes: make(map[string]int64, NumSLOClasses)}
+		var classes [NumSLOClasses]int64
+		var slow, sumNS int64
+		// Sum the ring buckets stamped inside [now-sec+1, now]; stale slots
+		// (overwritten or never touched) identify themselves by unix stamp.
+		lo := now - sec + 1
+		for i := range s.ring {
+			b := &s.ring[i]
+			if b.unix < lo || b.unix > now {
+				continue
+			}
+			for c := range classes {
+				classes[c] += b.classes[c]
+			}
+			slow += b.slow
+			sumNS += b.sumNS
+		}
+		for c, n := range classes {
+			w.Classes[SLOClass(c).String()] = n
+			w.Total += n
+		}
+		good := classes[ClassSuccess] + classes[ClassOverload]
+		w.Availability = 1
+		if w.Total > 0 {
+			w.Availability = float64(good) / float64(w.Total)
+		}
+		w.AvailBurnRate = (1 - w.Availability) / (1 - s.cfg.AvailabilityObjective)
+		succ := classes[ClassSuccess]
+		w.LatencyAttainment = 1
+		if succ > 0 {
+			w.LatencyAttainment = float64(succ-slow) / float64(succ)
+			w.MeanLatencyNS = sumNS / succ
+		}
+		w.LatencyBurnRate = (1 - w.LatencyAttainment) / (1 - s.cfg.LatencyObjective)
+		out.Windows = append(out.Windows, w)
+	}
+	return out
+}
+
+// AttachSLO attaches an SLO tracker to the sink; Record calls via SLO()
+// feed it. Attach once at startup, before serving. Nil-safe.
+func (s *Sink) AttachSLO(t *SLO) {
+	if s == nil {
+		return
+	}
+	s.slo.Store(t)
+}
+
+// SLO returns the attached tracker, or nil (whose methods no-op). Nil-safe.
+func (s *Sink) SLO() *SLO {
+	if s == nil {
+		return nil
+	}
+	return s.slo.Load()
+}

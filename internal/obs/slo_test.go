@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock steps a deterministic wall clock for SLO window tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestSLO(c *fakeClock, windows ...time.Duration) *SLO {
+	return NewSLO(SLOConfig{
+		AvailabilityObjective: 0.99,
+		LatencyObjective:      0.9,
+		LatencyTargetNS:       int64(10 * time.Millisecond),
+		Windows:               windows,
+		now:                   c.now,
+	})
+}
+
+func TestSLOBurnRates(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	s := newTestSLO(clk, 5*time.Minute, time.Hour)
+
+	// 98 fast successes, 1 slow success, 1 deadline miss, 1 overload.
+	for i := 0; i < 98; i++ {
+		s.Record(ClassSuccess, int64(2*time.Millisecond))
+	}
+	s.Record(ClassSuccess, int64(40*time.Millisecond))
+	s.Record(ClassDeadline, int64(30*time.Millisecond))
+	s.Record(ClassOverload, 0)
+
+	snap := s.Snapshot()
+	if snap.Schema != SLOSchema {
+		t.Fatalf("schema = %q", snap.Schema)
+	}
+	if len(snap.Windows) != 2 {
+		t.Fatalf("windows = %d", len(snap.Windows))
+	}
+	w := snap.Windows[0]
+	if w.Total != 101 {
+		t.Fatalf("total = %d", w.Total)
+	}
+	if w.Classes["success"] != 99 || w.Classes["deadline"] != 1 || w.Classes["overload"] != 1 {
+		t.Fatalf("classes = %v", w.Classes)
+	}
+	// Availability counts overload as good: 100/101.
+	wantAvail := 100.0 / 101.0
+	if math.Abs(w.Availability-wantAvail) > 1e-9 {
+		t.Fatalf("availability = %g, want %g", w.Availability, wantAvail)
+	}
+	wantBurn := (1 - wantAvail) / (1 - 0.99)
+	if math.Abs(w.AvailBurnRate-wantBurn) > 1e-9 {
+		t.Fatalf("avail burn = %g, want %g", w.AvailBurnRate, wantBurn)
+	}
+	// Latency SLI over successes only: 98/99 within the 10ms target.
+	wantAtt := 98.0 / 99.0
+	if math.Abs(w.LatencyAttainment-wantAtt) > 1e-9 {
+		t.Fatalf("latency attainment = %g, want %g", w.LatencyAttainment, wantAtt)
+	}
+	if w.LatencyBurnRate <= 0 {
+		t.Fatalf("latency burn = %g", w.LatencyBurnRate)
+	}
+	// Both windows saw the same traffic.
+	if snap.Windows[1].Total != 101 {
+		t.Fatalf("1h total = %d", snap.Windows[1].Total)
+	}
+}
+
+func TestSLOWindowExpiry(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(2_000_000, 0)}
+	s := newTestSLO(clk, 10*time.Second, time.Minute)
+
+	s.Record(ClassError, 0)
+	clk.advance(30 * time.Second)
+	s.Record(ClassSuccess, int64(time.Millisecond))
+
+	snap := s.Snapshot()
+	short, long := snap.Windows[0], snap.Windows[1]
+	// The error has aged out of the 10s window but not the 1m one.
+	if short.Total != 1 || short.Classes["error"] != 0 {
+		t.Fatalf("short window = %+v", short)
+	}
+	if short.Availability != 1 || short.AvailBurnRate != 0 {
+		t.Fatalf("short window burn = %+v", short)
+	}
+	if long.Total != 2 || long.Classes["error"] != 1 {
+		t.Fatalf("long window = %+v", long)
+	}
+	if long.Availability != 0.5 {
+		t.Fatalf("long availability = %g", long.Availability)
+	}
+
+	// Ring reuse: after the long window passes, everything ages out.
+	clk.advance(2 * time.Minute)
+	snap = s.Snapshot()
+	for _, w := range snap.Windows {
+		if w.Total != 0 || w.Availability != 1 {
+			t.Fatalf("expired window = %+v", w)
+		}
+	}
+}
+
+func TestSLONilSafety(t *testing.T) {
+	var s *SLO
+	s.Record(ClassSuccess, 1) // must not panic
+	if snap := s.Snapshot(); snap.Schema != SLOSchema || len(snap.Windows) != 0 {
+		t.Fatalf("nil snapshot = %+v", snap)
+	}
+	var sink *Sink
+	if sink.SLO() != nil {
+		t.Fatal("nil sink SLO != nil")
+	}
+	sink.AttachSLO(nil) // no panic
+}
+
+func TestSLOPromExport(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(3_000_000, 0)}
+	sink := New(Config{})
+	sink.AttachSLO(newTestSLO(clk, 5*time.Minute, time.Hour))
+	sink.SLO().Record(ClassSuccess, int64(time.Millisecond))
+	sink.SLO().Record(ClassOverload, 0)
+
+	var sb strings.Builder
+	if err := WriteProm(&sb, sink); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, line := range []string{
+		`parcfl_slo_requests_total{class="success"} 1`,
+		`parcfl_slo_requests_total{class="overload"} 1`,
+		`parcfl_slo_availability{window="300s"} 1`,
+		`parcfl_slo_availability{window="3600s"} 1`,
+		`parcfl_slo_avail_burn_rate{window="300s"} 0`,
+		`parcfl_slo_latency_attainment{window="300s"} 1`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Fatalf("prom output missing %q\n%s", line, out)
+		}
+	}
+}

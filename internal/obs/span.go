@@ -44,6 +44,24 @@ const (
 	// SpIncUpdate: one incremental edit application. A = edges added,
 	// B = edges removed.
 	SpIncUpdate
+	// SpanAdmit: one server request's admission phase (handler entry to the
+	// pending-map insert or coalesce join). A = request sequence number,
+	// B = queue depth at admission, C = admission class (0 = new entry,
+	// 1 = coalesced onto pending, 2 = coalesced onto inflight).
+	SpanAdmit
+	// SpanQueueWait: one server request's wait from admission until the
+	// batch containing it was sealed. A = request sequence number,
+	// B = batch sequence number.
+	SpanQueueWait
+	// SpanBatchWindow: one dispatcher batch from window open (first pending
+	// entry observed) through seal, solve and fan-out. A = batch sequence
+	// number, B = distinct variables sealed, C = pending depth left behind.
+	SpanBatchWindow
+	// SpanServe: one server request end to end, admission to reply.
+	// A = request sequence number, B = primary request sequence (the request
+	// whose computation this one rode; equals A when not coalesced),
+	// C = outcome class (0 = success, 1 = overload, 2 = deadline, 3 = error).
+	SpanServe
 
 	// SpJmpTake (instant): a finished jmp shortcut was taken. A = node,
 	// B = steps saved.
@@ -63,6 +81,7 @@ var spanNames = [NumSpanKinds]string{
 	"run", "worker", "unit", "query", "comp_pts", "comp_fls",
 	"schedule", "sched_group", "sched_order", "sched_balance",
 	"refine_pass", "inc_update",
+	"admit", "queue_wait", "batch_window", "serve",
 	"jmp_take", "early_term", "jmp_insert",
 }
 
@@ -169,6 +188,24 @@ func (s *Sink) Span(kind SpanKind, worker int32, startNS int64, a, b, c int64) {
 		return
 	}
 	r.put(worker, Span{Kind: kind, Worker: worker, T: startNS, Dur: s.sinceNS() - startNS, A: a, B: b, C: c})
+}
+
+// SpanAt records a span whose start and duration were measured elsewhere —
+// e.g. reconstructed from phase stamps after a request replied, when the
+// interval's endpoints were captured by different goroutines. startNS must
+// come from SpanStart (or arithmetic on such values); durNS is clamped at 0.
+func (s *Sink) SpanAt(kind SpanKind, worker int32, startNS, durNS int64, a, b, c int64) {
+	if s == nil {
+		return
+	}
+	r := s.spans.Load()
+	if r == nil {
+		return
+	}
+	if durNS < 0 {
+		durNS = 0
+	}
+	r.put(worker, Span{Kind: kind, Worker: worker, T: startNS, Dur: durNS, A: a, B: b, C: c})
 }
 
 // SpanInstant records a zero-duration instant event on worker's track.

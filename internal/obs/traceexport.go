@@ -39,26 +39,40 @@ type TraceFile struct {
 	SpansDropped int64 `json:"parcflSpansDropped"`
 }
 
-const tracePid = 1
+// Lanes. Engine-side spans keep the original single process (pid 1, one
+// thread per worker); server request-lifecycle spans get their own
+// "parcfl-requests" process where every request sequence number is a
+// thread, so a request's admit → queue_wait → serve phases stack into one
+// Perfetto lane; the dispatcher's batch-anatomy spans get a third
+// "parcfl-batcher" process.
+const (
+	tracePid         = 1
+	traceRequestsPid = 2
+	traceBatcherPid  = 3
+)
 
 // spanArgNames maps each span kind's A/B/C payloads to argument names; an
 // empty name omits the argument.
 var spanArgNames = [NumSpanKinds][3]string{
-	SpRun:          {"queries", "units", ""},
-	SpWorker:       {"units", "queries", "steps_walked"},
-	SpUnit:         {"unit", "size", ""},
-	SpQuery:        {"var", "steps", "jumps_taken"},
-	SpCompPts:      {"node", "steps", "ctx_depth"},
-	SpCompFls:      {"node", "steps", "ctx_depth"},
-	SpSchedule:     {"groups", "", ""},
-	SpSchedGroup:   {"components", "", ""},
-	SpSchedOrder:   {"groups", "", ""},
-	SpSchedBalance: {"groups", "", ""},
-	SpRefinePass:   {"var", "pass", "approx_fields"},
-	SpIncUpdate:    {"edges_added", "edges_removed", ""},
-	SpJmpTake:      {"node", "steps_saved", ""},
-	SpEarlyTerm:    {"node", "required_budget", ""},
-	SpJmpInsert:    {"node", "cost", ""},
+	SpRun:           {"queries", "units", "batch"},
+	SpWorker:        {"units", "queries", "steps_walked"},
+	SpUnit:          {"unit", "size", ""},
+	SpQuery:         {"var", "steps", "jumps_taken"},
+	SpCompPts:       {"node", "steps", "ctx_depth"},
+	SpCompFls:       {"node", "steps", "ctx_depth"},
+	SpSchedule:      {"groups", "", ""},
+	SpSchedGroup:    {"components", "", ""},
+	SpSchedOrder:    {"groups", "", ""},
+	SpSchedBalance:  {"groups", "", ""},
+	SpRefinePass:    {"var", "pass", "approx_fields"},
+	SpIncUpdate:     {"edges_added", "edges_removed", ""},
+	SpanAdmit:       {"req", "queue_depth", "admit_class"},
+	SpanQueueWait:   {"req", "batch", ""},
+	SpanBatchWindow: {"batch", "vars", "pending_left"},
+	SpanServe:       {"req", "primary", "outcome"},
+	SpJmpTake:       {"node", "steps_saved", ""},
+	SpEarlyTerm:     {"node", "required_budget", ""},
+	SpJmpInsert:     {"node", "cost", ""},
 }
 
 func spanTid(worker int32) int64 {
@@ -68,6 +82,29 @@ func spanTid(worker int32) int64 {
 	return 2 + int64(worker)
 }
 
+// spanLane places a span on its (process, thread) lane and names the
+// thread. Request-lifecycle spans lane by request sequence (their A
+// payload); batch-anatomy spans share one batcher lane; everything else
+// keeps the engine/worker layout.
+func spanLane(sp Span) (pid, tid int64, thread string) {
+	switch sp.Kind {
+	case SpanAdmit, SpanQueueWait, SpanServe:
+		return traceRequestsPid, sp.A, "req " + strconv.FormatInt(sp.A, 10)
+	case SpanBatchWindow:
+		return traceBatcherPid, 1, "batcher"
+	}
+	if sp.Worker < 0 {
+		return tracePid, 1, "engine"
+	}
+	return tracePid, spanTid(sp.Worker), "worker " + strconv.Itoa(int(sp.Worker))
+}
+
+var tracePidNames = map[int64]string{
+	tracePid:         "parcfl",
+	traceRequestsPid: "parcfl-requests",
+	traceBatcherPid:  "parcfl-batcher",
+}
+
 // TraceEvents converts the sink's recorded spans (see Spans) into
 // trace-event records, metadata included, and merges the attached flight
 // recorder's history as counter tracks (ph=C) on the same clock — spans and
@@ -75,32 +112,33 @@ func spanTid(worker int32) int64 {
 func TraceEvents(s *Sink) TraceFile {
 	spans, dropped := s.Spans()
 	tf := TraceFile{DisplayTimeUnit: "ms", SpansDropped: dropped}
-	// Name the process and every thread that has events.
-	tids := map[int64]bool{}
-	for _, sp := range spans {
-		tids[spanTid(sp.Worker)] = true
-	}
+	// Name each process and thread lazily, at its first event.
 	tf.TraceEvents = append(tf.TraceEvents, TraceEvent{
 		Name: "process_name", Ph: "M", Pid: tracePid, Tid: 1,
-		Args: map[string]any{"name": "parcfl"},
+		Args: map[string]any{"name": tracePidNames[tracePid]},
 	})
+	namedPids := map[int64]bool{tracePid: true}
+	namedTids := map[[2]int64]bool{}
 	for _, sp := range spans {
-		tid := spanTid(sp.Worker)
-		if tids[tid] {
-			tids[tid] = false
-			name := "engine"
-			if sp.Worker >= 0 {
-				name = "worker " + strconv.Itoa(int(sp.Worker))
-			}
+		pid, tid, thread := spanLane(sp)
+		if !namedPids[pid] {
+			namedPids[pid] = true
 			tf.TraceEvents = append(tf.TraceEvents, TraceEvent{
-				Name: "thread_name", Ph: "M", Pid: tracePid, Tid: tid,
-				Args: map[string]any{"name": name},
+				Name: "process_name", Ph: "M", Pid: pid, Tid: 1,
+				Args: map[string]any{"name": tracePidNames[pid]},
+			})
+		}
+		if lane := [2]int64{pid, tid}; !namedTids[lane] {
+			namedTids[lane] = true
+			tf.TraceEvents = append(tf.TraceEvents, TraceEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]any{"name": thread},
 			})
 		}
 		ev := TraceEvent{
 			Name: sp.Kind.String(),
 			Cat:  "parcfl",
-			Pid:  tracePid,
+			Pid:  pid,
 			Tid:  tid,
 			Ts:   float64(sp.T) / 1e3,
 		}
@@ -132,8 +170,8 @@ func TraceEvents(s *Sink) TraceFile {
 			for i, name := range ts.Series {
 				tf.TraceEvents = append(tf.TraceEvents, TraceEvent{
 					Name: name, Cat: "parcfl-fr", Ph: "C",
-					Pid: tracePid,
-					Ts:  float64(p.TNS) / 1e3,
+					Pid:  tracePid,
+					Ts:   float64(p.TNS) / 1e3,
 					Args: map[string]any{"value": p.V[i]},
 				})
 			}

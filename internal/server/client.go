@@ -102,8 +102,12 @@ func (c *Client) WithRetry(p RetryPolicy) *Client {
 }
 
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	return c.doRid(ctx, "", method, path, in, out)
+}
+
+func (c *Client) doRid(ctx context.Context, rid, method, path string, in, out any) error {
 	for attempt := 0; ; attempt++ {
-		err := c.doOnce(ctx, method, path, in, out)
+		err := c.doOnce(ctx, rid, method, path, in, out)
 		var oe *OverloadedError
 		if err == nil || !errors.As(err, &oe) || attempt+1 >= c.retry.MaxAttempts {
 			return err
@@ -126,7 +130,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 }
 
-func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) error {
+func (c *Client) doOnce(ctx context.Context, rid, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		b, err := json.Marshal(in)
@@ -142,6 +146,9 @@ func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) e
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if rid != "" {
+		req.Header.Set(RequestIDHeader, rid)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -155,9 +162,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) e
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
 			oe := &OverloadedError{msg: "server: " + msg}
-			if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
-				oe.RetryAfter = time.Duration(secs) * time.Second
-			}
+			oe.RetryAfter = parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 			return oe
 		}
 		return fmt.Errorf("server: %s", msg)
@@ -168,18 +173,59 @@ func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) e
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// maxRetryAfter bounds how far in the future a Retry-After hint may point:
+// beyond this the value is treated as absurd (a broken server clock or a
+// hostile proxy) and clamped, so a client never parks itself for hours on
+// one malformed header.
+const maxRetryAfter = 5 * time.Minute
+
+// parseRetryAfter interprets a Retry-After header per RFC 9110 §10.2.3:
+// either delta-seconds or an HTTP-date. Negative and unparseable values
+// yield 0 (no hint); values beyond maxRetryAfter clamp to it.
+func parseRetryAfter(h string, now time.Time) time.Duration {
+	if h == "" {
+		return 0
+	}
+	var d time.Duration
+	if secs, err := strconv.Atoi(h); err == nil {
+		d = time.Duration(secs) * time.Second
+	} else if when, err := http.ParseTime(h); err == nil {
+		d = when.Sub(now)
+	} else {
+		return 0
+	}
+	if d < 0 {
+		return 0
+	}
+	if d > maxRetryAfter {
+		return maxRetryAfter
+	}
+	return d
+}
+
 // Query answers a batch of variables by name (positional results). A zero
 // timeout uses the server default.
 func (c *Client) Query(ctx context.Context, vars []string, timeout time.Duration) ([]VarResult, error) {
-	spec := QuerySpec{Vars: vars, TimeoutMS: timeout.Milliseconds()}
-	var reply QueryReply
-	if err := c.do(ctx, http.MethodPost, "/v1/query", &spec, &reply); err != nil {
+	reply, err := c.QueryRequest(ctx, "", vars, timeout)
+	if err != nil {
 		return nil, err
 	}
-	if len(reply.Results) != len(vars) {
-		return nil, fmt.Errorf("server: %d results for %d vars", len(reply.Results), len(vars))
-	}
 	return reply.Results, nil
+}
+
+// QueryRequest is Query carrying an explicit request ID: requestID travels
+// as the X-Parcfl-Request-Id header (empty lets the server mint one) and
+// the full reply — echoed ID and per-variable phase timings — is returned.
+func (c *Client) QueryRequest(ctx context.Context, requestID string, vars []string, timeout time.Duration) (QueryReply, error) {
+	spec := QuerySpec{Vars: vars, TimeoutMS: timeout.Milliseconds()}
+	var reply QueryReply
+	if err := c.doRid(ctx, requestID, http.MethodPost, "/v1/query", &spec, &reply); err != nil {
+		return QueryReply{}, err
+	}
+	if len(reply.Results) != len(vars) {
+		return QueryReply{}, fmt.Errorf("server: %d results for %d vars", len(reply.Results), len(vars))
+	}
+	return reply, nil
 }
 
 // Stats fetches the cumulative service stats.

@@ -4,13 +4,22 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"log"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"parcfl/internal/engine"
+	"parcfl/internal/obs"
 	"parcfl/internal/pag"
 )
+
+// RequestIDHeader carries the client-minted request ID. The server echoes
+// it on the response (minting one from the primary request sequence when
+// the client sent none) and returns it in the reply body, so a slow
+// response can be joined to its daemon-side trace lane and log lines.
+const RequestIDHeader = "X-Parcfl-Request-Id"
 
 // HTTP/JSON surface of the resident server. Variables travel by name
 // ("v3main") with decimal node IDs accepted as a fallback; objects come
@@ -34,11 +43,17 @@ type VarResult struct {
 	Contexts int      `json:"contexts"`
 	Aborted  bool     `json:"aborted,omitempty"`
 	Steps    int      `json:"steps"`
+	// Timings is the per-request phase breakdown (see server.Timings).
+	Timings *Timings `json:"timings,omitempty"`
 }
 
 // QueryReply is the body of a /v1/query response.
 type QueryReply struct {
-	Results []VarResult `json:"results"`
+	// RequestID echoes the client's X-Parcfl-Request-Id (or the
+	// server-minted fallback). The per-variable server-side sequence
+	// numbers live in each result's timings.
+	RequestID string      `json:"request_id,omitempty"`
+	Results   []VarResult `json:"results"`
 }
 
 // SnapshotSpec is the body of POST /v1/snapshot.
@@ -74,6 +89,9 @@ type HandlerConfig struct {
 	// usually enough for the queue to drain, so the default is deliberately
 	// short.
 	RetryAfter time.Duration
+	// SlowLog, when positive, logs every /v1/query slower than it —
+	// request ID, variables and phase breakdown — to the standard logger.
+	SlowLog time.Duration
 	// Fallback, when non-nil, serves any path the API does not claim
 	// (e.g. obs.Handler for /metrics and /debug/*).
 	Fallback http.Handler
@@ -167,6 +185,7 @@ func (h *apiHandler) toWire(r engine.QueryResult) VarResult {
 }
 
 func (h *apiHandler) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
 		return
@@ -199,26 +218,66 @@ func (h *apiHandler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
-	results, err := h.srv.QueryBatch(ctx, vars)
+	rid := r.Header.Get(RequestIDHeader)
+	answers, err := h.srv.QueryBatchAnswers(ctx, vars)
 	if err != nil {
 		status := http.StatusInternalServerError
+		class := obs.ClassError
 		switch {
 		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 			status = http.StatusGatewayTimeout
+			class = obs.ClassDeadline
 		case errors.Is(err, ErrOverloaded):
 			status = http.StatusTooManyRequests
+			class = obs.ClassOverload
 			// Admission rejections are transient (the queue drains on the
 			// next batch); tell well-behaved clients when to come back.
 			w.Header().Set("Retry-After", strconv.Itoa(h.cfg.retryAfterSeconds()))
 		case errors.Is(err, ErrClosed):
+			// Intentional shedding while draining, same as overload for
+			// SLO purposes: the server is protecting itself, not failing.
 			status = http.StatusServiceUnavailable
+			class = obs.ClassOverload
 		}
+		if rid != "" {
+			w.Header().Set(RequestIDHeader, rid)
+		}
+		h.srv.sink.SLO().Record(class, time.Since(start).Nanoseconds())
 		writeErr(w, status, err)
 		return
 	}
-	reply := QueryReply{Results: make([]VarResult, len(results))}
-	for i, res := range results {
-		reply.Results[i] = h.toWire(res)
+	// Wire conversion is the marshal phase: it is what stands between
+	// solve-done fan-out and bytes on the socket, and it scales with the
+	// points-to set sizes being rendered.
+	mStart := time.Now()
+	reply := QueryReply{Results: make([]VarResult, len(answers))}
+	for i, a := range answers {
+		reply.Results[i] = h.toWire(a.Result)
+	}
+	marshalNS := time.Since(mStart).Nanoseconds()
+	for i, a := range answers {
+		t := a.Timings
+		t.MarshalNS = marshalNS
+		reply.Results[i].Timings = &t
+	}
+	if rid == "" {
+		rid = "srv-" + strconv.FormatInt(answers[0].Timings.Seq, 10)
+	}
+	w.Header().Set(RequestIDHeader, rid)
+	reply.RequestID = rid
+	total := time.Since(start)
+	h.srv.sink.SLO().Record(obs.ClassSuccess, total.Nanoseconds())
+	if h.cfg.SlowLog > 0 && total > h.cfg.SlowLog {
+		var names2 []string
+		for _, res := range reply.Results {
+			names2 = append(names2, res.Var)
+		}
+		t0 := answers[0].Timings
+		log.Printf("parcfld: slow query rid=%s vars=%s total=%s seq=%d batch=%d admit=%s queue=%s solve=%s fanout=%s marshal=%s",
+			rid, strings.Join(names2, ","), total, t0.Seq, t0.Batch,
+			time.Duration(t0.AdmitNS), time.Duration(t0.QueueWaitNS),
+			time.Duration(t0.SolveNS), time.Duration(t0.FanoutNS),
+			time.Duration(t0.MarshalNS))
 	}
 	writeJSON(w, http.StatusOK, reply)
 }

@@ -1,0 +1,367 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"parcfl/internal/frontend"
+	"parcfl/internal/obs"
+)
+
+func tracedServer(t *testing.T, cfg Config) (*Server, *obs.Sink, *frontend.Lowered) {
+	t.Helper()
+	lo := genBench(t)
+	sink := obs.New(obs.Config{})
+	sink.EnableSpans(2, 1<<12)
+	cfg.Threads = 2
+	cfg.TypeLevels = lo.TypeLevels
+	cfg.Obs = sink
+	return New(lo.Graph, cfg), sink, lo
+}
+
+// TestTimingsPartition: for an uncoalesced request the four phase durations
+// are telescoping differences of the same stamps, so they must sum to
+// TotalNS exactly — no clock skew, no gaps.
+func TestTimingsPartition(t *testing.T) {
+	srv, _, lo := tracedServer(t, Config{BatchWindow: -1})
+	defer srv.Close()
+
+	for i, v := range lo.AppQueryVars[:3] {
+		a, err := srv.QueryRequest(context.Background(), v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm := a.Timings
+		if tm.Seq != int64(i+1) {
+			t.Fatalf("seq = %d, want %d", tm.Seq, i+1)
+		}
+		if tm.Coalesced || tm.Primary != tm.Seq {
+			t.Fatalf("uncoalesced request marked coalesced: %+v", tm)
+		}
+		if tm.Batch <= 0 {
+			t.Fatalf("batch = %d", tm.Batch)
+		}
+		sum := tm.AdmitNS + tm.QueueWaitNS + tm.SolveNS + tm.FanoutNS
+		if sum != tm.TotalNS {
+			t.Fatalf("phases sum %d != total %d (%+v)", sum, tm.TotalNS, tm)
+		}
+		if tm.TotalNS <= 0 || tm.SolveNS <= 0 {
+			t.Fatalf("degenerate timings %+v", tm)
+		}
+	}
+}
+
+// TestCoalescedTimingsRecordPrimary: waiters that join another request's
+// pending entry report that request's seq as their primary.
+func TestCoalescedTimingsRecordPrimary(t *testing.T) {
+	srv, _, lo := tracedServer(t, Config{BatchWindow: 50 * time.Millisecond})
+	defer srv.Close()
+	v := lo.AppQueryVars[0]
+
+	const callers = 8
+	answers := make([]Answer, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			answers[i], errs[i] = srv.QueryRequest(context.Background(), v)
+		}()
+	}
+	wg.Wait()
+	var primary int64
+	coalesced := 0
+	for i := range answers {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		tm := answers[i].Timings
+		if !tm.Coalesced {
+			if primary != 0 && primary != tm.Seq {
+				t.Fatalf("two primaries: %d and %d", primary, tm.Seq)
+			}
+			primary = tm.Seq
+			continue
+		}
+		coalesced++
+	}
+	if coalesced == 0 {
+		t.Skip("no coalescing happened (scheduling)")
+	}
+	for i := range answers {
+		tm := answers[i].Timings
+		if tm.Coalesced && tm.Primary != primary {
+			t.Fatalf("coalesced onto %d, want primary %d", tm.Primary, primary)
+		}
+	}
+}
+
+// TestRequestSpanLanes: a traced request materialises as admit, queue_wait
+// and serve spans carrying its seq, the serve span's duration equals the
+// timings TotalNS, and the trace export puts the lane on the requests
+// process with a "req N" thread name.
+func TestRequestSpanLanes(t *testing.T) {
+	srv, sink, lo := tracedServer(t, Config{BatchWindow: -1})
+	a, err := srv.QueryRequest(context.Background(), lo.AppQueryVars[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+
+	spans, _ := sink.Spans()
+	var admit, queue, serve, window int
+	for _, sp := range spans {
+		switch sp.Kind {
+		case obs.SpanAdmit:
+			if sp.A == a.Timings.Seq {
+				admit++
+			}
+		case obs.SpanQueueWait:
+			if sp.A == a.Timings.Seq {
+				queue++
+				if sp.B != a.Timings.Batch {
+					t.Fatalf("queue_wait batch = %d, want %d", sp.B, a.Timings.Batch)
+				}
+			}
+		case obs.SpanServe:
+			if sp.A == a.Timings.Seq {
+				serve++
+				if sp.Dur != a.Timings.TotalNS {
+					t.Fatalf("serve span dur %d != timings total %d", sp.Dur, a.Timings.TotalNS)
+				}
+				if sp.B != a.Timings.Primary || sp.C != 0 {
+					t.Fatalf("serve span payload %+v", sp)
+				}
+			}
+		case obs.SpanBatchWindow:
+			if sp.A == a.Timings.Batch {
+				window++
+			}
+		}
+	}
+	if admit != 1 || queue != 1 || serve != 1 || window != 1 {
+		t.Fatalf("span counts admit=%d queue=%d serve=%d window=%d, want 1 each",
+			admit, queue, serve, window)
+	}
+
+	tf := obs.TraceEvents(sink)
+	var laneNamed, batcherNamed bool
+	for _, ev := range tf.TraceEvents {
+		if ev.Name == "thread_name" && ev.Args["name"] == "req 1" {
+			laneNamed = true
+		}
+		if ev.Name == "process_name" && ev.Args["name"] == "parcfl-batcher" {
+			batcherNamed = true
+		}
+	}
+	if !laneNamed || !batcherNamed {
+		t.Fatalf("trace export lanes: request=%v batcher=%v", laneNamed, batcherNamed)
+	}
+}
+
+// TestDrainFlushesSpans: Close() during an in-flight traced batch must let
+// every admitted request finish and close its serve span — no truncated
+// lanes, no send on a closed channel, one complete serve span per answered
+// request.
+func TestDrainFlushesSpans(t *testing.T) {
+	srv, sink, lo := tracedServer(t, Config{BatchWindow: 30 * time.Millisecond})
+
+	const callers = 6
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[i] = srv.QueryRequest(context.Background(), lo.AppQueryVars[i%len(lo.AppQueryVars)])
+		}()
+	}
+	// Close mid-window: admitted requests must still be answered.
+	time.Sleep(5 * time.Millisecond)
+	srv.Close()
+	wg.Wait()
+
+	answered := 0
+	for _, err := range errs {
+		if err == nil {
+			answered++
+		} else if !errors.Is(err, ErrClosed) {
+			t.Fatalf("unexpected error %v", err)
+		}
+	}
+	spans, dropped := sink.Spans()
+	if dropped != 0 {
+		t.Fatalf("%d spans dropped", dropped)
+	}
+	serveOK := 0
+	for _, sp := range spans {
+		if sp.Kind == obs.SpanServe && sp.C == 0 {
+			if sp.Dur <= 0 {
+				t.Fatalf("truncated serve span %+v", sp)
+			}
+			serveOK++
+		}
+	}
+	if serveOK != answered {
+		t.Fatalf("%d successful serve spans for %d answered requests", serveOK, answered)
+	}
+}
+
+// TestCancelledWaiterRepliedStamp: a coalesced waiter whose context expires
+// mid-batch still produces its replied stamp — a serve span with the
+// deadline outcome — and the surviving waiter is unaffected.
+func TestCancelledWaiterRepliedStamp(t *testing.T) {
+	srv, sink, lo := tracedServer(t, Config{BatchWindow: 60 * time.Millisecond})
+	v := lo.AppQueryVars[0]
+
+	var wg sync.WaitGroup
+	var survivor Answer
+	var survivorErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		survivor, survivorErr = srv.QueryRequest(context.Background(), v)
+	}()
+	time.Sleep(5 * time.Millisecond) // let the first request create the entry
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := srv.QueryRequest(ctx, v) // coalesces, then gives up mid-window
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancelled waiter error = %v", err)
+	}
+	wg.Wait()
+	srv.Close()
+	if survivorErr != nil {
+		t.Fatal(survivorErr)
+	}
+
+	spans, _ := sink.Spans()
+	var deadlineServe *obs.Span
+	for i := range spans {
+		if spans[i].Kind == obs.SpanServe && spans[i].C == 2 {
+			deadlineServe = &spans[i]
+		}
+	}
+	if deadlineServe == nil {
+		t.Fatal("no deadline-outcome serve span for the cancelled waiter")
+	}
+	// Whichever of the two requests created the entry is the primary of
+	// both; the survivor's Primary names it either way.
+	if deadlineServe.B != survivor.Timings.Primary {
+		t.Fatalf("cancelled waiter primary = %d, want %d",
+			deadlineServe.B, survivor.Timings.Primary)
+	}
+	if deadlineServe.Dur <= 0 {
+		t.Fatalf("truncated deadline serve span %+v", deadlineServe)
+	}
+}
+
+// TestParseRetryAfter covers both RFC 9110 forms plus clamping.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 3, 14, 15, 9, 26, 0, time.UTC)
+	cases := []struct {
+		name string
+		h    string
+		want time.Duration
+	}{
+		{"empty", "", 0},
+		{"delta", "3", 3 * time.Second},
+		{"delta-zero", "0", 0},
+		{"delta-negative", "-5", 0},
+		{"delta-absurd", "86400", maxRetryAfter},
+		{"http-date", now.Add(7 * time.Second).UTC().Format(http.TimeFormat), 7 * time.Second},
+		{"http-date-past", now.Add(-time.Minute).UTC().Format(http.TimeFormat), 0},
+		{"http-date-absurd", now.Add(48 * time.Hour).UTC().Format(http.TimeFormat), maxRetryAfter},
+		{"garbage", "soon", 0},
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.h, now); got != c.want {
+			t.Errorf("%s: parseRetryAfter(%q) = %v, want %v", c.name, c.h, got, c.want)
+		}
+	}
+}
+
+// TestClientRetryAfterHTTPDate: the typed overload error surfaces an
+// HTTP-date Retry-After end to end through the client.
+func TestClientRetryAfterHTTPDate(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", time.Now().Add(4*time.Second).UTC().Format(http.TimeFormat))
+		w.WriteHeader(http.StatusTooManyRequests)
+		_ = json.NewEncoder(w).Encode(errorReply{Error: "server: overloaded"})
+	}))
+	defer ts.Close()
+
+	cl := NewClient(ts.URL, nil)
+	_, err := cl.Query(context.Background(), []string{"x"}, time.Second)
+	var oe *OverloadedError
+	if !errors.As(err, &oe) {
+		t.Fatalf("error = %v, want OverloadedError", err)
+	}
+	if oe.RetryAfter < 2*time.Second || oe.RetryAfter > 5*time.Second {
+		t.Fatalf("RetryAfter = %v, want ≈4s", oe.RetryAfter)
+	}
+}
+
+// TestHTTPRequestIDAndTimings: the request ID round-trips header → body,
+// per-variable timings ride the JSON reply, and the handler feeds the SLO
+// tracker with a success sample.
+func TestHTTPRequestIDAndTimings(t *testing.T) {
+	srv, sink, lo := tracedServer(t, Config{BatchWindow: -1})
+	defer srv.Close()
+	sink.AttachSLO(obs.NewSLO(obs.SLOConfig{}))
+	name := srv.Graph().Node(lo.AppQueryVars[0]).Name
+
+	ts := httptest.NewServer(NewHandler(srv, HandlerConfig{}))
+	defer ts.Close()
+
+	cl := NewClient(ts.URL, nil)
+	reply, err := cl.QueryRequest(context.Background(), "test-rid-42", []string{name}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.RequestID != "test-rid-42" {
+		t.Fatalf("request id = %q", reply.RequestID)
+	}
+	tm := reply.Results[0].Timings
+	if tm == nil {
+		t.Fatal("no timings on the wire")
+	}
+	if sum := tm.AdmitNS + tm.QueueWaitNS + tm.SolveNS + tm.FanoutNS; sum != tm.TotalNS {
+		t.Fatalf("wire phases sum %d != total %d", sum, tm.TotalNS)
+	}
+	if tm.MarshalNS < 0 {
+		t.Fatalf("marshal = %d", tm.MarshalNS)
+	}
+
+	// The server mints an ID when the client sends none.
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+		strings.NewReader(`{"var":"`+name+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw QueryReply
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw.RequestID == "" || !strings.HasPrefix(raw.RequestID, "srv-") {
+		t.Fatalf("minted id = %q", raw.RequestID)
+	}
+	if got := resp.Header.Get(RequestIDHeader); got != raw.RequestID {
+		t.Fatalf("header id %q != body id %q", got, raw.RequestID)
+	}
+
+	snap := sink.SLO().Snapshot()
+	if len(snap.Windows) == 0 || snap.Windows[0].Classes["success"] != 2 {
+		t.Fatalf("slo did not record successes: %+v", snap.Windows)
+	}
+}

@@ -120,10 +120,58 @@ func (c Config) queueDepth() int {
 
 // waiter is one admitted request: a buffered reply slot (the dispatcher's
 // send never blocks, so an abandoned waiter cannot leak a goroutine) plus
-// its admission time for wait/latency attribution.
+// its identity and admission time for attribution. The first waiter in a
+// pending/inflight list is the request that created the entry — the
+// "primary" whose computation every later joiner rides.
 type waiter struct {
-	reply    chan engine.QueryResult
+	seq      int64 // server-assigned request sequence number
+	reply    chan answerMsg
 	admitted time.Time
+}
+
+// answerMsg is what the dispatcher sends each waiter: the result plus the
+// batch-side phase stamps (sealed = batch claimed after the window,
+// solveStart/solveDone bracket engine.RunMapped) and the identity of the
+// batch and of the primary request whose entry carried this variable.
+type answerMsg struct {
+	result     engine.QueryResult
+	primary    int64
+	batch      int64
+	sealed     time.Time
+	solveStart time.Time
+	solveDone  time.Time
+}
+
+// Timings is one request's phase breakdown, stamped at monotonic points of
+// its life: admitted (entry), enqueued (admission done), batch-sealed,
+// solve-start, solve-done, replied. For an uncoalesced request the four
+// phase durations partition TotalNS exactly; a waiter that joined an
+// already-inflight batch clamps QueueWaitNS at 0 (the batch sealed before
+// it arrived) so its phases can sum below TotalNS. MarshalNS is filled by
+// the HTTP handler (response encoding), outside the partition.
+type Timings struct {
+	// Seq is this request's sequence number; Primary is the request whose
+	// pending/inflight entry computed the answer (== Seq when this request
+	// created the entry); Batch is the dispatcher batch that solved it.
+	Seq     int64 `json:"seq"`
+	Primary int64 `json:"primary"`
+	Batch   int64 `json:"batch"`
+	// Coalesced reports that this request rode another's computation.
+	Coalesced bool `json:"coalesced,omitempty"`
+
+	AdmitNS     int64 `json:"admit_ns"`
+	QueueWaitNS int64 `json:"queue_wait_ns"`
+	SolveNS     int64 `json:"solve_ns"`
+	FanoutNS    int64 `json:"fanout_ns"`
+	// MarshalNS is response-encoding time, measured by the HTTP layer.
+	MarshalNS int64 `json:"marshal_ns,omitempty"`
+	TotalNS   int64 `json:"total_ns"`
+}
+
+// Answer is one request's result plus its phase attribution.
+type Answer struct {
+	Result  engine.QueryResult
+	Timings Timings
 }
 
 // Stats is the service-level cumulative view served by /v1/stats.
@@ -166,6 +214,11 @@ type Server struct {
 	meta   snapshot.Meta
 	sink   *obs.Sink
 	start  time.Time
+
+	// reqSeq mints request sequence numbers (1-based); batchSeq is bumped
+	// by the dispatcher alone.
+	reqSeq   atomic.Int64
+	batchSeq int64
 
 	mu       sync.Mutex
 	cond     *sync.Cond // signals the dispatcher: work pending or closing
@@ -266,36 +319,74 @@ func (s *Server) Graph() *pag.Graph { return s.graph }
 // Meta returns the serving metadata (query census, type levels, settings).
 func (s *Server) Meta() snapshot.Meta { return s.meta }
 
+// Admission classes recorded in SpanAdmit's C payload.
+const (
+	admitNew      = 0 // created a fresh pending entry
+	admitPending  = 1 // joined an already-queued entry
+	admitInflight = 2 // joined an already-dispatched computation
+)
+
+// Outcome classes recorded in SpanServe's C payload.
+const (
+	outcomeSuccess  = 0
+	outcomeOverload = 1
+	outcomeDeadline = 2
+)
+
 // Query answers one points-to query, waiting until the coalesced batch that
 // contains it completes or ctx expires. A ctx expiry returns ctx.Err()
 // promptly and cleanly: the computation still completes and feeds any other
 // waiters on the same variable.
 func (s *Server) Query(ctx context.Context, v pag.NodeID) (engine.QueryResult, error) {
-	if v < 0 || int(v) >= s.graph.NumNodes() {
-		return engine.QueryResult{}, ErrUnknownVar
-	}
-	w := waiter{reply: make(chan engine.QueryResult, 1), admitted: time.Now()}
+	a, err := s.QueryRequest(ctx, v)
+	return a.Result, err
+}
 
+// QueryRequest is Query plus request identity and phase attribution: the
+// returned Answer carries the request's sequence number, the batch that
+// solved it, which request's computation it rode, and a per-phase latency
+// breakdown. With span tracing enabled, each request also becomes an
+// admit → queue_wait → serve lane in the trace export, stamped even when
+// the waiter gives up on its deadline mid-batch.
+func (s *Server) QueryRequest(ctx context.Context, v pag.NodeID) (Answer, error) {
+	if v < 0 || int(v) >= s.graph.NumNodes() {
+		return Answer{}, ErrUnknownVar
+	}
+	seq := s.reqSeq.Add(1)
+	entered := time.Now()
+	enteredNS := s.sink.SpanStart()
+	w := waiter{seq: seq, reply: make(chan answerMsg, 1), admitted: entered}
+
+	primary := seq
+	class := int64(admitNew)
+	var depth int64
 	s.mu.Lock()
 	switch {
 	case s.closed:
 		s.stats.rejected++
 		s.mu.Unlock()
 		s.sink.Add(obs.CtrServerRejected, 1)
-		return engine.QueryResult{}, ErrClosed
+		s.sink.Span(obs.SpanServe, obs.NoWorker, enteredNS, seq, seq, outcomeOverload)
+		return Answer{}, ErrClosed
 	case len(s.inflight[v]) > 0:
 		// Already being computed: ride the in-flight batch.
+		primary = s.inflight[v][0].seq
+		class = admitInflight
 		s.inflight[v] = append(s.inflight[v], w)
 		s.stats.requests++
 		s.stats.coalesced++
+		depth = int64(len(s.order))
 		s.mu.Unlock()
 		s.sink.Add(obs.CtrServerRequests, 1)
 		s.sink.Add(obs.CtrServerCoalesced, 1)
 	case len(s.pending[v]) > 0:
 		// Already queued: join the pending entry.
+		primary = s.pending[v][0].seq
+		class = admitPending
 		s.pending[v] = append(s.pending[v], w)
 		s.stats.requests++
 		s.stats.coalesced++
+		depth = int64(len(s.order))
 		s.mu.Unlock()
 		s.sink.Add(obs.CtrServerRequests, 1)
 		s.sink.Add(obs.CtrServerCoalesced, 1)
@@ -303,27 +394,56 @@ func (s *Server) Query(ctx context.Context, v pag.NodeID) (engine.QueryResult, e
 		s.stats.rejected++
 		s.mu.Unlock()
 		s.sink.Add(obs.CtrServerRejected, 1)
-		return engine.QueryResult{}, ErrOverloaded
+		s.sink.Span(obs.SpanServe, obs.NoWorker, enteredNS, seq, seq, outcomeOverload)
+		return Answer{}, ErrOverloaded
 	default:
 		s.pending[v] = []waiter{w}
 		s.order = append(s.order, v)
 		s.stats.requests++
-		depth := int64(len(s.order))
+		depth = int64(len(s.order))
 		s.cond.Signal()
 		s.mu.Unlock()
 		s.sink.Add(obs.CtrServerRequests, 1)
 		s.sink.SetGauge(obs.GaugeServerQueueDepth, depth)
 	}
+	admitDone := time.Now()
+	s.sink.Span(obs.SpanAdmit, obs.NoWorker, enteredNS, seq, depth, class)
 
 	select {
-	case r := <-w.reply:
-		s.sink.Observe(obs.HistServerLatencyNS, time.Since(w.admitted).Nanoseconds())
-		return r, nil
+	case msg := <-w.reply:
+		replied := time.Now()
+		t := Timings{
+			Seq: seq, Primary: msg.primary, Batch: msg.batch,
+			Coalesced:   class != admitNew,
+			AdmitNS:     admitDone.Sub(entered).Nanoseconds(),
+			QueueWaitNS: max64(msg.solveStart.Sub(admitDone).Nanoseconds(), 0),
+			SolveNS:     msg.solveDone.Sub(msg.solveStart).Nanoseconds(),
+			FanoutNS:    replied.Sub(msg.solveDone).Nanoseconds(),
+			TotalNS:     replied.Sub(entered).Nanoseconds(),
+		}
+		s.sink.Observe(obs.HistServerLatencyNS, t.TotalNS)
+		if s.sink.SpanTracing() {
+			admitDoneNS := enteredNS + t.AdmitNS
+			s.sink.SpanAt(obs.SpanQueueWait, obs.NoWorker, admitDoneNS, t.QueueWaitNS, seq, msg.batch, 0)
+			s.sink.SpanAt(obs.SpanServe, obs.NoWorker, enteredNS, t.TotalNS, seq, msg.primary, outcomeSuccess)
+		}
+		return Answer{Result: msg.result, Timings: t}, nil
 	case <-ctx.Done():
+		// The replied stamp for an abandoned waiter: its serve span closes
+		// here with the deadline outcome, so traced lanes are never
+		// truncated even when the batch finishes after we are gone.
 		s.stats.timeouts.Add(1)
 		s.sink.Add(obs.CtrServerTimeouts, 1)
-		return engine.QueryResult{}, ctx.Err()
+		s.sink.Span(obs.SpanServe, obs.NoWorker, enteredNS, seq, primary, outcomeDeadline)
+		return Answer{}, ctx.Err()
 	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // QueryBatch answers several variables, admitting all of them up front (so
@@ -331,14 +451,27 @@ func (s *Server) Query(ctx context.Context, v pag.NodeID) (engine.QueryResult, e
 // Results are positional: out[i] answers vars[i]. The first admission or
 // wait error aborts the call.
 func (s *Server) QueryBatch(ctx context.Context, vars []pag.NodeID) ([]engine.QueryResult, error) {
-	out := make([]engine.QueryResult, len(vars))
+	as, err := s.QueryBatchAnswers(ctx, vars)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]engine.QueryResult, len(as))
+	for i, a := range as {
+		out[i] = a.Result
+	}
+	return out, nil
+}
+
+// QueryBatchAnswers is QueryBatch returning full Answers (timings included).
+func (s *Server) QueryBatchAnswers(ctx context.Context, vars []pag.NodeID) ([]Answer, error) {
+	out := make([]Answer, len(vars))
 	errs := make([]error, len(vars))
 	var wg sync.WaitGroup
 	for i, v := range vars {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			out[i], errs[i] = s.Query(ctx, v)
+			out[i], errs[i] = s.QueryRequest(ctx, v)
 		}()
 	}
 	wg.Wait()
@@ -365,6 +498,8 @@ func (s *Server) dispatch() {
 		}
 		s.mu.Unlock()
 
+		windowNS := s.sink.SpanStart()
+
 		// Batch window: let concurrent arrivals pile up so the scheduler
 		// has a real batch to group. Skipped when closing — drain fast.
 		if w := s.cfg.window(); w > 0 {
@@ -379,14 +514,18 @@ func (s *Server) dispatch() {
 		// Claim up to maxBatch distinct variables FIFO, moving their
 		// waiter lists pending→inflight so late arrivals for the same
 		// variables attach to this computation.
+		s.batchSeq++
+		batchSeq := s.batchSeq
 		s.mu.Lock()
 		n := min(len(s.order), s.cfg.maxBatch())
 		batch := make([]pag.NodeID, n)
 		copy(batch, s.order[:n])
 		s.order = s.order[n:]
-		dispatched := time.Now()
-		for _, v := range batch {
+		sealed := time.Now()
+		primaries := make([]int64, n)
+		for i, v := range batch {
 			s.inflight[v] = s.pending[v]
+			primaries[i] = s.pending[v][0].seq
 			delete(s.pending, v)
 		}
 		s.stats.batches++
@@ -398,22 +537,28 @@ func (s *Server) dispatch() {
 		s.sink.SetGauge(obs.GaugeServerInflight, int64(n))
 		s.sink.Observe(obs.HistServerBatchSize, int64(n))
 
+		solveStart := time.Now()
 		results, mapping, stats := engine.RunMapped(s.graph, batch, engine.Config{
 			Mode: s.cfg.Mode, Threads: s.cfg.Threads, Budget: s.cfg.Budget,
 			TauF: s.cfg.TauF, TauU: s.cfg.TauU, TypeLevels: s.cfg.TypeLevels,
 			Store: s.store, Cache: s.cache, ResultCache: s.cache != nil,
 			ContextK: s.cfg.ContextK, Kernel: s.kernel, Obs: s.sink,
+			Tag: batchSeq,
 		})
+		solveDone := time.Now()
 
 		// Fan out, then retire the in-flight entries. Replies are buffered
 		// size-1 channels with exactly one send each: never blocks, even
 		// for waiters that already gave up.
 		s.mu.Lock()
 		for i, v := range batch {
-			r := results[mapping[i]]
+			msg := answerMsg{
+				result: results[mapping[i]], primary: primaries[i], batch: batchSeq,
+				sealed: sealed, solveStart: solveStart, solveDone: solveDone,
+			}
 			for _, w := range s.inflight[v] {
-				s.sink.Observe(obs.HistServerWaitNS, dispatched.Sub(w.admitted).Nanoseconds())
-				w.reply <- r
+				s.sink.Observe(obs.HistServerWaitNS, sealed.Sub(w.admitted).Nanoseconds())
+				w.reply <- msg
 			}
 			delete(s.inflight, v)
 		}
@@ -426,6 +571,7 @@ func (s *Server) dispatch() {
 		s.stats.engineNS += stats.Wall.Nanoseconds()
 		s.mu.Unlock()
 		s.sink.SetGauge(obs.GaugeServerInflight, 0)
+		s.sink.Span(obs.SpanBatchWindow, obs.NoWorker, windowNS, batchSeq, int64(n), depth)
 	}
 }
 

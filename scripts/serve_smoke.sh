@@ -52,8 +52,11 @@ normalize() { # $1 = in, $2 = out
   python3 - "$1" "$2" <<'EOF'
 import json, sys
 r = json.load(open(sys.argv[1]))
+# Run-specific telemetry differs cold vs warm; only the answers must match.
+r.pop("request_id", None)
 for res in r["results"]:
     res.pop("steps", None)
+    res.pop("timings", None)
 json.dump(r, open(sys.argv[2], "w"), indent=1, sort_keys=True)
 EOF
 }

@@ -1,0 +1,144 @@
+#!/usr/bin/env bash
+# Soak smoke test: boot parcfld cold, snapshot it, restart warm with request
+# tracing on, soak it with open-loop load (parcflload), and assert:
+#   - the soak report is well-formed parcfl-soak/v1 with zero error-class
+#     responses;
+#   - the parcfl_slo_* gauges and /debug/slo burn-rate snapshot are live and
+#     nonzero after the load;
+#   - the shutdown trace contains the lifecycle lane of a chosen request
+#     whose serve span matches the timings breakdown its reply carried.
+#
+# Usage: scripts/soak_smoke.sh [workdir]
+set -euo pipefail
+
+WORK="${1:-$(mktemp -d)}"
+BENCH="${SMOKE_BENCH:-_200_check}"
+SCALE="${SMOKE_SCALE:-0.002}"
+RATE="${SOAK_RATE:-150}"
+DUR="${SOAK_DURATION:-3s}"
+cd "$(dirname "$0")/.."
+
+go build -o "$WORK/parcfld" ./cmd/parcfld
+go build -o "$WORK/parcflq" ./cmd/parcflq
+go build -o "$WORK/parcflload" ./cmd/parcflload
+
+DPID=""
+cleanup() {
+  if [ -n "$DPID" ] && kill -0 "$DPID" 2>/dev/null; then
+    kill -TERM "$DPID" 2>/dev/null || true
+    wait "$DPID" 2>/dev/null || true
+  fi
+}
+trap cleanup EXIT
+
+start_daemon() { # $1 = log file, rest = extra flags
+  local log="$1"; shift
+  rm -f "$WORK/addr.txt"
+  "$WORK/parcfld" -bench "$BENCH" -scale "$SCALE" \
+    -addr localhost:0 -addr-file "$WORK/addr.txt" \
+    -snapshot "$WORK/warm.pag" "$@" >"$WORK/$log" 2>&1 &
+  DPID=$!
+  for _ in $(seq 100); do
+    [ -s "$WORK/addr.txt" ] && break
+    sleep 0.1
+  done
+  [ -s "$WORK/addr.txt" ] || { echo "FAIL: daemon never bound"; cat "$WORK/$log"; exit 1; }
+  ADDR=$(cat "$WORK/addr.txt")
+}
+
+stop_daemon() {
+  kill -TERM "$DPID"
+  wait "$DPID"
+  DPID=""
+}
+
+echo "== prime a snapshot =="
+start_daemon cold.log
+"$WORK/parcflq" -addr "$ADDR" -list 4 >/dev/null
+"$WORK/parcflq" -addr "$ADDR" -save ""
+stop_daemon
+[ -s "$WORK/warm.pag" ] || { echo "FAIL: no snapshot to warm-start from"; exit 1; }
+
+echo "== warm start with tracing, soak =="
+start_daemon warm.log -trace-out "$WORK/trace.json"
+grep -q "warm start" "$WORK/warm.log" || { echo "FAIL: daemon did not warm-start"; cat "$WORK/warm.log"; exit 1; }
+
+"$WORK/parcflload" -addr "$ADDR" -rate "$RATE" -duration "$DUR" \
+  -json "$WORK/soak.json" | tee "$WORK/load.txt"
+
+python3 - "$WORK/soak.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["schema"] == "parcfl-soak/v1", r["schema"]
+assert r["sent"] > 0 and r["succeeded"] > 0, f"soak sent nothing: {r}"
+assert r["errored"] == 0, f"{r['errored']} error-class responses under soak"
+assert 0 < r["p50_ns"] <= r["p99_ns"] <= r["p999_ns"], "latency percentiles out of order"
+ph = r["phases"]
+shares = ph["admit_share"] + ph["queue_share"] + ph["solve_share"] + ph["fanout_share"]
+assert abs(shares - 1) < 0.01, f"phase shares sum to {shares}"
+print(f"soak OK: {r['succeeded']}/{r['sent']} ok at {r['qps']:.0f} qps, "
+      f"p99 {r['p99_ns']/1e6:.2f}ms, solve share {ph['solve_share']:.0%}")
+EOF
+
+# One chosen request whose lifecycle we follow into the trace.
+CHOSEN_VAR=$("$WORK/parcflq" -addr "$ADDR" -list 1 | head -n1)
+"$WORK/parcflq" -addr "$ADDR" -request-id smoke-chosen-1 -json \
+  "$CHOSEN_VAR" >"$WORK/chosen.json"
+
+# SLO layer: gauges live and nonzero after load, burn-rate snapshot parses.
+curl -sf "http://$ADDR/metrics" >"$WORK/metrics.txt"
+for series in parcfl_slo_requests_total parcfl_slo_availability \
+  parcfl_slo_avail_burn_rate parcfl_slo_latency_attainment parcfl_slo_latency_burn_rate; do
+  grep -q "^$series" "$WORK/metrics.txt" \
+    || { echo "FAIL: /metrics missing $series"; exit 1; }
+done
+curl -sf "http://$ADDR/debug/slo" >"$WORK/slo.json"
+python3 - "$WORK/metrics.txt" "$WORK/slo.json" <<'EOF'
+import json, sys
+ok = 0
+for line in open(sys.argv[1]):
+    if line.startswith('parcfl_slo_requests_total{class="success"}'):
+        ok = int(float(line.split()[-1]))
+assert ok > 0, "parcfl_slo_requests_total success count is zero after load"
+slo = json.load(open(sys.argv[2]))
+assert slo["schema"] == "parcfl-slo/v1", slo["schema"]
+w = slo["windows"][0]
+assert w["total"] > 0 and w["availability"] > 0, f"dead SLO window: {w}"
+print(f"slo OK: {ok} successes, availability {w['availability']:.4f}, "
+      f"avail burn {w['avail_burn_rate']:.2f} over {w['window_sec']}s")
+EOF
+
+stop_daemon
+grep -q "trace written to" "$WORK/warm.log" || { echo "FAIL: no trace on shutdown"; cat "$WORK/warm.log"; exit 1; }
+
+# The chosen request's lane: a "req <seq>" thread on the requests process
+# whose serve span duration equals the timings total the reply reported,
+# with its admit and queue_wait phases contained within it.
+python3 - "$WORK/chosen.json" "$WORK/trace.json" <<'EOF'
+import json, sys
+reply = json.load(open(sys.argv[1]))
+tm = reply["results"][0]["timings"]
+seq, total_ns = tm["seq"], tm["total_ns"]
+trace = json.load(open(sys.argv[2]))
+events = trace["traceEvents"]
+lanes = {(e["pid"], e["tid"]): e["args"]["name"]
+         for e in events if e.get("name") == "thread_name"}
+req_pid = next(p for (p, t), n in lanes.items() if n == f"req {seq}")
+lane = [e for e in events
+        if e.get("ph") == "X" and e["pid"] == req_pid and e["tid"] == seq]
+byname = {e["name"]: e for e in lane}
+assert {"admit", "queue_wait", "serve"} <= set(byname), sorted(byname)
+serve = byname["serve"]
+assert serve["args"]["req"] == seq and serve["args"]["outcome"] == 0, serve
+# serve dur is exported in us from the same stamps as total_ns.
+assert abs(serve["dur"] * 1e3 - total_ns) < 2e3, (serve["dur"], total_ns)
+phase_sum = byname["admit"].get("dur", 0) + byname["queue_wait"].get("dur", 0)
+assert phase_sum <= serve["dur"] * 1.01, (phase_sum, serve["dur"])
+batches = [e for e in events if e.get("name") == "batch_window"
+           and e["args"].get("batch") == tm["batch"]]
+assert batches, f"no batch_window span for batch {tm['batch']}"
+print(f"trace OK: req {seq} lane complete, serve {serve['dur']:.0f}us == "
+      f"timings {total_ns/1e3:.0f}us, batch {tm['batch']} anatomy present")
+EOF
+
+echo "soak smoke OK (rate $RATE for $DUR, workdir $WORK)"
