@@ -29,15 +29,17 @@ bench-json:
 	$(GO) run ./cmd/experiments -exp bench -json -scale 0.01 -threads 8
 
 # End-to-end daemon smoke: boot parcfld, query it cold, snapshot, restart
-# warm, assert identical results and live parcfl_server_* metrics.
+# warm, assert identical results and live parcfl_server_* metrics. Pass
+# SMOKE_WORK=dir to keep the workdir (CI does, to upload failure bundles).
 serve-smoke:
-	bash scripts/serve_smoke.sh
+	bash scripts/serve_smoke.sh $(SMOKE_WORK)
 
 # Load-and-observability smoke: soak a warm-started traced daemon with
 # parcflload, assert a clean parcfl-soak/v1 report, nonzero parcfl_slo_*
-# gauges, and a request lane in the shutdown trace matching its timings.
+# gauges, a request lane in the shutdown trace matching its timings, and an
+# injected-overload phase that fires and validates a diagnostic bundle.
 soak-smoke:
-	bash scripts/soak_smoke.sh
+	bash scripts/soak_smoke.sh $(SMOKE_WORK)
 
 clean:
 	$(GO) clean ./...

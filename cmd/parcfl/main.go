@@ -150,7 +150,9 @@ func main() {
 					fmt.Fprintf(os.Stderr, "%d autopsy report(s) written to %s\n", len(reports), *autopsyOut)
 				}
 			}
-			obs.ShutdownDebug(srv, 2*time.Second)
+			if err := obs.ShutdownDebug(srv, 2*time.Second); err != nil {
+				fmt.Fprintln(os.Stderr, "parcfl: debug shutdown:", err)
+			}
 		})
 	}
 	sigCh := make(chan os.Signal, 1)

@@ -17,6 +17,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -28,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"parcfl/internal/diag"
 	"parcfl/internal/engine"
 	"parcfl/internal/frontend"
 	"parcfl/internal/gofront"
@@ -81,6 +83,14 @@ func main() {
 	sloAvail := flag.Float64("slo-availability", 0.999, "availability objective for /debug/slo and parcfl_slo_* gauges")
 	sloLatObj := flag.Float64("slo-latency-objective", 0.99, "fraction of successes that must meet -slo-latency-target")
 	sloLatTarget := flag.Duration("slo-latency-target", 50*time.Millisecond, "latency SLI threshold")
+	sample := flag.Duration("sample", 0, "flight-recorder sampling interval (0 = off; auto 250ms when -bundle-dir is set)")
+	bundleDir := flag.String("bundle-dir", "", "enable the diagnostic-bundle watchdog, writing bundles into this directory (serves /debug/bundle)")
+	bundleOnBurn := flag.Float64("bundle-on-burn", 0, "capture a bundle when the SLO burn rate reaches this multiple of sustainable (0 = rule off)")
+	bundleQueueHigh := flag.Int64("bundle-queue-high", 0, "capture a bundle when the admission queue depth reaches this high-water mark (0 = rule off)")
+	bundleP99 := flag.Duration("bundle-p99", 0, "capture a bundle when the per-interval p99 latency exceeds this target (0 = rule off)")
+	bundleCooldown := flag.Duration("bundle-cooldown", 30*time.Second, "minimum gap between bundles from the same trigger rule")
+	bundleRetain := flag.Int("bundle-retain", 8, "max bundles kept on disk; older ones are deleted")
+	bundleCPUProfile := flag.Duration("bundle-cpu-profile", 250*time.Millisecond, "CPU-profile sampling window per bundle (negative = no cpu.pprof)")
 	flag.Parse()
 
 	m, err := parseMode(*mode)
@@ -89,9 +99,25 @@ func main() {
 	}
 
 	sink := obs.New(obs.Config{Workers: max(*threads, 1), TraceCap: 1 << 14})
-	if *traceOut != "" {
+	// A bundle without spans or timeseries is half blind, so -bundle-dir
+	// implies span tracing (the buffers are rings: memory stays bounded and
+	// the retained window is the most recent) and a default sampling rate.
+	if *traceOut != "" || *bundleDir != "" {
 		sink.EnableSpans(max(*threads, 1), *spanCap)
 	}
+	if *bundleDir != "" && *sample == 0 {
+		*sample = 250 * time.Millisecond
+	}
+	var rec *obs.Recorder
+	if *sample > 0 {
+		rec = obs.NewRecorder(sink, obs.RecorderConfig{Interval: *sample})
+		sink.AttachRecorder(rec)
+		rec.Start()
+	}
+	// Exemplars are on unconditionally: the storage is one pointer per
+	// bucket and the hot path stays alloc-free, while every /metrics scrape
+	// gains request IDs on the latency buckets.
+	sink.EnableExemplars()
 	sink.AttachSLO(obs.NewSLO(obs.SLOConfig{
 		AvailabilityObjective: *sloAvail,
 		LatencyObjective:      *sloLatObj,
@@ -125,11 +151,54 @@ func main() {
 			lo.Graph.NumNodes(), len(lo.AppQueryVars))
 	}
 
+	// The fallback mux: diagnostic-bundle endpoints (when enabled) layered
+	// over the standard obs surface (/metrics, /debug/*).
+	fallback := http.Handler(obs.Handler(sink))
+	var watchdog *diag.Watchdog
+	if *bundleDir != "" {
+		watchdog, err = diag.New(diag.Config{
+			Sink:           sink,
+			Dir:            *bundleDir,
+			Cooldown:       *bundleCooldown,
+			MaxBundles:     *bundleRetain,
+			CPUProfile:     *bundleCPUProfile,
+			BurnThreshold:  *bundleOnBurn,
+			QueueHighWater: *bundleQueueHigh,
+			P99TargetNS:    bundleP99.Nanoseconds(),
+			Sources: map[string]diag.Source{
+				"server-stats.json": func() ([]byte, error) {
+					return json.MarshalIndent(srv.Stats(), "", "  ")
+				},
+				"config.json": func() ([]byte, error) {
+					return json.MarshalIndent(map[string]any{
+						"mode": *mode, "threads": *threads, "budget": *budget,
+						"queue": *queue, "batch_window": batchWindow.String(),
+						"batch_max": *batchMax, "timeout": timeout.String(),
+						"slo_availability": *sloAvail, "slo_latency_objective": *sloLatObj,
+						"slo_latency_target": sloLatTarget.String(),
+						"bundle_on_burn":     *bundleOnBurn, "bundle_queue_high": *bundleQueueHigh,
+						"bundle_p99": bundleP99.String(),
+					}, "", "  ")
+				},
+			},
+		})
+		if err != nil {
+			fail(err)
+		}
+		watchdog.Start()
+		fmt.Printf("parcfld: bundle watchdog on %s (burn>=%g queue>=%d p99>%s, cooldown %s, retain %d)\n",
+			*bundleDir, *bundleOnBurn, *bundleQueueHigh, *bundleP99, *bundleCooldown, *bundleRetain)
+		mux := http.NewServeMux()
+		mux.Handle("/debug/bundle", diag.Handler(watchdog))
+		mux.Handle("/debug/bundle/", diag.Handler(watchdog))
+		mux.Handle("/", obs.Handler(sink))
+		fallback = mux
+	}
 	handler := server.NewHandler(srv, server.HandlerConfig{
 		SnapshotPath:   *snapPath,
 		DefaultTimeout: *timeout,
 		SlowLog:        *slowLog,
-		Fallback:       obs.Handler(sink),
+		Fallback:       fallback,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -171,6 +240,10 @@ func main() {
 	<-sigs
 	fmt.Println("parcfld: draining...")
 	close(stopAutosave)
+	// Quiesce the watchdog before draining: a capture racing shutdown would
+	// profile the teardown, not the anomaly. The sampler stops after the
+	// drain so its final point covers the served traffic.
+	watchdog.Stop()
 
 	// Stop accepting HTTP first, then drain the solver: every admitted
 	// request gets its answer before the final snapshot is cut.
@@ -178,6 +251,7 @@ func main() {
 	defer cancel()
 	_ = httpSrv.Shutdown(ctx)
 	srv.Close()
+	rec.Stop()
 	// The server is drained and the dispatcher has exited: every span is
 	// final, so the trace flush below never races a producer.
 	if *traceOut != "" {

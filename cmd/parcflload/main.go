@@ -21,11 +21,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
-	"sync/atomic"
 	"time"
 
+	"parcfl/internal/diag"
 	"parcfl/internal/experiments"
 	"parcfl/internal/server"
 )
@@ -45,6 +48,7 @@ func main() {
 	retry := flag.Bool("retry", true, "retry each overload rejection once, honouring Retry-After")
 	jsonPath := flag.String("json", "", "write the soak report as JSON to this file (\"-\" for stdout)")
 	maxVars := flag.Int("max-vars", 0, "use at most N census variables (0 = all)")
+	bundleOnFail := flag.String("bundle-on-fail", "", "when any request hard-fails, deadlines, sheds or overloads, trigger a diagnostic bundle on the daemon and save it into this directory")
 	flag.Parse()
 
 	base := *addr
@@ -73,12 +77,10 @@ func main() {
 	fmt.Fprintf(os.Stderr, "parcflload: soaking %s at %.0f req/s for %s over %d variables\n",
 		base, *rate, *duration, len(vars))
 
-	var seq atomic.Int64
 	rep := experiments.RunSoak(experiments.SoakOptions{
 		Rate: *rate, Duration: *duration, MaxInflight: *inflight,
-		Seed: *seed, Timeout: *timeout, Retry: *retry,
-	}, len(vars), func(ctx context.Context, idx int) (server.Timings, error) {
-		rid := fmt.Sprintf("load-%d-%d", *seed, seq.Add(1))
+		Seed: *seed, Timeout: *timeout, Retry: *retry, RIDPrefix: "load",
+	}, len(vars), func(ctx context.Context, idx int, rid string) (server.Timings, error) {
 		reply, err := cl.QueryRequest(ctx, rid, []string{vars[idx]}, *timeout)
 		if err != nil {
 			return server.Timings{}, err
@@ -99,6 +101,21 @@ func main() {
 	ph := rep.Phases
 	fmt.Printf("phases     admit %.1f%%  queue %.1f%%  solve %.1f%%  fanout %.1f%%\n",
 		100*ph.AdmitShare, 100*ph.QueueShare, 100*ph.SolveShare, 100*ph.FanoutShare)
+	for i, sr := range rep.Slowest {
+		fmt.Printf("slow[%d]    rid=%s total=%s (admit %s, queue %s, solve %s, fanout %s, marshal %s)\n",
+			i, sr.RID, time.Duration(sr.LatencyNS),
+			time.Duration(sr.Timings.AdmitNS), time.Duration(sr.Timings.QueueWaitNS),
+			time.Duration(sr.Timings.SolveNS), time.Duration(sr.Timings.FanoutNS),
+			time.Duration(sr.Timings.MarshalNS))
+	}
+
+	if *bundleOnFail != "" && rep.Errored+rep.Deadlined+rep.Overloaded+rep.Shed > 0 {
+		if path, err := fetchBundle(base, *bundleOnFail); err != nil {
+			fmt.Fprintln(os.Stderr, "parcflload: bundle-on-fail:", err)
+		} else {
+			fmt.Printf("bundle     anomalies detected; daemon diagnostic bundle saved to %s\n", path)
+		}
+	}
 
 	if *jsonPath != "" {
 		out := os.Stdout
@@ -123,4 +140,74 @@ func main() {
 	if rep.Errored > 0 {
 		fail(fmt.Errorf("%d requests failed with hard errors", rep.Errored))
 	}
+}
+
+// fetchBundle asks the daemon for a manual diagnostic bundle (falling back
+// to its most recent existing bundle when the manual trigger is in
+// cooldown — a watchdog rule probably captured one already) and saves the
+// tar.gz into dir. Returns the saved path.
+func fetchBundle(base, dir string) (string, error) {
+	httpc := &http.Client{Timeout: 30 * time.Second}
+
+	var id string
+	resp, err := httpc.Get(base + "/debug/bundle?trigger=1&reason=parcflload+anomalies")
+	if err != nil {
+		return "", err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var info diag.BundleInfo
+		if err := json.Unmarshal(body, &info); err != nil {
+			return "", err
+		}
+		id = info.ID
+	case http.StatusTooManyRequests:
+		// Cooldown: list and take the newest bundle instead.
+		resp, err = httpc.Get(base + "/debug/bundle")
+		if err != nil {
+			return "", err
+		}
+		body, _ = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var list struct {
+			Bundles []diag.BundleInfo `json:"bundles"`
+		}
+		if err := json.Unmarshal(body, &list); err != nil {
+			return "", err
+		}
+		if len(list.Bundles) == 0 {
+			return "", fmt.Errorf("manual trigger in cooldown and no bundles on the daemon")
+		}
+		id = list.Bundles[len(list.Bundles)-1].ID
+	default:
+		return "", fmt.Errorf("trigger: %s: %s", resp.Status, body)
+	}
+
+	resp, err = httpc.Get(base + "/debug/bundle/" + id)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("fetch %s: %s", id, resp.Status)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("bundle-%s.tar.gz", id[:12]))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	_, err = io.Copy(f, resp.Body)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+		return "", err
+	}
+	return path, nil
 }

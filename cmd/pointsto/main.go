@@ -94,7 +94,9 @@ func main() {
 					fmt.Fprintf(os.Stderr, "trace written to %s (load in ui.perfetto.dev or chrome://tracing)\n", *traceOut)
 				}
 			}
-			obs.ShutdownDebug(srv, 2*time.Second)
+			if err := obs.ShutdownDebug(srv, 2*time.Second); err != nil {
+				fmt.Fprintln(os.Stderr, "pointsto: debug shutdown:", err)
+			}
 		})
 	}
 	sigCh := make(chan os.Signal, 1)

@@ -1,0 +1,345 @@
+// Package diag is the resident analysis daemon's "black box": a watchdog
+// that evaluates anomaly trigger rules against the observability sink and,
+// when one fires, captures a correlated diagnostic bundle — CPU/heap
+// profiles, goroutine dump, the recent span ring as a Perfetto trace,
+// flight-recorder timeseries, SLO and stats snapshots, exemplars and build
+// identity — into a single content-addressed tar.gz. The point is that the
+// artifacts are captured *together*, at the moment of the anomaly: a request
+// ID surfaced by a /metrics exemplar resolves to a "req N" lane in the
+// bundled trace, to a phase breakdown in the bundled stats, and to the goroutine
+// and CPU state of the same instant.
+package diag
+
+import (
+	"archive/tar"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"parcfl/internal/obs"
+)
+
+// BundleSchema identifies the manifest.json layout inside a bundle.
+const BundleSchema = "parcfl-bundle/v1"
+
+// Source produces one extra named artifact for a bundle (e.g. the server's
+// stats snapshot, or the daemon's effective configuration). It is called at
+// capture time, once per bundle.
+type Source func() ([]byte, error)
+
+// Artifact describes one file inside a bundle, as listed by the manifest.
+type Artifact struct {
+	Name   string `json:"name"`
+	Size   int64  `json:"size"`
+	SHA256 string `json:"sha256"`
+}
+
+// Manifest is the first entry of every bundle tarball. The bundle ID is
+// content-addressed: the hex sha256 of the artifact digests in manifest
+// order, so two bundles with identical contents get identical IDs and any
+// tampering with an artifact is detectable from the manifest alone.
+type Manifest struct {
+	Schema           string            `json:"schema"`
+	ID               string            `json:"id"`
+	Trigger          string            `json:"trigger"`
+	Reason           string            `json:"reason"`
+	CapturedUnixNano int64             `json:"captured_unix_nano"`
+	Build            obs.BuildIdentity `json:"build"`
+	Artifacts        []Artifact        `json:"artifacts"`
+}
+
+// CaptureConfig controls one bundle capture.
+type CaptureConfig struct {
+	Sink *obs.Sink
+	// CPUProfile is how long to sample the CPU profile for (0 disables the
+	// cpu.pprof artifact; captures block for this duration).
+	CPUProfile time.Duration
+	// Sources adds extra artifacts by name (must end in a sane extension,
+	// e.g. "server-stats.json").
+	Sources map[string]Source
+	// now overrides the wall clock in tests.
+	now func() time.Time
+}
+
+// cpuProfileMu serialises CPU profiling across concurrent captures: the
+// runtime supports only one CPU profile at a time, and a second
+// StartCPUProfile would fail spuriously rather than queue.
+var cpuProfileMu sync.Mutex
+
+// Capture collects every artifact, assembles the manifest and writes the
+// bundle as bundle-<utc-timestamp>-<id12>.tar.gz under dir. It returns the
+// manifest and the written file's path. Artifacts that depend on optional
+// attachments (recorder, SLO, heat, spans) are simply absent when the
+// attachment is; errors from individual artifact builders become a
+// <name>.error.txt artifact rather than aborting the capture — a black box
+// that refuses to record because one gauge is broken is useless.
+func Capture(dir string, trigger, reason string, cfg CaptureConfig) (Manifest, string, error) {
+	now := time.Now
+	if cfg.now != nil {
+		now = cfg.now
+	}
+	s := cfg.Sink
+
+	type artifact struct {
+		name string
+		data []byte
+	}
+	var arts []artifact
+	add := func(name string, data []byte, err error) {
+		if err != nil {
+			name += ".error.txt"
+			data = []byte(err.Error() + "\n")
+		}
+		arts = append(arts, artifact{name, data})
+	}
+	addJSON := func(name string, v any) {
+		data, err := json.MarshalIndent(v, "", "  ")
+		add(name, data, err)
+	}
+
+	// CPU profile first: it blocks for the sampling window, and everything
+	// captured after it describes the state at the *end* of that window —
+	// closest to "now" for the snapshots that age fastest.
+	if cfg.CPUProfile > 0 {
+		data, err := captureCPUProfile(cfg.CPUProfile)
+		add("cpu.pprof", data, err)
+	}
+	{
+		data, err := captureHeapProfile()
+		add("heap.pprof", data, err)
+	}
+	{
+		data, err := captureGoroutines()
+		add("goroutines.txt", data, err)
+	}
+
+	if s.SpanTracing() {
+		var buf strings.Builder
+		err := obs.WriteTraceEvents(&buf, s)
+		add("trace.json", []byte(buf.String()), err)
+	}
+	if rec := s.FlightRecorder(); rec != nil {
+		addJSON("timeseries.json", rec.Snapshot())
+	}
+	if slo := s.SLO(); slo != nil {
+		addJSON("slo.json", slo.Snapshot())
+	}
+	if s != nil {
+		addJSON("obs.json", s.Snapshot())
+		addJSON("statusz.json", obs.Status(s))
+	}
+	if exs := collectExemplars(s); exs != nil {
+		addJSON("exemplars.json", exs)
+	}
+	if h := s.Heat(); h != nil {
+		addJSON("heat.json", h.HeatSnapshot())
+	}
+	names := make([]string, 0, len(cfg.Sources))
+	for name := range cfg.Sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		data, err := cfg.Sources[name]()
+		add(name, data, err)
+	}
+
+	// Manifest: digest each artifact, derive the content-addressed ID.
+	capturedAt := now()
+	man := Manifest{
+		Schema:           BundleSchema,
+		Trigger:          trigger,
+		Reason:           reason,
+		CapturedUnixNano: capturedAt.UnixNano(),
+		Build:            obs.ReadBuildIdentity(),
+	}
+	idh := sha256.New()
+	for _, a := range arts {
+		sum := sha256.Sum256(a.data)
+		hexSum := hex.EncodeToString(sum[:])
+		man.Artifacts = append(man.Artifacts, Artifact{
+			Name: a.name, Size: int64(len(a.data)), SHA256: hexSum,
+		})
+		idh.Write(sum[:])
+	}
+	man.ID = hex.EncodeToString(idh.Sum(nil))
+
+	manData, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return Manifest{}, "", err
+	}
+
+	fname := fmt.Sprintf("bundle-%s-%s.tar.gz",
+		capturedAt.UTC().Format("20060102T150405"), man.ID[:12])
+	path := filepath.Join(dir, fname)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return Manifest{}, "", err
+	}
+	gz := gzip.NewWriter(f)
+	tw := tar.NewWriter(gz)
+	write := func(name string, data []byte) error {
+		if err := tw.WriteHeader(&tar.Header{
+			Name: name, Mode: 0o644, Size: int64(len(data)),
+			ModTime: capturedAt,
+		}); err != nil {
+			return err
+		}
+		_, err := tw.Write(data)
+		return err
+	}
+	err = write("manifest.json", manData)
+	for _, a := range arts {
+		if err != nil {
+			break
+		}
+		err = write(a.name, a.data)
+	}
+	for _, closeErr := range []error{tw.Close(), gz.Close(), f.Close()} {
+		if err == nil {
+			err = closeErr
+		}
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return Manifest{}, "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return Manifest{}, "", err
+	}
+	return man, path, nil
+}
+
+func captureCPUProfile(d time.Duration) ([]byte, error) {
+	cpuProfileMu.Lock()
+	defer cpuProfileMu.Unlock()
+	var buf strings.Builder
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		return nil, err
+	}
+	time.Sleep(d)
+	pprof.StopCPUProfile()
+	return []byte(buf.String()), nil
+}
+
+func captureHeapProfile() ([]byte, error) {
+	var buf strings.Builder
+	if err := pprof.WriteHeapProfile(&buf); err != nil {
+		return nil, err
+	}
+	return []byte(buf.String()), nil
+}
+
+func captureGoroutines() ([]byte, error) {
+	p := pprof.Lookup("goroutine")
+	if p == nil {
+		return nil, fmt.Errorf("no goroutine profile")
+	}
+	var buf strings.Builder
+	if err := p.WriteTo(&buf, 2); err != nil {
+		return nil, err
+	}
+	return []byte(buf.String()), nil
+}
+
+// exemplarDump is the exemplars.json layout: per-histogram bucket exemplars,
+// the join key between a /metrics exemplar and the bundled trace's "req N"
+// lanes.
+type exemplarDump struct {
+	Schema string                          `json:"schema"`
+	Hists  map[string][]obs.BucketExemplar `json:"hists"`
+}
+
+func collectExemplars(s *obs.Sink) *exemplarDump {
+	if s == nil || !s.ExemplarsEnabled() {
+		return nil
+	}
+	dump := &exemplarDump{Schema: "parcfl-exemplars/v1", Hists: map[string][]obs.BucketExemplar{}}
+	for h := obs.HistID(0); h < obs.NumHists; h++ {
+		if exs := s.HistExemplars(h); len(exs) > 0 {
+			dump.Hists[h.String()] = exs
+		}
+	}
+	if len(dump.Hists) == 0 {
+		return nil
+	}
+	return dump
+}
+
+// ValidateBundle re-reads a bundle from disk and checks its manifest: the
+// schema matches, every listed artifact is present with the listed size and
+// sha256, no unlisted files ride along, and the bundle ID matches the
+// artifact digests. Returns the verified manifest.
+func ValidateBundle(path string) (Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Manifest{}, err
+	}
+	defer f.Close()
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		return Manifest{}, err
+	}
+	tr := tar.NewReader(gz)
+
+	var man Manifest
+	haveManifest := false
+	got := map[string]Artifact{}
+	idh := sha256.New()
+	for {
+		hdr, err := tr.Next()
+		if err != nil {
+			break
+		}
+		data, err := io.ReadAll(tr)
+		if err != nil {
+			return Manifest{}, fmt.Errorf("%s: %w", hdr.Name, err)
+		}
+		if hdr.Name == "manifest.json" {
+			if err := json.Unmarshal(data, &man); err != nil {
+				return Manifest{}, fmt.Errorf("manifest.json: %w", err)
+			}
+			haveManifest = true
+			continue
+		}
+		sum := sha256.Sum256(data)
+		got[hdr.Name] = Artifact{Name: hdr.Name, Size: int64(len(data)), SHA256: hex.EncodeToString(sum[:])}
+		idh.Write(sum[:])
+	}
+	if !haveManifest {
+		return Manifest{}, fmt.Errorf("%s: no manifest.json", path)
+	}
+	if man.Schema != BundleSchema {
+		return Manifest{}, fmt.Errorf("%s: schema %q, want %q", path, man.Schema, BundleSchema)
+	}
+	if len(got) != len(man.Artifacts) {
+		return Manifest{}, fmt.Errorf("%s: %d artifacts on disk, manifest lists %d", path, len(got), len(man.Artifacts))
+	}
+	for _, want := range man.Artifacts {
+		g, ok := got[want.Name]
+		if !ok {
+			return Manifest{}, fmt.Errorf("%s: artifact %s missing", path, want.Name)
+		}
+		if g != want {
+			return Manifest{}, fmt.Errorf("%s: artifact %s mismatch: manifest %+v, disk %+v", path, want.Name, want, g)
+		}
+	}
+	// The ID digest folds artifact hashes in tar (= manifest) order, which
+	// the loop above already consumed sequentially.
+	if id := hex.EncodeToString(idh.Sum(nil)); id != man.ID {
+		return Manifest{}, fmt.Errorf("%s: bundle ID %s does not match artifact digests (%s)", path, man.ID, id)
+	}
+	return man, nil
+}

@@ -1,0 +1,326 @@
+package diag
+
+import (
+	"archive/tar"
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"parcfl/internal/obs"
+)
+
+// testSink builds a sink with every optional attachment the bundle knows
+// how to capture: spans, recorder, SLO, exemplars.
+func testSink() *obs.Sink {
+	s := obs.New(obs.Config{Workers: 2, TraceCap: 1 << 10})
+	s.EnableSpans(2, 1<<10)
+	s.EnableExemplars()
+	rec := obs.NewRecorder(s, obs.RecorderConfig{Interval: time.Hour}) // manual samples only
+	s.AttachRecorder(rec)
+	s.AttachSLO(obs.NewSLO(obs.SLOConfig{}))
+	s.Observe(obs.HistServerLatencyNS, 5000)
+	s.Exemplar(obs.HistServerLatencyNS, 5000, "req-test", 3)
+	s.SpanInstant(obs.SpJmpTake, obs.NoWorker, 1, 2)
+	return s
+}
+
+// TestCaptureAndValidate: a capture produces a tarball whose manifest
+// survives full re-verification — every artifact present, sizes and sha256s
+// matching, bundle ID consistent with the digests.
+func TestCaptureAndValidate(t *testing.T) {
+	dir := t.TempDir()
+	s := testSink()
+	man, path, err := Capture(dir, RuleManual, "unit test", CaptureConfig{
+		Sink:       s,
+		CPUProfile: 10 * time.Millisecond,
+		Sources: map[string]Source{
+			"config.json": func() ([]byte, error) { return []byte(`{"queue":64}`), nil },
+			"broken.json": func() ([]byte, error) { return nil, errors.New("source exploded") },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Schema != BundleSchema || len(man.ID) != 64 {
+		t.Fatalf("manifest = %+v", man)
+	}
+	got, err := ValidateBundle(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != man.ID || got.Trigger != RuleManual {
+		t.Fatalf("validated manifest diverges: %+v vs %+v", got, man)
+	}
+	names := map[string]bool{}
+	for _, a := range got.Artifacts {
+		names[a.Name] = true
+	}
+	for _, want := range []string{
+		"cpu.pprof", "heap.pprof", "goroutines.txt", "trace.json",
+		"timeseries.json", "slo.json", "obs.json", "statusz.json",
+		"exemplars.json", "config.json", "broken.json.error.txt",
+	} {
+		if !names[want] {
+			t.Fatalf("bundle missing artifact %s; have %v", want, names)
+		}
+	}
+}
+
+// TestValidateDetectsTamper: flipping one byte of an artifact makes
+// validation fail.
+func TestValidateDetectsTamper(t *testing.T) {
+	dir := t.TempDir()
+	_, path, err := Capture(dir, RuleManual, "tamper test", CaptureConfig{
+		Sink: testSink(),
+		Sources: map[string]Source{
+			"victim.txt": func() ([]byte, error) { return []byte("original payload original payload"), nil },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the bundle with one artifact byte flipped. Re-tar rather than
+	// flipping compressed bytes (which would just break gzip, a weaker test).
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := rewriteArtifact(t, data, "victim.txt", []byte("original payload TAMPERED payload"))
+	bad := filepath.Join(dir, "tampered.tar.gz")
+	if err := os.WriteFile(bad, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateBundle(bad); err == nil {
+		t.Fatal("tampered bundle validated clean")
+	}
+}
+
+// rewriteArtifact re-tars a bundle with one artifact's content replaced
+// (same name, same manifest — i.e. a post-capture tamper).
+func rewriteArtifact(t *testing.T, bundle []byte, name string, content []byte) []byte {
+	t.Helper()
+	gz, err := gzip.NewReader(bytes.NewReader(bundle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tar.NewReader(gz)
+	var out bytes.Buffer
+	ogz := gzip.NewWriter(&out)
+	tw := tar.NewWriter(ogz)
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hdr.Name == name {
+			if len(content) != len(data) {
+				t.Fatalf("tamper payload %d bytes, original %d (sizes must match to isolate the sha256 check)", len(content), len(data))
+			}
+			data = content
+		}
+		hdr.Size = int64(len(data))
+		if err := tw.WriteHeader(hdr); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tw.Write(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ogz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+// TestTriggerCooldown: the same rule within the cooldown window returns
+// ErrCooldown; a different rule still fires; the clock advancing past the
+// cooldown re-arms.
+func TestTriggerCooldown(t *testing.T) {
+	dir := t.TempDir()
+	clock := time.Unix(1000, 0)
+	w, err := New(Config{
+		Sink: testSink(), Dir: dir,
+		Cooldown: 10 * time.Second, CPUProfile: -1, // -1: skip CPU sampling in tests
+		Now: func() time.Time { return clock },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Trigger(RuleManual, "first"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Trigger(RuleManual, "second"); !errors.Is(err, ErrCooldown) {
+		t.Fatalf("second trigger in cooldown got %v, want ErrCooldown", err)
+	}
+	if _, err := w.Trigger(RuleQueue, "other rule"); err != nil {
+		t.Fatalf("independent rule blocked: %v", err)
+	}
+	clock = clock.Add(11 * time.Second)
+	if _, err := w.Trigger(RuleManual, "after cooldown"); err != nil {
+		t.Fatalf("re-armed trigger failed: %v", err)
+	}
+	if got := len(w.List()); got != 3 {
+		t.Fatalf("%d bundles on disk, want 3", got)
+	}
+}
+
+// TestRetention: captures beyond MaxBundles delete the oldest.
+func TestRetention(t *testing.T) {
+	dir := t.TempDir()
+	clock := time.Unix(2000, 0)
+	w, err := New(Config{
+		Sink: testSink(), Dir: dir,
+		Cooldown: time.Nanosecond, MaxBundles: 2, CPUProfile: -1,
+		Now: func() time.Time { return clock },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first BundleInfo
+	for i := 0; i < 4; i++ {
+		info, err := w.Trigger(RuleManual, "retention")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = info
+		}
+		clock = clock.Add(time.Second)
+	}
+	list := w.List()
+	if len(list) != 2 {
+		t.Fatalf("%d bundles retained, want 2: %+v", len(list), list)
+	}
+	for _, info := range list {
+		if info.File == first.File {
+			t.Fatalf("oldest bundle %s survived retention", first.File)
+		}
+	}
+}
+
+// TestWatchdogRules: the queue high-water and windowed-p99 rules fire on
+// sink state, and the p99 rule uses the per-tick delta (a fast second
+// window over a slow lifetime histogram stays quiet).
+func TestWatchdogRules(t *testing.T) {
+	s := testSink()
+	w, err := New(Config{
+		Sink: s, Dir: t.TempDir(),
+		QueueHighWater: 5, P99TargetNS: 1_000_000, CPUProfile: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rule, _, ok := w.check(s); ok {
+		t.Fatalf("quiet sink fired %q", rule)
+	}
+	s.SetGauge(obs.GaugeServerQueueDepth, 7)
+	if rule, _, ok := w.check(s); !ok || rule != RuleQueue {
+		t.Fatalf("queue depth 7 fired %q/%v, want queue", rule, ok)
+	}
+	s.SetGauge(obs.GaugeServerQueueDepth, 0)
+
+	// Slow requests this window: p99 fires on the delta.
+	for i := 0; i < 10; i++ {
+		s.Observe(obs.HistServerLatencyNS, 50_000_000)
+	}
+	if rule, _, ok := w.check(s); !ok || rule != RuleP99 {
+		t.Fatalf("slow window fired %q/%v, want p99", rule, ok)
+	}
+	// Next window is fast even though lifetime p99 is still slow.
+	for i := 0; i < 10; i++ {
+		s.Observe(obs.HistServerLatencyNS, 1000)
+	}
+	if rule, _, ok := w.check(s); ok {
+		t.Fatalf("fast window fired %q (lifetime p99 leaked into the window)", rule)
+	}
+}
+
+// TestHTTPHandler: list, manual trigger (incl. cooldown → 429) and fetch.
+func TestHTTPHandler(t *testing.T) {
+	clock := time.Unix(3000, 0)
+	w, err := New(Config{
+		Sink: testSink(), Dir: t.TempDir(),
+		Cooldown: 10 * time.Second, CPUProfile: -1,
+		Now: func() time.Time { return clock },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/bundle", Handler(w))
+	mux.Handle("/debug/bundle/", Handler(w))
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	get := func(url string) (int, []byte) {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+
+	code, body := get(ts.URL + "/debug/bundle")
+	if code != 200 || !strings.Contains(string(body), listSchema) {
+		t.Fatalf("list: %d %s", code, body)
+	}
+
+	code, body = get(ts.URL + "/debug/bundle?trigger=1&reason=pager")
+	if code != 200 {
+		t.Fatalf("trigger: %d %s", code, body)
+	}
+	var info BundleInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Trigger != RuleManual || info.Reason != "pager" {
+		t.Fatalf("trigger info = %+v", info)
+	}
+
+	code, body = get(ts.URL + "/debug/bundle?trigger=1")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("cooldown trigger: %d %s, want 429", code, body)
+	}
+
+	code, body = get(ts.URL + "/debug/bundle/" + info.ID)
+	if code != 200 {
+		t.Fatalf("fetch: %d", code)
+	}
+	fetched := filepath.Join(t.TempDir(), "fetched.tar.gz")
+	if err := os.WriteFile(fetched, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	man, err := ValidateBundle(fetched)
+	if err != nil {
+		t.Fatalf("fetched bundle invalid: %v", err)
+	}
+	if man.ID != info.ID {
+		t.Fatalf("fetched bundle ID %s, want %s", man.ID, info.ID)
+	}
+
+	code, _ = get(ts.URL + "/debug/bundle/000000000000")
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown id: %d, want 404", code)
+	}
+}

@@ -1,0 +1,75 @@
+package diag
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+)
+
+// listSchema identifies the /debug/bundle list JSON layout.
+const listSchema = "parcfl-bundle-list/v1"
+
+// Handler serves the bundle endpoints on a watchdog:
+//
+//	GET /debug/bundle            — list bundles (JSON)
+//	GET /debug/bundle?trigger=1  — capture a manual bundle now (429 in cooldown)
+//	GET /debug/bundle/<id>       — fetch one bundle's tar.gz (id may be the
+//	                               12-char short form)
+//
+// Mount it at both /debug/bundle and /debug/bundle/ so the id-less forms
+// and the fetch form resolve.
+func Handler(w *Watchdog) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		rest := strings.Trim(strings.TrimPrefix(r.URL.Path, "/debug/bundle"), "/")
+		switch {
+		case rest != "":
+			serveFetch(rw, r, w, rest)
+		case r.URL.Query().Get("trigger") != "":
+			serveTrigger(rw, r, w)
+		default:
+			serveList(rw, w)
+		}
+	})
+}
+
+func serveList(rw http.ResponseWriter, w *Watchdog) {
+	payload := struct {
+		Schema  string       `json:"schema"`
+		Bundles []BundleInfo `json:"bundles"`
+	}{Schema: listSchema, Bundles: w.List()}
+	rw.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(rw)
+	enc.SetIndent("", "  ")
+	enc.Encode(payload)
+}
+
+func serveTrigger(rw http.ResponseWriter, r *http.Request, w *Watchdog) {
+	reason := r.URL.Query().Get("reason")
+	if reason == "" {
+		reason = "manual trigger via /debug/bundle"
+	}
+	info, err := w.Trigger(RuleManual, reason)
+	if errors.Is(err, ErrCooldown) {
+		http.Error(rw, err.Error(), http.StatusTooManyRequests)
+		return
+	}
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(rw)
+	enc.SetIndent("", "  ")
+	enc.Encode(info)
+}
+
+func serveFetch(rw http.ResponseWriter, r *http.Request, w *Watchdog, id string) {
+	path, ok := w.Path(id)
+	if !ok {
+		http.Error(rw, "no such bundle: "+id, http.StatusNotFound)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/gzip")
+	http.ServeFile(rw, r, path)
+}

@@ -1,0 +1,332 @@
+package diag
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"parcfl/internal/obs"
+)
+
+// Trigger rule names. Rules are evaluated once per Interval against the
+// sink; each has an independent cooldown so a sustained anomaly produces a
+// bounded trickle of bundles, not a flood, while distinct anomalies (a burn
+// spike during a queue backlog) still each get their capture.
+const (
+	// RuleBurn fires when the SLO's shortest-window availability or latency
+	// burn rate exceeds Config.BurnThreshold.
+	RuleBurn = "burn"
+	// RuleQueue fires when the admission queue depth gauge reaches
+	// Config.QueueHighWater.
+	RuleQueue = "queue"
+	// RuleP99 fires when the server latency p99 over the last evaluation
+	// window (delta of histogram snapshots, not lifetime) exceeds
+	// Config.P99TargetNS.
+	RuleP99 = "p99"
+	// RuleManual is the operator-initiated trigger (/debug/bundle?trigger=1
+	// or a load client's -bundle-on-fail).
+	RuleManual = "manual"
+)
+
+// ErrCooldown is returned by Trigger when the rule fired within its
+// cooldown window and the capture was suppressed.
+var ErrCooldown = errors.New("diag: trigger in cooldown")
+
+// Config configures a Watchdog.
+type Config struct {
+	Sink *obs.Sink
+	// Dir is where bundles are written (created if absent).
+	Dir string
+	// Interval between rule evaluations. Default 1s.
+	Interval time.Duration
+	// Cooldown per rule between captures. Default 30s.
+	Cooldown time.Duration
+	// MaxBundles bounds on-disk retention: after each capture the oldest
+	// bundles beyond this count are deleted. Default 8.
+	MaxBundles int
+	// CPUProfile is the CPU sampling window per capture. Default 250ms;
+	// negative disables the cpu.pprof artifact (captures stop blocking).
+	CPUProfile time.Duration
+
+	// BurnThreshold enables RuleBurn when > 0 (e.g. 10 = burning error
+	// budget at 10x the sustainable rate).
+	BurnThreshold float64
+	// QueueHighWater enables RuleQueue when > 0.
+	QueueHighWater int64
+	// P99TargetNS enables RuleP99 when > 0.
+	P99TargetNS int64
+
+	// Sources adds extra artifacts to every capture.
+	Sources map[string]Source
+
+	// Now overrides the wall clock (tests).
+	Now func() time.Time
+}
+
+// BundleInfo describes one bundle on disk, as listed by /debug/bundle.
+type BundleInfo struct {
+	ID        string `json:"id"`
+	File      string `json:"file"`
+	Trigger   string `json:"trigger"`
+	Reason    string `json:"reason"`
+	UnixNano  int64  `json:"unix_nano"`
+	SizeBytes int64  `json:"size_bytes"`
+}
+
+// Watchdog evaluates trigger rules on a ticker and captures bundles.
+type Watchdog struct {
+	cfg Config
+	now func() time.Time
+
+	mu        sync.Mutex
+	lastFired map[string]time.Time
+	lastHist  obs.HistSnapshot // previous tick's snapshot, for windowed p99
+	captured  map[string]BundleInfo
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New creates the bundle directory and returns a stopped watchdog: rules
+// only run after Start, but Trigger works immediately (the manual rule
+// needs no ticker).
+func New(cfg Config) (*Watchdog, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("diag: Config.Dir required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 30 * time.Second
+	}
+	if cfg.MaxBundles <= 0 {
+		cfg.MaxBundles = 8
+	}
+	if cfg.CPUProfile == 0 {
+		cfg.CPUProfile = 250 * time.Millisecond
+	}
+	now := time.Now
+	if cfg.Now != nil {
+		now = cfg.Now
+	}
+	return &Watchdog{
+		cfg:       cfg,
+		now:       now,
+		lastFired: map[string]time.Time{},
+		captured:  map[string]BundleInfo{},
+		lastHist:  cfg.Sink.Hist(obs.HistServerLatencyNS),
+	}, nil
+}
+
+// Start launches the rule-evaluation loop. Idempotent-ish: call once.
+func (w *Watchdog) Start() {
+	if w == nil || w.stop != nil {
+		return
+	}
+	w.stop = make(chan struct{})
+	w.done = make(chan struct{})
+	go w.loop()
+}
+
+// Stop halts rule evaluation and waits for any in-flight capture to finish.
+// Safe on a never-started or nil watchdog.
+func (w *Watchdog) Stop() {
+	if w == nil || w.stop == nil {
+		return
+	}
+	close(w.stop)
+	<-w.done
+	w.stop = nil
+}
+
+func (w *Watchdog) loop() {
+	defer close(w.done)
+	tick := time.NewTicker(w.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-tick.C:
+			w.evaluate()
+		}
+	}
+}
+
+// evaluate runs every enabled rule once. Rules observe the sink; the first
+// that fires captures a bundle (later rules wait for the next tick — the
+// capture itself is the expensive part, and one bundle already holds the
+// whole correlated state).
+func (w *Watchdog) evaluate() {
+	s := w.cfg.Sink
+	if rule, reason, ok := w.check(s); ok {
+		if _, err := w.Trigger(rule, reason); err != nil && !errors.Is(err, ErrCooldown) {
+			fmt.Fprintln(os.Stderr, "diag: capture failed:", err)
+		}
+	}
+}
+
+// check evaluates the rules in priority order and returns the first firing.
+// The p99 window snapshot advances every call regardless, so the delta
+// always spans exactly one evaluation interval.
+func (w *Watchdog) check(s *obs.Sink) (rule, reason string, ok bool) {
+	cur := s.Hist(obs.HistServerLatencyNS)
+	w.mu.Lock()
+	delta := cur.Sub(w.lastHist)
+	w.lastHist = cur
+	w.mu.Unlock()
+
+	if thr := w.cfg.BurnThreshold; thr > 0 {
+		if slo := s.SLO(); slo != nil {
+			snap := slo.Snapshot()
+			if len(snap.Windows) > 0 {
+				win := snap.Windows[0] // shortest window reacts fastest
+				if win.AvailBurnRate >= thr {
+					return RuleBurn, fmt.Sprintf("availability burn rate %.2f >= %.2f (window %ds)",
+						win.AvailBurnRate, thr, win.WindowSec), true
+				}
+				if win.LatencyBurnRate >= thr {
+					return RuleBurn, fmt.Sprintf("latency burn rate %.2f >= %.2f (window %ds)",
+						win.LatencyBurnRate, thr, win.WindowSec), true
+				}
+			}
+		}
+	}
+	if hw := w.cfg.QueueHighWater; hw > 0 {
+		if depth := s.Gauge(obs.GaugeServerQueueDepth); depth >= hw {
+			return RuleQueue, fmt.Sprintf("admission queue depth %d >= high water %d", depth, hw), true
+		}
+	}
+	if target := w.cfg.P99TargetNS; target > 0 && delta.Count > 0 {
+		if p99 := delta.Quantile(0.99); p99 > target {
+			return RuleP99, fmt.Sprintf("windowed p99 %dns > target %dns over %d requests",
+				p99, target, delta.Count), true
+		}
+	}
+	return "", "", false
+}
+
+// Trigger captures a bundle for rule now, honouring the rule's cooldown
+// (ErrCooldown when suppressed) and pruning retention afterwards. Safe for
+// concurrent use; captures serialise on the CPU-profile mutex.
+func (w *Watchdog) Trigger(rule, reason string) (BundleInfo, error) {
+	now := w.now()
+	w.mu.Lock()
+	if last, ok := w.lastFired[rule]; ok && now.Sub(last) < w.cfg.Cooldown {
+		w.mu.Unlock()
+		return BundleInfo{}, fmt.Errorf("%w: rule %q fired %s ago (cooldown %s)",
+			ErrCooldown, rule, now.Sub(last).Round(time.Millisecond), w.cfg.Cooldown)
+	}
+	w.lastFired[rule] = now
+	w.mu.Unlock()
+
+	man, path, err := Capture(w.cfg.Dir, rule, reason, CaptureConfig{
+		Sink:       w.cfg.Sink,
+		CPUProfile: w.cfg.CPUProfile,
+		Sources:    w.cfg.Sources,
+		now:        w.now,
+	})
+	if err != nil {
+		return BundleInfo{}, err
+	}
+	st, _ := os.Stat(path)
+	info := BundleInfo{
+		ID:       man.ID,
+		File:     filepath.Base(path),
+		Trigger:  rule,
+		Reason:   reason,
+		UnixNano: man.CapturedUnixNano,
+	}
+	if st != nil {
+		info.SizeBytes = st.Size()
+	}
+	w.mu.Lock()
+	w.captured[info.File] = info
+	w.mu.Unlock()
+	w.prune()
+	return info, nil
+}
+
+// prune deletes the oldest bundles beyond MaxBundles. Bundle filenames
+// embed a UTC timestamp, so lexicographic order is capture order.
+func (w *Watchdog) prune() {
+	files := w.bundleFiles()
+	if len(files) <= w.cfg.MaxBundles {
+		return
+	}
+	for _, f := range files[:len(files)-w.cfg.MaxBundles] {
+		os.Remove(filepath.Join(w.cfg.Dir, f))
+		w.mu.Lock()
+		delete(w.captured, f)
+		w.mu.Unlock()
+	}
+}
+
+func (w *Watchdog) bundleFiles() []string {
+	ents, err := os.ReadDir(w.cfg.Dir)
+	if err != nil {
+		return nil
+	}
+	var files []string
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasPrefix(name, "bundle-") && strings.HasSuffix(name, ".tar.gz") {
+			files = append(files, name)
+		}
+	}
+	sort.Strings(files)
+	return files
+}
+
+// List returns every bundle in the directory, oldest first. Bundles
+// captured by this process carry their trigger and reason; bundles left by
+// a previous run are listed from their filename alone.
+func (w *Watchdog) List() []BundleInfo {
+	files := w.bundleFiles()
+	out := make([]BundleInfo, 0, len(files))
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, f := range files {
+		if info, ok := w.captured[f]; ok {
+			out = append(out, info)
+			continue
+		}
+		info := BundleInfo{File: f, Trigger: "unknown"}
+		if st, err := os.Stat(filepath.Join(w.cfg.Dir, f)); err == nil {
+			info.SizeBytes = st.Size()
+			info.UnixNano = st.ModTime().UnixNano()
+		}
+		// bundle-<ts>-<id12>.tar.gz → the short ID is recoverable.
+		base := strings.TrimSuffix(f, ".tar.gz")
+		if i := strings.LastIndexByte(base, '-'); i >= 0 {
+			info.ID = base[i+1:]
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// Path resolves a bundle ID (full or the 12-char filename prefix) to its
+// on-disk path. The boolean reports whether it was found.
+func (w *Watchdog) Path(id string) (string, bool) {
+	if len(id) < 12 {
+		return "", false
+	}
+	for _, info := range w.List() {
+		// Either side may be truncated (filenames carry 12 hex chars, the
+		// manifest the full digest), so match on the shared prefix.
+		if strings.HasPrefix(info.ID, id) || strings.HasPrefix(id, info.ID) {
+			return filepath.Join(w.cfg.Dir, info.File), true
+		}
+	}
+	return "", false
+}

@@ -43,6 +43,9 @@ type SoakOptions struct {
 	// Retry re-sends a request once after an overload rejection, honouring
 	// the server's Retry-After hint (capped at 100ms so a soak never parks).
 	Retry bool
+	// RIDPrefix prefixes the per-request IDs RunSoak mints ("" means
+	// "soak"); the full ID is <prefix>-<seed>-<arrival#>.
+	RIDPrefix string
 }
 
 func (o SoakOptions) withDefaults() SoakOptions {
@@ -58,8 +61,24 @@ func (o SoakOptions) withDefaults() SoakOptions {
 	if o.Timeout <= 0 {
 		o.Timeout = 5 * time.Second
 	}
+	if o.RIDPrefix == "" {
+		o.RIDPrefix = "soak"
+	}
 	return o
 }
+
+// SlowRequest is one of a report's top-K slowest successful requests: its
+// ID (the join key against the daemon's slow-query log, /metrics exemplars
+// and diagnostic-bundle trace lanes), client-observed latency, and the
+// server's phase breakdown for it.
+type SlowRequest struct {
+	RID       string         `json:"rid"`
+	LatencyNS int64          `json:"latency_ns"`
+	Timings   server.Timings `json:"timings"`
+}
+
+// soakSlowestK is how many slowest requests a report retains.
+const soakSlowestK = 5
 
 // SoakPhases aggregates the server-reported per-request phase breakdown
 // over every successful request: where the time went, as totals and as
@@ -104,15 +123,39 @@ type SoakReport struct {
 	P999NS int64 `json:"p999_ns"`
 
 	Phases SoakPhases `json:"phases"`
+
+	// Slowest holds the top-K slowest successful requests (slowest first)
+	// with their request IDs and per-phase attribution — the starting point
+	// for joining a bad tail to daemon-side evidence.
+	Slowest []SlowRequest `json:"slowest,omitempty"`
+}
+
+// noteSlow inserts sr into the top-K slowest list (slowest first). Called
+// under RunSoak's mutex.
+func (r *SoakReport) noteSlow(sr SlowRequest) {
+	i := sort.Search(len(r.Slowest), func(i int) bool {
+		return r.Slowest[i].LatencyNS < sr.LatencyNS
+	})
+	if i >= soakSlowestK {
+		return
+	}
+	r.Slowest = append(r.Slowest, SlowRequest{})
+	copy(r.Slowest[i+1:], r.Slowest[i:])
+	r.Slowest[i] = sr
+	if len(r.Slowest) > soakSlowestK {
+		r.Slowest = r.Slowest[:soakSlowestK]
+	}
 }
 
 // RunSoak fires Poisson-spaced requests at do for the configured duration
 // and aggregates the outcomes. numVars is the size of the variable universe;
-// each arrival carries a uniformly chosen index in [0, numVars). do performs
-// one request and returns the server's phase timings (zero value when the
-// transport does not carry them) — RunSoak classifies its error into
-// success / overload / deadline / other.
-func RunSoak(opts SoakOptions, numVars int, do func(ctx context.Context, varIdx int) (server.Timings, error)) SoakReport {
+// each arrival carries a uniformly chosen index in [0, numVars) and a
+// RunSoak-minted request ID (<RIDPrefix>-<seed>-<arrival#>) that do should
+// propagate to the server, so the report's slowest-request IDs resolve
+// daemon-side. do performs one request and returns the server's phase
+// timings (zero value when the transport does not carry them) — RunSoak
+// classifies its error into success / overload / deadline / other.
+func RunSoak(opts SoakOptions, numVars int, do func(ctx context.Context, varIdx int, rid string) (server.Timings, error)) SoakReport {
 	opts = opts.withDefaults()
 	rep := SoakReport{
 		Schema:    SoakSchema,
@@ -128,13 +171,13 @@ func RunSoak(opts SoakOptions, numVars int, do func(ctx context.Context, varIdx 
 	var latencies []int64
 	var wg sync.WaitGroup
 
-	fire := func(idx int) {
+	fire := func(idx int, rid string) {
 		defer wg.Done()
 		defer func() { <-sem }()
 		ctx, cancel := context.WithTimeout(context.Background(), opts.Timeout)
 		defer cancel()
 		t0 := time.Now()
-		tm, err := do(ctx, idx)
+		tm, err := do(ctx, idx, rid)
 		if err != nil && opts.Retry && errors.Is(err, server.ErrOverloaded) {
 			delay := 10 * time.Millisecond
 			var oe *server.OverloadedError
@@ -149,7 +192,7 @@ func RunSoak(opts SoakOptions, numVars int, do func(ctx context.Context, varIdx 
 				mu.Lock()
 				rep.Retried++
 				mu.Unlock()
-				tm, err = do(ctx, idx)
+				tm, err = do(ctx, idx, rid)
 			case <-ctx.Done():
 			}
 		}
@@ -165,6 +208,7 @@ func RunSoak(opts SoakOptions, numVars int, do func(ctx context.Context, varIdx 
 			rep.Phases.SolveNS += tm.SolveNS
 			rep.Phases.FanoutNS += tm.FanoutNS
 			rep.Phases.MarshalNS += tm.MarshalNS
+			rep.noteSlow(SlowRequest{RID: rid, LatencyNS: lat, Timings: tm})
 		case errors.Is(err, server.ErrOverloaded), errors.Is(err, server.ErrClosed):
 			rep.Overloaded++
 		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -191,8 +235,9 @@ func RunSoak(opts SoakOptions, numVars int, do func(ctx context.Context, varIdx 
 		select {
 		case sem <- struct{}{}:
 			rep.Sent++
+			rid := fmt.Sprintf("%s-%d-%d", opts.RIDPrefix, opts.Seed, rep.Sent)
 			wg.Add(1)
-			go fire(idx)
+			go fire(idx, rid)
 		default:
 			rep.Shed++
 		}
@@ -263,7 +308,7 @@ func SoakRow(b *Bench, snap *snapshot.Snapshot, warmQPS float64, opts Options) (
 		Duration: 1200 * time.Millisecond,
 		Seed:     42,
 		Retry:    true,
-	}, len(queries), func(ctx context.Context, i int) (server.Timings, error) {
+	}, len(queries), func(ctx context.Context, i int, rid string) (server.Timings, error) {
 		a, err := srv.QueryRequest(ctx, queries[i])
 		return a.Timings, err
 	})

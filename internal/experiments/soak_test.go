@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -16,7 +17,7 @@ import (
 func TestRunSoakShape(t *testing.T) {
 	var calls atomic.Int64
 	rep := RunSoak(SoakOptions{Rate: 400, Duration: 250 * time.Millisecond, Seed: 7},
-		8, func(ctx context.Context, idx int) (server.Timings, error) {
+		8, func(ctx context.Context, idx int, rid string) (server.Timings, error) {
 			if idx < 0 || idx >= 8 {
 				t.Errorf("var index %d out of range", idx)
 			}
@@ -53,7 +54,7 @@ func TestRunSoakDeterministicArrivals(t *testing.T) {
 	run := func() (int64, [5]int64) {
 		var hist [5]atomic.Int64
 		rep := RunSoak(SoakOptions{Rate: 300, Duration: 150 * time.Millisecond, Seed: 11, MaxInflight: 1024},
-			5, func(ctx context.Context, idx int) (server.Timings, error) {
+			5, func(ctx context.Context, idx int, rid string) (server.Timings, error) {
 				hist[idx].Add(1)
 				return server.Timings{}, nil
 			})
@@ -79,7 +80,7 @@ func TestRunSoakDeterministicArrivals(t *testing.T) {
 func TestRunSoakClassification(t *testing.T) {
 	var calls atomic.Int64
 	rep := RunSoak(SoakOptions{Rate: 200, Duration: 200 * time.Millisecond, Seed: 3, Retry: true},
-		4, func(ctx context.Context, idx int) (server.Timings, error) {
+		4, func(ctx context.Context, idx int, rid string) (server.Timings, error) {
 			switch calls.Add(1) % 4 {
 			case 1:
 				return server.Timings{}, &server.OverloadedError{RetryAfter: time.Millisecond}
@@ -110,7 +111,7 @@ func TestRunSoakShedsAtInflightCap(t *testing.T) {
 	block := make(chan struct{})
 	rep := RunSoak(SoakOptions{Rate: 500, Duration: 150 * time.Millisecond, Seed: 5,
 		MaxInflight: 2, Timeout: 50 * time.Millisecond},
-		1, func(ctx context.Context, idx int) (server.Timings, error) {
+		1, func(ctx context.Context, idx int, rid string) (server.Timings, error) {
 			select {
 			case <-block:
 			case <-ctx.Done():
@@ -123,5 +124,40 @@ func TestRunSoakShedsAtInflightCap(t *testing.T) {
 	}
 	if rep.Sent > 0 && rep.Deadlined == 0 {
 		t.Fatalf("wedged target produced no deadline outcomes: %+v", rep)
+	}
+}
+
+// TestRunSoakSlowest: the report retains the top-K slowest successful
+// requests, slowest first, each with its minted request ID and timings.
+func TestRunSoakSlowest(t *testing.T) {
+	var calls atomic.Int64
+	rep := RunSoak(SoakOptions{Rate: 300, Duration: 200 * time.Millisecond, Seed: 9, RIDPrefix: "tst"},
+		4, func(ctx context.Context, idx int, rid string) (server.Timings, error) {
+			if rid == "" {
+				t.Error("empty rid")
+			}
+			n := calls.Add(1)
+			if n%7 == 0 {
+				time.Sleep(5 * time.Millisecond) // a deliberately slow tail
+			}
+			return server.Timings{SolveNS: n, TotalNS: n}, nil
+		})
+	if len(rep.Slowest) == 0 || len(rep.Slowest) > soakSlowestK {
+		t.Fatalf("slowest has %d entries", len(rep.Slowest))
+	}
+	for i, sr := range rep.Slowest {
+		if sr.RID == "" || sr.LatencyNS <= 0 {
+			t.Fatalf("slowest[%d] = %+v", i, sr)
+		}
+		if !strings.HasPrefix(sr.RID, "tst-9-") {
+			t.Fatalf("slowest[%d] rid %q lacks the minted prefix", i, sr.RID)
+		}
+		if i > 0 && sr.LatencyNS > rep.Slowest[i-1].LatencyNS {
+			t.Fatalf("slowest not ordered: %+v", rep.Slowest)
+		}
+	}
+	// The slowest entry should be one of the deliberately delayed calls.
+	if rep.Slowest[0].LatencyNS < (3 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("slowest[0] = %+v does not reflect the injected tail", rep.Slowest[0])
 	}
 }

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Build identity: which binary is this, exactly? Every diagnostic artifact
+// (bundles, soak reports, bench rows) is only actionable if it can be tied
+// back to a specific revision, so the identity is read once from the
+// binary's embedded build info and exposed three ways: the parcfl_build_info
+// gauge on /metrics (labels carry the identity, value is the conventional
+// constant 1), the /debug/statusz JSON, and the build.json artifact inside
+// diagnostic bundles.
+
+// BuildIdentity describes the running binary.
+type BuildIdentity struct {
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// MainPath is the main module path ("" outside module builds).
+	MainPath string `json:"main_path,omitempty"`
+	// Revision/VCSTime/Dirty come from the vcs.* build settings stamped by
+	// `go build` in a checkout; empty/false when the binary was built
+	// without VCS metadata (e.g. `go test` binaries).
+	Revision string `json:"vcs_revision,omitempty"`
+	VCSTime  string `json:"vcs_time,omitempty"`
+	Dirty    bool   `json:"vcs_dirty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildID   BuildIdentity
+)
+
+// ReadBuildIdentity returns the binary's build identity, reading the
+// embedded build info once and caching it.
+func ReadBuildIdentity() BuildIdentity {
+	buildOnce.Do(func() {
+		buildID.GoVersion = runtime.Version()
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildID.MainPath = bi.Main.Path
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildID.Revision = s.Value
+			case "vcs.time":
+				buildID.VCSTime = s.Value
+			case "vcs.modified":
+				buildID.Dirty = s.Value == "true"
+			}
+		}
+	})
+	return buildID
+}
+
+// StatusZSchema identifies the /debug/statusz JSON layout.
+const StatusZSchema = "parcfl-statusz/v1"
+
+// StatusZ is the /debug/statusz payload: build identity plus the process
+// facts an operator checks first when a page fires.
+type StatusZ struct {
+	Schema       string        `json:"schema"`
+	Build        BuildIdentity `json:"build"`
+	PID          int           `json:"pid"`
+	GOMAXPROCS   int           `json:"gomaxprocs"`
+	NumCPU       int           `json:"num_cpu"`
+	NumGoroutine int           `json:"num_goroutine"`
+	// UptimeNS is nanoseconds since the sink was created (0 on a nil sink).
+	UptimeNS int64 `json:"uptime_ns"`
+}
+
+// Status assembles the statusz view. Nil-safe on the sink (uptime reads 0).
+func Status(s *Sink) StatusZ {
+	return StatusZ{
+		Schema:       StatusZSchema,
+		Build:        ReadBuildIdentity(),
+		PID:          os.Getpid(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		NumGoroutine: runtime.NumGoroutine(),
+		UptimeNS:     s.Now(),
+	}
+}

@@ -66,9 +66,15 @@ func Handler(sink *Sink) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(sink.SLO().Snapshot())
 	})
+	mux.HandleFunc("/debug/statusz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(Status(sink))
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("parcfl debug endpoint\n\n/debug/vars\n/debug/pprof/\n/debug/obs\n/debug/timeseries\n/debug/heat\n/debug/slo\n/metrics\n"))
+		_, _ = w.Write([]byte("parcfl debug endpoint\n\n/debug/vars\n/debug/pprof/\n/debug/obs\n/debug/timeseries\n/debug/heat\n/debug/slo\n/debug/statusz\n/metrics\n"))
 	})
 	return mux
 }
@@ -91,11 +97,14 @@ func ServeDebug(addr string, sink *Sink) (*http.Server, net.Addr, error) {
 // ShutdownDebug gracefully shuts down a server started by ServeDebug:
 // the listener closes immediately, in-flight requests get up to timeout to
 // finish. A nil srv is a no-op, so callers can defer it unconditionally.
-func ShutdownDebug(srv *http.Server, timeout time.Duration) {
+// The shutdown error is returned — a context.DeadlineExceeded here means a
+// handler was still running when the timeout expired (a hung listener
+// during SIGTERM drain), which callers should surface rather than swallow.
+func ShutdownDebug(srv *http.Server, timeout time.Duration) error {
 	if srv == nil {
-		return
+		return nil
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	_ = srv.Shutdown(ctx)
+	return srv.Shutdown(ctx)
 }

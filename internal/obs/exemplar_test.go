@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"bytes"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExemplarRoundTrip: an exemplar lands in exactly the bucket its value
+// observes into, carries its identity, and "most recent wins" within a
+// bucket.
+func TestExemplarRoundTrip(t *testing.T) {
+	s := New(Config{})
+	if s.ExemplarsEnabled() {
+		t.Fatal("exemplars on by default")
+	}
+	s.EnableExemplars()
+	if !s.ExemplarsEnabled() {
+		t.Fatal("EnableExemplars did not enable")
+	}
+
+	s.Observe(HistServerLatencyNS, 1500)
+	s.Exemplar(HistServerLatencyNS, 1500, "req-a", 7)
+	s.Observe(HistServerLatencyNS, 1500) // same bucket: most recent exemplar wins
+	s.Exemplar(HistServerLatencyNS, 1500, "req-b", 9)
+
+	exs := s.HistExemplars(HistServerLatencyNS)
+	if len(exs) != 1 {
+		t.Fatalf("got %d exemplars, want 1: %+v", len(exs), exs)
+	}
+	e := exs[0]
+	if e.RID != "req-b" || e.Seq != 9 || e.Value != 1500 {
+		t.Fatalf("exemplar = %+v, want most recent req-b", e)
+	}
+	if e.Bucket != histBucket(1500) || e.LE != HistBucketBound(e.Bucket) {
+		t.Fatalf("bucket coordinates wrong: %+v (histBucket=%d)", e, histBucket(1500))
+	}
+	if e.UnixNano == 0 {
+		t.Fatal("exemplar has no timestamp")
+	}
+
+	// Overflow values exemplify the +Inf bucket (LE -1).
+	huge := int64(1) << 45
+	s.Observe(HistServerLatencyNS, huge)
+	s.Exemplar(HistServerLatencyNS, huge, "req-inf", 11)
+	exs = s.HistExemplars(HistServerLatencyNS)
+	if len(exs) != 2 || exs[1].LE != -1 || exs[1].RID != "req-inf" {
+		t.Fatalf("+Inf exemplar missing: %+v", exs)
+	}
+}
+
+// TestExemplarDisabledZeroAlloc is the allocation pin for the acceptance
+// criterion "with diag disabled the hot path stays zero-alloc": the reply
+// path's Observe+Exemplar pair must not allocate when exemplar storage is
+// detached, nor on a nil sink.
+func TestExemplarDisabledZeroAlloc(t *testing.T) {
+	s := New(Config{})
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Observe(HistServerLatencyNS, 4096)
+		s.Exemplar(HistServerLatencyNS, 4096, "req-x", 3)
+	})
+	if allocs != 0 {
+		t.Fatalf("detached exemplars allocate: %v allocs/op", allocs)
+	}
+	var nilSink *Sink
+	allocs = testing.AllocsPerRun(1000, func() {
+		nilSink.Observe(HistServerLatencyNS, 4096)
+		nilSink.Exemplar(HistServerLatencyNS, 4096, "req-x", 3)
+		nilSink.HistExemplars(HistServerLatencyNS)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil sink allocates: %v allocs/op", allocs)
+	}
+}
+
+// openMetricsExemplarRe matches a bucket line carrying an exemplar:
+//
+//	name_bucket{le="2048"} 3 # {request_id="load-1-9",seq="42"} 1500 1712345678.123
+var openMetricsExemplarRe = regexp.MustCompile(
+	`_bucket\{le="[^"]+"\} \d+ # \{request_id="([^"]+)",seq="(\d+)"\} (\d+) (\d+\.\d{3})$`)
+
+// TestWritePromExemplars: /metrics carries OpenMetrics exemplar syntax on
+// exactly the buckets that hold one, and non-exemplar lines stay in plain
+// text-format shape.
+func TestWritePromExemplars(t *testing.T) {
+	s := New(Config{})
+	s.EnableExemplars()
+	s.Observe(HistServerLatencyNS, 1500)
+	s.Exemplar(HistServerLatencyNS, 1500, "load-1-9", 42)
+
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	var matched int
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.Contains(line, " # {") {
+			continue
+		}
+		m := openMetricsExemplarRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed exemplar line: %q", line)
+		}
+		if m[1] != "load-1-9" || m[2] != "42" || m[3] != "1500" {
+			t.Fatalf("exemplar identity wrong: %q", line)
+		}
+		if !strings.HasPrefix(line, "parcfl_server_latency_ns_bucket{") {
+			t.Fatalf("exemplar on unexpected series: %q", line)
+		}
+		matched++
+	}
+	if matched != 1 {
+		t.Fatalf("%d exemplar lines, want exactly 1", matched)
+	}
+}
+
+// TestHistSnapshotSub: the windowed delta underpinning the watchdog's
+// rolling p99 rule subtracts element-wise and clamps at zero.
+func TestHistSnapshotSub(t *testing.T) {
+	s := New(Config{})
+	s.Observe(HistServerLatencyNS, 100)
+	s.Observe(HistServerLatencyNS, 100)
+	before := s.Hist(HistServerLatencyNS)
+	s.Observe(HistServerLatencyNS, 1<<20)
+	delta := s.Hist(HistServerLatencyNS).Sub(before)
+	if delta.Count != 1 || delta.Sum != 1<<20 {
+		t.Fatalf("delta = %+v", delta)
+	}
+	if q := delta.Quantile(0.99); q < 1<<19 {
+		t.Fatalf("windowed p99 %d ignores the new slow observation", q)
+	}
+	// Reversed operands clamp rather than going negative.
+	neg := before.Sub(s.Hist(HistServerLatencyNS))
+	if neg.Count != 0 || neg.Sum != 0 {
+		t.Fatalf("reversed delta not clamped: %+v", neg)
+	}
+}
+
+// TestBuildIdentityAndStatusz: the build identity is populated and stable,
+// and /debug/statusz serves a parseable document with it.
+func TestBuildIdentityAndStatusz(t *testing.T) {
+	bi := ReadBuildIdentity()
+	if bi.GoVersion == "" {
+		t.Fatal("no Go version in build identity")
+	}
+	if again := ReadBuildIdentity(); again != bi {
+		t.Fatalf("build identity not stable: %+v vs %+v", bi, again)
+	}
+	s := New(Config{})
+	st := Status(s)
+	if st.Schema != StatusZSchema || st.GOMAXPROCS <= 0 || st.PID <= 0 || st.NumGoroutine <= 0 {
+		t.Fatalf("statusz = %+v", st)
+	}
+
+	ts := httptest.NewServer(Handler(s))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("statusz status %d: %s", resp.StatusCode, body.String())
+	}
+	for _, want := range []string{StatusZSchema, `"go_version"`, `"gomaxprocs"`, `"uptime_ns"`} {
+		if !strings.Contains(body.String(), want) {
+			t.Fatalf("statusz body missing %q:\n%s", want, body.String())
+		}
+	}
+
+	// parcfl_build_info rides /metrics with the identity as labels.
+	resp2, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var metrics bytes.Buffer
+	if _, err := metrics.ReadFrom(resp2.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metrics.String(), "parcfl_build_info{go_version=\"") {
+		t.Fatalf("/metrics missing parcfl_build_info:\n%.500s", metrics.String())
+	}
+}
+
+// TestSpanBufferKeepsRecent: a full span buffer overwrites the oldest spans,
+// so a long-lived process retains the most recent activity window (what a
+// mid-incident diagnostic bundle needs).
+func TestSpanBufferKeepsRecent(t *testing.T) {
+	s := New(Config{})
+	s.EnableSpans(0, 4)
+	for i := 0; i < 10; i++ {
+		s.SpanInstant(SpJmpTake, NoWorker, int64(i), 0)
+	}
+	spans, dropped := s.Spans()
+	if len(spans) != 4 || dropped != 6 {
+		t.Fatalf("got %d spans, %d dropped; want 4 kept, 6 dropped", len(spans), dropped)
+	}
+	for _, sp := range spans {
+		if sp.A < 6 {
+			t.Fatalf("old span %d survived; kept set %+v", sp.A, spans)
+		}
+	}
+}
+
+// TestShutdownDebugReturnsError: a hung handler surfaces as a returned
+// error instead of being swallowed.
+func TestShutdownDebugReturnsError(t *testing.T) {
+	srv, addr, err := ServeDebug("localhost:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ShutdownDebug(srv, time.Second); err != nil {
+		t.Fatalf("clean shutdown errored: %v", err)
+	}
+
+	// A handler that outlives the shutdown timeout must produce an error.
+	block := make(chan struct{})
+	started := make(chan struct{})
+	hung := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-block
+	})}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = hung.Serve(ln) }()
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-started
+	if err := ShutdownDebug(hung, 50*time.Millisecond); err == nil {
+		t.Fatal("hung listener shutdown reported no error")
+	}
+	close(block)
+	_ = addr
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"math/bits"
 	"sync/atomic"
+	"time"
 )
 
 // HistID names one log-bucketed latency/size histogram.
@@ -180,6 +181,24 @@ func (h HistSnapshot) Quantile(q float64) int64 {
 	return HistBucketBound(NumHistBuckets - 1)
 }
 
+// Sub returns the element-wise difference a-b: the observations recorded
+// between the moment snapshot b was taken and the moment a was. Negative
+// cells (a reset sink, or snapshots taken out of order) clamp to 0 so
+// windowed quantiles never see impossible counts.
+func (a HistSnapshot) Sub(b HistSnapshot) HistSnapshot {
+	clamp := func(v int64) int64 {
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	out := HistSnapshot{Count: clamp(a.Count - b.Count), Sum: clamp(a.Sum - b.Sum)}
+	for i := range out.Buckets {
+		out.Buckets[i] = clamp(a.Buckets[i] - b.Buckets[i])
+	}
+	return out
+}
+
 // Hist reads histogram h (zero value on a nil sink).
 func (s *Sink) Hist(h HistID) HistSnapshot {
 	if s == nil {
@@ -189,6 +208,100 @@ func (s *Sink) Hist(h HistID) HistSnapshot {
 	out := HistSnapshot{Count: hs.count.Load(), Sum: hs.sum.Load()}
 	for i := range out.Buckets {
 		out.Buckets[i] = hs.buckets[i].Load()
+	}
+	return out
+}
+
+// Exemplars: each histogram bucket may retain the identity of the most
+// recent observation that landed in it — the request ID (and its server-side
+// sequence number) behind a latency sample — so a p99 bucket on /metrics
+// links to a concrete request whose trace lane and log lines can be pulled
+// up. Storage is attached lazily by EnableExemplars; while detached, the
+// exemplar hooks are a single atomic load and allocate nothing, keeping the
+// hot path identical to a sink without the feature.
+
+// Exemplar is one bucket's retained observation identity.
+type Exemplar struct {
+	// RID is the request ID that produced the observation.
+	RID string `json:"rid"`
+	// Seq is the server-side request sequence number (keys the "req N"
+	// trace lane in the span export; 0 when not applicable).
+	Seq int64 `json:"seq,omitempty"`
+	// Value is the observed value (same unit as the histogram).
+	Value int64 `json:"value"`
+	// UnixNano is the wall-clock capture time.
+	UnixNano int64 `json:"unix_nano"`
+}
+
+// exemplarTable holds one exemplar slot per bucket per histogram, the last
+// slot of each row being the +Inf bucket. Slots are atomic pointers:
+// concurrent writers race benignly (last write wins — "most recent" is the
+// contract) and readers always see a whole Exemplar.
+type exemplarTable struct {
+	slots [NumHists][NumHistBuckets + 1]atomic.Pointer[Exemplar]
+}
+
+// EnableExemplars attaches exemplar storage to the sink's histograms.
+// Idempotent; call once at startup. Nil-safe.
+func (s *Sink) EnableExemplars() {
+	if s == nil || s.exemplars.Load() != nil {
+		return
+	}
+	s.exemplars.CompareAndSwap(nil, &exemplarTable{})
+}
+
+// ExemplarsEnabled reports whether exemplar storage is attached.
+func (s *Sink) ExemplarsEnabled() bool { return s != nil && s.exemplars.Load() != nil }
+
+// Exemplar records rid (with server sequence seq) as the exemplar of the
+// bucket that value v falls in for histogram h. It does not bump the bucket
+// counts — pair it with an Observe of the same value, typically at reply
+// time when the request ID is in hand. No-op (and allocation-free) when
+// exemplar storage is not attached or on a nil sink.
+func (s *Sink) Exemplar(h HistID, v int64, rid string, seq int64) {
+	if s == nil {
+		return
+	}
+	t := s.exemplars.Load()
+	if t == nil || rid == "" {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	t.slots[h][histBucket(v)].Store(&Exemplar{RID: rid, Seq: seq, Value: v, UnixNano: time.Now().UnixNano()})
+}
+
+// BucketExemplar is one retained exemplar with its bucket coordinates.
+type BucketExemplar struct {
+	// Bucket is the bucket index; LE its inclusive upper bound (-1 for the
+	// +Inf bucket).
+	Bucket int   `json:"bucket"`
+	LE     int64 `json:"le"`
+	Exemplar
+}
+
+// HistExemplars returns histogram h's retained exemplars in bucket order
+// (nil when exemplar storage is not attached, or on a nil sink).
+func (s *Sink) HistExemplars(h HistID) []BucketExemplar {
+	if s == nil {
+		return nil
+	}
+	t := s.exemplars.Load()
+	if t == nil {
+		return nil
+	}
+	var out []BucketExemplar
+	for i := 0; i <= NumHistBuckets; i++ {
+		e := t.slots[h][i].Load()
+		if e == nil {
+			continue
+		}
+		le := int64(-1)
+		if i < NumHistBuckets {
+			le = HistBucketBound(i)
+		}
+		out = append(out, BucketExemplar{Bucket: i, LE: le, Exemplar: *e})
 	}
 	return out
 }

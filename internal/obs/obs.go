@@ -226,10 +226,11 @@ type Sink struct {
 	hists    [NumHists]hist
 	workers  []WorkerStats
 	ring     *ring
-	spans    atomic.Pointer[spanRegion]
-	recorder atomic.Pointer[Recorder]
-	heat     atomic.Pointer[heatBox]
-	slo      atomic.Pointer[SLO]
+	spans     atomic.Pointer[spanRegion]
+	recorder  atomic.Pointer[Recorder]
+	heat      atomic.Pointer[heatBox]
+	slo       atomic.Pointer[SLO]
+	exemplars atomic.Pointer[exemplarTable]
 }
 
 // New creates a sink.

@@ -86,6 +86,16 @@ func WriteProm(w io.Writer, s *Sink) error {
 		bw.printf("# TYPE %s gauge\n", name)
 		bw.printf("%s %g\n", name, float64(s.Now())/1e9)
 	}
+	{
+		// Build identity as the conventional info-style gauge: the constant 1
+		// with the identity in labels, joinable against every other series.
+		bi := ReadBuildIdentity()
+		name := "parcfl_build_info"
+		bw.printf("# HELP %s Build identity of the running binary (constant 1; labels carry the identity).\n", name)
+		bw.printf("# TYPE %s gauge\n", name)
+		bw.printf("%s{go_version=%q,revision=%q,dirty=%q} 1\n",
+			name, bi.GoVersion, bi.Revision, boolStr(bi.Dirty))
+	}
 	for t := TimerID(0); t < NumTimers; t++ {
 		ts := s.Timer(t)
 		base := "parcfl_timer_" + t.String()
@@ -99,14 +109,29 @@ func WriteProm(w io.Writer, s *Sink) error {
 	for h := HistID(0); h < NumHists; h++ {
 		hs := s.Hist(h)
 		name := "parcfl_" + h.String()
+		// Bucket exemplars (OpenMetrics syntax: "# {labels} value timestamp"
+		// appended to the bucket's sample line) link a latency bucket to the
+		// most recent request ID that landed in it — and through its seq to
+		// the request's "req N" trace lane in the span export.
+		var exByBucket map[int]BucketExemplar
+		if exs := s.HistExemplars(h); len(exs) > 0 {
+			exByBucket = make(map[int]BucketExemplar, len(exs))
+			for _, e := range exs {
+				exByBucket[e.Bucket] = e
+			}
+		}
 		bw.printf("# HELP %s %s\n", name, histHelp[h])
 		bw.printf("# TYPE %s histogram\n", name)
 		cum := int64(0)
 		for i := 0; i < NumHistBuckets; i++ {
 			cum += hs.Buckets[i]
-			bw.printf("%s_bucket{le=\"%d\"} %d\n", name, HistBucketBound(i), cum)
+			bw.printf("%s_bucket{le=\"%d\"} %d", name, HistBucketBound(i), cum)
+			writeExemplar(bw, exByBucket, i)
+			bw.printf("\n")
 		}
-		bw.printf("%s_bucket{le=\"+Inf\"} %d\n", name, hs.Count)
+		bw.printf("%s_bucket{le=\"+Inf\"} %d", name, hs.Count)
+		writeExemplar(bw, exByBucket, NumHistBuckets)
+		bw.printf("\n")
 		bw.printf("%s_sum %d\n", name, hs.Sum)
 		bw.printf("%s_count %d\n", name, hs.Count)
 	}
@@ -181,6 +206,24 @@ func WriteProm(w io.Writer, s *Sink) error {
 // promHeatTopK bounds the heat rows exported per series on /metrics: the
 // full profile stays on /debug/heat, the scrape surface stays small.
 const promHeatTopK = 10
+
+// writeExemplar appends one bucket's exemplar in OpenMetrics syntax to the
+// (unterminated) sample line: ` # {request_id="...",seq="..."} value ts`.
+func writeExemplar(bw *errWriter, ex map[int]BucketExemplar, bucket int) {
+	e, ok := ex[bucket]
+	if !ok {
+		return
+	}
+	bw.printf(" # {request_id=%q,seq=\"%d\"} %d %d.%03d",
+		e.RID, e.Seq, e.Value, e.UnixNano/1e9, (e.UnixNano/1e6)%1000)
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
 
 // errWriter latches the first write error so the exposition loop stays
 // uncluttered.

@@ -118,25 +118,34 @@ type Span struct {
 // Buffers 1..N are per-worker and single-writer: only worker w appends to
 // buffer w+1, so the query hot path takes no lock. The struct is padded so
 // adjacent workers' buffers never share a cache line.
+//
+// A full buffer behaves as a ring: new spans overwrite the oldest (counted
+// as dropped). A long-lived daemon therefore always holds the most recent
+// window of activity — the spans a diagnostic bundle captured mid-incident
+// actually needs — rather than whatever happened in its first minutes.
 type spanBuf struct {
 	mu      sync.Mutex
 	spans   []Span
+	next    int // overwrite position once len(spans) == limit
 	dropped int64
 
-	_ [3]int64 // pad to a cache line
+	_ [2]int64 // pad to a cache line
 }
 
 func (b *spanBuf) put(sp Span, limit int) {
-	if len(b.spans) >= limit {
-		b.dropped++
+	if len(b.spans) < limit {
+		b.spans = append(b.spans, sp)
 		return
 	}
-	b.spans = append(b.spans, sp)
+	b.spans[b.next] = sp
+	b.next = (b.next + 1) % limit
+	b.dropped++
 }
 
 // spanRegion is an attached set of span buffers: one shared buffer plus one
 // buffer per worker. Buffers grow geometrically up to limit spans each,
-// then drop (counting drops), bounding memory on runaway traces.
+// then wrap (overwriting oldest, counting drops), bounding memory on
+// runaway traces while retaining the most recent activity.
 type spanRegion struct {
 	limit int
 	bufs  []spanBuf

@@ -265,6 +265,12 @@ func (h *apiHandler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set(RequestIDHeader, rid)
 	reply.RequestID = rid
+	// Exemplar the request's latency bucket with its ID: the value is the
+	// same TotalNS the server already Observe()d for this request, so the
+	// exemplar lands in exactly the bucket this request incremented — and
+	// its seq names the "req N" lane in the trace export. No-op (and
+	// alloc-free) unless the sink has exemplars enabled.
+	h.srv.sink.Exemplar(obs.HistServerLatencyNS, answers[0].Timings.TotalNS, rid, answers[0].Timings.Seq)
 	total := time.Since(start)
 	h.srv.sink.SLO().Record(obs.ClassSuccess, total.Nanoseconds())
 	if h.cfg.SlowLog > 0 && total > h.cfg.SlowLog {

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"log"
+	"net/http/httptest"
+	"regexp"
+	"testing"
+	"time"
+
+	"parcfl/internal/obs"
+)
+
+// TestSlowLogCarriesRequestID: with SlowLog set below any real latency,
+// every query logs one line carrying the request ID and the full
+// telescoping phase breakdown — the fields an operator joins against a
+// bundle's trace after the pager fires.
+func TestSlowLogCarriesRequestID(t *testing.T) {
+	srv, _, lo := tracedServer(t, Config{BatchWindow: -1})
+	defer srv.Close()
+	name := srv.Graph().Node(lo.AppQueryVars[0]).Name
+
+	ts := httptest.NewServer(NewHandler(srv, HandlerConfig{SlowLog: time.Nanosecond}))
+	defer ts.Close()
+
+	var logBuf bytes.Buffer
+	prev := log.Writer()
+	prevFlags := log.Flags()
+	log.SetOutput(&logBuf)
+	log.SetFlags(0)
+	defer func() {
+		log.SetOutput(prev)
+		log.SetFlags(prevFlags)
+	}()
+
+	cl := NewClient(ts.URL, nil)
+	if _, err := cl.QueryRequest(context.Background(), "slow-rid-7", []string{name}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	line := logBuf.String()
+	if line == "" {
+		t.Fatal("SlowLog produced no log line")
+	}
+	// One line, with the rid, the variable, and every phase of the
+	// telescoping breakdown (admit+queue+solve+fanout partitions total;
+	// marshal is the HTTP layer's own phase on top).
+	re := regexp.MustCompile(`slow query rid=slow-rid-7 vars=` + regexp.QuoteMeta(name) +
+		` total=\S+ seq=\d+ batch=\d+ admit=\S+ queue=\S+ solve=\S+ fanout=\S+ marshal=\S+`)
+	if !re.MatchString(line) {
+		t.Fatalf("slow log line missing fields:\n%s", line)
+	}
+}
+
+// TestExemplarAtReplyTime: the HTTP handler exemplars the latency bucket
+// with the request ID at reply time, using the same TotalNS the server
+// observed — so the exemplar names a bucket that actually counted this
+// request, and its seq resolves to the request's trace lane.
+func TestExemplarAtReplyTime(t *testing.T) {
+	srv, sink, lo := tracedServer(t, Config{BatchWindow: -1})
+	defer srv.Close()
+	sink.EnableExemplars()
+	name := srv.Graph().Node(lo.AppQueryVars[0]).Name
+
+	ts := httptest.NewServer(NewHandler(srv, HandlerConfig{}))
+	defer ts.Close()
+
+	cl := NewClient(ts.URL, nil)
+	reply, err := cl.QueryRequest(context.Background(), "exemplar-rid", []string{name}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := reply.Results[0].Timings
+	if tm == nil {
+		t.Fatal("no timings on the wire")
+	}
+
+	exs := sink.HistExemplars(obs.HistServerLatencyNS)
+	var found *obs.BucketExemplar
+	for i := range exs {
+		if exs[i].RID == "exemplar-rid" {
+			found = &exs[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("no exemplar for the request; have %+v", exs)
+	}
+	if found.Seq != tm.Seq {
+		t.Fatalf("exemplar seq %d != request seq %d", found.Seq, tm.Seq)
+	}
+	if found.Value != tm.TotalNS {
+		t.Fatalf("exemplar value %d != observed total %d", found.Value, tm.TotalNS)
+	}
+	// The exemplared bucket holds at least one observation: the exemplar
+	// points at a count this request actually incremented.
+	hs := sink.Hist(obs.HistServerLatencyNS)
+	if found.LE != -1 && hs.Buckets[found.Bucket] == 0 {
+		t.Fatalf("exemplar in empty bucket %d", found.Bucket)
+	}
+}

@@ -4,6 +4,9 @@
 # snapshot, and assert the warm daemon returns identical points-to results
 # and exposes the parcfl_server_* metric series.
 #
+# On any failure while a daemon is still up, the trap captures a diagnostic
+# bundle into $WORK/failure-bundle.tar.gz for the CI artifact upload.
+#
 # Usage: scripts/serve_smoke.sh [workdir]
 set -euo pipefail
 
@@ -18,6 +21,19 @@ go build -o "$WORK/parcflq" ./cmd/parcflq
 
 DPID=""
 cleanup() {
+  status=$?
+  # Black-box recovery: a failing smoke with a live daemon captures its
+  # diagnostic bundle so the CI artifact holds the evidence.
+  if [ "$status" -ne 0 ] && [ -n "$DPID" ] && kill -0 "$DPID" 2>/dev/null && [ -n "${ADDR:-}" ]; then
+    echo "smoke failed (exit $status): capturing diagnostic bundle from $ADDR"
+    curl -sf "http://$ADDR/debug/bundle?trigger=1&reason=smoke-failure" >/dev/null 2>&1 || true
+    FID=$(curl -sf "http://$ADDR/debug/bundle" 2>/dev/null \
+      | python3 -c 'import json,sys; bs=json.load(sys.stdin)["bundles"]; print(bs[-1]["id"] if bs else "")' 2>/dev/null || true)
+    if [ -n "$FID" ]; then
+      curl -sf "http://$ADDR/debug/bundle/$FID" -o "$WORK/failure-bundle.tar.gz" 2>/dev/null || true
+      echo "failure bundle saved to $WORK/failure-bundle.tar.gz"
+    fi
+  fi
   if [ -n "$DPID" ] && kill -0 "$DPID" 2>/dev/null; then
     kill -TERM "$DPID" 2>/dev/null || true
     wait "$DPID" 2>/dev/null || true
@@ -29,6 +45,7 @@ start_daemon() { # $1 = log file
   rm -f "$WORK/addr.txt"
   "$WORK/parcfld" -bench "$BENCH" -scale "$SCALE" \
     -addr localhost:0 -addr-file "$WORK/addr.txt" \
+    -bundle-dir "$WORK/bundles" \
     -snapshot "$WORK/warm.pag" >"$WORK/$1" 2>&1 &
   DPID=$!
   for _ in $(seq 100); do

@@ -2,11 +2,17 @@
 # Soak smoke test: boot parcfld cold, snapshot it, restart warm with request
 # tracing on, soak it with open-loop load (parcflload), and assert:
 #   - the soak report is well-formed parcfl-soak/v1 with zero error-class
-#     responses;
+#     responses and a top-K slowest-request list;
 #   - the parcfl_slo_* gauges and /debug/slo burn-rate snapshot are live and
 #     nonzero after the load;
 #   - the shutdown trace contains the lifecycle lane of a chosen request
-#     whose serve span matches the timings breakdown its reply carried.
+#     whose serve span matches the timings breakdown its reply carried;
+#   - injected overload fires the diagnostic-bundle watchdog, and the bundle
+#     validates end to end: manifest sha256s match, /metrics exemplars name
+#     a request whose "req <seq>" lane exists in the bundled trace.
+#
+# On any failure while a daemon is still up, the trap captures a diagnostic
+# bundle into $WORK/failure-bundle.tar.gz for the CI artifact upload.
 #
 # Usage: scripts/soak_smoke.sh [workdir]
 set -euo pipefail
@@ -24,6 +30,19 @@ go build -o "$WORK/parcflload" ./cmd/parcflload
 
 DPID=""
 cleanup() {
+  status=$?
+  # Black-box recovery: a failing smoke with a live daemon captures the
+  # daemon's diagnostic bundle so the CI artifact holds the evidence.
+  if [ "$status" -ne 0 ] && [ -n "$DPID" ] && kill -0 "$DPID" 2>/dev/null && [ -n "${ADDR:-}" ]; then
+    echo "smoke failed (exit $status): capturing diagnostic bundle from $ADDR"
+    curl -sf "http://$ADDR/debug/bundle?trigger=1&reason=smoke-failure" >/dev/null 2>&1 || true
+    FID=$(curl -sf "http://$ADDR/debug/bundle" 2>/dev/null \
+      | python3 -c 'import json,sys; bs=json.load(sys.stdin)["bundles"]; print(bs[-1]["id"] if bs else "")' 2>/dev/null || true)
+    if [ -n "$FID" ]; then
+      curl -sf "http://$ADDR/debug/bundle/$FID" -o "$WORK/failure-bundle.tar.gz" 2>/dev/null || true
+      echo "failure bundle saved to $WORK/failure-bundle.tar.gz"
+    fi
+  fi
   if [ -n "$DPID" ] && kill -0 "$DPID" 2>/dev/null; then
     kill -TERM "$DPID" 2>/dev/null || true
     wait "$DPID" 2>/dev/null || true
@@ -34,8 +53,12 @@ trap cleanup EXIT
 start_daemon() { # $1 = log file, rest = extra flags
   local log="$1"; shift
   rm -f "$WORK/addr.txt"
+  # Every daemon runs with the bundle watchdog mounted (manual trigger
+  # only, unless a phase passes rule flags) so the failure trap above can
+  # always capture a bundle.
   "$WORK/parcfld" -bench "$BENCH" -scale "$SCALE" \
     -addr localhost:0 -addr-file "$WORK/addr.txt" \
+    -bundle-dir "$WORK/bundles" \
     -snapshot "$WORK/warm.pag" "$@" >"$WORK/$log" 2>&1 &
   DPID=$!
   for _ in $(seq 100); do
@@ -76,8 +99,15 @@ assert 0 < r["p50_ns"] <= r["p99_ns"] <= r["p999_ns"], "latency percentiles out 
 ph = r["phases"]
 shares = ph["admit_share"] + ph["queue_share"] + ph["solve_share"] + ph["fanout_share"]
 assert abs(shares - 1) < 0.01, f"phase shares sum to {shares}"
+slow = r.get("slowest") or []
+assert 0 < len(slow) <= 5, f"slowest list has {len(slow)} entries"
+assert all(s["rid"].startswith("load-") for s in slow), slow
+assert all(slow[i]["latency_ns"] >= slow[i+1]["latency_ns"] for i in range(len(slow)-1)), \
+    "slowest list not ordered"
+assert slow[0]["timings"]["seq"] > 0, slow[0]
 print(f"soak OK: {r['succeeded']}/{r['sent']} ok at {r['qps']:.0f} qps, "
-      f"p99 {r['p99_ns']/1e6:.2f}ms, solve share {ph['solve_share']:.0%}")
+      f"p99 {r['p99_ns']/1e6:.2f}ms, solve share {ph['solve_share']:.0%}, "
+      f"slowest {slow[0]['rid']} at {slow[0]['latency_ns']/1e6:.2f}ms")
 EOF
 
 # One chosen request whose lifecycle we follow into the trace.
@@ -140,5 +170,114 @@ assert batches, f"no batch_window span for batch {tm['batch']}"
 print(f"trace OK: req {seq} lane complete, serve {serve['dur']:.0f}us == "
       f"timings {total_ns/1e3:.0f}us, batch {tm['batch']} anatomy present")
 EOF
+
+echo "== anomaly phase: injected overload fires the bundle watchdog =="
+# A wide batch window plus a shallow queue under open-loop load keeps
+# requests waiting: the queue high-water and windowed-p99 rules both have
+# something to fire on within one 1s evaluation tick.
+rm -rf "$WORK/bundles"
+start_daemon anomaly.log -batch-window 50ms -queue 8 \
+  -bundle-queue-high 1 -bundle-p99 1ms -bundle-cooldown 1s \
+  -bundle-cpu-profile 50ms -bundle-retain 4
+
+"$WORK/parcflload" -addr "$ADDR" -rate 300 -duration 2500ms -retry=false \
+  -bundle-on-fail "$WORK/load-bundles" -json "$WORK/soak-anomaly.json" \
+  >"$WORK/load-anomaly.txt" || true
+
+# An auto-fired bundle (queue or p99 rule, not manual) must appear.
+AUTO=""
+for _ in $(seq 50); do
+  AUTO=$(curl -sf "http://$ADDR/debug/bundle" | python3 -c '
+import json, sys
+bs = json.load(sys.stdin)["bundles"]
+auto = [b for b in bs if b["trigger"] in ("queue", "p99", "burn")]
+print(auto[-1]["id"] if auto else "")')
+  [ -n "$AUTO" ] && break
+  sleep 0.2
+done
+[ -n "$AUTO" ] || { echo "FAIL: watchdog never fired under injected overload"; \
+  curl -sf "http://$ADDR/debug/bundle" || true; cat "$WORK/anomaly.log"; exit 1; }
+echo "watchdog fired: auto bundle $AUTO"
+
+# One post-soak request whose exemplar we follow into a fresh bundle. The
+# soak has drained, so this request's exemplar is the newest in its bucket
+# and its span is the newest in the ring.
+CHOSEN_VAR=$("$WORK/parcflq" -addr "$ADDR" -list 1 | head -n1)
+"$WORK/parcflq" -addr "$ADDR" -request-id smoke-anomaly-7 -json \
+  "$CHOSEN_VAR" >"$WORK/anomaly-chosen.json"
+curl -sf "http://$ADDR/metrics" >"$WORK/metrics-anomaly.txt"
+curl -sf "http://$ADDR/debug/statusz" >"$WORK/statusz.json"
+
+sleep 1.2  # clear the manual rule's cooldown (parcflload may have used it)
+MANUAL=$(curl -sf "http://$ADDR/debug/bundle?trigger=1&reason=smoke-validate" \
+  | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
+curl -sf "http://$ADDR/debug/bundle/$MANUAL" -o "$WORK/manual-bundle.tar.gz"
+
+python3 - "$WORK/manual-bundle.tar.gz" "$WORK/metrics-anomaly.txt" \
+  "$WORK/anomaly-chosen.json" "$WORK/statusz.json" <<'EOF'
+import hashlib, json, re, sys, tarfile
+
+# 1. Manifest validates: schema, every artifact present with matching
+#    sha256 and size, bundle ID consistent with the artifact digests.
+tf = tarfile.open(sys.argv[1], "r:gz")
+blobs = {m.name: tf.extractfile(m).read() for m in tf.getmembers()}
+man = json.loads(blobs.pop("manifest.json"))
+assert man["schema"] == "parcfl-bundle/v1", man["schema"]
+idh = hashlib.sha256()
+assert len(blobs) == len(man["artifacts"]), (sorted(blobs), man["artifacts"])
+for art in man["artifacts"]:
+    data = blobs[art["name"]]
+    digest = hashlib.sha256(data).hexdigest()
+    assert digest == art["sha256"], f"{art['name']}: sha256 mismatch"
+    assert len(data) == art["size"], f"{art['name']}: size mismatch"
+    idh.update(bytes.fromhex(digest))
+assert idh.hexdigest() == man["id"], "bundle ID does not match artifact digests"
+need = {"heap.pprof", "goroutines.txt", "trace.json", "timeseries.json",
+        "slo.json", "obs.json", "statusz.json", "exemplars.json",
+        "server-stats.json", "config.json", "cpu.pprof"}
+assert need <= set(blobs), f"missing artifacts: {need - set(blobs)}"
+
+# 2. /metrics carries an OpenMetrics exemplar naming the chosen request,
+#    on a latency bucket, with its server-side seq.
+reply = json.load(open(sys.argv[3]))
+assert reply["request_id"] == "smoke-anomaly-7", reply["request_id"]
+seq = reply["results"][0]["timings"]["seq"]
+ex_re = re.compile(
+    r'^parcfl_server_latency_ns_bucket\{le="[^"]+"\} \d+ '
+    r'# \{request_id="smoke-anomaly-7",seq="(\d+)"\} \d+ \d+\.\d+$')
+found = None
+for line in open(sys.argv[2]):
+    m = ex_re.match(line.strip())
+    if m:
+        found = int(m.group(1))
+assert found == seq, f"exemplar seq {found} != reply seq {seq}"
+
+# 3. The exemplared request's span lane exists in the bundled trace: the
+#    bundle and the scrape describe the same moment.
+trace = json.loads(blobs["trace.json"])
+lanes = {e["args"]["name"] for e in trace["traceEvents"]
+         if e.get("name") == "thread_name"}
+assert f"req {seq}" in lanes, f"req {seq} lane not in bundled trace ({len(lanes)} lanes)"
+exdump = json.loads(blobs["exemplars.json"])
+rids = {e["rid"] for exs in exdump["hists"].values() for e in exs}
+assert "smoke-anomaly-7" in rids, rids
+
+# 4. Build identity: statusz and the build_info gauge agree.
+statusz = json.load(open(sys.argv[4]))
+assert statusz["schema"] == "parcfl-statusz/v1", statusz["schema"]
+go_ver = statusz["build"]["go_version"]
+assert any(line.startswith("parcfl_build_info{") and go_ver in line
+           for line in open(sys.argv[2])), "parcfl_build_info missing or inconsistent"
+
+print(f"bundle OK: {len(man['artifacts'])} artifacts verified, id {man['id'][:12]}, "
+      f"exemplar smoke-anomaly-7 -> seq {seq} -> trace lane present")
+EOF
+
+# The load client's -bundle-on-fail must have fetched a bundle client-side
+# (the overload injection guarantees anomalies).
+ls "$WORK"/load-bundles/bundle-*.tar.gz >/dev/null 2>&1 \
+  || { echo "FAIL: parcflload -bundle-on-fail saved nothing"; cat "$WORK/load-anomaly.txt"; exit 1; }
+
+stop_daemon
 
 echo "soak smoke OK (rate $RATE for $DUR, workdir $WORK)"
