@@ -114,9 +114,11 @@ func main() {
 		sink.AttachRecorder(rec)
 		rec.Start()
 	}
-	// Exemplars are on unconditionally: the storage is one pointer per
-	// bucket and the hot path stays alloc-free, while every /metrics scrape
-	// gains request IDs on the latency buckets.
+	// Exemplar storage is on unconditionally: it is one pointer per bucket
+	// and the hot path stays alloc-free. Emission is negotiated per scrape —
+	// only clients accepting application/openmetrics-text see exemplars on
+	// the latency buckets; the default v0.0.4 body stays exemplar-free (and
+	// therefore parseable by every classic Prometheus scraper).
 	sink.EnableExemplars()
 	sink.AttachSLO(obs.NewSLO(obs.SLOConfig{
 		AvailabilityObjective: *sloAvail,
@@ -249,7 +251,11 @@ func main() {
 	// request gets its answer before the final snapshot is cut.
 	ctx, cancel := context.WithTimeout(context.Background(), 2**timeout)
 	defer cancel()
-	_ = httpSrv.Shutdown(ctx)
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		// Most likely a handler still running at the deadline: a hung
+		// listener during SIGTERM drain should be visible, not silent.
+		fmt.Fprintln(os.Stderr, "parcfld: http drain:", err)
+	}
 	srv.Close()
 	rec.Stop()
 	// The server is drained and the dispatcher has exited: every span is

@@ -183,6 +183,50 @@ func TestTriggerCooldown(t *testing.T) {
 	}
 }
 
+// TestFailedCaptureReleasesCooldown: a capture that fails to write must not
+// burn the rule's cooldown window — the next trigger while the anomaly is
+// still live gets another shot, instead of losing the diagnostic window.
+func TestFailedCaptureReleasesCooldown(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "bundles")
+	clock := time.Unix(4000, 0)
+	w, err := New(Config{
+		Sink: testSink(), Dir: dir,
+		Cooldown: 10 * time.Second, CPUProfile: -1,
+		Now: func() time.Time { return clock },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Break the bundle directory: replace it with a regular file so the
+	// tarball create fails (works even as root, unlike a chmod).
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir, []byte("not a dir"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Trigger(RuleManual, "will fail"); err == nil {
+		t.Fatal("capture into a broken dir reported success")
+	} else if errors.Is(err, ErrCooldown) {
+		t.Fatalf("first trigger hit cooldown: %v", err)
+	}
+	// Restore the directory. The clock has not advanced, so a leaked
+	// reservation would surface here as ErrCooldown.
+	if err := os.Remove(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Trigger(RuleManual, "retry"); err != nil {
+		t.Fatalf("retry after failed capture: %v (cooldown burned by the failure?)", err)
+	}
+	// And a successful capture does start the cooldown.
+	if _, err := w.Trigger(RuleManual, "third"); !errors.Is(err, ErrCooldown) {
+		t.Fatalf("trigger after success got %v, want ErrCooldown", err)
+	}
+}
+
 // TestRetention: captures beyond MaxBundles delete the oldest.
 func TestRetention(t *testing.T) {
 	dir := t.TempDir()

@@ -226,6 +226,9 @@ func (w *Watchdog) Trigger(rule, reason string) (BundleInfo, error) {
 		return BundleInfo{}, fmt.Errorf("%w: rule %q fired %s ago (cooldown %s)",
 			ErrCooldown, rule, now.Sub(last).Round(time.Millisecond), w.cfg.Cooldown)
 	}
+	// Reserve the cooldown slot so concurrent Triggers on the same rule
+	// don't capture duplicate bundles while this one is in flight.
+	prev, hadPrev := w.lastFired[rule]
 	w.lastFired[rule] = now
 	w.mu.Unlock()
 
@@ -236,6 +239,19 @@ func (w *Watchdog) Trigger(rule, reason string) (BundleInfo, error) {
 		now:        w.now,
 	})
 	if err != nil {
+		// A failed capture (e.g. transient disk-full in the bundle dir) must
+		// not burn the cooldown window: the anomaly is still ongoing, and the
+		// next tick should get another shot at recording it. Roll the
+		// reservation back — unless someone else has re-fired meanwhile.
+		w.mu.Lock()
+		if w.lastFired[rule].Equal(now) {
+			if hadPrev {
+				w.lastFired[rule] = prev
+			} else {
+				delete(w.lastFired, rule)
+			}
+		}
+		w.mu.Unlock()
 		return BundleInfo{}, err
 	}
 	st, _ := os.Stat(path)

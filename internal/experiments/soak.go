@@ -309,7 +309,11 @@ func SoakRow(b *Bench, snap *snapshot.Snapshot, warmQPS float64, opts Options) (
 		Seed:     42,
 		Retry:    true,
 	}, len(queries), func(ctx context.Context, i int, rid string) (server.Timings, error) {
-		a, err := srv.QueryRequest(ctx, queries[i])
+		// Propagate the soak-minted rid into the in-process path (the
+		// RunSoak contract): with exemplars enabled on the server's sink,
+		// the report's slowest-request IDs resolve to daemon-side latency
+		// buckets and trace lanes, same as an HTTP client's header rid.
+		a, err := srv.QueryRequest(server.WithRID(ctx, rid), queries[i])
 		return a.Timings, err
 	})
 	if rep.Errored > 0 {

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 )
 
@@ -23,12 +24,20 @@ import (
 //	                    JSON; zero-valued when no tracker is attached)
 //	/metrics          — Prometheus text exposition (counters, gauges, timers,
 //	                    latency histograms, flight-recorder last sample, heat
-//	                    top-k gauges)
+//	                    top-k gauges); clients whose Accept header negotiates
+//	                    application/openmetrics-text get the OpenMetrics body
+//	                    with bucket exemplars, everyone else the classic
+//	                    v0.0.4 body (which cannot legally carry exemplars)
 //
 // A dedicated mux is used so callers never pollute http.DefaultServeMux.
 func Handler(sink *Sink) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if acceptsOpenMetrics(r.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", openMetricsContentType)
+			_ = WriteOpenMetrics(w, sink)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = WriteProm(w, sink)
 	})
@@ -77,6 +86,23 @@ func Handler(sink *Sink) http.Handler {
 		_, _ = w.Write([]byte("parcfl debug endpoint\n\n/debug/vars\n/debug/pprof/\n/debug/obs\n/debug/timeseries\n/debug/heat\n/debug/slo\n/debug/statusz\n/metrics\n"))
 	})
 	return mux
+}
+
+// openMetricsContentType is the Content-Type of an OpenMetrics scrape body.
+const openMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// acceptsOpenMetrics reports whether an Accept header negotiates the
+// OpenMetrics text exposition. A plain media-type match is enough: every
+// scraper that can parse OpenMetrics names it explicitly, and everyone
+// else (curl's */*, no header at all) gets v0.0.4.
+func acceptsOpenMetrics(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		if strings.EqualFold(mt, "application/openmetrics-text") {
+			return true
+		}
+	}
+	return false
 }
 
 // ServeDebug starts the debug HTTP endpoint on addr (e.g. "localhost:6060";

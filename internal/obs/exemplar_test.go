@@ -84,10 +84,11 @@ func TestExemplarDisabledZeroAlloc(t *testing.T) {
 var openMetricsExemplarRe = regexp.MustCompile(
 	`_bucket\{le="[^"]+"\} \d+ # \{request_id="([^"]+)",seq="(\d+)"\} (\d+) (\d+\.\d{3})$`)
 
-// TestWritePromExemplars: /metrics carries OpenMetrics exemplar syntax on
-// exactly the buckets that hold one, and non-exemplar lines stay in plain
-// text-format shape.
-func TestWritePromExemplars(t *testing.T) {
+// TestWritePromExemplarFree: the v0.0.4 body never carries exemplars, even
+// with exemplar storage populated — the classic text parser allows only an
+// optional timestamp after a sample's value, so one exemplar line would
+// fail the entire scrape.
+func TestWritePromExemplarFree(t *testing.T) {
 	s := New(Config{})
 	s.EnableExemplars()
 	s.Observe(HistServerLatencyNS, 1500)
@@ -97,8 +98,39 @@ func TestWritePromExemplars(t *testing.T) {
 	if err := WriteProm(&buf, s); err != nil {
 		t.Fatal(err)
 	}
-	var matched int
 	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.Contains(line, " # {") {
+			t.Fatalf("v0.0.4 body carries an exemplar: %q", line)
+		}
+	}
+	if strings.Contains(buf.String(), "# EOF") {
+		t.Fatal("v0.0.4 body carries the OpenMetrics EOF terminator")
+	}
+}
+
+// TestWriteOpenMetricsExemplars: the OpenMetrics body carries exemplar
+// syntax on exactly the buckets that hold one, declares counter families
+// without the _total sample suffix, contains no free-form comments, and
+// terminates with # EOF.
+func TestWriteOpenMetricsExemplars(t *testing.T) {
+	s := New(Config{})
+	s.EnableExemplars()
+	s.Observe(HistServerLatencyNS, 1500)
+	s.Exemplar(HistServerLatencyNS, 1500, "load-1-9", 42)
+	s.Add(CtrQueries, 7)
+
+	var buf bytes.Buffer
+	if err := WriteOpenMetrics(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	var matched int
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "#") &&
+			!strings.HasPrefix(line, "# HELP ") && !strings.HasPrefix(line, "# TYPE ") &&
+			line != "# EOF" && line != "" {
+			t.Fatalf("free-form comment in OpenMetrics body: %q", line)
+		}
 		if !strings.Contains(line, " # {") {
 			continue
 		}
@@ -116,6 +148,92 @@ func TestWritePromExemplars(t *testing.T) {
 	}
 	if matched != 1 {
 		t.Fatalf("%d exemplar lines, want exactly 1", matched)
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatalf("OpenMetrics body not terminated by # EOF:\n...%q", out[max(0, len(out)-80):])
+	}
+	// Counter families drop the mandatory _total sample suffix in their
+	// TYPE declarations; the sample lines keep it.
+	if !strings.Contains(out, "# TYPE parcfl_queries counter\n") {
+		t.Fatal("OpenMetrics counter family still declared with _total suffix")
+	}
+	if strings.Contains(out, "# TYPE parcfl_queries_total counter\n") {
+		t.Fatal("OpenMetrics TYPE line uses the sample name, not the family name")
+	}
+	if !strings.Contains(out, "parcfl_queries_total 7\n") {
+		t.Fatal("counter sample lost its _total suffix")
+	}
+	// The timer _count series cannot be a legal OpenMetrics counter; it is
+	// declared unknown instead.
+	if !strings.Contains(out, "# TYPE parcfl_timer_schedule_count unknown\n") {
+		t.Fatal("timer _count series not declared unknown in OpenMetrics")
+	}
+
+	// A nil sink still yields a valid, terminated OpenMetrics body.
+	buf.Reset()
+	if err := WriteOpenMetrics(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "# EOF\n" {
+		t.Fatalf("nil-sink OpenMetrics body = %q, want just # EOF", buf.String())
+	}
+}
+
+// TestMetricsContentNegotiation: /metrics serves the v0.0.4 body (no
+// exemplars) to clients that do not ask for OpenMetrics, and the
+// OpenMetrics body (exemplars + # EOF) to those that do — a Prometheus
+// scrape without OpenMetrics support must never see an unparseable line.
+func TestMetricsContentNegotiation(t *testing.T) {
+	s := New(Config{})
+	s.EnableExemplars()
+	s.Observe(HistServerLatencyNS, 1500)
+	s.Exemplar(HistServerLatencyNS, 1500, "req-neg", 5)
+
+	ts := httptest.NewServer(Handler(s))
+	defer ts.Close()
+
+	fetch := func(accept string) (string, string) {
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body bytes.Buffer
+		if _, err := body.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.Header.Get("Content-Type"), body.String()
+	}
+
+	// Default scrape (no Accept, or a generic one): classic format, clean.
+	for _, accept := range []string{"", "*/*", "text/plain;version=0.0.4"} {
+		ct, body := fetch(accept)
+		if !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "0.0.4") {
+			t.Fatalf("Accept %q: content type %q, want v0.0.4 text", accept, ct)
+		}
+		if strings.Contains(body, " # {") || strings.Contains(body, "# EOF") {
+			t.Fatalf("Accept %q: v0.0.4 body carries OpenMetrics syntax", accept)
+		}
+	}
+
+	// An OpenMetrics-negotiating scraper (Prometheus sends it with q-params
+	// and fallbacks) gets exemplars and the terminator.
+	ct, body := fetch("application/openmetrics-text;version=1.0.0;q=0.75,text/plain;version=0.0.4;q=0.5,*/*;q=0.1")
+	if !strings.Contains(ct, "application/openmetrics-text") {
+		t.Fatalf("negotiated content type %q, want openmetrics-text", ct)
+	}
+	if !strings.Contains(body, `# {request_id="req-neg",seq="5"}`) {
+		t.Fatalf("OpenMetrics body missing the exemplar:\n%.500s", body)
+	}
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Fatal("OpenMetrics body not terminated by # EOF")
 	}
 }
 

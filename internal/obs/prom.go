@@ -3,14 +3,19 @@ package obs
 import (
 	"fmt"
 	"io"
+	"strings"
 )
 
 // Prometheus text exposition of a Sink: every counter becomes a
 // `parcfl_<name>_total` counter, every gauge a `parcfl_<name>` gauge,
 // every timer a `_count`/`_ns_total` counter pair, and every log-bucketed
 // histogram a native Prometheus histogram with power-of-two `le` bounds.
-// The format is the text exposition format v0.0.4 (the one every
-// Prometheus scraper and promtool understand).
+// Two formats are served: the classic text exposition v0.0.4 (the one
+// every Prometheus scraper and promtool understand), and OpenMetrics 1.0
+// for clients that negotiate it — only the latter may carry bucket
+// exemplars, because the v0.0.4 parser allows nothing after a sample's
+// value except an optional timestamp and would fail the whole scrape on
+// an exemplar-bearing line.
 
 var counterHelp = [NumCounters]string{
 	"Queries completed or aborted.",
@@ -58,20 +63,53 @@ var timerHelp = [NumTimers]string{
 	"Whole engine.Run batches.",
 }
 
-// WriteProm writes the sink's state in Prometheus text exposition format.
+// WriteProm writes the sink's state in the classic Prometheus text
+// exposition format v0.0.4. The body is exemplar-free by construction:
+// clients that want exemplars negotiate OpenMetrics (see WriteOpenMetrics).
 // A nil sink writes only a marker comment (all series absent), which is
 // still a valid scrape body.
 func WriteProm(w io.Writer, s *Sink) error {
+	return writeExposition(w, s, false)
+}
+
+// WriteOpenMetrics writes the same series in the OpenMetrics 1.0 text
+// format: counter families are declared without the mandatory `_total`
+// sample suffix, histogram bucket lines carry exemplars
+// (` # {request_id="...",seq="..."} value ts`) linking a latency bucket to
+// the most recent request that landed in it, and the body ends with the
+// required `# EOF` terminator.
+func WriteOpenMetrics(w io.Writer, s *Sink) error {
+	return writeExposition(w, s, true)
+}
+
+func writeExposition(w io.Writer, s *Sink, om bool) error {
 	bw := &errWriter{w: w}
-	bw.printf("# parcfl metrics\n")
+	if !om {
+		// OpenMetrics permits no free-form comments; v0.0.4 keeps the marker
+		// so an all-absent scrape body is visibly ours.
+		bw.printf("# parcfl metrics\n")
+	}
 	if s == nil {
+		if om {
+			bw.printf("# EOF\n")
+		}
 		return bw.err
+	}
+
+	// counterHeader declares the family for a counter sample named with the
+	// `_total` suffix; OpenMetrics names the family without it.
+	counterHeader := func(sample, help string) {
+		fam := sample
+		if om {
+			fam = strings.TrimSuffix(sample, "_total")
+		}
+		bw.printf("# HELP %s %s\n", fam, help)
+		bw.printf("# TYPE %s counter\n", fam)
 	}
 
 	for c := CounterID(0); c < NumCounters; c++ {
 		name := "parcfl_" + c.String() + "_total"
-		bw.printf("# HELP %s %s\n", name, counterHelp[c])
-		bw.printf("# TYPE %s counter\n", name)
+		counterHeader(name, counterHelp[c])
 		bw.printf("%s %d\n", name, s.Counter(c))
 	}
 	for g := GaugeID(0); g < NumGauges; g++ {
@@ -99,11 +137,17 @@ func WriteProm(w io.Writer, s *Sink) error {
 	for t := TimerID(0); t < NumTimers; t++ {
 		ts := s.Timer(t)
 		base := "parcfl_timer_" + t.String()
+		// An OpenMetrics counter sample must end in `_total`, which the
+		// `_count` series name cannot; it is declared `unknown` there so the
+		// series keeps its identity across both formats.
+		countType := "counter"
+		if om {
+			countType = "unknown"
+		}
 		bw.printf("# HELP %s_count Timed observations: %s\n", base, timerHelp[t])
-		bw.printf("# TYPE %s_count counter\n", base)
+		bw.printf("# TYPE %s_count %s\n", base, countType)
 		bw.printf("%s_count %d\n", base, ts.Count)
-		bw.printf("# HELP %s_ns_total Total nanoseconds: %s\n", base, timerHelp[t])
-		bw.printf("# TYPE %s_ns_total counter\n", base)
+		counterHeader(base+"_ns_total", "Total nanoseconds: "+timerHelp[t])
 		bw.printf("%s_ns_total %d\n", base, ts.TotalNS)
 	}
 	for h := HistID(0); h < NumHists; h++ {
@@ -112,9 +156,10 @@ func WriteProm(w io.Writer, s *Sink) error {
 		// Bucket exemplars (OpenMetrics syntax: "# {labels} value timestamp"
 		// appended to the bucket's sample line) link a latency bucket to the
 		// most recent request ID that landed in it — and through its seq to
-		// the request's "req N" trace lane in the span export.
+		// the request's "req N" trace lane in the span export. Only the
+		// OpenMetrics body may carry them: v0.0.4 parsers reject the syntax.
 		var exByBucket map[int]BucketExemplar
-		if exs := s.HistExemplars(h); len(exs) > 0 {
+		if exs := s.HistExemplars(h); om && len(exs) > 0 {
 			exByBucket = make(map[int]BucketExemplar, len(exs))
 			for _, e := range exs {
 				exByBucket[e.Bucket] = e
@@ -140,8 +185,7 @@ func WriteProm(w io.Writer, s *Sink) error {
 	// lengths become a label so both 5m and 1h series scrape side by side.
 	if slo := s.SLO(); slo != nil {
 		snap := slo.Snapshot()
-		bw.printf("# HELP parcfl_slo_requests_total Requests accounted by the SLO tracker, by outcome class (longest window).\n")
-		bw.printf("# TYPE parcfl_slo_requests_total counter\n")
+		counterHeader("parcfl_slo_requests_total", "Requests accounted by the SLO tracker, by outcome class (longest window).")
 		if n := len(snap.Windows); n > 0 {
 			longest := snap.Windows[n-1]
 			for c := SLOClass(0); c < NumSLOClasses; c++ {
@@ -199,6 +243,9 @@ func WriteProm(w io.Writer, s *Sink) error {
 			}
 			bw.printf("%s{%s=%q} %d\n", name, smp.LabelKey, smp.Label, smp.Value)
 		}
+	}
+	if om {
+		bw.printf("# EOF\n")
 	}
 	return bw.err
 }

@@ -114,10 +114,13 @@ type Span struct {
 
 // spanBuf is one span buffer. Buffer 0 (the "main" track: engine phases,
 // scheduler phases, store insertions — anything not attributable to a
-// single worker goroutine) is shared between goroutines and guarded by mu.
-// Buffers 1..N are per-worker and single-writer: only worker w appends to
-// buffer w+1, so the query hot path takes no lock. The struct is padded so
-// adjacent workers' buffers never share a cache line.
+// single worker goroutine) is shared between goroutines. Buffers 1..N are
+// per-worker and single-writer: only worker w appends to buffer w+1, so
+// their mutex is uncontended on the query hot path — it exists so a live
+// reader (a diagnostic bundle capturing mid-incident, when the ring
+// overwrite mutates existing entries) snapshots consistent spans instead
+// of racing the writers. The struct is padded so adjacent workers'
+// buffers never share a cache line.
 //
 // A full buffer behaves as a ring: new spans overwrite the oldest (counted
 // as dropped). A long-lived daemon therefore always holds the most recent
@@ -133,13 +136,16 @@ type spanBuf struct {
 }
 
 func (b *spanBuf) put(sp Span, limit int) {
+	b.mu.Lock()
 	if len(b.spans) < limit {
 		b.spans = append(b.spans, sp)
+		b.mu.Unlock()
 		return
 	}
 	b.spans[b.next] = sp
 	b.next = (b.next + 1) % limit
 	b.dropped++
+	b.mu.Unlock()
 }
 
 // spanRegion is an attached set of span buffers: one shared buffer plus one
@@ -159,15 +165,11 @@ func newSpanRegion(workers, limit int) *spanRegion {
 }
 
 // put records sp into worker's buffer. NoWorker and out-of-range ids land
-// in the shared (locked) buffer 0.
+// in the shared buffer 0. Every buffer locks its own mutex inside put.
 func (r *spanRegion) put(worker int32, sp Span) {
 	i := int(worker) + 1
 	if i < 1 || i >= len(r.bufs) {
-		b := &r.bufs[0]
-		b.mu.Lock()
-		b.put(sp, r.limit)
-		b.mu.Unlock()
-		return
+		i = 0
 	}
 	r.bufs[i].put(sp, r.limit)
 }
@@ -252,8 +254,10 @@ func (s *Sink) DisableSpans() ([]Span, int64) {
 
 // Spans returns a copy of every recorded span, merged across tracks in
 // start-time order, plus the total number of spans dropped on full buffers.
-// Per-worker buffers are written without synchronisation by their owning
-// goroutines, so call this quiesced — after the run's workers have stopped.
+// Every buffer is mutex-guarded, so this is safe on a live process — a
+// watchdog-triggered diagnostic bundle captures mid-run without tearing
+// spans — though a moving run means the snapshot is only per-buffer (not
+// globally) atomic; for exact end-of-run accounting call it quiesced.
 func (s *Sink) Spans() ([]Span, int64) {
 	if s == nil {
 		return nil, 0
@@ -269,14 +273,10 @@ func collectSpans(r *spanRegion) ([]Span, int64) {
 	var dropped int64
 	for i := range r.bufs {
 		b := &r.bufs[i]
-		if i == 0 {
-			b.mu.Lock()
-		}
+		b.mu.Lock()
 		out = append(out, b.spans...)
 		dropped += b.dropped
-		if i == 0 {
-			b.mu.Unlock()
-		}
+		b.mu.Unlock()
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].T != out[j].T {

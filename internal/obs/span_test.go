@@ -191,3 +191,42 @@ func TestWriteTraceFile(t *testing.T) {
 		t.Fatal("traceEvents is null, want []")
 	}
 }
+
+// TestSpansLiveCollect: Spans() may run while worker goroutines are still
+// recording — the daemon-mode diagnostic-bundle path — without tearing the
+// ring. Run with -race this pins the per-buffer locking; without it, it
+// still checks every collected span is internally consistent.
+func TestSpansLiveCollect(t *testing.T) {
+	const workers = 3
+	s := New(Config{Workers: workers})
+	s.EnableSpans(workers, 64)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := int32(0); w < workers; w++ {
+		wg.Add(1)
+		go func(w int32) {
+			defer wg.Done()
+			for i := int64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// A and B always match; a torn read would break the pair.
+				s.SpanInstant(SpJmpTake, w, i, i)
+				s.SpanInstant(SpJmpTake, NoWorker, i, i) // shared buffer too
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		spans, _ := s.Spans()
+		for _, sp := range spans {
+			if sp.A != sp.B {
+				t.Errorf("torn span: A=%d B=%d", sp.A, sp.B)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

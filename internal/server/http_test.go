@@ -99,3 +99,49 @@ func TestExemplarAtReplyTime(t *testing.T) {
 		t.Fatalf("exemplar in empty bucket %d", found.Bucket)
 	}
 }
+
+// TestInProcessRIDExemplar: a request ID attached with WithRID travels the
+// in-process query path (no HTTP layer) and exemplars the latency bucket at
+// reply time — the contract the soak harness relies on so its report's
+// slowest-request IDs resolve daemon-side.
+func TestInProcessRIDExemplar(t *testing.T) {
+	srv, sink, lo := tracedServer(t, Config{BatchWindow: -1})
+	defer srv.Close()
+	sink.EnableExemplars()
+
+	ctx := WithRID(context.Background(), "soak-42-1")
+	if got := RIDFrom(ctx); got != "soak-42-1" {
+		t.Fatalf("RIDFrom = %q", got)
+	}
+	if got := RIDFrom(context.Background()); got != "" {
+		t.Fatalf("RIDFrom on a bare context = %q, want empty", got)
+	}
+
+	a, err := srv.QueryRequest(ctx, lo.AppQueryVars[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	exs := sink.HistExemplars(obs.HistServerLatencyNS)
+	var found *obs.BucketExemplar
+	for i := range exs {
+		if exs[i].RID == "soak-42-1" {
+			found = &exs[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("in-process rid left no exemplar; have %+v", exs)
+	}
+	if found.Seq != a.Timings.Seq || found.Value != a.Timings.TotalNS {
+		t.Fatalf("exemplar %+v does not match answer timings %+v", found, a.Timings)
+	}
+
+	// Without WithRID the in-process path stays exemplar-free.
+	if _, err := srv.QueryRequest(context.Background(), lo.AppQueryVars[1]); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range sink.HistExemplars(obs.HistServerLatencyNS) {
+		if e.RID != "soak-42-1" {
+			t.Fatalf("rid-less request minted exemplar %+v", e)
+		}
+	}
+}

@@ -342,12 +342,35 @@ func (s *Server) Query(ctx context.Context, v pag.NodeID) (engine.QueryResult, e
 	return a.Result, err
 }
 
+// ridKey carries a client-minted request ID through the in-process query
+// path; the HTTP surface carries it in RequestIDHeader instead.
+type ridKey struct{}
+
+// WithRID attaches a request ID to ctx for QueryRequest: at reply time the
+// ID exemplars the request's latency bucket (when the sink has exemplars
+// enabled), so an in-process caller — the soak harness minting
+// <prefix>-<seed>-<n> IDs — joins the same trace lanes and diagnostic
+// bundles an HTTP client's X-Parcfl-Request-Id does.
+func WithRID(ctx context.Context, rid string) context.Context {
+	if rid == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, ridKey{}, rid)
+}
+
+// RIDFrom returns the request ID attached by WithRID ("" when none).
+func RIDFrom(ctx context.Context) string {
+	rid, _ := ctx.Value(ridKey{}).(string)
+	return rid
+}
+
 // QueryRequest is Query plus request identity and phase attribution: the
 // returned Answer carries the request's sequence number, the batch that
 // solved it, which request's computation it rode, and a per-phase latency
 // breakdown. With span tracing enabled, each request also becomes an
 // admit → queue_wait → serve lane in the trace export, stamped even when
-// the waiter gives up on its deadline mid-batch.
+// the waiter gives up on its deadline mid-batch. A request ID attached via
+// WithRID exemplars the latency bucket this request observes into.
 func (s *Server) QueryRequest(ctx context.Context, v pag.NodeID) (Answer, error) {
 	if v < 0 || int(v) >= s.graph.NumNodes() {
 		return Answer{}, ErrUnknownVar
@@ -422,6 +445,9 @@ func (s *Server) QueryRequest(ctx context.Context, v pag.NodeID) (Answer, error)
 			TotalNS:     replied.Sub(entered).Nanoseconds(),
 		}
 		s.sink.Observe(obs.HistServerLatencyNS, t.TotalNS)
+		if rid := RIDFrom(ctx); rid != "" {
+			s.sink.Exemplar(obs.HistServerLatencyNS, t.TotalNS, rid, seq)
+		}
 		if s.sink.SpanTracing() {
 			admitDoneNS := enteredNS + t.AdmitNS
 			s.sink.SpanAt(obs.SpanQueueWait, obs.NoWorker, admitDoneNS, t.QueueWaitNS, seq, msg.batch, 0)

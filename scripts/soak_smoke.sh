@@ -8,8 +8,10 @@
 #   - the shutdown trace contains the lifecycle lane of a chosen request
 #     whose serve span matches the timings breakdown its reply carried;
 #   - injected overload fires the diagnostic-bundle watchdog, and the bundle
-#     validates end to end: manifest sha256s match, /metrics exemplars name
-#     a request whose "req <seq>" lane exists in the bundled trace.
+#     validates end to end: manifest sha256s match, an OpenMetrics-negotiated
+#     /metrics scrape carries exemplars naming a request whose "req <seq>"
+#     lane exists in the bundled trace, while the default (v0.0.4) scrape
+#     body stays exemplar-free and parseable by classic Prometheus.
 #
 # On any failure while a daemon is still up, the trap captures a diagnostic
 # bundle into $WORK/failure-bundle.tar.gz for the CI artifact upload.
@@ -205,7 +207,15 @@ echo "watchdog fired: auto bundle $AUTO"
 CHOSEN_VAR=$("$WORK/parcflq" -addr "$ADDR" -list 1 | head -n1)
 "$WORK/parcflq" -addr "$ADDR" -request-id smoke-anomaly-7 -json \
   "$CHOSEN_VAR" >"$WORK/anomaly-chosen.json"
-curl -sf "http://$ADDR/metrics" >"$WORK/metrics-anomaly.txt"
+# Exemplars ride only the negotiated OpenMetrics body; the default scrape
+# stays classic v0.0.4 (which cannot legally carry them).
+curl -sf -H 'Accept: application/openmetrics-text' \
+  "http://$ADDR/metrics" >"$WORK/metrics-anomaly.txt"
+curl -sf "http://$ADDR/metrics" >"$WORK/metrics-plain.txt"
+grep -q ' # {' "$WORK/metrics-plain.txt" \
+  && { echo "FAIL: default /metrics body carries exemplar syntax"; exit 1; }
+grep -q '^# EOF' "$WORK/metrics-anomaly.txt" \
+  || { echo "FAIL: OpenMetrics body missing # EOF terminator"; exit 1; }
 curl -sf "http://$ADDR/debug/statusz" >"$WORK/statusz.json"
 
 sleep 1.2  # clear the manual rule's cooldown (parcflload may have used it)
