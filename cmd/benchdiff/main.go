@@ -2,7 +2,9 @@
 // reports of a BENCH_runs.json history (see cmd/experiments -json) against
 // percentage thresholds, prints a delta table, and exits non-zero when the
 // head report regressed — wall time up, the sharing counters (steps_saved,
-// jumps_taken, early_terminations) down, or serving throughput (qps) down.
+// jumps_taken, early_terminations) down, serving throughput (qps) down, or
+// the soak p99.9 tail up (direction-aware like the wall gate, but with a
+// deliberately looser threshold — the extreme tail is noisy).
 // Soak rows also carry informational phase-share drift cells (basis points
 // of the request's end-to-end time) that localise a regression to admit,
 // queue-wait, solve or fan-out without gating on it.
@@ -51,6 +53,10 @@ func main() {
 		"fail when a serving cell's qps drops more than this percent (0 disables the qps gate)")
 	minQPS := flag.Float64("min-qps", def.MinQPS,
 		"ignore qps drops whose baseline rate is below this floor")
+	tailPct := flag.Float64("tail-pct", def.TailPct,
+		"fail when a soak cell's p999_ns grows more than this percent (0 disables the tail gate)")
+	minTail := flag.Duration("min-tail", time.Duration(def.MinTailNS),
+		"ignore tail regressions whose baseline p99.9 is below this floor")
 	jsonOut := flag.String("json", "", "also write the diff report as JSON to this file (written before the exit code is decided, so CI can upload it on failure)")
 	flag.Parse()
 
@@ -78,6 +84,8 @@ func main() {
 		MinWallNS: int64(*minWall),
 		QPSPct:    *qpsPct,
 		MinQPS:    *minQPS,
+		TailPct:   *tailPct,
+		MinTailNS: int64(*minTail),
 	})
 	d.WriteTable(os.Stdout)
 	if *jsonOut != "" {

@@ -91,6 +91,10 @@ func main() {
 	bundleCooldown := flag.Duration("bundle-cooldown", 30*time.Second, "minimum gap between bundles from the same trigger rule")
 	bundleRetain := flag.Int("bundle-retain", 8, "max bundles kept on disk; older ones are deleted")
 	bundleCPUProfile := flag.Duration("bundle-cpu-profile", 250*time.Millisecond, "CPU-profile sampling window per bundle (negative = no cpu.pprof)")
+	bundleAnomalyWindow := flag.Duration("bundle-anomaly-window", 5*time.Second, "retain every request trace for this long after a watchdog rule fires (negative = off)")
+	traceStore := flag.Int("trace-store", 512, "retain up to this many tail-sampled request traces, queryable at /debug/traces (0 = off)")
+	traceSample := flag.Float64("trace-sample", 0.01, "probability a healthy fast request is retained in the trace store as a baseline")
+	traceSlowQ := flag.Float64("trace-slow-quantile", 0.99, "live latency quantile above which a request trace is always retained")
 	flag.Parse()
 
 	m, err := parseMode(*mode)
@@ -120,6 +124,17 @@ func main() {
 	// the latency buckets; the default v0.0.4 body stays exemplar-free (and
 	// therefore parseable by every classic Prometheus scraper).
 	sink.EnableExemplars()
+	// The trace store keeps the interesting tail of completed request
+	// traces (failures, above-p99 latencies, anomaly windows, a sampled
+	// baseline) live and queryable at /debug/traces. Bounded ring: memory
+	// stays within -trace-store entries forever.
+	if *traceStore > 0 {
+		sink.AttachTraceStore(obs.NewTraceStore(sink, obs.TraceStoreConfig{
+			Capacity:     *traceStore,
+			SampleRate:   *traceSample,
+			SlowQuantile: *traceSlowQ,
+		}))
+	}
 	sink.AttachSLO(obs.NewSLO(obs.SLOConfig{
 		AvailabilityObjective: *sloAvail,
 		LatencyObjective:      *sloLatObj,
@@ -153,9 +168,12 @@ func main() {
 			lo.Graph.NumNodes(), len(lo.AppQueryVars))
 	}
 
-	// The fallback mux: diagnostic-bundle endpoints (when enabled) layered
-	// over the standard obs surface (/metrics, /debug/*).
-	fallback := http.Handler(obs.Handler(sink))
+	// The fallback mux: the standard obs surface (/metrics, /debug/*,
+	// /debug/traces) plus — when enabled — the diagnostic-bundle endpoints,
+	// registered on the same DebugMux so the generated "/" index always
+	// lists every mounted route.
+	debugMux := obs.NewDebugMux(sink)
+	fallback := http.Handler(debugMux)
 	var watchdog *diag.Watchdog
 	if *bundleDir != "" {
 		watchdog, err = diag.New(diag.Config{
@@ -167,6 +185,7 @@ func main() {
 			BurnThreshold:  *bundleOnBurn,
 			QueueHighWater: *bundleQueueHigh,
 			P99TargetNS:    bundleP99.Nanoseconds(),
+			AnomalyWindow:  *bundleAnomalyWindow,
 			Sources: map[string]diag.Source{
 				"server-stats.json": func() ([]byte, error) {
 					return json.MarshalIndent(srv.Stats(), "", "  ")
@@ -190,11 +209,8 @@ func main() {
 		watchdog.Start()
 		fmt.Printf("parcfld: bundle watchdog on %s (burn>=%g queue>=%d p99>%s, cooldown %s, retain %d)\n",
 			*bundleDir, *bundleOnBurn, *bundleQueueHigh, *bundleP99, *bundleCooldown, *bundleRetain)
-		mux := http.NewServeMux()
-		mux.Handle("/debug/bundle", diag.Handler(watchdog))
-		mux.Handle("/debug/bundle/", diag.Handler(watchdog))
-		mux.Handle("/", obs.Handler(sink))
-		fallback = mux
+		debugMux.Handle("/debug/bundle", "diagnostic bundles (list/fetch/trigger)", diag.Handler(watchdog))
+		debugMux.Handle("/debug/bundle/", "", diag.Handler(watchdog))
 	}
 	handler := server.NewHandler(srv, server.HandlerConfig{
 		SnapshotPath:   *snapPath,

@@ -8,8 +8,12 @@
 // overload shedding and tail inflation, unlike a closed-loop replay whose
 // clients slow down with the server. Each request queries one uniformly
 // chosen variable (the daemon's query census by default, or the names given
-// as arguments) under its own request ID, and the phase timings the daemon
-// returns are aggregated into a machine-readable parcfl-soak/v1 report.
+// as arguments) under its own request ID and a freshly minted W3C
+// traceparent (one trace per logical request, shared across overload
+// retries), and the phase timings the daemon returns are aggregated into a
+// machine-readable parcfl-soak/v1 report. Slow request IDs from the report
+// resolve live against the daemon's tail-sampled trace store
+// (parcflctl traces get <rid>).
 //
 // The process exits nonzero if any request failed with a hard error
 // (overload shedding and deadline misses are outcomes, not failures — they

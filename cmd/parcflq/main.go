@@ -47,8 +47,9 @@ func main() {
 	save := flag.String("save", "", "trigger a snapshot save (empty string with -save= uses the daemon's configured path)")
 	asJSON := flag.Bool("json", false, "print raw JSON instead of the human format")
 	retries := flag.Int("retries", 0, "retry overloaded (429) responses up to N extra times with jittered backoff")
-	verbose := flag.Bool("v", false, "print the request ID and per-phase timing breakdown with each answer")
+	verbose := flag.Bool("v", false, "print the request ID, trace ID and per-phase timing breakdown with each answer")
 	rid := flag.String("request-id", "", "send this request ID instead of minting one")
+	traceparent := flag.String("traceparent", "", "forward this W3C traceparent header value instead of minting one (joins an existing distributed trace)")
 	flag.Parse()
 
 	base := *addr
@@ -124,7 +125,15 @@ func main() {
 	if id == "" {
 		id = mintRequestID()
 	}
-	reply, err := cl.QueryRequest(ctx, id, vars, *timeout)
+	var reply server.QueryReply
+	var err error
+	if *traceparent != "" {
+		reply, err = cl.QueryTraced(ctx, id, *traceparent, vars, *timeout)
+	} else {
+		// QueryRequest mints a fresh traceparent, so every CLI query is a
+		// complete one-request trace resolvable at /debug/traces.
+		reply, err = cl.QueryRequest(ctx, id, vars, *timeout)
+	}
 	if err != nil {
 		fail(err)
 	}
@@ -156,5 +165,8 @@ func main() {
 	}
 	if *verbose {
 		fmt.Printf("request-id %s\n", reply.RequestID)
+		if reply.TraceID != "" {
+			fmt.Printf("trace-id   %s\n", reply.TraceID)
+		}
 	}
 }

@@ -141,6 +141,13 @@ func Capture(dir string, trigger, reason string, cfg CaptureConfig) (Manifest, s
 	if exs := collectExemplars(s); exs != nil {
 		addJSON("exemplars.json", exs)
 	}
+	// Retained request traces are a first-class bundle artifact: the tail
+	// the store kept (failures, slow requests, the anomaly window that
+	// probably triggered this very capture) with identity and spans, so a
+	// post-mortem has whole request traces and not just the raw span ring.
+	if ts := s.TraceStore(); ts != nil {
+		addJSON("traces.json", ts.Dump(obs.TraceQuery{Outcome: -1}))
+	}
 	if h := s.Heat(); h != nil {
 		addJSON("heat.json", h.HeatSnapshot())
 	}

@@ -61,6 +61,11 @@ type Config struct {
 	// P99TargetNS enables RuleP99 when > 0.
 	P99TargetNS int64
 
+	// AnomalyWindow is how long the sink's trace store keeps retaining
+	// every completed request after a trigger rule fires (MarkAnomaly);
+	// 0 means 5s, negative disables the marking.
+	AnomalyWindow time.Duration
+
 	// Sources adds extra artifacts to every capture.
 	Sources map[string]Source
 
@@ -113,6 +118,9 @@ func New(cfg Config) (*Watchdog, error) {
 	}
 	if cfg.CPUProfile == 0 {
 		cfg.CPUProfile = 250 * time.Millisecond
+	}
+	if cfg.AnomalyWindow == 0 {
+		cfg.AnomalyWindow = 5 * time.Second
 	}
 	now := time.Now
 	if cfg.Now != nil {
@@ -231,6 +239,14 @@ func (w *Watchdog) Trigger(rule, reason string) (BundleInfo, error) {
 	prev, hadPrev := w.lastFired[rule]
 	w.lastFired[rule] = now
 	w.mu.Unlock()
+
+	// A firing rule opens the trace store's anomaly window: every request
+	// completing around the incident is retained, not just the ones that
+	// individually look slow or failed. Marked before the capture (and kept
+	// even if the capture fails — the anomaly is real either way).
+	if w.cfg.AnomalyWindow > 0 {
+		w.cfg.Sink.TraceStore().MarkAnomaly(w.cfg.AnomalyWindow)
+	}
 
 	man, path, err := Capture(w.cfg.Dir, rule, reason, CaptureConfig{
 		Sink:       w.cfg.Sink,

@@ -40,11 +40,18 @@ type DiffOptions struct {
 	// MinQPS is the qps gate's noise floor: baselines below this rate are
 	// too small for a relative drop to mean anything.
 	MinQPS float64
+	// TailPct fails a soak cell whose p999_ns grew by more than this
+	// percent. The tail is far noisier than the median, so its threshold is
+	// deliberately looser than WallPct; <= 0 disables the tail gate.
+	TailPct float64
+	// MinTailNS is the tail gate's noise floor: baselines whose p99.9 is
+	// below it are dominated by scheduler jitter and skipped.
+	MinTailNS int64
 }
 
 // DefaultDiffOptions returns the thresholds benchdiff ships with: 20% wall
-// growth, 50% counter drop, 50% qps drop; counters under 50, walls under
-// 1ms and rates under 20 qps ignored.
+// growth, 50% counter drop, 50% qps drop, 150% p99.9 growth; counters under
+// 50, walls under 1ms, rates under 20 qps and tails under 1ms ignored.
 func DefaultDiffOptions() DiffOptions {
 	return DiffOptions{
 		WallPct:   20,
@@ -53,6 +60,8 @@ func DefaultDiffOptions() DiffOptions {
 		MinWallNS: int64(time.Millisecond),
 		QPSPct:    50,
 		MinQPS:    20,
+		TailPct:   150,
+		MinTailNS: int64(time.Millisecond),
 	}
 }
 
@@ -164,6 +173,9 @@ func DiffReports(base, head *BenchReport, opt DiffOptions) *Diff {
 		if b.QPS > 0 && h.QPS > 0 {
 			d.add(diffQPS(b, h, opt, comparable))
 		}
+		if b.P999NS > 0 && h.P999NS > 0 {
+			d.add(diffTail(b, h, opt, comparable))
+		}
 		if b.TargetQPS > 0 && h.TargetQPS > 0 {
 			d.add(diffShare(b, h, "admit_share_bp", b.AdmitShare, h.AdmitShare, comparable))
 			d.add(diffShare(b, h, "queue_share_bp", b.QueueShare, h.QueueShare, comparable))
@@ -245,6 +257,28 @@ func diffQPS(b, h *BenchRun, opt DiffOptions, comparable bool) DiffCell {
 		c.Skipped, c.Note = true, "below noise floor"
 	default:
 		c.Regression = c.DeltaPct < -opt.QPSPct
+	}
+	return c
+}
+
+// diffTail gates the soak p99.9: growth beyond TailPct is a regression,
+// shrinkage never fails (same direction as wall_ns, looser threshold — the
+// extreme tail is the metric the trace store retains requests by, and the
+// first to move when queueing goes wrong, but also the noisiest).
+func diffTail(b, h *BenchRun, opt DiffOptions, comparable bool) DiffCell {
+	c := DiffCell{
+		Bench: b.Bench, Mode: b.Mode, Metric: "p999_ns",
+		Base: b.P999NS, Head: h.P999NS, DeltaPct: deltaPct(b.P999NS, h.P999NS),
+	}
+	switch {
+	case !comparable:
+		c.Skipped, c.Note = true, "query census changed"
+	case opt.TailPct <= 0:
+		c.Skipped, c.Note = true, "tail gate disabled"
+	case b.P999NS < opt.MinTailNS:
+		c.Skipped, c.Note = true, "below noise floor"
+	default:
+		c.Regression = c.DeltaPct > opt.TailPct
 	}
 	return c
 }

@@ -300,3 +300,55 @@ func TestDiffNewHeadCell(t *testing.T) {
 		t.Fatalf("table did not pass:\n%s", sb.String())
 	}
 }
+
+// TestDiffTailDirection: the p999_ns cell is direction-aware like wall —
+// growth beyond TailPct fails, any shrinkage passes — and only appears when
+// both reports recorded a tail. Noise floor and -tail-pct 0 disable it.
+func TestDiffTailDirection(t *testing.T) {
+	soak := func(label string, p999 int64) *BenchReport {
+		r := diffRun("census", "serve-soak", 10*int64(time.Millisecond))
+		r.QPS, r.TargetQPS = 150, 150
+		r.P999NS = p999
+		return diffReport(label, r)
+	}
+	base := soak("base", 10*int64(time.Millisecond))
+
+	// +200% trips the default 150% gate.
+	d := DiffReports(base, soak("head", 30*int64(time.Millisecond)), DefaultDiffOptions())
+	c := findCell(t, d, "census", "serve-soak", "p999_ns")
+	if !c.Regression {
+		t.Fatalf("+200%% tail not flagged: %+v", c)
+	}
+
+	// +100% stays under it; a huge shrink is never a regression.
+	for _, head := range []int64{20 * int64(time.Millisecond), int64(time.Millisecond)} {
+		d = DiffReports(base, soak("head", head), DefaultDiffOptions())
+		if c := findCell(t, d, "census", "serve-soak", "p999_ns"); c.Regression {
+			t.Fatalf("tail %d flagged: %+v", head, c)
+		}
+	}
+
+	// Below the noise floor the cell is skipped, not gated.
+	tiny := soak("base", int64(100*time.Microsecond))
+	d = DiffReports(tiny, soak("head", int64(time.Millisecond)), DefaultDiffOptions())
+	if c := findCell(t, d, "census", "serve-soak", "p999_ns"); !c.Skipped || c.Regression {
+		t.Fatalf("sub-floor tail gated: %+v", c)
+	}
+
+	// -tail-pct 0 disables the gate.
+	opt := DefaultDiffOptions()
+	opt.TailPct = 0
+	d = DiffReports(base, soak("head", 100*int64(time.Millisecond)), opt)
+	if c := findCell(t, d, "census", "serve-soak", "p999_ns"); !c.Skipped || c.Regression {
+		t.Fatalf("disabled tail gate still fired: %+v", c)
+	}
+
+	// Rows without a recorded tail (plain bench cells) get no p999 cell.
+	d = DiffReports(diffReport("base", diffRun("b1", "dq", 1e7)),
+		diffReport("head", diffRun("b1", "dq", 1e7)), DefaultDiffOptions())
+	for _, c := range d.Cells {
+		if c.Metric == "p999_ns" {
+			t.Fatalf("tail cell on a row without p999: %+v", c)
+		}
+	}
+}

@@ -7,32 +7,119 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
-// Handler returns an http.Handler exposing the standard debug surface:
+// DebugMux is the daemon's debug surface: an http.ServeMux whose "/" index
+// is generated from the registered routes, so a newly mounted endpoint can
+// never be missing from the index (the hand-maintained list this replaces
+// had already drifted past /debug/bundle). Components layer their own
+// endpoints on with Handle; paths registered with an empty description
+// (pprof sub-handlers) serve but stay out of the index.
+type DebugMux struct {
+	mux *http.ServeMux
+
+	mu     sync.Mutex
+	routes []DebugRoute
+}
+
+// DebugRoute is one indexed debug endpoint.
+type DebugRoute struct {
+	Path string `json:"path"`
+	Desc string `json:"desc"`
+}
+
+// Handle mounts h at path and, when desc is non-empty, lists it in the "/"
+// index. Registering a path twice panics (http.ServeMux semantics).
+func (m *DebugMux) Handle(path, desc string, h http.Handler) {
+	m.mux.Handle(path, h)
+	if desc == "" {
+		return
+	}
+	m.mu.Lock()
+	m.routes = append(m.routes, DebugRoute{Path: path, Desc: desc})
+	sort.Slice(m.routes, func(i, j int) bool { return m.routes[i].Path < m.routes[j].Path })
+	m.mu.Unlock()
+}
+
+// HandleFunc is Handle for plain handler functions.
+func (m *DebugMux) HandleFunc(path, desc string, h func(http.ResponseWriter, *http.Request)) {
+	m.Handle(path, desc, http.HandlerFunc(h))
+}
+
+// Routes returns the indexed routes, path-sorted.
+func (m *DebugMux) Routes() []DebugRoute {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]DebugRoute, len(m.routes))
+	copy(out, m.routes)
+	return out
+}
+
+// ServeHTTP dispatches to the registered routes; unmatched paths get the
+// generated index.
+func (m *DebugMux) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	m.mux.ServeHTTP(w, r)
+}
+
+func (m *DebugMux) serveIndex(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	var b strings.Builder
+	b.WriteString("parcfl debug endpoint\n\n")
+	for _, rt := range m.Routes() {
+		b.WriteString(rt.Path)
+		if rt.Desc != "" {
+			pad := 24 - len(rt.Path)
+			if pad < 1 {
+				pad = 1
+			}
+			b.WriteString(strings.Repeat(" ", pad))
+			b.WriteString("— ")
+			b.WriteString(rt.Desc)
+		}
+		b.WriteByte('\n')
+	}
+	_, _ = w.Write([]byte(b.String()))
+}
+
+func jsonEnc(w http.ResponseWriter) *json.Encoder {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc
+}
+
+// NewDebugMux builds the standard debug surface over sink:
 //
-//	/debug/vars       — expvar (cmdline, memstats, and anything published)
-//	/debug/pprof/     — net/http/pprof profiles
-//	/debug/obs        — JSON Snapshot of the given sink (nil sink → zero snapshot)
-//	/debug/timeseries — flight-recorder history (obs.TimeSeries JSON; empty
-//	                    when no recorder is attached)
-//	/debug/heat       — PAG heat profile from the attached HeatSource (JSON;
-//	                    an empty object when none is attached)
-//	/debug/slo        — rolling SLO windows with burn rates (obs.SLOSnapshot
-//	                    JSON; zero-valued when no tracker is attached)
-//	/metrics          — Prometheus text exposition (counters, gauges, timers,
-//	                    latency histograms, flight-recorder last sample, heat
-//	                    top-k gauges); clients whose Accept header negotiates
-//	                    application/openmetrics-text get the OpenMetrics body
-//	                    with bucket exemplars, everyone else the classic
-//	                    v0.0.4 body (which cannot legally carry exemplars)
+//	/debug/vars        — expvar (cmdline, memstats, and anything published)
+//	/debug/pprof/      — net/http/pprof profiles
+//	/debug/obs         — JSON Snapshot of the given sink (nil sink → zero snapshot)
+//	/debug/timeseries  — flight-recorder history (obs.TimeSeries JSON; empty
+//	                     when no recorder is attached)
+//	/debug/heat        — PAG heat profile from the attached HeatSource (JSON;
+//	                     an empty object when none is attached)
+//	/debug/slo         — rolling SLO windows with burn rates (obs.SLOSnapshot
+//	                     JSON; zero-valued when no tracker is attached)
+//	/debug/statusz     — build/runtime identity (parcfl-statusz/v1)
+//	/debug/traces      — tail-sampled retained request traces
+//	                     (parcfl-traces/v1; ?rid= ?min_ns= ?outcome= ?policy=
+//	                     ?limit= filters); /debug/traces/{rid} exports that
+//	                     request as a standalone Perfetto JSON trace
+//	/metrics           — Prometheus text exposition (counters, gauges, timers,
+//	                     latency histograms, flight-recorder last sample, heat
+//	                     top-k gauges); clients whose Accept header negotiates
+//	                     application/openmetrics-text get the OpenMetrics body
+//	                     with bucket exemplars, everyone else the classic
+//	                     v0.0.4 body (which cannot legally carry exemplars)
 //
 // A dedicated mux is used so callers never pollute http.DefaultServeMux.
-func Handler(sink *Sink) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+func NewDebugMux(sink *Sink) *DebugMux {
+	m := &DebugMux{mux: http.NewServeMux()}
+	m.HandleFunc("/metrics", "Prometheus/OpenMetrics exposition", func(w http.ResponseWriter, r *http.Request) {
 		if acceptsOpenMetrics(r.Header.Get("Accept")) {
 			w.Header().Set("Content-Type", openMetricsContentType)
 			_ = WriteOpenMetrics(w, sink)
@@ -41,51 +128,106 @@ func Handler(sink *Sink) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = WriteProm(w, sink)
 	})
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(sink.Snapshot())
+	m.Handle("/debug/vars", "expvar", expvar.Handler())
+	m.HandleFunc("/debug/pprof/", "runtime profiles", pprof.Index)
+	m.HandleFunc("/debug/pprof/cmdline", "", pprof.Cmdline)
+	m.HandleFunc("/debug/pprof/profile", "", pprof.Profile)
+	m.HandleFunc("/debug/pprof/symbol", "", pprof.Symbol)
+	m.HandleFunc("/debug/pprof/trace", "", pprof.Trace)
+	m.HandleFunc("/debug/obs", "sink snapshot (counters/gauges/hists)", func(w http.ResponseWriter, r *http.Request) {
+		_ = jsonEnc(w).Encode(sink.Snapshot())
 	})
-	mux.HandleFunc("/debug/timeseries", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(sink.FlightRecorder().Snapshot())
+	m.HandleFunc("/debug/timeseries", "flight-recorder history", func(w http.ResponseWriter, r *http.Request) {
+		_ = jsonEnc(w).Encode(sink.FlightRecorder().Snapshot())
 	})
-	mux.HandleFunc("/debug/heat", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
+	m.HandleFunc("/debug/heat", "PAG heat profile", func(w http.ResponseWriter, r *http.Request) {
 		if h := sink.Heat(); h != nil {
-			_ = enc.Encode(h.HeatSnapshot())
+			_ = jsonEnc(w).Encode(h.HeatSnapshot())
 			return
 		}
+		w.Header().Set("Content-Type", "application/json")
 		_, _ = w.Write([]byte("{}\n"))
 	})
-	mux.HandleFunc("/debug/slo", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(sink.SLO().Snapshot())
+	m.HandleFunc("/debug/slo", "SLO windows and burn rates", func(w http.ResponseWriter, r *http.Request) {
+		_ = jsonEnc(w).Encode(sink.SLO().Snapshot())
 	})
-	mux.HandleFunc("/debug/statusz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		_ = enc.Encode(Status(sink))
+	m.HandleFunc("/debug/statusz", "build and runtime identity", func(w http.ResponseWriter, r *http.Request) {
+		_ = jsonEnc(w).Encode(Status(sink))
 	})
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = w.Write([]byte("parcfl debug endpoint\n\n/debug/vars\n/debug/pprof/\n/debug/obs\n/debug/timeseries\n/debug/heat\n/debug/slo\n/debug/statusz\n/metrics\n"))
+	m.HandleFunc("/debug/traces", "tail-sampled request traces", func(w http.ResponseWriter, r *http.Request) {
+		serveTraceSearch(w, r, sink.TraceStore())
 	})
-	return mux
+	m.HandleFunc("/debug/traces/", "", func(w http.ResponseWriter, r *http.Request) {
+		serveTraceGet(w, r, sink.TraceStore())
+	})
+	m.mux.HandleFunc("/", m.serveIndex)
+	return m
+}
+
+// Handler returns the standard debug surface over sink (see NewDebugMux).
+func Handler(sink *Sink) http.Handler { return NewDebugMux(sink) }
+
+// serveTraceSearch answers GET /debug/traces: the store snapshot plus
+// retained traces filtered by ?rid=, ?min_ns=, ?outcome= (class number or
+// name), ?policy= and ?limit= (default 32, 0 = all). A daemon without a
+// trace store serves the empty payload rather than a 404, so probes can
+// distinguish "nothing retained" from "no such route".
+func serveTraceSearch(w http.ResponseWriter, r *http.Request, ts *TraceStore) {
+	q := TraceQuery{Outcome: -1, Limit: 32}
+	qs := r.URL.Query()
+	q.RID = qs.Get("rid")
+	q.Policy = qs.Get("policy")
+	if v := qs.Get("min_ns"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad min_ns: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		q.MinTotalNS = n
+	}
+	if v := qs.Get("outcome"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			q.Outcome = n
+		} else {
+			found := false
+			for c := int64(0); c <= 3; c++ {
+				if OutcomeName(c) == v {
+					q.Outcome, found = c, true
+					break
+				}
+			}
+			if !found {
+				http.Error(w, "bad outcome: "+v, http.StatusBadRequest)
+				return
+			}
+		}
+	}
+	if v := qs.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad limit: "+v, http.StatusBadRequest)
+			return
+		}
+		q.Limit = n
+	}
+	_ = jsonEnc(w).Encode(ts.Dump(q))
+}
+
+// serveTraceGet answers GET /debug/traces/{rid}: the named request's
+// retained trace as a standalone Perfetto JSON file (404 when the rid is
+// not retained — evicted, sampled out, or never seen).
+func serveTraceGet(w http.ResponseWriter, r *http.Request, ts *TraceStore) {
+	rid := strings.TrimPrefix(r.URL.Path, "/debug/traces/")
+	if rid == "" {
+		serveTraceSearch(w, r, ts)
+		return
+	}
+	t, ok := ts.Get(rid)
+	if !ok {
+		http.Error(w, "trace not retained: "+rid, http.StatusNotFound)
+		return
+	}
+	_ = jsonEnc(w).Encode(RequestTraceEvents(t))
 }
 
 // openMetricsContentType is the Content-Type of an OpenMetrics scrape body.

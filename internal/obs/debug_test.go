@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestDebugIndexGenerated: the "/" index is generated from the registered
+// routes, so every described endpoint — including ones layered on after
+// construction, the way parcfld mounts /debug/bundle — appears, and
+// undescribed internals (pprof sub-handlers, the /debug/traces/ prefix) stay
+// out. This is the anti-drift property the hand-maintained index lacked.
+func TestDebugIndexGenerated(t *testing.T) {
+	s := New(Config{})
+	m := NewDebugMux(s)
+	m.HandleFunc("/debug/custom", "a layered-on endpoint", func(w http.ResponseWriter, r *http.Request) {})
+
+	srv := httptest.NewServer(m)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	for _, path := range []string{
+		"/metrics", "/debug/vars", "/debug/pprof/", "/debug/obs",
+		"/debug/timeseries", "/debug/heat", "/debug/slo", "/debug/statusz",
+		"/debug/traces", "/debug/custom",
+	} {
+		if !strings.Contains(body, path) {
+			t.Errorf("index missing %s:\n%s", path, body)
+		}
+	}
+	for _, hidden := range []string{"/debug/pprof/cmdline", "/debug/traces/\n"} {
+		if strings.Contains(body, hidden) {
+			t.Errorf("index lists undescribed route %q:\n%s", hidden, body)
+		}
+	}
+	// Every indexed path actually serves (no dangling index lines).
+	for _, rt := range m.Routes() {
+		r, err := http.Get(srv.URL + rt.Path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", rt.Path, err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d", rt.Path, r.StatusCode)
+		}
+	}
+}
+
+// TestDebugTracesEndpoints covers the /debug/traces surface end to end: the
+// storeless empty payload, search filters, bad-parameter rejection, and the
+// per-rid Perfetto export whose serve span carries the request identity.
+func TestDebugTracesEndpoints(t *testing.T) {
+	s := New(Config{})
+	srv := httptest.NewServer(NewDebugMux(s))
+	defer srv.Close()
+
+	// No store attached: empty payload with the schema, not a 404.
+	var p TracesPayload
+	getJSON(t, srv.URL+"/debug/traces", &p)
+	if p.Schema != TraceStoreSchema || len(p.Traces) != 0 {
+		t.Fatalf("storeless payload %+v", p)
+	}
+
+	ts := NewTraceStore(s, TraceStoreConfig{Capacity: 8, SampleRate: -1})
+	s.AttachTraceStore(ts)
+	ts.Offer(ReqTrace{
+		RID: "req-a", Seq: 3, Outcome: 1, TotalNS: 5_000,
+		Spans: []Span{{Kind: SpanServe, Worker: NoWorker, T: 10, Dur: 5_000, A: 3, C: 1}},
+	})
+	ts.Offer(ReqTrace{RID: "req-b", Seq: 4, Outcome: 2, TotalNS: 9_000})
+
+	getJSON(t, srv.URL+"/debug/traces", &p)
+	if len(p.Traces) != 2 || p.Traces[0].RID != "req-b" {
+		t.Fatalf("search = %+v", p.Traces)
+	}
+	getJSON(t, srv.URL+"/debug/traces?outcome=overload", &p)
+	if len(p.Traces) != 1 || p.Traces[0].RID != "req-a" {
+		t.Fatalf("outcome filter = %+v", p.Traces)
+	}
+	getJSON(t, srv.URL+"/debug/traces?min_ns=6000", &p)
+	if len(p.Traces) != 1 || p.Traces[0].RID != "req-b" {
+		t.Fatalf("min_ns filter = %+v", p.Traces)
+	}
+	if resp, err := http.Get(srv.URL + "/debug/traces?outcome=bogus"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad outcome = %d, want 400", resp.StatusCode)
+	}
+
+	// Per-rid export: standalone Perfetto file, serve span annotated with
+	// the trace identity the store minted.
+	var tf TraceFile
+	getJSON(t, srv.URL+"/debug/traces/req-a", &tf)
+	var serve *TraceEvent
+	for i := range tf.TraceEvents {
+		if tf.TraceEvents[i].Ph == "X" && tf.TraceEvents[i].Name == "serve" {
+			serve = &tf.TraceEvents[i]
+		}
+	}
+	if serve == nil {
+		t.Fatalf("no serve span in export: %+v", tf.TraceEvents)
+	}
+	if serve.Args["rid"] != "req-a" || serve.Args["outcome_name"] != "overload" ||
+		serve.Args["policy"] != "outcome" {
+		t.Fatalf("serve args %+v", serve.Args)
+	}
+	if tid, ok := serve.Args["trace_id"].(string); !ok || !isHexID(tid, 32) {
+		t.Fatalf("serve trace_id %+v", serve.Args["trace_id"])
+	}
+	if resp, err := http.Get(srv.URL + "/debug/traces/nope"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown rid = %d, want 404", resp.StatusCode)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}

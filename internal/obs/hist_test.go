@@ -142,3 +142,51 @@ func TestHistMerge(t *testing.T) {
 		t.Fatalf("merge = %+v", m)
 	}
 }
+
+// TestHistSub: Sub is the windowed-view primitive (watchdog p99-over-window,
+// trace-store threshold deltas). Normal deltas subtract element-wise; a
+// counter reset — the later snapshot smaller than the earlier one, e.g.
+// after a sink swap on warm restart — must clamp to zero everywhere rather
+// than go negative, because a negative count poisons every quantile
+// computed from the window.
+func TestHistSub(t *testing.T) {
+	var early, late HistSnapshot
+	early.Count, early.Sum = 10, 100
+	early.Buckets[1], early.Buckets[3] = 6, 4
+	late.Count, late.Sum = 15, 180
+	late.Buckets[1], late.Buckets[3], late.Buckets[4] = 8, 4, 3
+
+	d := late.Sub(early)
+	if d.Count != 5 || d.Sum != 80 {
+		t.Fatalf("delta count/sum = %d/%d, want 5/80", d.Count, d.Sum)
+	}
+	if d.Buckets[1] != 2 || d.Buckets[3] != 0 || d.Buckets[4] != 3 {
+		t.Fatalf("delta buckets = %v", d.Buckets[:6])
+	}
+
+	// Reset: subtracting a larger earlier snapshot clamps to zero.
+	r := early.Sub(late)
+	if r.Count != 0 || r.Sum != 0 {
+		t.Fatalf("reset delta count/sum = %d/%d, want 0/0", r.Count, r.Sum)
+	}
+	for i, b := range r.Buckets {
+		if b < 0 {
+			t.Fatalf("bucket %d went negative: %d", i, b)
+		}
+	}
+	// Mixed: some buckets grew while others reset; only the shrunk ones
+	// clamp, the grown ones keep their true delta.
+	var mixed HistSnapshot
+	mixed.Count, mixed.Sum = 12, 90
+	mixed.Buckets[1], mixed.Buckets[3] = 2, 10
+	md := mixed.Sub(early)
+	if md.Buckets[1] != 0 || md.Buckets[3] != 6 {
+		t.Fatalf("mixed delta buckets = %v", md.Buckets[:6])
+	}
+	if md.Count != 2 || md.Sum != 0 {
+		t.Fatalf("mixed delta count/sum = %d/%d, want 2/0", md.Count, md.Sum)
+	}
+	if q := md.Quantile(0.5); q < 0 {
+		t.Fatalf("quantile on clamped delta = %d", q)
+	}
+}

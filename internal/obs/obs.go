@@ -219,18 +219,19 @@ type Config struct {
 // Sink collects observations. The zero value is not usable; create with
 // New. A nil *Sink is the disabled sink: every method no-ops.
 type Sink struct {
-	start    time.Time
-	counters [NumCounters]paddedCounter
-	gauges   [NumGauges]atomic.Int64
-	timers   [NumTimers]struct{ n, ns atomic.Int64 }
-	hists    [NumHists]hist
-	workers  []WorkerStats
-	ring     *ring
-	spans     atomic.Pointer[spanRegion]
-	recorder  atomic.Pointer[Recorder]
-	heat      atomic.Pointer[heatBox]
-	slo       atomic.Pointer[SLO]
-	exemplars atomic.Pointer[exemplarTable]
+	start      time.Time
+	counters   [NumCounters]paddedCounter
+	gauges     [NumGauges]atomic.Int64
+	timers     [NumTimers]struct{ n, ns atomic.Int64 }
+	hists      [NumHists]hist
+	workers    []WorkerStats
+	ring       *ring
+	spans      atomic.Pointer[spanRegion]
+	recorder   atomic.Pointer[Recorder]
+	heat       atomic.Pointer[heatBox]
+	slo        atomic.Pointer[SLO]
+	exemplars  atomic.Pointer[exemplarTable]
+	tracestore atomic.Pointer[traceStoreBox]
 }
 
 // New creates a sink.

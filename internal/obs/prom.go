@@ -217,6 +217,40 @@ func writeExposition(w io.Writer, s *Sink, om bool) error {
 			}
 		}
 	}
+	// Trace-store retention state, when one is attached: how many request
+	// traces were offered / retained (by tail policy) / evicted, the live
+	// retained count against its bound, and the current slow threshold —
+	// enough to alert on "the interesting traces are being evicted faster
+	// than anyone could fetch them".
+	if ts := s.TraceStore(); ts != nil {
+		snap := ts.Snapshot()
+		counterHeader("parcfl_trace_observed_total", "Completed request traces offered to the trace store.")
+		bw.printf("parcfl_trace_observed_total %d\n", snap.Observed)
+		counterHeader("parcfl_trace_retained_total", "Request traces retained, by tail policy.")
+		for p := RetainPolicy(0); p < NumRetainPolicies; p++ {
+			bw.printf("parcfl_trace_retained_total{policy=%q} %d\n", p.String(), snap.RetainedByPolicy[p.String()])
+		}
+		counterHeader("parcfl_trace_dropped_total", "Request traces offered but not retained (sampled out).")
+		bw.printf("parcfl_trace_dropped_total %d\n", snap.Dropped)
+		counterHeader("parcfl_trace_evicted_total", "Retained traces overwritten by newer ones (ring full).")
+		bw.printf("parcfl_trace_evicted_total %d\n", snap.Evicted)
+		bw.printf("# HELP parcfl_trace_retained Retained request traces currently held.\n")
+		bw.printf("# TYPE parcfl_trace_retained gauge\n")
+		bw.printf("parcfl_trace_retained %d\n", snap.Retained)
+		bw.printf("# HELP parcfl_trace_capacity Trace-store ring capacity (memory bound, in traces).\n")
+		bw.printf("# TYPE parcfl_trace_capacity gauge\n")
+		bw.printf("parcfl_trace_capacity %d\n", snap.Capacity)
+		bw.printf("# HELP parcfl_trace_slow_threshold_ns Live slow-retention latency threshold (0 = inactive).\n")
+		bw.printf("# TYPE parcfl_trace_slow_threshold_ns gauge\n")
+		bw.printf("parcfl_trace_slow_threshold_ns %d\n", snap.ThresholdNS)
+		bw.printf("# HELP parcfl_trace_anomaly_active Whether the watchdog anomaly retention window is open.\n")
+		bw.printf("# TYPE parcfl_trace_anomaly_active gauge\n")
+		active := int64(0)
+		if snap.AnomalyActive {
+			active = 1
+		}
+		bw.printf("parcfl_trace_anomaly_active %d\n", active)
+	}
 	// The flight recorder's newest sample, one gauge per series under the
 	// parcfl_fr_ prefix (fr = flight recorder) so runtime series never
 	// collide with the engine counter/gauge names above.

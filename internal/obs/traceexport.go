@@ -135,34 +135,7 @@ func TraceEvents(s *Sink) TraceFile {
 				Args: map[string]any{"name": thread},
 			})
 		}
-		ev := TraceEvent{
-			Name: sp.Kind.String(),
-			Cat:  "parcfl",
-			Pid:  pid,
-			Tid:  tid,
-			Ts:   float64(sp.T) / 1e3,
-		}
-		if sp.Kind.Instant() {
-			ev.Ph = "i"
-			ev.S = "t"
-		} else {
-			ev.Ph = "X"
-			if sp.Dur > 0 {
-				ev.Dur = float64(sp.Dur) / 1e3
-			}
-		}
-		names := spanArgNames[sp.Kind]
-		vals := [3]int64{sp.A, sp.B, sp.C}
-		for i, n := range names {
-			if n == "" {
-				continue
-			}
-			if ev.Args == nil {
-				ev.Args = make(map[string]any, 3)
-			}
-			ev.Args[n] = vals[i]
-		}
-		tf.TraceEvents = append(tf.TraceEvents, ev)
+		tf.TraceEvents = append(tf.TraceEvents, spanEvent(sp, pid, tid))
 	}
 	if rec := s.FlightRecorder(); rec != nil {
 		ts := rec.Snapshot()
@@ -179,6 +152,81 @@ func TraceEvents(s *Sink) TraceFile {
 	}
 	if tf.TraceEvents == nil {
 		tf.TraceEvents = []TraceEvent{}
+	}
+	return tf
+}
+
+// spanEvent converts one span into its trace-event record on lane
+// (pid, tid), mapping the A/B/C payloads to named arguments.
+func spanEvent(sp Span, pid, tid int64) TraceEvent {
+	ev := TraceEvent{
+		Name: sp.Kind.String(),
+		Cat:  "parcfl",
+		Pid:  pid,
+		Tid:  tid,
+		Ts:   float64(sp.T) / 1e3,
+	}
+	if sp.Kind.Instant() {
+		ev.Ph = "i"
+		ev.S = "t"
+	} else {
+		ev.Ph = "X"
+		if sp.Dur > 0 {
+			ev.Dur = float64(sp.Dur) / 1e3
+		}
+	}
+	names := spanArgNames[sp.Kind]
+	vals := [3]int64{sp.A, sp.B, sp.C}
+	for i, n := range names {
+		if n == "" {
+			continue
+		}
+		if ev.Args == nil {
+			ev.Args = make(map[string]any, 3)
+		}
+		ev.Args[n] = vals[i]
+	}
+	return ev
+}
+
+// RequestTraceEvents converts one retained request trace into a standalone
+// Perfetto trace file: the request's phase spans on its "req N" lane in the
+// parcfl-requests process, with identity (rid, W3C trace/span ids, queried
+// variables, retention policy) attached as arguments on the serve span so
+// the viewer shows who the trace belongs to. The serve span's duration is
+// the reply's total_ns by construction — the trace and the reply the client
+// saw can never disagree.
+func RequestTraceEvents(t ReqTrace) TraceFile {
+	tf := TraceFile{DisplayTimeUnit: "ms"}
+	tf.TraceEvents = append(tf.TraceEvents, TraceEvent{
+		Name: "process_name", Ph: "M", Pid: traceRequestsPid, Tid: 1,
+		Args: map[string]any{"name": tracePidNames[traceRequestsPid]},
+	})
+	namedTids := map[[2]int64]bool{}
+	for _, sp := range t.Spans {
+		pid, tid, thread := spanLane(sp)
+		if lane := [2]int64{pid, tid}; !namedTids[lane] {
+			namedTids[lane] = true
+			tf.TraceEvents = append(tf.TraceEvents, TraceEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]any{"name": thread},
+			})
+		}
+		ev := spanEvent(sp, pid, tid)
+		if sp.Kind == SpanServe {
+			if ev.Args == nil {
+				ev.Args = make(map[string]any, 8)
+			}
+			ev.Args["rid"] = t.RID
+			ev.Args["trace_id"] = t.TraceID
+			ev.Args["span_id"] = t.SpanID
+			ev.Args["outcome_name"] = OutcomeName(t.Outcome)
+			ev.Args["policy"] = t.Policy
+			if len(t.Vars) > 0 {
+				ev.Args["vars"] = t.Vars
+			}
+		}
+		tf.TraceEvents = append(tf.TraceEvents, ev)
 	}
 	return tf
 }

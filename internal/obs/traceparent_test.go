@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMintParseRoundTrip: minted traceparents are valid, parse back to the
+// same identity, and successive mints never collide.
+func TestMintParseRoundTrip(t *testing.T) {
+	a := MintTraceParent()
+	if !a.Valid() {
+		t.Fatalf("minted traceparent invalid: %+v", a)
+	}
+	if a.Flags != 0x01 {
+		t.Fatalf("minted flags = %#x, want sampled (0x01)", a.Flags)
+	}
+	got, ok := ParseTraceParent(a.String())
+	if !ok || got != a {
+		t.Fatalf("round trip %q -> %+v ok=%v, want %+v", a.String(), got, ok, a)
+	}
+	if b := MintTraceParent(); b.TraceID == a.TraceID || b.SpanID == a.SpanID {
+		t.Fatalf("two mints collided: %+v vs %+v", a, b)
+	}
+	if sid := MintSpanID(); len(sid) != 16 || !isHexID(sid, 16) {
+		t.Fatalf("MintSpanID = %q, want 16 lowercase hex", sid)
+	}
+}
+
+// TestParseTraceParent pins the accept/reject behaviour against the W3C
+// grammar: well-formed version-00 values (and well-formed unknown versions)
+// parse; the invalid version ff, all-zero ids, wrong sizes, uppercase hex
+// and misplaced dashes are rejected — the caller mints fresh ids instead of
+// propagating garbage.
+func TestParseTraceParent(t *testing.T) {
+	const (
+		tid = "4bf92f3577b34da6a3ce929d0e0e4736"
+		sid = "00f067aa0ba902b7"
+	)
+	valid := "00-" + tid + "-" + sid + "-01"
+	cases := []struct {
+		in     string
+		ok     bool
+		flags  byte
+		reason string
+	}{
+		{valid, true, 0x01, "canonical version 00"},
+		{"00-" + tid + "-" + sid + "-00", true, 0x00, "unsampled"},
+		{"cc-" + tid + "-" + sid + "-09-extra", true, 0x09, "future version with suffix"},
+		{"ff-" + tid + "-" + sid + "-01", false, 0, "version ff is invalid"},
+		{"00-" + tid + "-" + sid + "-01-extra", false, 0, "version 00 forbids a suffix"},
+		{"cc-" + tid + "-" + sid + "-01x", false, 0, "suffix must start with a dash"},
+		{"00-" + strings.Repeat("0", 32) + "-" + sid + "-01", false, 0, "all-zero trace id"},
+		{"00-" + tid + "-" + strings.Repeat("0", 16) + "-01", false, 0, "all-zero span id"},
+		{"00-" + strings.ToUpper(tid) + "-" + sid + "-01", false, 0, "uppercase hex"},
+		{"00-" + tid + "-" + sid + "-zz", false, 0, "non-hex flags"},
+		{"00-" + tid[:31] + "g-" + sid + "-01", false, 0, "non-hex trace id"},
+		{"00_" + tid + "-" + sid + "-01", false, 0, "missing dash"},
+		{valid[:54], false, 0, "truncated"},
+		{"", false, 0, "empty"},
+	}
+	for _, c := range cases {
+		tp, ok := ParseTraceParent(c.in)
+		if ok != c.ok {
+			t.Errorf("%s: ParseTraceParent(%q) ok=%v, want %v", c.reason, c.in, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if tp.TraceID != tid || tp.SpanID != sid || tp.Flags != c.flags {
+			t.Errorf("%s: parsed %+v", c.reason, tp)
+		}
+	}
+}

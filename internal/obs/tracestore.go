@@ -1,0 +1,460 @@
+package obs
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceStore is a bounded, tail-sampling store of completed per-request
+// traces, queryable on a live daemon through /debug/traces. The server
+// assembles each request's phase spans at reply time and offers the trace
+// here; the store decides retention by a tail policy, most-interesting
+// first:
+//
+//  1. outcome — error / overloaded / deadline-exceeded requests are always
+//     retained (failures are the rarest and most valuable traces);
+//  2. anomaly — everything completing inside a watchdog anomaly window is
+//     retained (MarkAnomaly is called when a diagnostic trigger fires, so
+//     the requests surrounding an incident survive);
+//  3. slow — requests at or above a live histogram-derived latency
+//     threshold (the configured quantile of the server latency histogram,
+//     refreshed periodically) are retained;
+//  4. sampled — a deterministic pseudo-random fraction of the remainder is
+//     retained as a healthy-baseline control group.
+//
+// Retained traces land in a bounded overwrite-oldest ring, so memory stays
+// within Capacity entries forever and the store always holds the most
+// recent interesting window. Per-policy retention counters are exported as
+// parcfl_trace_* metrics.
+//
+// On-demand CFL-reachability serving is exactly the regime where this
+// matters: per-query costs are wildly skewed (a hot high-fan-in variable
+// walks orders of magnitude more PAG than the median query), so uniform
+// head sampling would drown the tail that operators actually debug.
+
+// TraceStoreSchema identifies the /debug/traces JSON layout.
+const TraceStoreSchema = "parcfl-traces/v1"
+
+// RetainPolicy says why a trace was kept.
+type RetainPolicy uint8
+
+const (
+	// RetainOutcome: non-success outcome (overload / deadline / error).
+	RetainOutcome RetainPolicy = iota
+	// RetainAnomaly: completed inside a watchdog anomaly window.
+	RetainAnomaly
+	// RetainSlow: total latency at or above the live threshold.
+	RetainSlow
+	// RetainSampled: probabilistically sampled healthy-baseline request.
+	RetainSampled
+
+	// NumRetainPolicies is the number of defined retention policies.
+	NumRetainPolicies
+)
+
+var retainNames = [NumRetainPolicies]string{"outcome", "anomaly", "slow", "sampled"}
+
+// String returns the policy's snake_case name.
+func (p RetainPolicy) String() string {
+	if int(p) < len(retainNames) {
+		return retainNames[p]
+	}
+	return "policy_unknown"
+}
+
+// OutcomeName maps a request outcome class (the SpanServe C payload:
+// 0 success, 1 overload, 2 deadline, 3 error) to its name.
+func OutcomeName(c int64) string {
+	switch c {
+	case 0:
+		return "success"
+	case 1:
+		return "overload"
+	case 2:
+		return "deadline"
+	default:
+		return "error"
+	}
+}
+
+// ReqTrace is one request's completed trace: identity, outcome, and the
+// phase spans reconstructed from its timings. Spans use the owning sink's
+// clock (T = ns since sink creation), matching the full -trace-out export.
+type ReqTrace struct {
+	RID     string `json:"rid"`
+	TraceID string `json:"trace_id,omitempty"` // 32-hex W3C trace id
+	SpanID  string `json:"span_id,omitempty"`  // server's 16-hex span id
+	Seq     int64  `json:"seq"`
+	Primary int64  `json:"primary,omitempty"` // seq whose computation answered this
+	Batch   int64  `json:"batch,omitempty"`
+	// Outcome is the request outcome class (see OutcomeName).
+	Outcome int64    `json:"outcome"`
+	Vars    []string `json:"vars,omitempty"`
+	// StartUnixNano anchors the sink-relative span clock to wall time.
+	StartUnixNano int64  `json:"start_unix_nano"`
+	TotalNS       int64  `json:"total_ns"`
+	Spans         []Span `json:"spans"`
+	// Policy is stamped by the store at retention time.
+	Policy string `json:"policy,omitempty"`
+}
+
+// TraceStoreConfig sizes and tunes a TraceStore. The zero value gets sane
+// defaults from NewTraceStore.
+type TraceStoreConfig struct {
+	// Capacity bounds the retained set (overwrite-oldest). Default 512.
+	Capacity int
+	// SampleRate is the probability a healthy, fast request is retained
+	// anyway as a baseline. Default 0.01; negative disables sampling.
+	SampleRate float64
+	// Seed seeds the sampling RNG (deterministic for tests). Default 1.
+	Seed int64
+	// SlowQuantile is the latency quantile used as the "slow" threshold.
+	// Default 0.99.
+	SlowQuantile float64
+	// Hist is the sink histogram the threshold is derived from.
+	// Default HistServerLatencyNS.
+	Hist HistID
+	// MinCount is the histogram population required before a threshold
+	// exists; below it the slow rule is inactive (a cold store falls back
+	// to sampling). Default 64.
+	MinCount int64
+	// RefreshEvery recomputes the cached threshold every N offers.
+	// Default 64.
+	RefreshEvery int64
+	// Now overrides the wall clock (tests). Default time.Now.
+	Now func() time.Time
+}
+
+// TraceStore holds retained request traces. Create with NewTraceStore and
+// attach with Sink.AttachTraceStore; a detached sink costs producers one
+// atomic load and zero allocations.
+type TraceStore struct {
+	cfg  TraceStoreConfig
+	sink *Sink // threshold histogram source (nil → slow rule inactive)
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	ring     []ReqTrace
+	next     int   // overwrite position once the ring is full
+	offers   int64 // offers since last threshold refresh
+	retained [NumRetainPolicies]int64
+
+	observed    atomic.Int64
+	dropped     atomic.Int64 // offered, not retained
+	evicted     atomic.Int64 // retained entries overwritten
+	thresholdNS atomic.Int64 // cached slow threshold (0 = inactive)
+	anomalyNS   atomic.Int64 // anomaly window end, sink-relative ns
+}
+
+// NewTraceStore creates a store deriving its slow threshold from sink's
+// latency histogram (sink may be nil: the slow rule stays inactive).
+func NewTraceStore(sink *Sink, cfg TraceStoreConfig) *TraceStore {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 512
+	}
+	if cfg.SampleRate == 0 {
+		cfg.SampleRate = 0.01
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.SlowQuantile <= 0 || cfg.SlowQuantile >= 1 {
+		cfg.SlowQuantile = 0.99
+	}
+	if cfg.Hist == 0 {
+		cfg.Hist = HistServerLatencyNS
+	}
+	if cfg.MinCount <= 0 {
+		cfg.MinCount = 64
+	}
+	if cfg.RefreshEvery <= 0 {
+		cfg.RefreshEvery = 64
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &TraceStore{
+		cfg:  cfg,
+		sink: sink,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		ring: make([]ReqTrace, 0, cfg.Capacity),
+	}
+}
+
+// AttachTraceStore attaches ts as the sink's trace store (nil detaches).
+// Producers discover it through TraceStore(); the swap is atomic.
+func (s *Sink) AttachTraceStore(ts *TraceStore) {
+	if s == nil {
+		return
+	}
+	s.tracestore.Store(&traceStoreBox{ts: ts})
+}
+
+// TraceStore returns the attached trace store, or nil. The detached path is
+// one atomic load — callers guard their trace assembly behind it so the
+// request hot path stays allocation-free when tracing is off.
+func (s *Sink) TraceStore() *TraceStore {
+	if s == nil {
+		return nil
+	}
+	b := s.tracestore.Load()
+	if b == nil {
+		return nil
+	}
+	return b.ts
+}
+
+// MarkAnomaly opens (or extends) the anomaly retention window for d from
+// now: every request completing before it closes is retained. The watchdog
+// calls this when any diagnostic trigger rule fires, so the requests around
+// an incident survive sampling. Nil-safe.
+func (ts *TraceStore) MarkAnomaly(d time.Duration) {
+	if ts == nil || d <= 0 {
+		return
+	}
+	until := ts.nowNS() + int64(d)
+	for {
+		cur := ts.anomalyNS.Load()
+		if until <= cur || ts.anomalyNS.CompareAndSwap(cur, until) {
+			return
+		}
+	}
+}
+
+// AnomalyActive reports whether the anomaly retention window is open.
+func (ts *TraceStore) AnomalyActive() bool {
+	return ts != nil && ts.anomalyNS.Load() > ts.nowNS()
+}
+
+// nowNS is the store's monotonic-enough clock in ns (sink-relative when a
+// sink is present, so it shares the span clock; wall otherwise).
+func (ts *TraceStore) nowNS() int64 {
+	if ts.sink != nil {
+		return ts.sink.Now()
+	}
+	return ts.cfg.Now().UnixNano()
+}
+
+// Offer presents a completed request trace for retention. The tail policy
+// decides: non-success outcomes, anomaly-window completions and
+// above-threshold latencies are always retained; the healthy remainder is
+// sampled at SampleRate. Missing trace/span ids are minted at retention
+// time from the store's seeded RNG (cheaper and deterministic, versus
+// crypto/rand per request on the hot path). Nil-safe.
+func (ts *TraceStore) Offer(t ReqTrace) {
+	if ts == nil {
+		return
+	}
+	ts.observed.Add(1)
+	policy, ok := ts.classify(&t)
+	if !ok {
+		ts.dropped.Add(1)
+		return
+	}
+	t.Policy = policy.String()
+
+	ts.mu.Lock()
+	ts.retained[policy]++
+	if t.TraceID == "" {
+		t.TraceID = ts.mintHexLocked(16)
+	}
+	if t.SpanID == "" {
+		t.SpanID = ts.mintHexLocked(8)
+	}
+	if len(ts.ring) < cap(ts.ring) {
+		ts.ring = append(ts.ring, t)
+	} else {
+		ts.ring[ts.next] = t
+		ts.next = (ts.next + 1) % cap(ts.ring)
+		ts.evicted.Add(1)
+	}
+	ts.mu.Unlock()
+}
+
+// classify applies the tail policy in order of interest.
+func (ts *TraceStore) classify(t *ReqTrace) (RetainPolicy, bool) {
+	if t.Outcome != 0 {
+		return RetainOutcome, true
+	}
+	if ts.anomalyNS.Load() > ts.nowNS() {
+		return RetainAnomaly, true
+	}
+	if thr := ts.threshold(); thr > 0 && t.TotalNS >= thr {
+		return RetainSlow, true
+	}
+	if ts.cfg.SampleRate > 0 {
+		ts.mu.Lock()
+		hit := ts.rng.Float64() < ts.cfg.SampleRate
+		ts.mu.Unlock()
+		if hit {
+			return RetainSampled, true
+		}
+	}
+	return 0, false
+}
+
+// threshold returns the cached slow threshold, refreshing it from the live
+// histogram every RefreshEvery offers. 0 means inactive (no sink, or the
+// histogram population is still below MinCount).
+func (ts *TraceStore) threshold() int64 {
+	ts.mu.Lock()
+	ts.offers++
+	due := ts.offers%ts.cfg.RefreshEvery == 1
+	ts.mu.Unlock()
+	if due && ts.sink != nil {
+		hs := ts.sink.Hist(ts.cfg.Hist)
+		if hs.Count >= ts.cfg.MinCount {
+			ts.thresholdNS.Store(hs.Quantile(ts.cfg.SlowQuantile))
+		} else {
+			ts.thresholdNS.Store(0)
+		}
+	}
+	return ts.thresholdNS.Load()
+}
+
+// mintHexLocked mints n random bytes as lowercase hex from the seeded RNG.
+// Callers hold ts.mu.
+func (ts *TraceStore) mintHexLocked(n int) string {
+	const digits = "0123456789abcdef"
+	b := make([]byte, 2*n)
+	for i := 0; i < len(b); i += 2 {
+		v := ts.rng.Intn(256)
+		b[i] = digits[v>>4]
+		b[i+1] = digits[v&0xf]
+	}
+	return string(b)
+}
+
+// TraceQuery filters a Search.
+type TraceQuery struct {
+	// RID matches the request id exactly ("" = any). A value that instead
+	// equals a retained trace's TraceID also matches, so operators can
+	// resolve by either handle.
+	RID string
+	// MinTotalNS drops faster traces (0 = any).
+	MinTotalNS int64
+	// Outcome matches the outcome class; negative = any.
+	Outcome int64
+	// Policy matches the retention policy name ("" = any).
+	Policy string
+	// Limit caps the result count (0 = no cap).
+	Limit int
+}
+
+// Search returns matching retained traces, newest first.
+func (ts *TraceStore) Search(q TraceQuery) []ReqTrace {
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	var out []ReqTrace
+	// Ring order: ts.next..end are oldest when full, 0..next newest; walk
+	// backwards from the newest insert.
+	n := len(ts.ring)
+	for i := 0; i < n; i++ {
+		idx := ts.next - 1 - i
+		if idx < 0 {
+			idx += n
+		}
+		t := ts.ring[idx]
+		if q.RID != "" && t.RID != q.RID && t.TraceID != q.RID {
+			continue
+		}
+		if q.MinTotalNS > 0 && t.TotalNS < q.MinTotalNS {
+			continue
+		}
+		if q.Outcome >= 0 && t.Outcome != q.Outcome {
+			continue
+		}
+		if q.Policy != "" && t.Policy != q.Policy {
+			continue
+		}
+		out = append(out, t)
+		if q.Limit > 0 && len(out) >= q.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// Get returns the most recently retained trace for rid (matching RID or
+// TraceID), if any.
+func (ts *TraceStore) Get(rid string) (ReqTrace, bool) {
+	hits := ts.Search(TraceQuery{RID: rid, Outcome: -1, Limit: 1})
+	if len(hits) == 0 {
+		return ReqTrace{}, false
+	}
+	return hits[0], true
+}
+
+// TraceStoreSnapshot is the store's counters at a point in time.
+type TraceStoreSnapshot struct {
+	Capacity    int   `json:"capacity"`
+	Retained    int   `json:"retained"` // live entries in the ring
+	Observed    int64 `json:"observed"` // traces offered
+	Dropped     int64 `json:"dropped"`  // offered, not retained
+	Evicted     int64 `json:"evicted"`  // retained, later overwritten
+	ThresholdNS int64 `json:"slow_threshold_ns"`
+	// AnomalyActive reports whether the anomaly window is currently open.
+	AnomalyActive bool `json:"anomaly_active"`
+	// RetainedByPolicy counts retention decisions per policy name.
+	RetainedByPolicy map[string]int64 `json:"retained_by_policy"`
+}
+
+// Snapshot captures the store's counters (zero value on nil).
+func (ts *TraceStore) Snapshot() TraceStoreSnapshot {
+	if ts == nil {
+		return TraceStoreSnapshot{RetainedByPolicy: map[string]int64{}}
+	}
+	snap := TraceStoreSnapshot{
+		Capacity:         cap(ts.ring),
+		Observed:         ts.observed.Load(),
+		Dropped:          ts.dropped.Load(),
+		Evicted:          ts.evicted.Load(),
+		ThresholdNS:      ts.thresholdNS.Load(),
+		AnomalyActive:    ts.AnomalyActive(),
+		RetainedByPolicy: make(map[string]int64, NumRetainPolicies),
+	}
+	ts.mu.Lock()
+	snap.Retained = len(ts.ring)
+	for p := RetainPolicy(0); p < NumRetainPolicies; p++ {
+		snap.RetainedByPolicy[p.String()] = ts.retained[p]
+	}
+	ts.mu.Unlock()
+	return snap
+}
+
+// retainedCount reads one policy's retention counter.
+func (ts *TraceStore) retainedCount(p RetainPolicy) int64 {
+	if ts == nil {
+		return 0
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.retained[p]
+}
+
+// TracesPayload is the /debug/traces response and the diag bundle's
+// traces.json artifact: store counters plus (filtered) retained traces.
+type TracesPayload struct {
+	Schema string             `json:"schema"`
+	Store  TraceStoreSnapshot `json:"store"`
+	Traces []ReqTrace         `json:"traces"`
+}
+
+// Dump packages the snapshot and matching traces (nil-safe; a nil store
+// yields an empty payload with the schema stamped).
+func (ts *TraceStore) Dump(q TraceQuery) TracesPayload {
+	p := TracesPayload{Schema: TraceStoreSchema, Store: ts.Snapshot(), Traces: ts.Search(q)}
+	if p.Traces == nil {
+		p.Traces = []ReqTrace{}
+	}
+	return p
+}
+
+// traceStoreBox wraps the pointer so detaching stores a non-nil box holding
+// nil, keeping AttachTraceStore(nil) and "never attached" one code path.
+type traceStoreBox struct{ ts *TraceStore }

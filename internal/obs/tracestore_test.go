@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fixedClock is a hand-advanced wall clock for stores without a sink.
+type fixedClock struct{ now time.Time }
+
+func (c *fixedClock) Now() time.Time { return c.now }
+
+// TestTraceStoreOutcomeAlwaysRetained: failure-class requests are retained
+// unconditionally — no sampling, no threshold, no anomaly window needed.
+func TestTraceStoreOutcomeAlwaysRetained(t *testing.T) {
+	ts := NewTraceStore(nil, TraceStoreConfig{Capacity: 8, SampleRate: -1})
+	for c := int64(1); c <= 3; c++ {
+		ts.Offer(ReqTrace{RID: fmt.Sprintf("fail-%d", c), Outcome: c, TotalNS: 1})
+	}
+	ts.Offer(ReqTrace{RID: "ok-1", Outcome: 0, TotalNS: 1})
+
+	if got := ts.retainedCount(RetainOutcome); got != 3 {
+		t.Fatalf("outcome retained = %d, want 3", got)
+	}
+	snap := ts.Snapshot()
+	if snap.Observed != 4 || snap.Dropped != 1 || snap.Retained != 3 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	for c := int64(1); c <= 3; c++ {
+		tr, ok := ts.Get(fmt.Sprintf("fail-%d", c))
+		if !ok || tr.Policy != "outcome" || tr.Outcome != c {
+			t.Fatalf("fail-%d: got %+v ok=%v", c, tr, ok)
+		}
+		if !isHexID(tr.TraceID, 32) || !isHexID(tr.SpanID, 16) {
+			t.Fatalf("fail-%d: ids not minted: %+v", c, tr)
+		}
+	}
+	if _, ok := ts.Get("ok-1"); ok {
+		t.Fatal("healthy request retained despite sampling disabled")
+	}
+}
+
+// TestTraceStoreEvictionOrder: the ring overwrites oldest-first, Search
+// returns newest-first, and the evicted counter tracks every overwrite —
+// the memory bound holds forever while the newest window survives.
+func TestTraceStoreEvictionOrder(t *testing.T) {
+	ts := NewTraceStore(nil, TraceStoreConfig{Capacity: 4, SampleRate: -1})
+	for i := 0; i < 7; i++ {
+		ts.Offer(ReqTrace{RID: fmt.Sprintf("r%d", i), Outcome: 1, TotalNS: int64(i)})
+	}
+	snap := ts.Snapshot()
+	if snap.Retained != 4 || snap.Evicted != 3 || snap.Capacity != 4 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	got := ts.Search(TraceQuery{Outcome: -1})
+	want := []string{"r6", "r5", "r4", "r3"}
+	if len(got) != len(want) {
+		t.Fatalf("search returned %d traces, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].RID != w {
+			t.Fatalf("search[%d] = %s, want %s (newest first)", i, got[i].RID, w)
+		}
+	}
+	if _, ok := ts.Get("r0"); ok {
+		t.Fatal("evicted trace still resolvable")
+	}
+	// Limit and MinTotalNS filters compose with the ring walk.
+	if hits := ts.Search(TraceQuery{Outcome: -1, Limit: 2}); len(hits) != 2 || hits[0].RID != "r6" {
+		t.Fatalf("limited search: %+v", hits)
+	}
+	if hits := ts.Search(TraceQuery{Outcome: -1, MinTotalNS: 5}); len(hits) != 2 {
+		t.Fatalf("min-latency search returned %d, want 2", len(hits))
+	}
+}
+
+// TestTraceStoreAnomalyWindow: MarkAnomaly retains everything until the
+// window closes, extensions only ever push the close later, and the
+// store's clock follows the injected Now.
+func TestTraceStoreAnomalyWindow(t *testing.T) {
+	clk := &fixedClock{now: time.Unix(1000, 0)}
+	ts := NewTraceStore(nil, TraceStoreConfig{Capacity: 8, SampleRate: -1, Now: clk.Now})
+
+	ts.Offer(ReqTrace{RID: "before", Outcome: 0})
+	if _, ok := ts.Get("before"); ok {
+		t.Fatal("retained before any anomaly")
+	}
+	if ts.AnomalyActive() {
+		t.Fatal("anomaly active before MarkAnomaly")
+	}
+
+	ts.MarkAnomaly(10 * time.Second)
+	ts.MarkAnomaly(2 * time.Second) // shorter re-mark must not shrink the window
+	if !ts.AnomalyActive() {
+		t.Fatal("anomaly window not open")
+	}
+	ts.Offer(ReqTrace{RID: "during", Outcome: 0})
+	tr, ok := ts.Get("during")
+	if !ok || tr.Policy != "anomaly" {
+		t.Fatalf("during window: %+v ok=%v", tr, ok)
+	}
+
+	clk.now = clk.now.Add(5 * time.Second) // inside 10s, past the 2s re-mark
+	ts.Offer(ReqTrace{RID: "still", Outcome: 0})
+	if _, ok := ts.Get("still"); !ok {
+		t.Fatal("shorter MarkAnomaly shrank the window")
+	}
+
+	clk.now = clk.now.Add(6 * time.Second) // 11s total: window closed
+	if ts.AnomalyActive() {
+		t.Fatal("anomaly window did not close")
+	}
+	ts.Offer(ReqTrace{RID: "after", Outcome: 0})
+	if _, ok := ts.Get("after"); ok {
+		t.Fatal("retained after the window closed")
+	}
+	if got := ts.retainedCount(RetainAnomaly); got != 2 {
+		t.Fatalf("anomaly retained = %d, want 2", got)
+	}
+}
+
+// TestTraceStoreSamplingDeterminism: with a fixed seed the sampled subset
+// is a deterministic function of the offer sequence — two stores configured
+// identically retain exactly the same rids, and the rate lands near the
+// configured fraction.
+func TestTraceStoreSamplingDeterminism(t *testing.T) {
+	mk := func() *TraceStore {
+		return NewTraceStore(nil, TraceStoreConfig{Capacity: 4096, SampleRate: 0.25, Seed: 7})
+	}
+	a, b := mk(), mk()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		tr := ReqTrace{RID: fmt.Sprintf("r%d", i), Outcome: 0}
+		a.Offer(tr)
+		b.Offer(tr)
+	}
+	as := a.Search(TraceQuery{Outcome: -1})
+	bs := b.Search(TraceQuery{Outcome: -1})
+	if len(as) != len(bs) {
+		t.Fatalf("same seed, different retained counts: %d vs %d", len(as), len(bs))
+	}
+	for i := range as {
+		if as[i].RID != bs[i].RID || as[i].TraceID != bs[i].TraceID {
+			t.Fatalf("same seed diverged at %d: %+v vs %+v", i, as[i], bs[i])
+		}
+	}
+	got := float64(len(as)) / n
+	if got < 0.20 || got > 0.30 {
+		t.Fatalf("sample rate %.3f too far from configured 0.25", got)
+	}
+	c := NewTraceStore(nil, TraceStoreConfig{Capacity: 4096, SampleRate: 0.25, Seed: 8})
+	for i := 0; i < n; i++ {
+		c.Offer(ReqTrace{RID: fmt.Sprintf("r%d", i), Outcome: 0})
+	}
+	cs := c.Search(TraceQuery{Outcome: -1})
+	same := len(cs) == len(as)
+	for i := 0; same && i < len(cs); i++ {
+		same = cs[i].RID == as[i].RID
+	}
+	if same {
+		t.Fatal("different seed produced an identical sampled subset")
+	}
+}
+
+// TestTraceStoreSlowThreshold: once the sink's latency histogram has
+// population, the store retains requests at or above the configured
+// quantile and reports the live threshold in its snapshot.
+func TestTraceStoreSlowThreshold(t *testing.T) {
+	s := New(Config{})
+	for i := 0; i < 100; i++ {
+		s.Observe(HistServerLatencyNS, int64(time.Millisecond))
+	}
+	ts := NewTraceStore(s, TraceStoreConfig{
+		Capacity: 8, SampleRate: -1, SlowQuantile: 0.99, MinCount: 10, RefreshEvery: 2,
+	})
+	s.AttachTraceStore(ts)
+
+	ts.Offer(ReqTrace{RID: "fast", Outcome: 0, TotalNS: int64(10 * time.Microsecond)})
+	ts.Offer(ReqTrace{RID: "slow", Outcome: 0, TotalNS: int64(time.Second)})
+
+	if _, ok := ts.Get("fast"); ok {
+		t.Fatal("fast request retained by the slow rule")
+	}
+	tr, ok := ts.Get("slow")
+	if !ok || tr.Policy != "slow" {
+		t.Fatalf("slow request: %+v ok=%v", tr, ok)
+	}
+	snap := ts.Snapshot()
+	if snap.ThresholdNS <= 0 || snap.ThresholdNS > int64(10*time.Millisecond) {
+		t.Fatalf("threshold %d ns implausible for a 1ms population", snap.ThresholdNS)
+	}
+	if snap.RetainedByPolicy["slow"] != 1 {
+		t.Fatalf("by-policy counters %+v", snap.RetainedByPolicy)
+	}
+}
+
+// TestTraceStoreNilSafety: every entry point is nil-safe, and Dump on a
+// detached daemon yields the empty payload with the schema stamped — the
+// /debug/traces contract for daemons started without a store.
+func TestTraceStoreNilSafety(t *testing.T) {
+	var ts *TraceStore
+	ts.Offer(ReqTrace{RID: "x", Outcome: 1})
+	ts.MarkAnomaly(time.Second)
+	if ts.AnomalyActive() {
+		t.Fatal("nil store has an anomaly window")
+	}
+	if got := ts.Search(TraceQuery{}); got != nil {
+		t.Fatalf("nil search = %+v", got)
+	}
+	if _, ok := ts.Get("x"); ok {
+		t.Fatal("nil store resolved a trace")
+	}
+	p := ts.Dump(TraceQuery{Outcome: -1})
+	if p.Schema != TraceStoreSchema || p.Traces == nil || len(p.Traces) != 0 {
+		t.Fatalf("nil dump %+v", p)
+	}
+
+	var s *Sink
+	s.AttachTraceStore(nil)
+	if s.TraceStore() != nil {
+		t.Fatal("nil sink returned a store")
+	}
+	live := New(Config{})
+	if live.TraceStore() != nil {
+		t.Fatal("fresh sink has a store attached")
+	}
+	live.AttachTraceStore(NewTraceStore(live, TraceStoreConfig{}))
+	if live.TraceStore() == nil {
+		t.Fatal("attach lost the store")
+	}
+	live.AttachTraceStore(nil)
+	if live.TraceStore() != nil {
+		t.Fatal("detach left the store attached")
+	}
+}
+
+// TestTraceStoreDetachedZeroAlloc pins the hot-path contract: with no store
+// attached, discovering that (the guard every reply path runs) allocates
+// nothing — tracing off must cost one atomic load.
+func TestTraceStoreDetachedZeroAlloc(t *testing.T) {
+	s := New(Config{})
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if ts := s.TraceStore(); ts != nil {
+			t.Fatal("store attached")
+		}
+	}); allocs != 0 {
+		t.Fatalf("detached TraceStore() allocates %.1f/op, want 0", allocs)
+	}
+}

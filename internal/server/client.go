@@ -11,6 +11,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"parcfl/internal/obs"
 )
 
 // OverloadedError reports a 429 from the daemon: admission control rejected
@@ -102,12 +104,12 @@ func (c *Client) WithRetry(p RetryPolicy) *Client {
 }
 
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	return c.doRid(ctx, "", method, path, in, out)
+	return c.doRid(ctx, "", "", method, path, in, out)
 }
 
-func (c *Client) doRid(ctx context.Context, rid, method, path string, in, out any) error {
+func (c *Client) doRid(ctx context.Context, rid, traceparent, method, path string, in, out any) error {
 	for attempt := 0; ; attempt++ {
-		err := c.doOnce(ctx, rid, method, path, in, out)
+		err := c.doOnce(ctx, rid, traceparent, method, path, in, out)
 		var oe *OverloadedError
 		if err == nil || !errors.As(err, &oe) || attempt+1 >= c.retry.MaxAttempts {
 			return err
@@ -130,7 +132,7 @@ func (c *Client) doRid(ctx context.Context, rid, method, path string, in, out an
 	}
 }
 
-func (c *Client) doOnce(ctx context.Context, rid, method, path string, in, out any) error {
+func (c *Client) doOnce(ctx context.Context, rid, traceparent, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		b, err := json.Marshal(in)
@@ -148,6 +150,9 @@ func (c *Client) doOnce(ctx context.Context, rid, method, path string, in, out a
 	}
 	if rid != "" {
 		req.Header.Set(RequestIDHeader, rid)
+	}
+	if traceparent != "" {
+		req.Header.Set(obs.TraceParentHeader, traceparent)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -216,10 +221,20 @@ func (c *Client) Query(ctx context.Context, vars []string, timeout time.Duration
 // QueryRequest is Query carrying an explicit request ID: requestID travels
 // as the X-Parcfl-Request-Id header (empty lets the server mint one) and
 // the full reply — echoed ID and per-variable phase timings — is returned.
+// The client mints a fresh W3C traceparent for the request (shared across
+// overload retries, so one logical request is one trace); callers that are
+// themselves part of a trace forward their own with QueryTraced.
 func (c *Client) QueryRequest(ctx context.Context, requestID string, vars []string, timeout time.Duration) (QueryReply, error) {
+	return c.QueryTraced(ctx, requestID, obs.MintTraceParent().String(), vars, timeout)
+}
+
+// QueryTraced is QueryRequest forwarding an explicit W3C traceparent header
+// value (empty sends none; the server then mints the trace id itself). The
+// reply's TraceID reports the trace the request was served under.
+func (c *Client) QueryTraced(ctx context.Context, requestID, traceparent string, vars []string, timeout time.Duration) (QueryReply, error) {
 	spec := QuerySpec{Vars: vars, TimeoutMS: timeout.Milliseconds()}
 	var reply QueryReply
-	if err := c.doRid(ctx, requestID, http.MethodPost, "/v1/query", &spec, &reply); err != nil {
+	if err := c.doRid(ctx, requestID, traceparent, http.MethodPost, "/v1/query", &spec, &reply); err != nil {
 		return QueryReply{}, err
 	}
 	if len(reply.Results) != len(vars) {

@@ -52,8 +52,13 @@ type QueryReply struct {
 	// RequestID echoes the client's X-Parcfl-Request-Id (or the
 	// server-minted fallback). The per-variable server-side sequence
 	// numbers live in each result's timings.
-	RequestID string      `json:"request_id,omitempty"`
-	Results   []VarResult `json:"results"`
+	RequestID string `json:"request_id,omitempty"`
+	// TraceID is the W3C trace id this request was served under — the
+	// client's traceparent trace id when one was forwarded, a server-minted
+	// one otherwise. The response's traceparent header carries the full
+	// version-00 value with the server's span id.
+	TraceID string      `json:"trace_id,omitempty"`
+	Results []VarResult `json:"results"`
 }
 
 // SnapshotSpec is the body of POST /v1/snapshot.
@@ -219,6 +224,20 @@ func (h *apiHandler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 	rid := r.Header.Get(RequestIDHeader)
+	// W3C trace propagation: continue the caller's trace under a fresh
+	// server span id, or mint a whole trace when the caller sent none (or
+	// sent garbage — malformed traceparent values must not propagate). The
+	// response always echoes the full value, so even an untraced caller
+	// learns the id its retained trace is filed under.
+	tp, traced := obs.ParseTraceParent(r.Header.Get(obs.TraceParentHeader))
+	if traced {
+		tp.SpanID = obs.MintSpanID()
+	} else {
+		tp = obs.MintTraceParent()
+	}
+	w.Header().Set(obs.TraceParentHeader, tp.String())
+	ctx = WithRID(ctx, rid)
+	ctx = WithTrace(ctx, tp.TraceID, tp.SpanID)
 	answers, err := h.srv.QueryBatchAnswers(ctx, vars)
 	if err != nil {
 		status := http.StatusInternalServerError
@@ -265,6 +284,7 @@ func (h *apiHandler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set(RequestIDHeader, rid)
 	reply.RequestID = rid
+	reply.TraceID = tp.TraceID
 	// Exemplar the request's latency bucket with its ID: the value is the
 	// same TotalNS the server already Observe()d for this request, so the
 	// exemplar lands in exactly the bucket this request incremented — and

@@ -32,6 +32,7 @@ package server
 import (
 	"context"
 	"errors"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -364,6 +365,70 @@ func RIDFrom(ctx context.Context) string {
 	return rid
 }
 
+// traceKey carries W3C trace identity (trace id + the server's span id for
+// this request) through the in-process query path, the way ridKey carries
+// the request ID.
+type traceKey struct{}
+
+type traceIDs struct{ traceID, spanID string }
+
+// WithTrace attaches a W3C trace id and the serving span id to ctx; retained
+// request traces carry them, so a parcfl trace joins the caller's own
+// distributed trace. Empty values are fine (the trace store mints ids for
+// untraced requests at retention time).
+func WithTrace(ctx context.Context, traceID, spanID string) context.Context {
+	if traceID == "" && spanID == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, traceIDs{traceID, spanID})
+}
+
+// TraceFrom returns the trace identity attached by WithTrace ("" when none).
+func TraceFrom(ctx context.Context) (traceID, spanID string) {
+	ids, _ := ctx.Value(traceKey{}).(traceIDs)
+	return ids.traceID, ids.spanID
+}
+
+// offerTrace assembles this request's phase spans from its reply-time
+// timings and offers the completed trace to the attached store. Built from
+// the same Timings the caller returns, the serve span's duration IS the
+// reply's total_ns — the live trace and the client's reply can never
+// disagree. Callers guard on TraceStore() != nil, so a detached sink costs
+// the reply path one atomic load and zero allocations.
+func (s *Server) offerTrace(ts *obs.TraceStore, ctx context.Context, v pag.NodeID, t Timings, outcome int64, entered time.Time, enteredNS, depth, class int64) {
+	rid := RIDFrom(ctx)
+	if rid == "" {
+		// Match the HTTP handler's fallback mint so both surfaces agree on
+		// the rid a trace is stored under.
+		rid = "srv-" + strconv.FormatInt(t.Seq, 10)
+	}
+	traceID, spanID := TraceFrom(ctx)
+	baseNS := enteredNS
+	if baseNS == 0 {
+		// Span tracing off: place the spans on the sink clock from the
+		// total, so the export still lines up with any enabled-later spans.
+		baseNS = s.sink.Now() - t.TotalNS
+		if baseNS < 0 {
+			baseNS = 0
+		}
+	}
+	spans := make([]obs.Span, 0, 3)
+	if outcome == outcomeSuccess {
+		spans = append(spans,
+			obs.Span{Kind: obs.SpanAdmit, Worker: obs.NoWorker, T: baseNS, Dur: t.AdmitNS, A: t.Seq, B: depth, C: class},
+			obs.Span{Kind: obs.SpanQueueWait, Worker: obs.NoWorker, T: baseNS + t.AdmitNS, Dur: t.QueueWaitNS, A: t.Seq, B: t.Batch},
+		)
+	}
+	spans = append(spans, obs.Span{Kind: obs.SpanServe, Worker: obs.NoWorker, T: baseNS, Dur: t.TotalNS, A: t.Seq, B: t.Primary, C: outcome})
+	ts.Offer(obs.ReqTrace{
+		RID: rid, TraceID: traceID, SpanID: spanID,
+		Seq: t.Seq, Primary: t.Primary, Batch: t.Batch, Outcome: outcome,
+		Vars:          []string{s.graph.Node(v).Name},
+		StartUnixNano: entered.UnixNano(), TotalNS: t.TotalNS,
+		Spans: spans,
+	})
+}
+
 // QueryRequest is Query plus request identity and phase attribution: the
 // returned Answer carries the request's sequence number, the batch that
 // solved it, which request's computation it rode, and a per-phase latency
@@ -390,6 +455,10 @@ func (s *Server) QueryRequest(ctx context.Context, v pag.NodeID) (Answer, error)
 		s.mu.Unlock()
 		s.sink.Add(obs.CtrServerRejected, 1)
 		s.sink.Span(obs.SpanServe, obs.NoWorker, enteredNS, seq, seq, outcomeOverload)
+		if ts := s.sink.TraceStore(); ts != nil {
+			s.offerTrace(ts, ctx, v, Timings{Seq: seq, Primary: seq, TotalNS: time.Since(entered).Nanoseconds()},
+				outcomeOverload, entered, enteredNS, 0, admitNew)
+		}
 		return Answer{}, ErrClosed
 	case len(s.inflight[v]) > 0:
 		// Already being computed: ride the in-flight batch.
@@ -418,6 +487,10 @@ func (s *Server) QueryRequest(ctx context.Context, v pag.NodeID) (Answer, error)
 		s.mu.Unlock()
 		s.sink.Add(obs.CtrServerRejected, 1)
 		s.sink.Span(obs.SpanServe, obs.NoWorker, enteredNS, seq, seq, outcomeOverload)
+		if ts := s.sink.TraceStore(); ts != nil {
+			s.offerTrace(ts, ctx, v, Timings{Seq: seq, Primary: seq, TotalNS: time.Since(entered).Nanoseconds()},
+				outcomeOverload, entered, enteredNS, 0, admitNew)
+		}
 		return Answer{}, ErrOverloaded
 	default:
 		s.pending[v] = []waiter{w}
@@ -453,6 +526,9 @@ func (s *Server) QueryRequest(ctx context.Context, v pag.NodeID) (Answer, error)
 			s.sink.SpanAt(obs.SpanQueueWait, obs.NoWorker, admitDoneNS, t.QueueWaitNS, seq, msg.batch, 0)
 			s.sink.SpanAt(obs.SpanServe, obs.NoWorker, enteredNS, t.TotalNS, seq, msg.primary, outcomeSuccess)
 		}
+		if ts := s.sink.TraceStore(); ts != nil {
+			s.offerTrace(ts, ctx, v, t, outcomeSuccess, entered, enteredNS, depth, class)
+		}
 		return Answer{Result: msg.result, Timings: t}, nil
 	case <-ctx.Done():
 		// The replied stamp for an abandoned waiter: its serve span closes
@@ -461,6 +537,10 @@ func (s *Server) QueryRequest(ctx context.Context, v pag.NodeID) (Answer, error)
 		s.stats.timeouts.Add(1)
 		s.sink.Add(obs.CtrServerTimeouts, 1)
 		s.sink.Span(obs.SpanServe, obs.NoWorker, enteredNS, seq, primary, outcomeDeadline)
+		if ts := s.sink.TraceStore(); ts != nil {
+			s.offerTrace(ts, ctx, v, Timings{Seq: seq, Primary: primary, Coalesced: class != admitNew,
+				TotalNS: time.Since(entered).Nanoseconds()}, outcomeDeadline, entered, enteredNS, depth, class)
+		}
 		return Answer{}, ctx.Err()
 	}
 }

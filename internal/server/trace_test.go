@@ -1,0 +1,176 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"parcfl/internal/obs"
+	"parcfl/internal/pag"
+)
+
+// storeServer is tracedServer plus an attached retain-everything trace
+// store, so every request's reply-time trace is resolvable in the test.
+func storeServer(t *testing.T) (*Server, pag.NodeID, string, *obs.TraceStore) {
+	t.Helper()
+	srv, sink, lo := tracedServer(t, Config{BatchWindow: -1})
+	t.Cleanup(srv.Close)
+	ts := obs.NewTraceStore(sink, obs.TraceStoreConfig{Capacity: 64, SampleRate: 1})
+	sink.AttachTraceStore(ts)
+	v := lo.AppQueryVars[0]
+	return srv, v, srv.Graph().Node(v).Name, ts
+}
+
+// TestTraceparentPropagation: a client-minted traceparent travels the HTTP
+// hop — the response echoes the header with the caller's trace id but a
+// fresh server span id, the reply body names the trace, and the retained
+// trace carries the same identity, so the parcfl trace joins the caller's
+// distributed trace end to end.
+func TestTraceparentPropagation(t *testing.T) {
+	srv, _, name, store := storeServer(t)
+	hts := httptest.NewServer(NewHandler(srv, HandlerConfig{}))
+	defer hts.Close()
+
+	in := obs.MintTraceParent()
+	body, _ := json.Marshal(QuerySpec{Vars: []string{name}})
+	req, err := http.NewRequest(http.MethodPost, hts.URL+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(RequestIDHeader, "traced-rid-1")
+	req.Header.Set(obs.TraceParentHeader, in.String())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	echo, ok := obs.ParseTraceParent(resp.Header.Get(obs.TraceParentHeader))
+	if !ok {
+		t.Fatalf("response traceparent %q unparseable", resp.Header.Get(obs.TraceParentHeader))
+	}
+	if echo.TraceID != in.TraceID {
+		t.Fatalf("trace id changed across the hop: sent %s, got %s", in.TraceID, echo.TraceID)
+	}
+	if echo.SpanID == in.SpanID {
+		t.Fatal("server did not mint its own span id")
+	}
+	var reply QueryReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.TraceID != in.TraceID {
+		t.Fatalf("reply trace_id %q, want %q", reply.TraceID, in.TraceID)
+	}
+
+	tr, found := store.Get("traced-rid-1")
+	if !found {
+		t.Fatal("request not retained")
+	}
+	if tr.TraceID != in.TraceID || tr.SpanID != echo.SpanID {
+		t.Fatalf("retained identity %s/%s, want %s/%s", tr.TraceID, tr.SpanID, in.TraceID, echo.SpanID)
+	}
+}
+
+// TestTraceparentMintedWhenAbsent: with no (or a malformed) incoming
+// traceparent the server mints the whole trace — the response header is a
+// fresh valid value and the reply still names the trace.
+func TestTraceparentMintedWhenAbsent(t *testing.T) {
+	srv, _, name, _ := storeServer(t)
+	hts := httptest.NewServer(NewHandler(srv, HandlerConfig{}))
+	defer hts.Close()
+
+	for _, incoming := range []string{"", "ff-garbage"} {
+		body, _ := json.Marshal(QuerySpec{Vars: []string{name}})
+		req, _ := http.NewRequest(http.MethodPost, hts.URL+"/v1/query", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		if incoming != "" {
+			req.Header.Set(obs.TraceParentHeader, incoming)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp, ok := obs.ParseTraceParent(resp.Header.Get(obs.TraceParentHeader))
+		var reply QueryReply
+		err = json.NewDecoder(resp.Body).Decode(&reply)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || !tp.Valid() {
+			t.Fatalf("incoming %q: response traceparent invalid", incoming)
+		}
+		if reply.TraceID != tp.TraceID {
+			t.Fatalf("incoming %q: reply trace_id %q != header %q", incoming, reply.TraceID, tp.TraceID)
+		}
+	}
+}
+
+// TestRetainedTraceMatchesReply is the live-trace contract: the retained
+// trace's serve span duration IS the total_ns the reply carried (built from
+// the same Timings), its phase spans cover admit and queue_wait, and the
+// queried variable rides along — GET /debug/traces/{rid} can never disagree
+// with what the client saw.
+func TestRetainedTraceMatchesReply(t *testing.T) {
+	srv, v, name, store := storeServer(t)
+	hts := httptest.NewServer(NewHandler(srv, HandlerConfig{}))
+	defer hts.Close()
+
+	cl := NewClient(hts.URL, nil)
+	reply, err := cl.QueryRequest(context.Background(), "match-rid-1", []string{name}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := reply.Results[0].Timings
+	if tm == nil {
+		t.Fatal("no timings on the wire")
+	}
+
+	tr, ok := store.Get("match-rid-1")
+	if !ok {
+		t.Fatal("request not retained")
+	}
+	if tr.Seq != tm.Seq || tr.Batch != tm.Batch || tr.TotalNS != tm.TotalNS {
+		t.Fatalf("retained %+v != reply timings %+v", tr, tm)
+	}
+	if len(tr.Vars) != 1 || tr.Vars[0] != name {
+		t.Fatalf("retained vars %v, want [%s]", tr.Vars, name)
+	}
+	var serve *obs.Span
+	phases := map[obs.SpanKind]bool{}
+	for i := range tr.Spans {
+		phases[tr.Spans[i].Kind] = true
+		if tr.Spans[i].Kind == obs.SpanServe {
+			serve = &tr.Spans[i]
+		}
+	}
+	if serve == nil || !phases[obs.SpanAdmit] || !phases[obs.SpanQueueWait] {
+		t.Fatalf("phase spans incomplete: %+v", tr.Spans)
+	}
+	if serve.Dur != tm.TotalNS {
+		t.Fatalf("serve span dur %d != reply total_ns %d", serve.Dur, tm.TotalNS)
+	}
+	if serve.C != 0 {
+		t.Fatalf("serve outcome %d, want success", serve.C)
+	}
+
+	// The in-process path agrees: WithRID + WithTrace thread identity to the
+	// same offer, under the same rid scheme the soak harness uses.
+	ctx := WithTrace(WithRID(context.Background(), "match-rid-2"), "a1b2", "c3d4")
+	if _, err := srv.QueryRequest(ctx, v); err != nil {
+		t.Fatal(err)
+	}
+	tr2, ok := store.Get("match-rid-2")
+	if !ok {
+		t.Fatal("in-process request not retained")
+	}
+	if tr2.TraceID != "a1b2" || tr2.SpanID != "c3d4" {
+		t.Fatalf("in-process trace identity %+v", tr2)
+	}
+}

@@ -26,6 +26,7 @@ cleanup() {
   # diagnostic bundle so the CI artifact holds the evidence.
   if [ "$status" -ne 0 ] && [ -n "$DPID" ] && kill -0 "$DPID" 2>/dev/null && [ -n "${ADDR:-}" ]; then
     echo "smoke failed (exit $status): capturing diagnostic bundle from $ADDR"
+    curl -sf "http://$ADDR/debug/traces?limit=0" -o "$WORK/failure-traces.json" 2>/dev/null || true
     curl -sf "http://$ADDR/debug/bundle?trigger=1&reason=smoke-failure" >/dev/null 2>&1 || true
     FID=$(curl -sf "http://$ADDR/debug/bundle" 2>/dev/null \
       | python3 -c 'import json,sys; bs=json.load(sys.stdin)["bundles"]; print(bs[-1]["id"] if bs else "")' 2>/dev/null || true)
@@ -71,6 +72,7 @@ import json, sys
 r = json.load(open(sys.argv[1]))
 # Run-specific telemetry differs cold vs warm; only the answers must match.
 r.pop("request_id", None)
+r.pop("trace_id", None)
 for res in r["results"]:
     res.pop("steps", None)
     res.pop("timings", None)

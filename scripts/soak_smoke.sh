@@ -3,6 +3,10 @@
 # tracing on, soak it with open-loop load (parcflload), and assert:
 #   - the soak report is well-formed parcfl-soak/v1 with zero error-class
 #     responses and a top-K slowest-request list;
+#   - every top-K slow rid resolves LIVE against the daemon's tail-sampled
+#     trace store via parcflctl traces get, to a Perfetto trace whose serve
+#     span duration equals the total_ns the report recorded for it;
+#   - the parcfl_trace_* metrics are live and the store respects its bound;
 #   - the parcfl_slo_* gauges and /debug/slo burn-rate snapshot are live and
 #     nonzero after the load;
 #   - the shutdown trace contains the lifecycle lane of a chosen request
@@ -29,6 +33,7 @@ cd "$(dirname "$0")/.."
 go build -o "$WORK/parcfld" ./cmd/parcfld
 go build -o "$WORK/parcflq" ./cmd/parcflq
 go build -o "$WORK/parcflload" ./cmd/parcflload
+go build -o "$WORK/parcflctl" ./cmd/parcflctl
 
 DPID=""
 cleanup() {
@@ -37,6 +42,9 @@ cleanup() {
   # daemon's diagnostic bundle so the CI artifact holds the evidence.
   if [ "$status" -ne 0 ] && [ -n "$DPID" ] && kill -0 "$DPID" 2>/dev/null && [ -n "${ADDR:-}" ]; then
     echo "smoke failed (exit $status): capturing diagnostic bundle from $ADDR"
+    # Every retained request trace rides along with the bundle: the tail
+    # the store kept is exactly the evidence a failed smoke needs.
+    curl -sf "http://$ADDR/debug/traces?limit=0" -o "$WORK/failure-traces.json" 2>/dev/null || true
     curl -sf "http://$ADDR/debug/bundle?trigger=1&reason=smoke-failure" >/dev/null 2>&1 || true
     FID=$(curl -sf "http://$ADDR/debug/bundle" 2>/dev/null \
       | python3 -c 'import json,sys; bs=json.load(sys.stdin)["bundles"]; print(bs[-1]["id"] if bs else "")' 2>/dev/null || true)
@@ -85,7 +93,12 @@ stop_daemon
 [ -s "$WORK/warm.pag" ] || { echo "FAIL: no snapshot to warm-start from"; exit 1; }
 
 echo "== warm start with tracing, soak =="
-start_daemon warm.log -trace-out "$WORK/trace.json"
+# -trace-sample 1 retains every request (capacity 2048 > everything the
+# soak sends), so resolving each top-K slow rid below is deterministic;
+# policy-based tail retention (anomaly window, outcome) is exercised by the
+# anomaly phase, and the sampling/slow policies by the unit tests.
+start_daemon warm.log -trace-out "$WORK/trace.json" \
+  -trace-store 2048 -trace-sample 1
 grep -q "warm start" "$WORK/warm.log" || { echo "FAIL: daemon did not warm-start"; cat "$WORK/warm.log"; exit 1; }
 
 "$WORK/parcflload" -addr "$ADDR" -rate "$RATE" -duration "$DUR" \
@@ -140,6 +153,56 @@ print(f"slo OK: {ok} successes, availability {w['availability']:.4f}, "
       f"avail burn {w['avail_burn_rate']:.2f} over {w['window_sec']}s")
 EOF
 
+# Live trace store: every top-K slow rid from the soak report must resolve
+# against the running daemon to a Perfetto trace whose serve span equals the
+# total_ns the report recorded — the "follow one slow request" loop, closed
+# while the daemon is still serving.
+"$WORK/parcflctl" -addr "$ADDR" traces ls -limit 5 | tee "$WORK/traces-ls.txt"
+SLOW_RIDS=$(python3 -c '
+import json, sys
+r = json.load(open(sys.argv[1]))
+print("\n".join(s["rid"] for s in r.get("slowest") or []))' "$WORK/soak.json")
+[ -n "$SLOW_RIDS" ] || { echo "FAIL: soak report lists no slow rids"; exit 1; }
+for RID in $SLOW_RIDS; do
+  "$WORK/parcflctl" -addr "$ADDR" traces get "$RID" -o "$WORK/slow-$RID.json" >/dev/null \
+    || { echo "FAIL: slow rid $RID did not resolve at /debug/traces/"; exit 1; }
+  python3 - "$WORK/slow-$RID.json" "$WORK/soak.json" "$RID" <<'EOF'
+import json, sys
+trace, rep, rid = json.load(open(sys.argv[1])), json.load(open(sys.argv[2])), sys.argv[3]
+want = next(s for s in rep["slowest"] if s["rid"] == rid)
+spans = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+serve = next(e for e in spans if e["name"] == "serve")
+assert serve["args"]["rid"] == rid, (serve["args"], rid)
+assert serve["args"]["outcome_name"] == "success", serve["args"]
+# serve dur is us from the same server stamps the report's timings carry.
+total_ns = want["timings"]["total_ns"]
+assert abs(serve["dur"] * 1e3 - total_ns) < 2e3, (serve["dur"], total_ns)
+names = {e["name"] for e in spans}
+assert {"admit", "queue_wait"} <= names, names
+print(f"slow rid {rid} resolved live: serve {serve['dur']:.0f}us == "
+      f"report {total_ns/1e3:.0f}us, policy {serve['args']['policy']}")
+EOF
+done
+
+# Trace-store metrics: the parcfl_trace_* series are live and the retained
+# set respects the configured bound.
+for series in parcfl_trace_observed_total parcfl_trace_retained_total \
+  parcfl_trace_retained parcfl_trace_capacity; do
+  grep -q "^$series" "$WORK/metrics.txt" \
+    || { echo "FAIL: /metrics missing $series"; exit 1; }
+done
+curl -sf "http://$ADDR/debug/traces?limit=1" >"$WORK/traces-head.json"
+python3 - "$WORK/traces-head.json" <<'EOF'
+import json, sys
+p = json.load(open(sys.argv[1]))
+assert p["schema"] == "parcfl-traces/v1", p["schema"]
+st = p["store"]
+assert 0 < st["retained"] <= st["capacity"], st
+assert st["observed"] >= st["retained"], st
+print(f"trace store OK: {st['retained']}/{st['capacity']} retained "
+      f"of {st['observed']} observed")
+EOF
+
 stop_daemon
 grep -q "trace written to" "$WORK/warm.log" || { echo "FAIL: no trace on shutdown"; cat "$WORK/warm.log"; exit 1; }
 
@@ -178,9 +241,12 @@ echo "== anomaly phase: injected overload fires the bundle watchdog =="
 # requests waiting: the queue high-water and windowed-p99 rules both have
 # something to fire on within one 1s evaluation tick.
 rm -rf "$WORK/bundles"
+# -bundle-anomaly-window 30s: any watchdog firing holds the trace store's
+# retain-everything window open across the whole phase, so the post-soak
+# chosen request below is deterministically retained with policy "anomaly".
 start_daemon anomaly.log -batch-window 50ms -queue 8 \
   -bundle-queue-high 1 -bundle-p99 1ms -bundle-cooldown 1s \
-  -bundle-cpu-profile 50ms -bundle-retain 4
+  -bundle-cpu-profile 50ms -bundle-retain 4 -bundle-anomaly-window 30s
 
 "$WORK/parcflload" -addr "$ADDR" -rate 300 -duration 2500ms -retry=false \
   -bundle-on-fail "$WORK/load-bundles" -json "$WORK/soak-anomaly.json" \
@@ -218,6 +284,27 @@ grep -q '^# EOF' "$WORK/metrics-anomaly.txt" \
   || { echo "FAIL: OpenMetrics body missing # EOF terminator"; exit 1; }
 curl -sf "http://$ADDR/debug/statusz" >"$WORK/statusz.json"
 
+# The watchdog firing opened the trace store's anomaly window, so the chosen
+# request — a healthy success that neither sampling nor the slow threshold
+# would have to keep — is retained with policy "anomaly" and resolves live.
+"$WORK/parcflctl" -addr "$ADDR" traces get smoke-anomaly-7 \
+  -o "$WORK/anomaly-trace.json" >/dev/null \
+  || { echo "FAIL: smoke-anomaly-7 not retained during anomaly window"; exit 1; }
+python3 - "$WORK/anomaly-trace.json" "$WORK/anomaly-chosen.json" <<'EOF'
+import json, sys
+trace, reply = json.load(open(sys.argv[1])), json.load(open(sys.argv[2]))
+serve = next(e for e in trace["traceEvents"]
+             if e.get("ph") == "X" and e["name"] == "serve")
+assert serve["args"]["rid"] == "smoke-anomaly-7", serve["args"]
+assert serve["args"]["policy"] == "anomaly", serve["args"]
+total_ns = reply["results"][0]["timings"]["total_ns"]
+assert abs(serve["dur"] * 1e3 - total_ns) < 2e3, (serve["dur"], total_ns)
+assert serve["args"]["trace_id"] == reply["trace_id"], \
+    (serve["args"]["trace_id"], reply.get("trace_id"))
+print(f"anomaly retention OK: smoke-anomaly-7 kept by window, "
+      f"trace_id {reply['trace_id'][:8]}.., serve {serve['dur']:.0f}us")
+EOF
+
 sleep 1.2  # clear the manual rule's cooldown (parcflload may have used it)
 MANUAL=$(curl -sf "http://$ADDR/debug/bundle?trigger=1&reason=smoke-validate" \
   | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
@@ -244,8 +331,15 @@ for art in man["artifacts"]:
 assert idh.hexdigest() == man["id"], "bundle ID does not match artifact digests"
 need = {"heap.pprof", "goroutines.txt", "trace.json", "timeseries.json",
         "slo.json", "obs.json", "statusz.json", "exemplars.json",
-        "server-stats.json", "config.json", "cpu.pprof"}
+        "server-stats.json", "config.json", "cpu.pprof", "traces.json"}
 assert need <= set(blobs), f"missing artifacts: {need - set(blobs)}"
+
+# 1b. The bundled retained-trace dump names the anomaly-window request: the
+#     bundle carries whole request traces, not just the raw span ring.
+tdump = json.loads(blobs["traces.json"])
+assert tdump["schema"] == "parcfl-traces/v1", tdump["schema"]
+trids = {t["rid"] for t in tdump["traces"]}
+assert "smoke-anomaly-7" in trids, f"smoke-anomaly-7 not in bundled traces ({len(trids)} rids)"
 
 # 2. /metrics carries an OpenMetrics exemplar naming the chosen request,
 #    on a latency bucket, with its server-side seq.
