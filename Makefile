@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench-json serve-smoke soak-smoke clean
+.PHONY: check build vet test race bench-json serve-smoke soak-smoke cluster-smoke clean
 
 check: build vet test race
 
@@ -22,7 +22,7 @@ test:
 # internal/kernel rides along because its Prep is shared read-only across
 # worker goroutines — the race detector proves no traversal mutates it.
 race:
-	$(GO) test -race ./internal/concurrent ./internal/share ./internal/engine ./internal/server ./internal/kernel
+	$(GO) test -race ./internal/concurrent ./internal/share ./internal/engine ./internal/server ./internal/kernel ./internal/cluster/router
 
 # Regenerate the benchmark-trajectory artifact (BENCH_runs.json).
 bench-json:
@@ -40,6 +40,13 @@ serve-smoke:
 # injected-overload phase that fires and validates a diagnostic bundle.
 soak-smoke:
 	bash scripts/soak_smoke.sh $(SMOKE_WORK)
+
+# Cluster smoke: partition the program into 2 shards, boot both replicas
+# behind a parcflrouter, assert routed results byte-identical to an
+# unsharded daemon, then kill a shard and assert graceful degradation
+# (503 + Retry-After all-or-nothing, partial results with allow_partial).
+cluster-smoke:
+	bash scripts/cluster_smoke.sh $(SMOKE_WORK)
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,133 @@
+// Command parcflrouter is the stateless front of a sharded parcfl cluster:
+// it loads a shard plan, learns the replica addresses, and serves the same
+// /v1 query API a single parcfld does — splitting each batch by the plan,
+// fanning out to the owning shards and merging the answers positionally.
+//
+//	$ parcfld -bench avrora -write-plan 2 -plan plan.json
+//	$ parcfld -bench avrora -shard 0/2 -plan plan.json -addr localhost:7071 &
+//	$ parcfld -bench avrora -shard 1/2 -plan plan.json -addr localhost:7072 &
+//	$ parcflrouter -plan plan.json -shards localhost:7071,localhost:7072 -addr localhost:7070
+//	$ parcflq -addr localhost:7070 main.s1     # unchanged clients
+//
+// The router holds no graph and no solver, so any number of router
+// processes can front the same shard set. /metrics carries the cluster
+// rollup (parcfl_cluster_*), /v1/cluster the shard health table, and
+// /v1/cluster/slo each shard's burn rates side by side.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"parcfl/internal/cluster"
+	"parcfl/internal/cluster/router"
+	"parcfl/internal/obs"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "parcflrouter:", err)
+	os.Exit(1)
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:7070", "serve the routed /v1 query API (and /metrics, /debug/*) on this address")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (atomic; for scripts using -addr localhost:0)")
+	planPath := flag.String("plan", "", "shard plan file (parcfl-shardplan/v1, from parcfld -write-plan)")
+	shards := flag.String("shards", "", "comma-separated shard base URLs, in shard order (host:port gets http:// prepended)")
+	maxFanout := flag.Int("max-fanout", 0, "max concurrent per-shard subrequests per routed request (0 = all shards at once)")
+	shardTimeout := flag.Duration("shard-timeout", 10*time.Second, "per-shard subrequest deadline")
+	retries := flag.Int("retries", 3, "per-shard overload retry budget including the first try (<=1 disables)")
+	healthInterval := flag.Duration("health-interval", 2*time.Second, "background shard probe period (0 = off)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default routed-request deadline")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 503 responses while shards are down")
+	flag.Parse()
+
+	if *planPath == "" {
+		fail(fmt.Errorf("need -plan (build one with parcfld -write-plan N)"))
+	}
+	plan, err := cluster.LoadPlan(*planPath)
+	if err != nil {
+		fail(err)
+	}
+	if *shards == "" {
+		fail(fmt.Errorf("need -shards with %d comma-separated addresses", plan.NumShards))
+	}
+	var addrs []string
+	for _, a := range strings.Split(*shards, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		if !strings.Contains(a, "://") {
+			a = "http://" + a
+		}
+		addrs = append(addrs, a)
+	}
+
+	sink := obs.New(obs.Config{Workers: 1})
+	hi := *healthInterval
+	if hi == 0 {
+		hi = -1 // flag 0 means off; router Config 0 means default
+	}
+	ra := *retries
+	if ra <= 1 {
+		ra = -1
+	}
+	rt, err := router.New(router.Config{
+		Plan: plan, Shards: addrs,
+		MaxFanout: *maxFanout, ShardTimeout: *shardTimeout,
+		RetryAttempts: ra, HealthInterval: hi, Obs: sink,
+	})
+	if err != nil {
+		fail(err)
+	}
+	handler := router.NewHandler(rt, router.HandlerConfig{
+		DefaultTimeout: *timeout,
+		RetryAfter:     *retryAfter,
+		Fallback:       obs.NewDebugMux(sink),
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("parcflrouter: routing %d shards (%d nodes, %d components) on http://%s\n",
+		plan.NumShards, plan.NumNodes, plan.NumComponents, ln.Addr())
+	if *addrFile != "" {
+		if err := cluster.WriteFileAtomic(*addrFile, []byte(ln.Addr().String())); err != nil {
+			fail(err)
+		}
+	}
+	httpSrv := &http.Server{Handler: handler}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fail(err)
+		}
+	}()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	<-sigs
+	fmt.Println("parcflrouter: draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), 2**timeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "parcflrouter: http drain:", err)
+	}
+	rt.Close()
+	st := rt.Status()
+	total, errs := int64(0), int64(0)
+	for _, s := range st.Shards {
+		total += s.Requests
+		errs += s.Errors
+	}
+	fmt.Printf("parcflrouter: issued %d shard subrequests (%d failed)\n", total, errs)
+}

@@ -1,0 +1,210 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"parcfl/internal/obs"
+	"parcfl/internal/server"
+)
+
+// HandlerConfig wires the router's HTTP surface. The wire schema is the
+// daemon's own (server.QuerySpec / server.QueryReply), so parcflq,
+// parcflload and every existing client speak to a router unchanged.
+type HandlerConfig struct {
+	// DefaultTimeout bounds queries that do not set timeout_ms (0 means 30s).
+	DefaultTimeout time.Duration
+	// RetryAfter is the back-off hint sent with 503 responses when shards
+	// are down (whole seconds, rounded up; 0 means 1s).
+	RetryAfter time.Duration
+	// Fallback serves any path the API does not claim (the router's debug
+	// mux: /metrics, /debug/*).
+	Fallback http.Handler
+}
+
+func (c HandlerConfig) timeout() time.Duration {
+	if c.DefaultTimeout <= 0 {
+		return 30 * time.Second
+	}
+	return c.DefaultTimeout
+}
+
+func (c HandlerConfig) retryAfterSeconds() int {
+	d := c.RetryAfter
+	if d <= 0 {
+		d = time.Second
+	}
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+type apiHandler struct {
+	rt  *Router
+	cfg HandlerConfig
+}
+
+// NewHandler returns the router's HTTP handler: /v1/query, /v1/vars,
+// /v1/stats (cluster-summed), /v1/cluster and /v1/cluster/slo, with
+// everything else delegated to cfg.Fallback.
+func NewHandler(rt *Router, cfg HandlerConfig) http.Handler {
+	h := &apiHandler{rt: rt, cfg: cfg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", h.handleQuery)
+	mux.HandleFunc("/v1/vars", h.handleVars)
+	mux.HandleFunc("/v1/stats", h.handleStats)
+	mux.HandleFunc("/v1/cluster", h.handleCluster)
+	mux.HandleFunc("/v1/cluster/slo", h.handleClusterSLO)
+	if cfg.Fallback != nil {
+		mux.Handle("/", cfg.Fallback)
+		// When the fallback is the standard debug mux, list the API routes in
+		// its generated "/" index too — the index exists so no mounted route
+		// can be missing from it, and the router's own routes are no
+		// exception. The top-level mux still dispatches them; the duplicate
+		// registration below is only ever reached through the index.
+		if dm, ok := cfg.Fallback.(*obs.DebugMux); ok {
+			dm.Handle("/v1/query", "routed points-to query (POST; plan-split fanout across shards)", http.HandlerFunc(h.handleQuery))
+			dm.Handle("/v1/vars", "query-variable census (proxied from a healthy shard)", http.HandlerFunc(h.handleVars))
+			dm.Handle("/v1/stats", "cluster-summed service stats", http.HandlerFunc(h.handleStats))
+			dm.Handle("/v1/cluster", "shard health/latency rollup (parcfl-cluster/v1)", http.HandlerFunc(h.handleCluster))
+			dm.Handle("/v1/cluster/slo", "per-shard SLO burn rates side by side", http.HandlerFunc(h.handleClusterSLO))
+		}
+	}
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorReply struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorReply{Error: err.Error()})
+}
+
+func (h *apiHandler) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var spec server.QuerySpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	names := spec.Vars
+	if spec.Var != "" {
+		names = append([]string{spec.Var}, names...)
+	}
+	if len(names) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("no var(s) given"))
+		return
+	}
+	// Resolve everything up front so an unknown variable is a clean 404,
+	// never a wasted fanout.
+	for _, name := range names {
+		if _, ok := h.rt.plan.ShardOfVar(name); !ok {
+			writeErr(w, http.StatusNotFound, errors.New("unknown variable "+name))
+			return
+		}
+	}
+	timeout := h.cfg.timeout()
+	if spec.TimeoutMS > 0 {
+		timeout = time.Duration(spec.TimeoutMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	seq := h.rt.NextSeq()
+	rid := r.Header.Get(server.RequestIDHeader)
+	if rid == "" {
+		rid = FallbackRID(seq)
+	}
+	// Same join-or-mint trace policy as the daemon: the router keeps the
+	// caller's trace id under a fresh span id, and forwards the SAME
+	// traceparent to every shard, so router fanout spans and shard serve
+	// spans share one trace.
+	tp, traced := obs.ParseTraceParent(r.Header.Get(obs.TraceParentHeader))
+	if traced {
+		tp.SpanID = obs.MintSpanID()
+	} else {
+		tp = obs.MintTraceParent()
+	}
+	w.Header().Set(obs.TraceParentHeader, tp.String())
+	w.Header().Set(server.RequestIDHeader, rid)
+
+	reply, failed, err := h.rt.route(ctx, seq, rid, tp.String(), names, timeout, spec.AllowPartial)
+	totalNS := time.Since(start).Nanoseconds()
+	h.rt.sink.Observe(obs.HistServerLatencyNS, totalNS)
+	h.rt.sink.Exemplar(obs.HistServerLatencyNS, totalNS, rid, seq)
+	if err != nil {
+		class := obs.ClassError
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			status = http.StatusGatewayTimeout
+			class = obs.ClassDeadline
+		case errors.Is(err, server.ErrOverloaded):
+			status = http.StatusTooManyRequests
+			class = obs.ClassOverload
+			w.Header().Set("Retry-After", strconv.Itoa(h.cfg.retryAfterSeconds()))
+		case failed > 0:
+			// Shards down: shed with an explicit come-back hint — the health
+			// prober readmits a recovered shard within one interval.
+			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", strconv.Itoa(h.cfg.retryAfterSeconds()))
+		}
+		h.rt.sink.SLO().Record(class, totalNS)
+		writeErr(w, status, err)
+		return
+	}
+	h.rt.sink.SLO().Record(obs.ClassSuccess, totalNS)
+	reply.RequestID = rid
+	reply.TraceID = tp.TraceID
+	writeJSON(w, http.StatusOK, reply)
+}
+
+// handleVars proxies the census from a healthy shard: every replica loads
+// the full graph and census, so any one of them can answer for the cluster.
+func (h *apiHandler) handleVars(w http.ResponseWriter, r *http.Request) {
+	vars, err := h.rt.firstUp().client.Vars(r.Context())
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, server.VarsReply{Vars: vars})
+}
+
+func (h *apiHandler) handleStats(w http.ResponseWriter, r *http.Request) {
+	st, err := h.rt.SumStats(r.Context())
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (h *apiHandler) handleCluster(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.rt.Status())
+}
+
+func (h *apiHandler) handleClusterSLO(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+	defer cancel()
+	writeJSON(w, http.StatusOK, struct {
+		Schema string        `json:"schema"`
+		Shards []ShardSLORow `json:"shards"`
+	}{Schema: "parcfl-cluster-slo/v1", Shards: h.rt.SLOFanout(ctx)})
+}

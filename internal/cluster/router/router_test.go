@@ -1,0 +1,352 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"parcfl/internal/cluster"
+	"parcfl/internal/frontend"
+	"parcfl/internal/javagen"
+	"parcfl/internal/obs"
+	"parcfl/internal/server"
+)
+
+func genBench(t testing.TB) *frontend.Lowered {
+	t.Helper()
+	prg, err := javagen.Generate(javagen.Params{
+		Name: "routertest", Seed: 41, Containers: 3, CallDepth: 3,
+		PayloadClasses: 4, PayloadFieldDepth: 3, AppMethods: 12, OpsPerApp: 12,
+		Globals: 3, AppCallFanout: 1, HubFields: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := frontend.Lower(prg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lo
+}
+
+// startShard runs one shard replica as an in-process HTTP server.
+func startShard(t *testing.T, lo *frontend.Lowered, p *cluster.Plan, shard int) *httptest.Server {
+	t.Helper()
+	enc, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(lo.Graph, server.Config{
+		Threads: 1, TypeLevels: lo.TypeLevels, QueryVars: lo.AppQueryVars,
+		BatchWindow: -1, ResultCache: true,
+		ShardOf: p.ShardOf, ShardIndex: shard, ShardCount: p.NumShards, ShardPlan: enc,
+	})
+	hs := httptest.NewServer(server.NewHandler(srv, server.HandlerConfig{}))
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+	return hs
+}
+
+// startCluster stands up n shards plus a router and returns the router's
+// HTTP server, the router itself and the shard servers.
+func startCluster(t *testing.T, lo *frontend.Lowered, n int) (*httptest.Server, *Router, []*httptest.Server) {
+	t.Helper()
+	p, err := cluster.BuildPlan(lo.Graph, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := make([]*httptest.Server, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		shards[i] = startShard(t, lo, p, i)
+		addrs[i] = shards[i].URL
+	}
+	sink := obs.New(obs.Config{Workers: 1})
+	rt, err := New(Config{
+		Plan: p, Shards: addrs, Obs: sink,
+		HealthInterval: -1, // deterministic tests: health comes from request outcomes
+		RetryAttempts:  -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	hs := httptest.NewServer(NewHandler(rt, HandlerConfig{Fallback: obs.NewDebugMux(sink)}))
+	t.Cleanup(hs.Close)
+	return hs, rt, shards
+}
+
+// varNames maps the app query vars to their census names.
+func varNames(lo *frontend.Lowered) []string {
+	names := make([]string, 0, len(lo.AppQueryVars))
+	for _, v := range lo.AppQueryVars {
+		names = append(names, lo.Graph.Node(v).Name)
+	}
+	return names
+}
+
+// normalize reduces query results to the deterministic fields — the same
+// projection scripts/cluster_smoke.sh compares — and marshals them, so
+// equivalence is a byte comparison.
+func normalize(t *testing.T, results []server.VarResult) []byte {
+	t.Helper()
+	type row struct {
+		Var      string   `json:"var"`
+		Objects  []string `json:"objects"`
+		Contexts int      `json:"contexts"`
+		Aborted  bool     `json:"aborted"`
+	}
+	rows := make([]row, len(results))
+	for i, r := range results {
+		rows[i] = row{Var: r.Var, Objects: r.Objects, Contexts: r.Contexts, Aborted: r.Aborted}
+	}
+	b, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestClusterEquivalence is the acceptance property: the same query batch
+// answered through a 2-shard and a 4-shard cluster must normalize to bytes
+// identical to a single unsharded daemon's answers.
+func TestClusterEquivalence(t *testing.T) {
+	lo := genBench(t)
+	names := varNames(lo)
+
+	single := server.New(lo.Graph, server.Config{
+		Threads: 1, TypeLevels: lo.TypeLevels, QueryVars: lo.AppQueryVars,
+		BatchWindow: -1, ResultCache: true,
+	})
+	singleHS := httptest.NewServer(server.NewHandler(single, server.HandlerConfig{}))
+	defer func() { singleHS.Close(); single.Close() }()
+	want, err := server.NewClient(singleHS.URL, nil).Query(context.Background(), names, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := normalize(t, want)
+
+	for _, n := range []int{2, 4} {
+		hs, _, _ := startCluster(t, lo, n)
+		got, err := server.NewClient(hs.URL, nil).Query(context.Background(), names, 30*time.Second)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if gotBytes := normalize(t, got); !bytes.Equal(gotBytes, wantBytes) {
+			t.Fatalf("n=%d: sharded answers differ from single daemon\n got: %s\nwant: %s", n, gotBytes, wantBytes)
+		}
+	}
+}
+
+// TestShardRejectsForeignVar: a shard replica queried directly for a
+// variable it does not own must answer 421 with the owning shard, surfaced
+// client-side as a typed MisdirectedError.
+func TestShardRejectsForeignVar(t *testing.T) {
+	lo := genBench(t)
+	p, err := cluster.BuildPlan(lo.Graph, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := startShard(t, lo, p, 0)
+	c := server.NewClient(hs.URL, nil)
+	checkedForeign := false
+	for _, name := range varNames(lo) {
+		owner, ok := p.ShardOfVar(name)
+		if !ok {
+			t.Fatalf("unresolvable var %q", name)
+		}
+		if owner == 0 {
+			if _, err := c.Query(context.Background(), []string{name}, time.Second); err != nil {
+				t.Fatalf("owned var %q rejected: %v", name, err)
+			}
+			continue
+		}
+		_, err := c.Query(context.Background(), []string{name}, time.Second)
+		var me *server.MisdirectedError
+		if !errors.As(err, &me) {
+			t.Fatalf("foreign var %q: got %v, want MisdirectedError", name, err)
+		}
+		if me.Shard != owner || me.Shards != 2 {
+			t.Fatalf("foreign var %q: redirect says %d/%d, want %d/2", name, me.Shard, me.Shards, owner)
+		}
+		checkedForeign = true
+	}
+	if !checkedForeign {
+		t.Fatal("plan put every app var on shard 0; cannot test misdirection")
+	}
+}
+
+// postQuery sends a raw /v1/query and returns status, headers and decoded reply.
+func postQuery(t *testing.T, url string, spec server.QuerySpec) (int, http.Header, server.QueryReply) {
+	t.Helper()
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(url+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var reply server.QueryReply
+	raw, _ := io.ReadAll(resp.Body)
+	_ = json.Unmarshal(raw, &reply)
+	return resp.StatusCode, resp.Header, reply
+}
+
+// TestShardDownDegradation: with one shard dead, all-or-nothing requests
+// shed with 503 + Retry-After while allow_partial requests get the
+// reachable answers with Partial/Missing marked.
+func TestShardDownDegradation(t *testing.T) {
+	lo := genBench(t)
+	hs, rt, shards := startCluster(t, lo, 2)
+	names := varNames(lo)
+	p := rt.Plan()
+	var mine, dead []string
+	for _, name := range names {
+		if s, _ := p.ShardOfVar(name); s == 0 {
+			mine = append(mine, name)
+		} else {
+			dead = append(dead, name)
+		}
+	}
+	if len(mine) == 0 || len(dead) == 0 {
+		t.Fatalf("need vars on both shards, got %d/%d", len(mine), len(dead))
+	}
+	shards[1].Close()
+
+	// All-or-nothing: one dead shard fails the whole batch with 503.
+	status, hdr, _ := postQuery(t, hs.URL, server.QuerySpec{Vars: []string{mine[0], dead[0]}})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("all-or-nothing with dead shard: status %d, want 503", status)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After hint")
+	}
+
+	// Partial: reachable answers come back, dead slots are marked.
+	status, _, reply := postQuery(t, hs.URL, server.QuerySpec{
+		Vars: []string{mine[0], dead[0]}, AllowPartial: true,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("partial query: status %d, want 200", status)
+	}
+	if !reply.Partial {
+		t.Fatal("degraded reply not marked Partial")
+	}
+	if len(reply.Missing) != 1 || reply.Missing[0] != dead[0] {
+		t.Fatalf("Missing = %v, want [%s]", reply.Missing, dead[0])
+	}
+	if reply.Results[0].Failed || len(reply.Results[0].Objects) == 0 {
+		t.Fatalf("live slot unusable: %+v", reply.Results[0])
+	}
+	if !reply.Results[1].Failed {
+		t.Fatalf("dead slot not marked Failed: %+v", reply.Results[1])
+	}
+
+	// Everything the request needs is down: partial cannot help, still 503.
+	status, _, _ = postQuery(t, hs.URL, server.QuerySpec{Vars: []string{dead[0]}, AllowPartial: true})
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("all-shards-dead partial: status %d, want 503", status)
+	}
+
+	// The rollup must reflect the dead shard.
+	st := rt.Status()
+	if st.ShardsUp != 1 || st.Shards[1].Up {
+		t.Fatalf("status says %d up, shard1.up=%v; want 1 up, shard 1 down", st.ShardsUp, st.Shards[1].Up)
+	}
+}
+
+// TestRouterRollup: /v1/cluster, /v1/stats and the /metrics exposition all
+// reflect routed traffic.
+func TestRouterRollup(t *testing.T) {
+	lo := genBench(t)
+	hs, _, _ := startCluster(t, lo, 2)
+	names := varNames(lo)
+	c := server.NewClient(hs.URL, nil)
+	if _, err := c.Query(context.Background(), names, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(hs.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ClusterStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Schema != ClusterSchema || st.NumShards != 2 || st.ShardsUp != 2 {
+		t.Fatalf("bad rollup: %+v", st)
+	}
+	for _, row := range st.Shards {
+		if row.Requests == 0 {
+			t.Fatalf("shard %d saw no subrequests after a full-census query", row.Index)
+		}
+	}
+
+	// Summed stats must account for every variable exactly once.
+	stats, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Queries < int64(len(names)) {
+		t.Fatalf("summed stats report %d queries for %d vars", stats.Queries, len(names))
+	}
+
+	// The per-shard rollup series ride the standard exposition.
+	resp, err = http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"parcfl_cluster_requests_total",
+		"parcfl_cluster_shards_up 2",
+		`parcfl_cluster_shard_up{shard="0"} 1`,
+		`parcfl_cluster_shard_requests_total{shard="1"}`,
+		`parcfl_cluster_shard_p99_ns{shard="0"}`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestRouterUnknownVar: unresolvable names are a clean 404 before any fanout.
+func TestRouterUnknownVar(t *testing.T) {
+	lo := genBench(t)
+	hs, rt, _ := startCluster(t, lo, 2)
+	status, _, _ := postQuery(t, hs.URL, server.QuerySpec{Vars: []string{"no-such-var-zzz"}})
+	if status != http.StatusNotFound {
+		t.Fatalf("unknown var: status %d, want 404", status)
+	}
+	if got := rt.Status().Shards[0].Requests + rt.Status().Shards[1].Requests; got != 0 {
+		t.Fatalf("unknown var caused %d subrequests", got)
+	}
+}
+
+// TestRouterTracePropagation: a caller-supplied traceparent keeps its trace
+// id through the router, and request IDs echo back.
+func TestRouterTracePropagation(t *testing.T) {
+	lo := genBench(t)
+	hs, _, _ := startCluster(t, lo, 2)
+	names := varNames(lo)
+	tp := obs.MintTraceParent()
+	reply, err := server.NewClient(hs.URL, nil).QueryTraced(
+		context.Background(), "req-42", tp.String(), names[:1], 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.RequestID != "req-42" {
+		t.Fatalf("request id %q, want req-42", reply.RequestID)
+	}
+	if reply.TraceID != tp.TraceID {
+		t.Fatalf("trace id %q, want %q", reply.TraceID, tp.TraceID)
+	}
+}

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"parcfl/internal/cluster"
+	"parcfl/internal/cluster/router"
+	"parcfl/internal/server"
+)
+
+// Sharded serving rows: the census replayed through a real cluster — N
+// shard replicas behind a parcflrouter, all over loopback HTTP — so the
+// trajectory records what component-aware sharding buys end to end,
+// including the router's split/fanout/merge overhead.
+//
+// The quantity the rows scale on is admission capacity per batch window.
+// Each replica's micro-batcher claims at most MaxBatch distinct variables
+// per coalescing window, so a burst of B pending variables costs a single
+// daemon ceil(B/MaxBatch) serialised window rounds. The router splits the
+// same burst across N replicas whose windows run concurrently, cutting the
+// rounds to ceil(B/(N*MaxBatch)). That is a property of the admission
+// pipeline, not of the core count: the N=4 row beats N=1 even on one CPU,
+// because the win comes from fewer serialised windows, not from parallel
+// solving.
+
+const (
+	// shardedClients is the closed-loop concurrency: each client sends one
+	// multi-variable chunk at a time and waits for the merged reply.
+	shardedClients = 4
+	// shardedChunk is the variables per request. The router splits each
+	// chunk across shards, so a chunk costs one window round on the cluster
+	// and ceil(chunk/MaxBatch) rounds on a single replica.
+	shardedChunk = 16
+	// shardedMaxBatch bounds each replica's per-round admission, the knob
+	// the rows scale on. Small, so the bound binds at bench scale the same
+	// way a per-batch latency budget makes it bind in production.
+	shardedMaxBatch = 8
+	// shardedWindow is each replica's batch window — the unit of
+	// serialisation the cluster amortises.
+	shardedWindow = 5 * time.Millisecond
+	// shardedThreads is each replica's solver thread count. One, so the
+	// N=1 vs N=4 comparison is admission-pipeline scaling, not a hidden
+	// 4x thread-count advantage.
+	shardedThreads = 1
+	// shardedMinQueries is the replay floor: the census repeats until at
+	// least this many queries have been issued, so the percentiles rest on
+	// a usable number of chunk requests at any bench scale.
+	shardedMinQueries = 512
+)
+
+// shardCounts are the cluster widths the trajectory records.
+var shardCounts = []int{1, 2, 4}
+
+// ShardedRows produces the Serve-sharded-N rows for one prepared benchmark.
+func ShardedRows(b *Bench, opts Options) ([]BenchRun, error) {
+	rows := make([]BenchRun, 0, len(shardCounts))
+	for _, n := range shardCounts {
+		row, err := shardedRun(b, n, opts)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// shardedRun boots an N-shard cluster on loopback, replays the census
+// through the router from shardedClients closed-loop callers, and flattens
+// the summed shard stats plus router-side latency into one row.
+func shardedRun(b *Bench, n int, opts Options) (BenchRun, error) {
+	g := b.Lowered.Graph
+	plan, err := cluster.BuildPlan(g, n)
+	if err != nil {
+		return BenchRun{}, err
+	}
+	enc, err := plan.Encode()
+	if err != nil {
+		return BenchRun{}, err
+	}
+
+	srvs := make([]*server.Server, n)
+	httpSrvs := make([]*http.Server, n)
+	addrs := make([]string, n)
+	shutdown := func() {
+		for _, hs := range httpSrvs {
+			if hs != nil {
+				_ = hs.Close()
+			}
+		}
+		for _, s := range srvs {
+			if s != nil {
+				s.Close()
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		srvs[i] = server.New(g, server.Config{
+			Threads: shardedThreads, Budget: opts.Budget,
+			TypeLevels: b.Lowered.TypeLevels, QueryVars: b.Lowered.AppQueryVars,
+			ResultCache: true, BatchWindow: shardedWindow, MaxBatch: shardedMaxBatch,
+			ShardOf: plan.ShardOf, ShardIndex: i, ShardCount: n, ShardPlan: enc,
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			shutdown()
+			return BenchRun{}, err
+		}
+		httpSrvs[i] = &http.Server{Handler: server.NewHandler(srvs[i], server.HandlerConfig{})}
+		go func(hs *http.Server, ln net.Listener) { _ = hs.Serve(ln) }(httpSrvs[i], ln)
+		addrs[i] = "http://" + ln.Addr().String()
+	}
+	rt, err := router.New(router.Config{Plan: plan, Shards: addrs, HealthInterval: -1})
+	if err != nil {
+		shutdown()
+		return BenchRun{}, err
+	}
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		rt.Close()
+		shutdown()
+		return BenchRun{}, err
+	}
+	routerSrv := &http.Server{Handler: router.NewHandler(rt, router.HandlerConfig{})}
+	go func() { _ = routerSrv.Serve(rln) }()
+	defer func() {
+		_ = routerSrv.Close()
+		rt.Close()
+		shutdown()
+	}()
+
+	// Decimal node ids resolve identically on the router and every replica,
+	// so the replay is immune to census name collisions. The census repeats
+	// until the replay reaches the query floor, then is cut into fixed-size
+	// chunks — one multi-variable request each.
+	passes := (shardedMinQueries + len(b.Queries) - 1) / len(b.Queries)
+	if passes < 2 {
+		passes = 2
+	}
+	names := make([]string, 0, passes*len(b.Queries))
+	for p := 0; p < passes; p++ {
+		for _, q := range b.Queries {
+			names = append(names, strconv.Itoa(int(q)))
+		}
+	}
+	chunks := make([][]string, 0, (len(names)+shardedChunk-1)/shardedChunk)
+	for i := 0; i < len(names); i += shardedChunk {
+		chunks = append(chunks, names[i:min(i+shardedChunk, len(names))])
+	}
+
+	cl := server.NewClient("http://"+rln.Addr().String(),
+		&http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4 * shardedClients}})
+	latencies := make([]time.Duration, len(chunks))
+	var firstErr error
+	var errMu sync.Mutex
+	idx := make(chan int, len(chunks))
+	for i := range chunks {
+		idx <- i
+	}
+	close(idx)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < shardedClients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				t0 := time.Now()
+				_, err := cl.Query(context.Background(), chunks[i], 30*time.Second)
+				latencies[i] = time.Since(t0)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("sharded n=%d: chunk %d: %w", n, i, err)
+					}
+					errMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if firstErr != nil {
+		return BenchRun{}, firstErr
+	}
+
+	// The shard stores are disjoint, so summing replica stats is exact.
+	var st server.Stats
+	for _, s := range srvs {
+		ss := s.Stats()
+		st.Queries += ss.Queries
+		st.Completed += ss.Completed
+		st.Aborted += ss.Aborted
+		st.TotalSteps += ss.TotalSteps
+		st.StepsSaved += ss.StepsSaved
+		st.JumpsTaken += ss.JumpsTaken
+		st.Share.FinishedAdded += ss.Share.FinishedAdded
+		st.Share.UnfinishedAdded += ss.Share.UnfinishedAdded
+		st.Share.Lookups += ss.Share.Lookups
+		st.Share.LookupHits += ss.Share.LookupHits
+		st.Cache.Hits += ss.Cache.Hits
+		st.Cache.Misses += ss.Cache.Misses
+	}
+
+	// P50/P99 are per-chunk-request latencies: what one caller sees for a
+	// shardedChunk-variable batch, split/merge included.
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pct := func(p float64) int64 {
+		if len(sorted) == 0 {
+			return 0
+		}
+		return sorted[int(p*float64(len(sorted)-1))].Nanoseconds()
+	}
+
+	return BenchRun{
+		Bench:   b.Preset.Name,
+		Mode:    fmt.Sprintf("Serve-sharded-%d", n),
+		Threads: shardedThreads,
+		Shards:  n,
+
+		WallNS: wall.Nanoseconds(),
+
+		Queries:   int(st.Queries),
+		Completed: int(st.Completed),
+		Aborted:   int(st.Aborted),
+
+		TotalSteps:  st.TotalSteps,
+		StepsWalked: st.TotalSteps - st.StepsSaved,
+		StepsSaved:  st.StepsSaved,
+		JumpsTaken:  st.JumpsTaken,
+
+		ShareFinished:   st.Share.FinishedAdded,
+		ShareUnfinished: st.Share.UnfinishedAdded,
+		ShareLookups:    st.Share.Lookups,
+		ShareHits:       st.Share.LookupHits,
+		ShareHitRate:    st.Share.HitRate(),
+
+		CacheHits:    st.Cache.Hits,
+		CacheMisses:  st.Cache.Misses,
+		CacheHitRate: st.Cache.HitRate(),
+
+		QPS:   float64(len(names)) / wall.Seconds(),
+		P50NS: pct(0.50),
+		P99NS: pct(0.99),
+	}, nil
+}

@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 
@@ -253,5 +255,102 @@ func TestComponentMap(t *testing.T) {
 	distinct := map[int32]bool{cm[ids["a"]]: true, cm[ids["d"]]: true, cm[ids["e"]]: true, cm[ids["f"]]: true}
 	if len(distinct) != 4 {
 		t.Fatalf("expected 4 distinct components, got %d", len(distinct))
+	}
+}
+
+// TestComponentMapDeterministic: the partition must be identical across
+// repeated runs on the same graph — shard plans built from it at different
+// times (replica vs router vs rebuild) have to agree byte for byte.
+func TestComponentMapDeterministic(t *testing.T) {
+	prg, err := javagen.Generate(javagen.Params{
+		Name: "comptest", Seed: 11, Containers: 3, CallDepth: 2,
+		PayloadClasses: 3, PayloadFieldDepth: 3, AppMethods: 10, OpsPerApp: 10,
+		Globals: 2, AppCallFanout: 1, HubFields: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := frontend.Lower(prg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ComponentMap(lo.Graph)
+	for i := 0; i < 5; i++ {
+		if got := ComponentMap(lo.Graph); !reflect.DeepEqual(got, want) {
+			t.Fatalf("run %d produced a different partition", i)
+		}
+	}
+}
+
+// randDirectGraph builds a pseudo-random graph of n nodes with direct
+// (assign) edges between permuted node ids: order[i] is the node that plays
+// logical role i. Edges are drawn from rng in logical-role space, so two
+// graphs built with the same rng seed but different orders are isomorphic.
+func randDirectGraph(t *testing.T, n int, seed int64, order []int) (*pag.Graph, []pag.NodeID) {
+	t.Helper()
+	g := pag.NewGraph()
+	ids := make([]pag.NodeID, n) // ids[role] = node id of logical role
+	for _, role := range order {
+		ids[role] = g.AddLocal("", 0, 0)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 2*n; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		g.AddEdge(pag.Edge{Dst: ids[a], Src: ids[b], Kind: pag.EdgeAssignLocal})
+	}
+	g.Freeze()
+	return g, ids
+}
+
+// TestComponentMapPermutationStability: relabelling the nodes of the same
+// logical PAG must not change the partition — roles grouped together in one
+// ordering are grouped together in every ordering.
+func TestComponentMapPermutationStability(t *testing.T) {
+	const n = 150
+	ident := make([]int, n)
+	for i := range ident {
+		ident[i] = i
+	}
+	perm := rand.New(rand.NewSource(99)).Perm(n)
+
+	g1, ids1 := randDirectGraph(t, n, 5, ident)
+	g2, ids2 := randDirectGraph(t, n, 5, perm)
+	cm1 := ComponentMap(g1)
+	cm2 := ComponentMap(g2)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			same1 := cm1[ids1[a]] == cm1[ids1[b]]
+			same2 := cm2[ids2[a]] == cm2[ids2[b]]
+			if same1 != same2 {
+				t.Fatalf("roles %d,%d: together=%v under identity, %v under permutation", a, b, same1, same2)
+			}
+		}
+	}
+}
+
+// BenchmarkComponentMap measures the partition pass on a generated
+// benchmark graph — the cost a shard-plan build pays per invocation.
+func BenchmarkComponentMap(b *testing.B) {
+	prg, err := javagen.Generate(javagen.Params{
+		Name: "compbench", Seed: 13, Containers: 4, CallDepth: 3,
+		PayloadClasses: 4, PayloadFieldDepth: 3, AppMethods: 16, OpsPerApp: 12,
+		Globals: 3, AppCallFanout: 1, HubFields: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lo, err := frontend.Lower(prg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cm := ComponentMap(lo.Graph); len(cm) != lo.Graph.NumNodes() {
+			b.Fatal("bad partition size")
+		}
 	}
 }

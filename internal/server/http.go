@@ -34,6 +34,10 @@ type QuerySpec struct {
 	Vars []string `json:"vars,omitempty"`
 	// TimeoutMS bounds the wait server-side (0 means the server default).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// AllowPartial lets the cluster router answer with whatever shards are
+	// reachable (Partial/Missing set on the reply) instead of failing the
+	// whole request. A single daemon is all-or-nothing and ignores it.
+	AllowPartial bool `json:"allow_partial,omitempty"`
 }
 
 // VarResult is one variable's answer on the wire.
@@ -43,6 +47,9 @@ type VarResult struct {
 	Contexts int      `json:"contexts"`
 	Aborted  bool     `json:"aborted,omitempty"`
 	Steps    int      `json:"steps"`
+	// Failed marks a placeholder slot in a partial cluster reply: the
+	// owning shard was unreachable, so Objects is meaningless for this var.
+	Failed bool `json:"failed,omitempty"`
 	// Timings is the per-request phase breakdown (see server.Timings).
 	Timings *Timings `json:"timings,omitempty"`
 }
@@ -59,6 +66,12 @@ type QueryReply struct {
 	// version-00 value with the server's span id.
 	TraceID string      `json:"trace_id,omitempty"`
 	Results []VarResult `json:"results"`
+	// Partial marks a degraded cluster reply: the shards in Missing were
+	// unreachable and their slots in Results carry Failed placeholders.
+	// Never set by a single daemon.
+	Partial bool `json:"partial,omitempty"`
+	// Missing lists the variables the reply could not answer.
+	Missing []string `json:"missing,omitempty"`
 }
 
 // SnapshotSpec is the body of POST /v1/snapshot.
@@ -79,6 +92,11 @@ type VarsReply struct {
 
 type errorReply struct {
 	Error string `json:"error"`
+	// Shard/Shards report a 421 misdirect: the shard that owns the queried
+	// variable and the plan's total shard count. Shards > 0 marks the
+	// fields present (shard index 0 survives omitempty via that sentinel).
+	Shard  int `json:"shard,omitempty"`
+	Shards int `json:"shards,omitempty"`
 }
 
 // HandlerConfig wires the HTTP surface.
@@ -240,6 +258,19 @@ func (h *apiHandler) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx = WithTrace(ctx, tp.TraceID, tp.SpanID)
 	answers, err := h.srv.QueryBatchAnswers(ctx, vars)
 	if err != nil {
+		// A shard-mode replica disowning the variable is a typed redirect,
+		// not a failure: 421 with the owning shard in the body, so a router
+		// or a plan-aware client can re-aim.
+		var wse *WrongShardError
+		if errors.As(err, &wse) {
+			if rid != "" {
+				w.Header().Set(RequestIDHeader, rid)
+			}
+			h.srv.sink.SLO().Record(obs.ClassError, time.Since(start).Nanoseconds())
+			writeJSON(w, http.StatusMisdirectedRequest,
+				errorReply{Error: err.Error(), Shard: wse.Shard, Shards: wse.Of})
+			return
+		}
 		status := http.StatusInternalServerError
 		class := obs.ClassError
 		switch {

@@ -63,6 +63,12 @@ type Meta struct {
 	// warmed under.
 	Budget   int
 	ContextK int
+	// Shard and NumShards identify which cluster slice this snapshot's warm
+	// state belongs to; 0/0 means an unsharded daemon. Added after Version 1
+	// shipped; gob decodes older envelopes to the zero values, so the format
+	// version is unchanged (strictly additive).
+	Shard     int
+	NumShards int
 }
 
 // Snapshot is the in-memory form: a frozen graph plus optional warm store,
@@ -75,7 +81,12 @@ type Snapshot struct {
 	// saved); persisting it lets a warm-started daemon skip the offline
 	// SCC/CSR build. Read verifies it matches the loaded graph.
 	Kernel *kernel.Prep
-	Meta   Meta
+	// ShardPlan is the serialized parcfl-shardplan/v1 document the store and
+	// cache were sliced under (nil for unsharded snapshots). Kept opaque here
+	// so this package does not depend on the cluster package; internal/cluster
+	// owns the format.
+	ShardPlan []byte
+	Meta      Meta
 }
 
 // Wire structs: contexts travel as Key() strings, which uniquely determine
@@ -121,6 +132,10 @@ type envelope struct {
 	// unchanged (strictly additive).
 	HasKernel bool
 	Kernel    []byte // kernel.WriteGob output
+
+	// ShardPlan (with Meta.Shard/NumShards) is likewise additive: absent in
+	// pre-cluster snapshots, decoded as nil.
+	ShardPlan []byte
 }
 
 func toWireNodeCtxs(in []pag.NodeCtx) []wireNodeCtx {
@@ -193,6 +208,7 @@ func Write(w io.Writer, s *Snapshot) error {
 		env.HasKernel = true
 		env.Kernel = kbuf.Bytes()
 	}
+	env.ShardPlan = s.ShardPlan
 	if _, err := io.WriteString(w, Magic); err != nil {
 		return fmt.Errorf("snapshot: writing header: %w", err)
 	}
@@ -230,7 +246,7 @@ func Read(r io.Reader) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Snapshot{Graph: g, Meta: env.Meta}
+	s := &Snapshot{Graph: g, Meta: env.Meta, ShardPlan: env.ShardPlan}
 	numNodes := pag.NodeID(g.NumNodes())
 	if env.HasStore {
 		entries := make([]share.Exported, len(env.StoreEntries))

@@ -1,0 +1,188 @@
+#!/usr/bin/env bash
+# Cluster smoke test: partition a program into 2 component-aware shards,
+# boot both shard replicas and a parcflrouter in front of them, and assert
+#   1. mixed queries through the router return byte-identical normalized
+#      results to a single unsharded daemon over the same program,
+#   2. each shard rejects foreign variables with a typed 421 redirect,
+#   3. killing one shard degrades gracefully: owned-elsewhere queries get
+#      503 + Retry-After, allow_partial requests get 200 with partial=true
+#      and the dead variables listed under "missing",
+#   4. the router's /metrics rollup exposes the parcfl_cluster_* series.
+#
+# On any failure while a shard is still up, the trap captures a diagnostic
+# bundle into $WORK/failure-bundle.tar.gz for the CI artifact upload.
+#
+# Usage: scripts/cluster_smoke.sh [workdir]
+set -euo pipefail
+
+WORK="${1:-$(mktemp -d)}"
+BENCH="${SMOKE_BENCH:-_200_check}"
+SCALE="${SMOKE_SCALE:-0.002}"
+NVARS="${SMOKE_NVARS:-8}"
+cd "$(dirname "$0")/.."
+
+go build -o "$WORK/parcfld" ./cmd/parcfld
+go build -o "$WORK/parcflrouter" ./cmd/parcflrouter
+go build -o "$WORK/parcflq" ./cmd/parcflq
+go build -o "$WORK/parcflctl" ./cmd/parcflctl
+
+PIDS=()
+cleanup() {
+  status=$?
+  if [ "$status" -ne 0 ] && [ -n "${S0ADDR:-}" ] && curl -sf "http://$S0ADDR/v1/stats" >/dev/null 2>&1; then
+    echo "cluster smoke failed (exit $status): capturing diagnostic bundle from shard 0 at $S0ADDR"
+    curl -sf "http://$S0ADDR/debug/bundle?trigger=1&reason=cluster-smoke-failure" >/dev/null 2>&1 || true
+    FID=$(curl -sf "http://$S0ADDR/debug/bundle" 2>/dev/null \
+      | python3 -c 'import json,sys; bs=json.load(sys.stdin)["bundles"]; print(bs[-1]["id"] if bs else "")' 2>/dev/null || true)
+    if [ -n "$FID" ]; then
+      curl -sf "http://$S0ADDR/debug/bundle/$FID" -o "$WORK/failure-bundle.tar.gz" 2>/dev/null || true
+      echo "failure bundle saved to $WORK/failure-bundle.tar.gz"
+    fi
+  fi
+  for pid in "${PIDS[@]:-}"; do
+    [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null && { kill -TERM "$pid" 2>/dev/null || true; }
+  done
+  for pid in "${PIDS[@]:-}"; do
+    [ -n "$pid" ] && wait "$pid" 2>/dev/null || true
+  done
+}
+trap cleanup EXIT
+
+wait_addr() { # $1 = addr file, $2 = log file for the failure message
+  for _ in $(seq 100); do
+    [ -s "$1" ] && return 0
+    sleep 0.1
+  done
+  echo "FAIL: $2 never bound"; cat "$WORK/$2"; exit 1
+}
+
+# Normalization strips run-specific telemetry (request/trace ids, step
+# counts, phase timings); the points-to sets, context counts and abort
+# flags must be byte-identical between the cluster and the single daemon.
+normalize() { # $1 = in, $2 = out
+  python3 - "$1" "$2" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+r.pop("request_id", None)
+r.pop("trace_id", None)
+for res in r["results"]:
+    res.pop("steps", None)
+    res.pop("timings", None)
+json.dump(r, open(sys.argv[2], "w"), indent=1, sort_keys=True)
+EOF
+}
+
+echo "== shard plan =="
+"$WORK/parcfld" -bench "$BENCH" -scale "$SCALE" -plan "$WORK/plan.bin" -write-plan 2
+[ -s "$WORK/plan.bin" ] || { echo "FAIL: -write-plan wrote nothing"; exit 1; }
+
+echo "== unsharded baseline =="
+rm -f "$WORK/base-addr.txt"
+"$WORK/parcfld" -bench "$BENCH" -scale "$SCALE" \
+  -addr localhost:0 -addr-file "$WORK/base-addr.txt" >"$WORK/base.log" 2>&1 &
+PIDS+=($!)
+wait_addr "$WORK/base-addr.txt" base.log
+BASEADDR=$(cat "$WORK/base-addr.txt")
+
+mapfile -t VARS < <("$WORK/parcflq" -addr "$BASEADDR" -list "$NVARS" | head -n "$NVARS")
+[ "${#VARS[@]}" -ge 2 ] || { echo "FAIL: need >=2 query vars"; exit 1; }
+"$WORK/parcflq" -addr "$BASEADDR" -json "${VARS[@]}" >"$WORK/base.json"
+
+echo "== 2 shards + router =="
+rm -f "$WORK/s0-addr.txt" "$WORK/s1-addr.txt" "$WORK/router-addr.txt"
+"$WORK/parcfld" -bench "$BENCH" -scale "$SCALE" -plan "$WORK/plan.bin" -shard 0/2 \
+  -addr localhost:0 -addr-file "$WORK/s0-addr.txt" -bundle-dir "$WORK/bundles" >"$WORK/s0.log" 2>&1 &
+PIDS+=($!)
+"$WORK/parcfld" -bench "$BENCH" -scale "$SCALE" -plan "$WORK/plan.bin" -shard 1/2 \
+  -addr localhost:0 -addr-file "$WORK/s1-addr.txt" >"$WORK/s1.log" 2>&1 &
+S1PID=$!
+PIDS+=("$S1PID")
+wait_addr "$WORK/s0-addr.txt" s0.log
+wait_addr "$WORK/s1-addr.txt" s1.log
+S0ADDR=$(cat "$WORK/s0-addr.txt")
+S1ADDR=$(cat "$WORK/s1-addr.txt")
+
+"$WORK/parcflrouter" -plan "$WORK/plan.bin" -shards "$S0ADDR,$S1ADDR" \
+  -addr localhost:0 -addr-file "$WORK/router-addr.txt" \
+  -health-interval 500ms >"$WORK/router.log" 2>&1 &
+PIDS+=($!)
+wait_addr "$WORK/router-addr.txt" router.log
+RADDR=$(cat "$WORK/router-addr.txt")
+
+# Shards answer their own variables and 421-redirect foreign ones; sort the
+# census into owners by asking shard 0 directly.
+LIVE_VAR=""  # owned by shard 0 (stays up)
+DEAD_VAR=""  # owned by shard 1 (killed below)
+for v in "${VARS[@]}"; do
+  code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$S0ADDR/v1/query" \
+    -H 'Content-Type: application/json' -d "{\"vars\":[\"$v\"]}")
+  case "$code" in
+    200) [ -n "$LIVE_VAR" ] || LIVE_VAR="$v" ;;
+    421) [ -n "$DEAD_VAR" ] || DEAD_VAR="$v" ;;
+    *) echo "FAIL: shard 0 returned $code for $v (want 200 or 421)"; exit 1 ;;
+  esac
+done
+[ -n "$LIVE_VAR" ] && [ -n "$DEAD_VAR" ] \
+  || { echo "FAIL: census does not span both shards (live=$LIVE_VAR dead=$DEAD_VAR)"; exit 1; }
+echo "shard split OK: $LIVE_VAR on shard 0, $DEAD_VAR on shard 1"
+
+# Mixed queries through the router must match the unsharded daemon exactly.
+"$WORK/parcflq" -addr "$RADDR" "${VARS[0]}"
+"$WORK/parcflq" -addr "$RADDR" -json "${VARS[@]}" >"$WORK/cluster.json"
+normalize "$WORK/base.json" "$WORK/base.norm.json"
+normalize "$WORK/cluster.json" "$WORK/cluster.norm.json"
+if ! cmp -s "$WORK/base.norm.json" "$WORK/cluster.norm.json"; then
+  echo "FAIL: cluster results differ from unsharded daemon"
+  diff "$WORK/base.norm.json" "$WORK/cluster.norm.json" || true
+  exit 1
+fi
+echo "equivalence OK: ${#VARS[@]} vars byte-identical through 2-shard cluster"
+
+# Ops surface: cluster rollup over HTTP and via parcflctl, plus /metrics.
+"$WORK/parcflctl" -addr "$RADDR" cluster ls | sed -n 1,4p
+"$WORK/parcflctl" -addr "$RADDR" cluster slo >/dev/null
+curl -sf "http://$RADDR/metrics" >"$WORK/router-metrics.txt"
+for series in parcfl_cluster_requests_total parcfl_cluster_shards_up \
+  parcfl_cluster_shard_up parcfl_cluster_shard_requests_total; do
+  grep -q "^$series\|^# HELP $series" "$WORK/router-metrics.txt" \
+    || { echo "FAIL: router /metrics missing $series"; exit 1; }
+done
+grep -q 'parcfl_cluster_shards_up 2' "$WORK/router-metrics.txt" \
+  || { echo "FAIL: router does not report 2 shards up"; exit 1; }
+
+echo "== degradation: kill shard 1 =="
+kill -KILL "$S1PID" 2>/dev/null || true
+wait "$S1PID" 2>/dev/null || true
+
+# Queries owned by the live shard keep working.
+"$WORK/parcflq" -addr "$RADDR" "$LIVE_VAR" >/dev/null
+
+# All-or-nothing queries touching the dead shard: 503 with a Retry-After.
+curl -s -D "$WORK/dead-headers.txt" -o "$WORK/dead-body.json" \
+  -X POST "http://$RADDR/v1/query" -H 'Content-Type: application/json' \
+  -d "{\"vars\":[\"$DEAD_VAR\"]}"
+grep -q '^HTTP/.* 503' "$WORK/dead-headers.txt" \
+  || { echo "FAIL: dead-shard query did not 503"; cat "$WORK/dead-headers.txt"; exit 1; }
+grep -qi '^Retry-After:' "$WORK/dead-headers.txt" \
+  || { echo "FAIL: 503 carries no Retry-After"; cat "$WORK/dead-headers.txt"; exit 1; }
+
+# allow_partial: the live half answers, the dead half is listed as missing.
+curl -sf -X POST "http://$RADDR/v1/query" -H 'Content-Type: application/json' \
+  -d "{\"vars\":[\"$LIVE_VAR\",\"$DEAD_VAR\"],\"allow_partial\":true}" >"$WORK/partial.json"
+python3 - "$WORK/partial.json" "$LIVE_VAR" "$DEAD_VAR" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+live, dead = sys.argv[2], sys.argv[3]
+assert r.get("partial"), f"reply not flagged partial: {r}"
+assert dead in r.get("missing", []), f"{dead} not listed missing: {r}"
+res = {x["var"]: x for x in r["results"]}
+assert not res[live].get("failed"), f"live var failed: {res[live]}"
+assert res[dead].get("failed"), f"dead var not marked failed: {res[dead]}"
+print(f"partial OK: {live} answered, {dead} missing")
+EOF
+
+curl -sf "http://$RADDR/metrics" >"$WORK/router-metrics-degraded.txt"
+grep -q '^parcfl_cluster_shards_up 1$' "$WORK/router-metrics-degraded.txt" \
+  || { echo "FAIL: router still reports dead shard as up"; grep shards_up "$WORK/router-metrics-degraded.txt"; exit 1; }
+
+echo "cluster smoke OK (plan -> 2 shards + router -> equivalence -> degradation, workdir $WORK)"
